@@ -1,0 +1,5 @@
+import os
+import sys
+
+# Make the shared experiment helpers importable.
+sys.path.insert(0, os.path.dirname(__file__))

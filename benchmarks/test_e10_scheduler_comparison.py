@@ -1,0 +1,110 @@
+"""E10 — comparison with prior inter-block schedulers.
+
+The paper argues that earlier superscalar schedulers (Bernstein & Rodeh's
+one-branch speculation; region approaches without software pipelining)
+leave performance on the table compared to the VLIW-derived framework:
+"these authors do not appear to have done a thorough literature search
+on previously published VLIW scheduling techniques".
+
+We quantify the claim on the li list-search loop, comparing four
+scheduling regimes (all on otherwise identical pipelines):
+
+1. local list scheduling only,
+2. Bernstein-Rodeh-style (speculate above at most one conditional
+   branch, no join duplication, no motion across iterations),
+3. full global scheduling (arbitrary paths + bookkeeping copies),
+4. full global scheduling + enhanced pipeline scheduling.
+"""
+
+import math
+
+from repro.ir import parse_module, verify_module
+from repro.machine import RS6000, run_function, time_trace
+from repro.scheduling import GlobalScheduling, LocalScheduling, VLIWScheduling
+from repro.scheduling.related_work import BernsteinRodehScheduling
+from repro.transforms import CopyPropagation, DeadCodeElimination, Straighten
+from repro.transforms.pass_manager import PassContext, PassManager
+
+LI_LOOP = """
+data nodes: size=4096
+data cells: size=4096
+
+func xlygetvalue(r3, r8):
+loop:
+    L r4, 4(r8)
+    L r5, 4(r4)
+    C cr0, r5, r3
+    BT found, cr0.eq
+    L r8, 8(r8)
+    CI cr1, r8, 0
+    BF loop, cr1.eq
+endofchain:
+    LI r3, 0
+    RET
+found:
+    LR r3, r4
+    RET
+"""
+
+N = 100
+
+
+def build():
+    m = parse_module(LI_LOOP)
+    lay = m.layout()
+    nodes, cells = lay["nodes"], lay["cells"]
+    node_init = [0] * (3 * N)
+    cell_init = [0] * (2 * N)
+    for i in range(N):
+        node_init[3 * i + 1] = cells + 8 * i
+        node_init[3 * i + 2] = nodes + 12 * (i + 1) if i + 1 < N else 0
+        cell_init[2 * i + 1] = 100 + i
+    m.data["nodes"].init = node_init
+    m.data["cells"].init = cell_init
+    return m, nodes
+
+
+REGIMES = {
+    "local": lambda: [LocalScheduling()],
+    "bernstein-rodeh": lambda: [BernsteinRodehScheduling()],
+    "global": lambda: [VLIWScheduling(software_pipelining=False)],
+    "global+pipelining": lambda: [VLIWScheduling(software_pipelining=True)],
+}
+
+
+def run_comparison():
+    reference, nodes = build()
+    ref = run_function(reference, "xlygetvalue", [100 + N - 1, nodes]).value
+    results = {}
+    for name, factory in REGIMES.items():
+        module, nodes = build()
+        PassManager(
+            factory() + [CopyPropagation(), DeadCodeElimination(), Straighten()]
+        ).run(module, PassContext(module))
+        verify_module(module)
+        run = run_function(
+            module, "xlygetvalue", [100 + N - 1, nodes], record_trace=True
+        )
+        assert run.value == ref
+        results[name] = time_trace(run.trace, RS6000).cycles / N
+    return results
+
+
+def test_e10_scheduler_comparison(benchmark):
+    results = benchmark.pedantic(run_comparison, iterations=1, rounds=1)
+
+    print()
+    print(f"{'regime':<20} {'cycles/iter':>12}")
+    for name, cyc in results.items():
+        print(f"{name:<20} {cyc:>12.2f}")
+        benchmark.extra_info[name] = round(cyc, 2)
+
+    # Shape: single-branch speculation already fills this loop's
+    # intra-iteration compare-to-branch gaps (it clearly beats
+    # local-only), and plain global scheduling matches it here — the
+    # decisive advantage of the paper's framework on a tight loop is the
+    # motion Bernstein-Rodeh structurally cannot do at all:
+    # cross-iteration software pipelining.
+    assert results["bernstein-rodeh"] < results["local"] - 2.0
+    assert abs(results["global"] - results["bernstein-rodeh"]) < 0.5
+    assert results["global+pipelining"] < results["bernstein-rodeh"] - 0.5

@@ -1,0 +1,59 @@
+"""E2 — compile-time and code-size cost of the VLIW pipeline.
+
+Paper: "Compared to the -O option of xlc, there was an average compile
+time increase of 36% and an average code size increase of 8% using
+static binding. The most time consuming transformation is VLIW
+scheduling."
+
+We measure both over the suite. Compile time rises by a large factor
+(the VLIW pipeline simply runs many more passes — the paper's 36% is
+relative to a full production compiler front end, which we don't model),
+and VLIW scheduling dominates the pass timings, as the paper states.
+Code size growth is larger than the paper's +8% because our workloads
+are all hot kernel, not full binaries (see EXPERIMENTS.md).
+"""
+
+from repro.pipeline import baseline_passes, compile_module, vliw_passes
+from repro.transforms.pass_manager import PassManager, PassContext
+from repro.workloads import suite
+
+
+def _compile_suite(level):
+    total_time = 0.0
+    total_size = 0
+    timings = {}
+    for wl in suite():
+        result = compile_module(wl.fresh_module(), level)
+        total_time += result.compile_seconds
+        total_size += result.static_instructions
+        for name, secs in result.pass_timings.items():
+            timings[name] = timings.get(name, 0.0) + secs
+    return total_time, total_size, timings
+
+
+def test_e2_compile_cost(benchmark):
+    base_time, base_size, _ = _compile_suite("base")
+    vliw_time, vliw_size, vliw_timings = benchmark.pedantic(
+        lambda: _compile_suite("vliw"), iterations=1, rounds=1
+    )
+
+    time_ratio = vliw_time / base_time
+    size_ratio = vliw_size / base_size
+    slowest = max(vliw_timings.items(), key=lambda kv: kv[1])
+
+    print()
+    print(f"compile time: base {base_time*1e3:.1f} ms, vliw {vliw_time*1e3:.1f} ms "
+          f"({time_ratio:.2f}x)")
+    print(f"code size:    base {base_size} instrs, vliw {vliw_size} instrs "
+          f"({size_ratio:.2f}x)")
+    print(f"most expensive pass: {slowest[0]} ({slowest[1]*1e3:.1f} ms)")
+
+    benchmark.extra_info["compile_time_ratio"] = round(time_ratio, 3)
+    benchmark.extra_info["code_size_ratio"] = round(size_ratio, 3)
+    benchmark.extra_info["slowest_pass"] = slowest[0]
+
+    # Shape: compiling costs more, the scheduler dominates, size growth
+    # is bounded.
+    assert time_ratio > 1.3
+    assert "sched" in slowest[0]
+    assert 1.0 < size_ratio < 3.0

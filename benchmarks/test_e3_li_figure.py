@@ -1,0 +1,105 @@
+"""E3 — the paper's xlygetvalue figure sequence (SPEC li inner loop).
+
+Paper: the original loop "executes at 11 cycles per iteration"; global
+scheduling within the (unrolled) loop body yields "14 cycles for 2
+iterations" (7/iter); adding software pipelining yields "10 cycles for 2
+iterations" (5/iter).
+
+Measured here on the verbatim loop against the RS/6000 model:
+baseline must hit the calibrated 11 cycles/iteration exactly; global
+scheduling must land near 7; pipelining must improve further (we reach
+~6.1 rather than the paper's 5 — the greedy rotation scheduler stops one
+overlap short of the hand schedule; see EXPERIMENTS.md).
+"""
+
+from repro.ir import parse_module, verify_module
+from repro.machine import RS6000, run_function, time_trace
+from repro.scheduling import VLIWScheduling
+from repro.transforms import CopyPropagation, DeadCodeElimination, Straighten
+from repro.transforms.pass_manager import PassContext, PassManager
+
+LI_LOOP = """
+data nodes: size=4096
+data cells: size=4096
+
+func xlygetvalue(r3, r8):
+loop:
+    L r4, 4(r8)
+    L r5, 4(r4)
+    C cr0, r5, r3
+    BT found, cr0.eq
+    L r8, 8(r8)
+    CI cr1, r8, 0
+    BF loop, cr1.eq
+endofchain:
+    LI r3, 0
+    RET
+found:
+    LR r3, r4
+    RET
+"""
+
+N = 100
+
+
+def build():
+    m = parse_module(LI_LOOP)
+    lay = m.layout()
+    nodes, cells = lay["nodes"], lay["cells"]
+    node_init = [0] * (3 * N)
+    cell_init = [0] * (2 * N)
+    for i in range(N):
+        node_init[3 * i + 1] = cells + 8 * i
+        node_init[3 * i + 2] = nodes + 12 * (i + 1) if i + 1 < N else 0
+        cell_init[2 * i + 1] = 100 + i
+    m.data["nodes"].init = node_init
+    m.data["cells"].init = cell_init
+    return m, nodes
+
+
+def cycles_per_iter(module, nodes):
+    r = run_function(module, "xlygetvalue", [100 + N - 1, nodes], record_trace=True)
+    return time_trace(r.trace, RS6000).cycles / N
+
+
+def compile_variant(software_pipelining):
+    m, nodes = build()
+    PassManager(
+        [
+            VLIWScheduling(unroll_factor=2, software_pipelining=software_pipelining),
+            CopyPropagation(),
+            DeadCodeElimination(),
+            Straighten(),
+        ]
+    ).run(m, PassContext(m))
+    verify_module(m)
+    return m, nodes
+
+
+def test_e3_li_figure(benchmark):
+    m0, nodes = build()
+    baseline = cycles_per_iter(m0, nodes)
+
+    def run_experiment():
+        mg, n1 = compile_variant(False)
+        mp, n2 = compile_variant(True)
+        return cycles_per_iter(mg, n1), cycles_per_iter(mp, n2)
+
+    global_cyc, pipe_cyc = benchmark.pedantic(run_experiment, iterations=1, rounds=1)
+
+    print()
+    print(f"original loop:        {baseline:.2f} cycles/iter (paper: 11)")
+    print(f"global scheduling:    {global_cyc:.2f} cycles/iter (paper: 14/2 = 7)")
+    print(f"+ software pipelining:{pipe_cyc:.2f} cycles/iter (paper: 10/2 = 5)")
+
+    benchmark.extra_info["baseline_cyc_per_iter"] = round(baseline, 2)
+    benchmark.extra_info["global_sched_cyc_per_iter"] = round(global_cyc, 2)
+    benchmark.extra_info["pipelined_cyc_per_iter"] = round(pipe_cyc, 2)
+
+    # Calibration: the original loop matches the paper exactly.
+    assert abs(baseline - 11.0) < 0.3
+    # Global scheduling reaches the paper's intermediate schedule.
+    assert abs(global_cyc - 7.0) < 0.5
+    # Pipelining improves strictly further, toward the paper's 5.
+    assert pipe_cyc < global_cyc
+    assert pipe_cyc < 6.8

@@ -1,0 +1,63 @@
+"""E4 — profiling directed feedback gain.
+
+Paper: the PDF optimisations (scheduling heuristics, basic block
+re-ordering, branch reversal) "have been implemented and result in a
+4-5% additional improvement on SPECint92 (using the short SPEC inputs
+for generating profiling data)".
+
+We train on each workload's short input and measure the reference input,
+exactly the paper's methodology. Expected shape: PDF improves the
+geomean over the plain VLIW level; benchmarks with skewed branches
+(compress's probe loop, gcc's dispatch) benefit most.
+"""
+
+import math
+
+from repro.evaluate import measure, reference_value, train_profile
+from repro.workloads import suite
+
+
+def _geomean(xs):
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def run_pdf_experiment():
+    rows = []
+    for wl in suite():
+        ref = reference_value(wl)
+        base = measure(wl, "base", check_against=ref)
+        vliw = measure(wl, "vliw", check_against=ref)
+        profile, plan = train_profile(wl)
+        pdf = measure(wl, "vliw", profile=profile, plan=plan, check_against=ref)
+        rows.append((wl.name, base.cycles, vliw.cycles, pdf.cycles))
+    return rows
+
+
+def test_e4_pdf_gain(benchmark):
+    rows = benchmark.pedantic(run_pdf_experiment, iterations=1, rounds=1)
+
+    print()
+    print(f"{'bench':<10} {'base':>8} {'vliw':>8} {'vliw+pdf':>9} {'vliw-spd':>9} {'pdf-spd':>8}")
+    vliw_speed, pdf_speed = [], []
+    for name, base, vliw, pdf in rows:
+        sv, sp = base / vliw, base / pdf
+        vliw_speed.append(sv)
+        pdf_speed.append(sp)
+        print(f"{name:<10} {base:>8} {vliw:>8} {pdf:>9} {sv:>9.3f} {sp:>8.3f}")
+    gv, gp = _geomean(vliw_speed), _geomean(pdf_speed)
+    print(f"geomean: vliw {gv:.3f}, vliw+pdf {gp:.3f} "
+          f"(pdf adds {100 * (gp / gv - 1):+.1f}%)")
+
+    benchmark.extra_info["vliw_geomean"] = round(gv, 4)
+    benchmark.extra_info["pdf_geomean"] = round(gp, 4)
+    benchmark.extra_info["pdf_additional_pct"] = round(100 * (gp / gv - 1), 2)
+
+    # Shape: PDF adds on top of VLIW overall (paper: +4-5%; we accept
+    # any positive addition up to 10%).
+    assert gp > gv
+    assert gp / gv < 1.10
+    # compress is the canonical PDF win: its low-trip probe loop stops
+    # being unrolled and flips from regression to gain.
+    by_name = {r[0]: r for r in rows}
+    _, cb, cv, cp = by_name["compress"]
+    assert cp < cv

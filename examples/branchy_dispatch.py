@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Pathlength reduction on branchy code: unspeculation + basic block
+expansion + prolog tailoring on the gcc-like dispatch kernel.
+
+The dispatch loop's cases all end in ``B bottom`` right behind a chain
+of conditional branches — the exact untaken-conditional-then-taken-
+unconditional pattern the paper's basic block expansion removes. The
+example shows the cycle/stall effect of each pathlength technique in
+isolation and combined.
+
+Run:  python examples/branchy_dispatch.py
+"""
+
+from repro.evaluate import measure, reference_value
+from repro.machine import RS6000, run_function, time_trace
+from repro.pipeline import compile_module
+from repro.workloads import workload_by_name
+
+
+def timing(module, workload):
+    run = run_function(
+        module, workload.entry, list(workload.args), record_trace=True,
+        max_steps=10_000_000,
+    )
+    return time_trace(run.trace, RS6000)
+
+
+def main() -> None:
+    workload = workload_by_name("gcc")
+    reference = reference_value(workload)
+    print(f"workload: {workload.name} — {workload.description}\n")
+
+    base = compile_module(workload.fresh_module(), "base")
+    base_rep = timing(base.module, workload)
+    print(f"{'configuration':<28} {'cycles':>8} {'uncond stalls':>14} {'speedup':>8}")
+    print(f"{'baseline':<28} {base_rep.cycles:>8} "
+          f"{base_rep.uncond_stall_cycles:>14} {1.0:>8.3f}")
+
+    variants = [
+        ("vliw, no expansion", ["bb-expansion"]),
+        ("vliw, no unspeculation", ["unspeculation"]),
+        ("vliw, no prolog tailoring", ["prolog-tailoring"]),
+        ("vliw (all techniques)", []),
+    ]
+    for label, disabled in variants:
+        compiled = compile_module(
+            workload.fresh_module(), "vliw", disable=disabled or None
+        )
+        rep = timing(compiled.module, workload)
+        value = run_function(
+            compiled.module, workload.entry, list(workload.args),
+            max_steps=10_000_000,
+        ).value
+        assert value == reference, f"miscompiled under {label}"
+        print(f"{label:<28} {rep.cycles:>8} {rep.uncond_stall_cycles:>14} "
+              f"{base_rep.cycles / rep.cycles:>8.3f}")
+
+    print()
+    print("Expansion removes the dispatch loop's unconditional-branch")
+    print("stalls; the full pipeline combines it with scheduling for the")
+    print("overall win — 'the synergy among them results in significant")
+    print("gains', as the paper puts it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The paper's running example: the SPEC li ``xlygetvalue`` list search.
+
+Reproduces the figure sequence from the paper:
+
+1. the original loop executes at 11 cycles per iteration on the
+   RS/6000 model (the paper's annotated cycle counts),
+2. unrolling + renaming + global scheduling reaches ~7 cycles/iteration
+   (the paper's "14 cycles for 2 iterations"),
+3. enhanced pipeline scheduling (software pipelining across the back
+   edge, with the pipeline prolog materialised as bookkeeping copies on
+   the loop entry edge) improves further toward the paper's
+   "10 cycles for 2 iterations".
+
+Run:  python examples/list_search.py
+"""
+
+from repro.ir import format_function, parse_module, verify_module
+from repro.machine import RS6000, run_function, time_trace
+from repro.scheduling import VLIWScheduling
+from repro.transforms import CopyPropagation, DeadCodeElimination, Straighten
+from repro.transforms.pass_manager import PassContext, PassManager
+
+LI_LOOP = """
+data nodes: size=4096
+data cells: size=4096
+
+func xlygetvalue(r3, r8):
+loop:
+    L r4, 4(r8)
+    L r5, 4(r4)
+    C cr0, r5, r3
+    BT found, cr0.eq
+    L r8, 8(r8)
+    CI cr1, r8, 0
+    BF loop, cr1.eq
+endofchain:
+    LI r3, 0
+    RET
+found:
+    LR r3, r4
+    RET
+"""
+
+N = 100
+
+
+def build_list_module():
+    """An N-node association list: node = [_, car -> cell, cdr]."""
+    module = parse_module(LI_LOOP)
+    layout = module.layout()
+    nodes, cells = layout["nodes"], layout["cells"]
+    node_init = [0] * (3 * N)
+    cell_init = [0] * (2 * N)
+    for i in range(N):
+        node_init[3 * i + 1] = cells + 8 * i
+        node_init[3 * i + 2] = nodes + 12 * (i + 1) if i + 1 < N else 0
+        cell_init[2 * i + 1] = 100 + i
+    module.data["nodes"].init = node_init
+    module.data["cells"].init = cell_init
+    return module, nodes
+
+
+def cycles_per_iteration(module, nodes):
+    run = run_function(
+        module, "xlygetvalue", [100 + N - 1, nodes], record_trace=True
+    )
+    return time_trace(run.trace, RS6000).cycles / N
+
+
+def main() -> None:
+    module, nodes = build_list_module()
+    print(f"searching a {N}-node list for the last element\n")
+    print(f"original loop:           {cycles_per_iteration(module, nodes):5.2f} "
+          "cycles/iter   (paper: 11)")
+
+    for pipelining, label, paper in (
+        (False, "global scheduling:      ", "(paper: 14/2 = 7)"),
+        (True, "+ software pipelining:  ", "(paper: 10/2 = 5)"),
+    ):
+        opt, nodes_opt = build_list_module()
+        PassManager(
+            [
+                VLIWScheduling(unroll_factor=2, software_pipelining=pipelining),
+                CopyPropagation(),
+                DeadCodeElimination(),
+                Straighten(),
+            ]
+        ).run(opt, PassContext(opt))
+        verify_module(opt)
+        print(f"{label} {cycles_per_iteration(opt, nodes_opt):5.2f} "
+              f"cycles/iter   {paper}")
+        if pipelining:
+            print("\npipelined loop (note the next iteration's loads rotated")
+            print("above the back-edge branch, and the prolog before `loop`):\n")
+            print(format_function(opt.functions["xlygetvalue"]))
+
+
+if __name__ == "__main__":
+    main()

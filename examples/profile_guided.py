@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's two-pass profiling directed feedback (PDF) workflow.
+
+Pass 1: the compiler plans a *subset* of basic blocks to count (just
+enough for every edge count to be uniquely recoverable), inserts real
+counting instructions — one ``AI`` per counted block inside loops, with
+the counter loads/stores migrated to preheaders/exits — and the program
+runs on a short *training* input.
+
+Pass 2: the counts are read back from the counts table, the full edge
+profile is recovered by constraint propagation, and the compiler reuses
+it for scheduling heuristics, basic-block re-ordering, branch reversal,
+and unroll decisions. The recompiled program then runs on the reference
+input.
+
+Run:  python examples/profile_guided.py
+"""
+
+from repro.evaluate import measure, reference_value
+from repro.machine import RS6000
+from repro.pdf import collect_profile, plan_instrumentation
+from repro.pdf.instrument import instrumentation_overhead
+from repro.workloads import workload_by_name
+
+
+def main() -> None:
+    # compress is the paper's poster child for feedback: its hash-probe
+    # loop rarely iterates, so static unrolling hurts — the profile
+    # reveals that.
+    workload = workload_by_name("compress")
+    reference = reference_value(workload)
+    print(f"workload: {workload.name} — {workload.description}")
+    print(f"training input {workload.train_args}, reference input {workload.args}\n")
+
+    # --- pass 1: plan, instrument, train ---------------------------------
+    module = workload.fresh_module()
+    plan = plan_instrumentation(module)
+    counted = sum(len(v) for v in plan.counted.values())
+    total = sum(len(fn.blocks) for fn in module.functions.values())
+    print(f"instrumentation plan: counting {counted} of {total} basic blocks")
+
+    profile, plan = collect_profile(
+        module, workload.entry, [workload.train_args], plan=plan
+    )
+    hot = sorted(profile.edge_counts.items(), key=lambda kv: -kv[1])[:5]
+    print("hottest edges from the training run:")
+    for (fn, src, dst), count in hot:
+        print(f"    {fn}: {src} -> {dst}  x{count}")
+    print()
+
+    # --- pass 2: recompile with feedback ---------------------------------
+    base = measure(workload, "base", RS6000, check_against=reference)
+    vliw = measure(workload, "vliw", RS6000, check_against=reference)
+    pdf = measure(
+        workload, "vliw", RS6000, profile=profile, plan=plan, check_against=reference
+    )
+
+    print(f"{'level':<14} {'cycles':>8} {'speedup':>8}")
+    print(f"{'baseline':<14} {base.cycles:>8} {1.0:>8.3f}")
+    print(f"{'vliw':<14} {vliw.cycles:>8} {base.cycles / vliw.cycles:>8.3f}")
+    print(f"{'vliw + pdf':<14} {pdf.cycles:>8} {base.cycles / pdf.cycles:>8.3f}")
+    print()
+    print("PDF turns the static regression on this branchy, low-trip-count")
+    print("workload into a win, exactly the paper's argument for feedback.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a reproduction of "VLIW Compilation Techniques in a
+Superscalar Environment" (Ebcioglu, Groves, Kim, Silberman, Ziv;
+PLDI 1994).
+
+The package implements, from scratch:
+
+- a POWER-flavoured register IR with parser/printer (:mod:`repro.ir`),
+- the dataflow/structural analyses the paper's passes need
+  (:mod:`repro.analysis`),
+- a functional interpreter and a calibrated in-order superscalar timing
+  model standing in for RS/6000-class hardware (:mod:`repro.machine`),
+- the paper's transformations: speculative load/store motion out of
+  loops, unspeculation, limited combining, basic block expansion,
+  prolog tailoring (:mod:`repro.transforms`); unrolling, live-range
+  renaming, local/global scheduling and enhanced pipeline scheduling
+  (:mod:`repro.scheduling`),
+- low-overhead profiling directed feedback (:mod:`repro.pdf`),
+- SPECint92-like synthetic workloads (:mod:`repro.workloads`), and the
+  baseline/VLIW compilation pipelines plus measurement harness
+  (:mod:`repro.pipeline`, :mod:`repro.evaluate`).
+
+Quickstart::
+
+    from repro.workloads import workload_by_name
+    from repro.evaluate import measure, reference_value
+
+    wl = workload_by_name("li")
+    ref = reference_value(wl)
+    base = measure(wl, "base", check_against=ref)
+    vliw = measure(wl, "vliw", check_against=ref)
+    print(base.cycles, "->", vliw.cycles)
+"""
+
+__version__ = "1.0.0"
+
+from repro.pipeline import CompileResult, compile_module
+from repro.evaluate import (
+    Measurement,
+    SpecRow,
+    format_spec_table,
+    geomean_speedup,
+    measure,
+    reference_value,
+    specint_table,
+    train_profile,
+)
+
+__all__ = [
+    "CompileResult",
+    "Measurement",
+    "SpecRow",
+    "__version__",
+    "compile_module",
+    "format_spec_table",
+    "geomean_speedup",
+    "measure",
+    "reference_value",
+    "specint_table",
+    "train_profile",
+]

@@ -1,0 +1,213 @@
+"""Command-line interface: compile, run, time and benchmark IR files.
+
+Examples::
+
+    python -m repro compile prog.ir --level vliw         # print optimised IR
+    python -m repro run prog.ir --entry main --args 5,7  # interpret
+    python -m repro time prog.ir --entry main --args 5 --model rs6000
+    python -m repro bench                                # SPECint-style table
+    python -m repro bench --pdf                          # with feedback
+"""
+
+import argparse
+import sys
+from typing import List
+
+from repro.evaluate import (
+    format_spec_table,
+    geomean_speedup,
+    measure,
+    reference_value,
+    specint_table,
+    train_profile,
+)
+from repro.ir import format_module, parse_module, verify_module
+from repro.machine import run_function, time_trace
+from repro.machine.model import PRESETS, RS6000
+from repro.pipeline import compile_module
+from repro.workloads import suite
+
+
+def _load(path: str):
+    with open(path) as handle:
+        module = parse_module(handle.read())
+    verify_module(module)
+    return module
+
+
+def _parse_args_list(text: str) -> List[int]:
+    return [int(v, 0) for v in text.split(",")] if text else []
+
+
+def cmd_compile(args) -> int:
+    module = _load(args.file)
+    profile = plan = None
+    if args.profile:
+        profile, plan = _read_profile_file(args.profile)
+    result = compile_module(module, args.level, profile=profile, plan=plan)
+    print(format_module(result.module))
+    print(
+        f"# {args.level}: {result.static_instructions} instructions, "
+        f"compiled in {result.compile_seconds * 1e3:.1f} ms"
+        + (" (profile-guided)" if profile else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Pass 1 of PDF: instrument, run on training args, write the file."""
+    import json
+
+    from repro.pdf import collect_profile
+
+    module = _load(args.file)
+    runs = [tuple(_parse_args_list(a)) for a in (args.args or [""])]
+    profile, plan = collect_profile(module, args.entry, runs)
+    payload = json.dumps(
+        {
+            "profile": json.loads(profile.to_json()),
+            "plan": json.loads(plan.to_json()),
+        },
+        indent=1,
+    )
+    with open(args.output, "w") as handle:
+        handle.write(payload)
+    counted = sum(len(v) for v in plan.counted.values())
+    print(
+        f"# wrote {args.output}: {counted} counted blocks, "
+        f"{len(profile.edge_counts)} edges recovered",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _read_profile_file(path: str):
+    import json
+
+    from repro.pdf.instrument import InstrumentationPlan
+    from repro.pdf.profile import ProfileData
+
+    with open(path) as handle:
+        raw = json.load(handle)
+    profile = ProfileData.from_json(json.dumps(raw["profile"]))
+    plan = InstrumentationPlan.from_json(json.dumps(raw["plan"]))
+    return profile, plan
+
+
+def cmd_run(args) -> int:
+    module = _load(args.file)
+    if args.level != "none":
+        module = compile_module(module, args.level).module
+    result = run_function(
+        module,
+        args.entry,
+        _parse_args_list(args.args),
+        max_steps=args.max_steps,
+    )
+    if result.output:
+        for value in result.output:
+            print(value)
+    print(f"# returned {result.value} after {result.steps} instructions",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_time(args) -> int:
+    module = _load(args.file)
+    model = PRESETS[args.model]
+    for level in args.levels.split(","):
+        compiled = compile_module(module, level) if level != "none" else None
+        target = compiled.module if compiled else module
+        run = run_function(
+            target,
+            args.entry,
+            _parse_args_list(args.args),
+            record_trace=True,
+            max_steps=args.max_steps,
+        )
+        report = time_trace(run.trace, model)
+        print(
+            f"{level:<6} {report.cycles:>10} cycles  "
+            f"{report.instructions:>10} instrs  ipc {report.ipc:.2f}  "
+            f"-> {run.value}"
+        )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    model = PRESETS[args.model]
+    if not args.pdf:
+        rows = specint_table(model=model)
+        print(format_spec_table(rows))
+        return 0
+    print(f"{'bench':<10} {'base':>8} {'vliw':>8} {'vliw+pdf':>9}")
+    for wl in suite():
+        ref = reference_value(wl)
+        base = measure(wl, "base", model, check_against=ref)
+        vliw = measure(wl, "vliw", model, check_against=ref)
+        profile, plan = train_profile(wl)
+        pdf = measure(
+            wl, "vliw", model, profile=profile, plan=plan, check_against=ref
+        )
+        print(f"{wl.name:<10} {base.cycles:>8} {vliw.cycles:>8} {pdf.cycles:>9}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VLIW compilation techniques in a superscalar environment "
+        "(PLDI 1994) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile an IR file and print it")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--level", choices=("base", "vliw"), default="vliw")
+    p_compile.add_argument(
+        "--profile", help="profile file from `repro profile` (enables PDF)"
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_profile = sub.add_parser(
+        "profile", help="PDF pass 1: instrument, run training input, write profile"
+    )
+    p_profile.add_argument("file")
+    p_profile.add_argument("--entry", default="main")
+    p_profile.add_argument(
+        "--args",
+        action="append",
+        help="training argument list, repeatable (e.g. --args 5,7 --args 9)",
+    )
+    p_profile.add_argument("--output", "-o", default="repro.prof")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_run = sub.add_parser("run", help="interpret a function")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="main")
+    p_run.add_argument("--args", default="")
+    p_run.add_argument("--level", choices=("none", "base", "vliw"), default="none")
+    p_run.add_argument("--max-steps", type=int, default=10_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_time = sub.add_parser("time", help="cycle counts on a machine model")
+    p_time.add_argument("file")
+    p_time.add_argument("--entry", default="main")
+    p_time.add_argument("--args", default="")
+    p_time.add_argument("--levels", default="none,base,vliw")
+    p_time.add_argument("--model", choices=sorted(PRESETS), default="rs6000")
+    p_time.add_argument("--max-steps", type=int, default=10_000_000)
+    p_time.set_defaults(func=cmd_time)
+
+    p_bench = sub.add_parser("bench", help="run the SPECint-style suite")
+    p_bench.add_argument("--model", choices=sorted(PRESETS), default="rs6000")
+    p_bench.add_argument("--pdf", action="store_true", help="include PDF column")
+    p_bench.set_defaults(func=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Dataflow and structural analyses over the IR.
+
+These are the substrate analyses every pass in the paper relies on:
+reverse-postorder enumeration (unspeculation step 1, PDF re-ordering),
+dominators/postdominators, liveness (unspeculation's dead-register
+condition, renaming), natural loops (load/store motion, pipelining),
+single-entry/single-exit regions (unspeculation's "groups"), memory
+disambiguation (the Bulldog-style reference analysis) and dependence
+DAGs (scheduling).
+"""
+
+from repro.analysis.cfg import (
+    depth_first_order,
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+)
+from repro.analysis.dominators import Dominators, compute_dominators, compute_postdominators
+from repro.analysis.liveness import Liveness, compute_liveness, live_after_instr
+from repro.analysis.loops import Loop, find_natural_loops
+from repro.analysis.regions import consecutive_sese_groups
+from repro.analysis.alias import MemoryModel, MemRef
+from repro.analysis.dependence import DependenceDAG, build_dag
+
+__all__ = [
+    "DependenceDAG",
+    "Dominators",
+    "Liveness",
+    "Loop",
+    "MemRef",
+    "MemoryModel",
+    "build_dag",
+    "compute_dominators",
+    "compute_liveness",
+    "compute_postdominators",
+    "consecutive_sese_groups",
+    "depth_first_order",
+    "find_natural_loops",
+    "live_after_instr",
+    "postorder",
+    "reachable_blocks",
+    "reverse_postorder",
+]

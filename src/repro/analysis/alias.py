@@ -1,0 +1,264 @@
+"""Memory disambiguation ("advanced memory disambiguation techniques ...
+enhancements of those used in the Bulldog compiler").
+
+Two complementary mechanisms, both matching what the paper's conditions
+need:
+
+1. **Base-register provenance.** A register with exactly one definition in
+   the function, whose value chains back to ``LA symbol`` (possibly via
+   ``LR`` copies and ``AI`` constant offsets) or ``LI``, denotes a known
+   region. References into *different* data symbols never alias; two
+   references into the same symbol alias only when their byte ranges
+   overlap. This resolves the paper's canonical pattern — the base loaded
+   from the TOC in the loop preheader.
+
+2. **Same-base displacement rule.** Two references through the *same*
+   single-definition base register with displacements at least a word
+   apart are disjoint even when the region itself is unknown.
+
+Everything else conservatively may-alias. Volatile objects are tracked so
+that load/store motion can refuse them (condition 3 of the paper's
+load/store motion rule).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+from repro.ir.operands import Reg
+
+WORD = 4
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """An abstract memory reference: region plus byte offset.
+
+    ``offset`` is the base register's resolved offset within ``symbol``,
+    or None when the base provably stays within the symbol but at an
+    unknown offset (an induction pointer walking an array).
+    """
+
+    base: Reg
+    disp: int
+    symbol: Optional[str] = None  # known data object, if resolved
+    offset: Optional[int] = 0  # base offset within symbol; None = unknown
+    single_def_base: bool = False
+
+    @property
+    def resolved(self) -> bool:
+        return self.symbol is not None
+
+    @property
+    def addr_in_symbol(self) -> Optional[int]:
+        if self.symbol is None or self.offset is None:
+            return None
+        return self.offset + self.disp
+
+
+class MemoryModel:
+    """Per-function memory disambiguation against a module's data."""
+
+    def __init__(self, fn: Function, module: Optional[Module] = None):
+        self.fn = fn
+        self.module = module
+        self._def_counts: Dict[Reg, int] = {}
+        self._single_defs: Dict[Reg, Instr] = {}
+        self._provenance: Dict[Reg, Tuple[str, int]] = {}
+        self._summaries = None
+        self._analyze()
+
+    @property
+    def summaries(self):
+        """Inter-procedural call-effect summaries (lazy, module-wide)."""
+        if self._summaries is None and self.module is not None:
+            from repro.analysis.summaries import compute_summaries
+
+            self._summaries = compute_summaries(self.module)
+        return self._summaries or {}
+
+    # -- analysis ---------------------------------------------------------
+
+    def _analyze(self) -> None:
+        counts: Dict[Reg, int] = {}
+        single: Dict[Reg, Instr] = {}
+        for instr in self.fn.instructions():
+            for reg in instr.defs():
+                counts[reg] = counts.get(reg, 0) + 1
+                if counts[reg] == 1:
+                    single[reg] = instr
+                else:
+                    single.pop(reg, None)
+        # Parameters count as an (external) definition.
+        for reg in self.fn.params:
+            counts[reg] = counts.get(reg, 0) + 1
+            single.pop(reg, None)
+        self._def_counts = counts
+        self._single_defs = single
+
+        # Resolve LA/LR/AI chains over single-def registers to
+        # (symbol, offset). Iterate to a fixed point (chains are short).
+        prov: Dict[Reg, Tuple[str, int]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for reg, instr in single.items():
+                if reg in prov:
+                    continue
+                resolved: Optional[Tuple[str, int]] = None
+                if instr.opcode == "LA":
+                    resolved = (instr.symbol, 0)
+                elif instr.opcode == "LR" and instr.ra in prov:
+                    resolved = prov[instr.ra]
+                elif instr.opcode == "AI" and instr.ra in prov:
+                    sym, off = prov[instr.ra]
+                    resolved = (sym, off + instr.imm)
+                if resolved is not None:
+                    prov[reg] = resolved
+                    changed = True
+        self._provenance = prov
+
+        # Region pointers at unknown offsets: a register whose every
+        # definition keeps it inside one data object — region roots
+        # (``LA sym``, copies of resolved registers), self-translations
+        # (``AI r, r, imm``; LU/STU base updates), and index arithmetic
+        # adding an arbitrary value to a pointer already known to be in
+        # the object (``A rd, ptr, idx``). The last rule is the
+        # Bulldog-style type-safety assumption: a pointer derived from an
+        # array stays within that array. Computed to a fixed point so
+        # pointer-of-pointer chains resolve.
+        roaming: Dict[Reg, str] = {}
+        defs_by_reg: Dict[Reg, List[Instr]] = {}
+        for instr in self.fn.instructions():
+            for reg in instr.defs():
+                defs_by_reg.setdefault(reg, []).append(instr)
+
+        def region_of(reg: Optional[Reg]) -> Optional[str]:
+            if reg is None:
+                return None
+            if reg in prov:
+                return prov[reg][0]
+            return roaming.get(reg)
+
+        changed = True
+        while changed:
+            changed = False
+            for reg, defs in defs_by_reg.items():
+                if reg in prov or reg in roaming or reg in self.fn.params:
+                    continue
+                root_symbol: Optional[str] = None
+                ok = True
+                for instr in defs:
+                    symbol: Optional[str] = None
+                    if instr.opcode == "LA" and instr.rd == reg:
+                        symbol = instr.symbol
+                    elif instr.opcode == "AI" and instr.rd == reg and instr.ra == reg:
+                        continue  # self-translation
+                    elif (
+                        instr.opcode in ("LU", "STU")
+                        and instr.base == reg
+                        and instr.rd != reg
+                    ):
+                        continue  # base update is a self-translation
+                    elif instr.opcode == "LR" and instr.rd == reg:
+                        symbol = region_of(instr.ra)
+                    elif instr.opcode == "A" and instr.rd == reg:
+                        ra_sym = region_of(instr.ra)
+                        rb_sym = region_of(instr.rb)
+                        if (ra_sym is None) == (rb_sym is None):
+                            ok = False  # zero or two pointer operands
+                            break
+                        symbol = ra_sym or rb_sym
+                    else:
+                        ok = False
+                        break
+                    if symbol is None:
+                        ok = False
+                        break
+                    if root_symbol is None:
+                        root_symbol = symbol
+                    elif root_symbol != symbol:
+                        ok = False
+                        break
+                if ok and root_symbol is not None:
+                    roaming[reg] = root_symbol
+                    changed = True
+        self._roaming = roaming
+
+    # -- queries ---------------------------------------------------------
+
+    def is_single_def(self, reg: Reg) -> bool:
+        return self._def_counts.get(reg, 0) == 1 and reg in self._single_defs
+
+    def single_def_of(self, reg: Reg) -> Optional[Instr]:
+        """The unique defining instruction of ``reg``, if there is one."""
+        return self._single_defs.get(reg) if self.is_single_def(reg) else None
+
+    def memref(self, instr: Instr) -> MemRef:
+        """The abstract reference of a load or store."""
+        if not instr.is_memory:
+            raise ValueError(f"not a memory instruction: {instr}")
+        base = instr.base
+        single = self.is_single_def(base)
+        prov = self._provenance.get(base) if single else None
+        if prov is not None:
+            return MemRef(base, instr.disp, prov[0], prov[1], True)
+        roaming = self._roaming.get(base)
+        if roaming is not None:
+            return MemRef(base, instr.disp, roaming, None, False)
+        return MemRef(base, instr.disp, None, 0, single)
+
+    def may_alias(self, a: MemRef, b: MemRef) -> bool:
+        """Conservative may-alias between two references."""
+        if a.resolved and b.resolved:
+            if a.symbol != b.symbol:
+                return False
+            addr_a, addr_b = a.addr_in_symbol, b.addr_in_symbol
+            if addr_a is None or addr_b is None:
+                return True  # same object, at least one unknown offset
+            return abs(addr_a - addr_b) < WORD
+        if a.resolved != b.resolved:
+            # One side is a known data object; an unresolved reference may
+            # still point anywhere, including into that object.
+            return True
+        # Both unresolved: the same-base displacement rule.
+        if a.base == b.base and a.single_def_base and b.single_def_base:
+            return abs(a.disp - b.disp) < WORD
+        return True
+
+    def instr_may_alias(self, x: Instr, y: Instr) -> bool:
+        return self.may_alias(self.memref(x), self.memref(y))
+
+    def is_volatile_ref(self, instr: Instr) -> bool:
+        """Volatile if flagged on the instruction or targeting volatile data."""
+        if instr.is_volatile:
+            return True
+        if self.module is None or not instr.is_memory:
+            return False
+        ref = self.memref(instr)
+        if ref.symbol is not None:
+            obj = self.module.data.get(ref.symbol)
+            return obj is not None and obj.volatile
+        return False
+
+    def provably_safe(self, instr: Instr) -> bool:
+        """True when the access provably stays inside a known data object.
+
+        This is the paper's condition 5(a): the base register holds "the
+        address constant of an external variable of sufficient size", so
+        executing the access speculatively can never fault.
+        """
+        if self.module is None:
+            return False
+        ref = self.memref(instr)
+        if ref.symbol is None:
+            return False
+        obj = self.module.data.get(ref.symbol)
+        if obj is None:
+            return False
+        addr = ref.addr_in_symbol
+        if addr is None:
+            return False  # inside the object, but at an unknown offset
+        return 0 <= addr and addr + WORD <= obj.size

@@ -1,0 +1,97 @@
+"""CFG traversal orders.
+
+The paper uses two enumerations explicitly:
+
+- *reverse post-order* for unspeculation's physical block re-ordering
+  (step 1 of the algorithm), which lays SESE constructs out consecutively;
+- a *most-frequent-successor-first depth-first order* for PDF basic block
+  re-ordering, which straightens the hot path.
+"""
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+def reachable_blocks(fn: Function) -> Set[str]:
+    """Labels of blocks reachable from the entry."""
+    seen: Set[str] = set()
+    stack = [fn.entry]
+    while stack:
+        bb = stack.pop()
+        if bb.label in seen:
+            continue
+        seen.add(bb.label)
+        stack.extend(fn.successors(bb))
+    return seen
+
+
+def postorder(fn: Function) -> List[BasicBlock]:
+    """Postorder over reachable blocks (iterative, deterministic)."""
+    seen: Set[str] = set()
+    order: List[BasicBlock] = []
+    # Stack holds (block, successor iterator index) frames.
+    stack = [(fn.entry, 0)]
+    seen.add(fn.entry.label)
+    succs_cache: Dict[str, List[BasicBlock]] = {}
+    while stack:
+        block, idx = stack[-1]
+        succs = succs_cache.get(block.label)
+        if succs is None:
+            succs = fn.successors(block)
+            succs_cache[block.label] = succs
+        if idx < len(succs):
+            stack[-1] = (block, idx + 1)
+            nxt = succs[idx]
+            if nxt.label not in seen:
+                seen.add(nxt.label)
+                stack.append((nxt, 0))
+        else:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Reverse postorder over reachable blocks (entry first)."""
+    return list(reversed(postorder(fn)))
+
+
+def depth_first_order(
+    fn: Function,
+    successor_priority: Optional[Callable[[BasicBlock, BasicBlock], float]] = None,
+) -> List[BasicBlock]:
+    """Pre-order DFS; at each block the highest-priority successor is
+    visited first (PDF re-ordering passes edge frequencies as priority).
+
+    Without a priority function the taken target is preferred, matching
+    the paper's default static ordering.
+    """
+    seen: Set[str] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [block]
+        while stack:
+            bb = stack.pop()
+            if bb.label in seen:
+                continue
+            seen.add(bb.label)
+            order.append(bb)
+            succs = [s for s in fn.successors(bb) if s.label not in seen]
+            if successor_priority is not None:
+                succs.sort(key=lambda s: successor_priority(bb, s))
+            else:
+                succs.reverse()
+            # Highest priority must be popped first.
+            stack.extend(succs)
+
+    visit(fn.entry)
+    # Unreachable blocks keep their relative order at the end so that the
+    # re-ordering passes do not lose them before unreachable-code removal.
+    for bb in fn.blocks:
+        if bb.label not in seen:
+            seen.add(bb.label)
+            order.append(bb)
+    return order

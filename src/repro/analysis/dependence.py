@@ -1,0 +1,163 @@
+"""Dependence DAG construction for instruction scheduling.
+
+Builds the data/memory/control dependence graph over a straight-line
+instruction sequence (a basic block, or a linearised region). Edge
+latencies come from the machine model so list scheduling can honour
+load-use and compare-to-branch distances.
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.instructions import Instr
+from repro.analysis.alias import MemoryModel
+from repro.machine.libcalls import call_effects
+from repro.machine.model import MachineModel, RS6000
+
+
+class DependenceDAG:
+    """Dependences over ``instrs``; node ids are list indices."""
+
+    def __init__(self, instrs: List[Instr]):
+        self.instrs = instrs
+        n = len(instrs)
+        self.succs: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self.preds: List[Set[int]] = [set() for _ in range(n)]
+
+    def add_edge(self, src: int, dst: int, latency: int) -> None:
+        if src == dst:
+            return
+        current = self.succs[src].get(dst)
+        if current is None or latency > current:
+            self.succs[src][dst] = latency
+        self.preds[dst].add(src)
+
+    def critical_heights(self) -> List[int]:
+        """Longest path (by latency) from each node to any sink."""
+        n = len(self.instrs)
+        heights = [0] * n
+        for i in range(n - 1, -1, -1):
+            best = 0
+            for j, lat in self.succs[i].items():
+                cand = lat + heights[j]
+                if cand > best:
+                    best = cand
+            heights[i] = best
+        return heights
+
+    def topological_check(self) -> bool:
+        """Edges must all point forward (construction guarantees it)."""
+        return all(all(j > i for j in self.succs[i]) for i in range(len(self.instrs)))
+
+
+def _producer_latency(producer: Instr, consumer: Instr, model: MachineModel) -> int:
+    if producer.is_load:
+        return model.load_latency
+    if producer.is_compare and consumer.is_cond_branch:
+        return model.cmp_to_branch
+    if producer.opcode == "MTCTR" and consumer.opcode == "BCT":
+        return model.ctr_to_branch
+    return model.alu_latency
+
+
+def _is_memory_barrier(instr: Instr, memory: Optional[MemoryModel] = None) -> bool:
+    """Calls whose memory behaviour we cannot bound order all memory ops."""
+    if not instr.is_call:
+        return False
+    effects = call_effects(instr.symbol)
+    if effects is not None:
+        return effects.reads_memory or effects.writes_memory or effects.is_io
+    # Internal callee: consult the inter-procedural summary; a provably
+    # memory-silent function does not order memory operations.
+    if memory is not None:
+        summary = memory.summaries.get(instr.symbol)
+        if summary is not None and summary.is_memory_silent:
+            return False
+    return True  # unknown callee: full barrier
+
+
+def build_dag(
+    instrs: List[Instr],
+    memory: Optional[MemoryModel] = None,
+    model: MachineModel = RS6000,
+) -> DependenceDAG:
+    """Dependence DAG over ``instrs`` (program order preserved by edges)."""
+    dag = DependenceDAG(instrs)
+    last_def: Dict = {}
+    uses_since_def: Dict = {}
+    open_stores: List[int] = []
+    open_loads: List[int] = []
+    last_barrier: Optional[int] = None
+    last_ordered: Optional[int] = None  # calls/volatile: totally ordered
+
+    def may_alias(i: int, j: int) -> bool:
+        a, b = instrs[i], instrs[j]
+        if memory is None:
+            return True
+        return memory.instr_may_alias(a, b)
+
+    for i, instr in enumerate(instrs):
+        # Register dependences.
+        for reg in instr.uses():
+            if reg in last_def:
+                src = last_def[reg]
+                dag.add_edge(src, i, _producer_latency(instrs[src], instr, model))
+        for reg in instr.defs():
+            if reg in last_def:
+                dag.add_edge(last_def[reg], i, 1)  # WAW
+            for use_idx in uses_since_def.get(reg, ()):
+                dag.add_edge(use_idx, i, 0)  # WAR
+        for reg in instr.uses():
+            uses_since_def.setdefault(reg, []).append(i)
+        for reg in instr.defs():
+            last_def[reg] = i
+            uses_since_def[reg] = []
+
+        # Memory and side-effect ordering.
+        volatile = instr.is_volatile or (
+            memory is not None and instr.is_memory and memory.is_volatile_ref(instr)
+        )
+        barrier = _is_memory_barrier(instr, memory)
+        io_like = barrier or volatile or (instr.is_call and call_effects(instr.symbol) is None)
+
+        if instr.is_store or barrier:
+            for j in open_loads:
+                if barrier or may_alias(j, i):
+                    dag.add_edge(j, i, 0)  # WAR on memory
+            for j in open_stores:
+                if barrier or may_alias(j, i):
+                    dag.add_edge(j, i, 1)  # WAW on memory
+        if instr.is_load or barrier:
+            for j in open_stores:
+                if barrier or may_alias(j, i):
+                    dag.add_edge(j, i, 1)  # RAW through memory
+
+        if last_barrier is not None and (instr.is_memory or instr.is_call):
+            dag.add_edge(last_barrier, i, 1)
+        if io_like and last_ordered is not None:
+            dag.add_edge(last_ordered, i, 1)
+
+        if instr.is_store:
+            open_stores.append(i)
+        if instr.is_load:
+            open_loads.append(i)
+        if barrier:
+            # Ops after the barrier order against it via last_barrier; the
+            # open lists restart (their members already got edges to i).
+            last_barrier = i
+            open_stores = []
+            open_loads = []
+        if io_like:
+            last_ordered = i
+
+        # Control: a terminator stays after everything before it.
+        if instr.is_terminator:
+            for j in range(i):
+                if i not in dag.succs[j]:
+                    latency = _producer_latency(instrs[j], instr, model)
+                    needed = (
+                        latency
+                        if any(reg in instrs[j].defs() for reg in instr.uses())
+                        else 0
+                    )
+                    dag.add_edge(j, i, needed)
+    return dag

@@ -1,0 +1,132 @@
+"""Dominator and postdominator analysis (iterative set-based).
+
+Functions in this system are small (tens of blocks), so the simple
+O(n^2) iterative dataflow formulation is plenty fast and easy to trust.
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.analysis.cfg import reachable_blocks, reverse_postorder
+
+
+class Dominators:
+    """Dominator sets plus convenience queries, keyed by block label."""
+
+    def __init__(self, dom: Dict[str, Set[str]], entry_label: str):
+        self._dom = dom
+        self.entry_label = entry_label
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        return a in self._dom.get(b, set())
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominators_of(self, label: str) -> Set[str]:
+        return set(self._dom.get(label, set()))
+
+    def immediate_dominator(self, label: str) -> Optional[str]:
+        """The unique closest strict dominator, or None for the entry."""
+        strict = self._dom.get(label, set()) - {label}
+        # The idom is the strict dominator dominated by all other strict
+        # dominators.
+        for cand in strict:
+            if all(self.dominates(other, cand) for other in strict):
+                return cand
+        return None
+
+
+def _iterative_dominators(
+    nodes: List[BasicBlock],
+    entry: BasicBlock,
+    preds_of,
+) -> Dict[str, Set[str]]:
+    labels = [bb.label for bb in nodes]
+    all_labels = set(labels)
+    dom: Dict[str, Set[str]] = {label: set(all_labels) for label in labels}
+    dom[entry.label] = {entry.label}
+    changed = True
+    while changed:
+        changed = False
+        for bb in nodes:
+            if bb.label == entry.label:
+                continue
+            preds = [p for p in preds_of(bb) if p.label in all_labels]
+            if preds:
+                new = set(all_labels)
+                for p in preds:
+                    new &= dom[p.label]
+            else:
+                new = set()
+            new.add(bb.label)
+            if new != dom[bb.label]:
+                dom[bb.label] = new
+                changed = True
+    return dom
+
+
+def compute_dominators(fn: Function) -> Dominators:
+    """Dominator sets for all reachable blocks."""
+    nodes = reverse_postorder(fn)
+    preds = fn.predecessor_map()
+    reachable = reachable_blocks(fn)
+
+    def preds_of(bb: BasicBlock) -> List[BasicBlock]:
+        return [p for p in preds[bb.label] if p.label in reachable]
+
+    dom = _iterative_dominators(nodes, fn.entry, preds_of)
+    return Dominators(dom, fn.entry.label)
+
+
+def compute_postdominators(fn: Function) -> Dominators:
+    """Postdominator sets, using a virtual exit joining all RET blocks.
+
+    Blocks that cannot reach any RET (infinite loops) postdominate
+    nothing useful; they are given empty sets.
+    """
+    reachable = reachable_blocks(fn)
+    nodes = [bb for bb in fn.blocks if bb.label in reachable]
+    exits = [bb for bb in nodes if bb.terminator is not None and bb.terminator.is_return]
+    if not exits:
+        return Dominators({bb.label: set() for bb in nodes}, "<none>")
+
+    # Reverse CFG with a virtual exit.
+    succs = {bb.label: [s for s in fn.successors(bb) if s.label in reachable] for bb in nodes}
+    virtual = "<exit>"
+    rev_preds: Dict[str, List[str]] = {bb.label: [] for bb in nodes}
+    rev_preds[virtual] = [bb.label for bb in exits]
+    for bb in nodes:
+        for s in succs[bb.label]:
+            rev_preds.setdefault(bb.label, [])
+    # rev edge: b -> p for each CFG edge p -> b; i.e. preds in reverse CFG
+    # of node n are its CFG successors (plus virtual for RET blocks).
+    label_to_block = {bb.label: bb for bb in nodes}
+
+    all_labels = {bb.label for bb in nodes} | {virtual}
+    pdom: Dict[str, Set[str]] = {label: set(all_labels) for label in all_labels}
+    pdom[virtual] = {virtual}
+    changed = True
+    while changed:
+        changed = False
+        for bb in nodes:
+            label = bb.label
+            rsuccs = [s.label for s in succs[label]]
+            if bb.terminator is not None and bb.terminator.is_return:
+                rsuccs.append(virtual)
+            if rsuccs:
+                new = set(all_labels)
+                for s in rsuccs:
+                    new &= pdom[s]
+            else:
+                new = set()
+            new.add(label)
+            if new != pdom[label]:
+                pdom[label] = new
+                changed = True
+    pdom.pop(virtual, None)
+    for label in pdom:
+        pdom[label].discard(virtual)
+    return Dominators(pdom, virtual)

@@ -1,0 +1,121 @@
+"""Register liveness (backward dataflow).
+
+Unspeculation's key condition is "the destination registers of I are all
+dead in one of the targets of the conditional branch, but not on the
+other"; renaming needs live ranges at loop exits; prolog tailoring needs
+first-set/last-use information. All of these reduce to block-level
+live-in/live-out sets plus an in-block backward walk.
+"""
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.operands import Reg
+
+
+class Liveness:
+    """Live-in/live-out register sets per block label."""
+
+    def __init__(self, live_in: Dict[str, Set[Reg]], live_out: Dict[str, Set[Reg]]):
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_at_block_entry(self, label: str) -> Set[Reg]:
+        return set(self.live_in.get(label, set()))
+
+    def live_at_block_exit(self, label: str) -> Set[Reg]:
+        return set(self.live_out.get(label, set()))
+
+    def live_on_edge(self, fn: Function, src: BasicBlock, dst: BasicBlock) -> Set[Reg]:
+        """Registers live along the edge src->dst.
+
+        With block-level precision this is the live-in of the destination;
+        it is what the paper's renaming uses when inserting copies "at that
+        exit edge before live range renaming".
+        """
+        return self.live_at_block_entry(dst.label)
+
+
+def block_use_def(block: BasicBlock) -> Tuple[Set[Reg], Set[Reg]]:
+    """(upward-exposed uses, defs) of a block."""
+    uses: Set[Reg] = set()
+    defs: Set[Reg] = set()
+    for instr in block.instrs:
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(instr.defs())
+    return uses, defs
+
+
+def compute_liveness(fn: Function) -> Liveness:
+    """Iterative backward liveness over the CFG."""
+    use: Dict[str, Set[Reg]] = {}
+    define: Dict[str, Set[Reg]] = {}
+    for bb in fn.blocks:
+        use[bb.label], define[bb.label] = block_use_def(bb)
+
+    live_in: Dict[str, Set[Reg]] = {bb.label: set() for bb in fn.blocks}
+    live_out: Dict[str, Set[Reg]] = {bb.label: set() for bb in fn.blocks}
+    succs = {bb.label: [s.label for s in fn.successors(bb)] for bb in fn.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for bb in reversed(fn.blocks):
+            label = bb.label
+            out: Set[Reg] = set()
+            for s in succs[label]:
+                out |= live_in[s]
+            inn = use[label] | (out - define[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+    return Liveness(live_in, live_out)
+
+
+def live_after_instr(
+    block: BasicBlock, index: int, live_out: Set[Reg]
+) -> Set[Reg]:
+    """Registers live immediately after ``block.instrs[index]``.
+
+    ``live_out`` is the block's live-out set; the walk runs backward from
+    the end of the block to the requested point.
+    """
+    live = set(live_out)
+    for i in range(len(block.instrs) - 1, index, -1):
+        instr = block.instrs[i]
+        live -= set(instr.defs())
+        live |= set(instr.uses())
+    return live
+
+
+def liveness_per_instr(
+    block: BasicBlock, live_out: Set[Reg]
+) -> List[Set[Reg]]:
+    """live-after set for each instruction position in ``block``."""
+    result: List[Set[Reg]] = [set() for _ in block.instrs]
+    live = set(live_out)
+    for i in range(len(block.instrs) - 1, -1, -1):
+        result[i] = set(live)
+        instr = block.instrs[i]
+        live -= set(instr.defs())
+        live |= set(instr.uses())
+    return result
+
+
+def defs_in(instrs: Iterable[Instr]) -> Set[Reg]:
+    regs: Set[Reg] = set()
+    for instr in instrs:
+        regs.update(instr.defs())
+    return regs
+
+
+def uses_in(instrs: Iterable[Instr]) -> Set[Reg]:
+    regs: Set[Reg] = set()
+    for instr in instrs:
+        regs.update(instr.uses())
+    return regs

@@ -1,0 +1,179 @@
+"""Natural loop discovery.
+
+Loads/stores move out of loops, software pipelining compacts loops, and
+profiling counters migrate to loop preheaders/exits — all of it starts
+from natural loops (back edges whose target dominates their source).
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import make_b
+from repro.analysis.dominators import compute_dominators
+
+
+@dataclass
+class Loop:
+    """One natural loop: header plus body labels (header included)."""
+
+    header: str
+    body: Set[str] = field(default_factory=set)
+    back_edges: List[Tuple[str, str]] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def contains(self, label: str) -> bool:
+        return label in self.body
+
+    def blocks(self, fn: Function) -> List[BasicBlock]:
+        """Body blocks in layout order."""
+        return [bb for bb in fn.blocks if bb.label in self.body]
+
+    def exit_edges(self, fn: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """Edges leaving the loop body."""
+        edges = []
+        for bb in self.blocks(fn):
+            for succ in fn.successors(bb):
+                if succ.label not in self.body:
+                    edges.append((bb, succ))
+        return edges
+
+    def entry_edges(self, fn: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """Edges entering the header from outside the loop."""
+        edges = []
+        for bb in fn.predecessors(fn.block(self.header)):
+            if bb.label not in self.body:
+                edges.append((bb, fn.block(self.header)))
+        return edges
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.body)}>"
+
+
+def find_natural_loops(fn: Function) -> List[Loop]:
+    """All natural loops, innermost first; parent links set by inclusion."""
+    dom = compute_dominators(fn)
+    preds = fn.predecessor_map()
+
+    # Collect back edges: tail -> header where header dominates tail.
+    raw: dict = {}
+    for bb in fn.blocks:
+        for succ in fn.successors(bb):
+            if dom.dominates(succ.label, bb.label):
+                raw.setdefault(succ.label, []).append(bb.label)
+
+    loops: List[Loop] = []
+    for header, tails in raw.items():
+        body: Set[str] = {header}
+        stack = list(tails)
+        while stack:
+            label = stack.pop()
+            if label in body:
+                continue
+            body.add(label)
+            for p in preds.get(label, []):
+                stack.append(p.label)
+        loops.append(
+            Loop(
+                header=header,
+                body=body,
+                back_edges=[(t, header) for t in tails],
+            )
+        )
+
+    # Nesting: a loop's parent is the smallest strictly containing loop.
+    loops.sort(key=lambda lp: len(lp.body))
+    for i, inner in enumerate(loops):
+        for outer in loops[i + 1 :]:
+            if inner.header in outer.body and inner.body <= outer.body and inner is not outer:
+                inner.parent = outer
+                break
+    return loops
+
+
+def redirect_fallthrough(fn: Function, pred: BasicBlock, new_dst: str) -> None:
+    """Make the fallthrough edge leaving ``pred`` go to ``new_dst`` instead.
+
+    If ``pred`` has no terminator an explicit branch is appended. If it
+    ends with a conditional branch, a trampoline block is inserted
+    immediately after it in layout so the untaken path reaches ``new_dst``.
+    Straightening later removes any redundant branches this creates.
+    """
+    term = pred.terminator
+    if term is None:
+        pred.append(make_b(new_dst))
+        return
+    if not pred.falls_through:
+        raise ValueError(f"{pred.label} has no fallthrough edge")
+    tramp = BasicBlock(fn.new_label(f"ft.{pred.label}"))
+    tramp.append(make_b(new_dst))
+    fn.blocks.insert(fn.block_index(pred) + 1, tramp)
+
+
+def get_or_create_preheader(fn: Function, loop: Loop) -> BasicBlock:
+    """A block that is the unique out-of-loop predecessor of the header.
+
+    Reuses an existing block when the header has exactly one external
+    predecessor whose only successor is the header. Otherwise a fresh
+    preheader ending in ``B header`` is appended to the function and all
+    entry edges are redirected to it (uniform and layout-safe; the
+    straightening pass later removes redundant branches).
+    """
+    header = fn.block(loop.header)
+    entries = loop.entry_edges(fn)
+    if len(entries) == 1:
+        pred = entries[0][0]
+        succs = fn.successors(pred)
+        if len(succs) == 1 and succs[0] is header:
+            return pred
+
+    pre = BasicBlock(fn.new_label(f"pre.{loop.header}"))
+    pre.append(make_b(header.label))
+    fn.blocks.append(pre)
+    for pred, _ in entries:
+        term = pred.terminator
+        if term is not None and term.target == header.label:
+            term.target = pre.label
+        if fn.layout_successor(pred) is header and pred.falls_through:
+            redirect_fallthrough(fn, pred, pre.label)
+    return pre
+
+
+def split_edge(fn: Function, src: BasicBlock, dst: BasicBlock) -> BasicBlock:
+    """Insert a new block on the edge src->dst and return it.
+
+    The new block ends with ``B dst`` (or falls through for a fallthrough
+    split), so callers must insert code *before* its terminator.
+    """
+    mid = BasicBlock(fn.new_label(f"edge.{src.label}.{dst.label}"))
+    term = src.terminator
+    if term is not None and term.target == dst.label:
+        # Branch edge: retarget the branch and append the trampoline at the
+        # end of the function where it cannot disturb any fallthrough.
+        term.target = mid.label
+        mid.append(make_b(dst.label))
+        fn.blocks.append(mid)
+    else:
+        if fn.layout_successor(src) is not dst or not src.falls_through:
+            raise ValueError(f"no edge {src.label} -> {dst.label}")
+        # Fallthrough edge: slot the new block between the two.
+        fn.blocks.insert(fn.block_index(dst), mid)
+    return mid
+
+
+def insert_before_terminator(block: BasicBlock, instr) -> None:
+    """Insert ``instr`` at the end of ``block`` but before its terminator."""
+    if block.terminator is not None:
+        block.insert(len(block.instrs) - 1, instr)
+    else:
+        block.append(instr)

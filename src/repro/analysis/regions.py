@@ -1,0 +1,67 @@
+"""Single-entry single-exit groups of consecutive blocks.
+
+The paper's unspeculation operates on "(groups of) instructions", where a
+group is "possibly a number of basic blocks with a single entry and exit —
+single exit loops and nested if-then-else-endif statements are examples".
+After the reverse-postorder re-layout (step 1 of the algorithm) such
+constructs occupy consecutive layout positions, so we model a group as a
+maximal consecutive run of blocks with:
+
+- external control entering only at the first block, and
+- every edge leaving the run landing on the block immediately following
+  it in layout (and no RET inside).
+
+Such a run can be cut out of the layout and dropped onto a branch edge as
+a unit.
+"""
+
+from typing import List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+def is_sese_run(fn: Function, start: int, end: int) -> bool:
+    """True if blocks[start..end] form a single-entry single-exit run."""
+    if start < 0 or end >= len(fn.blocks) - 1 or start > end:
+        # The run must be followed by a block (the single exit target).
+        return False
+    run = fn.blocks[start : end + 1]
+    run_labels = {bb.label for bb in run}
+    follow = fn.blocks[end + 1]
+    preds = fn.predecessor_map()
+
+    for k, bb in enumerate(run):
+        # No RET inside a movable group.
+        term = bb.terminator
+        if term is not None and term.is_return:
+            return False
+        # Entry only at the first block.
+        if k > 0:
+            for p in preds[bb.label]:
+                if p.label not in run_labels:
+                    return False
+        # Exits only to the follow block.
+        for succ in fn.successors(bb):
+            if succ.label not in run_labels and succ is not follow:
+                return False
+    return True
+
+
+def consecutive_sese_groups(fn: Function, end: int) -> List[Tuple[int, int]]:
+    """All SESE runs ending exactly at layout index ``end``.
+
+    Returned smallest-first: ``[(end, end), (end-1, end), ...]`` filtered
+    to valid runs. Unspeculation tries the smallest movable unit first.
+    """
+    groups: List[Tuple[int, int]] = []
+    for start in range(end, -1, -1):
+        if is_sese_run(fn, start, end):
+            groups.append((start, end))
+    return groups
+
+
+def run_instructions(fn: Function, start: int, end: int):
+    """All instructions in blocks[start..end]."""
+    for bb in fn.blocks[start : end + 1]:
+        yield from bb.instrs

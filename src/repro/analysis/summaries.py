@@ -1,0 +1,162 @@
+"""Inter-procedural call-effect summaries.
+
+The paper's load/store motion special-cases known I/O library procedures
+and notes: "This strategy can be extended to general procedures, using
+an inter-procedural analysis tool (that has access to library routines
+as well) to extract the relevant information about accesses to memory
+locations." This module is that tool for our IR:
+
+- for every module function, compute whether it (transitively) reads or
+  writes memory, performs I/O, and — when all its references resolve —
+  *which data symbols* it can touch;
+- a reference through an unresolved pointer (a parameter, a loaded
+  value) makes the touched-symbol set unknown (``None``);
+- library callees contribute their declared effect summaries; calls to
+  unknown names poison the summary.
+
+The fixpoint starts optimistic (everything pure) and grows effects
+monotonically, so mutual recursion converges to a sound result.
+
+Consumers: the dependence DAG lets memory operations cross calls to
+provably memory-silent functions, and loop load/store motion keeps a
+cached location in its register across calls that provably cannot touch
+that location's symbol.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.ir.module import Module
+from repro.machine.libcalls import call_effects
+
+
+@dataclass
+class FunctionSummary:
+    """Transitive memory/I-O behaviour of one function."""
+
+    reads_memory: bool = False
+    writes_memory: bool = False
+    does_io: bool = False
+    calls_unknown: bool = False
+    #: Data symbols the function may touch; None = unknown (any memory).
+    touched_symbols: Optional[FrozenSet[str]] = frozenset()
+
+    @property
+    def touches_memory(self) -> bool:
+        return self.reads_memory or self.writes_memory
+
+    @property
+    def is_memory_silent(self) -> bool:
+        """No memory traffic, no I/O, nothing unknown."""
+        return not (
+            self.touches_memory or self.does_io or self.calls_unknown
+        )
+
+    def may_touch_symbol(self, symbol: Optional[str]) -> bool:
+        """Could the function access the given data symbol?
+
+        ``symbol=None`` means "an unresolved location": anything that
+        touches memory at all may touch it.
+        """
+        if not self.touches_memory and not self.calls_unknown:
+            return False
+        if self.calls_unknown:
+            return True
+        if symbol is None or self.touched_symbols is None:
+            return True
+        return symbol in self.touched_symbols
+
+    def _merge(self, other: "FunctionSummary") -> "FunctionSummary":
+        if self.touched_symbols is None or other.touched_symbols is None:
+            symbols = None
+        else:
+            symbols = self.touched_symbols | other.touched_symbols
+        return FunctionSummary(
+            reads_memory=self.reads_memory or other.reads_memory,
+            writes_memory=self.writes_memory or other.writes_memory,
+            does_io=self.does_io or other.does_io,
+            calls_unknown=self.calls_unknown or other.calls_unknown,
+            touched_symbols=symbols,
+        )
+
+    def __eq__(self, other):
+        return (
+            self.reads_memory == other.reads_memory
+            and self.writes_memory == other.writes_memory
+            and self.does_io == other.does_io
+            and self.calls_unknown == other.calls_unknown
+            and self.touched_symbols == other.touched_symbols
+        )
+
+
+def _library_summary(symbol: str) -> Optional[FunctionSummary]:
+    effects = call_effects(symbol)
+    if effects is None:
+        return None
+    touched: Optional[FrozenSet[str]]
+    if effects.reads_memory or effects.writes_memory:
+        # Memory reachable through pointer arguments: unknown symbols.
+        touched = None
+    else:
+        touched = frozenset()
+    return FunctionSummary(
+        reads_memory=effects.reads_memory,
+        writes_memory=effects.writes_memory,
+        does_io=effects.is_io,
+        calls_unknown=False,
+        touched_symbols=touched,
+    )
+
+
+def compute_summaries(module: Module) -> Dict[str, FunctionSummary]:
+    """Fixpoint summaries for every function in ``module``."""
+    from repro.analysis.alias import MemoryModel
+
+    summaries: Dict[str, FunctionSummary] = {
+        name: FunctionSummary() for name in module.functions
+    }
+    # Per-function local facts are loop-invariant: precompute them.
+    local: Dict[str, FunctionSummary] = {}
+    callees: Dict[str, list] = {}
+    for name, fn in module.functions.items():
+        memory = MemoryModel(fn, module)
+        summary = FunctionSummary()
+        calls = []
+        for instr in fn.instructions():
+            if instr.is_memory:
+                ref = memory.memref(instr)
+                symbols = (
+                    frozenset([ref.symbol]) if ref.symbol is not None else None
+                )
+                summary = summary._merge(
+                    FunctionSummary(
+                        reads_memory=instr.is_load,
+                        writes_memory=instr.is_store,
+                        touched_symbols=symbols,
+                    )
+                )
+            elif instr.is_call:
+                calls.append(instr.symbol)
+        local[name] = summary
+        callees[name] = calls
+
+    changed = True
+    while changed:
+        changed = False
+        for name in module.functions:
+            merged = local[name]
+            for callee in callees[name]:
+                if callee in summaries:
+                    merged = merged._merge(summaries[callee])
+                else:
+                    lib = _library_summary(callee)
+                    if lib is None:
+                        merged = merged._merge(
+                            FunctionSummary(calls_unknown=True, touched_symbols=None)
+                        )
+                    else:
+                        merged = merged._merge(lib)
+            if merged != summaries[name]:
+                summaries[name] = merged
+                changed = True
+    return summaries

@@ -1,0 +1,154 @@
+"""Measurement harness shared by the benchmarks and examples.
+
+Compiles workloads at a given level, checks that the optimised module
+computes the same result as the unoptimised one, and reports cycles on
+a machine model — the scaffolding behind every table and figure in
+EXPERIMENTS.md.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.module import Module
+from repro.machine.interpreter import run_function
+from repro.machine.model import MachineModel, RS6000
+from repro.machine.timer import TimingReport, time_trace
+from repro.pdf.profile import ProfileData, collect_profile
+from repro.pipeline import CompileResult, compile_module
+from repro.workloads import Workload, suite
+
+
+@dataclass
+class Measurement:
+    """One workload at one optimisation level."""
+
+    workload: str
+    level: str
+    cycles: int
+    instructions: int
+    value: int
+    static_instructions: int
+    compile_seconds: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def measure(
+    workload: Workload,
+    level: str = "vliw",
+    model: MachineModel = RS6000,
+    profile: Optional[ProfileData] = None,
+    plan=None,
+    check_against: Optional[int] = None,
+    **compile_kwargs,
+) -> Measurement:
+    """Compile and time one workload; verifies the computed value."""
+    module = workload.fresh_module()
+    compiled = compile_module(
+        module, level=level, model=model, profile=profile, plan=plan, **compile_kwargs
+    )
+    result = run_function(
+        compiled.module,
+        workload.entry,
+        list(workload.args),
+        record_trace=True,
+        max_steps=10_000_000,
+    )
+    if check_against is not None and result.value != check_against:
+        raise AssertionError(
+            f"{workload.name}@{level}: result {result.value} != "
+            f"reference {check_against}"
+        )
+    report = time_trace(result.trace, model)
+    return Measurement(
+        workload=workload.name,
+        level=level,
+        cycles=report.cycles,
+        instructions=report.instructions,
+        value=result.value,
+        static_instructions=compiled.static_instructions,
+        compile_seconds=compiled.compile_seconds,
+    )
+
+
+def reference_value(workload: Workload) -> int:
+    """The semantically-correct result, from the unoptimised module."""
+    result = run_function(
+        workload.fresh_module(),
+        workload.entry,
+        list(workload.args),
+        max_steps=10_000_000,
+    )
+    return result.value
+
+
+def train_profile(workload: Workload):
+    """First PDF pass on the training input."""
+    module = workload.fresh_module()
+    return collect_profile(module, workload.entry, [workload.train_args])
+
+
+@dataclass
+class SpecRow:
+    """One row of the SPECint92-style table."""
+
+    benchmark: str
+    base_cycles: int
+    vliw_cycles: int
+
+    @property
+    def base_mark(self) -> float:
+        # SPECmark-like figure of merit: bigger is better; normalised so
+        # the baseline machine scores 100 on every benchmark.
+        return 100.0
+
+    @property
+    def vliw_mark(self) -> float:
+        return 100.0 * self.base_cycles / self.vliw_cycles
+
+    @property
+    def speedup(self) -> float:
+        return self.base_cycles / self.vliw_cycles
+
+
+def specint_table(
+    model: MachineModel = RS6000,
+    workloads: Optional[Iterable[Workload]] = None,
+    **vliw_kwargs,
+) -> List[SpecRow]:
+    """Reproduce the paper's SPECint92 table shape: baseline vs VLIW."""
+    rows: List[SpecRow] = []
+    for wl in workloads if workloads is not None else suite():
+        ref = reference_value(wl)
+        base = measure(wl, "base", model, check_against=ref)
+        vliw = measure(wl, "vliw", model, check_against=ref, **vliw_kwargs)
+        rows.append(SpecRow(wl.name, base.cycles, vliw.cycles))
+    return rows
+
+
+def geomean_speedup(rows: Iterable[SpecRow]) -> float:
+    rows = list(rows)
+    if not rows:
+        return 1.0
+    return math.exp(sum(math.log(r.speedup) for r in rows) / len(rows))
+
+
+def format_spec_table(rows: List[SpecRow]) -> str:
+    """Render the table the way the paper prints it."""
+    lines = [
+        f"{'Benchmark':<12} {'base cyc':>10} {'base mark':>10} "
+        f"{'VLIW cyc':>10} {'VLIW mark':>10} {'speedup':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<12} {row.base_cycles:>10} {row.base_mark:>10.2f} "
+            f"{row.vliw_cycles:>10} {row.vliw_mark:>10.2f} {row.speedup:>8.3f}"
+        )
+    lines.append(
+        f"{'geomean':<12} {'':>10} {'':>10} {'':>10} "
+        f"{100.0 * geomean_speedup(rows):>10.2f} {geomean_speedup(rows):>8.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""POWER-flavoured register IR.
+
+The IR mirrors the RS/6000 assembly listings used throughout the paper:
+general-purpose registers ``r0..r31``, condition registers ``cr0..cr7``, a
+count register ``ctr``, and the instruction classes the paper's passes
+manipulate (loads/stores with base+displacement addressing, register copies,
+ALU operations, compares, conditional/unconditional branches, branch on
+count, calls and returns).
+
+Public surface:
+
+- :class:`~repro.ir.operands.Reg` and the ``gpr``/``cr`` helpers
+- :class:`~repro.ir.instructions.Instr` plus the ``make_*`` constructors
+- :class:`~repro.ir.basicblock.BasicBlock`
+- :class:`~repro.ir.function.Function`
+- :class:`~repro.ir.module.Module` and :class:`~repro.ir.module.DataObject`
+- :func:`~repro.ir.parser.parse_module` / :func:`~repro.ir.parser.parse_function`
+- :func:`~repro.ir.printer.format_module` / :func:`~repro.ir.printer.format_function`
+- :func:`~repro.ir.verifier.verify_function` / :func:`~repro.ir.verifier.verify_module`
+"""
+
+from repro.ir.operands import CTR, Reg, cr, gpr
+from repro.ir.instructions import (
+    ALU_OPS,
+    ALU_RI_OPS,
+    COND_CODES,
+    Instr,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import DataObject, Module
+from repro.ir.parser import ParseError, parse_function, parse_module
+from repro.ir.printer import format_function, format_instr, format_module
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ALU_OPS",
+    "ALU_RI_OPS",
+    "BasicBlock",
+    "COND_CODES",
+    "CTR",
+    "DataObject",
+    "Function",
+    "Instr",
+    "Module",
+    "ParseError",
+    "Reg",
+    "VerificationError",
+    "cr",
+    "format_function",
+    "format_instr",
+    "format_module",
+    "gpr",
+    "parse_function",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,80 @@
+"""Basic blocks: a label plus a straight-line instruction sequence.
+
+A block contains at most one control-transfer instruction and, when present,
+it is the last instruction. A block whose last instruction is not an
+unconditional transfer (``B``, ``RET``) falls through to the next block in
+the function's layout order — layout is meaningful, exactly as in the
+paper's discussion of basic block re-ordering and branch reversal.
+"""
+
+from typing import Iterable, List, Optional
+
+from repro.ir.instructions import Instr
+
+
+class BasicBlock:
+    """A labelled basic block."""
+
+    def __init__(self, label: str, instrs: Optional[Iterable[Instr]] = None):
+        self.label = label
+        self.instrs: List[Instr] = list(instrs) if instrs is not None else []
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        """The trailing control-transfer instruction, if any."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instr]:
+        """The instructions excluding a trailing terminator."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control can reach the next block in layout order."""
+        term = self.terminator
+        if term is None:
+            return True
+        # BT/BF fall through when untaken; BCT falls through when the count
+        # register reaches zero; B and RET never fall through.
+        return term.opcode in ("BT", "BF", "BCT")
+
+    def branch_targets(self) -> List[str]:
+        """Labels this block may branch to (not counting fallthrough)."""
+        term = self.terminator
+        if term is not None and term.target is not None:
+            return [term.target]
+        return []
+
+    def append(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    def insert(self, index: int, instr: Instr) -> None:
+        self.instrs.insert(index, instr)
+
+    def remove(self, instr: Instr) -> None:
+        self.instrs.remove(instr)
+
+    def index_of(self, instr: Instr) -> int:
+        """Position of ``instr`` in this block, matched by identity."""
+        for i, candidate in enumerate(self.instrs):
+            if candidate is instr:
+                return i
+        raise ValueError(f"instruction not in block {self.label}: {instr}")
+
+    def clone(self, new_label: str) -> "BasicBlock":
+        """A deep copy of this block under a new label."""
+        return BasicBlock(new_label, [i.clone() for i in self.instrs])
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instrs)} instrs>"

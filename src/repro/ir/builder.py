@@ -1,0 +1,126 @@
+"""Fluent construction API for IR functions.
+
+Used by the synthetic workload generators; hand-written examples usually go
+through the parser instead. Example::
+
+    b = FunctionBuilder("count", params=[gpr(3)])
+    b.label("loop")
+    b.load(gpr(4), 0, gpr(3))
+    b.cmpi(cr(0), gpr(4), 0)
+    b.bt("done", cr(0), "eq")
+    b.addi(gpr(3), gpr(3), 4)
+    b.b("loop")
+    b.label("done")
+    b.ret()
+    fn = b.build()
+"""
+
+from typing import Iterable, Optional
+
+from repro.ir import instructions as ins
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.operands import Reg
+
+
+class FunctionBuilder:
+    """Builds a :class:`Function` block by block."""
+
+    def __init__(self, name: str, params: Optional[Iterable[Reg]] = None):
+        self.fn = Function(name, params)
+        self._current: Optional[BasicBlock] = None
+
+    def label(self, name: str) -> "FunctionBuilder":
+        """Start a new basic block labelled ``name``."""
+        self._current = BasicBlock(name)
+        self.fn.add_block(self._current)
+        return self
+
+    def emit(self, instr: ins.Instr) -> "FunctionBuilder":
+        if self._current is None:
+            self.label("entry")
+        if self._current.terminator is not None:
+            self.label(self.fn.new_label("anon"))
+        self._current.append(instr)
+        return self
+
+    # -- convenience emitters ------------------------------------------------
+
+    def li(self, rd: Reg, imm: int):
+        return self.emit(ins.make_li(rd, imm))
+
+    def la(self, rd: Reg, symbol: str):
+        return self.emit(ins.make_la(rd, symbol))
+
+    def lr(self, rd: Reg, ra: Reg):
+        return self.emit(ins.make_lr(rd, ra))
+
+    def load(self, rd: Reg, disp: int, base: Reg, update: bool = False):
+        return self.emit(ins.make_load(rd, disp, base, update))
+
+    def store(self, disp: int, base: Reg, value: Reg, update: bool = False):
+        return self.emit(ins.make_store(disp, base, value, update))
+
+    def alu(self, opcode: str, rd: Reg, ra: Reg, rb: Reg):
+        return self.emit(ins.make_alu(opcode, rd, ra, rb))
+
+    def alui(self, opcode: str, rd: Reg, ra: Reg, imm: int):
+        return self.emit(ins.make_alui(opcode, rd, ra, imm))
+
+    def add(self, rd: Reg, ra: Reg, rb: Reg):
+        return self.alu("A", rd, ra, rb)
+
+    def addi(self, rd: Reg, ra: Reg, imm: int):
+        return self.alui("AI", rd, ra, imm)
+
+    def sub(self, rd: Reg, ra: Reg, rb: Reg):
+        return self.alu("S", rd, ra, rb)
+
+    def mul(self, rd: Reg, ra: Reg, rb: Reg):
+        return self.alu("MUL", rd, ra, rb)
+
+    def and_(self, rd: Reg, ra: Reg, rb: Reg):
+        return self.alu("AND", rd, ra, rb)
+
+    def or_(self, rd: Reg, ra: Reg, rb: Reg):
+        return self.alu("OR", rd, ra, rb)
+
+    def xor(self, rd: Reg, ra: Reg, rb: Reg):
+        return self.alu("XOR", rd, ra, rb)
+
+    def andi(self, rd: Reg, ra: Reg, imm: int):
+        return self.alui("ANDI", rd, ra, imm)
+
+    def cmp(self, crf: Reg, ra: Reg, rb: Reg):
+        return self.emit(ins.make_cmp(crf, ra, rb))
+
+    def cmpi(self, crf: Reg, ra: Reg, imm: int):
+        return self.emit(ins.make_cmpi(crf, ra, imm))
+
+    def b(self, target: str):
+        return self.emit(ins.make_b(target))
+
+    def bt(self, target: str, crf: Reg, cond: str):
+        return self.emit(ins.make_bt(target, crf, cond))
+
+    def bf(self, target: str, crf: Reg, cond: str):
+        return self.emit(ins.make_bf(target, crf, cond))
+
+    def bct(self, target: str):
+        return self.emit(ins.make_bct(target))
+
+    def mtctr(self, ra: Reg):
+        return self.emit(ins.make_mtctr(ra))
+
+    def call(self, symbol: str, nargs: int = 0):
+        return self.emit(ins.make_call(symbol, nargs))
+
+    def ret(self):
+        return self.emit(ins.make_ret())
+
+    def nop(self):
+        return self.emit(ins.make_nop())
+
+    def build(self) -> Function:
+        """Finish and return the function."""
+        return self.fn

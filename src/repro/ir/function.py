@@ -1,0 +1,193 @@
+"""Functions: an ordered list of basic blocks with CFG queries.
+
+Block order is the *layout* order; fallthrough edges connect adjacent
+blocks. The entry block is the first block. CFG successor/predecessor
+queries are computed on demand so passes may freely restructure the block
+list without cache invalidation concerns (functions in this system are
+small enough that recomputation is cheap, and correctness of the many
+CFG-restructuring passes matters far more than constant factors).
+"""
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instr
+from repro.ir.operands import Reg
+
+
+class Function:
+    """A procedure in the IR."""
+
+    def __init__(self, name: str, params: Optional[Iterable[Reg]] = None):
+        self.name = name
+        self.params: Tuple[Reg, ...] = tuple(params) if params else ()
+        self.blocks: List[BasicBlock] = []
+        self._label_counter = itertools.count()
+        # Registers handed out by new_vreg but possibly not yet referenced by
+        # any instruction; kept so back-to-back allocations stay distinct.
+        self._reserved_regs = set()
+
+    # -- block management ---------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        for bb in self.blocks:
+            if bb.label == label:
+                return bb
+        raise KeyError(f"no block labelled {label!r} in {self.name}")
+
+    def has_block(self, label: str) -> bool:
+        return any(bb.label == label for bb in self.blocks)
+
+    def label_map(self) -> Dict[str, BasicBlock]:
+        return {bb.label: bb for bb in self.blocks}
+
+    def add_block(self, block: BasicBlock, after: Optional[BasicBlock] = None) -> BasicBlock:
+        """Append ``block``, or insert it immediately after ``after``."""
+        if self.has_block(block.label):
+            raise ValueError(f"duplicate block label {block.label!r}")
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.block_index(after) + 1, block)
+        return block
+
+    def new_block(self, hint: str = "bb", after: Optional[BasicBlock] = None) -> BasicBlock:
+        return self.add_block(BasicBlock(self.new_label(hint)), after=after)
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+
+    def block_index(self, block: BasicBlock) -> int:
+        for i, bb in enumerate(self.blocks):
+            if bb is block:
+                return i
+        raise ValueError(f"block {block.label} not in function {self.name}")
+
+    def new_label(self, hint: str = "bb") -> str:
+        existing = {bb.label for bb in self.blocks}
+        while True:
+            label = f"{hint}.{next(self._label_counter)}"
+            if label not in existing:
+                return label
+
+    # -- CFG ------------------------------------------------------------------
+
+    def layout_successor(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """The next block in layout order, or None for the last block."""
+        idx = self.block_index(block)
+        if idx + 1 < len(self.blocks):
+            return self.blocks[idx + 1]
+        return None
+
+    def successors(self, block: BasicBlock) -> List[BasicBlock]:
+        """CFG successors; for two-way branches the taken target is first."""
+        labels = self.label_map()
+        result: List[BasicBlock] = []
+        term = block.terminator
+        if term is not None and term.target is not None:
+            result.append(labels[term.target])
+        if block.falls_through:
+            nxt = self.layout_successor(block)
+            if nxt is not None and all(s is not nxt for s in result):
+                result.append(nxt)
+        return result
+
+    def predecessors(self, block: BasicBlock) -> List[BasicBlock]:
+        return [bb for bb in self.blocks if any(s is block for s in self.successors(bb))]
+
+    def predecessor_map(self) -> Dict[str, List[BasicBlock]]:
+        preds: Dict[str, List[BasicBlock]] = {bb.label: [] for bb in self.blocks}
+        for bb in self.blocks:
+            for succ in self.successors(bb):
+                preds[succ.label].append(bb)
+        return preds
+
+    def edges(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        return [(bb, succ) for bb in self.blocks for succ in self.successors(bb)]
+
+    # -- instructions ---------------------------------------------------------
+
+    def instructions(self) -> Iterable[Instr]:
+        for bb in self.blocks:
+            yield from bb.instrs
+
+    def instruction_count(self) -> int:
+        return sum(len(bb.instrs) for bb in self.blocks)
+
+    def find_block_of(self, instr: Instr) -> BasicBlock:
+        for bb in self.blocks:
+            if any(i is instr for i in bb.instrs):
+                return bb
+        raise ValueError(f"instruction not found in {self.name}: {instr}")
+
+    def new_vreg(
+        self,
+        kind: str = "gpr",
+        available: Optional[Iterable[Reg]] = None,
+        include_callee_saved: bool = False,
+    ):
+        """Pick an unused register of ``kind`` for renaming.
+
+        The IR is register-allocated (it models post-RA assembly, as in the
+        paper), so "new" registers come from the pool of registers the
+        function never touches. Raises ``RuntimeError`` when the pool is
+        exhausted; callers treat that as "renaming not possible here".
+        """
+        from repro.ir.operands import CR_COUNT, FIRST_NONVOLATILE_INDEX, GPR_COUNT, cr, gpr
+
+        # Collect explicitly-referenced registers only: the implicit use/def
+        # sets of CALL and RET (clobbers, callee-saved discipline) would
+        # otherwise mark every register used.
+        used = set(self._reserved_regs)
+        has_call = False
+        for instr in self.instructions():
+            has_call = has_call or instr.is_call
+            for reg in (instr.rd, instr.ra, instr.rb, instr.base, instr.crf):
+                if reg is not None:
+                    used.add(reg)
+        used.update(self.params)
+        if available is None:
+            if kind == "gpr":
+                # Avoid the linkage registers r0..r2. In a function with
+                # calls, only callee-saved registers survive a call, so new
+                # values come from that pool (the prolog cost is already
+                # being paid). In a leaf function the pool stops at the
+                # volatile registers: allocating r13..r31 would force a
+                # save/restore pair per call of this function, which on a
+                # machine with one fixed-point unit costs more than any
+                # scheduling freedom the extra register buys.
+                if has_call:
+                    available = [gpr(i) for i in range(FIRST_NONVOLATILE_INDEX, GPR_COUNT)]
+                elif include_callee_saved:
+                    available = [gpr(i) for i in range(3, GPR_COUNT)]
+                else:
+                    available = [gpr(i) for i in range(3, FIRST_NONVOLATILE_INDEX)]
+            elif kind == "cr":
+                # cr0/cr1 are conventionally clobber-prone; prefer high crs.
+                available = [cr(i) for i in range(CR_COUNT - 1, -1, -1)]
+                if has_call:
+                    available = []
+            else:
+                raise ValueError(f"cannot allocate register of kind {kind}")
+        for reg in available:
+            if reg not in used:
+                self._reserved_regs.add(reg)
+                return reg
+        raise RuntimeError(f"out of {kind} registers in {self.name}")
+
+    def clone(self) -> "Function":
+        """A deep copy of this function."""
+        copy = Function(self.name, self.params)
+        for bb in self.blocks:
+            copy.add_block(bb.clone(bb.label))
+        return copy
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name}: {len(self.blocks)} blocks>"

@@ -1,0 +1,431 @@
+"""Instruction record and opcode metadata for the POWER-flavoured IR.
+
+The opcode set follows the paper's RS/6000 listings:
+
+========  =======================================  =========================
+opcode    meaning                                  example
+========  =======================================  =========================
+``LI``    load immediate                           ``LI r4, 0``
+``LA``    load address of a data symbol (TOC)      ``LA r4, a``
+``LR``    register copy                            ``LR r4, r5``
+``L``     load word                                ``L r4, 4(r8)``
+``LU``    load word with update (base := EA)       ``LU r4, 2(r3)``
+``ST``    store word                               ``ST 12(r4), r3``
+``STU``   store word with update                   ``STU -4(r1), r3``
+``A`` ..  three-register ALU ops                   ``A r6, r4, r7``
+``AI`` .. register-immediate ALU ops               ``AI r3, r3, 1``
+``NEG``   negate                                   ``NEG r4, r5``
+``NOT``   bitwise complement                       ``NOT r4, r5``
+``C``     compare two registers into a cr          ``C cr0, r5, r3``
+``CI``    compare register with immediate          ``CI cr1, r8, 0``
+``B``     unconditional branch                     ``B loop``
+``BT``    branch if condition true                 ``BT found, cr0.eq``
+``BF``    branch if condition false                ``BF loop, cr1.eq``
+``BCT``   decrement ctr, branch if nonzero         ``BCT loop``
+``MTCTR`` move to count register                   ``MTCTR r5``
+``MFCTR`` move from count register                 ``MFCTR r5``
+``CALL``  procedure call (args in r3..)            ``CALL strlen, 1``
+``RET``   return (value in r3)                     ``RET``
+``NOP``   no operation                             ``NOP``
+========  =======================================  =========================
+
+Each compare leaves a three-valued result (``lt``/``eq``/``gt``) in its
+condition register; ``BT``/``BF`` test one of the condition codes ``eq``,
+``ne``, ``lt``, ``le``, ``gt``, ``ge`` against it.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ir.operands import (
+    ARG_REGS,
+    CALL_CLOBBERED,
+    CTR,
+    RETVAL,
+    SP,
+    TOC,
+    Reg,
+)
+
+# --------------------------------------------------------------------------
+# Opcode sets
+# --------------------------------------------------------------------------
+
+ALU_OPS = ("A", "S", "MUL", "DIV", "AND", "OR", "XOR", "SL", "SR", "SRA")
+ALU_RI_OPS = ("AI", "SI", "MULI", "ANDI", "ORI", "XORI", "SLI", "SRI", "SRAI")
+UNARY_OPS = ("LR", "NEG", "NOT")
+LOAD_OPS = ("L", "LU")
+STORE_OPS = ("ST", "STU")
+CMP_OPS = ("C", "CI")
+COND_BRANCH_OPS = ("BT", "BF", "BCT")
+BRANCH_OPS = ("B",) + COND_BRANCH_OPS
+TERMINATOR_OPS = BRANCH_OPS + ("RET",)
+COND_CODES = ("eq", "ne", "lt", "le", "gt", "ge")
+
+ALL_OPCODES = frozenset(
+    ALU_OPS
+    + ALU_RI_OPS
+    + UNARY_OPS
+    + LOAD_OPS
+    + STORE_OPS
+    + CMP_OPS
+    + TERMINATOR_OPS
+    + ("LI", "LA", "MTCTR", "MFCTR", "CALL", "NOP")
+)
+
+_MASK32 = 0xFFFFFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap an integer to signed 32-bit two's-complement."""
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _shift_amount(value: int) -> int:
+    return value & 31
+
+
+def _sl(a: int, b: int) -> int:
+    return wrap32(a << _shift_amount(b))
+
+
+def _sr(a: int, b: int) -> int:
+    return wrap32((a & _MASK32) >> _shift_amount(b))
+
+
+def _sra(a: int, b: int) -> int:
+    return wrap32(a >> _shift_amount(b))
+
+
+def _div(a: int, b: int) -> int:
+    # Total division: divide-by-zero yields 0 so random programs never trap,
+    # and quotients truncate toward zero as on POWER.
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return wrap32(-quotient if (a < 0) != (b < 0) else quotient)
+
+
+#: Arithmetic semantics shared by the interpreter and constant folding.
+ALU_FUNCS = {
+    "A": lambda a, b: wrap32(a + b),
+    "S": lambda a, b: wrap32(a - b),
+    "MUL": lambda a, b: wrap32(a * b),
+    "DIV": _div,
+    "AND": lambda a, b: wrap32(a & b),
+    "OR": lambda a, b: wrap32(a | b),
+    "XOR": lambda a, b: wrap32(a ^ b),
+    "SL": _sl,
+    "SR": _sr,
+    "SRA": _sra,
+}
+
+#: Immediate-form opcode -> register-form semantics.
+ALU_RI_TO_RR = {
+    "AI": "A",
+    "SI": "S",
+    "MULI": "MUL",
+    "ANDI": "AND",
+    "ORI": "OR",
+    "XORI": "XOR",
+    "SLI": "SL",
+    "SRI": "SR",
+    "SRAI": "SRA",
+}
+
+#: Condition-code predicates over a compare result in {-1, 0, 1}.
+COND_FUNCS = {
+    "eq": lambda v: v == 0,
+    "ne": lambda v: v != 0,
+    "lt": lambda v: v < 0,
+    "le": lambda v: v <= 0,
+    "gt": lambda v: v > 0,
+    "ge": lambda v: v >= 0,
+}
+
+_instr_ids = itertools.count(1)
+
+
+@dataclass
+class Instr:
+    """One IR instruction.
+
+    Operand fields are populated according to the opcode; the ``make_*``
+    constructors below are the intended way to build instructions. ``attrs``
+    carries pass-private metadata (e.g. ``volatile`` on memory operations,
+    ``counter`` on profiling code, ``save``/``restore`` on linkage code).
+
+    Every instruction has a process-unique ``uid`` so passes can track
+    identity across clones and code motion.
+    """
+
+    opcode: str
+    rd: Optional[Reg] = None
+    ra: Optional[Reg] = None
+    rb: Optional[Reg] = None
+    imm: Optional[int] = None
+    base: Optional[Reg] = None
+    disp: int = 0
+    crf: Optional[Reg] = None
+    cond: Optional[str] = None
+    target: Optional[str] = None
+    symbol: Optional[str] = None
+    nargs: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_instr_ids))
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in LOAD_OPS or self.opcode in STORE_OPS
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode == "CALL"
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPS
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode in COND_BRANCH_OPS
+
+    @property
+    def is_uncond_branch(self) -> bool:
+        return self.opcode == "B"
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATOR_OPS
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode == "RET"
+
+    @property
+    def is_copy(self) -> bool:
+        return self.opcode == "LR"
+
+    @property
+    def is_compare(self) -> bool:
+        return self.opcode in CMP_OPS
+
+    @property
+    def is_volatile(self) -> bool:
+        return bool(self.attrs.get("volatile"))
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True if the instruction's effect is not captured by its defs.
+
+        Stores write memory, calls may do anything, and volatile accesses
+        must not be duplicated, reordered or removed.
+        """
+        return self.is_store or self.is_call or self.is_volatile
+
+    # -- operands ----------------------------------------------------------
+
+    def uses(self) -> Tuple[Reg, ...]:
+        """Registers this instruction reads."""
+        op = self.opcode
+        if op in ALU_OPS or op == "C":
+            return (self.ra, self.rb)
+        if op in ALU_RI_OPS or op in UNARY_OPS or op == "CI":
+            return (self.ra,)
+        if op == "L" or op == "LU":
+            return (self.base,)
+        if op == "ST" or op == "STU":
+            return (self.ra, self.base)
+        if op == "BT" or op == "BF":
+            return (self.crf,)
+        if op == "BCT":
+            return (CTR,)
+        if op == "MTCTR":
+            return (self.ra,)
+        if op == "MFCTR":
+            return (CTR,)
+        if op == "CALL":
+            return ARG_REGS[: self.nargs] + (SP, TOC)
+        if op == "RET":
+            # Callee-saved discipline is enforced by the linkage passes
+            # (save/restore instructions carry pinning attrs), not by
+            # implicit uses here, so pre-linkage code can treat r13..r31
+            # as ordinary registers.
+            return (RETVAL, SP)
+        return ()
+
+    def defs(self) -> Tuple[Reg, ...]:
+        """Registers this instruction writes."""
+        op = self.opcode
+        if (
+            op in ALU_OPS
+            or op in ALU_RI_OPS
+            or op in UNARY_OPS
+            or op in ("LI", "LA", "MFCTR")
+        ):
+            return (self.rd,)
+        if op == "L":
+            return (self.rd,)
+        if op == "LU":
+            return (self.rd, self.base)
+        if op == "STU":
+            return (self.base,)
+        if op == "C" or op == "CI":
+            return (self.crf,)
+        if op == "MTCTR" or op == "BCT":
+            return (CTR,)
+        if op == "CALL":
+            return CALL_CLOBBERED
+        return ()
+
+    # -- misc ----------------------------------------------------------------
+
+    def clone(self) -> "Instr":
+        """A copy with a fresh ``uid`` and an independent ``attrs`` dict."""
+        return Instr(
+            opcode=self.opcode,
+            rd=self.rd,
+            ra=self.ra,
+            rb=self.rb,
+            imm=self.imm,
+            base=self.base,
+            disp=self.disp,
+            crf=self.crf,
+            cond=self.cond,
+            target=self.target,
+            symbol=self.symbol,
+            nargs=self.nargs,
+            attrs=dict(self.attrs),
+        )
+
+    def rename_uses(self, mapping: Dict[Reg, Reg]) -> None:
+        """Replace source registers in place according to ``mapping``."""
+        op = self.opcode
+        if self.ra is not None and self.ra in mapping:
+            self.ra = mapping[self.ra]
+        if self.rb is not None and self.rb in mapping:
+            self.rb = mapping[self.rb]
+        if self.base is not None and self.base in mapping:
+            # The base is read by every memory op; for LU/STU it is also
+            # written, so renaming it changes the def too -- callers that
+            # only want use-renaming must not remap LU/STU bases.
+            self.base = mapping[self.base]
+        if op in ("BT", "BF") and self.crf in mapping:
+            self.crf = mapping[self.crf]
+
+    def rename_defs(self, mapping: Dict[Reg, Reg]) -> None:
+        """Replace destination registers in place according to ``mapping``."""
+        if self.rd is not None and self.rd in mapping:
+            self.rd = mapping[self.rd]
+        if self.is_compare and self.crf in mapping:
+            self.crf = mapping[self.crf]
+
+    def __str__(self) -> str:  # pragma: no cover - delegated to printer
+        from repro.ir.printer import format_instr
+
+        return format_instr(self)
+
+    def __repr__(self) -> str:
+        return f"<Instr {self}>"
+
+
+# --------------------------------------------------------------------------
+# Constructors
+# --------------------------------------------------------------------------
+
+
+def make_li(rd: Reg, imm: int) -> Instr:
+    return Instr("LI", rd=rd, imm=wrap32(imm))
+
+
+def make_la(rd: Reg, symbol: str) -> Instr:
+    return Instr("LA", rd=rd, symbol=symbol)
+
+
+def make_lr(rd: Reg, ra: Reg) -> Instr:
+    return Instr("LR", rd=rd, ra=ra)
+
+
+def make_unary(opcode: str, rd: Reg, ra: Reg) -> Instr:
+    if opcode not in UNARY_OPS:
+        raise ValueError(f"not a unary opcode: {opcode}")
+    return Instr(opcode, rd=rd, ra=ra)
+
+
+def make_alu(opcode: str, rd: Reg, ra: Reg, rb: Reg) -> Instr:
+    if opcode not in ALU_OPS:
+        raise ValueError(f"not an ALU opcode: {opcode}")
+    return Instr(opcode, rd=rd, ra=ra, rb=rb)
+
+
+def make_alui(opcode: str, rd: Reg, ra: Reg, imm: int) -> Instr:
+    if opcode not in ALU_RI_OPS:
+        raise ValueError(f"not an ALU-immediate opcode: {opcode}")
+    return Instr(opcode, rd=rd, ra=ra, imm=wrap32(imm))
+
+
+def make_load(rd: Reg, disp: int, base: Reg, update: bool = False) -> Instr:
+    return Instr("LU" if update else "L", rd=rd, base=base, disp=disp)
+
+
+def make_store(disp: int, base: Reg, value: Reg, update: bool = False) -> Instr:
+    return Instr("STU" if update else "ST", ra=value, base=base, disp=disp)
+
+
+def make_cmp(crf: Reg, ra: Reg, rb: Reg) -> Instr:
+    return Instr("C", crf=crf, ra=ra, rb=rb)
+
+
+def make_cmpi(crf: Reg, ra: Reg, imm: int) -> Instr:
+    return Instr("CI", crf=crf, ra=ra, imm=wrap32(imm))
+
+def make_b(target: str) -> Instr:
+    return Instr("B", target=target)
+
+
+def make_bt(target: str, crf: Reg, cond: str) -> Instr:
+    if cond not in COND_CODES:
+        raise ValueError(f"bad condition code: {cond}")
+    return Instr("BT", target=target, crf=crf, cond=cond)
+
+
+def make_bf(target: str, crf: Reg, cond: str) -> Instr:
+    if cond not in COND_CODES:
+        raise ValueError(f"bad condition code: {cond}")
+    return Instr("BF", target=target, crf=crf, cond=cond)
+
+
+def make_bct(target: str) -> Instr:
+    return Instr("BCT", target=target)
+
+
+def make_mtctr(ra: Reg) -> Instr:
+    return Instr("MTCTR", ra=ra)
+
+
+def make_mfctr(rd: Reg) -> Instr:
+    return Instr("MFCTR", rd=rd)
+
+
+def make_call(symbol: str, nargs: int = 0) -> Instr:
+    return Instr("CALL", symbol=symbol, nargs=nargs)
+
+
+def make_ret() -> Instr:
+    return Instr("RET")
+
+
+def make_nop() -> Instr:
+    return Instr("NOP")

@@ -1,0 +1,102 @@
+"""Modules: a set of functions plus global data objects.
+
+Data objects model the paper's TOC-addressed globals: each object has a
+name, a size in bytes, optional initial word values, and a ``volatile``
+flag (shared variables / memory-mapped I/O that the load/store motion pass
+must never touch). A simple loader assigns each object a base address; the
+``LA`` instruction materialises that address, standing in for the paper's
+``L r4=.a(r2,0)`` load-from-TOC idiom.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+
+#: Base address of the first data object; objects are padded apart so that
+#: distinct symbols can never overlap.
+DATA_BASE = 0x10000
+DATA_ALIGN = 0x100
+
+#: Base of the downward-growing stack.
+STACK_BASE = 0x7FFF0000
+
+
+@dataclass
+class DataObject:
+    """A global data object."""
+
+    name: str
+    size: int
+    init: List[int] = field(default_factory=list)
+    volatile: bool = False
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"data object {self.name} must have positive size")
+        if len(self.init) * 4 > self.size:
+            raise ValueError(f"init data larger than object {self.name}")
+
+
+class Module:
+    """A translation unit: functions plus global data."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.data: Dict[str, DataObject] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_data(
+        self,
+        name: str,
+        size: int,
+        init: Optional[List[int]] = None,
+        volatile: bool = False,
+    ) -> DataObject:
+        if name in self.data:
+            raise ValueError(f"duplicate data object {name!r}")
+        obj = DataObject(name, size, list(init) if init else [], volatile)
+        self.data[name] = obj
+        return obj
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def layout(self) -> Dict[str, int]:
+        """Assign a base address to every data object (stable order)."""
+        addresses: Dict[str, int] = {}
+        addr = DATA_BASE
+        for name in sorted(self.data):
+            obj = self.data[name]
+            addresses[name] = addr
+            padded = ((obj.size + DATA_ALIGN - 1) // DATA_ALIGN + 1) * DATA_ALIGN
+            addr += padded
+        return addresses
+
+    def symbol_spans(self) -> Dict[str, range]:
+        """Address range occupied by each data object."""
+        addresses = self.layout()
+        return {
+            name: range(addresses[name], addresses[name] + self.data[name].size)
+            for name in self.data
+        }
+
+    def total_instruction_count(self) -> int:
+        return sum(fn.instruction_count() for fn in self.functions.values())
+
+    def clone(self) -> "Module":
+        copy = Module(self.name)
+        for fn in self.functions.values():
+            copy.add_function(fn.clone())
+        for obj in self.data.values():
+            copy.add_data(obj.name, obj.size, list(obj.init), obj.volatile)
+        return copy
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name}: {len(self.functions)} functions, {len(self.data)} data>"

@@ -1,0 +1,107 @@
+"""Register operands for the POWER-flavoured IR.
+
+Three register files exist, mirroring the paper's RS/6000 listings:
+
+- 32 general purpose registers ``r0..r31`` (kind ``gpr``),
+- 8 condition registers ``cr0..cr7`` (kind ``cr``), each holding the
+  three-valued result of a compare,
+- the count register ``ctr`` (kind ``ctr``) used by ``BCT`` loops.
+"""
+
+from dataclasses import dataclass
+
+GPR_COUNT = 32
+CR_COUNT = 8
+
+# RS/6000-style linkage: r1 is the stack pointer, r2 the TOC anchor,
+# r3..r10 carry arguments (r3 also carries the return value), and
+# r13..r31 are callee-saved ("nonvolatile").
+STACK_POINTER_INDEX = 1
+TOC_INDEX = 2
+FIRST_ARG_INDEX = 3
+LAST_ARG_INDEX = 10
+RETURN_VALUE_INDEX = 3
+FIRST_NONVOLATILE_INDEX = 13
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """A register operand: ``kind`` is ``gpr``, ``cr`` or ``ctr``."""
+
+    kind: str
+    index: int
+
+    def __post_init__(self):
+        if self.kind == "gpr":
+            if not 0 <= self.index < GPR_COUNT:
+                raise ValueError(f"gpr index out of range: {self.index}")
+        elif self.kind == "cr":
+            if not 0 <= self.index < CR_COUNT:
+                raise ValueError(f"cr index out of range: {self.index}")
+        elif self.kind == "ctr":
+            if self.index != 0:
+                raise ValueError("ctr has a single register")
+        else:
+            raise ValueError(f"unknown register kind: {self.kind}")
+
+    @property
+    def name(self) -> str:
+        if self.kind == "gpr":
+            return f"r{self.index}"
+        if self.kind == "cr":
+            return f"cr{self.index}"
+        return "ctr"
+
+    @property
+    def is_callee_saved(self) -> bool:
+        """True for the registers a procedure must preserve (r13..r31)."""
+        return self.kind == "gpr" and self.index >= FIRST_NONVOLATILE_INDEX
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name})"
+
+
+def gpr(index: int) -> Reg:
+    """The general purpose register ``r<index>``."""
+    return Reg("gpr", index)
+
+
+def cr(index: int) -> Reg:
+    """The condition register ``cr<index>``."""
+    return Reg("cr", index)
+
+
+CTR = Reg("ctr", 0)
+
+SP = gpr(STACK_POINTER_INDEX)
+TOC = gpr(TOC_INDEX)
+RETVAL = gpr(RETURN_VALUE_INDEX)
+
+ARG_REGS = tuple(gpr(i) for i in range(FIRST_ARG_INDEX, LAST_ARG_INDEX + 1))
+CALLEE_SAVED = tuple(gpr(i) for i in range(FIRST_NONVOLATILE_INDEX, GPR_COUNT))
+# Registers a call may clobber: the non-saved GPRs except the stack pointer
+# and TOC anchor, plus every condition register and the count register.
+CALL_CLOBBERED = (
+    tuple(
+        gpr(i)
+        for i in range(0, FIRST_NONVOLATILE_INDEX)
+        if i not in (STACK_POINTER_INDEX, TOC_INDEX)
+    )
+    + tuple(cr(i) for i in range(CR_COUNT))
+    + (CTR,)
+)
+
+
+def parse_reg(text: str) -> Reg:
+    """Parse a register name (``r5``, ``cr0``, ``ctr``)."""
+    text = text.strip()
+    if text == "ctr":
+        return CTR
+    if text.startswith("cr") and text[2:].isdigit():
+        return cr(int(text[2:]))
+    if text.startswith("r") and text[1:].isdigit():
+        return gpr(int(text[1:]))
+    raise ValueError(f"not a register: {text!r}")

@@ -1,0 +1,275 @@
+"""Parser for the textual IR.
+
+The accepted syntax mirrors the paper's RS/6000 listings closely enough
+that the paper's own examples can be transcribed as test inputs::
+
+    data a: size=16 init=[1, 2, 3, 4]
+    data dev: size=4 volatile
+
+    func xlygetvalue(r3, r8):
+    loop:
+        L r4, 4(r8)
+        L r5, 4(r4)
+        C cr0, r5, r3
+        BT found, cr0.eq
+        L r8, 8(r8)
+        CI cr1, r8, 0
+        BF loop, cr1.ne
+    endofchain:
+        LI r3, 0
+        RET
+    found:
+        LR r3, r4
+        RET
+
+Comments start with ``#`` or ``//`` and run to end of line. Labels start a
+new basic block; an instruction before any label goes into an implicit
+``entry`` block. Blocks are laid out in source order, so fallthrough works
+as written.
+"""
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    ALU_OPS,
+    ALU_RI_OPS,
+    COND_CODES,
+    Instr,
+    UNARY_OPS,
+    wrap32,
+)
+from repro.ir.module import Module
+from repro.ir.operands import Reg, parse_reg
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text; carries the line number."""
+
+    def __init__(self, message: str, lineno: int):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_MEM_RE = re.compile(r"^(-?\d+)\((\w+)\)$")
+_CRCOND_RE = re.compile(r"^(cr\d+)\.(\w+)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_FUNC_RE = re.compile(r"^func\s+([A-Za-z_][\w.]*)\s*\(([^)]*)\)\s*:$")
+_DATA_RE = re.compile(r"^data\s+([A-Za-z_][\w.]*)\s*:\s*(.*)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",")] if text.strip() else []
+
+
+def _parse_int(text: str, lineno: int) -> int:
+    try:
+        return wrap32(int(text, 0))
+    except ValueError:
+        raise ParseError(f"expected integer, got {text!r}", lineno)
+
+
+def _parse_mem(text: str, lineno: int) -> Tuple[int, Reg]:
+    match = _MEM_RE.match(text.replace(" ", ""))
+    if not match:
+        raise ParseError(f"expected disp(base), got {text!r}", lineno)
+    return int(match.group(1)), parse_reg(match.group(2))
+
+
+def _parse_crcond(text: str, lineno: int) -> Tuple[Reg, str]:
+    match = _CRCOND_RE.match(text.replace(" ", ""))
+    if not match:
+        raise ParseError(f"expected crN.cond, got {text!r}", lineno)
+    cond = match.group(2)
+    if cond not in COND_CODES:
+        raise ParseError(f"bad condition code {cond!r}", lineno)
+    return parse_reg(match.group(1)), cond
+
+
+def parse_instr(line: str, lineno: int = 0) -> Instr:
+    """Parse a single instruction line."""
+    parts = line.split(None, 1)
+    op = parts[0].upper()
+    operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+    def need(n: int) -> None:
+        if len(operands) != n:
+            raise ParseError(f"{op} expects {n} operands, got {len(operands)}", lineno)
+
+    try:
+        if op == "LI":
+            need(2)
+            return Instr("LI", rd=parse_reg(operands[0]), imm=_parse_int(operands[1], lineno))
+        if op == "LA":
+            need(2)
+            return Instr("LA", rd=parse_reg(operands[0]), symbol=operands[1])
+        if op in UNARY_OPS:
+            need(2)
+            return Instr(op, rd=parse_reg(operands[0]), ra=parse_reg(operands[1]))
+        if op in ALU_OPS:
+            need(3)
+            return Instr(
+                op,
+                rd=parse_reg(operands[0]),
+                ra=parse_reg(operands[1]),
+                rb=parse_reg(operands[2]),
+            )
+        if op in ALU_RI_OPS:
+            need(3)
+            return Instr(
+                op,
+                rd=parse_reg(operands[0]),
+                ra=parse_reg(operands[1]),
+                imm=_parse_int(operands[2], lineno),
+            )
+        if op in ("L", "LU"):
+            need(2)
+            disp, base = _parse_mem(operands[1], lineno)
+            return Instr(op, rd=parse_reg(operands[0]), base=base, disp=disp)
+        if op in ("ST", "STU"):
+            need(2)
+            disp, base = _parse_mem(operands[0], lineno)
+            return Instr(op, ra=parse_reg(operands[1]), base=base, disp=disp)
+        if op == "C":
+            need(3)
+            return Instr(
+                "C",
+                crf=parse_reg(operands[0]),
+                ra=parse_reg(operands[1]),
+                rb=parse_reg(operands[2]),
+            )
+        if op == "CI":
+            need(3)
+            return Instr(
+                "CI",
+                crf=parse_reg(operands[0]),
+                ra=parse_reg(operands[1]),
+                imm=_parse_int(operands[2], lineno),
+            )
+        if op == "B":
+            need(1)
+            return Instr("B", target=operands[0])
+        if op in ("BT", "BF"):
+            need(2)
+            crf, cond = _parse_crcond(operands[1], lineno)
+            return Instr(op, target=operands[0], crf=crf, cond=cond)
+        if op == "BCT":
+            need(1)
+            return Instr("BCT", target=operands[0])
+        if op == "MTCTR":
+            need(1)
+            return Instr("MTCTR", ra=parse_reg(operands[0]))
+        if op == "MFCTR":
+            need(1)
+            return Instr("MFCTR", rd=parse_reg(operands[0]))
+        if op == "CALL":
+            if len(operands) == 1:
+                return Instr("CALL", symbol=operands[0], nargs=0)
+            need(2)
+            return Instr("CALL", symbol=operands[0], nargs=_parse_int(operands[1], lineno))
+        if op == "RET":
+            need(0)
+            return Instr("RET")
+        if op == "NOP":
+            need(0)
+            return Instr("NOP")
+    except ValueError as exc:
+        if isinstance(exc, ParseError):
+            raise
+        raise ParseError(str(exc), lineno)
+    raise ParseError(f"unknown opcode {op!r}", lineno)
+
+
+def _parse_data_line(module: Module, name: str, rest: str, lineno: int) -> None:
+    size: Optional[int] = None
+    init: List[int] = []
+    volatile = False
+    # Tokens: size=N, init=[...], volatile.
+    init_match = re.search(r"init=\[([^\]]*)\]", rest)
+    if init_match:
+        body = init_match.group(1).strip()
+        if body:
+            init = [_parse_int(v.strip(), lineno) for v in body.split(",")]
+        rest = rest[: init_match.start()] + rest[init_match.end() :]
+    for token in rest.replace(",", " ").split():
+        if token.startswith("size="):
+            size = _parse_int(token[5:], lineno)
+        elif token == "volatile":
+            volatile = True
+        else:
+            raise ParseError(f"bad data attribute {token!r}", lineno)
+    if size is None:
+        size = max(len(init) * 4, 4)
+    module.add_data(name, size, init, volatile)
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse a full module (data declarations and functions)."""
+    module = Module(name)
+    fn: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            params = [
+                parse_reg(p.strip())
+                for p in func_match.group(2).split(",")
+                if p.strip()
+            ]
+            fn = Function(func_match.group(1), params)
+            module.add_function(fn)
+            block = None
+            continue
+
+        data_match = _DATA_RE.match(line)
+        if data_match and fn is None:
+            _parse_data_line(module, data_match.group(1), data_match.group(2), lineno)
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            if fn is None:
+                raise ParseError("label outside a function", lineno)
+            block = BasicBlock(label_match.group(1))
+            fn.add_block(block)
+            continue
+
+        if fn is None:
+            raise ParseError(f"instruction outside a function: {line!r}", lineno)
+        if block is None:
+            block = BasicBlock("entry")
+            fn.add_block(block)
+        if block.terminator is not None:
+            # An instruction after a terminator without a label starts an
+            # anonymous fallthrough block (should not normally happen in
+            # hand-written inputs, but keeps round-tripping robust).
+            block = BasicBlock(fn.new_label("anon"))
+            fn.add_block(block)
+        block.append(parse_instr(line, lineno))
+
+    return module
+
+
+def parse_function(text: str) -> Function:
+    """Parse text containing exactly one function."""
+    module = parse_module(text)
+    if len(module.functions) != 1:
+        raise ParseError(
+            f"expected exactly one function, found {len(module.functions)}", 0
+        )
+    return next(iter(module.functions.values()))

@@ -1,0 +1,86 @@
+"""Textual form of the IR, matching the parser's input syntax."""
+
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    ALU_OPS,
+    ALU_RI_OPS,
+    Instr,
+    UNARY_OPS,
+)
+from repro.ir.module import Module
+
+
+def format_instr(instr: Instr) -> str:
+    """One-line assembly form of an instruction."""
+    op = instr.opcode
+    if op == "LI":
+        return f"LI {instr.rd}, {instr.imm}"
+    if op == "LA":
+        return f"LA {instr.rd}, {instr.symbol}"
+    if op in UNARY_OPS:
+        return f"{op} {instr.rd}, {instr.ra}"
+    if op in ALU_OPS:
+        return f"{op} {instr.rd}, {instr.ra}, {instr.rb}"
+    if op in ALU_RI_OPS:
+        return f"{op} {instr.rd}, {instr.ra}, {instr.imm}"
+    if op in ("L", "LU"):
+        return f"{op} {instr.rd}, {instr.disp}({instr.base})"
+    if op in ("ST", "STU"):
+        return f"{op} {instr.disp}({instr.base}), {instr.ra}"
+    if op == "C":
+        return f"C {instr.crf}, {instr.ra}, {instr.rb}"
+    if op == "CI":
+        return f"CI {instr.crf}, {instr.ra}, {instr.imm}"
+    if op == "B":
+        return f"B {instr.target}"
+    if op in ("BT", "BF"):
+        return f"{op} {instr.target}, {instr.crf}.{instr.cond}"
+    if op == "BCT":
+        return f"BCT {instr.target}"
+    if op == "MTCTR":
+        return f"MTCTR {instr.ra}"
+    if op == "MFCTR":
+        return f"MFCTR {instr.rd}"
+    if op == "CALL":
+        return f"CALL {instr.symbol}, {instr.nargs}"
+    if op == "RET":
+        return "RET"
+    if op == "NOP":
+        return "NOP"
+    raise ValueError(f"cannot format opcode {op!r}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines: List[str] = [f"{block.label}:"]
+    for instr in block.instrs:
+        lines.append(f"    {format_instr(instr)}")
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(str(p) for p in fn.params)
+    lines = [f"func {fn.name}({params}):"]
+    for block in fn.blocks:
+        lines.append(format_block(block))
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines: List[str] = []
+    for name in sorted(module.data):
+        obj = module.data[name]
+        parts = [f"data {obj.name}: size={obj.size}"]
+        if obj.init:
+            parts.append("init=[" + ", ".join(str(v) for v in obj.init) + "]")
+        if obj.volatile:
+            parts.append("volatile")
+        lines.append(" ".join(parts))
+    if lines:
+        lines.append("")
+    for fn in module.functions.values():
+        lines.append(format_function(fn))
+        lines.append("")
+    return "\n".join(lines)

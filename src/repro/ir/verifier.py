@@ -1,0 +1,151 @@
+"""Structural verification of IR invariants.
+
+Run after every pass in checked mode. Catches the classic transformation
+bugs early: dangling branch targets, misplaced terminators, falling off the
+end of a function, wrong operand register kinds.
+"""
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import ALL_OPCODES, ALU_OPS, ALU_RI_OPS, UNARY_OPS
+from repro.ir.module import Module
+
+
+class VerificationError(ValueError):
+    """Raised when a function violates an IR structural invariant."""
+
+
+def _check(condition: bool, message: str, errors: List[str]) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def verify_function(fn: Function, known_symbols=None) -> None:
+    """Raise :class:`VerificationError` if ``fn`` is malformed."""
+    errors: List[str] = []
+    _check(bool(fn.blocks), f"{fn.name}: function has no blocks", errors)
+
+    seen_labels = set()
+    for bb in fn.blocks:
+        _check(
+            bb.label not in seen_labels,
+            f"{fn.name}: duplicate label {bb.label}",
+            errors,
+        )
+        seen_labels.add(bb.label)
+
+    labels = {bb.label for bb in fn.blocks}
+    for bb in fn.blocks:
+        for i, instr in enumerate(bb.instrs):
+            _check(
+                instr.opcode in ALL_OPCODES,
+                f"{fn.name}/{bb.label}: unknown opcode {instr.opcode}",
+                errors,
+            )
+            if instr.is_terminator:
+                _check(
+                    i == len(bb.instrs) - 1,
+                    f"{fn.name}/{bb.label}: terminator {instr} not last",
+                    errors,
+                )
+            if instr.target is not None:
+                _check(
+                    instr.target in labels,
+                    f"{fn.name}/{bb.label}: dangling target {instr.target}",
+                    errors,
+                )
+            _verify_operand_kinds(fn, bb.label, instr, errors)
+            if known_symbols is not None and instr.opcode == "LA":
+                _check(
+                    instr.symbol in known_symbols,
+                    f"{fn.name}/{bb.label}: unknown data symbol {instr.symbol}",
+                    errors,
+                )
+
+    # Control must not fall off the end of the function.
+    if fn.blocks:
+        last = fn.blocks[-1]
+        _check(
+            last.terminator is not None and not last.falls_through,
+            f"{fn.name}: control may fall off the end (block {last.label})",
+            errors,
+        )
+
+    if errors:
+        raise VerificationError("\n".join(errors))
+
+
+def _verify_operand_kinds(fn: Function, label: str, instr, errors: List[str]) -> None:
+    op = instr.opcode
+    where = f"{fn.name}/{label}: {op}"
+
+    def gpr_ok(reg) -> bool:
+        return reg is not None and reg.kind == "gpr"
+
+    def cr_ok(reg) -> bool:
+        return reg is not None and reg.kind == "cr"
+
+    if op in ALU_OPS:
+        _check(
+            gpr_ok(instr.rd) and gpr_ok(instr.ra) and gpr_ok(instr.rb),
+            f"{where}: needs three gprs",
+            errors,
+        )
+    elif op in ALU_RI_OPS:
+        _check(
+            gpr_ok(instr.rd) and gpr_ok(instr.ra) and instr.imm is not None,
+            f"{where}: needs two gprs and an immediate",
+            errors,
+        )
+    elif op in UNARY_OPS:
+        _check(gpr_ok(instr.rd) and gpr_ok(instr.ra), f"{where}: needs two gprs", errors)
+    elif op == "LI":
+        _check(gpr_ok(instr.rd) and instr.imm is not None, f"{where}: bad operands", errors)
+    elif op == "LA":
+        _check(gpr_ok(instr.rd) and instr.symbol, f"{where}: bad operands", errors)
+    elif op in ("L", "LU"):
+        _check(gpr_ok(instr.rd) and gpr_ok(instr.base), f"{where}: bad operands", errors)
+    elif op in ("ST", "STU"):
+        _check(gpr_ok(instr.ra) and gpr_ok(instr.base), f"{where}: bad operands", errors)
+    elif op == "C":
+        _check(
+            cr_ok(instr.crf) and gpr_ok(instr.ra) and gpr_ok(instr.rb),
+            f"{where}: bad operands",
+            errors,
+        )
+    elif op == "CI":
+        _check(
+            cr_ok(instr.crf) and gpr_ok(instr.ra) and instr.imm is not None,
+            f"{where}: bad operands",
+            errors,
+        )
+    elif op in ("BT", "BF"):
+        _check(cr_ok(instr.crf) and instr.cond is not None, f"{where}: bad operands", errors)
+    elif op == "MTCTR":
+        _check(gpr_ok(instr.ra), f"{where}: bad operands", errors)
+    elif op == "MFCTR":
+        _check(gpr_ok(instr.rd), f"{where}: bad operands", errors)
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module`` (symbols checked against data)."""
+    symbols = set(module.data)
+    for fn in module.functions.values():
+        verify_function(fn, known_symbols=symbols)
+        for bb in fn.blocks:
+            for instr in bb.instrs:
+                if instr.is_call and not instr.attrs.get("library"):
+                    if instr.symbol not in module.functions and not _is_known_library(
+                        instr.symbol
+                    ):
+                        raise VerificationError(
+                            f"{fn.name}/{bb.label}: call to unknown function "
+                            f"{instr.symbol}"
+                        )
+
+
+def _is_known_library(name: str) -> bool:
+    from repro.machine.libcalls import LIBRARY_FUNCTIONS
+
+    return name in LIBRARY_FUNCTIONS

@@ -1,0 +1,41 @@
+"""Machine substrate: functional interpreter + superscalar timing model.
+
+The paper measures on RS/6000 (POWER), Power2 and PowerPC 601 hardware. We
+substitute a two-part substrate:
+
+- :mod:`repro.machine.interpreter` executes IR functionally (registers,
+  memory, calls, I/O) and records the dynamic instruction trace. It is the
+  ground truth for the differential-correctness tests of every pass.
+- :mod:`repro.machine.timer` replays a trace against an in-order
+  superscalar :class:`~repro.machine.model.MachineModel` and reports
+  cycles. The model captures exactly the pipeline phenomena the paper's
+  optimisations target (load-use delay, compare-to-branch delay, branch
+  folding, the conditional-then-unconditional branch stall, finite units).
+"""
+
+from repro.machine.model import MachineModel, POWER2, PPC601, RS6000
+from repro.machine.interpreter import (
+    ExecutionError,
+    ExecutionLimit,
+    ExecResult,
+    Interpreter,
+    MachineState,
+    run_function,
+)
+from repro.machine.timer import TimingReport, time_trace, cycles_for_run
+
+__all__ = [
+    "ExecResult",
+    "ExecutionError",
+    "ExecutionLimit",
+    "Interpreter",
+    "MachineModel",
+    "MachineState",
+    "POWER2",
+    "PPC601",
+    "RS6000",
+    "TimingReport",
+    "cycles_for_run",
+    "run_function",
+    "time_trace",
+]

@@ -1,0 +1,307 @@
+"""Functional interpreter for the IR.
+
+Executes a module's functions against a flat memory and the shared
+register file, recording (optionally) the dynamic instruction trace that
+the timing model replays, and per-basic-block execution counts (the same
+counts PDF instrumentation gathers).
+
+The interpreter is the semantic ground truth: every transformation pass is
+validated by running a function before and after the pass on identical
+inputs and comparing return value, memory effects and I/O.
+"""
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import ALU_FUNCS, ALU_RI_TO_RR, COND_FUNCS, Instr, wrap32
+from repro.ir.module import Module, STACK_BASE
+from repro.ir.operands import CALLEE_SAVED, CTR, RETVAL, SP, TOC, Reg, gpr
+from repro.machine.libcalls import LIBRARY_FUNCTIONS
+
+
+class ExecutionError(RuntimeError):
+    """Raised when execution goes structurally wrong (bad call, fallthrough
+    off the end of a function, call depth exceeded, ABI violation)."""
+
+
+class ExecutionLimit(ExecutionError):
+    """Raised when the step budget is exhausted (runaway loop)."""
+
+
+class MachineState:
+    """Registers, memory and I/O streams."""
+
+    def __init__(self, input_values: Optional[Iterable[int]] = None):
+        self.regs: Dict[Reg, int] = {}
+        self.mem: Dict[int, int] = {}
+        self.output: List[int] = []
+        self.input: List[int] = list(input_values) if input_values else []
+
+    def get(self, reg: Reg) -> int:
+        return self.regs.get(reg, 0)
+
+    def set(self, reg: Reg, value: int) -> None:
+        self.regs[reg] = wrap32(value)
+
+    def snapshot_mem(self) -> Dict[int, int]:
+        """Memory with zero-valued cells dropped, for comparisons."""
+        return {addr: val for addr, val in self.mem.items() if val != 0}
+
+
+class ExecResult:
+    """Outcome of one interpreted run."""
+
+    def __init__(
+        self,
+        value: int,
+        steps: int,
+        trace: Optional[List[Tuple[Instr, Optional[bool]]]],
+        block_counts: Optional[Dict[Tuple[str, str], int]],
+        state: MachineState,
+    ):
+        self.value = value
+        self.steps = steps
+        self.trace = trace
+        self.block_counts = block_counts
+        self.state = state
+
+    @property
+    def output(self) -> List[int]:
+        return self.state.output
+
+    def __repr__(self) -> str:
+        return f"<ExecResult value={self.value} steps={self.steps}>"
+
+
+class Interpreter:
+    """Executes functions of one module."""
+
+    MAX_CALL_DEPTH = 100
+
+    def __init__(
+        self,
+        module: Module,
+        max_steps: int = 2_000_000,
+        record_trace: bool = False,
+        count_blocks: bool = False,
+        check_callee_saved: bool = False,
+    ):
+        self.module = module
+        self.layout = module.layout()
+        self.max_steps = max_steps
+        self.record_trace = record_trace
+        self.count_blocks = count_blocks
+        self.check_callee_saved = check_callee_saved
+        self.steps = 0
+        self.trace: List[Tuple[Instr, Optional[bool]]] = []
+        self.block_counts: Dict[Tuple[str, str], int] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        fn_name: str,
+        args: Iterable[int] = (),
+        state: Optional[MachineState] = None,
+    ) -> ExecResult:
+        state = state if state is not None else MachineState()
+        fn = self.module.functions[fn_name]
+        self._init_state(state, args, fn)
+        value = self._exec_function(fn, state, depth=0)
+        return ExecResult(
+            value,
+            self.steps,
+            self.trace if self.record_trace else None,
+            self.block_counts if self.count_blocks else None,
+            state,
+        )
+
+    # -- setup -----------------------------------------------------------------
+
+    def _init_state(
+        self, state: MachineState, args: Iterable[int], fn: Optional[Function] = None
+    ) -> None:
+        state.set(SP, STACK_BASE)
+        state.set(TOC, 0x8000)
+        args = list(args)
+        # Honour declared parameter registers (the paper's listings take
+        # arguments in arbitrary registers, e.g. xlygetvalue(r3, r8));
+        # fall back to the r3.. linkage convention otherwise.
+        if fn is not None and fn.params:
+            if len(args) > len(fn.params):
+                raise ExecutionError(
+                    f"{fn.name} takes {len(fn.params)} args, got {len(args)}"
+                )
+            for reg, value in zip(fn.params, args):
+                state.set(reg, value)
+        else:
+            for i, value in enumerate(args):
+                if i >= 8:
+                    raise ExecutionError("more than 8 arguments not supported")
+                state.set(gpr(3 + i), value)
+        for name, addr in self.layout.items():
+            for i, word in enumerate(self.module.data[name].init):
+                state.mem[addr + 4 * i] = wrap32(word)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _exec_function(self, fn: Function, state: MachineState, depth: int) -> int:
+        if depth > self.MAX_CALL_DEPTH:
+            raise ExecutionError(f"call depth exceeded entering {fn.name}")
+        labels = {bb.label: i for i, bb in enumerate(fn.blocks)}
+        bi = 0
+        ii = 0
+        entered_block = True
+        while True:
+            if bi >= len(fn.blocks):
+                raise ExecutionError(f"fell off the end of {fn.name}")
+            block = fn.blocks[bi]
+            if entered_block and self.count_blocks:
+                key = (fn.name, block.label)
+                self.block_counts[key] = self.block_counts.get(key, 0) + 1
+            entered_block = False
+            if ii >= len(block.instrs):
+                # Fall through to the next block: either the block has no
+                # terminator, or its conditional terminator was untaken.
+                if not block.falls_through:
+                    raise ExecutionError(
+                        f"fell through a non-fallthrough block {block.label}"
+                    )
+                bi += 1
+                ii = 0
+                entered_block = True
+                continue
+
+            instr = block.instrs[ii]
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise ExecutionLimit(f"step budget exhausted in {fn.name}")
+
+            op = instr.opcode
+            taken: Optional[bool] = None
+
+            if op in ALU_FUNCS:
+                state.set(
+                    instr.rd,
+                    ALU_FUNCS[op](state.get(instr.ra), state.get(instr.rb)),
+                )
+            elif op in ALU_RI_TO_RR:
+                state.set(
+                    instr.rd,
+                    ALU_FUNCS[ALU_RI_TO_RR[op]](state.get(instr.ra), instr.imm),
+                )
+            elif op == "LI":
+                state.set(instr.rd, instr.imm)
+            elif op == "LA":
+                try:
+                    state.set(instr.rd, self.layout[instr.symbol])
+                except KeyError:
+                    raise ExecutionError(f"unknown data symbol {instr.symbol}")
+            elif op == "LR":
+                state.set(instr.rd, state.get(instr.ra))
+            elif op == "NEG":
+                state.set(instr.rd, -state.get(instr.ra))
+            elif op == "NOT":
+                state.set(instr.rd, ~state.get(instr.ra))
+            elif op == "L":
+                addr = state.get(instr.base) + instr.disp
+                state.set(instr.rd, state.mem.get(addr, 0))
+            elif op == "LU":
+                addr = state.get(instr.base) + instr.disp
+                state.set(instr.rd, state.mem.get(addr, 0))
+                state.set(instr.base, addr)
+            elif op == "ST":
+                addr = state.get(instr.base) + instr.disp
+                state.mem[addr] = state.get(instr.ra)
+            elif op == "STU":
+                addr = state.get(instr.base) + instr.disp
+                state.mem[addr] = state.get(instr.ra)
+                state.set(instr.base, addr)
+            elif op == "C":
+                diff = state.get(instr.ra) - state.get(instr.rb)
+                state.regs[instr.crf] = (diff > 0) - (diff < 0)
+            elif op == "CI":
+                diff = state.get(instr.ra) - instr.imm
+                state.regs[instr.crf] = (diff > 0) - (diff < 0)
+            elif op == "MTCTR":
+                state.set(CTR, state.get(instr.ra))
+            elif op == "MFCTR":
+                state.set(instr.rd, state.get(CTR))
+            elif op == "B":
+                taken = True
+            elif op == "BT" or op == "BF":
+                holds = COND_FUNCS[instr.cond](state.get(instr.crf))
+                taken = holds if op == "BT" else not holds
+            elif op == "BCT":
+                state.set(CTR, state.get(CTR) - 1)
+                taken = state.get(CTR) != 0
+            elif op == "CALL":
+                self._exec_call(instr, state, depth)
+            elif op == "RET":
+                if self.record_trace:
+                    self.trace.append((instr, None))
+                return state.get(RETVAL)
+            elif op == "NOP":
+                pass
+            else:  # pragma: no cover - verifier rejects unknown opcodes
+                raise ExecutionError(f"cannot execute opcode {op}")
+
+            if self.record_trace:
+                self.trace.append((instr, taken))
+
+            if taken:
+                try:
+                    bi = labels[instr.target]
+                except KeyError:
+                    raise ExecutionError(f"dangling branch target {instr.target}")
+                ii = 0
+                entered_block = True
+            else:
+                ii += 1
+
+    def _exec_call(self, instr: Instr, state: MachineState, depth: int) -> None:
+        symbol = instr.symbol
+        if symbol in self.module.functions:
+            saved = None
+            if self.check_callee_saved:
+                saved = {reg: state.get(reg) for reg in CALLEE_SAVED}
+                saved[SP] = state.get(SP)
+            value = self._exec_function(self.module.functions[symbol], state, depth + 1)
+            state.set(RETVAL, value)
+            if saved is not None:
+                for reg, expected in saved.items():
+                    if state.get(reg) != expected:
+                        raise ExecutionError(
+                            f"ABI violation: {symbol} clobbered {reg} "
+                            f"({expected} -> {state.get(reg)})"
+                        )
+            return
+        lib = LIBRARY_FUNCTIONS.get(symbol)
+        if lib is None:
+            raise ExecutionError(f"call to unknown function {symbol}")
+        args = [state.get(gpr(3 + i)) for i in range(lib.nargs)]
+        result = lib.impl(state, args)
+        if result is not None:
+            state.set(RETVAL, result)
+
+
+def run_function(
+    module: Module,
+    fn_name: str,
+    args: Iterable[int] = (),
+    input_values: Optional[Iterable[int]] = None,
+    max_steps: int = 2_000_000,
+    record_trace: bool = False,
+    count_blocks: bool = False,
+    check_callee_saved: bool = False,
+) -> ExecResult:
+    """Run ``fn_name`` from ``module`` and return the :class:`ExecResult`."""
+    interp = Interpreter(
+        module,
+        max_steps=max_steps,
+        record_trace=record_trace,
+        count_blocks=count_blocks,
+        check_callee_saved=check_callee_saved,
+    )
+    state = MachineState(input_values)
+    return interp.run(fn_name, args, state)

@@ -1,0 +1,120 @@
+"""Library call models.
+
+The paper's speculative load/store motion makes a special case for "I/O
+library procedures with known properties (e.g., storage modifications
+confined to parameters)": loads and stores may stay hoisted across calls
+to such procedures provided register-cached locations are flushed before
+and reloaded after the call. These summaries provide that knowledge.
+
+Each library function has a Python implementation used by the interpreter
+and an effect summary used by the analyses:
+
+- ``reads_memory`` / ``writes_memory``: may the callee touch any memory?
+- ``memory_confined_to_args``: the paper's property — any memory the
+  callee reads or writes is reachable only through its pointer arguments.
+- ``is_io``: performs input/output (never removable or duplicable).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class LibraryFunction:
+    """Implementation plus effect summary for one library routine."""
+
+    name: str
+    nargs: int
+    impl: Callable  # (state, args) -> return value (int) or None
+    reads_memory: bool = False
+    writes_memory: bool = False
+    memory_confined_to_args: bool = False
+    is_io: bool = False
+
+
+def _print_int(state, args) -> Optional[int]:
+    state.output.append(args[0])
+    return None
+
+
+def _read_int(state, args) -> int:
+    if state.input:
+        return state.input.pop(0)
+    return 0
+
+
+def _abs_val(state, args) -> int:
+    value = args[0]
+    return -value if value < 0 else value
+
+
+def _min_val(state, args) -> int:
+    return min(args[0], args[1])
+
+
+def _max_val(state, args) -> int:
+    return max(args[0], args[1])
+
+
+def _memset_words(state, args) -> int:
+    """memset_words(addr, value, nwords): fill words; returns addr."""
+    addr, value, nwords = args
+    for i in range(max(nwords, 0)):
+        state.mem[addr + 4 * i] = value
+    return addr
+
+
+def _memcpy_words(state, args) -> int:
+    """memcpy_words(dst, src, nwords): copy words; returns dst."""
+    dst, src, nwords = args
+    for i in range(max(nwords, 0)):
+        state.mem[dst + 4 * i] = state.mem.get(src + 4 * i, 0)
+    return dst
+
+
+def _write_record(state, args) -> Optional[int]:
+    """write_record(addr, nwords): emit nwords of memory to the output."""
+    addr, nwords = args
+    for i in range(max(nwords, 0)):
+        state.output.append(state.mem.get(addr + 4 * i, 0))
+    return None
+
+
+LIBRARY_FUNCTIONS: Dict[str, LibraryFunction] = {
+    fn.name: fn
+    for fn in [
+        LibraryFunction("print_int", 1, _print_int, is_io=True),
+        LibraryFunction("read_int", 0, _read_int, is_io=True),
+        LibraryFunction("abs_val", 1, _abs_val),
+        LibraryFunction("min_val", 2, _min_val),
+        LibraryFunction("max_val", 2, _max_val),
+        LibraryFunction(
+            "memset_words",
+            3,
+            _memset_words,
+            writes_memory=True,
+            memory_confined_to_args=True,
+        ),
+        LibraryFunction(
+            "memcpy_words",
+            3,
+            _memcpy_words,
+            reads_memory=True,
+            writes_memory=True,
+            memory_confined_to_args=True,
+        ),
+        LibraryFunction(
+            "write_record",
+            2,
+            _write_record,
+            reads_memory=True,
+            memory_confined_to_args=True,
+            is_io=True,
+        ),
+    ]
+}
+
+
+def call_effects(symbol: str) -> Optional[LibraryFunction]:
+    """Effect summary for ``symbol``, or None for unknown callees."""
+    return LIBRARY_FUNCTIONS.get(symbol)

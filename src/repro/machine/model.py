@@ -1,0 +1,79 @@
+"""Parameterised in-order superscalar machine models.
+
+The timing rules are calibrated so that the paper's annotated cycle counts
+reproduce. On the RS/6000 preset the paper's original ``xlygetvalue`` loop
+(SPEC li) times at exactly the 11 cycles per iteration the paper reports:
+
+- a load's result is usable ``load_latency`` (2) cycles after issue
+  (one delay slot),
+- a *taken* conditional branch must wait until ``cmp_to_branch`` (4)
+  cycles after the compare that set its condition register ("three
+  independent instructions between a compare and a dependent conditional
+  branch"), while a correctly-predicted *untaken* branch is free,
+- branches are folded by the branch unit: the branch target instruction
+  may issue in the same cycle as the taken branch,
+- an unconditional branch costs ``uncond_base_cost`` plus a stall that
+  ramps up when it issues within ``cond_uncond_window`` non-branch
+  instructions of a conditional branch (the RS/6000 stall that motivates
+  basic block expansion),
+- ``int`` and ``mem`` operations may share one pool of fixed-point units
+  (the RS/6000's single FXU handles both).
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Timing parameters of an in-order superscalar."""
+
+    name: str = "generic"
+    issue_width: int = 4
+    fxu_units: int = 1  # shared integer/memory pipes when shared_fxu
+    int_units: int = 1
+    mem_units: int = 1
+    branch_units: int = 1
+    shared_fxu: bool = True
+    alu_latency: int = 1
+    load_latency: int = 2
+    cmp_to_branch: int = 4
+    ctr_to_branch: int = 4
+    uncond_base_cost: int = 1
+    cond_uncond_window: int = 4
+    call_penalty: int = 1
+    ret_penalty: int = 1
+    library_call_cost: int = 20
+
+    def with_changes(self, **kwargs) -> "MachineModel":
+        return replace(self, **kwargs)
+
+
+#: RS/6000 (POWER, e.g. model 580): one FXU shared by integer and memory
+#: operations, one branch unit, four-wide fetch.
+RS6000 = MachineModel(
+    name="rs6000",
+    issue_width=4,
+    fxu_units=1,
+    shared_fxu=True,
+)
+
+#: Power2-like: two FXUs, wider issue, slightly cheaper branches.
+POWER2 = MachineModel(
+    name="power2",
+    issue_width=6,
+    fxu_units=2,
+    shared_fxu=True,
+)
+
+#: PowerPC 601-like: narrower fetch, single integer unit, longer
+#: compare-to-branch distance.
+PPC601 = MachineModel(
+    name="ppc601",
+    issue_width=3,
+    fxu_units=1,
+    shared_fxu=True,
+    cmp_to_branch=5,
+    uncond_base_cost=2,
+)
+
+PRESETS = {m.name: m for m in (RS6000, POWER2, PPC601)}

@@ -1,0 +1,222 @@
+"""Trace-driven timing model for in-order superscalars.
+
+Replays the dynamic instruction trace produced by the interpreter against
+a :class:`~repro.machine.model.MachineModel` and reports cycle counts.
+
+Model rules (see model.py for the calibration rationale):
+
+- instructions issue in program (trace) order; several may issue in the
+  same cycle up to ``issue_width`` and the per-class unit limits,
+- a non-branch instruction waits for its source registers,
+- a *taken* ``BT``/``BF`` waits until ``cmp_to_branch`` cycles after the
+  compare that produced its condition register; an untaken one issues
+  immediately (correct fall-through prediction is free),
+- branch folding: the target instruction of a taken conditional branch
+  may issue in the branch's own cycle,
+- ``B`` costs ``uncond_base_cost`` cycles of fetch redirect, plus a stall
+  that grows the closer it follows a conditional branch (the RS/6000
+  untaken-conditional-then-taken-unconditional stall: ``max(0,
+  cond_uncond_window - intervening non-branch instructions)``),
+- ``CALL``/``RET`` pay small fixed redirect penalties; calls to library
+  routines without IR bodies pay ``library_call_cost``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+from repro.ir.operands import CTR, RETVAL, Reg
+from repro.machine.libcalls import LIBRARY_FUNCTIONS
+from repro.machine.model import MachineModel, RS6000
+
+
+_CLASS_INT = "int"
+_CLASS_MEM = "mem"
+_CLASS_BRANCH = "branch"
+
+
+def _instr_class(instr: Instr) -> str:
+    if instr.is_memory:
+        return _CLASS_MEM
+    if instr.is_branch or instr.is_call or instr.is_return:
+        return _CLASS_BRANCH
+    return _CLASS_INT
+
+
+@dataclass
+class TimingReport:
+    """Cycle-level outcome of replaying one trace."""
+
+    cycles: int
+    instructions: int
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    branch_stall_cycles: int = 0
+    uncond_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimingReport cycles={self.cycles} instrs={self.instructions} "
+            f"ipc={self.ipc:.2f}>"
+        )
+
+
+class _IssueTracker:
+    """Width and unit occupancy bookkeeping."""
+
+    def __init__(self, model: MachineModel):
+        self.model = model
+        self.width_used: Dict[int, int] = {}
+        self.unit_used: Dict[Tuple[int, str], int] = {}
+
+    def _unit_limit(self, klass: str) -> int:
+        model = self.model
+        if klass == _CLASS_BRANCH:
+            return model.branch_units
+        if model.shared_fxu:
+            return model.fxu_units
+        return model.mem_units if klass == _CLASS_MEM else model.int_units
+
+    def _unit_key(self, klass: str) -> str:
+        if klass == _CLASS_BRANCH:
+            return _CLASS_BRANCH
+        return "fxu" if self.model.shared_fxu else klass
+
+    def issue_at(self, earliest: int, klass: str) -> int:
+        """First cycle >= earliest with a free slot and unit; reserves it."""
+        limit = self._unit_limit(klass)
+        key = self._unit_key(klass)
+        cycle = earliest
+        while (
+            self.width_used.get(cycle, 0) >= self.model.issue_width
+            or self.unit_used.get((cycle, key), 0) >= limit
+        ):
+            cycle += 1
+        self.width_used[cycle] = self.width_used.get(cycle, 0) + 1
+        self.unit_used[(cycle, key)] = self.unit_used.get((cycle, key), 0) + 1
+        return cycle
+
+
+def time_trace(
+    trace: Iterable[Tuple[Instr, Optional[bool]]],
+    model: MachineModel = RS6000,
+) -> TimingReport:
+    """Replay ``trace`` against ``model`` and return the cycle report."""
+    tracker = _IssueTracker(model)
+    reg_ready: Dict[Reg, int] = {}
+    # Cycle at which a branch may consume each condition register / ctr.
+    branch_ready: Dict[Reg, int] = {}
+
+    floor = 0
+    last_issue = -1
+    n_instrs = 0
+    class_counts = {_CLASS_INT: 0, _CLASS_MEM: 0, _CLASS_BRANCH: 0}
+    branch_stalls = 0
+    uncond_stalls = 0
+    nonbranch_since_cond: Optional[int] = None  # None: no cond branch seen
+
+    for instr, taken in trace:
+        klass = _instr_class(instr)
+        n_instrs += 1
+        class_counts[klass] += 1
+        earliest = floor
+        op = instr.opcode
+
+        if op in ("BT", "BF"):
+            if taken:
+                ready = branch_ready.get(instr.crf, 0)
+                if ready > earliest:
+                    branch_stalls += ready - earliest
+                    earliest = ready
+        elif op == "BCT":
+            ready = branch_ready.get(CTR, 0)
+            if ready > earliest:
+                branch_stalls += ready - earliest
+                earliest = ready
+        elif op == "B":
+            if nonbranch_since_cond is not None:
+                stall = max(0, model.cond_uncond_window - nonbranch_since_cond)
+                uncond_stalls += stall
+                earliest += stall
+        elif op not in ("CALL", "RET"):
+            for reg in instr.uses():
+                ready = reg_ready.get(reg, 0)
+                if ready > earliest:
+                    earliest = ready
+
+        issue = tracker.issue_at(earliest, klass)
+        last_issue = max(last_issue, issue)
+
+        # Result availability.
+        if instr.is_load:
+            reg_ready[instr.rd] = issue + model.load_latency
+            if op == "LU":
+                reg_ready[instr.base] = issue + model.alu_latency
+        elif op == "STU":
+            reg_ready[instr.base] = issue + model.alu_latency
+        elif instr.is_compare:
+            reg_ready[instr.crf] = issue + model.alu_latency
+            branch_ready[instr.crf] = issue + model.cmp_to_branch
+        elif op == "MTCTR":
+            branch_ready[CTR] = issue + model.ctr_to_branch
+        elif op == "BCT":
+            branch_ready[CTR] = max(branch_ready.get(CTR, 0), issue + 1)
+        elif instr.rd is not None:
+            reg_ready[instr.rd] = issue + model.alu_latency
+
+        # In-order floor for the next instruction.
+        if op == "B":
+            floor = issue + model.uncond_base_cost
+        elif op == "CALL":
+            if instr.symbol in LIBRARY_FUNCTIONS:
+                floor = issue + model.library_call_cost
+                reg_ready[RETVAL] = floor
+            else:
+                floor = issue + model.call_penalty
+        elif op == "RET":
+            floor = issue + model.ret_penalty
+        else:
+            # Taken conditional branches are folded: the target instruction
+            # may issue in the same cycle.
+            floor = issue
+
+        # Track distance from the last conditional branch for the
+        # conditional-then-unconditional stall rule.
+        if instr.is_cond_branch:
+            nonbranch_since_cond = 0
+        elif klass != _CLASS_BRANCH and nonbranch_since_cond is not None:
+            nonbranch_since_cond += 1
+
+    return TimingReport(
+        cycles=last_issue + 1 if last_issue >= 0 else 0,
+        instructions=n_instrs,
+        class_counts=class_counts,
+        branch_stall_cycles=branch_stalls,
+        uncond_stall_cycles=uncond_stalls,
+    )
+
+
+def cycles_for_run(
+    module: Module,
+    fn_name: str,
+    args: Iterable[int] = (),
+    model: MachineModel = RS6000,
+    input_values: Optional[List[int]] = None,
+    max_steps: int = 2_000_000,
+) -> TimingReport:
+    """Interpret ``fn_name`` on ``args`` and time its dynamic trace."""
+    from repro.machine.interpreter import run_function
+
+    result = run_function(
+        module,
+        fn_name,
+        args,
+        input_values=input_values,
+        max_steps=max_steps,
+        record_trace=True,
+    )
+    return time_trace(result.trace, model)

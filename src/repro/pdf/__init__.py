@@ -1,0 +1,44 @@
+"""Profiling Directed Feedback (PDF).
+
+The paper's low-overhead two-pass profiling workflow:
+
+1. **Planning** (:mod:`repro.pdf.instrument`): a constraint-propagation
+   algorithm picks a *subset* of basic blocks whose execution counts
+   uniquely determine every edge count (flow conservation: a block's
+   count equals the sum over its incoming edges and over its outgoing
+   edges). Where block counts cannot disambiguate edges, an edge is
+   split with a dummy block which is then counted.
+2. **Instrumentation**: real counting code is inserted — three
+   instructions per counted block (load counter, add one, store), with
+   the loads/stores migrated to loop preheaders/exits so blocks inside
+   loops pay a single ``AI`` per execution, exactly as in the paper's
+   eqntott figure.
+3. **Collection** (:mod:`repro.pdf.profile`): the instrumented module
+   runs in the interpreter; counter values are read back from the
+   counts table in memory, and the full block and edge profile is
+   recovered by the same propagation. Counts accumulate across runs.
+4. **Feedback** (:mod:`repro.pdf.reorder`, :mod:`repro.pdf.reversal`):
+   basic block re-ordering along the most-frequent-successor-first DFS,
+   branch reversal of mostly-taken conditional branches (finished by
+   basic block expansion), and branch probabilities for the scheduler.
+"""
+
+from repro.pdf.instrument import (
+    InstrumentationPlan,
+    apply_instrumentation,
+    plan_instrumentation,
+)
+from repro.pdf.profile import ProfileData, collect_profile, recover_counts
+from repro.pdf.reorder import ProfileGuidedReorder
+from repro.pdf.reversal import BranchReversal
+
+__all__ = [
+    "BranchReversal",
+    "InstrumentationPlan",
+    "ProfileData",
+    "ProfileGuidedReorder",
+    "apply_instrumentation",
+    "collect_profile",
+    "plan_instrumentation",
+    "recover_counts",
+]

@@ -1,0 +1,316 @@
+"""Counting-point selection and instrumentation.
+
+"We use a constraint-propagation algorithm ... for finding (and possibly
+creating) the basic blocks for counting code insertion. The idea is to
+have just enough counts, so that all the remaining edge and basic block
+counts in the flow graph can be uniquely determined from the gathered
+counts."
+
+The propagation rules over the flow-conservation system are:
+
+- a block whose incoming (or outgoing) edge counts are all known has a
+  known count;
+- a block with a known count and all-but-one incoming (outgoing) edge
+  known determines the remaining edge.
+
+Planning greedily adds counting blocks until propagation saturates; if
+every block count is known but some edge remains ambiguous (parallel
+join/branch webs), the edge is split with a dummy block which is then
+counted ("it is sometimes necessary to create new (dummy) basic blocks
+during PDF").
+
+Instrumentation inserts real counting instructions. Outside loops each
+counted block costs three instructions (load counter word, add one,
+store back). For counted blocks inside loops, each counter is cached in
+a register: the load happens in the loop preheader, the store on every
+loop exit, and the block itself pays one ``AI`` — the optimisation the
+paper demonstrates on the eqntott inner loop. All inserted instructions
+are marked with ``attrs['counter']`` so no other pass moves, duplicates
+or deletes them.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import make_alui, make_la, make_load, make_store
+from repro.ir.module import Module
+from repro.analysis.cfg import reachable_blocks, reverse_postorder
+from repro.analysis.loops import (
+    find_natural_loops,
+    get_or_create_preheader,
+    insert_before_terminator,
+    split_edge,
+)
+
+#: Name of the per-module counter table data object.
+COUNTS_SYMBOL = "__bbcounts"
+
+
+@dataclass
+class InstrumentationPlan:
+    """Which blocks to count and which edges need dummy blocks."""
+
+    #: function -> labels of blocks that receive counting code (dummy
+    #: blocks are named after planning and included here).
+    counted: Dict[str, List[str]] = field(default_factory=dict)
+    #: function -> edges (src label, dst label) to split before counting.
+    split_edges: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    #: (function, label) -> slot index in the counts table.
+    slots: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def slot_count(self) -> int:
+        return len(self.slots)
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(
+            {
+                "counted": self.counted,
+                "split_edges": {
+                    fn: [list(edge) for edge in edges]
+                    for fn, edges in self.split_edges.items()
+                },
+                "slots": [
+                    [fn, label, slot] for (fn, label), slot in sorted(self.slots.items())
+                ],
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "InstrumentationPlan":
+        import json
+
+        raw = json.loads(text)
+        plan = cls()
+        plan.counted = {fn: list(labels) for fn, labels in raw["counted"].items()}
+        plan.split_edges = {
+            fn: [tuple(edge) for edge in edges]
+            for fn, edges in raw["split_edges"].items()
+        }
+        plan.slots = {(fn, label): slot for fn, label, slot in raw["slots"]}
+        return plan
+
+
+# --------------------------------------------------------------------------
+# Propagation (shared by planning and numeric recovery)
+# --------------------------------------------------------------------------
+
+
+def _edges_of(fn: Function) -> List[Tuple[str, str]]:
+    reachable = reachable_blocks(fn)
+    return [
+        (bb.label, succ.label)
+        for bb in fn.blocks
+        if bb.label in reachable
+        for succ in fn.successors(bb)
+        if succ.label in reachable
+    ]
+
+
+def propagate_known(
+    fn: Function, known_blocks: Set[str]
+) -> Tuple[Set[str], Set[Tuple[str, str]]]:
+    """Close ``known_blocks`` under the flow-conservation rules.
+
+    Returns (known block labels, known edges). Entry and exit blocks get
+    no special treatment: the function-invocation count is known exactly
+    when some counted block determines it.
+    """
+    edges = _edges_of(fn)
+    reachable = reachable_blocks(fn)
+    in_edges: Dict[str, List[Tuple[str, str]]] = {b: [] for b in reachable}
+    out_edges: Dict[str, List[Tuple[str, str]]] = {b: [] for b in reachable}
+    for e in edges:
+        out_edges[e[0]].append(e)
+        in_edges[e[1]].append(e)
+
+    known_b = set(known_blocks) & reachable
+    known_e: Set[Tuple[str, str]] = set()
+    changed = True
+    while changed:
+        changed = False
+        for b in reachable:
+            ins, outs = in_edges[b], out_edges[b]
+            if b not in known_b:
+                if ins and all(e in known_e for e in ins):
+                    known_b.add(b)
+                    changed = True
+                elif outs and all(e in known_e for e in outs):
+                    known_b.add(b)
+                    changed = True
+            if b in known_b:
+                for group in (ins, outs):
+                    unknown = [e for e in group if e not in known_e]
+                    if len(unknown) == 1:
+                        known_e.add(unknown[0])
+                        changed = True
+    return known_b, known_e
+
+
+# --------------------------------------------------------------------------
+# Planning
+# --------------------------------------------------------------------------
+
+
+def _plan_function(fn: Function) -> Tuple[List[str], List[Tuple[str, str]]]:
+    """(blocks to count, edges to split) for one function.
+
+    Edge splitting is simulated on a clone so the real function is not
+    modified during planning; the caller re-applies the same splits
+    deterministically.
+    """
+    work = fn.clone()
+    counted: List[str] = []
+    split: List[Tuple[str, str]] = []
+    # Map from clone dummy label to (src, dst) original edge.
+    for _ in range(len(work.blocks) * 4 + 8):  # bounded fixpoint
+        reachable = reachable_blocks(work)
+        known_b, known_e = propagate_known(work, set(counted))
+        edges = set(_edges_of(work))
+        if known_b >= reachable and edges <= known_e:
+            break
+        unknown_blocks = [
+            bb.label
+            for bb in reverse_postorder(work)
+            if bb.label not in known_b
+        ]
+        if unknown_blocks:
+            # Prefer static predictions: count the block least likely to
+            # be hot — the one at the greatest loop depth is the *worst*
+            # choice, so pick minimal loop depth among unknowns.
+            loops = find_natural_loops(work)
+
+            def depth(label: str) -> int:
+                return sum(1 for lp in loops if label in lp.body)
+
+            unknown_blocks.sort(key=lambda lb: (depth(lb),))
+            counted.append(unknown_blocks[0])
+            continue
+        # All block counts known, some edge ambiguous: split one.
+        ambiguous = sorted(edges - known_e)
+        src_label, dst_label = ambiguous[0]
+        src = work.block(src_label)
+        dst = work.block(dst_label)
+        dummy = split_edge(work, src, dst)
+        split.append((src_label, dst_label))
+        counted.append(dummy.label)
+    return counted, split
+
+
+def plan_instrumentation(module: Module) -> InstrumentationPlan:
+    """Plan counting points for every function in ``module``."""
+    plan = InstrumentationPlan()
+    slot = 0
+    for name in sorted(module.functions):
+        fn = module.functions[name]
+        counted, split = _plan_function(fn)
+        plan.counted[name] = counted
+        plan.split_edges[name] = split
+        for label in counted:
+            plan.slots[(name, label)] = slot
+            slot += 1
+    return plan
+
+
+# --------------------------------------------------------------------------
+# Applying instrumentation
+# --------------------------------------------------------------------------
+
+
+def apply_edge_splits(module: Module, plan: InstrumentationPlan) -> Dict[Tuple[str, str, str], str]:
+    """Split the planned edges; returns (fn, src, dst) -> dummy label.
+
+    Label generation is deterministic (per-function counters), so the
+    dummy labels match the ones produced during planning — "the flow
+    graph is modified in the same way on both passes".
+    """
+    mapping: Dict[Tuple[str, str, str], str] = {}
+    for name, edges in plan.split_edges.items():
+        fn = module.functions[name]
+        for src_label, dst_label in edges:
+            dummy = split_edge(fn, fn.block(src_label), fn.block(dst_label))
+            mapping[(name, src_label, dst_label)] = dummy.label
+    return mapping
+
+
+def apply_instrumentation(module: Module, plan: Optional[InstrumentationPlan] = None) -> InstrumentationPlan:
+    """Insert counting code into ``module`` according to ``plan``.
+
+    The module gains a ``__bbcounts`` data object with one word per
+    counted block. Returns the plan (computing it first if not given).
+    """
+    if plan is None:
+        plan = plan_instrumentation(module)
+    apply_edge_splits(module, plan)
+    if COUNTS_SYMBOL not in module.data:
+        module.add_data(COUNTS_SYMBOL, max(4 * plan.slot_count, 4))
+
+    for name in sorted(plan.counted):
+        fn = module.functions[name]
+        labels = plan.counted[name]
+        if not labels:
+            continue
+        base = fn.new_vreg("gpr", include_callee_saved=True)
+        la = make_la(base, COUNTS_SYMBOL)
+        la.attrs["counter"] = True
+        fn.entry.instrs.insert(0, la)
+
+        loops = find_natural_loops(fn)
+        cached: Dict[str, object] = {}  # label -> register cache
+        for label in labels:
+            slot = plan.slots[(name, label)]
+            block = fn.block(label)
+            loop = _innermost_loop_of(label, loops)
+            if loop is None:
+                tmp = fn.new_vreg("gpr", include_callee_saved=True)
+                code = [
+                    make_load(tmp, 4 * slot, base),
+                    make_alui("AI", tmp, tmp, 1),
+                    make_store(4 * slot, base, tmp),
+                ]
+                for instr in code:
+                    instr.attrs["counter"] = True
+                insert_at = len(block.instrs) - (1 if block.terminator else 0)
+                block.instrs[insert_at:insert_at] = code
+            else:
+                # Register-cached counter: load in the preheader, one AI
+                # in the block, store at every loop exit.
+                reg = fn.new_vreg("gpr", include_callee_saved=True)
+                pre = get_or_create_preheader(fn, loop)
+                load = make_load(reg, 4 * slot, base)
+                load.attrs["counter"] = True
+                insert_before_terminator(pre, load)
+                bump = make_alui("AI", reg, reg, 1)
+                bump.attrs["counter"] = True
+                block.instrs.insert(
+                    len(block.instrs) - (1 if block.terminator else 0), bump
+                )
+                for src, dst in loop.exit_edges(fn):
+                    edge_bb = split_edge(fn, src, dst)
+                    store = make_store(4 * slot, base, reg)
+                    store.attrs["counter"] = True
+                    insert_before_terminator(edge_bb, store)
+    return plan
+
+
+def _innermost_loop_of(label: str, loops):
+    best = None
+    for loop in loops:
+        if label in loop.body:
+            if best is None or len(loop.body) < len(best.body):
+                best = loop
+    return best
+
+
+def instrumentation_overhead(module: Module) -> int:
+    """Static count of inserted counting instructions."""
+    return sum(
+        1
+        for fn in module.functions.values()
+        for instr in fn.instructions()
+        if instr.attrs.get("counter")
+    )

@@ -1,0 +1,204 @@
+"""Profile collection and count recovery.
+
+During the first PDF pass the instrumented program writes exact
+execution counts for the counted blocks into the ``__bbcounts`` table.
+This module reads the table back after an interpreter run, recovers
+every remaining block and edge count by numeric constraint propagation
+(the same rules the planner used symbolically), and accumulates counts
+over multiple runs ("counts from multiple runs of the same program can
+be accumulated").
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.analysis.cfg import reachable_blocks
+from repro.machine.interpreter import run_function
+from repro.pdf.instrument import (
+    COUNTS_SYMBOL,
+    InstrumentationPlan,
+    apply_edge_splits,
+    apply_instrumentation,
+    plan_instrumentation,
+)
+
+
+@dataclass
+class ProfileData:
+    """Recovered block and edge execution counts."""
+
+    block_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    edge_counts: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    def accumulate(self, other: "ProfileData") -> None:
+        for key, val in other.block_counts.items():
+            self.block_counts[key] = self.block_counts.get(key, 0) + val
+        for key, val in other.edge_counts.items():
+            self.edge_counts[key] = self.edge_counts.get(key, 0) + val
+
+    # -- persistence (the paper's profile file between the two passes) ----
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(
+            {
+                "blocks": [
+                    [fn, label, count]
+                    for (fn, label), count in sorted(self.block_counts.items())
+                ],
+                "edges": [
+                    [fn, src, dst, count]
+                    for (fn, src, dst), count in sorted(self.edge_counts.items())
+                ],
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileData":
+        import json
+
+        raw = json.loads(text)
+        profile = cls()
+        for fn, label, count in raw.get("blocks", []):
+            profile.block_counts[(fn, label)] = count
+        for fn, src, dst, count in raw.get("edges", []):
+            profile.edge_counts[(fn, src, dst)] = count
+        return profile
+
+    def save(self, path: str) -> None:
+        """Write the profile file ("it creates a file that indicates the
+        number of times each basic block ... was executed")."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ProfileData":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def edge_frequency(self, fn: str, src: str, dst: str) -> int:
+        return self.edge_counts.get((fn, src, dst), 0)
+
+    def taken_probability(self, fn: str, block, function: Function) -> Optional[float]:
+        """Probability that ``block``'s conditional branch is taken."""
+        term = block.terminator
+        if term is None or not term.is_cond_branch or term.target is None:
+            return None
+        succs = function.successors(block)
+        if len(succs) != 2:
+            return None
+        taken = self.edge_frequency(fn, block.label, term.target)
+        fall = self.edge_frequency(fn, block.label, succs[1].label)
+        total = taken + fall
+        if total == 0:
+            return None
+        return taken / total
+
+
+def recover_counts(
+    fn: Function, measured: Dict[str, int]
+) -> Tuple[Dict[str, int], Dict[Tuple[str, str], int]]:
+    """Recover all block and edge counts from measured block counts."""
+    reachable = reachable_blocks(fn)
+    edges = [
+        (bb.label, succ.label)
+        for bb in fn.blocks
+        if bb.label in reachable
+        for succ in fn.successors(bb)
+        if succ.label in reachable
+    ]
+    in_edges: Dict[str, List[Tuple[str, str]]] = {b: [] for b in reachable}
+    out_edges: Dict[str, List[Tuple[str, str]]] = {b: [] for b in reachable}
+    for e in edges:
+        out_edges[e[0]].append(e)
+        in_edges[e[1]].append(e)
+
+    blocks: Dict[str, int] = {
+        label: count for label, count in measured.items() if label in reachable
+    }
+    edge_vals: Dict[Tuple[str, str], int] = {}
+    changed = True
+    while changed:
+        changed = False
+        for b in reachable:
+            ins, outs = in_edges[b], out_edges[b]
+            if b not in blocks:
+                if ins and all(e in edge_vals for e in ins):
+                    blocks[b] = sum(edge_vals[e] for e in ins)
+                    changed = True
+                elif outs and all(e in edge_vals for e in outs):
+                    blocks[b] = sum(edge_vals[e] for e in outs)
+                    changed = True
+            if b in blocks:
+                for group in (ins, outs):
+                    unknown = [e for e in group if e not in edge_vals]
+                    if len(unknown) == 1:
+                        known_sum = sum(
+                            edge_vals[e] for e in group if e in edge_vals
+                        )
+                        edge_vals[unknown[0]] = max(blocks[b] - known_sum, 0)
+                        changed = True
+    return blocks, edge_vals
+
+
+def collect_profile(
+    module: Module,
+    entry: str,
+    runs: Iterable[Tuple],
+    plan: Optional[InstrumentationPlan] = None,
+    max_steps: int = 5_000_000,
+) -> Tuple[ProfileData, InstrumentationPlan]:
+    """The full first PDF pass.
+
+    Clones ``module``, instruments the clone, executes it on each of the
+    training ``runs`` (argument tuples), reads the counter table back
+    from memory, recovers full counts, and returns the accumulated
+    profile along with the plan (to be re-applied on the second pass).
+
+    The returned profile refers to the *edge-split* flow graph: the
+    second compilation pass must call
+    :func:`repro.pdf.instrument.apply_edge_splits` with the same plan so
+    labels line up.
+    """
+    if plan is None:
+        plan = plan_instrumentation(module)
+    instrumented = module.clone()
+    apply_instrumentation(instrumented, plan)
+    # Counter caches may live in callee-saved registers (the paper uses
+    # r11..r13/r31), so the instrumented build needs its linkage code
+    # before it can run.
+    from repro.transforms.linkage import LinkageLowering
+    from repro.transforms.pass_manager import PassContext
+
+    LinkageLowering().run_on_module(instrumented, PassContext(instrumented))
+
+    layout = instrumented.layout()
+    table_base = layout[COUNTS_SYMBOL]
+    totals: Dict[Tuple[str, str], int] = {key: 0 for key in plan.slots}
+
+    for args in runs:
+        result = run_function(instrumented, entry, list(args), max_steps=max_steps)
+        for (fn_name, label), slot in plan.slots.items():
+            totals[(fn_name, label)] += result.state.mem.get(table_base + 4 * slot, 0)
+
+    # Recover full counts on a split-graph copy of the original module.
+    shadow = module.clone()
+    apply_edge_splits(shadow, plan)
+    profile = ProfileData()
+    for fn_name in sorted(shadow.functions):
+        fn = shadow.functions[fn_name]
+        measured = {
+            label: totals.get((fn_name, label), 0)
+            for (f, label) in plan.slots
+            if f == fn_name
+        }
+        blocks, edge_vals = recover_counts(fn, measured)
+        for label, count in blocks.items():
+            profile.block_counts[(fn_name, label)] = count
+        for (src, dst), count in edge_vals.items():
+            profile.edge_counts[(fn_name, src, dst)] = count
+    return profile, plan

@@ -1,0 +1,55 @@
+"""Profile-guided basic block re-ordering.
+
+"Just before final code generation, the basic blocks are physically
+re-ordered following a depth-first enumeration of the flow graph ...
+During the depth-first enumeration, the flow graph edges that are
+executed most frequently are followed first, unless the target of the
+edge is already visited. ... This causes the most frequently executed
+path to occur first in the enumeration, and therefore be arranged in a
+straight line, where almost all branches fall through."
+
+Standard straightening runs afterwards "to eliminate any awkward
+branching that may have resulted from the re-ordering."
+"""
+
+from repro.ir.function import Function
+from repro.analysis.cfg import depth_first_order
+from repro.transforms.layout import relayout_blocks
+from repro.transforms.pass_manager import Pass, PassContext
+from repro.transforms.straighten import Straighten
+
+
+class ProfileGuidedReorder(Pass):
+    """Lay out blocks along the hottest path.
+
+    Breaking an existing fallthrough pair costs an extra unconditional
+    branch on the displaced path, and a taken conditional branch whose
+    condition resolves early is free on this hardware — so the taken
+    target is preferred over the current fallthrough only when the bias
+    is strong enough that the subsequent branch-reversal pass will
+    remove the trampoline from the hot trace (same threshold).
+    """
+
+    name = "pdf-reorder"
+
+    def __init__(self, bias_threshold: float = 0.7):
+        # fallthrough keeps its slot unless taken/(taken+fall) >= threshold
+        self.fall_bonus = bias_threshold / (1.0 - bias_threshold)
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        if ctx.edge_profile is None:
+            return False
+
+        def priority(src, dst) -> float:
+            count = float(ctx.edge_count(fn.name, src.label, dst.label) or 0)
+            if src.falls_through and fn.layout_successor(src) is dst:
+                count *= self.fall_bonus
+            return count
+
+        order = depth_first_order(fn, successor_priority=priority)
+        if [bb.label for bb in order] == [bb.label for bb in fn.blocks]:
+            return False
+        relayout_blocks(fn, order)
+        Straighten().run_on_function(fn, ctx)
+        ctx.bump("pdf.reordered-functions")
+        return True

@@ -1,0 +1,64 @@
+"""Profile-guided branch reversal.
+
+"Any conditional branches that are taken most of the time are reversed,
+so they are not taken most of the time": ``BT CL.1`` (mostly taken)
+becomes ``BF CL.2`` over a new trampoline ``B CL.1``, and basic block
+expansion then copies code from ``CL.1`` in place of the trampoline's
+unconditional branch, removing it from the hot trace entirely.
+"""
+
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import make_b
+from repro.transforms.bb_expansion import BasicBlockExpansion
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+class BranchReversal(Pass):
+    """Reverse mostly-taken conditional branches, then expand."""
+
+    name = "pdf-branch-reversal"
+
+    def __init__(self, threshold: float = 0.7, expand: bool = True):
+        self.threshold = threshold
+        self.expand = expand
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        if ctx.edge_profile is None:
+            return False
+        changed = False
+        for bb in list(fn.blocks):
+            term = bb.terminator
+            if term is None or term.opcode not in ("BT", "BF"):
+                continue
+            succs = fn.successors(bb)
+            if len(succs) != 2:
+                continue
+            taken_label = term.target
+            fall = succs[1]
+            taken = ctx.edge_count(fn.name, bb.label, taken_label) or 0
+            fallc = ctx.edge_count(fn.name, bb.label, fall.label) or 0
+            total = taken + fallc
+            if total == 0 or taken / total < self.threshold:
+                continue
+            # A backward branch that closes a loop must stay (reversing it
+            # would put the loop body behind a taken branch every
+            # iteration); the paper's example reverses forward branches.
+            if fn.block_index(fn.block(taken_label)) <= fn.block_index(bb):
+                continue
+
+            # BT L (mostly taken), fallthrough F  ==>
+            #   BF F; <tramp: B L>   with F now the taken target.
+            term.opcode = "BF" if term.opcode == "BT" else "BT"
+            term.target = fall.label
+            tramp = BasicBlock(fn.new_label(f"rev.{bb.label}"))
+            tramp.append(make_b(taken_label))
+            fn.blocks.insert(fn.block_index(bb) + 1, tramp)
+            changed = True
+            ctx.bump("pdf.branches-reversed")
+
+        if changed and self.expand:
+            BasicBlockExpansion().run_on_function(fn, ctx)
+        return changed

@@ -1,0 +1,24 @@
+"""Instruction scheduling: local list scheduling, global scheduling with
+bookkeeping copies, and enhanced pipeline scheduling (software pipelining).
+
+The paper's scheduling framework compacts regions innermost-outward by
+combining global scheduling [Ebcioglu & Nicolau] with enhanced pipeline
+scheduling [Ebcioglu; Ebcioglu & Nakatani]. Operations move up along CFG
+paths whenever data dependences allow, with *bookkeeping copies* placed
+on join edges that are not on the motion path. When motion is allowed
+across loop back edges, the same mechanism performs software pipelining:
+an operation hoisted from the loop header into the latch (above the
+back-edge branch) belongs to the *next* iteration, and the bookkeeping
+copy that lands on the loop entry edge is exactly the pipeline prolog.
+"""
+
+from repro.scheduling.list_scheduler import LocalScheduling, schedule_block
+from repro.scheduling.global_scheduler import GlobalScheduling
+from repro.scheduling.pipeline import VLIWScheduling
+
+__all__ = [
+    "GlobalScheduling",
+    "LocalScheduling",
+    "VLIWScheduling",
+    "schedule_block",
+]

@@ -1,0 +1,418 @@
+"""Global scheduling with bookkeeping copies; software pipelining when
+motion across loop back edges is enabled.
+
+The driver repeatedly hoists a *ready* operation of a successor block
+into a predecessor's idle issue slots:
+
+- an operation is ready when it can move to the top of its block: no
+  data/memory dependence on the instructions before it;
+- hoisting above a conditional branch makes the operation *speculative*:
+  it must have no side effects and its destinations must be dead on the
+  branch's other target (live-range renaming has already split webs so
+  this is usually satisfiable). Speculative loads are permitted — the
+  paper assumes the zero-page trick ("the first few bytes of page zero
+  contain zeros"), and our machine substrate never faults;
+- when the source block has several predecessors (a join), the operation
+  moves along the chosen edge and *bookkeeping copies* land on every
+  other incoming edge, so all paths still execute it exactly once;
+- a hoist is accepted only if the predecessor's list-schedule length
+  does not grow — the operation fills an otherwise idle slot;
+- with ``across_back_edges=True`` the same machinery hoists the loop
+  header's ready operations into the latch above the back-edge branch:
+  the operation then computes the *next* iteration's value (the state at
+  the bottom of the latch equals the state at the top of the header
+  along the back edge), and the bookkeeping copy on the loop entry edge
+  is the pipeline prolog. This is enhanced pipeline scheduling's code
+  motion step; because loop exits stay in place, the schedule keeps the
+  variable iteration issue rate the paper highlights. Rotations per
+  operation are bounded to keep the kernel finite.
+
+Operations never move into a loop from outside, and pinned instructions
+(profiling counters, linkage saves/restores, volatile accesses) never
+move at all.
+"""
+
+from typing import List, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.analysis.alias import MemoryModel
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import Loop, find_natural_loops, split_edge
+from repro.scheduling.list_scheduler import _length_of_order, schedule_block
+from repro.transforms.pass_manager import Pass, PassContext
+
+_PINNED = ("save", "restore", "counter", "pinned", "frame")
+
+
+def _is_pinned(instr: Instr) -> bool:
+    return any(instr.attrs.get(a) for a in _PINNED) or bool(
+        instr.attrs.get("noncoalesce")
+    )
+
+
+class GlobalScheduling(Pass):
+    """Cross-block upward code motion into idle issue slots."""
+
+    name = "global-scheduling"
+
+    def __init__(
+        self,
+        rounds: int = 6,
+        max_hoists_per_block: int = 12,
+        across_back_edges: bool = True,
+        max_rotations: int = 2,
+        candidate_depth: int = 4,
+        strict_rotation_gain: bool = False,
+        max_speculation_depth: Optional[int] = None,
+        allow_bookkeeping: bool = True,
+    ):
+        self.rounds = rounds
+        self.max_hoists_per_block = max_hoists_per_block
+        self.across_back_edges = across_back_edges
+        self.max_rotations = max_rotations
+        self.candidate_depth = candidate_depth
+        self.strict_rotation_gain = strict_rotation_gain
+        # Constraints for modelling weaker published schedulers: a cap on
+        # how many conditional branches one operation may move above, and
+        # whether join crossings (bookkeeping copies) are allowed at all.
+        self.max_speculation_depth = max_speculation_depth
+        self.allow_bookkeeping = allow_bookkeeping
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for _ in range(self.rounds):
+            if not self._one_round(fn, ctx):
+                break
+            changed = True
+        return changed
+
+    def _one_round(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        labels = [bb.label for bb in fn.blocks]
+        for label in labels:
+            if not fn.has_block(label):
+                continue
+            block = fn.block(label)
+            hoists = 0
+            while hoists < self.max_hoists_per_block:
+                if not self._hoist_into(fn, block, ctx):
+                    break
+                hoists += 1
+                changed = True
+        return changed
+
+    # -- candidates -----------------------------------------------------------
+
+    def _ready_candidates(
+        self, succ: BasicBlock, memory: MemoryModel
+    ) -> List[Instr]:
+        """Instructions of ``succ`` movable to the top of the block.
+
+        An instruction at position k is ready when it has no register or
+        memory dependence on instructions 0..k-1 and no barrier (call,
+        volatile access, pinned code) precedes it.
+        """
+        out: List[Instr] = []
+        defs_before = set()
+        uses_before = set()
+        mem_before: List[Instr] = []
+        for k, instr in enumerate(succ.instrs):
+            if k >= self.candidate_depth:
+                break
+            if instr.is_terminator:
+                break
+            blocked = (
+                instr.is_call
+                or _is_pinned(instr)
+                or (instr.is_memory and memory.is_volatile_ref(instr))
+            )
+            if not blocked:
+                defs = set(instr.defs())
+                uses = set(instr.uses())
+                if (
+                    not (uses & defs_before)  # RAW
+                    and not (defs & defs_before)  # WAW
+                    and not (defs & uses_before)  # WAR
+                    and not self._memory_conflict(instr, mem_before, memory)
+                ):
+                    out.append(instr)
+            # Barriers stop the scan entirely.
+            if instr.is_call or (instr.is_memory and memory.is_volatile_ref(instr)):
+                break
+            defs_before.update(instr.defs())
+            uses_before.update(instr.uses())
+            if instr.is_memory:
+                mem_before.append(instr)
+        return out
+
+    def _memory_conflict(
+        self, instr: Instr, mem_before: List[Instr], memory: MemoryModel
+    ) -> bool:
+        if not instr.is_memory:
+            return False
+        for other in mem_before:
+            if instr.is_store or other.is_store:
+                if memory.may_alias(memory.memref(instr), memory.memref(other)):
+                    return True
+        return False
+
+    # -- one hoist attempt -------------------------------------------------------
+
+    def _hoist_into(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        memory = MemoryModel(fn, ctx.module)
+        liveness = compute_liveness(fn)
+        loops = find_natural_loops(fn)
+        succs = fn.successors(block)
+        if not succs:
+            return False
+        term = block.terminator
+        is_cond = term is not None and term.is_cond_branch
+
+        _, base_len = schedule_block(block.instrs, ctx.model, memory)
+
+        # PDF scheduling heuristic: prefer hoisting from the most
+        # frequently executed successor — operations on the frequent path
+        # are effectively non-speculative, and "non-speculative operations
+        # are preferred over speculative ones".
+        if ctx.edge_profile is not None and len(succs) > 1:
+            succs = sorted(
+                succs,
+                key=lambda s: -(ctx.edge_count(fn.name, block.label, s.label) or 0),
+            )
+
+        for succ in succs:
+            back_edge = succ is block or self._is_back_edge(block, succ, loops)
+            if back_edge and not self.across_back_edges:
+                continue
+            for instr in self._ready_candidates(succ, memory):
+                if not self._legal(
+                    fn, block, succ, instr, term, is_cond, liveness, loops, back_edge
+                ):
+                    continue
+
+                # Tentative placement before the terminator; for a
+                # self-loop the instruction leaves its old slot too.
+                trial = [x for x in block.instrs if x is not instr]
+                insert_at = len(trial) - 1 if term is not None else len(trial)
+                trial.insert(insert_at, instr)
+
+                other_preds = [p for p in fn.predecessors(succ) if p is not block]
+                if other_preds and not self.allow_bookkeeping:
+                    continue  # constrained scheduler: no join duplication
+                if back_edge:
+                    # Rotations are judged on the loop's steady state: two
+                    # concatenated kernel copies expose the wrap-around
+                    # overlap a rotation is meant to create.
+                    loop = self._loop_of_edge(block, succ, loops)
+                    acceptable = loop is not None and self._rotation_improves(
+                        fn, loop, block, succ, instr, ctx, memory
+                    )
+                else:
+                    # Forward hoists are judged on both outgoing paths:
+                    # block-local schedule length misses cross-block unit
+                    # contention (an op squeezed "for free" into the tail
+                    # of a block still occupies the FXU slot the next
+                    # block's first op wanted). The motion path must get
+                    # strictly faster; the other path must not get slower.
+                    acceptable = self._forward_hoist_improves(
+                        fn, block, succ, instr, trial, ctx, memory
+                    )
+                if not acceptable:
+                    continue
+
+                self._apply_hoist(fn, block, succ, instr, other_preds, back_edge, ctx)
+                return True
+        return False
+
+    def _loop_of_edge(
+        self, src: BasicBlock, dst: BasicBlock, loops: List[Loop]
+    ) -> Optional[Loop]:
+        """The innermost loop whose back edge (or header entry) this is."""
+        best: Optional[Loop] = None
+        for loop in loops:
+            if (src.label, dst.label) in loop.back_edges or (
+                dst.label == loop.header and src.label in loop.body
+            ):
+                if best is None or len(loop.body) < len(best.body):
+                    best = loop
+        return best
+
+    def _kernel_sequence(
+        self, fn: Function, loop: Loop, moved: Optional[Instr], dest_block: Optional[BasicBlock]
+    ) -> List[Instr]:
+        """The loop body as one instruction sequence in layout order.
+
+        With ``moved`` given, the sequence reflects the candidate rotation:
+        ``moved`` is omitted from its current position and re-inserted
+        before ``dest_block``'s terminator.
+        """
+        seq: List[Instr] = []
+        for bb in loop.blocks(fn):
+            for x in bb.instrs:
+                if moved is not None and x is moved:
+                    continue
+                if (
+                    moved is not None
+                    and dest_block is not None
+                    and bb is dest_block
+                    and x is dest_block.terminator
+                ):
+                    seq.append(moved)
+                seq.append(x)
+            if moved is not None and bb is dest_block and dest_block.terminator is None:
+                seq.append(moved)
+        return seq
+
+    def _forward_hoist_improves(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        succ: BasicBlock,
+        instr: Instr,
+        trial: List[Instr],
+        ctx: PassContext,
+        memory: MemoryModel,
+    ) -> bool:
+        succ_after = [x for x in succ.instrs if x is not instr]
+        path_before = _length_of_order(
+            list(block.instrs) + list(succ.instrs), ctx.model, memory
+        )
+        path_after = _length_of_order(trial + succ_after, ctx.model, memory)
+        other_preds = [p for p in fn.predecessors(succ) if p is not block]
+        term = block.terminator
+        speculative = term is not None and term.is_cond_branch
+        if other_preds or speculative:
+            # Join crossings duplicate code and speculation occupies the
+            # other path's issue slots: require a strict win.
+            if path_after >= path_before:
+                return False
+        else:
+            # A neutral non-speculative move up a linear edge is free and
+            # can enable a profitable hoist one level higher (upward
+            # motion is monotone, so this cannot cycle).
+            if path_after > path_before:
+                return False
+        for other in fn.successors(block):
+            if other is succ:
+                continue
+            other_before = _length_of_order(
+                list(block.instrs) + list(other.instrs), ctx.model, memory
+            )
+            other_after = _length_of_order(
+                trial + list(other.instrs), ctx.model, memory
+            )
+            if other_after > other_before:
+                return False
+        return True
+
+    def _rotation_improves(
+        self,
+        fn: Function,
+        loop: Loop,
+        block: BasicBlock,
+        succ: BasicBlock,
+        instr: Instr,
+        ctx: PassContext,
+        memory: MemoryModel,
+    ) -> bool:
+        before = self._kernel_sequence(fn, loop, None, None)
+        after = self._kernel_sequence(fn, loop, instr, block)
+        len_before = _length_of_order(before + before, ctx.model, memory)
+        len_after = _length_of_order(after + after, ctx.model, memory)
+        if self.strict_rotation_gain:
+            return len_after < len_before
+        return len_after <= len_before
+
+    def _is_back_edge(self, src: BasicBlock, dst: BasicBlock, loops: List[Loop]) -> bool:
+        for loop in loops:
+            if (src.label, dst.label) in loop.back_edges:
+                return True
+            if dst.label == loop.header and src.label in loop.body:
+                return True
+        return False
+
+    def _legal(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        succ: BasicBlock,
+        instr: Instr,
+        term: Optional[Instr],
+        is_cond: bool,
+        liveness,
+        loops: List[Loop],
+        back_edge: bool,
+    ) -> bool:
+        defs = set(instr.defs())
+        uses = set(instr.uses())
+
+        # The function entry has an implicit incoming path that can carry
+        # no bookkeeping copy: nothing may be hoisted out of it.
+        if succ is fn.entry:
+            return False
+
+        # Rotation bound for software pipelining.
+        if back_edge and instr.attrs.get("rotations", 0) >= self.max_rotations:
+            return False
+
+        # Never move an operation into a loop from outside: `instr` lives
+        # in `succ`; it would move into every loop containing `block` but
+        # not `succ`.
+        for loop in loops:
+            if loop.contains(block.label) and not loop.contains(succ.label):
+                return False
+
+        # The terminator must not interact with the moved op.
+        if term is not None:
+            if defs & set(term.uses()) or set(term.defs()) & (defs | uses):
+                return False
+
+        if is_cond:
+            # Speculative motion: no side effects, dests dead on every
+            # other path out of the branch.
+            if instr.has_side_effects or instr.is_store or instr.is_call:
+                return False
+            if (
+                self.max_speculation_depth is not None
+                and instr.attrs.get("spec_depth", 0) >= self.max_speculation_depth
+            ):
+                return False
+            for other in fn.successors(block):
+                if other is succ:
+                    continue
+                live = liveness.live_at_block_entry(other.label)
+                if defs & live:
+                    return False
+        return True
+
+    def _apply_hoist(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        succ: BasicBlock,
+        instr: Instr,
+        other_preds: List[BasicBlock],
+        back_edge: bool,
+        ctx: PassContext,
+    ) -> None:
+        # Bookkeeping copies on the other incoming edges. For a hoist
+        # across a loop back edge the copy on the entry edge is the
+        # software pipeline's prolog.
+        for pred in other_preds:
+            edge_bb = split_edge(fn, pred, succ)
+            edge_bb.insert(0, instr.clone())
+            ctx.bump("global-sched.bookkeeping-copies")
+
+        succ.instrs.remove(instr)
+        term = block.terminator
+        insert_at = len(block.instrs) - 1 if term is not None else len(block.instrs)
+        if term is not None and term.is_cond_branch:
+            instr.attrs["spec_depth"] = instr.attrs.get("spec_depth", 0) + 1
+        if back_edge:
+            instr.attrs["rotations"] = instr.attrs.get("rotations", 0) + 1
+            ctx.bump("global-sched.pipelined-ops")
+        else:
+            ctx.bump("global-sched.hoisted-ops")
+        block.instrs.insert(insert_at, instr)

@@ -1,0 +1,48 @@
+"""The combined VLIW scheduling stage.
+
+"The regions of the program are compacted through the combination of
+global scheduling and enhanced pipeline scheduling, starting from the
+innermost regions (loops) and ending with the outermost region (the
+whole procedure). ... The loops are unrolled prior to scheduling and
+live range renaming is performed, to increase scheduling opportunities."
+
+This composite pass runs, in order: loop unrolling, loop-exit copies +
+live-range renaming, local list scheduling, global scheduling (with
+pipelining across back edges), and a final local scheduling cleanup.
+"""
+
+from repro.ir.function import Function
+from repro.scheduling.global_scheduler import GlobalScheduling
+from repro.scheduling.list_scheduler import LocalScheduling
+from repro.transforms.pass_manager import Pass, PassContext
+from repro.transforms.renaming import LiveRangeRenaming
+from repro.transforms.unroll import LoopUnroll
+
+
+class VLIWScheduling(Pass):
+    """Unroll + rename + global schedule + pipeline + local schedule."""
+
+    name = "vliw-scheduling"
+
+    def __init__(
+        self,
+        unroll_factor: int = 2,
+        software_pipelining: bool = True,
+        rounds: int = 6,
+    ):
+        self.unroll = LoopUnroll(factor=unroll_factor) if unroll_factor >= 2 else None
+        self.rename = LiveRangeRenaming()
+        self.local = LocalScheduling()
+        self.global_sched = GlobalScheduling(
+            rounds=rounds, across_back_edges=software_pipelining
+        )
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        if self.unroll is not None:
+            changed |= bool(self.unroll.run_on_function(fn, ctx))
+        changed |= bool(self.rename.run_on_function(fn, ctx))
+        changed |= bool(self.local.run_on_function(fn, ctx))
+        changed |= bool(self.global_sched.run_on_function(fn, ctx))
+        changed |= bool(self.local.run_on_function(fn, ctx))
+        return changed

@@ -1,0 +1,44 @@
+"""Published comparison schedulers the paper discusses.
+
+The paper positions its techniques against prior inter-basic-block
+schedulers:
+
+- **Bernstein & Rodeh** [SIGPLAN'91]: program-dependence-graph based
+  scheduling with "a limited speculative code motion technique that
+  allows an instruction to be moved above one conditional branch" —
+  no code duplication at joins, no motion across loop iterations.
+- The paper's own framework moves operations along arbitrary paths with
+  bookkeeping copies and pipelines across back edges.
+
+:class:`BernsteinRodehScheduling` models the former inside our
+framework: the same legality machinery with speculation capped at one
+conditional branch, join duplication disabled and back-edge motion
+disabled. The benchmark ``benchmarks/test_e10_scheduler_comparison.py``
+quantifies the headroom the paper's generality buys.
+"""
+
+from repro.ir.function import Function
+from repro.scheduling.global_scheduler import GlobalScheduling
+from repro.scheduling.list_scheduler import LocalScheduling
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+class BernsteinRodehScheduling(Pass):
+    """One-branch speculation, no duplication, no pipelining."""
+
+    name = "bernstein-rodeh-scheduling"
+
+    def __init__(self, rounds: int = 6):
+        self.local = LocalScheduling()
+        self.global_sched = GlobalScheduling(
+            rounds=rounds,
+            across_back_edges=False,
+            max_speculation_depth=1,
+            allow_bookkeeping=False,
+        )
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = bool(self.local.run_on_function(fn, ctx))
+        changed |= bool(self.global_sched.run_on_function(fn, ctx))
+        changed |= bool(self.local.run_on_function(fn, ctx))
+        return changed

@@ -1,0 +1,51 @@
+"""Transformation passes.
+
+The paper's original contributions each get a pass:
+
+- :class:`~repro.transforms.loop_memory_motion.LoopMemoryMotion` —
+  speculative load/store motion out of loops,
+- :class:`~repro.transforms.unspeculation.Unspeculation`,
+- :class:`~repro.transforms.combining.LimitedCombining`,
+- :class:`~repro.transforms.bb_expansion.BasicBlockExpansion`,
+- :class:`~repro.transforms.prolog_tailoring.PrologTailoring`
+  (with :class:`~repro.transforms.linkage.LinkageLowering` as the
+  baseline "save everything in the prolog" strategy),
+- :class:`~repro.transforms.unroll.LoopUnroll` and
+  :class:`~repro.transforms.renaming.LiveRangeRenaming` feeding the
+  schedulers in :mod:`repro.scheduling`.
+
+Supporting classical passes (the paper assumes these already ran in xlc):
+straightening, unreachable-code elimination, copy propagation, dead-code
+elimination.
+"""
+
+from repro.transforms.pass_manager import Pass, PassContext, PassManager
+from repro.transforms.straighten import RemoveUnreachable, Straighten
+from repro.transforms.copyprop import CopyPropagation
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.loop_memory_motion import LoopMemoryMotion
+from repro.transforms.unspeculation import Unspeculation
+from repro.transforms.combining import LimitedCombining
+from repro.transforms.bb_expansion import BasicBlockExpansion
+from repro.transforms.unroll import LoopUnroll
+from repro.transforms.renaming import LiveRangeRenaming
+from repro.transforms.linkage import LinkageLowering
+from repro.transforms.prolog_tailoring import PrologTailoring
+
+__all__ = [
+    "BasicBlockExpansion",
+    "CopyPropagation",
+    "DeadCodeElimination",
+    "LimitedCombining",
+    "LinkageLowering",
+    "LiveRangeRenaming",
+    "LoopMemoryMotion",
+    "LoopUnroll",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PrologTailoring",
+    "RemoveUnreachable",
+    "Straighten",
+    "Unspeculation",
+]

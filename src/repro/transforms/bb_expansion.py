@@ -1,0 +1,249 @@
+"""Basic block expansion: remove unconditional branches from the trace.
+
+Unconditional branches are free in a VLIW but consume fetch slots and
+cause stalls on a superscalar — on the RS/6000 an untaken conditional
+branch followed closely by a taken unconditional branch stalls badly
+("the RS/6000 requires 4-5 non-branch instructions between an integer
+compare, a dependent conditional branch, and an unconditional branch").
+
+For each ``B L``, the pass:
+
+1. computes the *objective*: how many consecutive non-branch
+   instructions must precede the final branch to avoid the stall, from
+   the code immediately before the ``B`` (machine-specific rule);
+2. walks the code at ``L`` — through unconditional branches, past
+   conditional branches and calls (which reset the objective), stopping
+   at returns, BCTs, revisited instructions, or the window limit — to
+   choose a stopping point with minimal residual stall;
+3. copies the walked code in place of the ``B`` (conditional branches
+   keep their original taken targets; fallthrough is replicated with
+   fresh blocks) and appends a new ``B`` to the instruction following
+   the stopping point (splitting a block to label it when necessary).
+
+Unreachable originals are cleaned up by the straightening pass.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, make_b
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+@dataclass
+class _WalkItem:
+    instr: Instr
+    block_label: str
+    index: int
+
+
+@dataclass
+class _WalkResult:
+    items: List[_WalkItem]
+    continuation: Optional[Tuple[str, int]]  # (block label, instr index)
+    ends_in_ret: bool
+    residual_stall: int
+
+
+class BasicBlockExpansion(Pass):
+    """Copy code from unconditional branch targets to remove the branch."""
+
+    name = "bb-expansion"
+
+    def __init__(self, window: int = 24, max_copy: int = 16):
+        self.window = window
+        self.max_copy = max_copy
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        # Snapshot: expansion appends new blocks; do one sweep per run.
+        candidates = []
+        for bb in fn.blocks:
+            term = bb.terminator
+            if term is not None and term.opcode == "B":
+                nxt = fn.layout_successor(bb)
+                if nxt is not None and nxt.label == term.target:
+                    continue  # straightening removes it for free
+                candidates.append(bb.label)
+        for label in candidates:
+            if not fn.has_block(label):
+                continue
+            block = fn.block(label)
+            term = block.terminator
+            if term is None or term.opcode != "B":
+                continue
+            if self._expand(fn, block, ctx):
+                changed = True
+                ctx.bump("bb-expansion.branches-removed")
+        return changed
+
+    # -- planning -----------------------------------------------------------
+
+    def _objective_before(self, fn: Function, block: BasicBlock, ctx: PassContext) -> int:
+        """Non-branch instructions needed before the final branch.
+
+        The code "immediately preceding the branch" on the execution
+        trace may live in earlier blocks reached by fallthrough, so the
+        scan walks the layout chain backwards across fallthrough edges.
+        """
+        window = ctx.model.cond_uncond_window
+        trailing = 0
+        saw_cond = False
+        current = block
+        instrs = list(block.instrs[:-1])
+        for _ in range(8):  # bounded walk over the fallthrough chain
+            for instr in reversed(instrs):
+                if instr.is_cond_branch or instr.is_call:
+                    saw_cond = True
+                    break
+                trailing += 1
+                if trailing >= window:
+                    break
+            if saw_cond or trailing >= window:
+                break
+            idx = fn.block_index(current)
+            if idx == 0:
+                break
+            prev = fn.blocks[idx - 1]
+            if not (prev.falls_through and fn.layout_successor(prev) is current):
+                break
+            current = prev
+            instrs = list(prev.instrs)
+        if saw_cond:
+            return max(1, window - trailing)
+        return 1  # no stall context: any stop point removes the base cost
+
+    def _walk(self, fn: Function, target_label: str, objective: int, ctx: PassContext) -> Optional[_WalkResult]:
+        window_limit = self.window
+        labels = fn.label_map()
+        items: List[_WalkItem] = []
+        visited = set()
+        consecutive = 0
+        scanned = 0
+        # Best stopping point so far: (residual stall, items length, cont).
+        best: Optional[Tuple[int, int, Tuple[str, int]]] = None
+
+        block = labels.get(target_label)
+        idx = 0
+        while block is not None and scanned < window_limit and len(items) < self.max_copy:
+            if idx >= len(block.instrs):
+                if not block.falls_through or block.terminator is not None:
+                    break
+                nxt = fn.layout_successor(block)
+                block = nxt
+                idx = 0
+                continue
+            instr = block.instrs[idx]
+            key = instr.uid
+            if key in visited:
+                break  # revisited an instruction (we are inside a loop)
+            if instr.attrs.get("counter") or instr.attrs.get("save") or instr.attrs.get(
+                "restore"
+            ):
+                break  # never duplicate pinned bookkeeping code
+            visited.add(key)
+            scanned += 1
+
+            if instr.opcode == "B":
+                # Not copied; continue the walk at its target.
+                block = labels.get(instr.target)
+                idx = 0
+                continue
+            if instr.opcode == "BCT":
+                break  # loop-closing branch: stop before it
+            if instr.is_return:
+                items.append(_WalkItem(instr, block.label, idx))
+                return _WalkResult(items, None, True, 0)
+
+            items.append(_WalkItem(instr, block.label, idx))
+            if instr.is_cond_branch or instr.is_call:
+                # Objective re-calculated: the final branch now follows
+                # this conditional branch / call.
+                objective = ctx.model.cond_uncond_window
+                consecutive = 0
+                if instr.is_cond_branch:
+                    # Continue along the fallthrough (untaken) path.
+                    nxt = fn.layout_successor(block)
+                    block = nxt
+                    idx = 0
+                    continue
+            else:
+                consecutive += 1
+                stall = max(0, objective - consecutive)
+                cont = self._position_after(fn, block, idx)
+                if best is None or stall < best[0]:
+                    best = (stall, len(items), cont)
+                if stall == 0:
+                    return _WalkResult(items, cont, False, 0)
+            idx += 1
+
+        if best is None:
+            return None
+        stall, length, cont = best
+        return _WalkResult(items[:length], cont, False, stall)
+
+    def _position_after(
+        self, fn: Function, block: BasicBlock, idx: int
+    ) -> Optional[Tuple[str, int]]:
+        if idx + 1 < len(block.instrs):
+            return (block.label, idx + 1)
+        if block.terminator is None and block.falls_through:
+            nxt = fn.layout_successor(block)
+            if nxt is not None:
+                return (nxt.label, 0)
+        return (block.label, idx + 1)  # off the end: split yields empty tail
+
+    # -- application ----------------------------------------------------------
+
+    def _expand(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        term = block.terminator
+        objective = self._objective_before(fn, block, ctx)
+        result = self._walk(fn, term.target, objective, ctx)
+        if result is None or not result.items:
+            return False
+        if not result.ends_in_ret and result.continuation is None:
+            return False
+
+        # Label the continuation point before any mutation.
+        cont_label = None
+        if not result.ends_in_ret:
+            if result.continuation[0] == block.label:
+                return False  # self-referential expansion: not worth it
+            cont_label = self._label_at(fn, result.continuation)
+            if cont_label is None:
+                return False
+
+        # Replace the B with the copied code.
+        block.instrs.pop()
+        cur = block
+        for item in result.items:
+            clone = item.instr.clone()
+            cur.append(clone)
+            if clone.is_cond_branch:
+                follow = BasicBlock(fn.new_label(f"exp.{block.label}"))
+                fn.blocks.insert(fn.block_index(cur) + 1, follow)
+                cur = follow
+        if not result.ends_in_ret:
+            cur.append(make_b(cont_label))
+        return True
+
+    def _label_at(self, fn: Function, position: Tuple[str, int]) -> Optional[str]:
+        """A label naming instruction ``position``; splits blocks as needed."""
+        label, idx = position
+        if not fn.has_block(label):
+            return None
+        block = fn.block(label)
+        if idx == 0:
+            return block.label
+        if idx >= len(block.instrs):
+            nxt = fn.layout_successor(block)
+            if block.terminator is None and block.falls_through and nxt is not None:
+                return nxt.label
+            return None
+        tail = BasicBlock(fn.new_label(f"cont.{block.label}"))
+        tail.instrs = block.instrs[idx:]
+        del block.instrs[idx:]
+        fn.blocks.insert(fn.block_index(block) + 1, tail)
+        return tail.label

@@ -1,0 +1,259 @@
+"""Limited combining: collapse register copies into their last use across
+basic blocks, duplicating join-shared code where necessary.
+
+Classical value numbering collapses ``LR r4, r5; ...; A r6, r4, r7`` into
+``A r6, r5, r7`` within one basic block. Limited combining (the paper's
+cross-block generalisation) searches *through unconditional branches and
+join points* for the last use of the copy's destination. When the path
+crosses a join (a block with several predecessors), the instructions from
+the join to the last use are duplicated onto a private path with the
+destination register rewritten to the source, ending in a branch back to
+the instruction following the last use; the original code stays in place
+for the other joining paths.
+
+The search window is bounded (the paper: "there is a limit to the number
+of instructions scanned in this process"). The search stops early at
+conditional branches, calls, returns, or a redefinition of either
+register.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, make_b
+from repro.ir.operands import Reg
+from repro.analysis.liveness import compute_liveness, liveness_per_instr
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+class _Segment:
+    """A run of instructions on the search path."""
+
+    def __init__(self, block: BasicBlock, start: int, private: bool):
+        self.block = block
+        self.start = start
+        self.end = start  # exclusive, grows as the walk proceeds
+        self.private = private  # True when no other path reaches it
+
+    def instrs(self) -> List[Instr]:
+        return self.block.instrs[self.start : self.end]
+
+
+class LimitedCombining(Pass):
+    """Collapse ``LR`` copies into their last use across blocks."""
+
+    name = "limited-combining"
+
+    def __init__(self, window: int = 40, max_copies: int = 64):
+        self.window = window
+        self.max_copies = max_copies
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for _ in range(self.max_copies):
+            if not self._combine_one(fn, ctx):
+                break
+            changed = True
+            ctx.bump("combining.copies-collapsed")
+        return changed
+
+    def _combine_one(self, fn: Function, ctx: PassContext) -> bool:
+        preds = fn.predecessor_map()
+        for block in fn.blocks:
+            for idx, instr in enumerate(block.instrs):
+                if not instr.is_copy or instr.rd == instr.ra:
+                    continue
+                plan = self._plan_walk(fn, preds, block, idx, instr.rd, instr.ra)
+                if plan is not None:
+                    self._apply(fn, block, idx, instr.rd, instr.ra, plan)
+                    return True
+        return False
+
+    # -- search -------------------------------------------------------------
+
+    def _plan_walk(
+        self,
+        fn: Function,
+        preds,
+        block: BasicBlock,
+        copy_idx: int,
+        dest: Reg,
+        src: Reg,
+    ) -> Optional[Tuple[List[_Segment], int]]:
+        """Find segments covering [copy end .. last use of dest].
+
+        Returns (segments, index_of_last_use_segment) or None. Each
+        segment's ``end`` already stops right after the last use when the
+        last use lies inside it.
+        """
+        segments: List[_Segment] = []
+        seen_blocks = {block.label}
+        scanned = 0
+        last_use: Optional[Tuple[int, int]] = None  # (segment idx, pos)
+
+        seg = _Segment(block, copy_idx + 1, private=True)
+        segments.append(seg)
+        current = block
+        while True:
+            advanced = False
+            for pos in range(seg.start, len(current.instrs)):
+                ins = current.instrs[pos]
+                if scanned >= self.window:
+                    break
+                scanned += 1
+                if ins.is_call or (ins.is_terminator and not ins.is_uncond_branch):
+                    # Conditional branch using dest still counts as a use?
+                    # The paper stops the search here; so do we (before
+                    # consuming the instruction).
+                    break
+                if dest in ins.uses():
+                    last_use = (len(segments) - 1, pos)
+                if dest in ins.defs() or src in ins.defs():
+                    # Redefinition ends the walk; a redefinition *after*
+                    # the last use is fine because we stop at the last use.
+                    break
+                seg.end = pos + 1
+                advanced = True
+                if ins.is_uncond_branch:
+                    break
+            # Decide whether to follow an unconditional branch onward.
+            follow: Optional[BasicBlock] = None
+            if (
+                seg.end > seg.start
+                and current.instrs[seg.end - 1].is_uncond_branch
+                and scanned < self.window
+            ):
+                target_label = current.instrs[seg.end - 1].target
+                if target_label not in seen_blocks and fn.has_block(target_label):
+                    follow = fn.block(target_label)
+            elif (
+                seg.end == len(current.instrs)
+                and current.falls_through
+                and current.terminator is None
+                and scanned < self.window
+            ):
+                nxt = fn.layout_successor(current)
+                if nxt is not None and nxt.label not in seen_blocks:
+                    follow = nxt
+            if follow is None:
+                break
+            seen_blocks.add(follow.label)
+            private = len(preds.get(follow.label, [])) <= 1
+            seg = _Segment(follow, 0, private=private)
+            segments.append(seg)
+            current = follow
+            if not advanced and scanned >= self.window:
+                break
+
+        if last_use is None:
+            return None
+        # Trim segments to end at the last use.
+        seg_idx, pos = last_use
+        segments = segments[: seg_idx + 1]
+        segments[seg_idx].end = pos + 1
+        if segments[seg_idx].end <= segments[seg_idx].start:
+            return None
+
+        # dest must be dead after the last use.
+        liveness = compute_liveness(fn)
+        last_seg = segments[seg_idx]
+        live = liveness_per_instr(
+            last_seg.block, liveness.live_at_block_exit(last_seg.block.label)
+        )
+        if dest in live[last_seg.end - 1]:
+            return None
+        # The rewrite keeps src live until the (new) last use: make sure no
+        # instruction between would clobber it -- already guaranteed by the
+        # walk (src redefinition stops it).
+        return segments, seg_idx
+
+    # -- transformation -------------------------------------------------------
+
+    def _apply(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        copy_idx: int,
+        dest: Reg,
+        src: Reg,
+        plan: Tuple[List[_Segment], int],
+    ) -> None:
+        segments, last_idx = plan
+        mapping = {dest: src}
+
+        # Split at the first non-private segment: everything before is
+        # rewritten in place, everything from there on is duplicated.
+        first_dup = None
+        for i, seg in enumerate(segments):
+            if not seg.private:
+                first_dup = i
+                break
+
+        if first_dup is None:
+            # Whole path is private: rewrite in place, drop the copy.
+            for seg in segments:
+                for ins in seg.instrs():
+                    if dest in ins.uses():
+                        ins.rename_uses(mapping)
+            del block.instrs[copy_idx]
+            return
+
+        # In-place rewrite of the private prefix.
+        for seg in segments[:first_dup]:
+            for ins in seg.instrs():
+                if dest in ins.uses():
+                    ins.rename_uses(mapping)
+
+        # Continuation point: right after the last use in the original.
+        last_seg = segments[last_idx]
+        cont_label = self._continuation_label(fn, last_seg)
+
+        # Build the duplicate chain.
+        dup = BasicBlock(fn.new_label("comb"))
+        for seg in segments[first_dup:]:
+            for ins in seg.instrs():
+                clone = ins.clone()
+                if ins.is_uncond_branch:
+                    continue  # chain is linear; drop internal jumps
+                if dest in clone.uses():
+                    clone.rename_uses(mapping)
+                dup.append(clone)
+        dup.append(make_b(cont_label))
+        fn.blocks.append(dup)
+
+        # Our path now enters the duplicate: the private prefix ended
+        # either with a jump into the first duplicated block (retarget
+        # it) or by falling through (append an explicit branch; the
+        # prefix block is private, so no other path is disturbed). An
+        # empty prefix segment (end == 0: an empty block crossed by
+        # fallthrough) always takes the append path.
+        prefix_end_seg = segments[first_dup - 1]
+        tail = (
+            prefix_end_seg.block.instrs[prefix_end_seg.end - 1]
+            if prefix_end_seg.end > 0
+            else None
+        )
+        if tail is not None and tail.is_uncond_branch:
+            tail.target = dup.label
+        else:
+            prefix_end_seg.block.append(make_b(dup.label))
+
+        # Finally drop the copy itself.
+        del block.instrs[copy_idx]
+
+    def _continuation_label(self, fn: Function, last_seg: _Segment) -> str:
+        """Label of the instruction following the last use, splitting the
+        block when the last use is mid-block."""
+        block = last_seg.block
+        if last_seg.end >= len(block.instrs):
+            nxt = fn.layout_successor(block)
+            if block.terminator is None and nxt is not None:
+                return nxt.label
+            # Block ended exactly at the last use with no fallthrough
+            # successor: split an empty tail to get a label.
+        tail = BasicBlock(fn.new_label(f"cont.{block.label}"))
+        tail.instrs = block.instrs[last_seg.end :]
+        del block.instrs[last_seg.end :]
+        fn.blocks.insert(fn.block_index(block) + 1, tail)
+        return tail.label

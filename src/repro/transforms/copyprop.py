@@ -1,0 +1,56 @@
+"""Local copy propagation.
+
+Forwards ``LR rd, rs`` copies to later uses inside the same block (the
+"later coalescing" stage the paper mentions after load/store motion:
+"both LR operations inside the loop will eventually be eliminated by a
+later coalescing or limited combining stage"). Cross-block collapsing is
+the job of :mod:`repro.transforms.combining`.
+"""
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.operands import Reg
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+class CopyPropagation(Pass):
+    """Forward register copies to uses within each block."""
+
+    name = "copy-propagation"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for bb in fn.blocks:
+            copies: Dict[Reg, Reg] = {}
+            for instr in bb.instrs:
+                # Rewrite uses through known copies. LU/STU base registers
+                # are also written, so propagating into them would change
+                # which register receives the update — skip those.
+                if copies and not instr.opcode in ("LU", "STU"):
+                    mapping = {
+                        reg: copies[reg] for reg in instr.uses() if reg in copies
+                    }
+                    if mapping:
+                        instr.rename_uses(mapping)
+                        changed = True
+                        ctx.bump("copyprop.uses-rewritten")
+                elif copies and instr.opcode in ("LU", "STU"):
+                    if instr.ra in copies:  # the stored value of STU only
+                        if instr.opcode == "STU":
+                            instr.ra = copies[instr.ra]
+                            changed = True
+                            ctx.bump("copyprop.uses-rewritten")
+
+                # Invalidate mappings whose source or destination is
+                # redefined, then record a new copy.
+                defs = set(instr.defs())
+                if defs:
+                    copies = {
+                        dst: src
+                        for dst, src in copies.items()
+                        if dst not in defs and src not in defs
+                    }
+                if instr.is_copy and instr.rd != instr.ra:
+                    copies[instr.rd] = instr.ra
+        return changed

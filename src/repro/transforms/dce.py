@@ -1,0 +1,55 @@
+"""Liveness-based dead code elimination.
+
+Removes instructions whose destinations are dead and which have no side
+effects. Instructions pinned by linkage or profiling attrs (``save``,
+``restore``, ``counter``) are never removed — their effect is outside the
+function's dataflow (caller's registers, the profile file).
+"""
+
+from repro.ir.function import Function
+from repro.analysis.alias import MemoryModel
+from repro.analysis.liveness import compute_liveness, liveness_per_instr
+from repro.transforms.pass_manager import Pass, PassContext
+
+_PINNED_ATTRS = ("save", "restore", "counter", "pinned")
+
+
+def _is_pinned(instr) -> bool:
+    return any(instr.attrs.get(a) for a in _PINNED_ATTRS)
+
+
+class DeadCodeElimination(Pass):
+    """Iterated removal of dead, effect-free instructions."""
+
+    name = "dce"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed_any = False
+        while True:
+            live = compute_liveness(fn)
+            memory = MemoryModel(fn, ctx.module)
+            changed = False
+            for bb in fn.blocks:
+                live_sets = liveness_per_instr(bb, live.live_at_block_exit(bb.label))
+                keep = []
+                for i, instr in enumerate(bb.instrs):
+                    removable = (
+                        not instr.is_terminator
+                        and not instr.has_side_effects
+                        and not _is_pinned(instr)
+                        and instr.defs()
+                        and all(reg not in live_sets[i] for reg in instr.defs())
+                        and instr.opcode != "NOP"
+                        and not (instr.is_memory and memory.is_volatile_ref(instr))
+                    )
+                    if removable:
+                        changed = True
+                        ctx.bump("dce.removed")
+                    else:
+                        keep.append(instr)
+                if len(keep) != len(bb.instrs):
+                    bb.instrs[:] = keep
+            if not changed:
+                break
+            changed_any = True
+        return changed_any

@@ -1,0 +1,62 @@
+"""Physical re-ordering of basic blocks with fallthrough preservation.
+
+Both unspeculation (step 1: reverse post-order re-layout) and PDF basic
+block re-ordering (most-frequent-successor-first DFS) physically permute
+the block list. Because fallthrough edges are implicit in layout, the
+permutation must patch control flow: "when two basic blocks were
+consecutive in the original ordering, but are not consecutive in the new
+ordering ... an unconditional branch to this label is introduced at the
+end of the first basic block, to retain the original program semantics."
+"""
+
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import make_b
+
+
+def relayout_blocks(fn: Function, order: List[BasicBlock]) -> None:
+    """Reorder ``fn.blocks`` to ``order``, preserving semantics.
+
+    ``order`` must contain exactly the current blocks (any permutation
+    with the entry block first). Fallthrough edges that the permutation
+    breaks are replaced by explicit branches; trampoline blocks are added
+    when the fallthrough leaves a conditional branch.
+    """
+    current = {bb.label for bb in fn.blocks}
+    new = {bb.label for bb in order}
+    if current != new or len(order) != len(fn.blocks):
+        raise ValueError("relayout order must be a permutation of the blocks")
+    if order and order[0] is not fn.entry:
+        raise ValueError("entry block must stay first")
+
+    # Record fallthrough targets under the *old* layout.
+    fallthrough = {}
+    for bb in fn.blocks:
+        if bb.falls_through:
+            nxt = fn.layout_successor(bb)
+            if nxt is not None:
+                fallthrough[bb.label] = nxt.label
+
+    fn.blocks[:] = order
+
+    # Patch broken fallthroughs under the new layout.
+    for bb in list(fn.blocks):
+        target = fallthrough.get(bb.label)
+        if target is None:
+            continue
+        nxt = fn.layout_successor(bb)
+        if nxt is not None and nxt.label == target:
+            continue
+        if bb.terminator is None:
+            bb.append(make_b(target))
+        else:
+            # Conditional terminator: untaken path needs a trampoline laid
+            # out immediately after the block.
+            tramp = BasicBlock(fn.new_label(f"ft.{bb.label}"))
+            tramp.append(make_b(target))
+            fn.blocks.insert(fn.block_index(bb) + 1, tramp)
+
+    # The last block must not fall off the end (it had a fallthrough
+    # target, it got a branch above; otherwise it already terminated).

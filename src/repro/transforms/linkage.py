@@ -1,0 +1,92 @@
+"""Baseline linkage lowering: save/restore callee-saved registers.
+
+"In the RS/6000 linkage conventions, a register belonging to a particular
+subset of the machine registers must be saved upon entry and restored
+upon exit in a procedure, if that register is killed (overwritten) inside
+the procedure."
+
+This pass implements the *untailored* strategy the paper's figure labels
+"WITHOUT TAILORED PROLOG (saves all registers that are killed anywhere in
+the procedure)": one frame allocation and a save of every killed
+callee-saved register at entry, and the matching restores before every
+return. :class:`~repro.transforms.prolog_tailoring.PrologTailoring` is
+the optimised alternative.
+
+Save/restore instructions are marked with ``attrs['save']``/
+``attrs['restore']`` (plus the frame adjusts with ``attrs['frame']``) so
+other passes leave them pinned in place.
+"""
+
+from typing import List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, make_alui, make_load, make_store
+from repro.ir.operands import Reg, SP
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+def killed_callee_saved(fn: Function) -> List[Reg]:
+    """Callee-saved registers written anywhere in the function."""
+    killed: Set[Reg] = set()
+    for instr in fn.instructions():
+        if instr.is_call:
+            continue  # callees preserve these by induction
+        for reg in instr.defs():
+            if reg.is_callee_saved:
+                killed.add(reg)
+    return sorted(killed, key=lambda r: r.index)
+
+
+def frame_slot(reg: Reg) -> int:
+    """Stack offset (from the adjusted SP) of a register's save slot."""
+    return 4 * (reg.index - 13)
+
+
+FRAME_SIZE = 4 * (32 - 13)
+
+
+def make_save(reg: Reg) -> Instr:
+    instr = make_store(frame_slot(reg), SP, reg)
+    instr.attrs["save"] = True
+    return instr
+
+
+def make_restore(reg: Reg) -> Instr:
+    instr = make_load(reg, frame_slot(reg), SP)
+    instr.attrs["restore"] = True
+    return instr
+
+
+def _frame_adjust(amount: int) -> Instr:
+    instr = make_alui("AI", SP, SP, amount)
+    instr.attrs["frame"] = True
+    instr.attrs["pinned"] = True
+    return instr
+
+
+class LinkageLowering(Pass):
+    """Insert the untailored prolog/epilog."""
+
+    name = "linkage-lowering"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        if any(i.attrs.get("save") or i.attrs.get("frame") for i in fn.instructions()):
+            return False  # already lowered
+        killed = killed_callee_saved(fn)
+        if not killed:
+            return False
+
+        entry = fn.entry
+        prolog: List[Instr] = [_frame_adjust(-FRAME_SIZE)]
+        prolog.extend(make_save(reg) for reg in killed)
+        entry.instrs[0:0] = prolog
+        ctx.bump("linkage.saves", len(killed))
+
+        for bb in fn.blocks:
+            term = bb.terminator
+            if term is not None and term.is_return:
+                epilog: List[Instr] = [make_restore(reg) for reg in killed]
+                epilog.append(_frame_adjust(FRAME_SIZE))
+                at = len(bb.instrs) - 1
+                bb.instrs[at:at] = epilog
+        return True

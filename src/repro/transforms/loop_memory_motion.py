@@ -1,0 +1,275 @@
+"""Speculative load/store motion out of loops.
+
+The paper's first pathlength technique: a group of loads/stores to the
+same ``base + displacement`` location is replaced inside the loop by
+register-cached copies, with the cache register initialised in the loop
+preheader and written back on every loop exit. Unlike classical invariant
+motion, the group members may be *conditionally* executed inside the
+loop — the motion is speculative — so it is only done when provably safe.
+
+Conditions (numbered as in the paper):
+
+1. every access in the group uses the same base register, displacement
+   and width (our IR is word-only, so width always matches);
+2. the base register is not written inside the loop;
+3. the location is not volatile;
+4. the location cannot overlap any *other* memory reference in the loop
+   (including inner loops); calls block motion unless the callee's
+   storage modifications are confined to its arguments (the paper's I/O
+   procedure exception) — then the cached value is stored back before
+   the call and reloaded after it;
+5. the access is provably safe to execute on every iteration: either the
+   base provably holds the address of a data object of sufficient size
+   (condition 5a), or some load/store of the same location dominates the
+   loop entry (condition 5b).
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, make_load, make_lr, make_store
+from repro.ir.operands import Reg
+from repro.analysis.alias import MemoryModel
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import (
+    Loop,
+    find_natural_loops,
+    get_or_create_preheader,
+    insert_before_terminator,
+    split_edge,
+)
+from repro.machine.libcalls import call_effects
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+class LoopMemoryMotion(Pass):
+    """Speculative load/store motion out of loops."""
+
+    name = "loop-memory-motion"
+
+    def __init__(self, use_profile: bool = True):
+        # With PDF available, skip motion when the accesses are on paths
+        # that essentially never execute relative to the loop (the paper:
+        # "execution profiles may be very helpful in deciding when this
+        # type of optimization should be applied").
+        self.use_profile = use_profile
+
+    MAX_MOTIONS = 64
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        # Apply one group at a time and rediscover the loops after every
+        # motion: each application adds preheader/exit/flush blocks that
+        # enclosing loops' membership and aliasing checks must see (an
+        # inner loop's exit-edge store lands inside the outer loop).
+        for _ in range(self.MAX_MOTIONS):
+            applied = False
+            # Innermost first: find_natural_loops is smallest-body first.
+            for loop in find_natural_loops(fn):
+                if self._process_loop_once(fn, loop, ctx):
+                    applied = True
+                    ctx.bump("loop-motion.groups-moved")
+                    break
+            if not applied:
+                break
+            changed = True
+        return changed
+
+    def _process_loop_once(self, fn: Function, loop: Loop, ctx: PassContext) -> bool:
+        memory = MemoryModel(fn, ctx.module)
+        body_blocks = loop.blocks(fn)
+        if not body_blocks:
+            return False
+
+        body_instrs: List[Tuple[str, Instr]] = []
+        for bb in body_blocks:
+            for instr in bb.instrs:
+                body_instrs.append((bb.label, instr))
+
+        # Registers written in the loop (condition 2).
+        written = set()
+        for _, instr in body_instrs:
+            written.update(instr.defs())
+
+        # Group candidate accesses by (base, disp).
+        groups: Dict[Tuple[Reg, int], List[Tuple[str, Instr]]] = {}
+        for label, instr in body_instrs:
+            if instr.opcode in ("L", "ST"):  # update forms modify the base
+                if not instr.attrs.get("cached"):
+                    groups.setdefault((instr.base, instr.disp), []).append(
+                        (label, instr)
+                    )
+
+        calls = [instr for _, instr in body_instrs if instr.is_call]
+
+        for (base, disp), members in groups.items():
+            if base in written:
+                continue  # condition 2
+            sample_ref = memory.memref(members[0][1])
+            verdicts = [
+                self._call_verdict(call, sample_ref, memory) for call in calls
+            ]
+            if any(v == "block" for v in verdicts):
+                continue
+            flushable_calls = [
+                call for call, v in zip(calls, verdicts) if v == "flush"
+            ]
+            if self._group_blocked(fn, loop, memory, members, body_instrs, ctx):
+                continue
+            if not self._group_safe(fn, loop, memory, members, ctx):
+                continue
+            try:
+                self._apply_motion(fn, loop, base, disp, members, flushable_calls, ctx)
+            except RuntimeError:
+                continue  # no register available for the cache: skip
+            return True
+        return False
+
+    def _call_verdict(self, call: Instr, ref, memory: MemoryModel) -> str:
+        """How a call in the loop interacts with the cached location.
+
+        - ``ok``: the callee provably cannot touch the location;
+        - ``flush``: the callee may touch memory but only through its
+          pointer arguments (the paper's I/O-procedure exception): keep
+          the motion and flush/reload the cache around the call;
+        - ``block``: the callee may touch the location unpredictably.
+        """
+        effects = call_effects(call.symbol)
+        if effects is not None:
+            if not (effects.reads_memory or effects.writes_memory):
+                return "ok"  # pure / IO-only library routine
+            if effects.memory_confined_to_args:
+                return "flush"
+            return "block"
+        # Internal callee: the paper's inter-procedural extension — use
+        # the module summary to prove disjointness from the location.
+        summary = memory.summaries.get(call.symbol)
+        if summary is None:
+            return "block"
+        if not summary.may_touch_symbol(ref.symbol):
+            return "ok"
+        return "block"
+
+    def _group_blocked(
+        self,
+        fn: Function,
+        loop: Loop,
+        memory: MemoryModel,
+        members: List[Tuple[str, Instr]],
+        body_instrs: List[Tuple[str, Instr]],
+        ctx: PassContext,
+    ) -> bool:
+        member_ids = {instr.uid for _, instr in members}
+        sample_ref = memory.memref(members[0][1])
+
+        # Condition 3: volatility.
+        for _, instr in members:
+            if memory.is_volatile_ref(instr):
+                return True
+
+        # Condition 4: no overlap with any other memory reference in the
+        # loop (update-form accesses included).
+        for _, instr in body_instrs:
+            if instr.is_memory and instr.uid not in member_ids:
+                if memory.may_alias(sample_ref, memory.memref(instr)):
+                    return True
+        return False
+
+    def _group_safe(
+        self,
+        fn: Function,
+        loop: Loop,
+        memory: MemoryModel,
+        members: List[Tuple[str, Instr]],
+        ctx: PassContext,
+    ) -> bool:
+        instr = members[0][1]
+        dom = compute_dominators(fn)
+
+        # Condition 5a: base provably inside a sufficiently large object,
+        # with the base's definition dominating the loop header.
+        if memory.provably_safe(instr):
+            ref = memory.memref(instr)
+            if ref.single_def_base:
+                def_instr = memory.single_def_of(ref.base)
+                if def_instr is not None:
+                    try:
+                        def_block = fn.find_block_of(def_instr)
+                    except ValueError:
+                        def_block = None
+                    if def_block is not None and dom.dominates(
+                        def_block.label, loop.header
+                    ):
+                        return True
+
+        # Condition 5b: a load/store of the same location in a block that
+        # dominates the loop header (outside the loop).
+        for bb in fn.blocks:
+            if bb.label in loop.body:
+                continue
+            if not dom.dominates(bb.label, loop.header):
+                continue
+            for other in bb.instrs:
+                if (
+                    other.is_memory
+                    and other.opcode in ("L", "ST")
+                    and other.base == instr.base
+                    and other.disp == instr.disp
+                ):
+                    return True
+        return False
+
+    def _apply_motion(
+        self,
+        fn: Function,
+        loop: Loop,
+        base: Reg,
+        disp: int,
+        members: List[Tuple[str, Instr]],
+        flushable_calls: List[Instr],
+        ctx: PassContext,
+    ) -> None:
+        cache = fn.new_vreg("gpr")
+        has_store = any(instr.is_store for _, instr in members)
+
+        # Collect exit edges before any CFG surgery.
+        exit_edges = loop.exit_edges(fn)
+
+        # Preheader: initialise the cache register.
+        pre = get_or_create_preheader(fn, loop)
+        insert_before_terminator(pre, make_load(cache, disp, base))
+
+        # Replace the in-loop accesses with register copies.
+        for label, instr in members:
+            bb = fn.block(label)
+            idx = bb.index_of(instr)
+            if instr.is_load:
+                bb.instrs[idx] = make_lr(instr.rd, cache)
+            else:
+                bb.instrs[idx] = make_lr(cache, instr.ra)
+
+        # Stores must be materialised at every loop exit.
+        if has_store:
+            for src, dst in exit_edges:
+                edge_bb = split_edge(fn, src, dst)
+                insert_before_terminator(edge_bb, make_store(disp, base, cache))
+
+        # Around calls whose memory effects are confined to their
+        # arguments: flush the cached value before, reload after.
+        flush_ids = {c.uid for c in flushable_calls}
+        if flush_ids:
+            for bb in loop.blocks(fn):
+                i = 0
+                while i < len(bb.instrs):
+                    instr = bb.instrs[i]
+                    if instr.uid in flush_ids:
+                        if has_store:
+                            flush_store = make_store(disp, base, cache)
+                            flush_store.attrs["cached"] = True
+                            bb.insert(i, flush_store)
+                            i += 1
+                        reload = make_load(cache, disp, base)
+                        reload.attrs["cached"] = True
+                        bb.insert(i + 1, reload)
+                        i += 1
+                    i += 1

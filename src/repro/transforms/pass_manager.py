@@ -1,0 +1,92 @@
+"""Pass framework: context, base class, manager.
+
+Passes run per function; the manager optionally verifies the IR after
+every pass (on by default — the transformations here restructure control
+flow aggressively and the verifier catches breakage at the pass that
+caused it).
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verifier import verify_function
+from repro.machine.model import MachineModel, RS6000
+
+
+@dataclass
+class PassContext:
+    """Shared state passed to every pass invocation."""
+
+    module: Module
+    model: MachineModel = RS6000
+    #: Edge profile from PDF: (fn, src_label, dst_label) -> count.
+    edge_profile: Optional[Dict] = None
+    #: Block profile from PDF: (fn, label) -> count.
+    block_profile: Optional[Dict] = None
+    options: Dict[str, object] = field(default_factory=dict)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.stats[counter] = self.stats.get(counter, 0) + amount
+
+    def edge_count(self, fn_name: str, src: str, dst: str) -> Optional[int]:
+        if self.edge_profile is None:
+            return None
+        return self.edge_profile.get((fn_name, src, dst), 0)
+
+    def block_count(self, fn_name: str, label: str) -> Optional[int]:
+        if self.block_profile is None:
+            return None
+        return self.block_profile.get((fn_name, label), 0)
+
+
+class Pass:
+    """Base class: implement :meth:`run_on_function`."""
+
+    name = "pass"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        raise NotImplementedError
+
+    def run_on_module(self, module: Module, ctx: PassContext) -> bool:
+        changed = False
+        for fn in module.functions.values():
+            changed |= bool(self.run_on_function(fn, ctx))
+        return changed
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+class PassManager:
+    """Runs an ordered list of passes over a module."""
+
+    def __init__(self, passes: List[Pass], verify: bool = True):
+        self.passes = list(passes)
+        self.verify = verify
+        self.timings: Dict[str, float] = {}
+
+    def run(self, module: Module, ctx: Optional[PassContext] = None) -> PassContext:
+        ctx = ctx if ctx is not None else PassContext(module)
+        for pss in self.passes:
+            start = time.perf_counter()
+            pss.run_on_module(module, ctx)
+            elapsed = time.perf_counter() - start
+            self.timings[pss.name] = self.timings.get(pss.name, 0.0) + elapsed
+            if self.verify:
+                symbols = set(module.data)
+                for fn in module.functions.values():
+                    try:
+                        verify_function(fn, known_symbols=symbols)
+                    except Exception as exc:
+                        raise RuntimeError(
+                            f"IR verification failed after pass "
+                            f"{pss.name!r} on {fn.name}: {exc}"
+                        ) from exc
+        return ctx
+
+    def total_time(self) -> float:
+        return sum(self.timings.values())

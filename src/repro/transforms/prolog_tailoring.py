@@ -1,0 +1,395 @@
+"""Prolog tailoring: push callee-saved register saves down the CFG.
+
+Instead of saving every killed callee-saved register at procedure entry,
+the saves are delayed "as late as possible into the procedure, so that
+each execution path therein contains a reduced number of such store
+instructions. However, register save operations are never pushed inside
+loops."
+
+To keep stack unwinding after interrupts possible, the paper enforces:
+"at any point in the procedure, all paths reaching this point from the
+start of the procedure have the same set of saved registers." The
+algorithm places saves on edges of the block-cut tree of the
+(loop-collapsed, undirected) flow graph:
+
+1. collapse outermost loops into single nodes; compute the biconnected
+   components and articulation points of the undirected flow graph
+   (Tarjan, via networkx) and build the bipartite block-cut tree rooted
+   at the entry node;
+2. compute ``MustKill`` bottom-up: for each tree node, the registers
+   killed inside it plus the *intersection* of its children's MustKill
+   sets — the registers definitely killed from that node onward
+   regardless of path (at the paper's component granularity);
+3. walking the tree top-down, a register in ``MustKill(n)`` not yet
+   saved on the path from the root is saved on every actual flow edge
+   entering ``n`` from its parent.
+
+Every path from the entry to a tree node crosses exactly the tree edges
+on the root path, so all paths reaching any point have performed the
+same saves — the invariant :func:`check_unwind_invariant` verifies.
+Restores are placed before each ``RET`` for exactly the saved set of
+its node.
+"""
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.operands import Reg
+from repro.analysis.cfg import reachable_blocks
+from repro.analysis.loops import find_natural_loops, insert_before_terminator, split_edge
+from repro.transforms.linkage import (
+    FRAME_SIZE,
+    _frame_adjust,
+    killed_callee_saved,
+    make_restore,
+    make_save,
+)
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+# --------------------------------------------------------------------------
+# Graph scaffolding
+# --------------------------------------------------------------------------
+
+
+def _collapse_loops(fn: Function) -> Dict[str, int]:
+    """Map each reachable block label to a condensed node id.
+
+    All blocks of an outermost loop share one node (saves must never land
+    inside a loop); every other block is its own node.
+    """
+    loops = find_natural_loops(fn)
+    outermost = [lp for lp in loops if lp.parent is None]
+    node_of: Dict[str, int] = {}
+    next_id = 0
+    for loop in outermost:
+        for label in loop.body:
+            if label not in node_of:
+                node_of[label] = next_id
+        next_id += 1
+    for label in sorted(reachable_blocks(fn)):
+        if label not in node_of:
+            node_of[label] = next_id
+            next_id += 1
+    return node_of
+
+
+def _condensed_edges(fn: Function, node_of: Dict[str, int]) -> Set[Tuple[int, int]]:
+    edges: Set[Tuple[int, int]] = set()
+    for bb in fn.blocks:
+        if bb.label not in node_of:
+            continue
+        for succ in fn.successors(bb):
+            if succ.label not in node_of:
+                continue
+            a, b = node_of[bb.label], node_of[succ.label]
+            if a != b:
+                edges.add((min(a, b), max(a, b)))
+    return edges
+
+
+class _BlockCutTree:
+    """Bipartite tree of cut vertices and biconnected components.
+
+    Node keys: ``("v", vertex)`` for the entry vertex and every
+    articulation point; ``("c", i)`` for component i. Children/parent
+    links are tree edges; each component child knows its parent cut
+    vertex and vice versa.
+    """
+
+    def __init__(self, vertices: Set[int], edges: Set[Tuple[int, int]], entry: int):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(vertices)
+        graph.add_edges_from(edges)
+        self.components: List[Set[int]] = [set(c) for c in nx.biconnected_components(graph)]
+        covered = set().union(*self.components) if self.components else set()
+        for v in sorted(vertices - covered):
+            self.components.append({v})
+        cuts = set(nx.articulation_points(graph))
+        cuts.add(entry)  # root at the entry even when it is not a cut
+        self.cuts = cuts
+
+        self.children: Dict[Tuple, List[Tuple]] = {}
+        self.parent: Dict[Tuple, Optional[Tuple]] = {}
+
+        comp_of_vertex: Dict[int, List[int]] = {}
+        for i, comp in enumerate(self.components):
+            for v in comp:
+                comp_of_vertex.setdefault(v, []).append(i)
+
+        self.root: Tuple = ("v", entry)
+        self.parent[self.root] = None
+        self.children[self.root] = []
+        frontier = [self.root]
+        seen = {self.root}
+        while frontier:
+            node = frontier.pop()
+            kind, payload = node
+            kids: List[Tuple] = []
+            if kind == "v":
+                for ci in comp_of_vertex.get(payload, []):
+                    child = ("c", ci)
+                    if child not in seen:
+                        seen.add(child)
+                        self.parent[child] = node
+                        kids.append(child)
+                        frontier.append(child)
+            else:
+                for v in self.components[payload]:
+                    if v in self.cuts:
+                        child = ("v", v)
+                        if child not in seen:
+                            seen.add(child)
+                            self.parent[child] = node
+                            kids.append(child)
+                            frontier.append(child)
+            self.children[node] = kids
+        self.nodes = seen
+
+    def postorder(self) -> List[Tuple]:
+        order: List[Tuple] = []
+        stack = [(self.root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                order.append(node)
+            else:
+                stack.append((node, True))
+                for child in self.children.get(node, []):
+                    stack.append((child, False))
+        return order
+
+    def node_of_vertex(self, v: int) -> Optional[Tuple]:
+        """The tree node owning vertex ``v``."""
+        if ("v", v) in self.nodes:
+            return ("v", v)
+        for i, comp in enumerate(self.components):
+            if v in comp and ("c", i) in self.nodes:
+                return ("c", i)
+        return None
+
+
+# --------------------------------------------------------------------------
+# The pass
+# --------------------------------------------------------------------------
+
+
+class PrologTailoring(Pass):
+    """Tailored prolog/epilog placement."""
+
+    name = "prolog-tailoring"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        if any(i.attrs.get("save") or i.attrs.get("frame") for i in fn.instructions()):
+            return False  # already lowered
+        killed = killed_callee_saved(fn)
+        if not killed:
+            return False
+        killed_set = set(killed)
+
+        node_of = _collapse_loops(fn)
+        vertices = set(node_of.values())
+        edges = _condensed_edges(fn, node_of)
+        entry_vertex = node_of[fn.entry.label]
+        tree = _BlockCutTree(vertices, edges, entry_vertex)
+
+        blocks_of_vertex: Dict[int, List[BasicBlock]] = {}
+        for bb in fn.blocks:
+            v = node_of.get(bb.label)
+            if v is not None:
+                blocks_of_vertex.setdefault(v, []).append(bb)
+
+        # Kills per tree node: cut vertices own their own blocks;
+        # components own their interior (non-cut) vertices.
+        kills: Dict[Tuple, Set[Reg]] = {node: set() for node in tree.nodes}
+
+        def vertex_kills(v: int) -> Set[Reg]:
+            out: Set[Reg] = set()
+            for bb in blocks_of_vertex.get(v, []):
+                for instr in bb.instrs:
+                    if instr.is_call:
+                        continue
+                    for reg in instr.defs():
+                        if reg in killed_set:
+                            out.add(reg)
+            return out
+
+        for node in tree.nodes:
+            kind, payload = node
+            if kind == "v":
+                kills[node] = vertex_kills(payload)
+            else:
+                for v in tree.components[payload]:
+                    if v not in tree.cuts:
+                        kills[node] |= vertex_kills(v)
+
+        # MustKill bottom-up: own kills plus the intersection over
+        # children (alternative continuations).
+        must_kill: Dict[Tuple, Set[Reg]] = {}
+        for node in tree.postorder():
+            kids = tree.children.get(node, [])
+            if kids:
+                inter = set.intersection(*(must_kill[k] for k in kids))
+            else:
+                inter = set()
+            must_kill[node] = kills[node] | inter
+
+        # Top-down save placement.
+        saved_on_path: Dict[Tuple, FrozenSet[Reg]] = {}
+        save_edges: List[Tuple[str, str, List[Reg]]] = []
+        prolog_regs = sorted(must_kill[tree.root], key=lambda r: r.index)
+        saved_on_path[tree.root] = frozenset(prolog_regs)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for child in tree.children.get(node, []):
+                new_regs = sorted(
+                    must_kill[child] - saved_on_path[node], key=lambda r: r.index
+                )
+                saved_on_path[child] = saved_on_path[node] | set(new_regs)
+                if new_regs:
+                    for src_label, dst_label in self._entry_edges(
+                        fn, node_of, tree, node, child
+                    ):
+                        save_edges.append((src_label, dst_label, new_regs))
+                stack.append(child)
+
+        # Registers killed only in unreachable code never got a save
+        # point; fold them into the prolog so the unwind table stays
+        # total.
+        accounted = set(prolog_regs)
+        for _, _, regs in save_edges:
+            accounted.update(regs)
+        leftovers = sorted(killed_set - accounted, key=lambda r: r.index)
+        prolog_regs = sorted(set(prolog_regs) | set(leftovers), key=lambda r: r.index)
+
+        self._emit(fn, prolog_regs, save_edges, saved_on_path, node_of, tree, ctx)
+        ctx.bump("prolog-tailoring.functions")
+        return True
+
+    def _entry_edges(
+        self,
+        fn: Function,
+        node_of: Dict[str, int],
+        tree: _BlockCutTree,
+        parent: Tuple,
+        child: Tuple,
+    ) -> List[Tuple[str, str]]:
+        """CFG edges crossing from the parent tree node into the child."""
+        edges: List[Tuple[str, str]] = []
+        if parent[0] == "v":
+            # vertex -> component: edges from the cut vertex's blocks into
+            # the component's other vertices.
+            v = parent[1]
+            targets = set(tree.components[child[1]]) - {v}
+            for bb in fn.blocks:
+                if node_of.get(bb.label) != v:
+                    continue
+                for succ in fn.successors(bb):
+                    if node_of.get(succ.label) in targets:
+                        edges.append((bb.label, succ.label))
+        else:
+            # component -> cut vertex: edges from the component's vertices
+            # into the cut vertex.
+            w = child[1]
+            sources = set(tree.components[parent[1]]) - {w}
+            for bb in fn.blocks:
+                if node_of.get(bb.label) not in sources:
+                    continue
+                for succ in fn.successors(bb):
+                    if node_of.get(succ.label) == w:
+                        edges.append((bb.label, succ.label))
+        return edges
+
+    # -- emission ---------------------------------------------------------
+
+    def _emit(
+        self,
+        fn: Function,
+        prolog_regs: List[Reg],
+        save_edges: List[Tuple[str, str, List[Reg]]],
+        saved_on_path: Dict[Tuple, FrozenSet[Reg]],
+        node_of: Dict[str, int],
+        tree: _BlockCutTree,
+        ctx: PassContext,
+    ) -> None:
+        # Frame allocation always happens at entry (cheap); saves may not.
+        entry = fn.entry
+        prolog = [_frame_adjust(-FRAME_SIZE)]
+        prolog.extend(make_save(reg) for reg in prolog_regs)
+        entry.instrs[0:0] = prolog
+        ctx.bump("prolog-tailoring.prolog-saves", len(prolog_regs))
+
+        # Edge saves.
+        for src_label, dst_label, regs in save_edges:
+            src = fn.block(src_label)
+            dst = fn.block(dst_label)
+            edge_bb = split_edge(fn, src, dst)
+            for reg in regs:
+                insert_before_terminator(edge_bb, make_save(reg))
+                ctx.bump("prolog-tailoring.edge-saves")
+
+        # Restores: each RET restores the saved set of its tree node
+        # (plus prolog leftovers).
+        base = set(prolog_regs)
+        for bb in list(fn.blocks):
+            term = bb.terminator
+            if term is None or not term.is_return:
+                continue
+            v = node_of.get(bb.label)
+            node = tree.node_of_vertex(v) if v is not None else None
+            regs = set(saved_on_path.get(node, frozenset())) | base
+            epilog = [make_restore(reg) for reg in sorted(regs, key=lambda r: r.index)]
+            epilog.append(_frame_adjust(FRAME_SIZE))
+            at = len(bb.instrs) - 1
+            bb.instrs[at:at] = epilog
+
+
+# --------------------------------------------------------------------------
+# Unwind invariant checking (used by tests and EXPERIMENTS)
+# --------------------------------------------------------------------------
+
+
+def check_unwind_invariant(fn: Function) -> None:
+    """Assert every block is reached with one consistent saved-register set.
+
+    Walks the CFG propagating the set of executed saves; raises
+    ``AssertionError`` on a merge conflict — which would make the paper's
+    back-tracing exception unwinder ambiguous.
+    """
+    from collections import deque
+
+    entry = fn.entry
+    seen: Dict[str, FrozenSet[Reg]] = {}
+    queue = deque([(entry.label, frozenset())])
+    while queue:
+        label, saved = queue.popleft()
+        block = fn.block(label)
+        current = set(saved)
+        for instr in block.instrs:
+            if instr.attrs.get("save"):
+                current.add(instr.ra)
+            if instr.attrs.get("restore"):
+                current.discard(instr.rd)
+        out = frozenset(current)
+        for succ in fn.successors(block):
+            prev = seen.get(succ.label)
+            if prev is None:
+                seen[succ.label] = out
+                queue.append((succ.label, out))
+            elif prev != out:
+                raise AssertionError(
+                    f"unwind invariant violated at {succ.label}: "
+                    f"{sorted(r.name for r in prev)} vs "
+                    f"{sorted(r.name for r in out)}"
+                )
+
+
+def dynamic_save_restore_count(trace) -> Tuple[int, int]:
+    """(saves, restores) executed in an interpreter trace."""
+    saves = sum(1 for instr, _ in trace if instr.attrs.get("save"))
+    restores = sum(1 for instr, _ in trace if instr.attrs.get("restore"))
+    return saves, restores

@@ -1,0 +1,250 @@
+"""Live range renaming.
+
+Renames independent def-use webs of the same architectural register to
+distinct registers, removing the false (anti/output) dependences that
+would otherwise serialise the scheduler — essential after unrolling,
+where every copy of the loop body writes the same registers.
+
+Following the paper: "For each register r that is live at an edge that
+leaves the (unrolled original loop) loop, a non-coalesceable register
+copy operation LR r=r is inserted at that exit edge before live range
+renaming." The copy splits the in-loop web from the out-of-loop uses, so
+the loop body can be renamed freely; after renaming the copy materialises
+as ``LR r, r'`` (the paper's `LR r4=r4` in the xlygetvalue example).
+
+Webs are computed from reaching definitions: every use is merged (union-
+find) with all definitions reaching it. Webs touching calls, returns,
+pinned linkage/profiling code, or the function entry (parameters, values
+live into the function) keep their original register.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, make_lr
+from repro.ir.operands import CTR, SP, TOC, Reg
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_natural_loops, insert_before_terminator, split_edge
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict = {}
+
+    def find(self, x):
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def insert_loop_exit_copies(fn: Function, ctx: PassContext) -> int:
+    """Insert ``LR r, r`` on loop exit edges for live-out registers."""
+    inserted = 0
+    liveness = compute_liveness(fn)
+    for loop in find_natural_loops(fn):
+        for src, dst in loop.exit_edges(fn):
+            live = liveness.live_at_block_entry(dst.label)
+            regs = sorted(
+                (r for r in live if r.kind == "gpr" and r not in (SP, TOC)),
+                key=lambda r: r.index,
+            )
+            if not regs:
+                continue
+            edge_bb = split_edge(fn, src, dst)
+            for reg in regs:
+                copy = make_lr(reg, reg)
+                copy.attrs["noncoalesce"] = True
+                insert_before_terminator(edge_bb, copy)
+                inserted += 1
+            # CFG changed; recompute liveness for subsequent edges.
+            liveness = compute_liveness(fn)
+    if inserted:
+        ctx.bump("renaming.exit-copies", inserted)
+    return inserted
+
+
+class LiveRangeRenaming(Pass):
+    """Split independent def-use webs onto distinct registers."""
+
+    name = "live-range-renaming"
+
+    def __init__(self, insert_exit_copies: bool = True):
+        self.insert_exit_copies = insert_exit_copies
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        if self.insert_exit_copies:
+            insert_loop_exit_copies(fn, ctx)
+        webs = self._compute_webs(fn)
+        return self._rename_webs(fn, webs, ctx)
+
+    # -- web construction ----------------------------------------------------
+
+    def _compute_webs(self, fn: Function):
+        """Union-find over def sites; returns web members and pinned roots."""
+        uf = _UnionFind()
+        pinned: Set = set()
+
+        # Block-level reaching definitions.
+        sites_by_block: Dict[str, List[Tuple[int, Reg, Instr]]] = {
+            bb.label: [] for bb in fn.blocks
+        }
+        for bb in fn.blocks:
+            for i, instr in enumerate(bb.instrs):
+                for reg in instr.defs():
+                    sites_by_block[bb.label].append((i, reg, instr))
+
+        def site_key(label: str, idx: int, reg: Reg):
+            return ("def", label, idx, reg)
+
+        def use_key(label: str, idx: int, reg: Reg):
+            return ("use", label, idx, reg)
+
+        gen: Dict[str, Dict[Reg, Tuple]] = {}
+        for bb in fn.blocks:
+            last: Dict[Reg, Tuple] = {}
+            for i, reg, _ in sites_by_block[bb.label]:
+                last[reg] = site_key(bb.label, i, reg)
+            gen[bb.label] = last
+
+        # IN[b][reg] = set of reaching def sites for reg.
+        live_in: Dict[str, Dict[Reg, Set[Tuple]]] = {
+            bb.label: {} for bb in fn.blocks
+        }
+        entry_defs: Dict[Reg, Tuple] = {}
+
+        def entry_site(reg: Reg):
+            if reg not in entry_defs:
+                entry_defs[reg] = ("entry", reg)
+            return entry_defs[reg]
+
+        # Seed entry block with pseudo-defs for every register mentioned.
+        regs_mentioned: Set[Reg] = set(fn.params) | {SP, TOC, CTR}
+        for instr in fn.instructions():
+            regs_mentioned.update(instr.uses())
+            regs_mentioned.update(instr.defs())
+        live_in[fn.entry.label] = {reg: {entry_site(reg)} for reg in regs_mentioned}
+
+        changed = True
+        while changed:
+            changed = False
+            for bb in fn.blocks:
+                out: Dict[Reg, Set[Tuple]] = {}
+                for reg, sites in live_in[bb.label].items():
+                    if reg not in gen[bb.label]:
+                        out[reg] = sites
+                for reg, site in gen[bb.label].items():
+                    out[reg] = {site}
+                for succ in fn.successors(bb):
+                    succ_in = live_in[succ.label]
+                    for reg, sites in out.items():
+                        cur = succ_in.setdefault(reg, set())
+                        if not sites <= cur:
+                            cur |= sites
+                            changed = True
+
+        # Walk each block, merging uses with their reaching defs.
+        for bb in fn.blocks:
+            current: Dict[Reg, Set[Tuple]] = {
+                reg: set(sites) for reg, sites in live_in[bb.label].items()
+            }
+            for i, instr in enumerate(bb.instrs):
+                instr_pinned = (
+                    instr.is_call
+                    or instr.is_return
+                    or instr.attrs.get("save")
+                    or instr.attrs.get("restore")
+                    or instr.attrs.get("counter")
+                )
+                for reg in instr.uses():
+                    reaching = current.get(reg) or {entry_site(reg)}
+                    anchor = None
+                    for site in reaching:
+                        if anchor is None:
+                            anchor = site
+                        else:
+                            uf.union(anchor, site)
+                        if site[0] == "entry":
+                            pinned.add(uf.find(site))
+                    if anchor is not None:
+                        # Record the use on the web via an anchor mapping.
+                        uf.union(anchor, use_key(bb.label, i, reg))
+                        if instr_pinned:
+                            pinned.add(uf.find(anchor))
+                for reg in instr.defs():
+                    key = site_key(bb.label, i, reg)
+                    if instr_pinned:
+                        pinned.add(uf.find(key))
+                    # LU/STU read and write the base through one operand
+                    # field: def and use webs must coincide.
+                    if instr.opcode in ("LU", "STU") and reg == instr.base:
+                        for site in current.get(reg, {entry_site(reg)}):
+                            uf.union(key, site)
+                    current[reg] = {key}
+
+        # Normalise pinned roots after all unions.
+        pinned = {uf.find(p) for p in pinned}
+        return uf, pinned
+
+    # -- renaming ----------------------------------------------------------------
+
+    def _rename_webs(self, fn: Function, webs, ctx: PassContext) -> bool:
+        uf, pinned = webs
+        # Group def sites and use sites per (reg, web root).
+        members: Dict[Tuple[Reg, Tuple], Dict[str, List[Tuple[str, int]]]] = {}
+        for key in list(uf.parent):
+            if key[0] == "entry":
+                continue
+            kind, label, idx, reg = key
+            root = uf.find(key)
+            slot = members.setdefault((reg, root), {"defs": [], "uses": []})
+            slot["uses" if kind == "use" else "defs"].append((label, idx))
+
+        # Registers eligible for renaming.
+        def eligible(reg: Reg) -> bool:
+            return reg.kind in ("gpr", "cr") and reg not in (SP, TOC)
+
+        by_reg: Dict[Reg, List[Tuple[Tuple, Dict]]] = {}
+        for (reg, root), slot in members.items():
+            if eligible(reg):
+                by_reg.setdefault(reg, []).append((root, slot))
+
+        changed = False
+        blocks = fn.label_map()
+        for reg, entries in sorted(
+            by_reg.items(), key=lambda kv: (kv[0].kind, kv[0].index)
+        ):
+            if len(entries) <= 1:
+                continue
+            # Keep the first web (prefer a pinned one) on the original
+            # register; rename the rest.
+            entries.sort(key=lambda e: (e[0] not in pinned,))
+            for root, slot in entries[1:]:
+                if root in pinned:
+                    continue
+                if not slot["defs"]:
+                    continue
+                try:
+                    fresh = fn.new_vreg(reg.kind)
+                except (RuntimeError, ValueError):
+                    break
+                mapping = {reg: fresh}
+                for label, idx in slot["defs"]:
+                    blocks[label].instrs[idx].rename_defs(mapping)
+                    # LU/STU base renamed via uses below (same field).
+                for label, idx in slot["uses"]:
+                    blocks[label].instrs[idx].rename_uses(mapping)
+                changed = True
+                ctx.bump("renaming.webs-renamed")
+        return changed

@@ -1,0 +1,156 @@
+"""Code straightening and unreachable-code elimination.
+
+The paper applies "standard code straightening optimizations of the XlC
+compiler ... to eliminate any awkward branching" after re-ordering, and
+relies on "common unreachable code elimination techniques" to clean up
+after limited combining and basic block expansion. These are those
+cleanups:
+
+- jump threading (a branch to a block containing only ``B L`` goes to
+  ``L`` directly),
+- removing ``B L`` when ``L`` is the layout successor,
+- merging a block into its unique predecessor,
+- deleting unreachable blocks.
+"""
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import make_b
+from repro.analysis.cfg import reachable_blocks
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+class RemoveUnreachable(Pass):
+    """Delete blocks not reachable from the entry."""
+
+    name = "remove-unreachable"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        reachable = reachable_blocks(fn)
+        dead = [bb for bb in fn.blocks if bb.label not in reachable]
+        for bb in dead:
+            fn.remove_block(bb)
+            ctx.bump("unreachable.blocks-removed")
+        return bool(dead)
+
+
+def _thread_jumps(fn: Function) -> bool:
+    """Retarget branches that land on trivial ``B L`` blocks."""
+    trivial: Dict[str, str] = {}
+    for bb in fn.blocks:
+        if len(bb.instrs) == 1 and bb.instrs[0].opcode == "B":
+            trivial[bb.label] = bb.instrs[0].target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    changed = False
+    for bb in fn.blocks:
+        term = bb.terminator
+        if term is not None and term.target is not None:
+            final = resolve(term.target)
+            if final != term.target:
+                term.target = final
+                changed = True
+    return changed
+
+
+def _remove_redundant_branches(fn: Function) -> bool:
+    """Delete ``B L`` when ``L`` is the next block in layout."""
+    changed = False
+    for bb in fn.blocks:
+        term = bb.terminator
+        if term is not None and term.opcode == "B":
+            nxt = fn.layout_successor(bb)
+            if nxt is not None and nxt.label == term.target:
+                bb.instrs.pop()
+                changed = True
+    return changed
+
+
+def _remove_degenerate_cond_branches(fn: Function) -> bool:
+    """Delete ``BT/BF L`` when ``L`` is also the fallthrough successor."""
+    changed = False
+    for bb in fn.blocks:
+        term = bb.terminator
+        if term is not None and term.opcode in ("BT", "BF"):
+            nxt = fn.layout_successor(bb)
+            if nxt is not None and nxt.label == term.target:
+                bb.instrs.pop()
+                changed = True
+    return changed
+
+
+def _merge_single_pred_blocks(fn: Function) -> bool:
+    """Fold a block into its unique predecessor where control is linear."""
+    changed = False
+    preds = fn.predecessor_map()
+    for bb in list(fn.blocks):
+        if bb is fn.entry:
+            continue
+        plist = preds.get(bb.label, [])
+        if len(plist) != 1:
+            continue
+        pred = plist[0]
+        if pred is bb:
+            continue
+        succs = fn.successors(pred)
+        if len(succs) != 1 or succs[0] is not bb:
+            continue
+        term = pred.terminator
+        if term is not None and term.opcode == "B":
+            pred.instrs.pop()
+        elif term is not None:
+            continue  # conditional terminator with one successor: leave it
+        elif fn.layout_successor(pred) is not bb:
+            continue  # fallthrough-shaped but not adjacent: cannot merge
+        # If bb itself fell through, the merged code must still reach
+        # bb's fallthrough target, which usually is not pred's layout
+        # successor.
+        bb_fallthrough = None
+        if bb.falls_through:
+            nxt = fn.layout_successor(bb)
+            if nxt is not None and nxt is not pred:
+                bb_fallthrough = nxt
+        pred.instrs.extend(bb.instrs)
+        fn.remove_block(bb)
+        if bb_fallthrough is not None and pred.falls_through:
+            if fn.layout_successor(pred) is not bb_fallthrough:
+                if pred.terminator is None:
+                    pred.append(make_b(bb_fallthrough.label))
+                else:
+                    # Merged block ended in a conditional branch: restore
+                    # the untaken path with a trampoline after pred.
+                    from repro.ir.basicblock import BasicBlock
+
+                    tramp = BasicBlock(fn.new_label(f"ft.{pred.label}"))
+                    tramp.append(make_b(bb_fallthrough.label))
+                    fn.blocks.insert(fn.block_index(pred) + 1, tramp)
+        changed = True
+        preds = fn.predecessor_map()
+    return changed
+
+
+class Straighten(Pass):
+    """Iterated jump threading + redundant branch removal + merging."""
+
+    name = "straighten"
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed_any = False
+        for _ in range(20):  # fixpoint, bounded for safety
+            changed = _thread_jumps(fn)
+            changed |= RemoveUnreachable().run_on_function(fn, ctx)
+            changed |= _merge_single_pred_blocks(fn)
+            changed |= _remove_redundant_branches(fn)
+            changed |= _remove_degenerate_cond_branches(fn)
+            if not changed:
+                break
+            changed_any = True
+            ctx.bump("straighten.iterations")
+        return changed_any

@@ -1,0 +1,193 @@
+"""Loop unrolling.
+
+"The loops are unrolled prior to scheduling and live range renaming is
+performed, to increase scheduling opportunities." Unrolling replicates the
+loop body k-1 times; iteration i's back edges branch into copy i+1, and
+the last copy's back edges return to the original header. Exit edges of
+every copy keep their original (out-of-loop) targets, so the loop can
+still exit after any iteration — this is what lets enhanced pipeline
+scheduling produce schedules with "a variable iteration issue rate,
+depending on which path is followed at run time".
+"""
+
+from typing import Dict, List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import make_b
+from repro.analysis.loops import Loop, find_natural_loops
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+def innermost_loops(fn: Function) -> List[Loop]:
+    loops = find_natural_loops(fn)
+    inner = []
+    for loop in loops:
+        if not any(
+            other is not loop and other.header in loop.body and other.body < loop.body
+            for other in loops
+        ):
+            inner.append(loop)
+    return inner
+
+
+class LoopUnroll(Pass):
+    """Unroll innermost loops by a fixed factor."""
+
+    name = "loop-unroll"
+
+    def __init__(self, factor: int = 2, max_body_instrs: int = 40):
+        if factor < 2:
+            raise ValueError("unroll factor must be >= 2")
+        self.factor = factor
+        self.max_body_instrs = max_body_instrs
+
+    #: With PDF available, loops averaging fewer trips than this are not
+    #: unrolled — the kernel never overlaps and the exit-copy/bookkeeping
+    #: overhead is pure loss ("execution profiles may be very helpful in
+    #: deciding when this type of optimization should be applied").
+    MIN_PROFILED_TRIPS = 3.0
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for loop in innermost_loops(fn):
+            if not self._worth_unrolling(fn, loop, ctx):
+                continue
+            if self._unroll(fn, loop, ctx):
+                changed = True
+                ctx.bump("unroll.loops-unrolled")
+        return changed
+
+    def _worth_unrolling(self, fn: Function, loop: Loop, ctx: PassContext) -> bool:
+        if ctx.block_profile is None or ctx.edge_profile is None:
+            return True  # no profile: be aggressive, as the paper is
+        header_count = ctx.block_count(fn.name, loop.header)
+        if header_count is None or header_count == 0:
+            return False  # never executed in training: leave it alone
+        back = sum(
+            ctx.edge_count(fn.name, src, dst) or 0
+            for src, dst in loop.back_edges
+        )
+        entries = max(header_count - back, 1)
+        return header_count / entries >= self.MIN_PROFILED_TRIPS
+
+    def _unroll(self, fn: Function, loop: Loop, ctx: PassContext) -> bool:
+        body = loop.blocks(fn)  # layout order
+        if not body:
+            return False
+        if sum(len(bb.instrs) for bb in body) > self.max_body_instrs:
+            return False
+        if any(bb is fn.entry for bb in body):
+            # The loop header is the function entry: give the function a
+            # fresh entry block that falls through into the old one, so
+            # the loop gets a real entry edge (needed both here and for
+            # pipeline prolog bookkeeping copies).
+            fresh = BasicBlock(fn.new_label("entry"))
+            fn.blocks.insert(0, fresh)
+            body = loop.blocks(fn)
+        # Profiling counters must not be duplicated.
+        if any(i.attrs.get("counter") for bb in body for i in bb.instrs):
+            return False
+
+        body_labels = {bb.label for bb in body}
+        # Record original fallthrough targets inside the body.
+        fallthrough: Dict[str, str] = {}
+        for bb in body:
+            if bb.falls_through:
+                nxt = fn.layout_successor(bb)
+                if nxt is not None:
+                    fallthrough[bb.label] = nxt.label
+
+        copies: List[List[BasicBlock]] = []
+        label_maps: List[Dict[str, str]] = []
+        for k in range(1, self.factor):
+            mapping = {
+                bb.label: fn.new_label(f"u{k}.{bb.label}") for bb in body
+            }
+            clone = [bb.clone(mapping[bb.label]) for bb in body]
+            copies.append(clone)
+            label_maps.append(mapping)
+
+        # Retarget branches inside each copy.
+        for k, clone in enumerate(copies):
+            mapping = label_maps[k]
+            next_header = (
+                label_maps[k + 1][loop.header]
+                if k + 1 < len(copies)
+                else loop.header
+            )
+            for bb in clone:
+                term = bb.terminator
+                if term is None or term.target is None:
+                    continue
+                if term.target == loop.header:
+                    term.target = next_header  # back edge -> next copy
+                elif term.target in mapping:
+                    term.target = mapping[term.target]
+                # Exit targets stay as they are.
+
+        # Retarget the original body's back edges into the first copy.
+        first_header = label_maps[0][loop.header]
+        for bb in body:
+            term = bb.terminator
+            if term is not None and term.target == loop.header:
+                # Only rewrite genuine back edges (self loop into header).
+                term.target = first_header
+
+        # Splice the copies into the layout after the original body.
+        insert_at = fn.block_index(body[-1]) + 1
+        for clone in copies:
+            for bb in clone:
+                fn.blocks.insert(insert_at, bb)
+                insert_at += 1
+
+        # Fix fallthrough edges: originals whose fallthrough was the header
+        # (back edge) and clones whose layout changed.
+        self._fix_fallthroughs(
+            fn, body, fallthrough, {bb.label: bb.label for bb in body}, first_header, loop
+        )
+        for k, clone in enumerate(copies):
+            mapping = label_maps[k]
+            next_header = (
+                label_maps[k + 1][loop.header]
+                if k + 1 < len(copies)
+                else loop.header
+            )
+            self._fix_fallthroughs(fn, clone, fallthrough, mapping, next_header, loop)
+        return True
+
+    def _fix_fallthroughs(
+        self,
+        fn: Function,
+        blocks: List[BasicBlock],
+        fallthrough: Dict[str, str],
+        mapping: Dict[str, str],
+        next_header: str,
+        loop: Loop,
+    ) -> None:
+        """Ensure each block's fallthrough reaches its intended target."""
+        reverse = {v: k for k, v in mapping.items()}
+        for bb in blocks:
+            orig_label = reverse.get(bb.label, bb.label)
+            target = fallthrough.get(orig_label)
+            if target is None:
+                continue
+            # Intended new target: header -> next copy's header; body label
+            # -> this copy's version; exit label -> unchanged.
+            if target == loop.header:
+                intended = next_header
+            elif target in mapping:
+                intended = mapping[target]
+            else:
+                intended = target
+            if not bb.falls_through:
+                continue
+            nxt = fn.layout_successor(bb)
+            if nxt is not None and nxt.label == intended:
+                continue
+            if bb.terminator is None:
+                bb.append(make_b(intended))
+            else:
+                tramp = BasicBlock(fn.new_label(f"ft.{bb.label}"))
+                tramp.append(make_b(intended))
+                fn.blocks.insert(fn.block_index(bb) + 1, tramp)

@@ -1,0 +1,423 @@
+"""Unspeculation: push speculative code down under conditional branches.
+
+A (group of) instruction(s) I preceding a conditional branch is
+*speculative* when its results are only needed on one of the branch's two
+target paths. Unspeculation deletes I from its original place and moves
+it onto the target edge where its destinations are live, making it
+non-speculative there (the other path no longer executes it).
+
+Conditions (numbered as in the paper):
+
+1. the destination registers of I are all dead on one target of the
+   branch but not on the other;
+2. instructions between I and the branch must not (a) set any source or
+   destination register of I, (b) use any destination register of I, or
+   (c) have side effects on memory locations I loads from;
+3. I has no side effects (stores, calls, volatile accesses).
+
+The algorithm follows the paper:
+
+1. physically re-order blocks in reverse post-order (so single-entry
+   single-exit constructs are laid out consecutively and can move as
+   units);
+2. identify the hierarchy of single-entry single-exit groups;
+3. for each conditional branch, examine preceding instructions and
+   groups in reverse order and push movable ones onto a target edge;
+   groups can be pushed repeatedly under successive conditional
+   branches. Code is never pushed into loops from the outside, but
+   speculative code inside a loop can be pushed out of its exits.
+"""
+
+from typing import List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.operands import Reg
+from repro.analysis.alias import MemoryModel
+from repro.analysis.cfg import reverse_postorder
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import Loop, find_natural_loops, split_edge
+from repro.analysis.regions import consecutive_sese_groups, run_instructions
+from repro.transforms.layout import relayout_blocks
+from repro.transforms.pass_manager import Pass, PassContext
+
+
+def _has_side_effects(instr: Instr, memory: MemoryModel) -> bool:
+    if instr.has_side_effects or instr.is_call:
+        return True
+    if instr.is_memory and (instr.is_store or memory.is_volatile_ref(instr)):
+        return True
+    return bool(instr.attrs.get("counter") or instr.attrs.get("pinned"))
+
+
+class Unspeculation(Pass):
+    """Push speculative instructions/groups under conditional branches."""
+
+    name = "unspeculation"
+
+    MAX_ROUNDS = 8
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        order = reverse_postorder(fn)
+        # Keep unreachable blocks (at the end) so relayout stays total.
+        ordered_labels = {bb.label for bb in order}
+        order.extend(bb for bb in fn.blocks if bb.label not in ordered_labels)
+        relayout_blocks(fn, order)
+
+        changed_any = False
+        for _ in range(self.MAX_ROUNDS):
+            if not self._one_round(fn, ctx):
+                break
+            changed_any = True
+        return changed_any
+
+    # -- one full sweep over all conditional branches ---------------------
+
+    def _one_round(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        # Snapshot the branch blocks up front; motion restructures layout.
+        branch_labels = [
+            bb.label
+            for bb in fn.blocks
+            if bb.terminator is not None and bb.terminator.opcode in ("BT", "BF")
+        ]
+        for label in branch_labels:
+            if not fn.has_block(label):
+                continue
+            block = fn.block(label)
+            term = block.terminator
+            if term is None or term.opcode not in ("BT", "BF"):
+                continue
+            changed |= self._process_branch(fn, block, ctx)
+        return changed
+
+    def _process_branch(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        changed = False
+        # Instructions inside the branch's own block, in reverse order.
+        changed |= self._push_block_instrs(fn, block, ctx)
+        # Whole single-entry single-exit groups laid out immediately before
+        # the branch block (only when the block holds nothing but the
+        # branch-relevant tail, i.e. the group really is adjacent to the
+        # decision in execution order and nothing in between interferes).
+        changed |= self._push_groups(fn, block, ctx)
+        return changed
+
+    # -- single instructions ------------------------------------------------
+
+    def _push_block_instrs(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        changed = False
+        while True:
+            term = block.terminator
+            if term is None or term.opcode not in ("BT", "BF"):
+                break
+            moved = self._try_push_one_instr(fn, block, ctx)
+            if not moved:
+                break
+            changed = True
+        return changed
+
+    def _try_push_one_instr(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        memory = MemoryModel(fn, ctx.module)
+        liveness = compute_liveness(fn)
+        loops = find_natural_loops(fn)
+        term = block.terminator
+        targets = self._branch_targets(fn, block)
+        if targets is None:
+            return False
+        taken_bb, fall_bb = targets
+
+        # Examine instructions backwards from just above the branch; stop
+        # scanning entirely once an immovable instruction both sets/uses
+        # conflicts (tracked incrementally via the "between" sets).
+        between_defs: Set[Reg] = set()
+        between_uses: Set[Reg] = set()
+        between_stores: List[Instr] = []
+        for idx in range(len(block.instrs) - 2, -1, -1):
+            instr = block.instrs[idx]
+            verdict = self._instr_push_target(
+                fn,
+                block,
+                instr,
+                term,
+                taken_bb,
+                fall_bb,
+                between_defs,
+                between_uses,
+                between_stores,
+                memory,
+                liveness,
+                loops,
+            )
+            if verdict is not None:
+                dest_bb, taken_edge = verdict
+                self._move_instrs_to_edge(fn, block, [instr], dest_bb, taken_edge)
+                ctx.bump("unspeculation.instrs-pushed")
+                return True
+            between_defs.update(instr.defs())
+            between_uses.update(instr.uses())
+            if instr.is_store or instr.is_call:
+                between_stores.append(instr)
+        return False
+
+    def _branch_targets(
+        self, fn: Function, block: BasicBlock
+    ) -> Optional[Tuple[BasicBlock, BasicBlock]]:
+        term = block.terminator
+        if term is None or term.opcode not in ("BT", "BF"):
+            return None
+        labels = fn.label_map()
+        taken = labels.get(term.target)
+        fall = fn.layout_successor(block)
+        if taken is None or fall is None or not block.falls_through:
+            return None
+        if taken is fall:
+            return None
+        return taken, fall
+
+    def _instr_push_target(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        instr: Instr,
+        term: Instr,
+        taken_bb: BasicBlock,
+        fall_bb: BasicBlock,
+        between_defs: Set[Reg],
+        between_uses: Set[Reg],
+        between_stores: List[Instr],
+        memory: MemoryModel,
+        liveness: "object",
+        loops: List[Loop],
+    ):
+        # Condition 3: no side effects.
+        if instr.is_terminator or _has_side_effects(instr, memory):
+            return None
+        defs = set(instr.defs())
+        uses = set(instr.uses())
+        if not defs:
+            return None
+
+        # The branch itself must not depend on I.
+        if any(reg in defs for reg in term.uses()):
+            return None
+
+        # Condition 2a/2b against everything between I and the branch.
+        if (defs | uses) & between_defs:
+            return None
+        if defs & between_uses:
+            return None
+        # Condition 2c: intervening side effects on locations I loads.
+        if instr.is_load:
+            ref = memory.memref(instr)
+            for store in between_stores:
+                if store.is_call:
+                    return None
+                if store.is_memory and memory.may_alias(ref, memory.memref(store)):
+                    return None
+        elif between_stores and instr.is_memory:
+            return None
+
+        # Condition 1: dests dead on one edge, not on the other.
+        live_taken = liveness.live_at_block_entry(taken_bb.label)
+        live_fall = liveness.live_at_block_entry(fall_bb.label)
+        dead_taken = not (defs & live_taken)
+        dead_fall = not (defs & live_fall)
+        if dead_taken == dead_fall:
+            return None  # dead on both (DCE's job) or live on both (needed)
+        dest_bb, taken_edge = (
+            (fall_bb, False) if dead_taken else (taken_bb, True)
+        )
+
+        # Never push into a loop from outside.
+        if self._pushes_into_loop(block, dest_bb, loops):
+            return None
+        return dest_bb, taken_edge
+
+    def _pushes_into_loop(
+        self, src: BasicBlock, dst: BasicBlock, loops: List[Loop]
+    ) -> bool:
+        for loop in loops:
+            if dst.label in loop.body and src.label not in loop.body:
+                return True
+        return False
+
+    def _move_instrs_to_edge(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        instrs: List[Instr],
+        dest_bb: BasicBlock,
+        taken_edge: bool,
+    ) -> None:
+        for instr in instrs:
+            block.remove(instr)
+        edge_bb = split_edge(fn, block, dest_bb)
+        insert_at = 0
+        for instr in instrs:
+            edge_bb.insert(insert_at, instr)
+            insert_at += 1
+
+    # -- whole groups -------------------------------------------------------
+
+    def _push_groups(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        changed = False
+        for _ in range(4):
+            if not self._try_push_one_group(fn, block, ctx):
+                break
+            changed = True
+        return changed
+
+    def _try_push_one_group(self, fn: Function, block: BasicBlock, ctx: PassContext) -> bool:
+        term = block.terminator
+        if term is None or term.opcode not in ("BT", "BF"):
+            return False
+        targets = self._branch_targets(fn, block)
+        if targets is None:
+            return False
+        taken_bb, fall_bb = targets
+
+        block_idx = fn.block_index(block)
+        if block_idx == 0:
+            return False
+
+        memory = MemoryModel(fn, ctx.module)
+        liveness = compute_liveness(fn)
+        loops = find_natural_loops(fn)
+
+        # "Between" the group and the branch: the branch block's own body.
+        between_defs: Set[Reg] = set()
+        between_uses: Set[Reg] = set()
+        between_has_store = False
+        for instr in block.instrs[:-1]:
+            between_defs.update(instr.defs())
+            between_uses.update(instr.uses())
+            between_has_store = between_has_store or instr.is_store or instr.is_call
+
+        for start, end in consecutive_sese_groups(fn, block_idx - 1):
+            group_blocks = fn.blocks[start : end + 1]
+            group_instrs = list(run_instructions(fn, start, end))
+            if not group_instrs:
+                continue
+            # The entry block of the group must not be the function entry.
+            if group_blocks[0] is fn.entry:
+                continue
+            # Condition 3 for every instruction in the group.
+            if any(
+                i.is_terminator and i.is_return for i in group_instrs
+            ) or any(
+                _has_side_effects(i, memory)
+                for i in group_instrs
+                if not i.is_terminator
+            ):
+                continue
+            defs: Set[Reg] = set()
+            uses: Set[Reg] = set()
+            has_load = False
+            for i in group_instrs:
+                defs.update(i.defs())
+                uses.update(i.uses())
+                has_load = has_load or i.is_load
+            if not defs:
+                continue
+            if any(reg in defs for reg in term.uses()):
+                continue
+            if (defs | uses) & between_defs or defs & between_uses:
+                continue
+            if has_load and between_has_store:
+                continue
+
+            live_taken = liveness.live_at_block_entry(taken_bb.label)
+            live_fall = liveness.live_at_block_entry(fall_bb.label)
+            dead_taken = not (defs & live_taken)
+            dead_fall = not (defs & live_fall)
+            if dead_taken == dead_fall:
+                continue
+            dest_bb = fall_bb if dead_taken else taken_bb
+
+            # Group must be entered only from the block laid out before it
+            # (otherwise rerouting external entries to the branch block
+            # would change where those paths go).
+            preds = fn.predecessor_map()
+            entry_preds = preds[group_blocks[0].label]
+            group_labels = {bb.label for bb in group_blocks}
+            external = [p for p in entry_preds if p.label not in group_labels]
+            if len(external) != 1 or external[0] is not fn.blocks[start - 1]:
+                continue
+            prev = fn.blocks[start - 1]
+            if prev.terminator is not None and prev.terminator.target == group_blocks[0].label:
+                continue  # entered by explicit branch: keep it simple, skip
+            if not prev.falls_through:
+                continue
+            # The branch block itself must be reachable ONLY through the
+            # group — the paper's "backward traversal stops when a join
+            # point is encountered". If another path bypasses the group
+            # into the branch block, pushing the group below the branch
+            # would make the bypass path execute it.
+            if any(p.label not in group_labels for p in preds[block.label]):
+                continue
+
+            if self._pushes_into_loop(block, dest_bb, loops):
+                continue
+            # A group containing a loop must not move (its internal back
+            # edges are fine, but loop trip-time side conditions get murky
+            # with profiling counters); allow only acyclic groups.
+            if any(
+                loop.header in group_labels or loop.body & group_labels
+                for loop in loops
+            ):
+                continue
+
+            self._move_group(fn, group_blocks, block, dest_bb)
+            ctx.bump("unspeculation.groups-pushed")
+            return True
+        return False
+
+    def _move_group(
+        self,
+        fn: Function,
+        group_blocks: List[BasicBlock],
+        branch_block: BasicBlock,
+        dest_bb: BasicBlock,
+    ) -> None:
+        """Cut the group out of the layout and drop it on the branch edge."""
+        follow = branch_block  # the group's single exit target (next block)
+        group_labels = {bb.label for bb in group_blocks}
+
+        # Remove the group from the layout. The block laid before the
+        # group fell through into it and now falls through into `follow`.
+        for bb in group_blocks:
+            fn.remove_block(bb)
+
+        # Create the edge block, then graft the group onto it.
+        edge_bb = split_edge(fn, branch_block, dest_bb)
+        # Control: edge_bb (empty or `B dest`) should run the group first.
+        # Insert the group blocks immediately after edge_bb in layout and
+        # send control through them.
+        insert_pos = fn.block_index(edge_bb) + 1
+        for offset, bb in enumerate(group_blocks):
+            fn.blocks.insert(insert_pos + offset, bb)
+
+        # edge_bb enters the group: replace its terminator (if any) with a
+        # fallthrough into the group entry (which is laid right after it).
+        if edge_bb.terminator is not None:
+            edge_bb.instrs.pop()
+
+        # Group exits that pointed at `follow` must now continue to the
+        # original edge destination.
+        last = group_blocks[-1]
+        for bb in group_blocks:
+            t = bb.terminator
+            if t is not None and t.target == follow.label:
+                t.target = dest_bb.label
+        if last.falls_through:
+            nxt = fn.layout_successor(last)
+            if nxt is not dest_bb:
+                from repro.ir.instructions import make_b
+
+                if last.terminator is None:
+                    last.append(make_b(dest_bb.label))
+                else:
+                    tramp = BasicBlock(fn.new_label(f"ft.{last.label}"))
+                    tramp.append(make_b(dest_bb.label))
+                    fn.blocks.insert(fn.block_index(last) + 1, tramp)

@@ -1,0 +1,24 @@
+"""Synthetic SPECint92-like workloads.
+
+The paper evaluates on the six SPECint92 benchmarks. We cannot run SPEC,
+so each kernel reproduces the dominant inner-loop character of its
+benchmark — two of them (li's ``xlygetvalue`` list search and eqntott's
+compare loop) are transcribed directly from the paper's own listings:
+
+========== =========================================================
+espresso   bit-set cube intersection/union over word arrays
+li         the paper's ``xlygetvalue`` linked-list search
+eqntott    the paper's BB1..BB8 term-comparison loop (``cmppt``)
+compress   open-addressing hash table probe/insert loop
+sc         spreadsheet cell recalculation with a global accumulator
+gcc        opcode dispatch with compare chains and branchy cases
+========== =========================================================
+
+Each workload provides a module builder, an entry point, reference and
+training arguments, and a short note on which of the paper's techniques
+it exercises.
+"""
+
+from repro.workloads.suite import Workload, suite, workload_by_name
+
+__all__ = ["Workload", "suite", "workload_by_name"]

@@ -1,0 +1,85 @@
+"""compress: open-addressing hash table probe/insert loop.
+
+compress's hot loop hashes a (prefix, char) code pair and probes its
+table, inserting on an empty slot and resetting on collision — a blend
+of multiplicative hashing, data-dependent loads and unpredictable
+branches. Techniques exercised: global scheduling across the probe
+diamond, unspeculation of the insert path, PDF reordering.
+"""
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+TABLE_WORDS = 256  # power of two so masking works
+
+_SOURCE = """
+data table: size={table_size}
+data codes: size={codes_size}
+
+func lookup_insert(r3, r4):
+    # r3 = key (nonzero), r4 = table base. Returns 1 on hit, 0 on insert.
+    MULI r5, r3, 2654435761
+    SRI r5, r5, 8
+    ANDI r5, r5, {mask}
+probe:
+    SLI r6, r5, 2
+    A r6, r6, r4
+    L r7, 0(r6)
+    CI cr0, r7, 0
+    BT empty, cr0.eq
+    C cr1, r7, r3
+    BT hit, cr1.eq
+    AI r5, r5, 1
+    ANDI r5, r5, {mask}
+    B probe
+empty:
+    ST 0(r6), r3
+    LI r3, 0
+    RET
+hit:
+    LI r3, 1
+    RET
+
+func main(r3):
+    LR r20, r3
+    LA r21, codes
+    LI r22, 0
+    LI r23, 0
+mloop:
+    C cr2, r22, r20
+    BF mdone, cr2.lt
+    L r3, 0(r21)
+    LA r4, table
+    CALL lookup_insert, 2
+    A r23, r23, r3
+    AI r21, r21, 4
+    AI r22, r22, 1
+    B mloop
+mdone:
+    LR r3, r23
+    RET
+"""
+
+
+def build(n_codes: int = 96, seed: int = 13) -> Module:
+    """``n_codes`` lookups against a {TABLE_WORDS}-slot table."""
+    rng = random.Random(seed)
+    module = parse_module(
+        _SOURCE.format(
+            table_size=4 * TABLE_WORDS,
+            codes_size=max(4 * n_codes, 4),
+            mask=TABLE_WORDS - 1,
+        )
+    )
+    # A zipfish code stream: lots of repeats so hits and misses mix.
+    alphabet = [rng.randrange(1, 1 << 20) for _ in range(max(n_codes // 3, 4))]
+    codes = [
+        alphabet[rng.randrange(len(alphabet))]
+        if rng.random() < 0.7
+        else rng.randrange(1, 1 << 20)
+        for _ in range(n_codes)
+    ]
+    module.data["codes"].init = codes
+    return module

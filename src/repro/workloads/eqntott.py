@@ -1,0 +1,101 @@
+"""eqntott: the paper's term-comparison inner loop (``cmppt``).
+
+The flow graph matches the paper's profiling figure (BB1..BB8): load an
+element from each term with update-form loads, normalise the don't-care
+value 2 to 0 on both sides, compare, exit early on a difference, and
+close the loop with ``BCT``. Techniques exercised: profiling counter
+placement and invariant counter motion (BB1/BB2/BB4 are the counted
+blocks in the paper), local scheduling around the compare chain, PDF
+branch statistics.
+"""
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+_SOURCE = """
+data terma: size={term_size}
+data termb: size={term_size}
+
+func cmppt(r3, r4, r5):
+    MTCTR r5
+    AI r3, r3, -4
+    AI r4, r4, -4
+loop:
+    LU r6, 4(r3)
+    LU r7, 4(r4)
+    CI cr0, r6, 2
+    BF bb3, cr0.eq
+bb2:
+    LI r6, 0
+bb3:
+    CI cr1, r7, 2
+    BF bb5, cr1.eq
+bb4:
+    LI r7, 0
+bb5:
+    C cr2, r6, r7
+    BT diff, cr2.ne
+bb6:
+    BCT loop
+equal:
+    LI r3, 0
+    RET
+diff:
+    S r3, r6, r7
+    RET
+
+func main(r3):
+    LR r20, r3
+    LI r22, 0
+    LI r23, 0
+mloop:
+    C cr2, r22, r20
+    BF mdone, cr2.lt
+    LA r3, terma
+    MULI r5, r22, {pair_bytes}
+    A r3, r3, r5
+    LA r4, termb
+    A r4, r4, r5
+    LI r5, {pair_words}
+    CALL cmppt, 3
+    CI cr3, r3, 0
+    BT mnext, cr3.eq
+    AI r23, r23, 1
+mnext:
+    AI r22, r22, 1
+    B mloop
+mdone:
+    LR r3, r23
+    RET
+"""
+
+
+def build(n_pairs: int = 24, pair_words: int = 16, seed: int = 11) -> Module:
+    """``n_pairs`` term pairs of ``pair_words`` words each."""
+    rng = random.Random(seed)
+    term_size = max(4 * n_pairs * pair_words, 4)
+    module = parse_module(
+        _SOURCE.format(
+            term_size=term_size,
+            pair_bytes=4 * pair_words,
+            pair_words=pair_words,
+        )
+    )
+    terma = []
+    termb = []
+    for p in range(n_pairs):
+        differs_at = rng.randrange(pair_words * 2)  # ~half pairs equal
+        for w in range(pair_words):
+            a = rng.choice((0, 1, 2, 2))
+            # b matches a modulo don't-care normalisation, except at the
+            # chosen difference position.
+            b = rng.choice((a, 2 if a == 0 else a))
+            if w == differs_at:
+                b = 1 if (a in (0, 2)) else 0
+            terma.append(a)
+            termb.append(b)
+    module.data["terma"].init = terma
+    module.data["termb"].init = termb
+    return module

@@ -1,0 +1,77 @@
+"""espresso: bit-set cube operations.
+
+espresso's core loops intersect and unite cube bit-vectors word by
+word, counting non-empty intersections. Techniques exercised: the
+straight-line loads/ALU mix that local and global scheduling overlap,
+speculative counting under a branch (unspeculation candidates), and the
+BCT-closed inner loop that unrolling and pipelining compact.
+"""
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+_SOURCE = """
+data cubes_a: size={size}
+data cubes_b: size={size}
+data unions: size={size}
+
+func sweep(r3, r4, r5, r6):
+    # r3 = a base, r4 = b base, r5 = out base, r6 = word count.
+    # Returns the number of words whose intersection is non-empty.
+    MTCTR r6
+    LI r7, 0
+    AI r3, r3, -4
+    AI r4, r4, -4
+    AI r5, r5, -4
+loop:
+    LU r8, 4(r3)
+    LU r9, 4(r4)
+    AND r10, r8, r9
+    OR r11, r8, r9
+    STU 4(r5), r11
+    CI cr0, r10, 0
+    BT next, cr0.eq
+    AI r7, r7, 1
+next:
+    BCT loop
+done:
+    LR r3, r7
+    RET
+
+func main(r3):
+    # r3 = number of sweeps over the cube arrays.
+    LR r20, r3
+    LI r22, 0
+    LI r23, 0
+mloop:
+    C cr2, r22, r20
+    BF mdone, cr2.lt
+    LA r3, cubes_a
+    LA r4, cubes_b
+    LA r5, unions
+    LI r6, {words}
+    CALL sweep, 4
+    A r23, r23, r3
+    AI r22, r22, 1
+    B mloop
+mdone:
+    LR r3, r23
+    RET
+"""
+
+
+def build(n_words: int = 64, seed: int = 17) -> Module:
+    rng = random.Random(seed)
+    module = parse_module(
+        _SOURCE.format(size=max(4 * n_words, 4), words=n_words)
+    )
+    # Sparse cubes: intersections are non-empty about a third of the time.
+    module.data["cubes_a"].init = [
+        rng.getrandbits(16) if rng.random() < 0.6 else 0 for _ in range(n_words)
+    ]
+    module.data["cubes_b"].init = [
+        rng.getrandbits(16) if rng.random() < 0.6 else 0 for _ in range(n_words)
+    ]
+    return module

@@ -1,0 +1,91 @@
+"""gcc: opcode dispatch with compare chains.
+
+gcc's RTL walkers branch on small opcode numbers; the kernel dispatches
+over an opcode stream through a compare chain whose cases each end in an
+unconditional branch back to the loop bottom — exactly the "untaken
+conditional branch followed immediately by a taken unconditional branch"
+stall pattern that basic block expansion removes, and prime material for
+PDF re-ordering and branch reversal.
+"""
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+_SOURCE = """
+data ops: size={ops_size}
+data regs: size=64
+
+func dispatch(r3, r4):
+    # r3 = ops base, r4 = op count. Returns the accumulator.
+    MTCTR r4
+    LI r5, 0
+    LI r6, 1
+    AI r3, r3, -4
+loop:
+    LU r7, 4(r3)
+    CI cr0, r7, 1
+    BT case_add, cr0.eq
+    CI cr1, r7, 2
+    BT case_sub, cr1.eq
+    CI cr2, r7, 3
+    BT case_shift, cr2.eq
+    CI cr3, r7, 4
+    BT case_store, cr3.eq
+case_default:
+    XOR r5, r5, r7
+    B bottom
+case_add:
+    A r5, r5, r6
+    AI r6, r6, 1
+    B bottom
+case_sub:
+    S r5, r5, r6
+    B bottom
+case_shift:
+    SLI r5, r5, 1
+    ANDI r5, r5, 65535
+    B bottom
+case_store:
+    LA r8, regs
+    ANDI r9, r5, 15
+    SLI r9, r9, 2
+    A r8, r8, r9
+    ST 0(r8), r5
+bottom:
+    BCT loop
+done:
+    LR r3, r5
+    RET
+
+func main(r3):
+    LR r20, r3
+    LI r23, 0
+mloop:
+    CI cr2, r20, 0
+    BT mdone, cr2.eq
+    LA r3, ops
+    LI r4, {nops}
+    CALL dispatch, 2
+    A r23, r23, r3
+    AI r20, r20, -1
+    B mloop
+mdone:
+    LR r3, r23
+    RET
+"""
+
+
+def build(n_ops: int = 80, seed: int = 23) -> Module:
+    rng = random.Random(seed)
+    module = parse_module(
+        _SOURCE.format(ops_size=max(4 * n_ops, 4), nops=n_ops)
+    )
+    # Skewed opcode mix (case_add dominates) so PDF has something to find.
+    weights = [(1, 50), (2, 15), (3, 12), (4, 8), (9, 15)]
+    population = [op for op, w in weights for _ in range(w)]
+    module.data["ops"].init = [
+        population[rng.randrange(len(population))] for _ in range(n_ops)
+    ]
+    return module

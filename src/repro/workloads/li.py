@@ -1,0 +1,94 @@
+"""li: the paper's ``xlygetvalue`` association-list search.
+
+A driver loops over a key array, calling ``xlygetvalue`` for each key
+against a cons-cell list whose cars point at (cell, value) pairs —
+exactly the structure of the paper's SPEC li example. Techniques
+exercised: unrolling, renaming, global scheduling, software pipelining
+(the dependent-load chain), and the loop-exit copies.
+"""
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+_SOURCE = """
+data nodes: size={nodes_size}
+data cells: size={cells_size}
+data keys: size={keys_size}
+
+func xlygetvalue(r3, r4):
+    LR r8, r4
+loop:
+    L r4, 4(r8)
+    L r5, 4(r4)
+    C cr0, r5, r3
+    BT found, cr0.eq
+    L r8, 8(r8)
+    CI cr1, r8, 0
+    BF loop, cr1.eq
+endofchain:
+    LI r3, 0
+    RET
+found:
+    LR r3, r4
+    RET
+
+func main(r3):
+    LR r20, r3
+    LA r21, keys
+    LI r22, 0
+    LI r23, 0
+mloop:
+    C cr2, r22, r20
+    BF mdone, cr2.lt
+    L r3, 0(r21)
+    LA r4, nodes
+    CALL xlygetvalue, 2
+    CI cr3, r3, 0
+    BT mnext, cr3.eq
+    L r5, 4(r3)
+    A r23, r23, r5
+mnext:
+    AI r21, r21, 4
+    AI r22, r22, 1
+    B mloop
+mdone:
+    LR r3, r23
+    RET
+"""
+
+
+def build(n_nodes: int = 64, n_keys: int = 32, seed: int = 7) -> Module:
+    """Build the module with an ``n_nodes``-long list and a key array."""
+    rng = random.Random(seed)
+    module = parse_module(
+        _SOURCE.format(
+            nodes_size=max(12 * n_nodes, 4),
+            cells_size=max(8 * n_nodes, 4),
+            keys_size=max(4 * n_keys, 4),
+        )
+    )
+    layout = module.layout()
+    nodes, cells = layout["nodes"], layout["cells"]
+
+    node_init = [0] * (3 * n_nodes)
+    cell_init = [0] * (2 * n_nodes)
+    values = []
+    for i in range(n_nodes):
+        value = 1000 + i * 3
+        values.append(value)
+        node_init[3 * i + 1] = cells + 8 * i
+        node_init[3 * i + 2] = nodes + 12 * (i + 1) if i + 1 < n_nodes else 0
+        cell_init[2 * i + 1] = value
+    module.data["nodes"].init = node_init
+    module.data["cells"].init = cell_init
+
+    keys = []
+    for _ in range(n_keys):
+        if rng.random() < 0.8:
+            keys.append(values[rng.randrange(len(values))])
+        else:
+            keys.append(rng.randrange(5000))  # mostly misses the list
+    module.data["keys"].init = keys
+    return module

@@ -1,0 +1,76 @@
+"""sc: spreadsheet cell recalculation.
+
+Each cell is [value, dependency index, dirty flag]; a recalc pass walks
+the sheet, recomputing dirty cells from their dependency and adding the
+change into a global total — a conditionally executed load/store of a
+TOC-addressed global inside the loop, the exact pattern the paper's
+speculative load/store motion targets (the ``a(r4,12)`` example).
+"""
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+_SOURCE = """
+data cells: size={cells_size}
+data total: size=4 init=[0]
+
+func recalc(r3):
+    # r3 = number of cells.
+    MTCTR r3
+    LA r9, total
+    LA r3, cells
+    LA r10, cells
+    AI r3, r3, -12
+loop:
+    LU r5, 12(r3)
+    L r6, 8(r3)
+    CI cr0, r6, 0
+    BT next, cr0.eq
+dirty:
+    L r7, 4(r3)
+    MULI r7, r7, 12
+    A r12, r7, r10
+    L r8, 0(r12)
+    AI r8, r8, 1
+    ST 0(r3), r8
+    L r11, 0(r9)
+    A r11, r11, r8
+    ST 0(r9), r11
+next:
+    BCT loop
+done:
+    L r3, 0(r9)
+    RET
+
+func main(r3):
+    # r3 = recalc passes.
+    LR r20, r3
+    LI r23, 0
+mloop:
+    CI cr2, r20, 0
+    BT mdone, cr2.eq
+    LI r3, {ncells}
+    CALL recalc, 1
+    LR r23, r3
+    AI r20, r20, -1
+    B mloop
+mdone:
+    LR r3, r23
+    RET
+"""
+
+
+def build(n_cells: int = 48, seed: int = 19) -> Module:
+    rng = random.Random(seed)
+    module = parse_module(
+        _SOURCE.format(cells_size=max(12 * n_cells, 4), ncells=n_cells)
+    )
+    init = []
+    for i in range(n_cells):
+        init.append(rng.randrange(100))          # value
+        init.append(rng.randrange(n_cells))      # dependency index
+        init.append(1 if rng.random() < 0.4 else 0)  # dirty flag
+    module.data["cells"].init = init
+    return module

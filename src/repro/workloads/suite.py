@@ -1,0 +1,83 @@
+"""The workload suite used by the experiments."""
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.ir.module import Module
+from repro.workloads import compress, eqntott, espresso, gcc, li, sc
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: builder, entry point, reference/training inputs."""
+
+    name: str
+    build: Callable[[], Module]
+    entry: str
+    args: Tuple[int, ...]
+    train_args: Tuple[int, ...]
+    description: str
+
+    def fresh_module(self) -> Module:
+        return self.build()
+
+
+def suite() -> Tuple[Workload, ...]:
+    """The six SPECint92-like workloads, reference-sized."""
+    return (
+        Workload(
+            name="espresso",
+            build=lambda: espresso.build(n_words=64),
+            entry="main",
+            args=(40,),
+            train_args=(6,),
+            description="bit-set cube intersection/union sweeps",
+        ),
+        Workload(
+            name="li",
+            build=lambda: li.build(n_nodes=64, n_keys=32),
+            entry="main",
+            args=(32,),
+            train_args=(8,),
+            description="xlygetvalue association-list search (paper listing)",
+        ),
+        Workload(
+            name="eqntott",
+            build=lambda: eqntott.build(n_pairs=24, pair_words=16),
+            entry="main",
+            args=(24,),
+            train_args=(6,),
+            description="cmppt term comparison loop (paper listing)",
+        ),
+        Workload(
+            name="compress",
+            build=lambda: compress.build(n_codes=96),
+            entry="main",
+            args=(96,),
+            train_args=(24,),
+            description="open-addressing hash probe/insert",
+        ),
+        Workload(
+            name="sc",
+            build=lambda: sc.build(n_cells=48),
+            entry="main",
+            args=(20,),
+            train_args=(4,),
+            description="spreadsheet recalculation with global total",
+        ),
+        Workload(
+            name="gcc",
+            build=lambda: gcc.build(n_ops=80),
+            entry="main",
+            args=(30,),
+            train_args=(5,),
+            description="opcode dispatch compare chains",
+        ),
+    )
+
+
+def workload_by_name(name: str) -> Workload:
+    for wl in suite():
+        if wl.name == name:
+            return wl
+    raise KeyError(f"no workload named {name!r}")

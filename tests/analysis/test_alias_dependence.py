@@ -1,0 +1,232 @@
+from repro.ir import parse_function, parse_module
+from repro.ir.operands import gpr
+from repro.analysis import MemoryModel, build_dag
+from repro.machine.model import RS6000
+
+TWO_SYMBOLS = """
+data a: size=16
+data b: size=16
+data vol: size=4 volatile
+
+func f(r3):
+    LA r4, a
+    LA r5, b
+    L r6, 0(r4)
+    L r7, 4(r4)
+    ST 8(r5), r6
+    L r8, 0(r5)
+    RET
+"""
+
+
+class TestProvenance:
+    def test_la_resolves(self):
+        m = parse_module(TWO_SYMBOLS)
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        loads = [i for i in fn.instructions() if i.is_load]
+        ref = mm.memref(loads[0])
+        assert ref.symbol == "a"
+        assert ref.addr_in_symbol == 0
+
+    def test_distinct_symbols_never_alias(self):
+        m = parse_module(TWO_SYMBOLS)
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        ops = [i for i in fn.instructions() if i.is_memory]
+        la0 = mm.memref(ops[0])  # L 0(r4) -> a
+        st = mm.memref(ops[2])  # ST 8(r5) -> b
+        assert not mm.may_alias(la0, st)
+
+    def test_same_symbol_disjoint_offsets(self):
+        m = parse_module(TWO_SYMBOLS)
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        ops = [i for i in fn.instructions() if i.is_memory]
+        assert not mm.may_alias(mm.memref(ops[0]), mm.memref(ops[1]))
+
+    def test_same_symbol_same_offset_aliases(self):
+        m = parse_module(TWO_SYMBOLS)
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        ops = [i for i in fn.instructions() if i.is_memory]
+        st = mm.memref(ops[2])  # ST 8(r5)
+        ld = mm.memref(ops[3])  # L 0(r5)
+        assert not mm.may_alias(st, ld)  # offsets 8 vs 0
+        assert mm.may_alias(st, st)
+
+    def test_ai_chain_offsets(self):
+        m = parse_module(
+            """
+data a: size=32
+func f(r3):
+    LA r4, a
+    AI r5, r4, 8
+    L r6, 0(r5)
+    L r7, 8(r4)
+    ST 12(r4), r6
+    RET
+"""
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        ops = [i for i in fn.instructions() if i.is_memory]
+        # 0(r5) == 8(r4): same address
+        assert mm.may_alias(mm.memref(ops[0]), mm.memref(ops[1]))
+        # 12(r4) != 8(a)
+        assert not mm.may_alias(mm.memref(ops[0]), mm.memref(ops[2]))
+
+    def test_roaming_pointer_stays_in_symbol(self):
+        m = parse_module(
+            """
+data arr: size=64
+data other: size=4
+func f(r3):
+    LA r4, arr
+    LA r9, other
+loop:
+    L r5, 0(r4)
+    AI r4, r4, 4
+    ST 0(r9), r5
+    CI cr0, r5, 0
+    BF loop, cr0.eq
+done:
+    RET
+"""
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        ops = [i for i in fn.instructions() if i.is_memory]
+        walk = mm.memref(ops[0])  # L 0(r4), r4 walks arr
+        fixed = mm.memref(ops[1])  # ST 0(r9) -> other
+        assert walk.symbol == "arr"
+        assert walk.offset is None
+        assert not mm.may_alias(walk, fixed)
+        # Unknown offset within the same symbol must alias itself.
+        assert mm.may_alias(walk, walk)
+
+    def test_indexed_pointer_resolves_via_add(self):
+        m = parse_module(
+            """
+data arr: size=64
+data total: size=4
+func f(r3):
+    LA r4, arr
+    MULI r5, r3, 4
+    A r6, r5, r4
+    L r7, 0(r6)
+    LA r8, total
+    ST 0(r8), r7
+    RET
+"""
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        ops = [i for i in fn.instructions() if i.is_memory]
+        idx = mm.memref(ops[0])
+        tot = mm.memref(ops[1])
+        assert idx.symbol == "arr"
+        assert not mm.may_alias(idx, tot)
+
+    def test_param_pointer_is_unknown(self):
+        m = parse_module(
+            "data a: size=8\nfunc f(r3):\n    L r4, 0(r3)\n    RET"
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        load = next(i for i in fn.instructions() if i.is_load)
+        assert mm.memref(load).symbol is None
+
+    def test_volatile_detection(self):
+        m = parse_module(
+            "data vol: size=4 volatile\nfunc f(r3):\n    LA r4, vol\n    L r3, 0(r4)\n    RET"
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        load = next(i for i in fn.instructions() if i.is_load)
+        assert mm.is_volatile_ref(load)
+
+    def test_provably_safe_bounds(self):
+        m = parse_module(
+            "data a: size=8\nfunc f(r3):\n    LA r4, a\n    L r5, 4(r4)\n    L r6, 8(r4)\n    RET"
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        loads = [i for i in fn.instructions() if i.is_load]
+        assert mm.provably_safe(loads[0])  # bytes 4..8 of 8 ok
+        assert not mm.provably_safe(loads[1])  # bytes 8..12 out of bounds
+
+
+class TestDependenceDAG:
+    def test_raw_edge_with_load_latency(self):
+        fn = parse_function(
+            "func f(r3):\n    L r4, 0(r3)\n    AI r5, r4, 1\n    RET"
+        )
+        instrs = fn.blocks[0].instrs
+        dag = build_dag(instrs, model=RS6000)
+        assert dag.succs[0][1] == RS6000.load_latency
+
+    def test_cmp_branch_latency(self):
+        fn = parse_function(
+            "func f(r3):\n    CI cr0, r3, 0\n    BT x, cr0.eq\nx:\n    RET"
+        )
+        instrs = fn.blocks[0].instrs
+        dag = build_dag(instrs, model=RS6000)
+        assert dag.succs[0][1] == RS6000.cmp_to_branch
+
+    def test_war_and_waw(self):
+        fn = parse_function(
+            "func f(r3):\n    A r4, r3, r3\n    LI r3, 0\n    LI r3, 1\n    RET"
+        )
+        instrs = fn.blocks[0].instrs
+        dag = build_dag(instrs)
+        assert 1 in dag.succs[0]  # WAR: read r3 before overwrite
+        assert 2 in dag.succs[1]  # WAW between the two LIs
+
+    def test_memory_dependences_conservative_without_model(self):
+        fn = parse_function(
+            "func f(r3):\n    ST 0(r3), r3\n    L r4, 4(r3)\n    RET"
+        )
+        dag = build_dag(fn.blocks[0].instrs)
+        assert 1 in dag.succs[0]  # store -> load ordered without alias info
+
+    def test_memory_independent_with_model(self):
+        m = parse_module(
+            "data a: size=16\nfunc f(r3):\n    LA r9, a\n    ST 0(r9), r3\n    L r4, 8(r9)\n    RET"
+        )
+        fn = m.functions["f"]
+        mm = MemoryModel(fn, m)
+        dag = build_dag(fn.blocks[0].instrs, memory=mm)
+        # ST 0(r9) and L 8(r9): provably disjoint, no edge
+        assert 2 not in dag.succs[1]
+
+    def test_call_is_barrier(self):
+        fn = parse_function(
+            "func f(r3):\n    ST 0(r3), r3\n    CALL print_int, 1\n    L r4, 0(r3)\n    RET"
+        )
+        dag = build_dag(fn.blocks[0].instrs)
+        assert 1 in dag.succs[0]
+        assert 2 in dag.succs[1]
+
+    def test_terminator_after_everything(self):
+        fn = parse_function(
+            "func f(r3):\n    LI r4, 1\n    LI r5, 2\n    RET"
+        )
+        dag = build_dag(fn.blocks[0].instrs)
+        assert 2 in dag.succs[0]
+        assert 2 in dag.succs[1]
+
+    def test_topological(self):
+        fn = parse_function(
+            "func f(r3):\n    L r4, 0(r3)\n    A r5, r4, r3\n    ST 0(r3), r5\n    RET"
+        )
+        dag = build_dag(fn.blocks[0].instrs)
+        assert dag.topological_check()
+
+    def test_critical_heights_monotone(self):
+        fn = parse_function(
+            "func f(r3):\n    L r4, 0(r3)\n    AI r5, r4, 1\n    AI r6, r5, 1\n    RET"
+        )
+        dag = build_dag(fn.blocks[0].instrs)
+        h = dag.critical_heights()
+        assert h[0] > h[1] > h[2] >= h[3]

@@ -1,0 +1,136 @@
+from repro.ir import parse_function
+from repro.analysis import (
+    compute_dominators,
+    compute_postdominators,
+    depth_first_order,
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+)
+
+DIAMOND_LOOP = """
+func f(r3):
+entry:
+    LI r4, 0
+head:
+    CI cr0, r3, 0
+    BT exit, cr0.le
+body:
+    CI cr1, r3, 10
+    BT big, cr1.gt
+small:
+    AI r4, r4, 1
+    B latch
+big:
+    AI r4, r4, 2
+latch:
+    AI r3, r3, -1
+    B head
+exit:
+    LR r3, r4
+    RET
+"""
+
+UNREACHABLE = """
+func f(r3):
+entry:
+    RET
+dead:
+    LI r3, 1
+    RET
+"""
+
+
+class TestTraversals:
+    def test_reachable(self):
+        fn = parse_function(UNREACHABLE)
+        assert reachable_blocks(fn) == {"entry"}
+
+    def test_rpo_starts_at_entry(self):
+        fn = parse_function(DIAMOND_LOOP)
+        order = [b.label for b in reverse_postorder(fn)]
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "head", "body", "small", "big", "latch", "exit"}
+        # A block appears after at least one of its predecessors (except
+        # loop headers reached by back edges).
+        assert order.index("head") < order.index("body")
+        assert order.index("body") < order.index("latch")
+
+    def test_postorder_is_reverse_of_rpo(self):
+        fn = parse_function(DIAMOND_LOOP)
+        assert [b.label for b in postorder(fn)] == list(
+            reversed([b.label for b in reverse_postorder(fn)])
+        )
+
+    def test_dfs_priority_prefers_high_priority_successor(self):
+        fn = parse_function(DIAMOND_LOOP)
+        # Prefer the 'big' side of the diamond.
+        prio = lambda src, dst: 10.0 if dst.label == "big" else 1.0
+        order = [b.label for b in depth_first_order(fn, successor_priority=prio)]
+        assert order.index("big") < order.index("small")
+
+    def test_dfs_default_prefers_taken_edge(self):
+        fn = parse_function(DIAMOND_LOOP)
+        order = [b.label for b in depth_first_order(fn)]
+        # entry -> head; head's taken target is exit.
+        assert order.index("exit") < order.index("body")
+
+    def test_dfs_keeps_unreachable_blocks_at_end(self):
+        fn = parse_function(UNREACHABLE)
+        order = [b.label for b in depth_first_order(fn)]
+        assert order == ["entry", "dead"]
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        fn = parse_function(DIAMOND_LOOP)
+        dom = compute_dominators(fn)
+        for bb in fn.blocks:
+            assert dom.dominates("entry", bb.label)
+
+    def test_diamond_sides_do_not_dominate_join(self):
+        fn = parse_function(DIAMOND_LOOP)
+        dom = compute_dominators(fn)
+        assert not dom.dominates("small", "latch")
+        assert not dom.dominates("big", "latch")
+        assert dom.dominates("body", "latch")
+
+    def test_strict_dominance(self):
+        fn = parse_function(DIAMOND_LOOP)
+        dom = compute_dominators(fn)
+        assert dom.dominates("head", "head")
+        assert not dom.strictly_dominates("head", "head")
+        assert dom.strictly_dominates("head", "body")
+
+    def test_immediate_dominator(self):
+        fn = parse_function(DIAMOND_LOOP)
+        dom = compute_dominators(fn)
+        assert dom.immediate_dominator("latch") == "body"
+        assert dom.immediate_dominator("exit") == "head"
+        assert dom.immediate_dominator("entry") is None
+
+
+class TestPostdominators:
+    def test_exit_postdominates_everything(self):
+        fn = parse_function(DIAMOND_LOOP)
+        pdom = compute_postdominators(fn)
+        for bb in fn.blocks:
+            assert pdom.dominates("exit", bb.label)
+
+    def test_diamond_sides_do_not_postdominate_branch(self):
+        fn = parse_function(DIAMOND_LOOP)
+        pdom = compute_postdominators(fn)
+        assert not pdom.dominates("small", "body")
+        assert not pdom.dominates("big", "body")
+        assert pdom.dominates("latch", "body")
+
+    def test_no_return_function(self):
+        fn = parse_function(
+            """
+func f(r3):
+loop:
+    B loop
+"""
+        )
+        pdom = compute_postdominators(fn)
+        assert not pdom.dominates("loop", "loop") or True  # no crash

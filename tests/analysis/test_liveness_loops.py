@@ -1,0 +1,179 @@
+from repro.ir import parse_function
+from repro.ir.operands import SP, cr, gpr
+from repro.analysis import compute_liveness, find_natural_loops
+from repro.analysis.liveness import block_use_def, live_after_instr, liveness_per_instr
+from repro.analysis.loops import get_or_create_preheader, split_edge
+
+LOOP = """
+func f(r3):
+entry:
+    LI r4, 0
+    LI r5, 10
+loop:
+    A r4, r4, r3
+    AI r5, r5, -1
+    CI cr0, r5, 0
+    BF loop, cr0.eq
+exit:
+    LR r3, r4
+    RET
+"""
+
+
+class TestLiveness:
+    def test_loop_carried_values_live_at_header(self):
+        fn = parse_function(LOOP)
+        live = compute_liveness(fn)
+        live_in = live.live_at_block_entry("loop")
+        assert gpr(4) in live_in
+        assert gpr(5) in live_in
+        assert gpr(3) in live_in
+
+    def test_dead_after_last_use(self):
+        fn = parse_function(LOOP)
+        live = compute_liveness(fn)
+        exit_out = live.live_at_block_exit("exit")
+        assert gpr(4) not in exit_out
+
+    def test_r3_live_at_exit_due_to_ret(self):
+        fn = parse_function(LOOP)
+        live = compute_liveness(fn)
+        assert gpr(3) in live.live_at_block_entry("exit") or gpr(4) in live.live_at_block_entry("exit")
+        # after the copy, RET needs r3
+        per = liveness_per_instr(fn.block("exit"), live.live_at_block_exit("exit"))
+        assert gpr(3) in per[0]
+
+    def test_block_use_def(self):
+        fn = parse_function(LOOP)
+        uses, defs = block_use_def(fn.block("loop"))
+        assert gpr(3) in uses and gpr(4) in uses and gpr(5) in uses
+        assert gpr(4) in defs and gpr(5) in defs and cr(0) in defs
+
+    def test_upward_exposed_only(self):
+        fn = parse_function(
+            """
+func f(r3):
+    LI r4, 1
+    A r5, r4, r4
+    RET
+"""
+        )
+        uses, defs = block_use_def(fn.blocks[0])
+        assert gpr(4) not in uses  # defined before used
+        assert gpr(4) in defs and gpr(5) in defs
+
+    def test_live_after_instr(self):
+        fn = parse_function(LOOP)
+        live = compute_liveness(fn)
+        block = fn.block("loop")
+        after_first = live_after_instr(
+            block, 0, live.live_at_block_exit("loop")
+        )
+        assert gpr(5) in after_first  # still needed by AI below
+        assert cr(0) not in after_first  # defined later, not live here
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        fn = parse_function(LOOP)
+        loops = find_natural_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].header == "loop"
+        assert loops[0].body == {"loop"}
+        assert loops[0].back_edges == [("loop", "loop")]
+
+    def test_exit_and_entry_edges(self):
+        fn = parse_function(LOOP)
+        loop = find_natural_loops(fn)[0]
+        exits = [(a.label, b.label) for a, b in loop.exit_edges(fn)]
+        assert exits == [("loop", "exit")]
+        entries = [(a.label, b.label) for a, b in loop.entry_edges(fn)]
+        assert entries == [("entry", "loop")]
+
+    def test_nested_loops_parenting(self):
+        fn = parse_function(
+            """
+func f(r3):
+entry:
+    LI r4, 3
+outer:
+    LI r5, 3
+inner:
+    AI r5, r5, -1
+    CI cr0, r5, 0
+    BF inner, cr0.eq
+outdone:
+    AI r4, r4, -1
+    CI cr1, r4, 0
+    BF outer, cr1.eq
+fin:
+    RET
+"""
+        )
+        loops = find_natural_loops(fn)
+        assert len(loops) == 2
+        inner = next(l for l in loops if l.header == "inner")
+        outer = next(l for l in loops if l.header == "outer")
+        assert inner.parent is outer
+        assert outer.parent is None
+        assert inner.depth == 2
+
+    def test_preheader_reuse(self):
+        fn = parse_function(LOOP)
+        loop = find_natural_loops(fn)[0]
+        pre = get_or_create_preheader(fn, loop)
+        assert pre.label == "entry"  # single entry pred reused
+
+    def test_preheader_creation_on_multiple_entries(self):
+        fn = parse_function(
+            """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT other, cr0.lt
+first:
+    LI r4, 1
+    B loop
+other:
+    LI r4, 2
+loop:
+    AI r4, r4, -1
+    CI cr1, r4, 0
+    BF loop, cr1.eq
+done:
+    RET
+"""
+        )
+        loop = next(l for l in find_natural_loops(fn) if l.header == "loop")
+        pre = get_or_create_preheader(fn, loop)
+        entries = loop.entry_edges(fn)
+        assert len(entries) == 1
+        assert entries[0][0] is pre
+        # Semantics preserved: both original entries reach the preheader.
+        from repro.ir import verify_function
+
+        verify_function(fn)
+
+
+class TestSplitEdge:
+    def test_split_branch_edge(self):
+        fn = parse_function(LOOP)
+        loop_bb, exit_bb = fn.block("loop"), fn.block("exit")
+        # loop->loop is the branch edge here; split loop->exit fallthrough.
+        mid = split_edge(fn, loop_bb, exit_bb)
+        assert fn.layout_successor(mid) is exit_bb or (
+            mid.terminator is not None and mid.terminator.target == "exit"
+        )
+        from repro.ir import verify_function
+
+        verify_function(fn)
+
+    def test_split_taken_edge_retargets_branch(self):
+        fn = parse_function(LOOP)
+        loop_bb = fn.block("loop")
+        mid = split_edge(fn, loop_bb, loop_bb)
+        assert loop_bb.terminator.target == mid.label
+        assert mid.terminator.target == "loop"
+        from repro.ir import verify_function
+
+        verify_function(fn)

@@ -1,0 +1,154 @@
+"""Inter-procedural call-effect summaries."""
+
+from repro.ir import parse_module
+from repro.analysis.summaries import compute_summaries
+from repro.machine.interpreter import run_function
+from repro.transforms import LoopMemoryMotion
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent
+
+MODULE = """
+data a: size=16 init=[0, 0, 0, 5]
+data b: size=16 init=[9]
+
+func pure_helper(r3):
+    MULI r3, r3, 3
+    AI r3, r3, 1
+    RET
+
+func touches_b(r3):
+    LA r4, b
+    L r5, 0(r4)
+    A r3, r3, r5
+    RET
+
+func writes_b(r3):
+    LA r4, b
+    ST 4(r4), r3
+    RET
+
+func via_pointer(r3):
+    L r3, 0(r3)
+    RET
+
+func io_only(r3):
+    CALL print_int, 1
+    RET
+
+func chains(r3):
+    CALL touches_b, 1
+    CALL pure_helper, 1
+    RET
+
+func recursive(r3):
+    CI cr0, r3, 0
+    BT base_case, cr0.le
+    AI r3, r3, -1
+    CALL recursive, 1
+base_case:
+    RET
+"""
+
+
+class TestSummaries:
+    def setup_method(self):
+        self.module = parse_module(MODULE)
+        self.summaries = compute_summaries(self.module)
+
+    def test_pure_function(self):
+        s = self.summaries["pure_helper"]
+        assert s.is_memory_silent
+        assert not s.may_touch_symbol("a")
+
+    def test_reader_with_known_symbol(self):
+        s = self.summaries["touches_b"]
+        assert s.reads_memory and not s.writes_memory
+        assert s.touched_symbols == frozenset({"b"})
+        assert s.may_touch_symbol("b")
+        assert not s.may_touch_symbol("a")
+
+    def test_writer(self):
+        s = self.summaries["writes_b"]
+        assert s.writes_memory
+        assert not s.may_touch_symbol("a")
+
+    def test_pointer_access_is_unknown(self):
+        s = self.summaries["via_pointer"]
+        assert s.reads_memory
+        assert s.touched_symbols is None
+        assert s.may_touch_symbol("a")
+
+    def test_io_only(self):
+        s = self.summaries["io_only"]
+        assert s.does_io
+        assert not s.touches_memory
+        assert not s.may_touch_symbol("a")
+
+    def test_transitive_chain(self):
+        s = self.summaries["chains"]
+        assert s.reads_memory
+        assert s.touched_symbols == frozenset({"b"})
+
+    def test_recursion_converges(self):
+        s = self.summaries["recursive"]
+        assert s.is_memory_silent
+
+
+class TestLoopMotionAcrossCalls:
+    """The paper's inter-procedural extension: motion of an `a`-location
+    across a call that provably only touches `b`."""
+
+    SRC = """
+data a: size=16 init=[0, 0, 0, 5]
+data b: size=16 init=[9]
+
+func bump_b(r3):
+    LA r4, b
+    L r5, 0(r4)
+    AI r5, r5, 1
+    ST 0(r4), r5
+    RET
+
+func f(r20):
+    LA r21, a
+loop:
+    L r6, 12(r21)
+    AI r6, r6, 1
+    ST 12(r21), r6
+    CALL bump_b, 0
+    AI r20, r20, -1
+    CI cr1, r20, 0
+    BF loop, cr1.eq
+done:
+    L r3, 12(r21)
+    RET
+"""
+
+    def test_motion_applies_across_disjoint_call(self):
+        before = parse_module(self.SRC)
+        after = parse_module(self.SRC)
+        ctx = PassContext(after)
+        changed = LoopMemoryMotion().run_on_module(after, ctx)
+        assert changed, "summary should prove bump_b cannot touch a"
+        assert_equivalent(before, after, "f", [[1], [4]])
+        # The moved location's accesses left the loop body.
+        from repro.analysis import find_natural_loops
+
+        fn = after.functions["f"]
+        loop = find_natural_loops(fn)[0]
+        assert all(
+            not (i.is_memory and i.disp == 12)
+            for bb in loop.blocks(fn)
+            for i in bb.instrs
+        )
+
+    def test_unknown_callee_still_blocks(self):
+        src = self.SRC.replace("CALL bump_b, 0", "CALL opaque, 1").replace(
+            "func bump_b(r3):\n    LA r4, b\n    L r5, 0(r4)\n    AI r5, r5, 1\n    ST 0(r4), r5\n    RET",
+            "func opaque(r3):\n    L r4, 0(r3)\n    ST 0(r3), r4\n    RET",
+        )
+        module = parse_module(src)
+        ctx = PassContext(module)
+        changed = LoopMemoryMotion().run_on_module(module, ctx)
+        assert not changed  # pointer-typed callee may touch anything

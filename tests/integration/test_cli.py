@@ -1,0 +1,77 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAM = """
+data a: size=16 init=[1, 2, 3, 4]
+
+func main(r3):
+    LA r4, a
+    LI r3, 0
+    LI r5, 4
+    MTCTR r5
+    AI r4, r4, -4
+loop:
+    LU r6, 4(r4)
+    A r3, r3, r6
+    BCT loop
+done:
+    CALL print_int, 1
+    RET
+"""
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "prog.ir"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_ir(self, ir_file, capsys):
+        assert main(["compile", ir_file, "--level", "vliw"]) == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+        assert "RET" in out
+
+    def test_base_level(self, ir_file, capsys):
+        assert main(["compile", ir_file, "--level", "base"]) == 0
+        assert "func main" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_and_prints_output(self, ir_file, capsys):
+        assert main(["run", ir_file, "--entry", "main"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "10"
+        assert "returned 10" in captured.err
+
+    def test_run_compiled(self, ir_file, capsys):
+        assert main(["run", ir_file, "--level", "vliw"]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+
+class TestTime:
+    def test_reports_all_levels(self, ir_file, capsys):
+        assert main(["time", ir_file, "--entry", "main"]) == 0
+        out = capsys.readouterr().out
+        for level in ("none", "base", "vliw"):
+            assert level in out
+        assert "cycles" in out
+
+    def test_model_selection(self, ir_file, capsys):
+        assert main(["time", ir_file, "--model", "power2", "--levels", "none"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["compile", str(tmp_path / "missing.ir")])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

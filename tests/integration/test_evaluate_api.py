@@ -1,0 +1,76 @@
+"""The public measurement API (repro.evaluate, repro top-level)."""
+
+import math
+
+import pytest
+
+import repro
+from repro.evaluate import (
+    Measurement,
+    SpecRow,
+    format_spec_table,
+    geomean_speedup,
+    measure,
+    reference_value,
+    specint_table,
+)
+from repro.machine.model import RS6000
+from repro.workloads import workload_by_name
+
+
+class TestSpecRow:
+    def test_marks_and_speedup(self):
+        row = SpecRow("x", base_cycles=200, vliw_cycles=100)
+        assert row.base_mark == 100.0
+        assert row.vliw_mark == 200.0
+        assert row.speedup == 2.0
+
+    def test_geomean(self):
+        rows = [SpecRow("a", 200, 100), SpecRow("b", 100, 200)]
+        assert abs(geomean_speedup(rows) - 1.0) < 1e-9
+        assert geomean_speedup([]) == 1.0
+
+    def test_format_contains_all_rows(self):
+        rows = [SpecRow("alpha", 10, 5), SpecRow("beta", 10, 10)]
+        text = format_spec_table(rows)
+        assert "alpha" in text and "beta" in text and "geomean" in text
+
+
+class TestMeasure:
+    def test_measurement_fields(self):
+        wl = workload_by_name("sc")
+        m = measure(wl, "base", RS6000)
+        assert isinstance(m, Measurement)
+        assert m.workload == "sc"
+        assert m.level == "base"
+        assert m.cycles > 0
+        assert 0 < m.ipc <= RS6000.issue_width
+        assert m.static_instructions > 0
+        assert m.compile_seconds >= 0
+
+    def test_check_against_catches_mismatch(self):
+        wl = workload_by_name("sc")
+        with pytest.raises(AssertionError):
+            measure(wl, "base", RS6000, check_against=-123456789)
+
+    def test_reference_value_is_stable(self):
+        wl = workload_by_name("espresso")
+        assert reference_value(wl) == reference_value(wl)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_readme(self):
+        from repro.workloads import workload_by_name
+
+        wl = workload_by_name("li")
+        ref = repro.reference_value(wl)
+        base = repro.measure(wl, "base", check_against=ref)
+        vliw = repro.measure(wl, "vliw", check_against=ref)
+        assert vliw.cycles < base.cycles

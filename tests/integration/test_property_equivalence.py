@@ -1,0 +1,149 @@
+"""Property-based differential testing of every pass.
+
+Hypothesis generates random structured programs (arithmetic, memory
+traffic, nested diamonds, bounded loops); each pass — and the complete
+pipelines — must preserve the observable behaviour (return value, final
+memory, I/O) on a battery of inputs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import verify_module
+from repro.pipeline import compile_module
+from repro.scheduling import GlobalScheduling, LocalScheduling, VLIWScheduling
+from repro.transforms import (
+    BasicBlockExpansion,
+    CopyPropagation,
+    DeadCodeElimination,
+    LimitedCombining,
+    LiveRangeRenaming,
+    LoopMemoryMotion,
+    LoopUnroll,
+    Straighten,
+    Unspeculation,
+)
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent, random_program, standard_argsets
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PASS_FACTORIES = {
+    "straighten": Straighten,
+    "copy-propagation": CopyPropagation,
+    "dce": DeadCodeElimination,
+    "loop-memory-motion": LoopMemoryMotion,
+    "unspeculation": Unspeculation,
+    "limited-combining": LimitedCombining,
+    "bb-expansion": BasicBlockExpansion,
+    "loop-unroll": LoopUnroll,
+    "live-range-renaming": LiveRangeRenaming,
+    "local-scheduling": LocalScheduling,
+    "global-scheduling": GlobalScheduling,
+    "vliw-scheduling": VLIWScheduling,
+}
+
+
+def check_pass(pass_name: str, seed: int, size: int = 14):
+    before = random_program(seed, size=size)
+    after = random_program(seed, size=size)
+    ctx = PassContext(after)
+    PASS_FACTORIES[pass_name]().run_on_module(after, ctx)
+    verify_module(after)
+    assert_equivalent(
+        before,
+        after,
+        "f",
+        standard_argsets(),
+        context=f"{pass_name} seed={seed}",
+    )
+
+
+@pytest.mark.parametrize("pass_name", sorted(PASS_FACTORIES))
+class TestEachPassPreservesSemantics:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_programs(self, pass_name, seed):
+        check_pass(pass_name, seed)
+
+
+class TestPipelines:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_baseline_pipeline(self, seed):
+        before = random_program(seed)
+        result = compile_module(random_program(seed), "base")
+        assert_equivalent(
+            before, result.module, "f", standard_argsets(), context=f"base seed={seed}"
+        )
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_vliw_pipeline(self, seed):
+        before = random_program(seed)
+        result = compile_module(random_program(seed), "vliw")
+        assert_equivalent(
+            before, result.module, "f", standard_argsets(), context=f"vliw seed={seed}"
+        )
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=2_000),
+        size=st.integers(min_value=4, max_value=24),
+        depth=st.integers(min_value=1, max_value=3),
+    )
+    def test_vliw_pipeline_varied_shapes(self, seed, size, depth):
+        before = random_program(seed, size=size, max_depth=depth)
+        after = compile_module(
+            random_program(seed, size=size, max_depth=depth), "vliw"
+        )
+        assert_equivalent(
+            before,
+            after.module,
+            "f",
+            standard_argsets(),
+            context=f"vliw seed={seed} size={size} depth={depth}",
+        )
+
+
+class TestSequentialPassOrderings:
+    """Passes must compose: apply random prefixes of the full pipeline."""
+
+    ORDER = [
+        "straighten",
+        "copy-propagation",
+        "dce",
+        "loop-memory-motion",
+        "unspeculation",
+        "vliw-scheduling",
+        "limited-combining",
+        "copy-propagation",
+        "dce",
+        "bb-expansion",
+        "straighten",
+    ]
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=2_000),
+        prefix=st.integers(min_value=1, max_value=11),
+    )
+    def test_prefixes(self, seed, prefix):
+        before = random_program(seed)
+        after = random_program(seed)
+        ctx = PassContext(after)
+        for name in self.ORDER[:prefix]:
+            PASS_FACTORIES[name]().run_on_module(after, ctx)
+            verify_module(after)
+        assert_equivalent(
+            before,
+            after,
+            "f",
+            standard_argsets(),
+            context=f"prefix={prefix} seed={seed}",
+        )

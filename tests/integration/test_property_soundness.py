@@ -1,0 +1,199 @@
+"""Property tests for analysis soundness and IR round-tripping.
+
+The alias test is the strongest: for random programs, any pair of
+memory instructions the disambiguator claims can NEVER alias must in
+fact never touch a common address in any observed execution. A single
+counterexample would mean the scheduler could reorder a store past a
+load of the same location.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.alias import MemoryModel
+from repro.ir import format_module, parse_module, verify_module
+from repro.machine import RS6000, POWER2, run_function, time_trace
+from repro.machine.model import MachineModel
+
+from support import assert_equivalent, random_program, standard_argsets
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestAliasSoundness:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_no_alias_verdicts_hold_at_runtime(self, seed):
+        module = random_program(seed, size=16)
+        fn = module.functions["f"]
+        memory = MemoryModel(fn, module)
+
+        mem_instrs = [i for i in fn.instructions() if i.is_memory]
+        refs = {i.uid: memory.memref(i) for i in mem_instrs}
+
+        touched = {i.uid: set() for i in mem_instrs}
+        for args in standard_argsets():
+            for uid, addrs in _addresses_by_instr(module, "f", list(args)).items():
+                if uid in touched:
+                    touched[uid] |= addrs
+
+        for a in mem_instrs:
+            for b in mem_instrs:
+                if a.uid >= b.uid:
+                    continue
+                if not memory.may_alias(refs[a.uid], refs[b.uid]):
+                    common = touched[a.uid] & touched[b.uid]
+                    assert not common, (
+                        f"no-alias verdict violated: {a} vs {b} share {common}"
+                    )
+
+
+def _addresses_by_instr(module, fn_name, args):
+    """Shadow executor: the interpreter's semantics, additionally
+    recording which address every memory instruction touches."""
+    from repro.ir.instructions import ALU_FUNCS, ALU_RI_TO_RR, COND_FUNCS, wrap32
+    from repro.ir.module import STACK_BASE
+    from repro.ir.operands import CTR, SP, TOC, gpr
+
+    addresses = {}
+    layout = module.layout()
+    fn = module.functions[fn_name]
+    state = {SP: STACK_BASE, TOC: 0x8000}
+
+    def get(reg):
+        return state.get(reg, 0)
+
+    mem = {}
+    for name, addr in layout.items():
+        for i, word in enumerate(module.data[name].init):
+            mem[addr + 4 * i] = word
+    params = fn.params if fn.params else [gpr(3 + i) for i in range(len(args))]
+    for reg, value in zip(params, args):
+        state[reg] = value
+
+    labels = {bb.label: i for i, bb in enumerate(fn.blocks)}
+    bi = ii = 0
+    steps = 0
+    while steps < 400_000:
+        if bi >= len(fn.blocks):
+            break
+        block = fn.blocks[bi]
+        if ii >= len(block.instrs):
+            bi += 1
+            ii = 0
+            continue
+        instr = block.instrs[ii]
+        steps += 1
+        op = instr.opcode
+        taken = False
+        if instr.is_memory:
+            addresses.setdefault(instr.uid, set()).add(get(instr.base) + instr.disp)
+        if op in ALU_FUNCS:
+            state[instr.rd] = ALU_FUNCS[op](get(instr.ra), get(instr.rb))
+        elif op in ALU_RI_TO_RR:
+            state[instr.rd] = ALU_FUNCS[ALU_RI_TO_RR[op]](get(instr.ra), instr.imm)
+        elif op == "LI":
+            state[instr.rd] = instr.imm
+        elif op == "LA":
+            state[instr.rd] = layout[instr.symbol]
+        elif op == "LR":
+            state[instr.rd] = get(instr.ra)
+        elif op == "NEG":
+            state[instr.rd] = wrap32(-get(instr.ra))
+        elif op == "NOT":
+            state[instr.rd] = wrap32(~get(instr.ra))
+        elif op == "L":
+            state[instr.rd] = mem.get(get(instr.base) + instr.disp, 0)
+        elif op == "LU":
+            addr = get(instr.base) + instr.disp
+            state[instr.rd] = mem.get(addr, 0)
+            state[instr.base] = addr
+        elif op == "ST":
+            mem[get(instr.base) + instr.disp] = get(instr.ra)
+        elif op == "STU":
+            addr = get(instr.base) + instr.disp
+            mem[addr] = get(instr.ra)
+            state[instr.base] = addr
+        elif op == "C":
+            d = get(instr.ra) - get(instr.rb)
+            state[instr.crf] = (d > 0) - (d < 0)
+        elif op == "CI":
+            d = get(instr.ra) - instr.imm
+            state[instr.crf] = (d > 0) - (d < 0)
+        elif op == "MTCTR":
+            state[CTR] = get(instr.ra)
+        elif op == "MFCTR":
+            state[instr.rd] = get(CTR)
+        elif op == "B":
+            taken = True
+        elif op in ("BT", "BF"):
+            holds = COND_FUNCS[instr.cond](get(instr.crf))
+            taken = holds if op == "BT" else not holds
+        elif op == "BCT":
+            state[CTR] = wrap32(get(CTR) - 1)
+            taken = get(CTR) != 0
+        elif op == "RET":
+            break
+        if taken:
+            bi = labels[instr.target]
+            ii = 0
+        else:
+            ii += 1
+    return addresses
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_format_parse_preserves_behaviour(self, seed):
+        module = random_program(seed)
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert_equivalent(module, reparsed, "f", standard_argsets())
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_format_is_fixpoint(self, seed):
+        module = random_program(seed)
+        once = format_module(module)
+        twice = format_module(parse_module(once))
+        assert once == twice
+
+
+class TestTimerProperties:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_cycles_at_least_fxu_bound(self, seed):
+        """Cycles are bounded below by the FXU occupancy."""
+        module = random_program(seed)
+        r = run_function(module, "f", [1, 2], record_trace=True)
+        rep = time_trace(r.trace, RS6000)
+        fxu_ops = rep.class_counts["int"] + rep.class_counts["mem"]
+        assert rep.cycles >= (fxu_ops + RS6000.fxu_units - 1) // RS6000.fxu_units
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_wider_machine_never_slower(self, seed):
+        module = random_program(seed)
+        r = run_function(module, "f", [1, 2], record_trace=True)
+        narrow = time_trace(r.trace, RS6000).cycles
+        wide = time_trace(r.trace, POWER2).cycles
+        assert wide <= narrow
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        latency=st.integers(min_value=1, max_value=6),
+    )
+    def test_longer_load_latency_never_faster(self, seed, latency):
+        module = random_program(seed)
+        r = run_function(module, "f", [1, 2], record_trace=True)
+        base = time_trace(r.trace, RS6000).cycles
+        slower = time_trace(
+            r.trace, RS6000.with_changes(load_latency=RS6000.load_latency + latency)
+        ).cycles
+        assert slower >= base

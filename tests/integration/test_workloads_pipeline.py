@@ -1,0 +1,130 @@
+"""Workload suite and end-to-end pipeline integration."""
+
+import pytest
+
+from repro.evaluate import (
+    Measurement,
+    geomean_speedup,
+    measure,
+    reference_value,
+    specint_table,
+    train_profile,
+)
+from repro.ir import verify_module
+from repro.machine.interpreter import run_function
+from repro.pipeline import compile_module
+from repro.workloads import suite, workload_by_name
+
+WORKLOADS = {wl.name: wl for wl in suite()}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestWorkloadsAreWellFormed:
+    def test_module_verifies(self, name):
+        verify_module(WORKLOADS[name].fresh_module())
+
+    def test_deterministic_build(self, name):
+        wl = WORKLOADS[name]
+        a = run_function(wl.fresh_module(), wl.entry, list(wl.args), max_steps=10_000_000)
+        b = run_function(wl.fresh_module(), wl.entry, list(wl.args), max_steps=10_000_000)
+        assert a.value == b.value
+
+    def test_nontrivial_execution(self, name):
+        wl = WORKLOADS[name]
+        r = run_function(wl.fresh_module(), wl.entry, list(wl.args), max_steps=10_000_000)
+        assert r.steps > 500, "workload too small to measure"
+
+    def test_training_input_smaller(self, name):
+        wl = WORKLOADS[name]
+        full = run_function(wl.fresh_module(), wl.entry, list(wl.args), max_steps=10_000_000)
+        train = run_function(
+            wl.fresh_module(), wl.entry, list(wl.train_args), max_steps=10_000_000
+        )
+        assert train.steps < full.steps
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestCompilationLevels:
+    def test_baseline_correct(self, name):
+        wl = WORKLOADS[name]
+        ref = reference_value(wl)
+        m = measure(wl, "base", check_against=ref)
+        assert m.cycles > 0
+
+    def test_vliw_correct(self, name):
+        wl = WORKLOADS[name]
+        ref = reference_value(wl)
+        m = measure(wl, "vliw", check_against=ref)
+        assert m.cycles > 0
+
+    def test_vliw_verifies_and_respects_abi(self, name):
+        wl = WORKLOADS[name]
+        compiled = compile_module(wl.fresh_module(), "vliw")
+        verify_module(compiled.module)
+        run_function(
+            compiled.module,
+            wl.entry,
+            list(wl.args),
+            max_steps=10_000_000,
+            check_callee_saved=True,
+        )
+
+    def test_pdf_correct(self, name):
+        wl = WORKLOADS[name]
+        ref = reference_value(wl)
+        profile, plan = train_profile(wl)
+        m = measure(wl, "vliw", profile=profile, plan=plan, check_against=ref)
+        assert m.cycles > 0
+
+
+class TestHeadlineResults:
+    """The reproduction's version of the paper's headline numbers."""
+
+    def test_geomean_improvement_in_band(self):
+        rows = specint_table()
+        gm = geomean_speedup(rows)
+        # Paper: ~13% on SPECint92. Accept a band around it.
+        assert 1.05 <= gm <= 1.35, f"geomean speedup {gm:.3f} out of band"
+
+    def test_majority_of_benchmarks_improve(self):
+        rows = specint_table()
+        improved = sum(1 for r in rows if r.speedup > 1.0)
+        assert improved >= len(rows) - 1
+
+    def test_li_is_the_big_winner(self):
+        # The paper's li row shows the largest gain (62.66 -> 75.82 on
+        # hardware; our list-search kernel gains even more because the
+        # kernel is pure xlygetvalue).
+        rows = {r.benchmark: r for r in specint_table()}
+        assert rows["li"].speedup == max(r.speedup for r in rows.values())
+        assert rows["li"].speedup > 1.3
+
+    def test_compile_time_increases(self):
+        wl = workload_by_name("li")
+        base = measure(wl, "base")
+        vliw = measure(wl, "vliw")
+        assert vliw.compile_seconds > base.compile_seconds
+
+    def test_code_size_increases_moderately(self):
+        total_base = 0
+        total_vliw = 0
+        for wl in suite():
+            total_base += measure(wl, "base").static_instructions
+            total_vliw += measure(wl, "vliw").static_instructions
+        growth = total_vliw / total_base
+        # Paper: +8% over entire SPEC binaries, which are overwhelmingly
+        # cold code that the unroller/expander never touches. Our
+        # workloads are 100% hot kernels, so relative growth is much
+        # larger by construction; the shape requirement is bounded
+        # growth (unroll factor 2 + bookkeeping copies + expansions stay
+        # well under 3x), not the absolute 8%.
+        assert 1.0 < growth < 3.0, growth
+
+
+class TestWorkloadByName:
+    def test_lookup(self):
+        assert workload_by_name("li").name == "li"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            workload_by_name("perlbench")

@@ -1,0 +1,72 @@
+from repro.ir import verify_function
+from repro.ir.builder import FunctionBuilder
+from repro.ir.operands import cr, gpr
+from repro.ir.module import Module
+from repro.machine.interpreter import run_function
+
+
+def test_builder_constructs_runnable_function():
+    b = FunctionBuilder("count", params=[gpr(3)])
+    b.li(gpr(4), 0)
+    b.mtctr(gpr(3))
+    b.label("loop")
+    b.addi(gpr(4), gpr(4), 2)
+    b.bct("loop")
+    b.label("done")
+    b.lr(gpr(3), gpr(4))
+    b.ret()
+    fn = b.build()
+    verify_function(fn)
+    module = Module()
+    module.add_function(fn)
+    assert run_function(module, "count", [6]).value == 12
+
+
+def test_implicit_entry_block():
+    b = FunctionBuilder("f", params=[gpr(3)])
+    b.li(gpr(3), 5)
+    b.ret()
+    fn = b.build()
+    assert fn.entry.label == "entry"
+
+
+def test_emit_after_terminator_opens_anonymous_block():
+    b = FunctionBuilder("f", params=[gpr(3)])
+    b.cmpi(cr(0), gpr(3), 0)
+    b.bt("out", cr(0), "eq")
+    b.addi(gpr(3), gpr(3), 1)  # lands in a fresh fallthrough block
+    b.label("out")
+    b.ret()
+    fn = b.build()
+    verify_function(fn)
+    assert len(fn.blocks) == 3
+
+
+def test_alu_helpers_cover_common_opcodes():
+    b = FunctionBuilder("f", params=[gpr(3), gpr(4)])
+    b.add(gpr(5), gpr(3), gpr(4))
+    b.sub(gpr(6), gpr(5), gpr(4))
+    b.mul(gpr(7), gpr(6), gpr(4))
+    b.and_(gpr(8), gpr(7), gpr(3))
+    b.or_(gpr(9), gpr(8), gpr(4))
+    b.xor(gpr(3), gpr(9), gpr(3))
+    b.andi(gpr(3), gpr(3), 0xFF)
+    b.ret()
+    fn = b.build()
+    verify_function(fn)
+    ops = [i.opcode for i in fn.instructions()]
+    assert ops[:7] == ["A", "S", "MUL", "AND", "OR", "XOR", "ANDI"]
+
+
+def test_memory_and_call_helpers():
+    b = FunctionBuilder("f", params=[gpr(3)])
+    b.la(gpr(4), "sym")
+    b.load(gpr(5), 0, gpr(4))
+    b.store(4, gpr(4), gpr(5))
+    b.load(gpr(6), 4, gpr(4), update=True)
+    b.call("print_int", 1)
+    b.nop()
+    b.ret()
+    fn = b.build()
+    ops = [i.opcode for i in fn.instructions()]
+    assert ops == ["LA", "L", "ST", "LU", "CALL", "NOP", "RET"]

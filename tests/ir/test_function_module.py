@@ -1,0 +1,160 @@
+import pytest
+
+from repro.ir import BasicBlock, Function, Module, parse_function
+from repro.ir.instructions import make_b, make_bt, make_li, make_ret
+from repro.ir.operands import cr, gpr
+
+DIAMOND = """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT right, cr0.lt
+left:
+    LI r4, 1
+    B join
+right:
+    LI r4, 2
+join:
+    LR r3, r4
+    RET
+"""
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        bb = BasicBlock("x", [make_li(gpr(3), 1), make_ret()])
+        assert bb.terminator is not None
+        assert bb.terminator.is_return
+        assert len(bb.body) == 1
+
+    def test_no_terminator(self):
+        bb = BasicBlock("x", [make_li(gpr(3), 1)])
+        assert bb.terminator is None
+        assert bb.falls_through
+
+    def test_falls_through_rules(self):
+        assert BasicBlock("x", [make_bt("y", cr(0), "eq")]).falls_through
+        assert not BasicBlock("x", [make_b("y")]).falls_through
+        assert not BasicBlock("x", [make_ret()]).falls_through
+
+    def test_clone_is_deep(self):
+        bb = BasicBlock("x", [make_li(gpr(3), 1)])
+        c = bb.clone("y")
+        assert c.label == "y"
+        assert c.instrs[0] is not bb.instrs[0]
+        assert c.instrs[0].imm == 1
+
+    def test_index_of_uses_identity(self):
+        a, b = make_li(gpr(3), 1), make_li(gpr(3), 1)
+        bb = BasicBlock("x", [a, b])
+        assert bb.index_of(b) == 1
+
+
+class TestFunctionCFG:
+    def test_successors_of_diamond(self):
+        fn = parse_function(DIAMOND)
+        entry = fn.block("entry")
+        succs = [b.label for b in fn.successors(entry)]
+        assert succs == ["right", "left"]  # taken target first
+        assert [b.label for b in fn.successors(fn.block("left"))] == ["join"]
+        assert fn.successors(fn.block("join")) == []
+
+    def test_predecessors(self):
+        fn = parse_function(DIAMOND)
+        preds = sorted(b.label for b in fn.predecessors(fn.block("join")))
+        assert preds == ["left", "right"]
+
+    def test_edges(self):
+        fn = parse_function(DIAMOND)
+        edges = {(a.label, b.label) for a, b in fn.edges()}
+        assert ("entry", "left") in edges
+        assert ("entry", "right") in edges
+        assert ("left", "join") in edges
+        assert ("right", "join") in edges
+
+    def test_layout_successor(self):
+        fn = parse_function(DIAMOND)
+        assert fn.layout_successor(fn.block("entry")).label == "left"
+        assert fn.layout_successor(fn.block("join")) is None
+
+    def test_new_label_unique(self):
+        fn = parse_function(DIAMOND)
+        labels = {fn.new_label("x") for _ in range(10)}
+        assert len(labels) == 10
+
+    def test_add_block_rejects_duplicates(self):
+        fn = parse_function(DIAMOND)
+        with pytest.raises(ValueError):
+            fn.add_block(BasicBlock("entry"))
+
+    def test_clone_independent(self):
+        fn = parse_function(DIAMOND)
+        copy = fn.clone()
+        copy.block("left").instrs.clear()
+        assert len(fn.block("left").instrs) == 2
+
+
+class TestNewVreg:
+    def test_distinct_back_to_back(self):
+        fn = parse_function(DIAMOND)
+        a = fn.new_vreg("gpr")
+        b = fn.new_vreg("gpr")
+        assert a != b
+
+    def test_avoids_used_registers(self):
+        fn = parse_function(DIAMOND)
+        used = {gpr(3), gpr(4)}
+        for _ in range(5):
+            assert fn.new_vreg("gpr") not in used
+
+    def test_leaf_function_stays_volatile(self):
+        fn = parse_function(DIAMOND)
+        for _ in range(8):
+            reg = fn.new_vreg("gpr")
+            assert not reg.is_callee_saved
+
+    def test_include_callee_saved_extends_pool(self):
+        fn = parse_function(DIAMOND)
+        regs = [fn.new_vreg("gpr", include_callee_saved=True) for _ in range(15)]
+        assert any(r.is_callee_saved for r in regs)
+
+    def test_exhaustion_raises(self):
+        fn = parse_function(DIAMOND)
+        with pytest.raises(RuntimeError):
+            for _ in range(40):
+                fn.new_vreg("gpr")
+
+
+class TestModule:
+    def test_layout_is_disjoint_and_stable(self):
+        m = Module()
+        m.add_data("b", 100)
+        m.add_data("a", 8)
+        layout = m.layout()
+        assert layout == m.layout()
+        spans = m.symbol_spans()
+        sa, sb = spans["a"], spans["b"]
+        assert set(sa).isdisjoint(set(sb))
+
+    def test_duplicate_data_rejected(self):
+        m = Module()
+        m.add_data("a", 4)
+        with pytest.raises(ValueError):
+            m.add_data("a", 4)
+
+    def test_init_larger_than_size_rejected(self):
+        m = Module()
+        with pytest.raises(ValueError):
+            m.add_data("a", 4, init=[1, 2, 3])
+
+    def test_clone_deep(self):
+        m = Module()
+        m.add_data("a", 8, init=[1])
+        fn = Function("f", [gpr(3)])
+        fn.add_block(BasicBlock("entry", [make_ret()]))
+        m.add_function(fn)
+        c = m.clone()
+        c.data["a"].init[0] = 99
+        c.functions["f"].blocks[0].instrs.clear()
+        assert m.data["a"].init == [1]
+        assert len(m.functions["f"].blocks[0].instrs) == 1

@@ -1,0 +1,179 @@
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir.instructions import Instr, wrap32
+from repro.ir.operands import ARG_REGS, CALL_CLOBBERED, CTR, SP, TOC, cr, gpr
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(12345) == 12345
+        assert wrap32(-12345) == -12345
+
+    def test_wraps_positive_overflow(self):
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(2**32) == 0
+        assert wrap32(2**32 + 7) == 7
+
+    def test_wraps_negative_overflow(self):
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+
+    def test_extremes(self):
+        assert wrap32(2**31 - 1) == 2**31 - 1
+        assert wrap32(-(2**31)) == -(2**31)
+
+
+class TestAluSemantics:
+    def test_add_wraps(self):
+        assert ins.ALU_FUNCS["A"](2**31 - 1, 1) == -(2**31)
+
+    def test_sub(self):
+        assert ins.ALU_FUNCS["S"](5, 9) == -4
+
+    def test_mul_wraps(self):
+        assert ins.ALU_FUNCS["MUL"](65536, 65536) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert ins.ALU_FUNCS["DIV"](7, 2) == 3
+        assert ins.ALU_FUNCS["DIV"](-7, 2) == -3
+        assert ins.ALU_FUNCS["DIV"](7, -2) == -3
+
+    def test_div_by_zero_is_total(self):
+        assert ins.ALU_FUNCS["DIV"](42, 0) == 0
+
+    def test_shifts_mask_amount(self):
+        assert ins.ALU_FUNCS["SL"](1, 33) == 2  # amount mod 32
+        assert ins.ALU_FUNCS["SR"](-1, 28) == 15
+        assert ins.ALU_FUNCS["SRA"](-16, 2) == -4
+
+    def test_bitwise(self):
+        assert ins.ALU_FUNCS["AND"](0b1100, 0b1010) == 0b1000
+        assert ins.ALU_FUNCS["OR"](0b1100, 0b1010) == 0b1110
+        assert ins.ALU_FUNCS["XOR"](0b1100, 0b1010) == 0b0110
+
+
+class TestCondFuncs:
+    @pytest.mark.parametrize(
+        "cond,vals",
+        [
+            ("eq", {0}),
+            ("ne", {-1, 1}),
+            ("lt", {-1}),
+            ("le", {-1, 0}),
+            ("gt", {1}),
+            ("ge", {0, 1}),
+        ],
+    )
+    def test_all_codes(self, cond, vals):
+        for v in (-1, 0, 1):
+            assert ins.COND_FUNCS[cond](v) == (v in vals)
+
+
+class TestUsesDefs:
+    def test_alu_rr(self):
+        i = ins.make_alu("A", gpr(3), gpr(4), gpr(5))
+        assert i.uses() == (gpr(4), gpr(5))
+        assert i.defs() == (gpr(3),)
+
+    def test_alu_ri(self):
+        i = ins.make_alui("AI", gpr(3), gpr(3), 1)
+        assert i.uses() == (gpr(3),)
+        assert i.defs() == (gpr(3),)
+
+    def test_load(self):
+        i = ins.make_load(gpr(4), 8, gpr(9))
+        assert i.uses() == (gpr(9),)
+        assert i.defs() == (gpr(4),)
+
+    def test_load_update_also_defines_base(self):
+        i = ins.make_load(gpr(4), 8, gpr(9), update=True)
+        assert set(i.defs()) == {gpr(4), gpr(9)}
+
+    def test_store(self):
+        i = ins.make_store(8, gpr(9), gpr(4))
+        assert set(i.uses()) == {gpr(4), gpr(9)}
+        assert i.defs() == ()
+
+    def test_store_update_defines_base(self):
+        i = ins.make_store(8, gpr(9), gpr(4), update=True)
+        assert i.defs() == (gpr(9),)
+
+    def test_compare_defines_cr(self):
+        i = ins.make_cmp(cr(0), gpr(4), gpr(5))
+        assert i.defs() == (cr(0),)
+        assert set(i.uses()) == {gpr(4), gpr(5)}
+
+    def test_branches(self):
+        bt = ins.make_bt("x", cr(1), "eq")
+        assert bt.uses() == (cr(1),)
+        assert bt.defs() == ()
+        bct = ins.make_bct("x")
+        assert bct.uses() == (CTR,)
+        assert bct.defs() == (CTR,)
+
+    def test_mtctr_mfctr(self):
+        assert ins.make_mtctr(gpr(5)).defs() == (CTR,)
+        assert ins.make_mfctr(gpr(5)).uses() == (CTR,)
+        assert ins.make_mfctr(gpr(5)).defs() == (gpr(5),)
+
+    def test_call_uses_args_and_clobbers(self):
+        i = ins.make_call("foo", 2)
+        assert set(i.uses()) == set(ARG_REGS[:2]) | {SP, TOC}
+        assert set(i.defs()) == set(CALL_CLOBBERED)
+
+    def test_ret(self):
+        i = ins.make_ret()
+        assert set(i.uses()) == {gpr(3), SP}
+
+
+class TestClassification:
+    def test_terminators(self):
+        assert ins.make_b("x").is_terminator
+        assert ins.make_bt("x", cr(0), "eq").is_terminator
+        assert ins.make_bct("x").is_terminator
+        assert ins.make_ret().is_terminator
+        assert not ins.make_call("f").is_terminator
+
+    def test_side_effects(self):
+        assert ins.make_store(0, gpr(4), gpr(5)).has_side_effects
+        assert ins.make_call("f").has_side_effects
+        assert not ins.make_load(gpr(3), 0, gpr(4)).has_side_effects
+        volatile = ins.make_load(gpr(3), 0, gpr(4))
+        volatile.attrs["volatile"] = True
+        assert volatile.has_side_effects
+
+    def test_copy(self):
+        assert ins.make_lr(gpr(3), gpr(4)).is_copy
+        assert not ins.make_li(gpr(3), 0).is_copy
+
+
+class TestCloneAndRename:
+    def test_clone_fresh_uid_and_attrs(self):
+        i = ins.make_load(gpr(4), 8, gpr(9))
+        i.attrs["counter"] = True
+        c = i.clone()
+        assert c.uid != i.uid
+        assert c.attrs == i.attrs
+        c.attrs["counter"] = False
+        assert i.attrs["counter"] is True
+
+    def test_rename_uses(self):
+        i = ins.make_alu("A", gpr(3), gpr(4), gpr(4))
+        i.rename_uses({gpr(4): gpr(9)})
+        assert i.ra == gpr(9) and i.rb == gpr(9)
+        assert i.rd == gpr(3)
+
+    def test_rename_defs(self):
+        i = ins.make_alu("A", gpr(3), gpr(3), gpr(4))
+        i.rename_defs({gpr(3): gpr(9)})
+        assert i.rd == gpr(9)
+        assert i.ra == gpr(3)  # uses untouched
+
+    def test_rename_branch_cr(self):
+        i = ins.make_bt("x", cr(0), "eq")
+        i.rename_uses({cr(0): cr(5)})
+        assert i.crf == cr(5)
+
+    def test_bad_cond_code_rejected(self):
+        with pytest.raises(ValueError):
+            ins.make_bt("x", cr(0), "zz")

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.ir.operands import (
+    ARG_REGS,
+    CALL_CLOBBERED,
+    CALLEE_SAVED,
+    CTR,
+    Reg,
+    SP,
+    TOC,
+    cr,
+    gpr,
+    parse_reg,
+)
+
+
+def test_gpr_construction():
+    r = gpr(5)
+    assert r.kind == "gpr"
+    assert r.index == 5
+    assert r.name == "r5"
+    assert str(r) == "r5"
+
+
+def test_cr_construction():
+    c = cr(3)
+    assert c.kind == "cr"
+    assert c.name == "cr3"
+
+
+def test_ctr_is_singleton_register():
+    assert CTR.kind == "ctr"
+    assert CTR.name == "ctr"
+
+
+@pytest.mark.parametrize("index", [-1, 32, 100])
+def test_gpr_index_out_of_range(index):
+    with pytest.raises(ValueError):
+        gpr(index)
+
+
+@pytest.mark.parametrize("index", [-1, 8])
+def test_cr_index_out_of_range(index):
+    with pytest.raises(ValueError):
+        cr(index)
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        Reg("fpr", 0)
+
+
+def test_registers_are_value_objects():
+    assert gpr(4) == gpr(4)
+    assert gpr(4) != gpr(5)
+    assert gpr(4) != cr(4)
+    assert len({gpr(4), gpr(4), cr(4)}) == 2
+
+
+def test_callee_saved_classification():
+    assert gpr(13).is_callee_saved
+    assert gpr(31).is_callee_saved
+    assert not gpr(12).is_callee_saved
+    assert not cr(3).is_callee_saved
+    assert set(CALLEE_SAVED) == {gpr(i) for i in range(13, 32)}
+
+
+def test_arg_registers():
+    assert ARG_REGS[0] == gpr(3)
+    assert ARG_REGS[-1] == gpr(10)
+    assert len(ARG_REGS) == 8
+
+
+def test_call_clobbered_excludes_sp_toc_and_callee_saved():
+    assert SP not in CALL_CLOBBERED
+    assert TOC not in CALL_CLOBBERED
+    for reg in CALLEE_SAVED:
+        assert reg not in CALL_CLOBBERED
+    assert gpr(0) in CALL_CLOBBERED
+    assert cr(0) in CALL_CLOBBERED
+    assert CTR in CALL_CLOBBERED
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [("r0", gpr(0)), ("r31", gpr(31)), ("cr7", cr(7)), ("ctr", CTR), (" r5 ", gpr(5))],
+)
+def test_parse_reg(text, expected):
+    assert parse_reg(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "x5", "r32", "cr8", "r", "5"])
+def test_parse_reg_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_reg(text)

@@ -1,0 +1,167 @@
+import pytest
+
+from repro.ir import (
+    ParseError,
+    format_function,
+    format_instr,
+    format_module,
+    parse_function,
+    parse_module,
+)
+from repro.ir.parser import parse_instr
+from repro.ir.operands import CTR, cr, gpr
+
+LI_LOOP = """
+data nodes: size=2048
+data cells: size=2048
+
+func xlygetvalue(r3, r8):
+loop:
+    L r4, 4(r8)
+    L r5, 4(r4)
+    C cr0, r5, r3
+    BT found, cr0.eq
+    L r8, 8(r8)
+    CI cr1, r8, 0
+    BF loop, cr1.eq
+endofchain:
+    LI r3, 0
+    RET
+found:
+    LR r3, r4
+    RET
+"""
+
+
+class TestParseInstr:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "LI r4, 0",
+            "LA r4, somesym",
+            "LR r3, r4",
+            "L r4, 4(r8)",
+            "LU r4, -2(r3)",
+            "ST 12(r4), r3",
+            "STU -4(r1), r31",
+            "A r6, r4, r7",
+            "AI r3, r3, 1",
+            "NEG r3, r4",
+            "NOT r3, r4",
+            "C cr0, r5, r3",
+            "CI cr1, r8, 0",
+            "B loop",
+            "BT found, cr0.eq",
+            "BF loop, cr1.ne",
+            "BCT loop",
+            "MTCTR r5",
+            "MFCTR r5",
+            "CALL print_int, 1",
+            "RET",
+            "NOP",
+        ],
+    )
+    def test_roundtrip(self, text):
+        instr = parse_instr(text)
+        assert format_instr(instr) == text
+
+    def test_call_without_nargs(self):
+        instr = parse_instr("CALL foo")
+        assert instr.symbol == "foo"
+        assert instr.nargs == 0
+
+    def test_negative_displacement(self):
+        instr = parse_instr("L r4, -8(r1)")
+        assert instr.disp == -8
+        assert instr.base == gpr(1)
+
+    def test_case_insensitive_opcode(self):
+        assert parse_instr("li r4, 3").opcode == "LI"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROB r1, r2",
+            "LI r4",
+            "L r4, 4[r8]",
+            "BT found, cr0.zz",
+            "A r1, r2",
+            "C cr0, r5",
+            "LI r4, xyz",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_instr(text)
+
+
+class TestParseModule:
+    def test_li_loop_structure(self):
+        module = parse_module(LI_LOOP)
+        fn = module.functions["xlygetvalue"]
+        assert [bb.label for bb in fn.blocks][:2] == ["loop", "anon.0"]
+        assert fn.params == (gpr(3), gpr(8))
+        assert "nodes" in module.data
+        assert module.data["nodes"].size == 2048
+
+    def test_instruction_after_conditional_branch_starts_new_block(self):
+        fn = parse_function(
+            """
+func f(r3):
+    CI cr0, r3, 0
+    BT out, cr0.eq
+    AI r3, r3, 1
+out:
+    RET
+"""
+        )
+        # BT ends its block; the AI lives in an anonymous fallthrough block.
+        assert len(fn.blocks) == 3
+
+    def test_data_attributes(self):
+        module = parse_module(
+            "data a: size=8 init=[1, -2]\ndata v: size=4 volatile\nfunc f(r3):\n    RET"
+        )
+        assert module.data["a"].init == [1, -2]
+        assert module.data["v"].volatile
+        assert not module.data["a"].volatile
+
+    def test_data_size_defaults_to_init_length(self):
+        module = parse_module("data a: init=[1, 2, 3]\nfunc f(r3):\n    RET")
+        assert module.data["a"].size == 12
+
+    def test_comments_stripped(self):
+        fn = parse_function(
+            """
+func f(r3):
+    LI r3, 1   # a comment
+    RET        // another
+"""
+        )
+        assert fn.instruction_count() == 2
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ValueError):
+            parse_module("func f(r3):\n    RET\nfunc f(r3):\n    RET")
+
+    def test_label_outside_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("orphan:\n    RET")
+
+    def test_parse_function_requires_single_function(self):
+        with pytest.raises(ParseError):
+            parse_function("func a(r3):\n    RET\nfunc b(r3):\n    RET")
+
+
+class TestModuleRoundtrip:
+    def test_format_parse_format_fixpoint(self):
+        module = parse_module(LI_LOOP)
+        text = format_module(module)
+        module2 = parse_module(text)
+        assert format_module(module2) == text
+
+    def test_function_text_contains_all_blocks(self):
+        module = parse_module(LI_LOOP)
+        text = format_function(module.functions["xlygetvalue"])
+        for label in ("loop:", "endofchain:", "found:"):
+            assert label in text

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    Module,
+    VerificationError,
+    parse_function,
+    parse_module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import Instr, make_b, make_li, make_ret
+from repro.ir.operands import cr, gpr
+
+
+def good_function() -> Function:
+    return parse_function(
+        """
+func f(r3):
+    CI cr0, r3, 0
+    BT out, cr0.eq
+    AI r3, r3, 1
+out:
+    RET
+"""
+    )
+
+
+def test_good_function_passes():
+    verify_function(good_function())
+
+
+def test_empty_function_rejected():
+    with pytest.raises(VerificationError):
+        verify_function(Function("f"))
+
+
+def test_dangling_branch_target():
+    fn = good_function()
+    fn.blocks[0].terminator.target = "nowhere"
+    with pytest.raises(VerificationError, match="dangling"):
+        verify_function(fn)
+
+
+def test_terminator_must_be_last():
+    fn = good_function()
+    fn.blocks[0].instrs.insert(0, make_ret())
+    with pytest.raises(VerificationError, match="not last"):
+        verify_function(fn)
+
+
+def test_fall_off_end_rejected():
+    fn = Function("f")
+    fn.add_block(BasicBlock("entry", [make_li(gpr(3), 1)]))
+    with pytest.raises(VerificationError, match="fall off"):
+        verify_function(fn)
+
+
+def test_wrong_operand_kind_rejected():
+    fn = good_function()
+    bad = Instr("A", rd=gpr(3), ra=gpr(4), rb=None)
+    fn.blocks[1].instrs.insert(0, bad)
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_unknown_opcode_rejected():
+    fn = good_function()
+    fn.blocks[1].instrs.insert(0, Instr("BOGUS"))
+    with pytest.raises(VerificationError, match="unknown opcode"):
+        verify_function(fn)
+
+
+def test_unknown_data_symbol_rejected():
+    module = parse_module("func f(r3):\n    LA r4, missing\n    RET")
+    with pytest.raises(VerificationError, match="unknown data symbol"):
+        verify_module(module)
+
+
+def test_known_symbol_and_library_call_accepted():
+    module = parse_module(
+        "data a: size=4\nfunc f(r3):\n    LA r4, a\n    CALL print_int, 1\n    RET"
+    )
+    verify_module(module)
+
+
+def test_call_to_unknown_function_rejected():
+    module = parse_module("func f(r3):\n    CALL no_such_fn, 0\n    RET")
+    with pytest.raises(VerificationError, match="unknown function"):
+        verify_module(module)
+
+
+def test_call_to_module_function_accepted():
+    module = parse_module(
+        "func g(r3):\n    RET\nfunc f(r3):\n    CALL g, 1\n    RET"
+    )
+    verify_module(module)
+
+
+def test_duplicate_labels_rejected():
+    fn = good_function()
+    fn.blocks[1].label = fn.blocks[0].label
+    with pytest.raises(VerificationError, match="duplicate"):
+        verify_function(fn)

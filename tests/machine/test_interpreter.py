@@ -1,0 +1,224 @@
+import pytest
+
+from repro.ir import parse_module
+from repro.machine import ExecutionError, ExecutionLimit, run_function
+from repro.machine.interpreter import Interpreter, MachineState
+
+
+def run_src(src, fn="f", args=(), **kw):
+    return run_function(parse_module(src), fn, list(args), **kw)
+
+
+class TestArithmetic:
+    def test_constant_return(self):
+        assert run_src("func f():\n    LI r3, 42\n    RET").value == 42
+
+    def test_add_args(self):
+        src = "func f(r3, r4):\n    A r3, r3, r4\n    RET"
+        assert run_src(src, args=[20, 22]).value == 42
+
+    def test_wraps_32bit(self):
+        src = "func f(r3):\n    AI r3, r3, 1\n    RET"
+        assert run_src(src, args=[2**31 - 1]).value == -(2**31)
+
+    def test_neg_not(self):
+        src = "func f(r3):\n    NEG r4, r3\n    NOT r5, r3\n    A r3, r4, r5\n    RET"
+        assert run_src(src, args=[7]).value == -7 + ~7
+
+    def test_declared_params_honoured(self):
+        src = "func f(r3, r8):\n    S r3, r8, r3\n    RET"
+        assert run_src(src, args=[1, 10]).value == 9
+
+
+class TestMemory:
+    SRC = """
+data a: size=16 init=[10, 20, 30, 40]
+
+func f(r3):
+    LA r4, a
+    L r5, 4(r4)
+    AI r5, r5, 1
+    ST 8(r4), r5
+    L r3, 8(r4)
+    RET
+"""
+
+    def test_load_store(self):
+        r = run_src(self.SRC)
+        assert r.value == 21
+
+    def test_memory_snapshot(self):
+        r = run_src(self.SRC)
+        mem = r.state.snapshot_mem()
+        layout = parse_module(self.SRC).layout()
+        assert mem[layout["a"] + 8] == 21
+        assert mem[layout["a"] + 0] == 10
+
+    def test_uninitialised_memory_reads_zero(self):
+        src = "data a: size=8\nfunc f(r3):\n    LA r4, a\n    L r3, 4(r4)\n    RET"
+        assert run_src(src).value == 0
+
+    def test_update_forms(self):
+        src = """
+data a: size=12 init=[5, 6, 7]
+func f(r3):
+    LA r4, a
+    LU r5, 4(r4)
+    LU r6, 4(r4)
+    A r3, r5, r6
+    STU 4(r4), r3
+    L r7, 0(r4)
+    A r3, r3, r7
+    RET
+"""
+        # LU twice reads a[1], a[2]; STU writes a[3]... base walks 4,8,12.
+        r = run_src(src)
+        assert r.value == (6 + 7) * 2
+
+
+class TestControlFlow:
+    def test_taken_and_untaken_bt(self):
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BT neg, cr0.lt
+    LI r3, 1
+    RET
+neg:
+    LI r3, -1
+    RET
+"""
+        assert run_src(src, args=[5]).value == 1
+        assert run_src(src, args=[-5]).value == -1
+
+    def test_bct_loop_count(self):
+        src = """
+func f(r3):
+    MTCTR r3
+    LI r4, 0
+loop:
+    AI r4, r4, 1
+    BCT loop
+done:
+    LR r3, r4
+    RET
+"""
+        assert run_src(src, args=[7]).value == 7
+
+    def test_mfctr(self):
+        src = "func f(r3):\n    MTCTR r3\n    MFCTR r4\n    LR r3, r4\n    RET"
+        assert run_src(src, args=[9]).value == 9
+
+    def test_fallthrough_between_blocks(self):
+        src = """
+func f(r3):
+a:
+    LI r4, 1
+b:
+    AI r4, r4, 1
+c:
+    LR r3, r4
+    RET
+"""
+        assert run_src(src).value == 2
+
+    def test_infinite_loop_hits_step_limit(self):
+        src = "func f(r3):\nloop:\n    B loop"
+        with pytest.raises(ExecutionLimit):
+            run_src(src, max_steps=1000)
+
+
+class TestCalls:
+    def test_internal_call_passes_args_and_returns(self):
+        src = """
+func double(r3):
+    A r3, r3, r3
+    RET
+func f(r3):
+    CALL double, 1
+    AI r3, r3, 1
+    RET
+"""
+        assert run_src(src, args=[10]).value == 21
+
+    def test_library_call_print(self):
+        src = "func f(r3):\n    CALL print_int, 1\n    RET"
+        r = run_src(src, args=[5])
+        assert r.output == [5]
+
+    def test_library_call_read(self):
+        src = "func f(r3):\n    CALL read_int, 0\n    RET"
+        r = run_src(src, input_values=[77])
+        assert r.value == 77
+
+    def test_unknown_callee_raises(self):
+        src = "func f(r3):\n    CALL nothing, 0\n    RET"
+        with pytest.raises(ExecutionError):
+            run_src(src)
+
+    def test_recursion_depth_limited(self):
+        src = "func f(r3):\n    CALL f, 1\n    RET"
+        with pytest.raises(ExecutionError, match="depth"):
+            run_src(src)
+
+    def test_callee_saved_check(self):
+        src = """
+func clobber(r3):
+    LI r20, 99
+    RET
+func f(r3):
+    LI r20, 1
+    CALL clobber, 1
+    LR r3, r20
+    RET
+"""
+        module = parse_module(src)
+        with pytest.raises(ExecutionError, match="ABI"):
+            run_function(module, "f", [0], check_callee_saved=True)
+        # Without the check the clobber goes through silently.
+        assert run_function(module, "f", [0]).value == 99
+
+
+class TestTracing:
+    def test_trace_records_taken_flags(self):
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BT out, cr0.eq
+    LI r3, 1
+out:
+    RET
+"""
+        r = run_src(src, args=[0], record_trace=True)
+        flags = [taken for instr, taken in r.trace if instr.opcode == "BT"]
+        assert flags == [True]
+        r = run_src(src, args=[5], record_trace=True)
+        flags = [taken for instr, taken in r.trace if instr.opcode == "BT"]
+        assert flags == [False]
+
+    def test_block_counts(self):
+        src = """
+func f(r3):
+    MTCTR r3
+loop:
+    BCT loop
+done:
+    RET
+"""
+        r = run_src(src, args=[5], count_blocks=True)
+        assert r.block_counts[("f", "loop")] == 5
+        assert r.block_counts[("f", "done")] == 1
+
+    def test_trace_includes_callee_instructions(self):
+        src = """
+func g(r3):
+    AI r3, r3, 1
+    RET
+func f(r3):
+    CALL g, 1
+    RET
+"""
+        r = run_src(src, args=[0], record_trace=True)
+        ops = [i.opcode for i, _ in r.trace]
+        assert "AI" in ops
+        assert ops.count("RET") == 2

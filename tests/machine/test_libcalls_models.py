@@ -1,0 +1,117 @@
+"""Library call models and machine model presets."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.machine import POWER2, PPC601, RS6000, run_function
+from repro.machine.libcalls import LIBRARY_FUNCTIONS, call_effects
+from repro.machine.model import MachineModel, PRESETS
+
+
+class TestLibraryCalls:
+    def run_call(self, symbol, args, mem_setup=None, input_values=None):
+        nargs = LIBRARY_FUNCTIONS[symbol].nargs
+        arg_setup = "\n".join(
+            f"    LI r{3 + i}, {v}" for i, v in enumerate(args)
+        )
+        src = f"""
+data buf: size=64 init=[7, 8, 9]
+func f():
+{arg_setup}
+    CALL {symbol}, {nargs}
+    RET
+"""
+        module = parse_module(src)
+        return module, run_function(module, "f", [], input_values=input_values)
+
+    def test_print_int(self):
+        _, r = self.run_call("print_int", [42])
+        assert r.output == [42]
+
+    def test_read_int(self):
+        _, r = self.run_call("read_int", [], input_values=[5, 6])
+        assert r.value == 5
+
+    def test_read_int_exhausted_returns_zero(self):
+        _, r = self.run_call("read_int", [])
+        assert r.value == 0
+
+    def test_abs_min_max(self):
+        assert self.run_call("abs_val", [-9])[1].value == 9
+        assert self.run_call("min_val", [3, 8])[1].value == 3
+        assert self.run_call("max_val", [3, 8])[1].value == 8
+
+    def test_memset_words(self):
+        src = """
+data buf: size=32
+func f():
+    LA r3, buf
+    LI r4, 77
+    LI r5, 3
+    CALL memset_words, 3
+    L r3, 8(r3)
+    RET
+"""
+        module = parse_module(src)
+        r = run_function(module, "f", [])
+        assert r.value == 77
+        base = module.layout()["buf"]
+        assert r.state.mem[base] == 77
+        assert r.state.mem.get(base + 12, 0) == 0  # only 3 words filled
+
+    def test_memcpy_words(self):
+        src = """
+data src_buf: size=16 init=[1, 2, 3, 4]
+data dst_buf: size=16
+func f():
+    LA r3, dst_buf
+    LA r4, src_buf
+    LI r5, 4
+    CALL memcpy_words, 3
+    L r3, 12(r3)
+    RET
+"""
+        assert run_function(parse_module(src), "f", []).value == 4
+
+    def test_write_record(self):
+        src = """
+data rec: size=12 init=[10, 20, 30]
+func f():
+    LA r3, rec
+    LI r4, 3
+    CALL write_record, 2
+    RET
+"""
+        r = run_function(parse_module(src), "f", [])
+        assert r.output == [10, 20, 30]
+
+    def test_effect_summaries(self):
+        assert call_effects("print_int").is_io
+        assert not call_effects("print_int").writes_memory
+        assert call_effects("memset_words").memory_confined_to_args
+        assert call_effects("memcpy_words").reads_memory
+        assert call_effects("abs_val") is not None
+        assert not call_effects("abs_val").reads_memory
+        assert call_effects("no_such_function") is None
+
+
+class TestMachineModels:
+    def test_presets_registered(self):
+        assert set(PRESETS) == {"rs6000", "power2", "ppc601"}
+        assert PRESETS["rs6000"] is RS6000
+
+    def test_preset_shapes(self):
+        assert POWER2.fxu_units > RS6000.fxu_units
+        assert POWER2.issue_width > RS6000.issue_width
+        assert PPC601.issue_width < RS6000.issue_width
+        assert PPC601.cmp_to_branch > RS6000.cmp_to_branch
+
+    def test_with_changes_is_functional(self):
+        tweaked = RS6000.with_changes(load_latency=5)
+        assert tweaked.load_latency == 5
+        assert RS6000.load_latency == 2
+        assert tweaked.issue_width == RS6000.issue_width
+
+    def test_models_are_frozen(self):
+        with pytest.raises(Exception):
+            RS6000.load_latency = 9

@@ -1,0 +1,180 @@
+from repro.ir import parse_module
+from repro.ir.parser import parse_instr
+from repro.machine import POWER2, PPC601, RS6000, run_function, time_trace
+
+
+def trace_of(lines_with_taken):
+    return [(parse_instr(text), taken) for text, taken in lines_with_taken]
+
+
+class TestBasicIssue:
+    def test_independent_ops_dual_issue(self):
+        # int + branch-free ops limited by the single shared FXU.
+        t = trace_of([("LI r3, 1", None), ("LI r4, 2", None), ("LI r5, 3", None)])
+        rep = time_trace(t, RS6000)
+        assert rep.cycles == 3  # one FXU: one int op per cycle
+
+    def test_power2_two_fxus(self):
+        t = trace_of([("LI r3, 1", None), ("LI r4, 2", None), ("LI r5, 3", None), ("LI r6, 4", None)])
+        assert time_trace(t, POWER2).cycles == 2
+        assert time_trace(t, RS6000).cycles == 4
+
+    def test_load_use_delay(self):
+        t = trace_of([("L r4, 0(r3)", None), ("AI r5, r4, 1", None)])
+        rep = time_trace(t, RS6000)
+        assert rep.cycles == RS6000.load_latency + 1
+
+    def test_independent_op_hides_load_delay(self):
+        t = trace_of(
+            [("L r4, 0(r3)", None), ("LI r6, 5", None), ("AI r5, r4, 1", None)]
+        )
+        assert time_trace(t, RS6000).cycles == 3
+
+
+class TestBranches:
+    def test_untaken_conditional_branch_is_free(self):
+        t = trace_of([("CI cr0, r3, 0", None), ("BT x, cr0.eq", False), ("LI r4, 1", None)])
+        rep = time_trace(t, RS6000)
+        assert rep.cycles == 2  # CI@0, BT@0 (branch unit), LI@1
+        assert rep.branch_stall_cycles == 0
+
+    def test_taken_branch_waits_for_compare(self):
+        t = trace_of([("CI cr0, r3, 0", None), ("BT x, cr0.eq", True), ("LI r4, 1", None)])
+        rep = time_trace(t, RS6000)
+        # BT waits until cmp_to_branch after the compare; target folded.
+        assert rep.cycles == RS6000.cmp_to_branch + 1
+        assert rep.branch_stall_cycles > 0
+
+    def test_separated_compare_makes_taken_branch_free(self):
+        # Four FXU ops put the branch a full cmp_to_branch distance after
+        # the compare on the one-FXU machine: no stall remains.
+        t = trace_of(
+            [
+                ("CI cr0, r3, 0", None),
+                ("LI r4, 1", None),
+                ("LI r5, 2", None),
+                ("LI r6, 3", None),
+                ("LI r9, 5", None),
+                ("BT x, cr0.eq", True),
+                ("LI r7, 4", None),
+            ]
+        )
+        rep = time_trace(t, RS6000)
+        assert rep.branch_stall_cycles == 0
+
+    def test_uncond_branch_base_cost(self):
+        # On the two-FXU machine the redirect bubble is visible.
+        t = trace_of([("LI r3, 1", None), ("B x", True), ("LI r4, 2", None)])
+        base = time_trace(trace_of([("LI r3, 1", None), ("LI r4, 2", None)]), POWER2)
+        rep = time_trace(t, POWER2)
+        assert rep.cycles > base.cycles
+
+    def test_cond_then_uncond_stall(self):
+        close = trace_of(
+            [
+                ("CI cr0, r3, 0", None),
+                ("BT x, cr0.eq", False),
+                ("B y", True),
+                ("LI r4, 2", None),
+            ]
+        )
+        spaced = trace_of(
+            [
+                ("CI cr0, r3, 0", None),
+                ("BT x, cr0.eq", False),
+                ("LI r5, 0", None),
+                ("LI r6, 0", None),
+                ("LI r7, 0", None),
+                ("LI r8, 0", None),
+                ("B y", True),
+                ("LI r4, 2", None),
+            ]
+        )
+        rep_close = time_trace(close, RS6000)
+        rep_spaced = time_trace(spaced, RS6000)
+        assert rep_close.uncond_stall_cycles > 0
+        assert rep_spaced.uncond_stall_cycles == 0
+
+    def test_bct_free_when_ctr_set_early(self):
+        t = trace_of(
+            [
+                ("MTCTR r3", None),
+                ("LI r4, 0", None),
+                ("LI r5, 0", None),
+                ("LI r6, 0", None),
+                ("LI r7, 0", None),
+                ("BCT loop", True),
+            ]
+        )
+        assert time_trace(t, RS6000).branch_stall_cycles == 0
+
+
+class TestPaperCalibration:
+    """The paper's annotated xlygetvalue loop costs 11 cycles/iteration."""
+
+    SRC = """
+data nodes: size=4096
+data cells: size=4096
+
+func xlygetvalue(r3, r8):
+loop:
+    L r4, 4(r8)
+    L r5, 4(r4)
+    C cr0, r5, r3
+    BT found, cr0.eq
+    L r8, 8(r8)
+    CI cr1, r8, 0
+    BF loop, cr1.eq
+endofchain:
+    LI r3, 0
+    RET
+found:
+    LR r3, r4
+    RET
+"""
+
+    def build(self, n):
+        m = parse_module(self.SRC)
+        lay = m.layout()
+        nodes, cells = lay["nodes"], lay["cells"]
+        node_init = [0] * (3 * n)
+        cell_init = [0] * (2 * n)
+        for i in range(n):
+            node_init[3 * i + 1] = cells + 8 * i
+            node_init[3 * i + 2] = nodes + 12 * (i + 1) if i + 1 < n else 0
+            cell_init[2 * i + 1] = 100 + i
+        m.data["nodes"].init = node_init
+        m.data["cells"].init = cell_init
+        return m, nodes
+
+    def test_eleven_cycles_per_iteration(self):
+        n = 100
+        m, nodes = self.build(n)
+        r = run_function(m, "xlygetvalue", [100 + n - 1, nodes], record_trace=True)
+        rep = time_trace(r.trace, RS6000)
+        assert abs(rep.cycles / n - 11.0) < 0.3
+
+    def test_other_models_scale_sensibly(self):
+        n = 50
+        m, nodes = self.build(n)
+        r = run_function(m, "xlygetvalue", [100 + n - 1, nodes], record_trace=True)
+        rs = time_trace(r.trace, RS6000).cycles
+        p2 = time_trace(r.trace, POWER2).cycles
+        p601 = time_trace(r.trace, PPC601).cycles
+        assert p2 <= rs  # wider machine never slower
+        assert p601 >= rs  # longer compare-to-branch never faster
+
+    def test_ipc_bounded_by_width(self):
+        n = 50
+        m, nodes = self.build(n)
+        r = run_function(m, "xlygetvalue", [100 + n - 1, nodes], record_trace=True)
+        rep = time_trace(r.trace, RS6000)
+        assert 0 < rep.ipc <= RS6000.issue_width
+
+
+class TestEmptyTrace:
+    def test_zero_cycles(self):
+        rep = time_trace([], RS6000)
+        assert rep.cycles == 0
+        assert rep.instructions == 0
+        assert rep.ipc == 0.0

@@ -1,0 +1,208 @@
+"""Low-overhead profiling: planning, instrumentation, count recovery."""
+
+from repro.ir import parse_module, verify_module
+from repro.machine.interpreter import run_function
+from repro.pdf import (
+    apply_instrumentation,
+    collect_profile,
+    plan_instrumentation,
+    recover_counts,
+)
+from repro.pdf.instrument import (
+    COUNTS_SYMBOL,
+    instrumentation_overhead,
+    propagate_known,
+)
+from repro.transforms.linkage import LinkageLowering
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent
+
+# The eqntott-like loop from the paper's profiling figure.
+EQNTOTT_LOOP = """
+data a: size=64 init=[2,2,1,2,0,2,2,2]
+data b: size=64 init=[2,2,2,2,2,2,1,2]
+
+func f(r3):
+    MTCTR r3
+    LA r4, a
+    LA r5, b
+    AI r4, r4, -4
+    AI r5, r5, -4
+bb1:
+    LU r6, 4(r4)
+    LU r7, 4(r5)
+    CI cr0, r6, 2
+    BF bb3, cr0.eq
+bb2:
+    LI r6, 0
+bb3:
+    CI cr1, r7, 2
+    BF bb5, cr1.eq
+bb4:
+    LI r7, 0
+bb5:
+    C cr2, r6, r7
+    BT bb8, cr2.ne
+bb6:
+    BCT bb1
+bb7:
+    LI r3, 0
+    RET
+bb8:
+    S r3, r6, r7
+    RET
+"""
+
+DIAMOND = """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT right, cr0.lt
+left:
+    AI r3, r3, 1
+    B join
+right:
+    AI r3, r3, 2
+join:
+    RET
+"""
+
+
+class TestPlanning:
+    def test_plan_determines_all_edges(self):
+        module = parse_module(EQNTOTT_LOOP)
+        plan = plan_instrumentation(module)
+        fn = module.functions["f"]
+        shadow = module.clone()
+        from repro.pdf.instrument import apply_edge_splits
+
+        apply_edge_splits(shadow, plan)
+        sfn = shadow.functions["f"]
+        known_b, known_e = propagate_known(
+            sfn, set(plan.counted["f"])
+        )
+        from repro.analysis.cfg import reachable_blocks
+
+        assert known_b >= reachable_blocks(sfn)
+        all_edges = {
+            (bb.label, s.label) for bb in sfn.blocks for s in sfn.successors(bb)
+        }
+        assert all_edges <= known_e
+
+    def test_counts_subset_of_blocks(self):
+        module = parse_module(EQNTOTT_LOOP)
+        plan = plan_instrumentation(module)
+        n_blocks = len(module.functions["f"].blocks)
+        # The whole point: strictly fewer counters than blocks.
+        assert 0 < len(plan.counted["f"]) < n_blocks
+
+    def test_plan_deterministic(self):
+        p1 = plan_instrumentation(parse_module(EQNTOTT_LOOP))
+        p2 = plan_instrumentation(parse_module(EQNTOTT_LOOP))
+        assert p1.counted == p2.counted
+        assert p1.split_edges == p2.split_edges
+
+
+class TestInstrumentation:
+    def test_counting_code_semantically_transparent(self):
+        before = parse_module(EQNTOTT_LOOP)
+        after = parse_module(EQNTOTT_LOOP)
+        apply_instrumentation(after)
+        LinkageLowering().run_on_module(after, PassContext(after))
+        verify_module(after)
+        for n in (1, 4, 8):
+            r0 = run_function(before, "f", [n])
+            r1 = run_function(after, "f", [n])
+            assert r0.value == r1.value
+
+    def test_loop_counter_cached_in_register(self):
+        module = parse_module(EQNTOTT_LOOP)
+        plan = apply_instrumentation(module)
+        fn = module.functions["f"]
+        from repro.analysis import find_natural_loops
+
+        loops = find_natural_loops(fn)
+        in_loop_counters = [
+            i
+            for loop in loops
+            for bb in loop.blocks(fn)
+            for i in bb.instrs
+            if i.attrs.get("counter")
+        ]
+        # Inside the loop only AI bumps remain (the paper's one
+        # instruction per counted block); loads/stores live outside.
+        assert in_loop_counters
+        assert all(i.opcode == "AI" for i in in_loop_counters)
+
+    def test_counter_table_collects_exact_counts(self):
+        module = parse_module(EQNTOTT_LOOP)
+        plan = apply_instrumentation(module)
+        LinkageLowering().run_on_module(module, PassContext(module))
+        layout = module.layout()
+        base = layout[COUNTS_SYMBOL]
+        r = run_function(module, "f", [8])
+        # Whatever blocks were counted, their counts must equal the true
+        # execution counts from the interpreter's own block counting.
+        ref = run_function(parse_module(EQNTOTT_LOOP), "f", [8], count_blocks=True)
+        for (fname, label), slot in plan.slots.items():
+            measured = r.state.mem.get(base + 4 * slot, 0)
+            expected = ref.block_counts.get((fname, label), 0)
+            if label in {bb.label for bb in parse_module(EQNTOTT_LOOP).functions["f"].blocks}:
+                assert measured == expected, (label, measured, expected)
+
+    def test_overhead_counted(self):
+        module = parse_module(EQNTOTT_LOOP)
+        apply_instrumentation(module)
+        assert instrumentation_overhead(module) > 0
+
+
+class TestRecovery:
+    def test_full_counts_recovered(self):
+        module = parse_module(EQNTOTT_LOOP)
+        profile, plan = collect_profile(module, "f", [(8,)])
+        # Reference: complete per-block counts from the interpreter.
+        ref = run_function(parse_module(EQNTOTT_LOOP), "f", [8], count_blocks=True)
+        for (fname, label), expected in ref.block_counts.items():
+            assert profile.block_counts.get((fname, label)) == expected, label
+
+    def test_edge_counts_conserve_flow(self):
+        module = parse_module(EQNTOTT_LOOP)
+        profile, plan = collect_profile(module, "f", [(8,)])
+        shadow = module.clone()
+        from repro.pdf.instrument import apply_edge_splits
+
+        apply_edge_splits(shadow, plan)
+        fn = shadow.functions["f"]
+        for bb in fn.blocks:
+            succs = fn.successors(bb)
+            if not succs:
+                continue
+            out = sum(
+                profile.edge_counts.get(("f", bb.label, s.label), 0) for s in succs
+            )
+            count = profile.block_counts.get(("f", bb.label), 0)
+            assert out == count, bb.label
+
+    def test_accumulation_over_runs(self):
+        module = parse_module(EQNTOTT_LOOP)
+        p1, plan = collect_profile(module, "f", [(4,)])
+        p2, _ = collect_profile(module, "f", [(4,), (4,)], plan=plan)
+        for key, val in p1.block_counts.items():
+            assert p2.block_counts[key] == 2 * val
+
+    def test_diamond_edges_need_dummy_or_resolve(self):
+        module = parse_module(DIAMOND)
+        profile, plan = collect_profile(module, "f", [(5,), (-5,)])
+        # Both arms observed once.
+        assert profile.edge_counts.get(("f", "entry", "left")) == 1
+        assert profile.edge_counts.get(("f", "entry", "right")) == 1
+
+    def test_recover_counts_direct(self):
+        fn = parse_module(DIAMOND).functions["f"]
+        blocks, edges = recover_counts(
+            fn, {"entry": 10, "left": 7}
+        )
+        assert blocks["right"] == 3
+        assert blocks["join"] == 10
+        assert edges[("entry", "left")] == 7

@@ -1,0 +1,70 @@
+"""Profile file round-tripping (the paper's between-pass profile file)."""
+
+from repro.ir import parse_module
+from repro.pdf import collect_profile
+from repro.pdf.instrument import InstrumentationPlan
+from repro.pdf.profile import ProfileData
+from repro.pipeline import compile_module
+from repro.machine.interpreter import run_function
+
+SRC = """
+func f(r3):
+entry:
+    MTCTR r3
+    LI r4, 0
+loop:
+    AI r4, r4, 1
+    CI cr0, r4, 3
+    BT skip, cr0.le
+    AI r4, r4, 10
+skip:
+    BCT loop
+done:
+    LR r3, r4
+    RET
+"""
+
+
+def test_profile_roundtrip(tmp_path):
+    module = parse_module(SRC)
+    profile, plan = collect_profile(module, "f", [(6,)])
+
+    path = tmp_path / "prof.json"
+    profile.save(str(path))
+    loaded = ProfileData.load(str(path))
+    assert loaded.block_counts == profile.block_counts
+    assert loaded.edge_counts == profile.edge_counts
+
+
+def test_plan_roundtrip():
+    module = parse_module(SRC)
+    _, plan = collect_profile(module, "f", [(6,)])
+    loaded = InstrumentationPlan.from_json(plan.to_json())
+    assert loaded.counted == plan.counted
+    assert loaded.split_edges == plan.split_edges
+    assert loaded.slots == plan.slots
+
+
+def test_loaded_profile_drives_compilation(tmp_path):
+    module = parse_module(SRC)
+    profile, plan = collect_profile(module, "f", [(6,)])
+    loaded_profile = ProfileData.from_json(profile.to_json())
+    loaded_plan = InstrumentationPlan.from_json(plan.to_json())
+
+    direct = compile_module(module, "vliw", profile=profile, plan=plan)
+    via_file = compile_module(module, "vliw", profile=loaded_profile, plan=loaded_plan)
+
+    for args in ([2], [6], [9]):
+        a = run_function(direct.module, "f", args).value
+        b = run_function(via_file.module, "f", args).value
+        c = run_function(module, "f", args).value
+        assert a == b == c
+
+
+def test_accumulated_profile_serialises(tmp_path):
+    module = parse_module(SRC)
+    p1, plan = collect_profile(module, "f", [(6,)])
+    p2, _ = collect_profile(module, "f", [(3,)], plan=plan)
+    p1.accumulate(p2)
+    loaded = ProfileData.from_json(p1.to_json())
+    assert loaded.block_counts == p1.block_counts

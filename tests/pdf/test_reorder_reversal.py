@@ -1,0 +1,141 @@
+"""PDF basic block re-ordering and branch reversal."""
+
+from repro.ir import parse_module, verify_module
+from repro.machine import RS6000, run_function, time_trace
+from repro.pdf import BranchReversal, ProfileGuidedReorder, collect_profile
+from repro.pdf.instrument import apply_edge_splits
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent
+
+# A hot path that is all taken branches in the cold-first layout.
+BIASED = """
+data arr: size=128
+
+func f(r3):
+entry:
+    MTCTR r3
+    LI r4, 0
+loop:
+    CI cr0, r4, 1000000
+    BT hot, cr0.lt
+cold:
+    AI r4, r4, 100
+    B bottom
+hot:
+    AI r4, r4, 1
+    AI r4, r4, 2
+    AI r4, r4, 3
+    AI r4, r4, 4
+bottom:
+    BCT loop
+done:
+    LR r3, r4
+    RET
+"""
+
+
+def profiled_ctx(src, entry="f", train=(20,)):
+    module = parse_module(src)
+    profile, plan = collect_profile(module, entry, [train])
+    work = module.clone()
+    apply_edge_splits(work, plan)
+    ctx = PassContext(work)
+    ctx.edge_profile = dict(profile.edge_counts)
+    ctx.block_profile = dict(profile.block_counts)
+    return module, work, ctx
+
+
+class TestReorder:
+    def test_requires_profile(self):
+        module = parse_module(BIASED)
+        assert not ProfileGuidedReorder().run_on_module(module, PassContext(module))
+
+    def test_semantics_preserved(self):
+        before, work, ctx = profiled_ctx(BIASED)
+        ProfileGuidedReorder().run_on_module(work, ctx)
+        verify_module(work)
+        assert_equivalent(before, work, "f", [[1], [7], [20]])
+
+    def test_entry_stays_first(self):
+        _, work, ctx = profiled_ctx(BIASED)
+        ProfileGuidedReorder().run_on_module(work, ctx)
+        assert work.functions["f"].entry.label == "entry"
+
+
+class TestBranchReversal:
+    def test_requires_profile(self):
+        module = parse_module(BIASED)
+        assert not BranchReversal().run_on_module(module, PassContext(module))
+
+    def test_strongly_taken_branch_reversed(self):
+        before, work, ctx = profiled_ctx(BIASED)
+        changed = BranchReversal().run_on_module(work, ctx)
+        verify_module(work)
+        assert changed
+        assert ctx.stats.get("pdf.branches-reversed", 0) >= 1
+        assert_equivalent(before, work, "f", [[1], [7], [20]])
+
+    def test_hot_trace_loses_taken_conditional(self):
+        before, work, ctx = profiled_ctx(BIASED)
+        BranchReversal().run_on_module(work, ctx)
+        rb = run_function(before, "f", [20], record_trace=True)
+        ra = run_function(work, "f", [20], record_trace=True)
+        taken_cond = lambda trace: sum(
+            1 for i, t in trace if i.opcode in ("BT", "BF") and t
+        )
+        assert taken_cond(ra.trace) < taken_cond(rb.trace)
+
+    def test_balanced_branch_untouched(self):
+        src = """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT right, cr0.lt
+left:
+    LI r3, 1
+    RET
+right:
+    LI r3, 2
+    RET
+"""
+        module = parse_module(src)
+        profile, plan = collect_profile(module, "f", [(5,), (-5,)])
+        work = module.clone()
+        apply_edge_splits(work, plan)
+        ctx = PassContext(work)
+        ctx.edge_profile = dict(profile.edge_counts)
+        ctx.block_profile = dict(profile.block_counts)
+        assert not BranchReversal().run_on_module(work, ctx)
+
+    def test_backward_loop_branch_not_reversed(self):
+        src = """
+func f(r3):
+entry:
+    LI r4, 0
+loop:
+    AI r4, r4, 1
+    C cr0, r4, r3
+    BT loop, cr0.lt
+done:
+    LR r3, r4
+    RET
+"""
+        module = parse_module(src)
+        profile, plan = collect_profile(module, "f", [(50,)])
+        work = module.clone()
+        apply_edge_splits(work, plan)
+        ctx = PassContext(work)
+        ctx.edge_profile = dict(profile.edge_counts)
+        ctx.block_profile = dict(profile.block_counts)
+        BranchReversal().run_on_module(work, ctx)
+        verify_module(work)
+        assert_equivalent(module, work, "f", [[5], [50]])
+        # The loop-closing branch stays a backward conditional branch.
+        fn = work.functions["f"]
+        back = [
+            i
+            for i in fn.instructions()
+            if i.is_cond_branch and i.target == "loop"
+        ]
+        assert back

@@ -1,0 +1,142 @@
+"""Local list scheduling."""
+
+from repro.ir import parse_function, parse_module, verify_module
+from repro.machine.model import POWER2, RS6000
+from repro.scheduling import LocalScheduling, schedule_block
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent
+
+
+class TestScheduleBlock:
+    def test_preserves_instruction_multiset(self):
+        fn = parse_function(
+            """
+func f(r3):
+    L r4, 0(r3)
+    LI r5, 7
+    AI r6, r4, 1
+    A r3, r5, r6
+    RET
+"""
+        )
+        instrs = fn.blocks[0].instrs
+        order, _ = schedule_block(instrs, RS6000)
+        assert sorted(i.uid for i in order) == sorted(i.uid for i in instrs)
+
+    def test_terminator_stays_last(self):
+        fn = parse_function(
+            "func f(r3):\n    LI r4, 1\n    LI r5, 2\n    RET"
+        )
+        order, _ = schedule_block(fn.blocks[0].instrs, RS6000)
+        assert order[-1].is_return
+
+    def test_fills_load_delay_slot(self):
+        fn = parse_function(
+            """
+func f(r3):
+    L r4, 0(r3)
+    AI r4, r4, 1
+    LI r5, 7
+    RET
+"""
+        )
+        order, cycles = schedule_block(fn.blocks[0].instrs, RS6000)
+        # The independent LI moves between the load and its use.
+        ops = [i.opcode for i in order]
+        assert ops.index("LI") < ops.index("AI")
+
+    def test_separates_compare_and_branch(self):
+        fn = parse_function(
+            """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    LI r4, 1
+    LI r5, 2
+    LI r6, 3
+    LI r7, 4
+    BT out, cr0.eq
+out:
+    RET
+"""
+        )
+        order, cycles = schedule_block(fn.blocks[0].instrs, RS6000)
+        # Compare first, branch last: the LIs cover the cr latency.
+        assert order[0].opcode == "CI"
+        assert order[-1].opcode == "BT"
+        assert cycles <= RS6000.cmp_to_branch + 1
+
+    def test_dependences_never_violated(self):
+        fn = parse_function(
+            """
+func f(r3):
+    L r4, 0(r3)
+    AI r5, r4, 1
+    ST 0(r3), r5
+    L r6, 0(r3)
+    A r3, r6, r5
+    RET
+"""
+        )
+        order, _ = schedule_block(fn.blocks[0].instrs, RS6000)
+        pos = {i.uid: k for k, i in enumerate(order)}
+        instrs = fn.blocks[0].instrs
+        # load -> AI -> ST -> load -> A chain must keep relative order.
+        for a, b in zip(instrs, instrs[1:]):
+            assert pos[a.uid] < pos[b.uid]
+
+    def test_wider_machine_schedules_no_slower(self):
+        fn = parse_function(
+            """
+func f(r3):
+    LI r4, 1
+    LI r5, 2
+    LI r6, 3
+    LI r7, 4
+    RET
+"""
+        )
+        _, narrow = schedule_block(fn.blocks[0].instrs, RS6000)
+        _, wide = schedule_block(fn.blocks[0].instrs, POWER2)
+        assert wide <= narrow
+
+    def test_empty_block(self):
+        assert schedule_block([], RS6000) == ([], 0)
+
+    def test_length_only_mode_keeps_order(self):
+        fn = parse_function(
+            "func f(r3):\n    L r4, 0(r3)\n    AI r4, r4, 1\n    RET"
+        )
+        instrs = fn.blocks[0].instrs
+        order, cycles = schedule_block(instrs, RS6000, reorder=False)
+        assert [i.uid for i in order] == [i.uid for i in instrs]
+        assert cycles >= RS6000.load_latency
+
+
+class TestLocalSchedulingPass:
+    SRC = """
+data a: size=32 init=[1,2,3,4,5,6,7,8]
+
+func f(r3):
+    LA r9, a
+    L r4, 0(r9)
+    AI r4, r4, 1
+    L r5, 4(r9)
+    AI r5, r5, 2
+    A r3, r4, r5
+    RET
+"""
+
+    def test_semantics_preserved(self):
+        before = parse_module(self.SRC)
+        after = parse_module(self.SRC)
+        LocalScheduling().run_on_module(after, PassContext(after))
+        verify_module(after)
+        assert_equivalent(before, after, "f", [[0]])
+
+    def test_reports_change(self):
+        module = parse_module(self.SRC)
+        ctx = PassContext(module)
+        changed = LocalScheduling().run_on_module(module, ctx)
+        assert changed == (ctx.stats.get("local-sched.blocks-reordered", 0) > 0)

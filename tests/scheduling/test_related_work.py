@@ -1,0 +1,155 @@
+"""The Bernstein-Rodeh comparison scheduler and its constraints."""
+
+from repro.ir import parse_module, verify_module
+from repro.scheduling import GlobalScheduling
+from repro.scheduling.related_work import BernsteinRodehScheduling
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent, random_program, standard_argsets
+
+TWO_BRANCH = """
+data a: size=32 init=[5, 6, 7, 8]
+
+func f(r3):
+    LA r9, a
+    CI cr0, r3, 0
+    BT out1, cr0.le
+mid:
+    CI cr1, r3, 10
+    BT out2, cr1.ge
+deep:
+    L r4, 0(r9)
+    L r5, 4(r9)
+    A r3, r4, r5
+    RET
+out1:
+    LI r3, -1
+    RET
+out2:
+    LI r3, -2
+    RET
+"""
+
+
+PROFITABLE_ONE_LEVEL = """
+data a: size=32 init=[5, 6, 7, 8]
+
+func f(r3):
+    LA r9, a
+    CI cr0, r3, 0
+    BT out1, cr0.le
+mid:
+    L r4, 0(r9)
+    L r5, 4(r9)
+    A r3, r4, r5
+    RET
+out1:
+    LI r3, -1
+    RET
+"""
+
+
+class TestSpeculationDepthCap:
+    def _preset_depth(self, module, depth):
+        for instr in module.functions["f"].instructions():
+            if instr.is_load:
+                instr.attrs["spec_depth"] = depth
+
+    def test_full_scheduler_has_no_depth_cap(self):
+        # Mark the loads as already once-speculated: the unconstrained
+        # scheduler still hoists them above the next branch.
+        module = parse_module(PROFITABLE_ONE_LEVEL)
+        self._preset_depth(module, 1)
+        ctx = PassContext(module)
+        GlobalScheduling(rounds=4).run_on_module(module, ctx)
+        verify_module(module)
+        entry = module.functions["f"].blocks[0]
+        assert any(i.is_load for i in entry.instrs)
+        assert max(
+            i.attrs.get("spec_depth", 0)
+            for i in module.functions["f"].instructions()
+        ) >= 2
+
+    def test_bernstein_rodeh_refuses_second_level(self):
+        module = parse_module(PROFITABLE_ONE_LEVEL)
+        self._preset_depth(module, 1)
+        ctx = PassContext(module)
+        BernsteinRodehScheduling().run_on_module(module, ctx)
+        entry = module.functions["f"].blocks[0]
+        assert not any(i.is_load for i in entry.instrs)
+
+    def test_bernstein_rodeh_takes_the_first_level(self):
+        module = parse_module(PROFITABLE_ONE_LEVEL)
+        ctx = PassContext(module)
+        BernsteinRodehScheduling().run_on_module(module, ctx)
+        entry = module.functions["f"].blocks[0]
+        assert any(i.is_load for i in entry.instrs)
+
+    def test_bernstein_rodeh_stops_at_one(self):
+        module = parse_module(TWO_BRANCH)
+        ctx = PassContext(module)
+        BernsteinRodehScheduling().run_on_module(module, ctx)
+        verify_module(module)
+        depths = [
+            i.attrs.get("spec_depth", 0) for i in module.functions["f"].instructions()
+        ]
+        assert max(depths) <= 1
+
+    def test_both_preserve_semantics(self):
+        for scheduler in (GlobalScheduling(), BernsteinRodehScheduling()):
+            before = parse_module(TWO_BRANCH)
+            after = parse_module(TWO_BRANCH)
+            scheduler.run_on_module(after, PassContext(after))
+            assert_equivalent(
+                before, after, "f", [[5], [0], [20]], context=scheduler.name
+            )
+
+
+class TestNoBookkeeping:
+    JOIN = """
+data a: size=16 init=[3, 4]
+
+func f(r3):
+    LA r9, a
+    CI cr0, r3, 0
+    BT right, cr0.lt
+left:
+    AI r3, r3, 1
+    B join
+right:
+    AI r3, r3, 2
+join:
+    L r4, 0(r9)
+    A r3, r3, r4
+    RET
+"""
+
+    def test_join_hoist_declined_without_duplication(self):
+        module = parse_module(self.JOIN)
+        ctx = PassContext(module)
+        BernsteinRodehScheduling().run_on_module(module, ctx)
+        assert ctx.stats.get("global-sched.bookkeeping-copies", 0) == 0
+        # The join block keeps its load.
+        join = module.functions["f"].block("join")
+        assert any(i.is_load for i in join.instrs)
+
+    def test_full_scheduler_duplicates(self):
+        module = parse_module(self.JOIN)
+        ctx = PassContext(module)
+        GlobalScheduling().run_on_module(module, ctx)
+        # The full framework may take the hoist (with copies) when it pays;
+        # either way semantics hold.
+        before = parse_module(self.JOIN)
+        assert_equivalent(before, module, "f", [[5], [-5]])
+
+
+class TestRandomised:
+    def test_preserves_semantics_on_random_programs(self):
+        for seed in range(10):
+            before = random_program(seed)
+            after = random_program(seed)
+            BernsteinRodehScheduling().run_on_module(after, PassContext(after))
+            verify_module(after)
+            assert_equivalent(
+                before, after, "f", standard_argsets(), context=f"seed={seed}"
+            )

@@ -1,0 +1,181 @@
+"""Shared test infrastructure.
+
+The core correctness tool is *differential execution*: run a function
+before and after a transformation on identical inputs and require the
+same return value, memory effects and I/O. ``random_program`` generates
+structured, always-terminating programs (arithmetic, memory traffic on a
+data object, nested diamonds, bounded counted loops) for property-based
+testing of every pass.
+"""
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.machine.interpreter import run_function
+
+
+def run(module: Module, fn: str, args: Sequence[int], max_steps: int = 400_000):
+    return run_function(module, fn, list(args), max_steps=max_steps)
+
+
+def assert_equivalent(
+    before: Module,
+    after: Module,
+    fn: str,
+    argsets: Iterable[Sequence[int]],
+    check_memory: bool = True,
+    max_steps: int = 400_000,
+    context: str = "",
+):
+    """Both modules must behave identically on every argument set."""
+    for args in argsets:
+        r0 = run(before, fn, args, max_steps)
+        r1 = run(after, fn, args, max_steps)
+        note = f" [{context}]" if context else ""
+        assert r1.value == r0.value, (
+            f"{fn}{tuple(args)}{note}: value {r1.value} != {r0.value}"
+        )
+        assert r1.output == r0.output, (
+            f"{fn}{tuple(args)}{note}: output differs"
+        )
+        if check_memory:
+            m0 = r0.state.snapshot_mem()
+            m1 = r1.state.snapshot_mem()
+            assert m1 == m0, f"{fn}{tuple(args)}{note}: memory differs"
+
+
+def parse(source: str) -> Module:
+    return parse_module(source)
+
+
+# ---------------------------------------------------------------------------
+# Random structured program generation
+# ---------------------------------------------------------------------------
+
+_VALUE_REGS = ["r3", "r4", "r5", "r6", "r7", "r8"]
+_ALU_RR = ["A", "S", "MUL", "AND", "OR", "XOR"]
+_ALU_RI = ["AI", "SI", "MULI", "ANDI", "ORI", "XORI"]
+_CONDS = ["eq", "ne", "lt", "le", "gt", "ge"]
+
+DATA_WORDS = 16
+
+
+class _Gen:
+    """Emits one structured random function as parseable text."""
+
+    def __init__(self, rng: random.Random, max_depth: int = 2, size: int = 14):
+        self.rng = rng
+        self.max_depth = max_depth
+        self.budget = size
+        self.lines: List[str] = []
+        self.label_counter = 0
+        self.cr_counter = 0
+        self.loop_reg_counter = 0
+
+    def fresh_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{hint}{self.label_counter}"
+
+    def fresh_cr(self) -> str:
+        self.cr_counter = (self.cr_counter + 1) % 8
+        return f"cr{self.cr_counter}"
+
+    def emit(self, text: str, indent: bool = True) -> None:
+        self.lines.append(("    " if indent else "") + text)
+
+    def reg(self) -> str:
+        return self.rng.choice(_VALUE_REGS)
+
+    def offset(self) -> int:
+        return 4 * self.rng.randrange(DATA_WORDS)
+
+    def gen_statement(self, depth: int) -> None:
+        if self.budget <= 0:
+            return
+        self.budget -= 1
+        rng = self.rng
+        choice = rng.random()
+        if choice < 0.35:
+            op = rng.choice(_ALU_RR)
+            self.emit(f"{op} {self.reg()}, {self.reg()}, {self.reg()}")
+        elif choice < 0.55:
+            op = rng.choice(_ALU_RI)
+            self.emit(f"{op} {self.reg()}, {self.reg()}, {rng.randrange(-8, 9)}")
+        elif choice < 0.65:
+            self.emit(f"L {self.reg()}, {self.offset()}(r10)")
+        elif choice < 0.75:
+            self.emit(f"ST {self.offset()}(r10), {self.reg()}")
+        elif choice < 0.9 and depth < self.max_depth:
+            self.gen_diamond(depth)
+        elif depth < self.max_depth:
+            self.gen_loop(depth)
+        else:
+            self.emit(f"LR {self.reg()}, {self.reg()}")
+
+    def gen_block(self, depth: int, n: int) -> None:
+        for _ in range(n):
+            self.gen_statement(depth)
+
+    def gen_diamond(self, depth: int) -> None:
+        rng = self.rng
+        cr = self.fresh_cr()
+        else_label = self.fresh_label("els")
+        join_label = self.fresh_label("join")
+        self.emit(f"CI {cr}, {self.reg()}, {rng.randrange(-4, 5)}")
+        self.emit(f"BT {else_label}, {cr}.{rng.choice(_CONDS)}")
+        self.gen_block(depth + 1, rng.randrange(1, 4))
+        if rng.random() < 0.6:
+            self.emit(f"B {join_label}")
+            self.emit(f"{else_label}:", indent=False)
+            self.gen_block(depth + 1, rng.randrange(1, 4))
+            self.emit(f"{join_label}:", indent=False)
+            self.emit("NOP")
+        else:  # triangle
+            self.emit(f"{else_label}:", indent=False)
+            self.emit("NOP")
+
+    def gen_loop(self, depth: int) -> None:
+        rng = self.rng
+        # A dedicated counter register keeps the loop bounded no matter
+        # what the body does to the value registers.
+        counter = f"r{20 + self.loop_reg_counter}"
+        self.loop_reg_counter = (self.loop_reg_counter + 1) % 8
+        cr = self.fresh_cr()
+        head = self.fresh_label("loop")
+        trips = rng.randrange(1, 5)
+        self.emit(f"LI {counter}, {trips}")
+        self.emit(f"{head}:", indent=False)
+        self.gen_block(depth + 1, rng.randrange(1, 4))
+        self.emit(f"AI {counter}, {counter}, -1")
+        self.emit(f"CI {cr}, {counter}, 0")
+        self.emit(f"BF {head}, {cr}.eq")
+
+    def generate(self) -> str:
+        self.emit("func f(r3, r4):", indent=False)
+        self.emit("LA r10, data")
+        while self.budget > 0:
+            self.gen_statement(0)
+        # Fold state into the return value so differences are observable.
+        self.emit("A r3, r3, r4")
+        self.emit("XOR r3, r3, r5")
+        self.emit("A r3, r3, r6")
+        self.emit("RET")
+        return "\n".join(self.lines)
+
+
+def random_program(seed: int, size: int = 14, max_depth: int = 2) -> Module:
+    """A random structured module with one function ``f(r3, r4)``."""
+    rng = random.Random(seed)
+    text = _Gen(rng, max_depth=max_depth, size=size).generate()
+    source = (
+        f"data data: size={4 * DATA_WORDS} "
+        f"init=[{', '.join(str(rng.randrange(-50, 50)) for _ in range(DATA_WORDS))}]\n"
+        + text
+    )
+    return parse_module(source)
+
+
+def standard_argsets() -> List[List[int]]:
+    return [[0, 0], [1, 2], [-5, 17], [123456, -7], [3, 3]]

@@ -1,0 +1,191 @@
+"""Basic block expansion (paper section 2.5)."""
+
+from repro.ir import parse_module, verify_module
+from repro.machine import RS6000, run_function, time_trace
+from repro.transforms import BasicBlockExpansion, Straighten
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent
+
+# The paper's example: an untaken conditional branch followed immediately
+# by a taken unconditional branch stalls; expansion copies code from the
+# target until a good stopping point.
+PAPER_SHAPE = """
+func f(r3, r4):
+    CI cr0, r3, 0
+    BF L1, cr0.eq
+    AI r4, r4, 1
+    B L2
+L1:
+    AI r4, r4, 100
+L2:
+    CI cr1, r4, 0
+    BF L3, cr1.eq
+    AI r4, r4, 2
+    AI r4, r4, 3
+    AI r4, r4, 4
+    AI r4, r4, 5
+    AI r4, r4, 6
+L3:
+    LR r3, r4
+    RET
+"""
+
+
+def apply(src):
+    before = parse_module(src)
+    after = parse_module(src)
+    ctx = PassContext(after)
+    changed = BasicBlockExpansion().run_on_module(after, ctx)
+    verify_module(after)
+    return before, after, ctx, changed
+
+
+class TestPaperShape:
+    def test_expansion_applies(self):
+        _, _, ctx, changed = apply(PAPER_SHAPE)
+        assert changed
+        assert ctx.stats.get("bb-expansion.branches-removed", 0) >= 1
+
+    def test_semantics_preserved(self):
+        before, after, _, _ = apply(PAPER_SHAPE)
+        args = [[0, 0], [1, 5], [-1, -5], [0, -100]]
+        assert_equivalent(before, after, "f", args)
+
+    def test_uncond_branch_leaves_hot_trace(self):
+        before, after, _, _ = apply(PAPER_SHAPE)
+        # On the path that previously executed `B L2` (r3 == 0 is the eq
+        # case, BF untaken), the trace must contain no unconditional branch
+        # right after the conditional branch.
+        r = run_function(after, "f", [0, 0], record_trace=True)
+        ops = [i.opcode for i, _ in r.trace]
+        for i in range(len(ops) - 1):
+            if ops[i] in ("BT", "BF"):
+                assert ops[i + 1] != "B", "B still adjacent to a cond branch"
+
+    def test_stall_cycles_reduced(self):
+        before, after, _, _ = apply(PAPER_SHAPE)
+        # r3 == 0 leaves the first conditional branch untaken, so the
+        # original code runs straight into the taken `B L2` stall.
+        rb = run_function(before, "f", [0, 0], record_trace=True)
+        ra = run_function(after, "f", [0, 0], record_trace=True)
+        tb = time_trace(rb.trace, RS6000)
+        ta = time_trace(ra.trace, RS6000)
+        assert ta.uncond_stall_cycles < tb.uncond_stall_cycles
+        assert ta.cycles <= tb.cycles
+
+
+class TestWalkRules:
+    def test_copy_through_conditional_branch(self):
+        # The walk passes a conditional branch and keeps copying on the
+        # fallthrough side; the copied branch still targets the original.
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BF skip, cr0.eq
+    B target
+skip:
+    LI r3, -7
+    RET
+target:
+    CI cr1, r3, 5
+    BT big, cr1.gt
+    AI r3, r3, 1
+    AI r3, r3, 1
+    AI r3, r3, 1
+    AI r3, r3, 1
+    AI r3, r3, 1
+big:
+    AI r3, r3, 10
+    RET
+"""
+        before, after, ctx, changed = apply(src)
+        assert_equivalent(before, after, "f", [[0], [7], [-7], [5]])
+
+    def test_stops_before_bct(self):
+        src = """
+func f(r3):
+    MTCTR r3
+    LI r4, 0
+loop:
+    AI r4, r4, 1
+    CI cr0, r4, 1000
+    BT done, cr0.gt
+    B tail
+tail:
+    AI r4, r4, 2
+    BCT loop
+done:
+    LR r3, r4
+    RET
+"""
+        before, after, ctx, changed = apply(src)
+        assert_equivalent(before, after, "f", [[1], [5]])
+        # Any expansion must not have duplicated the BCT.
+        fn = after.functions["f"]
+        bcts = [i for i in fn.instructions() if i.opcode == "BCT"]
+        assert len(bcts) == 1
+
+    def test_expansion_through_ret_drops_continuation(self):
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BF out, cr0.eq
+    B fin
+out:
+    LI r3, 1
+    RET
+fin:
+    LI r3, 2
+    RET
+"""
+        before, after, ctx, changed = apply(src)
+        assert changed
+        assert_equivalent(before, after, "f", [[0], [1]])
+        # The expanded path ends in its own RET copy; no B remains on it.
+        r = run_function(after, "f", [0], record_trace=True)
+        assert all(i.opcode != "B" for i, _ in r.trace)
+
+    def test_never_copies_pinned_code(self):
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BF out, cr0.eq
+    B counted
+out:
+    LI r3, 1
+    RET
+counted:
+    AI r4, r4, 1
+    LI r3, 2
+    RET
+"""
+        module = parse_module(src)
+        counted = module.functions["f"].block("counted")
+        counted.instrs[0].attrs["counter"] = True
+        ctx = PassContext(module)
+        BasicBlockExpansion().run_on_module(module, ctx)
+        counters = [
+            i for i in module.functions["f"].instructions() if i.attrs.get("counter")
+        ]
+        assert len(counters) == 1  # never duplicated
+
+    def test_adjacent_target_left_to_straightening(self):
+        src = """
+func f(r3):
+    B next
+next:
+    RET
+"""
+        _, _, ctx, changed = apply(src)
+        assert not changed
+
+
+class TestInteractionWithStraighten:
+    def test_unreachable_original_cleaned_up(self):
+        before, after, ctx, _ = apply(PAPER_SHAPE)
+        n_before_cleanup = after.functions["f"].instruction_count()
+        Straighten().run_on_module(after, PassContext(after))
+        verify_module(after)
+        assert after.functions["f"].instruction_count() <= n_before_cleanup
+        assert_equivalent(before, after, "f", [[0, 0], [1, 5], [-1, -5]])

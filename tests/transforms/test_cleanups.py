@@ -1,0 +1,190 @@
+"""Straighten, copy propagation, DCE."""
+
+from repro.ir import parse_function, parse_module, verify_function
+from repro.transforms import CopyPropagation, DeadCodeElimination, RemoveUnreachable, Straighten
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent, standard_argsets
+
+
+def ctx_for(module):
+    return PassContext(module)
+
+
+class TestStraighten:
+    def test_jump_threading(self):
+        m = parse_module(
+            """
+func f(r3):
+    B a
+a:
+    B b
+b:
+    LI r3, 7
+    RET
+"""
+        )
+        Straighten().run_on_function(m.functions["f"], ctx_for(m))
+        fn = m.functions["f"]
+        verify_function(fn)
+        # Everything collapses into a straight line.
+        assert fn.instruction_count() == 2
+
+    def test_redundant_branch_removed(self):
+        m = parse_module("func f(r3):\n    B next\nnext:\n    RET")
+        Straighten().run_on_function(m.functions["f"], ctx_for(m))
+        assert all(not i.is_uncond_branch for i in m.functions["f"].instructions())
+
+    def test_degenerate_cond_branch_removed(self):
+        m = parse_module(
+            """
+func f(r3):
+    CI cr0, r3, 0
+    BT next, cr0.eq
+next:
+    LI r3, 1
+    RET
+"""
+        )
+        Straighten().run_on_function(m.functions["f"], ctx_for(m))
+        assert all(not i.is_cond_branch for i in m.functions["f"].instructions())
+
+    def test_merge_preserves_interior_fallthrough(self):
+        # Regression test: merging `pred -> B bb` where bb itself falls
+        # through must keep bb's fallthrough target reachable.
+        src = """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT other, cr0.lt
+    B target
+other:
+    AI r3, r3, 5
+target:
+    AI r3, r3, 1
+tail:
+    AI r3, r3, 10
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        Straighten().run_on_function(after.functions["f"], ctx_for(after))
+        verify_function(after.functions["f"])
+        assert_equivalent(before, after, "f", [[1], [-1], [0]])
+
+    def test_semantics_preserved_on_diamond(self):
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BT neg, cr0.lt
+    LI r4, 1
+    B out
+neg:
+    LI r4, 2
+out:
+    LR r3, r4
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        Straighten().run_on_function(after.functions["f"], ctx_for(after))
+        assert_equivalent(before, after, "f", [[5], [-5], [0]])
+
+
+class TestRemoveUnreachable:
+    def test_dead_blocks_removed(self):
+        m = parse_module(
+            "func f(r3):\n    RET\ndead:\n    LI r3, 1\n    RET"
+        )
+        changed = RemoveUnreachable().run_on_function(m.functions["f"], ctx_for(m))
+        assert changed
+        assert len(m.functions["f"].blocks) == 1
+
+    def test_noop_when_all_reachable(self):
+        m = parse_module("func f(r3):\n    RET")
+        assert not RemoveUnreachable().run_on_function(m.functions["f"], ctx_for(m))
+
+
+class TestCopyPropagation:
+    def test_forwarding(self):
+        m = parse_module(
+            "func f(r3):\n    LR r4, r3\n    AI r5, r4, 1\n    LR r3, r5\n    RET"
+        )
+        CopyPropagation().run_on_function(m.functions["f"], ctx_for(m))
+        instrs = list(m.functions["f"].instructions())
+        assert instrs[1].ra == instrs[0].ra  # AI reads r3 directly
+
+    def test_invalidation_on_redefinition(self):
+        src = """
+func f(r3):
+    LR r4, r3
+    LI r3, 100
+    A r3, r4, r3
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        CopyPropagation().run_on_function(after.functions["f"], ctx_for(after))
+        assert_equivalent(before, after, "f", [[5], [0], [-3]])
+        # r4's source r3 was overwritten: the A must still read r4.
+        instrs = list(after.functions["f"].instructions())
+        assert str(instrs[2].ra) == "r4"
+
+    def test_does_not_retarget_update_form_base(self):
+        src = """
+data a: size=16 init=[1,2,3,4]
+func f(r3):
+    LA r5, a
+    LR r4, r5
+    LU r3, 4(r4)
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        CopyPropagation().run_on_function(after.functions["f"], ctx_for(after))
+        assert_equivalent(before, after, "f", [[0]])
+
+
+class TestDCE:
+    def test_removes_dead_arithmetic(self):
+        m = parse_module(
+            "func f(r3):\n    LI r4, 1\n    LI r5, 2\n    A r6, r4, r5\n    RET"
+        )
+        DeadCodeElimination().run_on_function(m.functions["f"], ctx_for(m))
+        assert m.functions["f"].instruction_count() == 1  # just RET
+
+    def test_keeps_live_chain(self):
+        m = parse_module(
+            "func f(r3):\n    LI r4, 1\n    A r3, r3, r4\n    RET"
+        )
+        DeadCodeElimination().run_on_function(m.functions["f"], ctx_for(m))
+        assert m.functions["f"].instruction_count() == 3
+
+    def test_keeps_stores_and_calls(self):
+        m = parse_module(
+            "data a: size=4\nfunc f(r3):\n    LA r4, a\n    ST 0(r4), r3\n    CALL print_int, 1\n    RET"
+        )
+        DeadCodeElimination().run_on_function(m.functions["f"], ctx_for(m))
+        assert m.functions["f"].instruction_count() == 4
+
+    def test_keeps_pinned_instructions(self):
+        m = parse_module("func f(r3):\n    LI r4, 1\n    RET")
+        li = m.functions["f"].blocks[0].instrs[0]
+        li.attrs["counter"] = True
+        DeadCodeElimination().run_on_function(m.functions["f"], ctx_for(m))
+        assert m.functions["f"].instruction_count() == 2
+
+    def test_keeps_volatile_loads(self):
+        m = parse_module(
+            "data v: size=4 volatile\nfunc f(r3):\n    LA r4, v\n    L r5, 0(r4)\n    RET"
+        )
+        DeadCodeElimination().run_on_function(m.functions["f"], ctx_for(m))
+        ops = [i.opcode for i in m.functions["f"].instructions()]
+        assert "L" in ops
+
+    def test_iterates_to_fixpoint(self):
+        m = parse_module(
+            "func f(r3):\n    LI r4, 1\n    AI r5, r4, 1\n    AI r6, r5, 1\n    RET"
+        )
+        DeadCodeElimination().run_on_function(m.functions["f"], ctx_for(m))
+        assert m.functions["f"].instruction_count() == 1

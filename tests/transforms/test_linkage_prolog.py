@@ -1,0 +1,178 @@
+"""Linkage lowering and prolog tailoring (paper section 2.6)."""
+
+import pytest
+
+from repro.ir import parse_module, verify_module
+from repro.machine.interpreter import run_function
+from repro.transforms import LinkageLowering, PrologTailoring
+from repro.transforms.linkage import killed_callee_saved
+from repro.transforms.pass_manager import PassContext
+from repro.transforms.prolog_tailoring import (
+    check_unwind_invariant,
+    dynamic_save_restore_count,
+)
+
+from support import assert_equivalent
+
+# The shape of the paper's tailoring figure: r29/r31 killed on one early
+# branch, r28 on the other arm, r30 only in a nested arm.
+PAPER_SHAPE = """
+func sub(r3):
+entry:
+    CI cr0, r3, 0
+    BT l1, cr0.lt
+arm1:
+    LI r29, 1
+    LI r31, 2
+    A r3, r29, r31
+    RET
+l1:
+    LI r28, 3
+    CI cr1, r3, -10
+    BT l2, cr1.lt
+arm2:
+    LI r30, 4
+    A r28, r28, r30
+l2:
+    A r3, r3, r28
+    RET
+
+func main(r3):
+    LI r28, 111
+    LI r29, 222
+    LI r30, 333
+    LI r31, 444
+    CALL sub, 1
+    A r3, r3, r28
+    A r3, r3, r29
+    A r3, r3, r30
+    A r3, r3, r31
+    RET
+"""
+
+ARGS = [[5], [-5], [-20]]
+
+
+def lower(src, pass_obj):
+    before = parse_module(src)
+    after = parse_module(src)
+    ctx = PassContext(after)
+    pass_obj.run_on_module(after, ctx)
+    # main itself needs linkage too for the ABI check harness.
+    LinkageLowering().run_on_module(after, ctx)
+    verify_module(after)
+    return before, after, ctx
+
+
+class TestKilledAnalysis:
+    def test_killed_set(self):
+        module = parse_module(PAPER_SHAPE)
+        killed = killed_callee_saved(module.functions["sub"])
+        assert [r.name for r in killed] == ["r28", "r29", "r30", "r31"]
+
+    def test_call_does_not_count_as_kill(self):
+        module = parse_module(PAPER_SHAPE)
+        killed = killed_callee_saved(module.functions["main"])
+        assert [r.name for r in killed] == ["r28", "r29", "r30", "r31"]
+
+
+class TestLinkageLowering:
+    def test_abi_respected(self):
+        _, after, _ = lower(PAPER_SHAPE, LinkageLowering())
+        for args in ARGS:
+            run_function(after, "main", args, check_callee_saved=True)
+
+    def test_expected_values(self):
+        # The unlowered module is not a valid differential reference here
+        # (main deliberately reads callee-saved registers across the
+        # call), so check against hand-computed results.
+        _, after, _ = lower(PAPER_SHAPE, LinkageLowering())
+        assert run_function(after, "main", [5]).value == 3 + 1110
+        assert run_function(after, "main", [-5]).value == 2 + 1110
+        assert run_function(after, "main", [-20]).value == -17 + 1110
+
+    def test_saves_everything_on_every_path(self):
+        _, after, _ = lower(PAPER_SHAPE, LinkageLowering())
+        r = run_function(after, "main", [5], record_trace=True)
+        saves, restores = dynamic_save_restore_count(r.trace)
+        # main saves 4 + sub saves 4, symmetric restores.
+        assert saves == 8
+        assert restores == 8
+
+    def test_idempotent(self):
+        module = parse_module(PAPER_SHAPE)
+        ctx = PassContext(module)
+        assert LinkageLowering().run_on_module(module, ctx)
+        assert not LinkageLowering().run_on_module(module, ctx)
+
+
+class TestPrologTailoring:
+    def test_abi_respected(self):
+        _, after, _ = lower(PAPER_SHAPE, PrologTailoring())
+        for args in ARGS:
+            run_function(after, "main", args, check_callee_saved=True)
+
+    def test_expected_values(self):
+        _, after, _ = lower(PAPER_SHAPE, PrologTailoring())
+        assert run_function(after, "main", [5]).value == 3 + 1110
+        assert run_function(after, "main", [-5]).value == 2 + 1110
+        assert run_function(after, "main", [-20]).value == -17 + 1110
+
+    def test_unwind_invariant_holds(self):
+        _, after, _ = lower(PAPER_SHAPE, PrologTailoring())
+        check_unwind_invariant(after.functions["sub"])
+        check_unwind_invariant(after.functions["main"])
+
+    def test_fewer_dynamic_saves_than_untailored(self):
+        _, tailored, _ = lower(PAPER_SHAPE, PrologTailoring())
+        _, untailored, _ = lower(PAPER_SHAPE, LinkageLowering())
+        for args in ARGS:
+            rt = run_function(tailored, "main", args, record_trace=True)
+            ru = run_function(untailored, "main", args, record_trace=True)
+            st, _ = dynamic_save_restore_count(rt.trace)
+            su, _ = dynamic_save_restore_count(ru.trace)
+            assert st <= su
+        # On the arm1 path only r29/r31 are needed: strictly fewer saves.
+        rt = run_function(tailored, "main", [5], record_trace=True)
+        ru = run_function(untailored, "main", [5], record_trace=True)
+        assert dynamic_save_restore_count(rt.trace)[0] < dynamic_save_restore_count(ru.trace)[0]
+
+    def test_saves_never_inside_loops(self):
+        src = """
+func f(r3):
+entry:
+    MTCTR r3
+loop:
+    LI r20, 7
+    A r3, r3, r20
+    BCT loop
+done:
+    RET
+"""
+        module = parse_module(src)
+        ctx = PassContext(module)
+        PrologTailoring().run_on_module(module, ctx)
+        verify_module(module)
+        fn = module.functions["f"]
+        from repro.analysis import find_natural_loops
+
+        loops = find_natural_loops(fn)
+        for loop in loops:
+            for bb in loop.blocks(fn):
+                assert all(not i.attrs.get("save") for i in bb.instrs)
+        check_unwind_invariant(fn)
+
+    def test_no_kills_no_lowering(self):
+        src = "func f(r3):\n    AI r3, r3, 1\n    RET"
+        module = parse_module(src)
+        assert not PrologTailoring().run_on_module(module, PassContext(module))
+
+    def test_straightline_function_saves_in_prolog(self):
+        src = "func f(r3):\n    LI r20, 5\n    A r3, r3, r20\n    RET"
+        before = parse_module(src)
+        after = parse_module(src)
+        PrologTailoring().run_on_module(after, PassContext(after))
+        verify_module(after)
+        assert_equivalent(before, after, "f", [[3]], check_memory=False)
+        saves = [i for i in after.functions["f"].instructions() if i.attrs.get("save")]
+        assert len(saves) == 1

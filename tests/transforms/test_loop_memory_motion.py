@@ -1,0 +1,254 @@
+"""Speculative load/store motion out of loops (paper section 2.1)."""
+
+from repro.ir import parse_module, verify_module
+from repro.transforms import LoopMemoryMotion
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent, run
+
+PAPER_EXAMPLE = """
+data a: size=16 init=[0, 0, 0, 5]
+data b: size=40 init=[1, 0, 1, 1, 0, 1, 0, 0, 1, 1]
+
+func f(r3):
+    LA r4, a
+    LA r6, b
+    LI r5, 0
+loop:
+    L r7, 0(r6)
+    CI cr0, r7, 0
+    BT skip, cr0.eq
+    L r3, 12(r4)
+    AI r3, r3, 1
+    ST 12(r4), r3
+skip:
+    AI r6, r6, 4
+    AI r5, r5, 1
+    CI cr1, r5, 10
+    BF loop, cr1.eq
+done:
+    L r3, 12(r4)
+    RET
+"""
+
+
+def apply(src: str):
+    before = parse_module(src)
+    after = parse_module(src)
+    ctx = PassContext(after)
+    changed = LoopMemoryMotion().run_on_module(after, ctx)
+    verify_module(after)
+    return before, after, ctx, changed
+
+
+class TestPaperExample:
+    def test_motion_applies_and_preserves_semantics(self):
+        before, after, ctx, changed = apply(PAPER_EXAMPLE)
+        assert changed
+        assert ctx.stats.get("loop-motion.groups-moved", 0) >= 1
+        assert_equivalent(before, after, "f", [[0]])
+
+    def test_loop_body_has_no_memory_access_to_moved_location(self):
+        _, after, _, _ = apply(PAPER_EXAMPLE)
+        fn = after.functions["f"]
+        from repro.analysis import find_natural_loops
+
+        loop = find_natural_loops(fn)[0]
+        for bb in loop.blocks(fn):
+            for instr in bb.instrs:
+                assert not (instr.is_memory and instr.disp == 12), (
+                    f"moved access still in loop: {instr}"
+                )
+
+    def test_store_materialised_at_exit(self):
+        _, after, _, _ = apply(PAPER_EXAMPLE)
+        r = run(after, "f", [0])
+        layout = after.layout()
+        assert r.state.mem.get(layout["a"] + 12) == 11  # 5 + 6 ones
+
+
+class TestSafetyConditions:
+    def test_volatile_blocks_motion(self):
+        src = PAPER_EXAMPLE.replace(
+            "data a: size=16 init=[0, 0, 0, 5]",
+            "data a: size=16 init=[0, 0, 0, 5] volatile",
+        )
+        _, _, ctx, changed = apply(src)
+        assert not changed
+
+    def test_base_written_in_loop_blocks_motion(self):
+        src = """
+data a: size=64
+func f(r3):
+    LA r4, a
+    LI r5, 0
+loop:
+    L r6, 0(r4)
+    ST 0(r4), r5
+    AI r4, r4, 4
+    AI r5, r5, 1
+    CI cr1, r5, 8
+    BF loop, cr1.eq
+done:
+    LR r3, r6
+    RET
+"""
+        _, _, ctx, changed = apply(src)
+        assert not changed
+
+    def test_aliasing_reference_blocks_motion(self):
+        # A store through an unknown (parameter) pointer may hit 'a'.
+        src = """
+data a: size=16 init=[0,0,0,5]
+func f(r3):
+    LA r4, a
+    LI r5, 0
+loop:
+    ST 0(r3), r5
+    L r6, 12(r4)
+    AI r6, r6, 1
+    ST 12(r4), r6
+    AI r5, r5, 1
+    CI cr1, r5, 4
+    BF loop, cr1.eq
+done:
+    L r3, 12(r4)
+    RET
+"""
+        _, _, ctx, changed = apply(src)
+        assert not changed
+
+    def test_out_of_bounds_displacement_blocks_motion(self):
+        # a is too small: 12+4 > 8, condition 5a fails.
+        src = PAPER_EXAMPLE.replace(
+            "data a: size=16 init=[0, 0, 0, 5]", "data a: size=8 init=[0, 0]"
+        )
+        _, _, ctx, changed = apply(src)
+        assert not changed
+
+    def test_unknown_call_blocks_motion(self):
+        src = """
+data a: size=16 init=[0,0,0,5]
+func g(r3):
+    RET
+func f(r3):
+    LA r4, a
+    LI r5, 0
+loop:
+    L r6, 12(r4)
+    AI r6, r6, 1
+    ST 12(r4), r6
+    CALL g, 0
+    AI r5, r5, 1
+    CI cr1, r5, 4
+    BF loop, cr1.eq
+done:
+    L r3, 12(r4)
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        ctx = PassContext(after)
+        changed = LoopMemoryMotion().run_on_module(after, ctx)
+        # g is a module function with unknown effects: blocked.
+        assert not changed
+
+
+class TestLibraryCallException:
+    def test_memory_confined_call_allows_motion_with_flush(self):
+        # memset_words only touches memory through its arguments; the
+        # paper's I/O-procedure exception keeps motion legal with a
+        # flush/reload around the call.
+        src = """
+data a: size=16 init=[0,0,0,5]
+data buf: size=32
+func f(r3):
+    LA r4, a
+    LI r5, 0
+loop:
+    L r6, 12(r4)
+    AI r6, r6, 1
+    ST 12(r4), r6
+    LA r3, buf
+    LI r4, 7
+    LI r5, 2
+    CALL memset_words, 3
+    LA r4, a
+    LI r5, 0
+    AI r5, r5, 1
+    CI cr1, r5, 1
+    BF loop, cr1.eq
+done:
+    L r3, 12(r4)
+    RET
+"""
+        # This loop structure is contrived (r4/r5 rewritten inside), so
+        # motion is blocked by condition 2 anyway; use a cleaner one:
+        src = """
+data a: size=16 init=[0,0,0,5]
+data buf: size=32
+func f(r3, r9):
+    LA r4, a
+    LA r8, buf
+    LI r5, 0
+loop:
+    L r6, 12(r4)
+    AI r6, r6, 1
+    ST 12(r4), r6
+    LR r3, r8
+    LI r4, 7
+    LI r5, 2
+    CALL memset_words, 3
+    AI r9, r9, 1
+    CI cr1, r9, 3
+    BF loop, cr1.eq
+done:
+    LA r4, a
+    L r3, 12(r4)
+    RET
+"""
+        # The base register must survive the call, so it lives in a
+        # callee-saved register (a call clobbers the volatile ones, which
+        # correctly fails condition 2 otherwise).
+        src = """
+data a: size=16 init=[0,0,0,5]
+data buf: size=32
+func f(r20):
+    LA r21, a
+    LA r22, buf
+loop:
+    L r6, 12(r21)
+    AI r6, r6, 1
+    ST 12(r21), r6
+    LR r3, r22
+    LI r4, 7
+    LI r5, 2
+    CALL memset_words, 3
+    AI r20, r20, -1
+    CI cr1, r20, 0
+    BF loop, cr1.eq
+done:
+    L r3, 12(r21)
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        ctx = PassContext(after)
+        changed = LoopMemoryMotion().run_on_module(after, ctx)
+        verify_module(after)
+        assert changed
+        assert_equivalent(before, after, "f", [[1], [3], [5]])
+        # Flush code must surround the call inside the loop.
+        fn = after.functions["f"]
+        flushes = [i for i in fn.instructions() if i.attrs.get("cached")]
+        assert flushes
+
+
+class TestIdempotence:
+    def test_second_run_is_noop(self):
+        after = parse_module(PAPER_EXAMPLE)
+        ctx = PassContext(after)
+        LoopMemoryMotion().run_on_module(after, ctx)
+        snapshot = [str(i) for i in after.functions["f"].instructions()]
+        LoopMemoryMotion().run_on_module(after, ctx)
+        assert [str(i) for i in after.functions["f"].instructions()] == snapshot

@@ -1,0 +1,177 @@
+"""Pass framework, block relayout, SESE regions."""
+
+import pytest
+
+from repro.analysis.regions import consecutive_sese_groups, is_sese_run
+from repro.ir import parse_function, parse_module, verify_function
+from repro.ir.instructions import make_ret
+from repro.transforms import Pass, PassContext, PassManager, Straighten
+from repro.transforms.layout import relayout_blocks
+
+from support import assert_equivalent
+
+
+class _Breaker(Pass):
+    name = "breaker"
+
+    def run_on_function(self, fn, ctx):
+        fn.blocks[0].terminator.target = "nowhere"
+        return True
+
+
+class _Counter(Pass):
+    name = "counter"
+
+    def run_on_function(self, fn, ctx):
+        ctx.bump("counter.calls")
+        return False
+
+
+SRC = """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT right, cr0.lt
+left:
+    AI r3, r3, 1
+    B join
+right:
+    AI r3, r3, 2
+join:
+    RET
+"""
+
+
+class TestPassManager:
+    def test_verification_catches_broken_pass(self):
+        module = parse_module(SRC)
+        with pytest.raises(RuntimeError, match="breaker"):
+            PassManager([_Breaker()]).run(module)
+
+    def test_verification_can_be_disabled(self):
+        module = parse_module(SRC)
+        PassManager([_Breaker()], verify=False).run(module)  # no raise
+
+    def test_stats_and_timings_collected(self):
+        module = parse_module(SRC)
+        manager = PassManager([_Counter(), _Counter()])
+        ctx = manager.run(module)
+        assert ctx.stats["counter.calls"] == 2
+        assert manager.timings["counter"] >= 0
+        assert manager.total_time() >= 0
+
+    def test_context_profile_helpers(self):
+        module = parse_module(SRC)
+        ctx = PassContext(module)
+        assert ctx.edge_count("f", "a", "b") is None
+        ctx.edge_profile = {("f", "a", "b"): 7}
+        assert ctx.edge_count("f", "a", "b") == 7
+        assert ctx.edge_count("f", "x", "y") == 0
+        ctx.block_profile = {("f", "entry"): 3}
+        assert ctx.block_count("f", "entry") == 3
+
+
+class TestRelayout:
+    def test_permutation_preserves_semantics(self):
+        before = parse_module(SRC)
+        after = parse_module(SRC)
+        fn = after.functions["f"]
+        order = [fn.block("entry"), fn.block("right"), fn.block("join"), fn.block("left")]
+        relayout_blocks(fn, order)
+        verify_function(fn)
+        assert_equivalent(before, after, "f", [[1], [-1], [0]])
+        # The entry's broken fallthrough to 'left' got a trampoline, so
+        # 'right' sits right behind it.
+        labels = [b.label for b in fn.blocks]
+        assert labels[0] == "entry"
+        assert labels.index("right") < labels.index("left")
+
+    def test_broken_fallthrough_gets_branch(self):
+        fn = parse_function(SRC)
+        order = [fn.block("entry"), fn.block("join"), fn.block("left"), fn.block("right")]
+        relayout_blocks(fn, order)
+        verify_function(fn)
+        # 'left' used to fall into 'join'; now it must branch.
+        left = fn.block("left")
+        assert left.terminator is not None
+
+    def test_conditional_fallthrough_gets_trampoline(self):
+        fn = parse_function(SRC)
+        # Move 'left' (entry's fallthrough) away from entry.
+        order = [fn.block("entry"), fn.block("right"), fn.block("left"), fn.block("join")]
+        relayout_blocks(fn, order)
+        verify_function(fn)
+        # entry ends with BT; its untaken path needs a trampoline to left.
+        idx = fn.block_index(fn.block("entry"))
+        tramp = fn.blocks[idx + 1]
+        assert tramp.instrs[0].opcode == "B"
+        assert tramp.instrs[0].target == "left"
+
+    def test_rejects_non_permutation(self):
+        fn = parse_function(SRC)
+        with pytest.raises(ValueError):
+            relayout_blocks(fn, fn.blocks[:-1])
+
+    def test_rejects_moved_entry(self):
+        fn = parse_function(SRC)
+        order = list(reversed(fn.blocks))
+        with pytest.raises(ValueError):
+            relayout_blocks(fn, order)
+
+
+class TestSeseRegions:
+    NESTED = """
+func f(r3):
+entry:
+    CI cr0, r3, 0
+    BT skip, cr0.lt
+d_head:
+    CI cr1, r3, 10
+    BT d_else, cr1.gt
+d_then:
+    AI r3, r3, 1
+    B d_join
+d_else:
+    AI r3, r3, 2
+d_join:
+    AI r3, r3, 3
+after:
+    AI r3, r3, 4
+skip:
+    RET
+"""
+
+    def test_diamond_is_a_sese_run(self):
+        fn = parse_function(self.NESTED)
+        start = fn.block_index(fn.block("d_head"))
+        end = fn.block_index(fn.block("d_join"))
+        assert is_sese_run(fn, start, end)
+
+    def test_diamond_without_join_is_also_sese(self):
+        # d_head..d_else has one entry and all exits land on d_join: a
+        # legitimate single-entry single-exit unit.
+        fn = parse_function(self.NESTED)
+        start = fn.block_index(fn.block("d_head"))
+        end = fn.block_index(fn.block("d_else"))
+        assert is_sese_run(fn, start, end)
+
+    def test_partial_diamond_is_not(self):
+        fn = parse_function(self.NESTED)
+        start = fn.block_index(fn.block("d_head"))
+        end = fn.block_index(fn.block("d_then"))
+        assert not is_sese_run(fn, start, end)  # d_then exits past d_else
+
+    def test_run_with_ret_rejected(self):
+        fn = parse_function(self.NESTED)
+        end = fn.block_index(fn.block("skip"))
+        assert not is_sese_run(fn, end, end)  # RET inside, and no follower
+
+    def test_groups_ending_at_index(self):
+        fn = parse_function(self.NESTED)
+        end = fn.block_index(fn.block("d_join"))
+        groups = consecutive_sese_groups(fn, end)
+        spans = [
+            (fn.blocks[s].label, fn.blocks[e].label) for s, e in groups
+        ]
+        assert ("d_join", "d_join") in spans
+        assert ("d_head", "d_join") in spans

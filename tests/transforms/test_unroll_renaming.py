@@ -1,0 +1,219 @@
+"""Loop unrolling and live-range renaming (paper section 2.3)."""
+
+from repro.ir import parse_module, verify_module
+from repro.ir.operands import gpr
+from repro.analysis import find_natural_loops
+from repro.transforms import LiveRangeRenaming, LoopUnroll
+from repro.transforms.pass_manager import PassContext
+from repro.transforms.renaming import insert_loop_exit_copies
+
+from support import assert_equivalent, run
+
+COUNTED = """
+func f(r3):
+entry:
+    LI r4, 0
+    MTCTR r3
+loop:
+    AI r4, r4, 3
+    BCT loop
+done:
+    LR r3, r4
+    RET
+"""
+
+SEARCH = """
+data arr: size=64 init=[4, 8, 15, 16, 23, 42, 0, 0]
+
+func f(r3):
+entry:
+    LA r5, arr
+loop:
+    L r6, 0(r5)
+    C cr0, r6, r3
+    BT found, cr0.eq
+    AI r5, r5, 4
+    CI cr1, r6, 0
+    BF loop, cr1.eq
+miss:
+    LI r3, -1
+    RET
+found:
+    LR r3, r6
+    RET
+"""
+
+
+def apply_unroll(src, factor=2):
+    before = parse_module(src)
+    after = parse_module(src)
+    ctx = PassContext(after)
+    changed = LoopUnroll(factor=factor).run_on_module(after, ctx)
+    verify_module(after)
+    return before, after, ctx, changed
+
+
+class TestUnroll:
+    def test_counted_loop_semantics(self):
+        before, after, _, changed = apply_unroll(COUNTED)
+        assert changed
+        assert_equivalent(before, after, "f", [[1], [2], [5], [10]])
+
+    def test_body_replicated(self):
+        _, after, _, _ = apply_unroll(COUNTED)
+        fn = after.functions["f"]
+        bcts = [i for i in fn.instructions() if i.opcode == "BCT"]
+        assert len(bcts) == 2
+
+    def test_factor_three(self):
+        before, after, _, changed = apply_unroll(COUNTED, factor=3)
+        assert changed
+        assert_equivalent(before, after, "f", [[1], [4], [9]])
+
+    def test_early_exit_loop_semantics(self):
+        before, after, _, changed = apply_unroll(SEARCH)
+        assert changed
+        assert_equivalent(before, after, "f", [[4], [15], [42], [999]])
+
+    def test_exit_targets_shared(self):
+        _, after, _, _ = apply_unroll(SEARCH)
+        fn = after.functions["f"]
+        # Both copies exit to the same original blocks.
+        labels = {bb.label for bb in fn.blocks}
+        assert "found" in labels and "miss" in labels
+        found_targets = [
+            i.target for i in fn.instructions() if i.target == "found"
+        ]
+        assert len(found_targets) == 2
+
+    def test_entry_header_gets_fresh_entry_block(self):
+        src = """
+func f(r3):
+loop:
+    AI r3, r3, -1
+    CI cr0, r3, 0
+    BF loop, cr0.eq
+done:
+    LI r3, 42
+    RET
+"""
+        before, after, _, changed = apply_unroll(src)
+        assert changed
+        assert after.functions["f"].entry.label != "loop"
+        assert_equivalent(before, after, "f", [[1], [3], [6]])
+
+    def test_skips_oversized_bodies(self):
+        body = "\n".join("    AI r4, r4, 1" for _ in range(60))
+        src = f"""
+func f(r3):
+    LI r4, 0
+    MTCTR r3
+loop:
+{body}
+    BCT loop
+done:
+    LR r3, r4
+    RET
+"""
+        _, _, _, changed = apply_unroll(src)
+        assert not changed
+
+    def test_skips_counter_instrumented_loops(self):
+        module = parse_module(COUNTED)
+        loop_block = module.functions["f"].block("loop")
+        loop_block.instrs[0].attrs["counter"] = True
+        ctx = PassContext(module)
+        assert not LoopUnroll().run_on_module(module, ctx)
+
+    def test_profile_gates_low_trip_loops(self):
+        module = parse_module(COUNTED)
+        ctx = PassContext(module)
+        ctx.block_profile = {("f", "loop"): 10, ("f", "entry"): 9}
+        ctx.edge_profile = {("f", "loop", "loop"): 1}
+        # 10 executions from 9 entries: ~1.1 trips -> not worth unrolling.
+        assert not LoopUnroll().run_on_module(module, ctx)
+
+    def test_profile_allows_hot_loops(self):
+        module = parse_module(COUNTED)
+        ctx = PassContext(module)
+        ctx.block_profile = {("f", "loop"): 100, ("f", "entry"): 2}
+        ctx.edge_profile = {("f", "loop", "loop"): 98}
+        assert LoopUnroll().run_on_module(module, ctx)
+
+
+class TestExitCopies:
+    def test_inserted_for_live_registers(self):
+        module = parse_module(SEARCH)
+        ctx = PassContext(module)
+        n = insert_loop_exit_copies(module.functions["f"], ctx)
+        assert n >= 1
+        verify_module(module)
+        copies = [
+            i
+            for i in module.functions["f"].instructions()
+            if i.is_copy and i.attrs.get("noncoalesce")
+        ]
+        assert copies
+        assert all(i.rd == i.ra for i in copies)
+
+    def test_semantics_preserved(self):
+        before = parse_module(SEARCH)
+        after = parse_module(SEARCH)
+        insert_loop_exit_copies(after.functions["f"], PassContext(after))
+        assert_equivalent(before, after, "f", [[4], [42], [999]])
+
+
+class TestRenaming:
+    def test_unrolled_copies_get_distinct_registers(self):
+        before, after, ctx, _ = apply_unroll(SEARCH)
+        LiveRangeRenaming().run_on_module(after, ctx)
+        verify_module(after)
+        assert_equivalent(before, after, "f", [[4], [15], [42], [999]])
+
+    def test_disjoint_webs_split(self):
+        src = """
+func f(r3):
+    LI r4, 1
+    A r5, r4, r3
+    LI r4, 2
+    A r3, r4, r5
+    RET
+"""
+        before = parse_module(src)
+        after = parse_module(src)
+        ctx = PassContext(after)
+        changed = LiveRangeRenaming(insert_exit_copies=False).run_on_module(after, ctx)
+        assert changed
+        assert_equivalent(before, after, "f", [[0], [10]])
+        # The two r4 webs now use different registers.
+        defs = [i.rd for i in after.functions["f"].instructions() if i.opcode == "LI"]
+        assert defs[0] != defs[1]
+
+    def test_param_web_keeps_register(self):
+        src = """
+func f(r3):
+    AI r3, r3, 1
+    RET
+"""
+        after = parse_module(src)
+        LiveRangeRenaming(insert_exit_copies=False).run_on_module(
+            after, PassContext(after)
+        )
+        instrs = list(after.functions["f"].instructions())
+        assert instrs[0].ra == gpr(3)
+        assert instrs[0].rd == gpr(3)  # feeds RET: pinned
+
+    def test_leaf_function_renames_stay_volatile(self):
+        before, after, ctx, _ = apply_unroll(SEARCH)
+        LiveRangeRenaming().run_on_module(after, ctx)
+        for instr in after.functions["f"].instructions():
+            for reg in list(instr.uses()) + list(instr.defs()):
+                if reg.kind == "gpr":
+                    assert not reg.is_callee_saved
+
+    def test_loop_carried_web_not_broken(self):
+        before = parse_module(COUNTED)
+        after = parse_module(COUNTED)
+        LiveRangeRenaming().run_on_module(after, PassContext(after))
+        verify_module(after)
+        assert_equivalent(before, after, "f", [[1], [7]])
