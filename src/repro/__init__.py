@@ -17,7 +17,10 @@ The package implements, from scratch:
 - low-overhead profiling directed feedback (:mod:`repro.pdf`),
 - SPECint92-like synthetic workloads (:mod:`repro.workloads`), and the
   baseline/VLIW compilation pipelines plus measurement harness
-  (:mod:`repro.pipeline`, :mod:`repro.evaluate`).
+  (:mod:`repro.pipeline`, :mod:`repro.evaluate`),
+- a resilience layer: per-pass sandboxing with snapshot/rollback,
+  differential semantic checking and fault injection
+  (:mod:`repro.robustness`).
 
 Quickstart::
 
@@ -44,10 +47,20 @@ from repro.evaluate import (
     specint_table,
     train_profile,
 )
+from repro.robustness import (
+    DifferentialChecker,
+    FaultPlan,
+    GuardedPassManager,
+    ResilienceReport,
+)
 
 __all__ = [
     "CompileResult",
+    "DifferentialChecker",
+    "FaultPlan",
+    "GuardedPassManager",
     "Measurement",
+    "ResilienceReport",
     "SpecRow",
     "__version__",
     "compile_module",

@@ -44,7 +44,20 @@ def cmd_compile(args) -> int:
     profile = plan = None
     if args.profile:
         profile, plan = _read_profile_file(args.profile)
-    result = compile_module(module, args.level, profile=profile, plan=plan)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.robustness import load_fault_plan
+
+        fault_plan = load_fault_plan(args.fault_plan)
+    result = compile_module(
+        module,
+        args.level,
+        profile=profile,
+        plan=plan,
+        resilience=args.resilience,
+        fault_plan=fault_plan,
+        pass_budget_seconds=args.pass_budget,
+    )
     print(format_module(result.module))
     print(
         f"# {args.level}: {result.static_instructions} instructions, "
@@ -52,6 +65,12 @@ def cmd_compile(args) -> int:
         + (" (profile-guided)" if profile else ""),
         file=sys.stderr,
     )
+    if result.resilience is not None:
+        print(f"# resilience: {result.resilience.summary()}", file=sys.stderr)
+        if args.resilience_report:
+            with open(args.resilience_report, "w") as handle:
+                handle.write(result.resilience.to_json())
+            print(f"# wrote {args.resilience_report}", file=sys.stderr)
     return 0
 
 
@@ -167,6 +186,25 @@ def main(argv=None) -> int:
     p_compile.add_argument("--level", choices=("base", "vliw"), default="vliw")
     p_compile.add_argument(
         "--profile", help="profile file from `repro profile` (enables PDF)"
+    )
+    p_compile.add_argument(
+        "--resilience",
+        choices=("strict", "rollback", "retry"),
+        help="guard every pass with snapshot/rollback + differential checks",
+    )
+    p_compile.add_argument(
+        "--fault-plan",
+        help="inject faults: JSON plan file or compact 'pass:kind[:n]' spec "
+        "(kinds: raise, corrupt-ir, skew, stall)",
+    )
+    p_compile.add_argument(
+        "--resilience-report",
+        help="write the per-pass JSON diagnostics report here",
+    )
+    p_compile.add_argument(
+        "--pass-budget",
+        type=float,
+        help="wall-clock budget per pass in seconds (with --resilience)",
     )
     p_compile.set_defaults(func=cmd_compile)
 

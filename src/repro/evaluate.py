@@ -16,6 +16,7 @@ from repro.machine.model import MachineModel, RS6000
 from repro.machine.timer import TimingReport, time_trace
 from repro.pdf.profile import ProfileData, collect_profile
 from repro.pipeline import CompileResult, compile_module
+from repro.robustness.report import ResilienceReport
 from repro.workloads import Workload, suite
 
 
@@ -30,6 +31,12 @@ class Measurement:
     value: int
     static_instructions: int
     compile_seconds: float
+    #: Which passes actually fired (changed the module) during the compile.
+    pass_changes: Dict[str, bool] = field(default_factory=dict)
+    #: Rolled-back pass count under a resilience policy (0 otherwise).
+    rollbacks: int = 0
+    #: Per-pass diagnostics when compiled with ``resilience=``; else None.
+    resilience_report: Optional[ResilienceReport] = None
 
     @property
     def ipc(self) -> float:
@@ -43,12 +50,23 @@ def measure(
     profile: Optional[ProfileData] = None,
     plan=None,
     check_against: Optional[int] = None,
+    resilience: Optional[str] = None,
     **compile_kwargs,
 ) -> Measurement:
-    """Compile and time one workload; verifies the computed value."""
+    """Compile and time one workload; verifies the computed value.
+
+    ``resilience`` runs the guarded pipeline (see :mod:`repro.robustness`);
+    the per-pass report lands on ``Measurement.resilience_report``.
+    """
     module = workload.fresh_module()
     compiled = compile_module(
-        module, level=level, model=model, profile=profile, plan=plan, **compile_kwargs
+        module,
+        level=level,
+        model=model,
+        profile=profile,
+        plan=plan,
+        resilience=resilience,
+        **compile_kwargs,
     )
     result = run_function(
         compiled.module,
@@ -71,6 +89,9 @@ def measure(
         value=result.value,
         static_instructions=compiled.static_instructions,
         compile_seconds=compiled.compile_seconds,
+        pass_changes=dict(compiled.pass_changes),
+        rollbacks=compiled.resilience.rollbacks if compiled.resilience else 0,
+        resilience_report=compiled.resilience,
     )
 
 

@@ -5,11 +5,12 @@ bugs early: dangling branch targets, misplaced terminators, falling off the
 end of a function, wrong operand register kinds.
 """
 
-from typing import List
+from typing import List, Optional
 
 from repro.ir.function import Function
 from repro.ir.instructions import ALL_OPCODES, ALU_OPS, ALU_RI_OPS, UNARY_OPS
 from repro.ir.module import Module
+from repro.ir.operands import SP, TOC, gpr
 
 
 class VerificationError(ValueError):
@@ -21,8 +22,15 @@ def _check(condition: bool, message: str, errors: List[str]) -> None:
         errors.append(message)
 
 
-def verify_function(fn: Function, known_symbols=None) -> None:
-    """Raise :class:`VerificationError` if ``fn`` is malformed."""
+def verify_function(fn: Function, known_symbols=None, check_defs: bool = False) -> None:
+    """Raise :class:`VerificationError` if ``fn`` is malformed.
+
+    ``check_defs`` additionally runs a conservative definite-assignment
+    analysis and rejects registers read before any definition reaches
+    them. It is opt-in: the machine defines every register as 0, so
+    use-before-def is *legal* at runtime and plenty of pre-linkage code
+    relies on it — but for hand-written IR it almost always flags a typo.
+    """
     errors: List[str] = []
     _check(bool(fn.blocks), f"{fn.name}: function has no blocks", errors)
 
@@ -72,8 +80,69 @@ def verify_function(fn: Function, known_symbols=None) -> None:
             errors,
         )
 
+    if check_defs and fn.blocks:
+        _check_use_before_def(fn, errors)
+
     if errors:
         raise VerificationError("\n".join(errors))
+
+
+def _check_use_before_def(fn: Function, errors: List[str]) -> None:
+    """Definite-assignment dataflow: flag uses no definition reaches.
+
+    Entry starts with the declared parameters plus the ABI registers the
+    caller always provides (SP, TOC); functions without a declared
+    parameter list fall back to the r3.. argument convention. The meet is
+    set intersection over predecessors, so a register defined on only one
+    arm of a diamond is (correctly) not definitely assigned at the join.
+    """
+    initial = set(fn.params) | {SP, TOC}
+    if not fn.params:
+        initial |= {gpr(3 + i) for i in range(8)}
+
+    n = len(fn.blocks)
+    label_index = {bb.label: i for i, bb in enumerate(fn.blocks)}
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for i, bb in enumerate(fn.blocks):
+        term = bb.terminator
+        if term is not None and term.target is not None:
+            target = label_index.get(term.target)
+            if target is not None:
+                succs[i].append(target)
+        if bb.falls_through and i + 1 < n:
+            succs[i].append(i + 1)
+
+    # ins[b] is the definitely-assigned set at block entry; None means
+    # "not yet reached" (top), which also leaves unreachable blocks alone.
+    ins: List[Optional[set]] = [None] * n
+    ins[0] = set(initial)
+    changed = True
+    while changed:
+        changed = False
+        for i, bb in enumerate(fn.blocks):
+            if ins[i] is None:
+                continue
+            out = set(ins[i])
+            for instr in bb.instrs:
+                out.update(d for d in instr.defs() if d is not None)
+            for s in succs[i]:
+                new = set(out) if ins[s] is None else ins[s] & out
+                if new != ins[s]:
+                    ins[s] = new
+                    changed = True
+
+    for i, bb in enumerate(fn.blocks):
+        if ins[i] is None:
+            continue
+        defined = set(ins[i])
+        for instr in bb.instrs:
+            for reg in instr.uses():
+                if reg is not None and reg not in defined:
+                    errors.append(
+                        f"{fn.name}/{bb.label}: {instr.opcode} uses {reg} "
+                        f"before definition"
+                    )
+            defined.update(d for d in instr.defs() if d is not None)
 
 
 def _verify_operand_kinds(fn: Function, label: str, instr, errors: List[str]) -> None:
@@ -128,11 +197,11 @@ def _verify_operand_kinds(fn: Function, label: str, instr, errors: List[str]) ->
         _check(gpr_ok(instr.rd), f"{where}: bad operands", errors)
 
 
-def verify_module(module: Module) -> None:
+def verify_module(module: Module, check_defs: bool = False) -> None:
     """Verify every function in ``module`` (symbols checked against data)."""
     symbols = set(module.data)
     for fn in module.functions.values():
-        verify_function(fn, known_symbols=symbols)
+        verify_function(fn, known_symbols=symbols, check_defs=check_defs)
         for bb in fn.blocks:
             for instr in bb.instrs:
                 if instr.is_call and not instr.attrs.get("library"):

@@ -25,6 +25,10 @@ from repro.pdf.instrument import InstrumentationPlan, apply_edge_splits
 from repro.pdf.profile import ProfileData
 from repro.pdf.reorder import ProfileGuidedReorder
 from repro.pdf.reversal import BranchReversal
+from repro.robustness.diffcheck import DifferentialChecker
+from repro.robustness.faults import FaultPlan
+from repro.robustness.guard import GuardedPassManager
+from repro.robustness.report import ResilienceReport
 from repro.scheduling import LocalScheduling, VLIWScheduling
 from repro.transforms import (
     BasicBlockExpansion,
@@ -49,6 +53,13 @@ class CompileResult:
     compile_seconds: float
     static_instructions: int
     pass_timings: Dict[str, float] = field(default_factory=dict)
+    #: Pass name -> True if any invocation of that pass reported a change
+    #: (ablation benchmarks use this to see which passes actually fired).
+    pass_changes: Dict[str, bool] = field(default_factory=dict)
+    #: True if any pass changed the module at all.
+    module_changed: bool = False
+    #: Per-pass diagnostics when compiled with ``resilience=``; else None.
+    resilience: Optional[ResilienceReport] = None
 
 
 def baseline_passes() -> List[Pass]:
@@ -107,12 +118,26 @@ def compile_module(
     unroll_factor: int = 2,
     disable: Optional[List[str]] = None,
     verify: bool = True,
+    resilience: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    diff_check: bool = True,
+    pass_budget_seconds: Optional[float] = None,
+    diff_checker: Optional[DifferentialChecker] = None,
 ) -> CompileResult:
     """Clone and compile ``module`` at the given level.
 
     ``profile``/``plan`` enable PDF: the plan's edge splits are re-applied
     first (the profile refers to the split flow graph), then the edge and
     block counts guide the PDF passes and the scheduler.
+
+    ``resilience`` selects the guarded pipeline (``"strict"``,
+    ``"rollback"`` or ``"retry"``, see :mod:`repro.robustness`); the
+    per-pass diagnostics land on ``CompileResult.resilience``. With the
+    default ``resilience=None`` the plain manager runs and the first
+    failure raises, exactly as before. ``fault_plan`` injects
+    deterministic faults (testing / demos); ``diff_check`` toggles the
+    seeded differential checker under resilience;
+    ``pass_budget_seconds`` bounds each pass's wall-clock time.
     """
     work = module.clone()
     ctx = PassContext(work, model=model)
@@ -136,7 +161,22 @@ def compile_module(
     else:
         raise ValueError(f"unknown level {level!r}")
 
-    manager = PassManager(passes, verify=verify)
+    if fault_plan is not None:
+        passes = fault_plan.apply(passes)
+
+    if resilience is None:
+        manager: PassManager = PassManager(passes, verify=verify)
+    else:
+        checker = diff_checker
+        if checker is None and diff_check:
+            checker = DifferentialChecker()
+        manager = GuardedPassManager(
+            passes,
+            policy=resilience,
+            verify=verify,
+            budget_seconds=pass_budget_seconds,
+            checker=checker,
+        )
     start = time.perf_counter()
     manager.run(work, ctx)
     elapsed = time.perf_counter() - start
@@ -146,4 +186,7 @@ def compile_module(
         compile_seconds=elapsed,
         static_instructions=work.total_instruction_count(),
         pass_timings=dict(manager.timings),
+        pass_changes=dict(manager.pass_changes),
+        module_changed=manager.module_changed,
+        resilience=getattr(manager, "report", None),
     )

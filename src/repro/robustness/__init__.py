@@ -1,0 +1,69 @@
+"""Resilient compilation: per-pass sandboxing, differential semantic
+checking, fault injection, and structured diagnostics.
+
+The pipeline chains ten-plus aggressive CFG-restructuring transforms; one
+bad pass used to abort the whole compile. This subsystem isolates each
+pass behind a snapshot (:class:`GuardedPassManager`), validates its output
+both structurally (the IR verifier) and dynamically (seeded interpreter
+runs via :class:`DifferentialChecker`), and degrades gracefully — a
+failing pass is rolled back and reported rather than fatal. The
+:mod:`~repro.robustness.faults` harness injects deterministic failures so
+tests can prove each failure class is actually contained.
+
+Entry points: ``compile_module(..., resilience="rollback")`` and the
+``--resilience`` / ``--fault-plan`` CLI flags.
+"""
+
+from repro.robustness.diffcheck import (
+    ARG_PALETTE,
+    DifferentialChecker,
+    DiffVerdict,
+    EntryOutcome,
+    observe,
+)
+from repro.robustness.faults import (
+    DANGLING_LABEL,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FaultyPass,
+    InjectedFault,
+    load_fault_plan,
+)
+from repro.robustness.guard import (
+    POLICIES,
+    GuardedPassManager,
+    PassBudgetExceeded,
+    SemanticDivergenceError,
+)
+from repro.robustness.report import (
+    FAILURE_KINDS,
+    OUTCOMES,
+    PassFailure,
+    PassRecord,
+    ResilienceReport,
+)
+
+__all__ = [
+    "ARG_PALETTE",
+    "DANGLING_LABEL",
+    "DifferentialChecker",
+    "DiffVerdict",
+    "EntryOutcome",
+    "FAILURE_KINDS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyPass",
+    "GuardedPassManager",
+    "InjectedFault",
+    "OUTCOMES",
+    "POLICIES",
+    "PassBudgetExceeded",
+    "PassFailure",
+    "PassRecord",
+    "ResilienceReport",
+    "SemanticDivergenceError",
+    "load_fault_plan",
+    "observe",
+]

@@ -1,0 +1,200 @@
+"""Differential semantic checking against the interpreter.
+
+The interpreter is the semantic ground truth (see
+``machine/interpreter.py``); this module turns the test suite's
+differential-execution idea into an always-on pipeline defense. A
+:class:`DifferentialChecker` captures the observable behaviour (return
+value, I/O, final memory) of a module on a battery of seeded inputs
+*before* the pipeline starts, and re-checks the current module against
+that baseline after every pass.
+
+Two failure contracts are deliberately distinct (``machine/interpreter.py``):
+
+- :class:`~repro.machine.interpreter.ExecutionError` — structurally wrong
+  execution. If the baseline ran fine and the transformed module raises
+  this, the pass broke the program: **mismatch**.
+- :class:`~repro.machine.interpreter.ExecutionLimit` — the step budget
+  ran out. The program may be fine but slow (unrolling legitimately
+  changes step counts), so this is **inconclusive, keep**, never a
+  rollback trigger.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.module import Module
+from repro.machine.interpreter import ExecutionError, ExecutionLimit, run_function
+
+#: Seed values argument vectors are drawn from: small positives drive
+#: loop trip counts, negatives and zero hit the boundary branches.
+ARG_PALETTE = (0, 1, 2, 3, 5, 7, 13, 40, -1, -3)
+
+
+@dataclass
+class EntryOutcome:
+    """What happened when one seeded entry was interpreted."""
+
+    #: "ok" | "limit" | "error"
+    kind: str
+    detail: str = ""
+    value: int = 0
+    output: List[int] = field(default_factory=list)
+    memory: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class DiffVerdict:
+    """The checker's judgement on one module state."""
+
+    #: "match" | "mismatch" | "inconclusive"
+    kind: str
+    detail: str = ""
+    compared: int = 0
+    inconclusive: int = 0
+
+    def __bool__(self) -> bool:
+        return self.kind != "mismatch"
+
+
+def observe(
+    module: Module, fn_name: str, args: Sequence[int], max_steps: int
+) -> EntryOutcome:
+    """Interpret one entry and classify the outcome."""
+    if fn_name not in module.functions:
+        return EntryOutcome("error", f"no function {fn_name}")
+    try:
+        result = run_function(module, fn_name, list(args), max_steps=max_steps)
+    except ExecutionLimit as exc:  # must precede ExecutionError (subclass)
+        return EntryOutcome("limit", str(exc))
+    except ExecutionError as exc:
+        return EntryOutcome("error", str(exc))
+    except Exception as exc:  # malformed IR can break the interpreter itself
+        return EntryOutcome("error", f"{type(exc).__name__}: {exc}")
+    return EntryOutcome(
+        "ok",
+        value=result.value,
+        output=list(result.output),
+        memory=result.state.snapshot_mem(),
+    )
+
+
+class DifferentialChecker:
+    """Seeded before/after execution comparison for a pipeline run.
+
+    ``entries`` is a list of ``(function_name, argsets)`` pairs; when
+    omitted, entries are derived deterministically from the module: every
+    function is run on an all-zeros vector plus ``argsets_per_function - 1``
+    seeded vectors drawn from :data:`ARG_PALETTE`.
+    """
+
+    def __init__(
+        self,
+        entries: Optional[Sequence[Tuple[str, Sequence[Sequence[int]]]]] = None,
+        seed: int = 0,
+        argsets_per_function: int = 3,
+        max_steps: int = 200_000,
+        check_memory: bool = True,
+    ):
+        self.explicit_entries = list(entries) if entries is not None else None
+        self.seed = seed
+        self.argsets_per_function = max(1, argsets_per_function)
+        self.max_steps = max_steps
+        self.check_memory = check_memory
+        self.entries: List[Tuple[str, Tuple[int, ...]]] = []
+        self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
+
+    # -- baseline -----------------------------------------------------------
+
+    def prepare(self, module: Module) -> None:
+        """Capture the reference behaviour of the pre-pipeline module."""
+        self.entries = self._resolve_entries(module)
+        self.baseline = {
+            (fn, args): observe(module, fn, args, self.max_steps)
+            for fn, args in self.entries
+        }
+
+    def _resolve_entries(self, module: Module) -> List[Tuple[str, Tuple[int, ...]]]:
+        if self.explicit_entries is not None:
+            flat = []
+            for fn, argsets in self.explicit_entries:
+                for args in argsets:
+                    flat.append((fn, tuple(args)))
+            return flat
+        entries: List[Tuple[str, Tuple[int, ...]]] = []
+        for name in sorted(module.functions):
+            nparams = len(module.functions[name].params)
+            # Seeding with a string keys the RNG off (seed, function) in a
+            # process-independent way (str seeds avoid PYTHONHASHSEED).
+            rng = random.Random(f"diffcheck:{self.seed}:{name}")
+            seen = {(name, (0,) * nparams)}
+            entries.append((name, (0,) * nparams))
+            for _ in range(self.argsets_per_function - 1):
+                args = tuple(rng.choice(ARG_PALETTE) for _ in range(nparams))
+                if (name, args) not in seen:
+                    seen.add((name, args))
+                    entries.append((name, args))
+        return entries
+
+    # -- checking -----------------------------------------------------------
+
+    def check(self, module: Module) -> DiffVerdict:
+        """Compare ``module`` against the prepared baseline."""
+        if not self.baseline:
+            return DiffVerdict("inconclusive", "no baseline prepared")
+        compared = 0
+        inconclusive = 0
+        for (fn, args), base in self.baseline.items():
+            if base.kind != "ok":
+                # The reference itself could not run this input: nothing
+                # to conclude from it either way.
+                inconclusive += 1
+                continue
+            after = observe(module, fn, args, self.max_steps)
+            if after.kind == "limit":
+                # Budget exhaustion is "inconclusive, keep" — see module
+                # docstring — not "mismatch, rollback".
+                inconclusive += 1
+                continue
+            if after.kind == "error":
+                return DiffVerdict(
+                    "mismatch",
+                    f"{fn}{tuple(args)}: ran on the baseline but now fails: "
+                    f"{after.detail}",
+                    compared=compared,
+                    inconclusive=inconclusive,
+                )
+            if after.value != base.value:
+                return DiffVerdict(
+                    "mismatch",
+                    f"{fn}{tuple(args)}: value {after.value} != {base.value}",
+                    compared=compared,
+                    inconclusive=inconclusive,
+                )
+            if after.output != base.output:
+                return DiffVerdict(
+                    "mismatch",
+                    f"{fn}{tuple(args)}: output diverged",
+                    compared=compared,
+                    inconclusive=inconclusive,
+                )
+            if self.check_memory and after.memory != base.memory:
+                return DiffVerdict(
+                    "mismatch",
+                    f"{fn}{tuple(args)}: final memory diverged",
+                    compared=compared,
+                    inconclusive=inconclusive,
+                )
+            compared += 1
+        if compared == 0:
+            return DiffVerdict(
+                "inconclusive",
+                "no seeded entry was runnable on both sides",
+                inconclusive=inconclusive,
+            )
+        return DiffVerdict(
+            "match",
+            f"{compared} entries compared",
+            compared=compared,
+            inconclusive=inconclusive,
+        )

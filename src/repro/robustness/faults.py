@@ -1,0 +1,217 @@
+"""Deterministic fault injection into the pass pipeline.
+
+Used by the robustness tests (and the ``--fault-plan`` CLI flag) to prove
+that :class:`~repro.robustness.guard.GuardedPassManager` actually contains
+each failure class. A :class:`FaultPlan` names passes and the sabotage to
+apply when they run:
+
+- ``raise``      — throw :class:`InjectedFault` from inside the pass
+  (contained as an *exception* failure),
+- ``corrupt-ir`` — after the real pass runs, point a branch at a label
+  that does not exist (structurally invalid IR; contained as a
+  *verifier* failure),
+- ``skew``       — after the real pass runs, insert ``AI r3, r3, 1``
+  before every ``RET`` (perfectly valid IR that computes the wrong
+  answer; contained as a *divergence* failure by the diff checker),
+- ``stall``      — sleep past the guard's wall-clock budget (contained
+  as a *budget* failure).
+
+Faults fire deterministically: each spec triggers on its first ``times``
+activations across the whole pipeline (``times=0`` means every time), so
+a ``retry`` policy can observe a fault that heals on the second attempt.
+
+Plan sources: JSON (``{"faults": [{"pass": "dce", "kind": "raise"}]}``)
+or the compact CLI form ``"dce:raise,vliw-scheduling:stall:0.4"``
+(``pass:kind[:times-or-seconds]``).
+"""
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+from repro.ir.operands import gpr
+from repro.transforms.pass_manager import Pass, PassContext
+
+FAULT_KINDS = ("raise", "corrupt-ir", "skew", "stall")
+
+#: Label used for injected dangling branches; never defined anywhere.
+DANGLING_LABEL = "__injected_dangling__"
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure raised by ``raise``-kind faults."""
+
+
+@dataclass
+class FaultSpec:
+    """One sabotage: which pass, what kind, how often."""
+
+    pass_name: str
+    kind: str
+    #: Number of activations that trigger (0 = every activation).
+    times: int = 1
+    #: Stall duration for ``stall`` faults.
+    seconds: float = 0.5
+    #: Activations so far, shared across every pipeline occurrence of the
+    #: pass (two DCE positions consume the same budget).
+    _activations: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def should_fire(self) -> bool:
+        self._activations += 1
+        return self.times == 0 or self._activations <= self.times
+
+    def reset(self) -> None:
+        self._activations = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pass": self.pass_name,
+            "kind": self.kind,
+            "times": self.times,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of fault specs, applied to a pass list by wrapping."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def apply(self, passes: Sequence[Pass]) -> List[Pass]:
+        """Wrap every pass a spec targets; reject typo'd pass names."""
+        known = {p.name for p in passes}
+        for spec in self.faults:
+            if spec.pass_name not in known:
+                raise ValueError(
+                    f"fault plan targets unknown pass {spec.pass_name!r}; "
+                    f"pipeline has: {', '.join(sorted(known))}"
+                )
+        wrapped: List[Pass] = []
+        for pss in passes:
+            for spec in self.faults:
+                if spec.pass_name == pss.name:
+                    pss = FaultyPass(pss, spec)
+            wrapped.append(pss)
+        return wrapped
+
+    def reset(self) -> None:
+        for spec in self.faults:
+            spec.reset()
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps({"faults": [s.to_dict() for s in self.faults]}, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        raw = json.loads(text)
+        faults = [
+            FaultSpec(
+                pass_name=entry["pass"],
+                kind=entry["kind"],
+                times=int(entry.get("times", 1)),
+                seconds=float(entry.get("seconds", 0.5)),
+            )
+            for entry in raw.get("faults", [])
+        ]
+        return cls(faults)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Compact form: ``pass:kind[:times-or-seconds][,pass:kind...]``."""
+        faults = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            if len(parts) < 2:
+                raise ValueError(f"bad fault spec {chunk!r} (want pass:kind)")
+            name, kind = parts[0], parts[1]
+            spec = FaultSpec(pass_name=name, kind=kind)
+            if len(parts) > 2:
+                if kind == "stall":
+                    spec.seconds = float(parts[2])
+                else:
+                    spec.times = int(parts[2])
+            faults.append(spec)
+        return cls(faults)
+
+
+def load_fault_plan(source: str) -> FaultPlan:
+    """CLI helper: ``source`` is a JSON file path or a compact spec string."""
+    import os
+
+    if os.path.exists(source):
+        with open(source) as handle:
+            return FaultPlan.from_json(handle.read())
+    return FaultPlan.parse(source)
+
+
+class FaultyPass(Pass):
+    """Wraps a real pass and sabotages it per its :class:`FaultSpec`."""
+
+    def __init__(self, inner: Pass, spec: FaultSpec):
+        self.inner = inner
+        self.spec = spec
+        self.name = inner.name
+
+    def run_on_module(self, module: Module, ctx: PassContext) -> bool:
+        active = self.spec.should_fire()
+        if active and self.spec.kind == "raise":
+            raise InjectedFault(f"injected exception in pass {self.name!r}")
+        changed = bool(self.inner.run_on_module(module, ctx))
+        if not active:
+            return changed
+        if self.spec.kind == "stall":
+            time.sleep(self.spec.seconds)
+            return changed
+        if self.spec.kind == "corrupt-ir":
+            return _corrupt_ir(module) or changed
+        if self.spec.kind == "skew":
+            return _skew_semantics(module) or changed
+        return changed
+
+    def __repr__(self) -> str:
+        return f"<FaultyPass {self.name} kind={self.spec.kind}>"
+
+
+def _corrupt_ir(module: Module) -> bool:
+    """Make the IR structurally invalid (the verifier must catch this)."""
+    for fn in module.functions.values():
+        for bb in fn.blocks:
+            for instr in bb.instrs:
+                if instr.target is not None:
+                    instr.target = DANGLING_LABEL
+                    return True
+    # No branches anywhere: an unknown opcode is just as invalid.
+    for fn in module.functions.values():
+        if fn.blocks:
+            fn.blocks[0].instrs.insert(0, Instr("__BOGUS__"))
+            return True
+    return False
+
+
+def _skew_semantics(module: Module) -> bool:
+    """Perturb behaviour while keeping the IR valid (diff check must catch).
+
+    ``AI r3, r3, 1`` before every return bumps each function's result by
+    one — invisible to the verifier, visible to any seeded execution.
+    """
+    changed = False
+    for fn in module.functions.values():
+        for bb in fn.blocks:
+            for i in range(len(bb.instrs) - 1, -1, -1):
+                if bb.instrs[i].is_return:
+                    bb.instrs.insert(i, Instr("AI", rd=gpr(3), ra=gpr(3), imm=1))
+                    changed = True
+    return changed

@@ -1,0 +1,222 @@
+"""Per-pass sandboxing: snapshot, budget, verify, diff-check, rollback.
+
+:class:`GuardedPassManager` wraps every pipeline position in a sandbox:
+
+1. snapshot the module (``Module.clone()``) and the stats counters,
+2. run the pass and charge its wall-clock time against an optional budget,
+3. re-verify the IR the pass touched,
+4. differentially execute seeded inputs against the pre-pipeline baseline
+   (:class:`~repro.robustness.diffcheck.DifferentialChecker`),
+5. on any failure — pass exception, verifier rejection, semantic
+   divergence, budget overrun — apply the policy:
+
+   - ``strict``  — raise, exactly like the plain ``PassManager`` would,
+   - ``rollback`` — restore the snapshot, record a structured
+     :class:`~repro.robustness.report.PassFailure`, continue with the
+     remaining passes (graceful degradation: the compile completes with
+     whatever optimisations survived),
+   - ``retry``   — restore the snapshot and re-run the pass once on the
+     fresh clone; if it fails again, fall back to rollback.
+
+The wall-clock budget is checked after the pass returns (cooperative,
+not preemptive — a Python pass cannot be safely interrupted mid-mutation;
+what matters is that an over-budget result is discarded and reported).
+"""
+
+import time
+from typing import List, Optional, Set, Tuple
+
+from repro.ir.module import Module
+from repro.robustness.diffcheck import DifferentialChecker
+from repro.robustness.report import PassFailure, PassRecord, ResilienceReport
+from repro.transforms.pass_manager import Pass, PassContext, PassManager
+
+POLICIES = ("strict", "rollback", "retry")
+
+
+class PassBudgetExceeded(RuntimeError):
+    """A pass blew through its wall-clock budget (strict policy only)."""
+
+
+class SemanticDivergenceError(RuntimeError):
+    """A pass changed observable behaviour (strict policy only)."""
+
+
+class _Attempt:
+    """Everything one sandboxed execution of a pass produced."""
+
+    def __init__(self):
+        self.failure: Optional[PassFailure] = None
+        self.exception: Optional[BaseException] = None
+        self.seconds = 0.0
+        self.changed = False
+        self.changed_fns: Optional[Set[str]] = None
+        self.verify_status = "skipped"
+        self.diff_status = "skipped"
+
+
+def _restore(module: Module, snapshot: Module) -> None:
+    """Make ``module`` the snapshot again, in place (callers hold the ref)."""
+    module.functions = snapshot.functions
+    module.data = snapshot.data
+
+
+class GuardedPassManager(PassManager):
+    """A :class:`PassManager` that contains pass failures instead of dying."""
+
+    def __init__(
+        self,
+        passes: List[Pass],
+        policy: str = "rollback",
+        verify: bool = True,
+        budget_seconds: Optional[float] = None,
+        checker: Optional[DifferentialChecker] = None,
+    ):
+        super().__init__(passes, verify=verify)
+        if policy not in POLICIES:
+            raise ValueError(f"unknown resilience policy {policy!r}")
+        self.policy = policy
+        self.budget_seconds = budget_seconds
+        self.checker = checker
+        self.report = ResilienceReport(policy=policy)
+        self.failures: List[PassFailure] = []
+
+    def run(self, module: Module, ctx: Optional[PassContext] = None) -> PassContext:
+        ctx = ctx if ctx is not None else PassContext(module)
+        if self.checker is not None:
+            self.checker.prepare(module)
+        for index, pss in enumerate(self.passes):
+            self._guarded_step(index, pss, module, ctx)
+        return ctx
+
+    # -- one sandboxed pipeline position ------------------------------------
+
+    def _guarded_step(
+        self, index: int, pss: Pass, module: Module, ctx: PassContext
+    ) -> None:
+        snapshot = module.clone()
+        stats_before = dict(ctx.stats)
+        attempt = self._attempt(index, pss, module, ctx)
+        retried = False
+        if attempt.failure is not None and self.policy == "retry":
+            # Fresh clone for the second try; keep `snapshot` pristine so a
+            # second failure can still roll all the way back.
+            _restore(module, snapshot.clone())
+            ctx.stats.clear()
+            ctx.stats.update(stats_before)
+            retried = True
+            attempt = self._attempt(index, pss, module, ctx)
+
+        if attempt.failure is None:
+            self._note_changes(
+                pss, ctx, attempt.changed, attempt.changed_fns, len(module.functions)
+            )
+            self.report.add(
+                PassRecord(
+                    index=index,
+                    name=pss.name,
+                    outcome="retried" if retried else "ok",
+                    changed=attempt.changed,
+                    seconds=attempt.seconds,
+                    verify=attempt.verify_status,
+                    diff=attempt.diff_status,
+                )
+            )
+            return
+
+        failure = attempt.failure
+        failure.retried = retried
+        self.failures.append(failure)
+        if self.policy == "strict":
+            self.report.add(
+                PassRecord(
+                    index=index,
+                    name=pss.name,
+                    outcome="raised",
+                    changed=attempt.changed,
+                    seconds=attempt.seconds,
+                    verify=attempt.verify_status,
+                    diff=attempt.diff_status,
+                    failure=failure,
+                )
+            )
+            raise self._strict_exception(failure, attempt.exception)
+        _restore(module, snapshot)
+        ctx.stats.clear()
+        ctx.stats.update(stats_before)
+        self.report.add(
+            PassRecord(
+                index=index,
+                name=pss.name,
+                outcome="rolled-back",
+                changed=False,
+                seconds=attempt.seconds,
+                verify=attempt.verify_status,
+                diff=attempt.diff_status,
+                failure=failure,
+            )
+        )
+
+    def _attempt(
+        self, index: int, pss: Pass, module: Module, ctx: PassContext
+    ) -> _Attempt:
+        attempt = _Attempt()
+        start = time.perf_counter()
+        try:
+            attempt.changed, attempt.changed_fns = self._run_pass(pss, module, ctx)
+        except Exception as exc:
+            attempt.seconds = time.perf_counter() - start
+            self._charge(pss, attempt.seconds)
+            attempt.exception = exc
+            attempt.failure = PassFailure(
+                index, pss.name, "exception", f"{type(exc).__name__}: {exc}"
+            )
+            return attempt
+        attempt.seconds = time.perf_counter() - start
+        self._charge(pss, attempt.seconds)
+
+        if self.budget_seconds is not None and attempt.seconds > self.budget_seconds:
+            attempt.failure = PassFailure(
+                index,
+                pss.name,
+                "budget",
+                f"took {attempt.seconds:.3f}s, budget {self.budget_seconds:.3f}s",
+            )
+            return attempt
+
+        if self.verify and attempt.changed:
+            try:
+                self._verify_after(pss, module, attempt.changed_fns)
+                attempt.verify_status = "ok"
+            except RuntimeError as exc:
+                attempt.verify_status = "failed"
+                attempt.exception = exc
+                attempt.failure = PassFailure(index, pss.name, "verifier", str(exc))
+                return attempt
+
+        if self.checker is not None and attempt.changed:
+            verdict = self.checker.check(module)
+            attempt.diff_status = verdict.kind
+            if verdict.kind == "mismatch":
+                attempt.failure = PassFailure(
+                    index, pss.name, "divergence", verdict.detail
+                )
+                return attempt
+
+        return attempt
+
+    def _charge(self, pss: Pass, seconds: float) -> None:
+        self.timings[pss.name] = self.timings.get(pss.name, 0.0) + seconds
+
+    def _strict_exception(
+        self, failure: PassFailure, original: Optional[BaseException]
+    ) -> BaseException:
+        if failure.kind in ("exception", "verifier") and original is not None:
+            return original
+        if failure.kind == "budget":
+            return PassBudgetExceeded(
+                f"pass {failure.pass_name!r}: {failure.detail}"
+            )
+        return SemanticDivergenceError(
+            f"pass {failure.pass_name!r}: {failure.detail}"
+        )

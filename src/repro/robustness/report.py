@@ -1,0 +1,121 @@
+"""Per-pass resilience diagnostics.
+
+Every pass attempt the :class:`~repro.robustness.guard.GuardedPassManager`
+makes is recorded as a :class:`PassRecord` in a :class:`ResilienceReport`:
+what the pass did (outcome), how long it took, whether the verifier and
+the differential checker were happy, and — on failure — a structured
+:class:`PassFailure` naming the exact failure class. The report
+serialises to JSON so CI and the CLI can surface it.
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Failure classes the guard distinguishes.
+FAILURE_KINDS = ("exception", "verifier", "divergence", "budget")
+
+#: What ultimately happened to a pass.
+OUTCOMES = ("ok", "retried", "rolled-back", "raised")
+
+
+@dataclass
+class PassFailure:
+    """One contained (or fatal) pass failure."""
+
+    index: int
+    pass_name: str
+    #: One of :data:`FAILURE_KINDS`.
+    kind: str
+    detail: str
+    retried: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "pass": self.pass_name,
+            "kind": self.kind,
+            "detail": self.detail,
+            "retried": self.retried,
+        }
+
+
+@dataclass
+class PassRecord:
+    """Diagnostics for one pipeline position."""
+
+    index: int
+    name: str
+    #: One of :data:`OUTCOMES`.
+    outcome: str
+    changed: bool
+    seconds: float
+    #: "ok" | "failed" | "skipped"
+    verify: str
+    #: "match" | "mismatch" | "inconclusive" | "skipped"
+    diff: str
+    failure: Optional[PassFailure] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "pass": self.name,
+            "outcome": self.outcome,
+            "changed": self.changed,
+            "seconds": round(self.seconds, 6),
+            "verify": self.verify,
+            "diff": self.diff,
+            "failure": self.failure.to_dict() if self.failure else None,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """The guarded pipeline's full diagnostic record."""
+
+    policy: str
+    records: List[PassRecord] = field(default_factory=list)
+
+    def add(self, record: PassRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def failures(self) -> List[PassFailure]:
+        return [r.failure for r in self.records if r.failure is not None]
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "rolled-back")
+
+    @property
+    def retries(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "retried")
+
+    def failed_passes(self) -> List[str]:
+        """Names of passes that failed, in pipeline order."""
+        return [r.name for r in self.records if r.failure is not None]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "passes": len(self.records),
+            "rollbacks": self.rollbacks,
+            "retries": self.retries,
+            "failed_passes": self.failed_passes(),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """One line for humans: ``policy=rollback passes=13 ok=12 rolled-back=1 (dce)``."""
+        ok = sum(1 for r in self.records if r.outcome in ("ok", "retried"))
+        text = (
+            f"policy={self.policy} passes={len(self.records)} "
+            f"ok={ok} rolled-back={self.rollbacks}"
+        )
+        failed = self.failed_passes()
+        if failed:
+            text += f" ({', '.join(failed)})"
+        return text

@@ -3,12 +3,16 @@
 Passes run per function; the manager optionally verifies the IR after
 every pass (on by default — the transformations here restructure control
 flow aggressively and the verifier catches breakage at the pass that
-caused it).
+caused it). Verification is selective: the manager drives
+:meth:`Pass.run_on_function` itself and re-verifies only the functions
+the pass reported changing. Passes that override
+:meth:`Pass.run_on_module` lose per-function attribution, so every
+function is re-verified after them.
 """
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.module import Module
@@ -68,25 +72,82 @@ class PassManager:
         self.passes = list(passes)
         self.verify = verify
         self.timings: Dict[str, float] = {}
+        #: Pass name -> True if any invocation of that pass reported a change.
+        self.pass_changes: Dict[str, bool] = {}
+        #: True if any pass changed the module at all.
+        self.module_changed = False
 
     def run(self, module: Module, ctx: Optional[PassContext] = None) -> PassContext:
         ctx = ctx if ctx is not None else PassContext(module)
         for pss in self.passes:
             start = time.perf_counter()
-            pss.run_on_module(module, ctx)
+            changed, changed_fns = self._run_pass(pss, module, ctx)
             elapsed = time.perf_counter() - start
             self.timings[pss.name] = self.timings.get(pss.name, 0.0) + elapsed
-            if self.verify:
-                symbols = set(module.data)
-                for fn in module.functions.values():
-                    try:
-                        verify_function(fn, known_symbols=symbols)
-                    except Exception as exc:
-                        raise RuntimeError(
-                            f"IR verification failed after pass "
-                            f"{pss.name!r} on {fn.name}: {exc}"
-                        ) from exc
+            self._note_changes(pss, ctx, changed, changed_fns, len(module.functions))
+            if self.verify and changed:
+                self._verify_after(pss, module, changed_fns)
         return ctx
+
+    # -- helpers (shared with GuardedPassManager) ---------------------------
+
+    def _run_pass(
+        self, pss: Pass, module: Module, ctx: PassContext
+    ) -> Tuple[bool, Optional[Set[str]]]:
+        """Run one pass; return ``(changed, changed_function_names)``.
+
+        ``changed_function_names`` is ``None`` when the pass supplies its
+        own :meth:`Pass.run_on_module` — per-function attribution is then
+        unavailable and any function may have changed.
+        """
+        if type(pss).run_on_module is not Pass.run_on_module:
+            return bool(pss.run_on_module(module, ctx)), None
+        changed_fns: Set[str] = set()
+        for name in list(module.functions):
+            if pss.run_on_function(module.functions[name], ctx):
+                changed_fns.add(name)
+        return bool(changed_fns), changed_fns
+
+    def _note_changes(
+        self,
+        pss: Pass,
+        ctx: PassContext,
+        changed: bool,
+        changed_fns: Optional[Set[str]],
+        n_functions: int,
+    ) -> None:
+        self.pass_changes[pss.name] = self.pass_changes.get(pss.name, False) or changed
+        self.module_changed = self.module_changed or changed
+        if changed_fns is not None:
+            ctx.bump(f"pass.{pss.name}.changed_functions", len(changed_fns))
+            ctx.bump(
+                f"pass.{pss.name}.unchanged_functions",
+                n_functions - len(changed_fns),
+            )
+        elif changed:
+            ctx.bump(f"pass.{pss.name}.changed_modules")
+
+    def _verify_after(
+        self, pss: Pass, module: Module, changed_fns: Optional[Set[str]]
+    ) -> None:
+        """Re-verify the functions ``pss`` changed (all when unattributed)."""
+        symbols = set(module.data)
+        if changed_fns is None:
+            targets = list(module.functions.values())
+        else:
+            targets = [
+                module.functions[name]
+                for name in sorted(changed_fns)
+                if name in module.functions
+            ]
+        for fn in targets:
+            try:
+                verify_function(fn, known_symbols=symbols)
+            except Exception as exc:
+                raise RuntimeError(
+                    f"IR verification failed after pass "
+                    f"{pss.name!r} on {fn.name}: {exc}"
+                ) from exc
 
     def total_time(self) -> float:
         return sum(self.timings.values())

@@ -67,6 +67,73 @@ class TestTime:
         assert "cycles" in capsys.readouterr().out
 
 
+class TestResilience:
+    def test_rollback_contains_fault_and_reports(self, ir_file, capsys, tmp_path):
+        report_path = tmp_path / "resilience.json"
+        assert (
+            main(
+                [
+                    "compile",
+                    ir_file,
+                    "--resilience",
+                    "rollback",
+                    "--fault-plan",
+                    "dce:raise",
+                    "--resilience-report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "func main" in captured.out  # compile still completed
+        assert "rolled-back=1 (dce)" in captured.err
+        import json
+
+        data = json.loads(report_path.read_text())
+        assert data["policy"] == "rollback"
+        assert data["failed_passes"] == ["dce"]
+
+    def test_clean_compile_under_resilience(self, ir_file, capsys):
+        assert main(["compile", ir_file, "--resilience", "rollback"]) == 0
+        assert "rolled-back=0" in capsys.readouterr().err
+
+    def test_strict_fault_raises(self, ir_file):
+        from repro.robustness import InjectedFault
+
+        with pytest.raises(InjectedFault):
+            main(
+                [
+                    "compile",
+                    ir_file,
+                    "--resilience",
+                    "strict",
+                    "--fault-plan",
+                    "dce:raise",
+                ]
+            )
+
+    def test_fault_plan_from_json_file(self, ir_file, capsys, tmp_path):
+        from repro.robustness import FaultPlan, FaultSpec
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(FaultPlan([FaultSpec("dce", "skew")]).to_json())
+        assert (
+            main(
+                [
+                    "compile",
+                    ir_file,
+                    "--resilience",
+                    "rollback",
+                    "--fault-plan",
+                    str(plan_path),
+                ]
+            )
+            == 0
+        )
+        assert "rolled-back=1 (dce)" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

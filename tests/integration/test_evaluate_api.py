@@ -57,6 +57,23 @@ class TestMeasure:
         wl = workload_by_name("espresso")
         assert reference_value(wl) == reference_value(wl)
 
+    def test_pass_changes_surface_for_ablation(self):
+        wl = workload_by_name("li")
+        m = measure(wl, "vliw", RS6000)
+        assert m.pass_changes  # which passes fired, for ablation tables
+        assert any(m.pass_changes.values())
+        assert m.rollbacks == 0
+        assert m.resilience_report is None  # no resilience requested
+
+    def test_resilient_measure_attaches_report(self):
+        wl = workload_by_name("li")
+        ref = reference_value(wl)
+        m = measure(wl, "vliw", RS6000, check_against=ref, resilience="rollback")
+        assert m.resilience_report is not None
+        assert m.resilience_report.policy == "rollback"
+        assert m.rollbacks == 0  # nothing injected, nothing rolled back
+        assert len(m.resilience_report.records) > 0
+
 
 class TestTopLevelExports:
     def test_version(self):

@@ -103,3 +103,113 @@ def test_duplicate_labels_rejected():
     fn.blocks[1].label = fn.blocks[0].label
     with pytest.raises(VerificationError, match="duplicate"):
         verify_function(fn)
+
+
+class TestMalformedIrForTheGuard:
+    """The resilience guard (repro.robustness) rolls a pass back when the
+    verifier rejects its output — pin down exactly what gets rejected."""
+
+    def test_dangling_target_in_non_terminator_position(self):
+        fn = parse_function(
+            "func f(r3):\nhead:\n    B gone\nnext:\n    RET"
+        )
+        with pytest.raises(VerificationError, match="dangling target gone"):
+            verify_function(fn)
+
+    def test_unknown_data_symbol_named_in_error(self):
+        module = parse_module("func f(r3):\n    LA r4, ghost\n    RET")
+        with pytest.raises(VerificationError, match="unknown data symbol ghost"):
+            verify_module(module)
+
+    def test_symbol_check_skipped_without_known_symbols(self):
+        # verify_function without known_symbols cannot judge LA symbols;
+        # only verify_module (which supplies them) rejects.
+        module = parse_module("func f(r3):\n    LA r4, ghost\n    RET")
+        verify_function(module.functions["f"])  # no raise
+
+    def test_all_errors_reported_together(self):
+        fn = good_function()
+        fn.blocks[0].terminator.target = "nowhere"
+        fn.blocks[1].label = fn.blocks[0].label
+        try:
+            verify_function(fn)
+        except VerificationError as exc:
+            message = str(exc)
+        assert "dangling" in message and "duplicate" in message
+
+
+class TestUseBeforeDef:
+    """The opt-in definite-assignment check (check_defs=True)."""
+
+    def test_default_mode_permits_undefined_reads(self):
+        # Registers read as 0 at runtime, so this is legal by default —
+        # pre-linkage code and the random program generator rely on it.
+        fn = parse_function("func f(r3):\n    A r3, r3, r9\n    RET")
+        verify_function(fn)
+
+    def test_strict_mode_flags_undefined_read(self):
+        fn = parse_function("func f(r3):\n    A r3, r3, r9\n    RET")
+        with pytest.raises(VerificationError, match="uses r9 before definition"):
+            verify_function(fn, check_defs=True)
+
+    def test_params_and_defined_registers_accepted(self):
+        fn = parse_function(
+            "func f(r3, r4):\n    LI r5, 2\n    A r3, r3, r4\n    MUL r3, r3, r5\n    RET"
+        )
+        verify_function(fn, check_defs=True)
+
+    def test_one_armed_definition_flagged_at_join(self):
+        fn = parse_function(
+            """
+func f(r3):
+    CI cr0, r3, 0
+    BT join, cr0.lt
+    LI r9, 7
+join:
+    A r3, r3, r9
+    RET
+"""
+        )
+        with pytest.raises(VerificationError, match="uses r9"):
+            verify_function(fn, check_defs=True)
+
+    def test_both_arms_defined_accepted_at_join(self):
+        fn = parse_function(
+            """
+func f(r3):
+    CI cr0, r3, 0
+    BT other, cr0.lt
+    LI r9, 7
+    B join
+other:
+    LI r9, 8
+join:
+    A r3, r3, r9
+    RET
+"""
+        )
+        verify_function(fn, check_defs=True)
+
+    def test_undefined_condition_register_flagged(self):
+        fn = parse_function("func f(r3):\n    BT out, cr5.eq\nout:\n    RET")
+        with pytest.raises(VerificationError, match="uses cr5"):
+            verify_function(fn, check_defs=True)
+
+    def test_undefined_ctr_flagged_and_mtctr_accepted(self):
+        bad = parse_function("func f(r3):\nloop:\n    BCT loop\n    RET")
+        with pytest.raises(VerificationError, match="BCT uses"):
+            verify_function(bad, check_defs=True)
+        good = parse_function(
+            "func f(r3):\n    MTCTR r3\nloop:\n    BCT loop\n    RET"
+        )
+        verify_function(good, check_defs=True)
+
+    def test_no_declared_params_fall_back_to_arg_convention(self):
+        fn = parse_function("func f():\n    A r3, r3, r4\n    RET")
+        verify_function(fn, check_defs=True)
+
+    def test_verify_module_threads_check_defs(self):
+        module = parse_module("func f(r3):\n    A r3, r3, r9\n    RET")
+        verify_module(module)  # default: fine
+        with pytest.raises(VerificationError, match="before definition"):
+            verify_module(module, check_defs=True)

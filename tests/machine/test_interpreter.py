@@ -128,6 +128,49 @@ c:
             run_src(src, max_steps=1000)
 
 
+class TestFailureContracts:
+    """ExecutionLimit and ExecutionError are distinct contracts: the limit
+    means "budget exhausted, verdict unknown", the base error means "the
+    execution itself went structurally wrong". The differential checker
+    in repro.robustness keys off this split (limit -> inconclusive, keep;
+    error -> mismatch, rollback), so pin it down."""
+
+    def test_limit_specialises_error(self):
+        assert issubclass(ExecutionLimit, ExecutionError)
+        assert not issubclass(ExecutionError, ExecutionLimit)
+
+    def test_budget_exhaustion_raises_the_limit_subtype(self):
+        src = "func f(r3):\nloop:\n    B loop"
+        with pytest.raises(ExecutionLimit, match="step budget"):
+            run_src(src, max_steps=50)
+
+    def test_structural_errors_are_not_limits(self):
+        cases = {
+            "fell off": "func f(r3):\nlast:\n    LI r3, 1\n    RET\n",
+            "dangling": "func f(r3):\n    B gone\nx:\n    RET",
+            "unknown data symbol": "func f(r3):\n    LA r4, ghost\n    RET",
+        }
+        # "fell off": make the only RET unreachable and fall past the end.
+        module = parse_module(cases["fell off"])
+        module.functions["f"].blocks[-1].instrs.pop()  # drop the RET
+        with pytest.raises(ExecutionError) as exc_info:
+            run_function(module, "f", [0], max_steps=1000)
+        assert not isinstance(exc_info.value, ExecutionLimit)
+        for pattern in ("dangling", "unknown data symbol"):
+            with pytest.raises(ExecutionError) as exc_info:
+                run_src(cases[pattern], max_steps=1000)
+            assert not isinstance(exc_info.value, ExecutionLimit)
+
+    def test_limit_boundary_is_exact(self):
+        # A straight-line body of exactly max_steps instructions succeeds;
+        # one more instruction trips the limit.
+        body = "\n".join("    AI r3, r3, 1" for _ in range(9))
+        src = f"func f(r3):\n{body}\n    RET"
+        assert run_src(src, args=[0], max_steps=10).value == 9
+        with pytest.raises(ExecutionLimit):
+            run_src(src, args=[0], max_steps=9)
+
+
 class TestCalls:
     def test_internal_call_passes_args_and_returns(self):
         src = """

@@ -1,0 +1,137 @@
+"""The differential semantic checker and its failure-mode contracts."""
+
+from repro.ir import parse_module
+from repro.machine.interpreter import (
+    ExecutionError,
+    ExecutionLimit,
+    run_function,
+)
+from repro.robustness import DifferentialChecker, observe
+
+SRC = """
+data a: size=16 init=[1, 2, 3, 4]
+
+func main(r3):
+    LA r4, a
+    LI r3, 0
+    LI r5, 4
+    MTCTR r5
+    AI r4, r4, -4
+loop:
+    LU r6, 4(r4)
+    A r3, r3, r6
+    BCT loop
+done:
+    RET
+"""
+
+# Identical except the loop runs two million iterations: far past the
+# checker's step budget, but semantically still a terminating program.
+SLOW_SRC = SRC.replace("LI r5, 4", "LI r5, 2000000")
+
+
+class TestVerdicts:
+    def test_identical_module_matches(self):
+        module = parse_module(SRC)
+        checker = DifferentialChecker()
+        checker.prepare(module)
+        verdict = checker.check(module.clone())
+        assert verdict.kind == "match"
+        assert verdict.compared > 0
+
+    def test_value_divergence_is_mismatch(self):
+        module = parse_module(SRC)
+        checker = DifferentialChecker()
+        checker.prepare(module)
+        skewed = parse_module(SRC.replace("LI r3, 0", "LI r3, 1"))
+        verdict = checker.check(skewed)
+        assert verdict.kind == "mismatch"
+        assert "value" in verdict.detail
+
+    def test_memory_divergence_is_mismatch(self):
+        src = "data a: size=8\nfunc f(r3):\n    LA r4, a\n    ST 0(r4), r3\n    RET"
+        module = parse_module(src)
+        checker = DifferentialChecker(entries=[("f", [[5]])])
+        checker.prepare(module)
+        stomped = parse_module(src.replace("ST 0(r4)", "ST 4(r4)"))
+        verdict = checker.check(stomped)
+        assert verdict.kind == "mismatch"
+        assert "memory" in verdict.detail
+
+    def test_structural_break_is_mismatch(self):
+        module = parse_module(SRC)
+        checker = DifferentialChecker()
+        checker.prepare(module)
+        broken = parse_module(SRC)
+        broken.functions["main"].blocks[1].terminator.target = "nowhere"
+        verdict = checker.check(broken)
+        assert verdict.kind == "mismatch"
+        assert "fails" in verdict.detail
+
+
+class TestExecutionLimitContract:
+    """Budget exhaustion is "inconclusive, keep" — never "mismatch"."""
+
+    def test_after_side_limit_is_inconclusive_not_mismatch(self):
+        module = parse_module(SRC)
+        checker = DifferentialChecker(
+            entries=[("main", [[0]])], max_steps=1_000
+        )
+        checker.prepare(module)  # 4 iterations: runs fine in 1000 steps
+        verdict = checker.check(parse_module(SLOW_SRC))
+        assert verdict.kind == "inconclusive"
+        assert verdict.inconclusive == 1
+        assert bool(verdict)  # inconclusive must read as "keep"
+
+    def test_baseline_limit_skips_entry(self):
+        checker = DifferentialChecker(entries=[("main", [[0]])], max_steps=1_000)
+        checker.prepare(parse_module(SLOW_SRC))
+        verdict = checker.check(parse_module(SLOW_SRC))
+        assert verdict.kind == "inconclusive"
+        assert "runnable" in verdict.detail
+
+    def test_observe_classifies_limit_vs_error(self):
+        limit = observe(parse_module(SLOW_SRC), "main", [0], max_steps=1_000)
+        assert limit.kind == "limit"
+        missing = observe(parse_module(SRC), "no_such_fn", [0], max_steps=1_000)
+        assert missing.kind == "error"
+
+    def test_interpreter_contracts_are_distinct(self):
+        # ExecutionLimit specialises ExecutionError; the checker relies on
+        # catching it first, so pin the hierarchy here too.
+        assert issubclass(ExecutionLimit, ExecutionError)
+        assert not issubclass(ExecutionError, ExecutionLimit)
+
+
+class TestEntryDerivation:
+    def test_derived_entries_are_deterministic(self):
+        module = parse_module(SRC)
+        a = DifferentialChecker(seed=7)
+        b = DifferentialChecker(seed=7)
+        a.prepare(module)
+        b.prepare(module.clone())
+        assert a.entries == b.entries
+
+    def test_seed_changes_entries(self):
+        module = parse_module(SRC)
+        a = DifferentialChecker(seed=1, argsets_per_function=5)
+        b = DifferentialChecker(seed=2, argsets_per_function=5)
+        a.prepare(module)
+        b.prepare(module.clone())
+        assert a.entries != b.entries
+
+    def test_zero_vector_always_included(self):
+        module = parse_module(SRC)
+        checker = DifferentialChecker()
+        checker.prepare(module)
+        assert ("main", (0,)) in checker.entries
+
+    def test_explicit_entries_respected(self):
+        module = parse_module(SRC)
+        checker = DifferentialChecker(entries=[("main", [[1], [2]])])
+        checker.prepare(module)
+        assert checker.entries == [("main", (1,)), ("main", (2,))]
+
+    def test_unprepared_checker_is_inconclusive(self):
+        verdict = DifferentialChecker().check(parse_module(SRC))
+        assert verdict.kind == "inconclusive"

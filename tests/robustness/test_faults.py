@@ -1,0 +1,127 @@
+"""The fault-injection harness itself: plans, wrapping, determinism."""
+
+import time
+
+import pytest
+
+from repro.ir import VerificationError, parse_module, verify_module
+from repro.machine.interpreter import run_function
+from repro.robustness import (
+    DANGLING_LABEL,
+    FaultPlan,
+    FaultSpec,
+    FaultyPass,
+    InjectedFault,
+    load_fault_plan,
+)
+from repro.transforms import DeadCodeElimination, Straighten
+from repro.transforms.pass_manager import PassContext
+
+SRC = """
+func f(r3):
+    CI cr0, r3, 0
+    BT out, cr0.lt
+    AI r3, r3, 1
+out:
+    RET
+"""
+
+
+def fresh():
+    return parse_module(SRC)
+
+
+class TestPlanParsing:
+    def test_compact_form(self):
+        plan = FaultPlan.parse("dce:raise,straighten:stall:0.25,dce:skew:3")
+        assert [s.pass_name for s in plan.faults] == ["dce", "straighten", "dce"]
+        assert plan.faults[0].kind == "raise" and plan.faults[0].times == 1
+        assert plan.faults[1].kind == "stall" and plan.faults[1].seconds == 0.25
+        assert plan.faults[2].kind == "skew" and plan.faults[2].times == 3
+
+    def test_bad_compact_form_rejected(self):
+        with pytest.raises(ValueError, match="pass:kind"):
+            FaultPlan.parse("just-a-pass-name")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultSpec(pass_name="dce", kind="lightning")
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultSpec("dce", "raise", times=2), FaultSpec("straighten", "stall", seconds=0.1)]
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert [s.to_dict() for s in again.faults] == [s.to_dict() for s in plan.faults]
+
+    def test_load_fault_plan_from_file_and_inline(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan([FaultSpec("dce", "skew")]).to_json())
+        from_file = load_fault_plan(str(path))
+        assert from_file.faults[0].kind == "skew"
+        inline = load_fault_plan("dce:raise")
+        assert inline.faults[0].kind == "raise"
+
+
+class TestApply:
+    def test_wraps_every_matching_occurrence(self):
+        plan = FaultPlan([FaultSpec("dce", "raise")])
+        passes = plan.apply([DeadCodeElimination(), Straighten(), DeadCodeElimination()])
+        assert isinstance(passes[0], FaultyPass)
+        assert not isinstance(passes[1], FaultyPass)
+        assert isinstance(passes[2], FaultyPass)
+        assert passes[0].name == "dce"  # name preserved for reports/timings
+
+    def test_unknown_pass_name_rejected(self):
+        plan = FaultPlan([FaultSpec("not-a-pass", "raise")])
+        with pytest.raises(ValueError, match="not-a-pass"):
+            plan.apply([DeadCodeElimination()])
+
+    def test_times_budget_shared_across_occurrences(self):
+        spec = FaultSpec("dce", "raise", times=1)
+        passes = FaultPlan([spec]).apply([DeadCodeElimination(), DeadCodeElimination()])
+        module = fresh()
+        ctx = PassContext(module)
+        with pytest.raises(InjectedFault):
+            passes[0].run_on_module(module, ctx)
+        # The single-shot budget is consumed: the second occurrence is clean.
+        passes[1].run_on_module(module, ctx)
+
+    def test_reset_rearms_the_plan(self):
+        spec = FaultSpec("dce", "raise", times=1)
+        plan = FaultPlan([spec])
+        wrapped = plan.apply([DeadCodeElimination()])[0]
+        module = fresh()
+        ctx = PassContext(module)
+        with pytest.raises(InjectedFault):
+            wrapped.run_on_module(module, ctx)
+        wrapped.run_on_module(module, ctx)  # disarmed
+        plan.reset()
+        with pytest.raises(InjectedFault):
+            wrapped.run_on_module(module, ctx)
+
+
+class TestFaultKinds:
+    def wrap(self, kind, **kw):
+        spec = FaultSpec("dce", kind, **kw)
+        return FaultPlan([spec]).apply([DeadCodeElimination()])[0]
+
+    def test_corrupt_ir_is_verifier_invalid(self):
+        module = fresh()
+        self.wrap("corrupt-ir").run_on_module(module, PassContext(module))
+        with pytest.raises(VerificationError, match=DANGLING_LABEL):
+            verify_module(module)
+
+    def test_skew_keeps_ir_valid_but_changes_result(self):
+        module = fresh()
+        before = run_function(module, "f", [4]).value
+        self.wrap("skew").run_on_module(module, PassContext(module))
+        verify_module(module)  # still structurally fine
+        after = run_function(module, "f", [4]).value
+        assert after != before
+
+    def test_stall_sleeps_past_duration(self):
+        module = fresh()
+        start = time.perf_counter()
+        self.wrap("stall", seconds=0.05).run_on_module(module, PassContext(module))
+        assert time.perf_counter() - start >= 0.05

@@ -1,0 +1,235 @@
+"""GuardedPassManager: containment of every injected failure class.
+
+The acceptance contract: for each failure class (pass exception,
+verifier-invalid IR, semantic divergence, budget overrun), the
+``rollback`` policy completes the compile, the final module verifies,
+seeded interpreter runs match the pre-pipeline module, and the JSON
+report names the exact failing pass — while ``strict`` raises as today.
+"""
+
+import json
+
+import pytest
+
+from repro.ir import parse_module, verify_module
+from repro.machine.interpreter import run_function
+from repro.pipeline import compile_module
+from repro.robustness import (
+    DifferentialChecker,
+    FaultPlan,
+    FaultSpec,
+    GuardedPassManager,
+    InjectedFault,
+    PassBudgetExceeded,
+    SemanticDivergenceError,
+)
+from repro.transforms import DeadCodeElimination, Pass, Straighten
+
+SRC = """
+data a: size=16 init=[1, 2, 3, 4]
+
+func main(r3):
+    LA r4, a
+    LI r3, 0
+    LI r5, 4
+    MTCTR r5
+    AI r4, r4, -4
+loop:
+    LU r6, 4(r4)
+    A r3, r3, r6
+    BCT loop
+done:
+    CALL print_int, 1
+    RET
+"""
+
+ARGSETS = [[0], [5], [-3]]
+
+#: fault kind -> the failure class the guard must classify it as.
+EXPECTED_FAILURE = {
+    "raise": "exception",
+    "corrupt-ir": "verifier",
+    "skew": "divergence",
+    "stall": "budget",
+}
+
+
+def reference(module):
+    return [run_function(module, "main", args, max_steps=100_000) for args in ARGSETS]
+
+
+def assert_matches_reference(module, refs):
+    for args, ref in zip(ARGSETS, refs):
+        after = run_function(module, "main", args, max_steps=100_000)
+        assert after.value == ref.value, f"main{tuple(args)} diverged"
+        assert after.output == ref.output, f"main{tuple(args)} output diverged"
+
+
+class TestRollbackContainment:
+    @pytest.mark.parametrize("kind", sorted(EXPECTED_FAILURE))
+    def test_each_failure_class_is_contained(self, kind):
+        pristine = parse_module(SRC)
+        refs = reference(pristine)
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind=kind, seconds=1.0)])
+        result = compile_module(
+            parse_module(SRC),
+            "vliw",
+            resilience="rollback",
+            fault_plan=plan,
+            pass_budget_seconds=0.3 if kind == "stall" else None,
+        )
+        # The compile completed and the surviving module is well-formed.
+        verify_module(result.module)
+        # Semantics match the pre-pipeline module on seeded inputs.
+        assert_matches_reference(result.module, refs)
+        # The report names the exact failing pass and failure class.
+        report = result.resilience
+        assert report is not None
+        assert report.rollbacks == 1
+        assert report.failed_passes() == ["dce"]
+        assert [f.kind for f in report.failures] == [EXPECTED_FAILURE[kind]]
+
+    def test_rolled_back_pass_not_counted_as_changed(self):
+        plan = FaultPlan([FaultSpec(pass_name="straighten", kind="raise", times=0)])
+        result = compile_module(
+            parse_module(SRC), "vliw", resilience="rollback", fault_plan=plan
+        )
+        # Every straighten position failed, so it can never report a change.
+        assert result.pass_changes.get("straighten", False) is False
+        assert result.resilience.rollbacks == 2  # straighten appears twice
+
+    def test_report_json_round_trips(self):
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="raise")])
+        result = compile_module(
+            parse_module(SRC), "vliw", resilience="rollback", fault_plan=plan
+        )
+        data = json.loads(result.resilience.to_json())
+        assert data["policy"] == "rollback"
+        assert data["rollbacks"] == 1
+        assert data["failed_passes"] == ["dce"]
+        rolled = [r for r in data["records"] if r["outcome"] == "rolled-back"]
+        assert len(rolled) == 1
+        assert rolled[0]["pass"] == "dce"
+        assert rolled[0]["failure"]["kind"] == "exception"
+        oks = [r for r in data["records"] if r["outcome"] == "ok"]
+        assert all(r["failure"] is None for r in oks)
+        assert "rolled-back=1 (dce)" in result.resilience.summary()
+
+
+class TestStrictPolicy:
+    def test_injected_exception_propagates(self):
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="raise")])
+        with pytest.raises(InjectedFault):
+            compile_module(
+                parse_module(SRC), "vliw", resilience="strict", fault_plan=plan
+            )
+
+    def test_verifier_failure_raises_like_plain_manager(self):
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="corrupt-ir")])
+        with pytest.raises(RuntimeError, match="IR verification failed after pass"):
+            compile_module(
+                parse_module(SRC), "vliw", resilience="strict", fault_plan=plan
+            )
+
+    def test_divergence_raises_typed_error(self):
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="skew")])
+        with pytest.raises(SemanticDivergenceError, match="dce"):
+            compile_module(
+                parse_module(SRC), "vliw", resilience="strict", fault_plan=plan
+            )
+
+    def test_budget_overrun_raises_typed_error(self):
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="stall", seconds=0.6)])
+        with pytest.raises(PassBudgetExceeded, match="dce"):
+            compile_module(
+                parse_module(SRC),
+                "vliw",
+                resilience="strict",
+                fault_plan=plan,
+                pass_budget_seconds=0.2,
+            )
+
+    def test_default_path_unaffected_by_guard(self):
+        # No resilience: the plain manager runs and injected faults are fatal.
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="raise")])
+        with pytest.raises(InjectedFault):
+            compile_module(parse_module(SRC), "vliw", fault_plan=plan)
+
+
+class TestRetryPolicy:
+    def test_transient_fault_heals_on_retry(self):
+        pristine = parse_module(SRC)
+        refs = reference(pristine)
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="raise", times=1)])
+        result = compile_module(
+            parse_module(SRC), "vliw", resilience="retry", fault_plan=plan
+        )
+        report = result.resilience
+        assert report.retries == 1
+        assert report.rollbacks == 0
+        retried = [r for r in report.records if r.outcome == "retried"]
+        assert retried and retried[0].name == "dce"
+        verify_module(result.module)
+        assert_matches_reference(result.module, refs)
+
+    def test_persistent_fault_still_rolls_back(self):
+        pristine = parse_module(SRC)
+        refs = reference(pristine)
+        plan = FaultPlan([FaultSpec(pass_name="dce", kind="raise", times=0)])
+        result = compile_module(
+            parse_module(SRC), "vliw", resilience="retry", fault_plan=plan
+        )
+        report = result.resilience
+        assert report.rollbacks >= 1
+        assert all(f.retried for f in report.failures)
+        verify_module(result.module)
+        assert_matches_reference(result.module, refs)
+
+
+class _Bomb(Pass):
+    name = "bomb"
+
+    def run_on_function(self, fn, ctx):
+        raise ValueError("boom")
+
+
+class TestGuardedManagerDirect:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            GuardedPassManager([], policy="shrug")
+
+    def test_rollback_restores_module_identity(self):
+        module = parse_module(SRC)
+        before = run_function(module, "main", [0], max_steps=100_000)
+        manager = GuardedPassManager([_Bomb()], policy="rollback")
+        manager.run(module)
+        after = run_function(module, "main", [0], max_steps=100_000)
+        assert after.value == before.value
+        assert manager.report.rollbacks == 1
+
+    def test_stats_rolled_back_with_module(self):
+        class _Bumper(Pass):
+            name = "bumper"
+
+            def run_on_function(self, fn, ctx):
+                ctx.bump("bumper.calls")
+                fn.blocks[0].terminator.target = "nowhere"
+                return True
+
+        module = parse_module(SRC)
+        manager = GuardedPassManager([_Bumper()], policy="rollback")
+        ctx = manager.run(module)
+        # The failed pass's counter mutations were rolled back too.
+        assert "bumper.calls" not in ctx.stats
+
+    def test_checker_verdicts_recorded(self):
+        module = parse_module(SRC)
+        manager = GuardedPassManager(
+            [DeadCodeElimination(), Straighten()],
+            policy="rollback",
+            checker=DifferentialChecker(),
+        )
+        manager.run(module)
+        assert [r.outcome for r in manager.report.records] == ["ok", "ok"]
+        for record in manager.report.records:
+            assert record.diff in ("match", "skipped")

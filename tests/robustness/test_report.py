@@ -1,0 +1,64 @@
+"""ResilienceReport structure and serialisation."""
+
+import json
+
+from repro.robustness import PassFailure, PassRecord, ResilienceReport
+
+
+def sample_report():
+    report = ResilienceReport(policy="rollback")
+    report.add(
+        PassRecord(0, "straighten", "ok", changed=True, seconds=0.001,
+                   verify="ok", diff="match")
+    )
+    failure = PassFailure(1, "dce", "exception", "ValueError: boom")
+    report.add(
+        PassRecord(1, "dce", "rolled-back", changed=False, seconds=0.002,
+                   verify="skipped", diff="skipped", failure=failure)
+    )
+    report.add(
+        PassRecord(2, "bb-expansion", "retried", changed=True, seconds=0.003,
+                   verify="ok", diff="inconclusive")
+    )
+    return report
+
+
+class TestReport:
+    def test_counters(self):
+        report = sample_report()
+        assert report.rollbacks == 1
+        assert report.retries == 1
+        assert report.failed_passes() == ["dce"]
+        assert len(report.failures) == 1
+        assert report.failures[0].kind == "exception"
+
+    def test_summary_names_failing_pass(self):
+        text = sample_report().summary()
+        assert "policy=rollback" in text
+        assert "rolled-back=1" in text
+        assert "dce" in text
+
+    def test_json_shape(self):
+        data = json.loads(sample_report().to_json())
+        assert data["policy"] == "rollback"
+        assert data["passes"] == 3
+        assert data["rollbacks"] == 1
+        assert data["retries"] == 1
+        assert data["failed_passes"] == ["dce"]
+        assert [r["pass"] for r in data["records"]] == [
+            "straighten", "dce", "bb-expansion"
+        ]
+        failing = data["records"][1]
+        assert failing["failure"] == {
+            "index": 1,
+            "pass": "dce",
+            "kind": "exception",
+            "detail": "ValueError: boom",
+            "retried": False,
+        }
+
+    def test_empty_report(self):
+        report = ResilienceReport(policy="strict")
+        assert report.rollbacks == 0
+        assert report.failed_passes() == []
+        assert json.loads(report.to_json())["records"] == []

@@ -71,6 +71,123 @@ class TestPassManager:
         assert ctx.block_count("f", "entry") == 3
 
 
+TWO_FN_SRC = SRC + """
+func g(r3):
+    AI r3, r3, 1
+    RET
+"""
+
+
+class _TouchOnly(Pass):
+    """Changes (and admits changing) only the named function."""
+
+    name = "touch-only"
+
+    def __init__(self, target: str, lie: bool = False):
+        self.target = target
+        self.lie = lie
+
+    def run_on_function(self, fn, ctx):
+        if fn.name != self.target:
+            return False
+        fn.blocks[0].instrs[0].imm = 99  # CI/AI immediate, stays valid
+        return not self.lie
+
+
+class _BreakOther(Pass):
+    """Breaks `victim` but reports changing only `admitted`."""
+
+    name = "break-other"
+
+    def __init__(self, admitted: str, victim: str):
+        self.admitted = admitted
+        self.victim = victim
+
+    def run_on_function(self, fn, ctx):
+        if fn.name == self.victim:
+            fn.blocks[0].terminator.target = "nowhere"
+        # Attribution trusts the return value, not what really happened.
+        return fn.name == self.admitted
+
+
+class _ModuleLevel(Pass):
+    name = "module-level"
+
+    def __init__(self, changed: bool):
+        self.changed = changed
+
+    def run_on_module(self, module, ctx):
+        return self.changed
+
+
+class TestChangeTracking:
+    """Satellites: per-pass changed tracking + selective re-verification."""
+
+    def test_pass_changes_and_module_changed(self):
+        module = parse_module(TWO_FN_SRC)
+        manager = PassManager([_TouchOnly("g"), _Counter()])
+        manager.run(module)
+        assert manager.pass_changes == {"touch-only": True, "counter": False}
+        assert manager.module_changed
+
+    def test_nothing_changed(self):
+        module = parse_module(TWO_FN_SRC)
+        manager = PassManager([_Counter()])
+        manager.run(module)
+        assert manager.module_changed is False
+
+    def test_per_function_stats_recorded(self):
+        module = parse_module(TWO_FN_SRC)  # two functions, one touched
+        ctx = PassManager([_TouchOnly("g")]).run(module)
+        assert ctx.stats["pass.touch-only.changed_functions"] == 1
+        assert ctx.stats["pass.touch-only.unchanged_functions"] == 1
+
+    def test_only_changed_functions_reverified(self):
+        # The pass corrupts g but only admits changing f: selective
+        # verification (the satellite's contract) skips g, so no raise...
+        module = parse_module(TWO_FN_SRC)
+        PassManager([_BreakOther(admitted="f", victim="g")]).run(module)
+        # ...whereas admitting the changed function catches the breakage.
+        module = parse_module(TWO_FN_SRC)
+        with pytest.raises(RuntimeError, match="on g"):
+            PassManager([_BreakOther(admitted="g", victim="g")]).run(module)
+
+    def test_unchanged_pass_skips_verification_entirely(self):
+        # A pass reporting no change leaves even pre-broken IR unverified —
+        # verification cost now scales with what actually changed.
+        module = parse_module(TWO_FN_SRC)
+        module.functions["g"].blocks[0].terminator.target = "nowhere"
+        PassManager([_Counter()]).run(module)  # no raise
+
+    def test_module_level_changed_flag_captured(self):
+        module = parse_module(TWO_FN_SRC)
+        manager = PassManager([_ModuleLevel(True), _ModuleLevel(False)])
+        ctx = manager.run(module)
+        assert manager.pass_changes["module-level"] is True
+        assert ctx.stats["pass.module-level.changed_modules"] == 1
+
+    def test_module_level_pass_verifies_all_functions(self):
+        class _ModuleBreaker(Pass):
+            name = "module-breaker"
+
+            def run_on_module(self, module, ctx):
+                module.functions["g"].blocks[0].terminator.target = "nowhere"
+                return True
+
+        module = parse_module(TWO_FN_SRC)
+        with pytest.raises(RuntimeError, match="module-breaker"):
+            PassManager([_ModuleBreaker()]).run(module)
+
+    def test_compile_result_exposes_changes(self):
+        from repro.pipeline import compile_module
+        from repro.workloads import workload_by_name
+
+        result = compile_module(workload_by_name("li").fresh_module(), "vliw")
+        assert set(result.pass_changes)  # every pass name accounted for
+        assert result.module_changed  # the VLIW pipeline definitely fires
+        assert any(result.pass_changes.values())
+
+
 class TestRelayout:
     def test_permutation_preserves_semantics(self):
         before = parse_module(SRC)
