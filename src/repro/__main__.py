@@ -7,6 +7,7 @@ Examples::
     python -m repro time prog.ir --entry main --args 5 --model rs6000
     python -m repro bench                                # SPECint-style table
     python -m repro bench --pdf                          # with feedback
+    python -m repro sanitize prog.ir --level vliw        # containment proof
 """
 
 import argparse
@@ -22,7 +23,7 @@ from repro.evaluate import (
     train_profile,
 )
 from repro.ir import format_module, parse_module, verify_module
-from repro.machine import run_function, time_trace
+from repro.machine import MEM_MODELS, run_function, time_trace
 from repro.machine.model import PRESETS, RS6000
 from repro.pipeline import compile_module
 from repro.workloads import suite
@@ -57,6 +58,9 @@ def cmd_compile(args) -> int:
         resilience=args.resilience,
         fault_plan=fault_plan,
         pass_budget_seconds=args.pass_budget,
+        sanitize=args.sanitize,
+        diff_seed=args.diff_seed,
+        mem_model=args.mem_model,
     )
     print(format_module(result.module))
     print(
@@ -123,6 +127,7 @@ def cmd_run(args) -> int:
         args.entry,
         _parse_args_list(args.args),
         max_steps=args.max_steps,
+        mem_model=args.mem_model,
     )
     if result.output:
         for value in result.output:
@@ -144,6 +149,7 @@ def cmd_time(args) -> int:
             _parse_args_list(args.args),
             record_trace=True,
             max_steps=args.max_steps,
+            mem_model=args.mem_model,
         )
         report = time_trace(run.trace, model)
         print(
@@ -173,6 +179,33 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_sanitize(args) -> int:
+    """Prove speculation containment: baseline vs optimized on paged memory."""
+    from repro.robustness import SpeculationSanitizer
+
+    module = _load(args.file)
+    compiled = compile_module(module, args.level)
+    sanitizer = SpeculationSanitizer(
+        seed=args.seed,
+        argsets_per_function=args.argsets,
+        max_steps=args.max_steps,
+    )
+    result = sanitizer.run(module, compiled.module)
+    for finding in result.findings:
+        marker = "!!" if finding.classification == "violation" else "  "
+        detail = f"  [{finding.detail}]" if finding.detail else ""
+        print(
+            f"{marker} {finding.classification:<12} {finding.fn}{finding.args} "
+            f"baseline={finding.baseline} optimized={finding.optimized}{detail}"
+        )
+    print(f"# {result.summary()}", file=sys.stderr)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(result.to_json())
+        print(f"# wrote {args.report}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,7 +228,7 @@ def main(argv=None) -> int:
     p_compile.add_argument(
         "--fault-plan",
         help="inject faults: JSON plan file or compact 'pass:kind[:n]' spec "
-        "(kinds: raise, corrupt-ir, skew, stall)",
+        "(kinds: raise, corrupt-ir, skew, stall, speculate)",
     )
     p_compile.add_argument(
         "--resilience-report",
@@ -205,6 +238,24 @@ def main(argv=None) -> int:
         "--pass-budget",
         type=float,
         help="wall-clock budget per pass in seconds (with --resilience)",
+    )
+    p_compile.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the paged-model speculation sanitizer after every pass "
+        "(with --resilience)",
+    )
+    p_compile.add_argument(
+        "--diff-seed",
+        type=int,
+        default=0,
+        help="seed for the differential checker / sanitizer input sampling",
+    )
+    p_compile.add_argument(
+        "--mem-model",
+        choices=MEM_MODELS,
+        default="flat",
+        help="execution substrate for the differential checker",
     )
     p_compile.set_defaults(func=cmd_compile)
 
@@ -227,6 +278,12 @@ def main(argv=None) -> int:
     p_run.add_argument("--args", default="")
     p_run.add_argument("--level", choices=("none", "base", "vliw"), default="none")
     p_run.add_argument("--max-steps", type=int, default=10_000_000)
+    p_run.add_argument(
+        "--mem-model",
+        choices=MEM_MODELS,
+        default="flat",
+        help="'paged' makes unmapped accesses fault instead of reading 0",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_time = sub.add_parser("time", help="cycle counts on a machine model")
@@ -236,12 +293,32 @@ def main(argv=None) -> int:
     p_time.add_argument("--levels", default="none,base,vliw")
     p_time.add_argument("--model", choices=sorted(PRESETS), default="rs6000")
     p_time.add_argument("--max-steps", type=int, default=10_000_000)
+    p_time.add_argument(
+        "--mem-model",
+        choices=MEM_MODELS,
+        default="flat",
+        help="'paged' makes unmapped accesses fault instead of reading 0",
+    )
     p_time.set_defaults(func=cmd_time)
 
     p_bench = sub.add_parser("bench", help="run the SPECint-style suite")
     p_bench.add_argument("--model", choices=sorted(PRESETS), default="rs6000")
     p_bench.add_argument("--pdf", action="store_true", help="include PDF column")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_sanitize = sub.add_parser(
+        "sanitize",
+        help="prove speculation containment on the paged memory model",
+    )
+    p_sanitize.add_argument("file")
+    p_sanitize.add_argument("--level", choices=("base", "vliw"), default="vliw")
+    p_sanitize.add_argument("--seed", type=int, default=0)
+    p_sanitize.add_argument(
+        "--argsets", type=int, default=3, help="seeded argument vectors per function"
+    )
+    p_sanitize.add_argument("--max-steps", type=int, default=200_000)
+    p_sanitize.add_argument("--report", help="write the JSON findings report here")
+    p_sanitize.set_defaults(func=cmd_sanitize)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -51,12 +51,15 @@ def measure(
     plan=None,
     check_against: Optional[int] = None,
     resilience: Optional[str] = None,
+    mem_model: str = "flat",
     **compile_kwargs,
 ) -> Measurement:
     """Compile and time one workload; verifies the computed value.
 
     ``resilience`` runs the guarded pipeline (see :mod:`repro.robustness`);
     the per-pass report lands on ``Measurement.resilience_report``.
+    ``mem_model`` selects the execution substrate for the final timed run
+    (``"paged"`` makes stray accesses fault instead of reading 0).
     """
     module = workload.fresh_module()
     compiled = compile_module(
@@ -74,6 +77,7 @@ def measure(
         list(workload.args),
         record_trace=True,
         max_steps=10_000_000,
+        mem_model=mem_model,
     )
     if check_against is not None and result.value != check_against:
         raise AssertionError(

@@ -227,6 +227,16 @@ class Instr:
         return bool(self.attrs.get("volatile"))
 
     @property
+    def is_speculative(self) -> bool:
+        """True if a pass moved this instruction above its guard.
+
+        Under the paged memory model a speculative load that faults
+        poisons its destination instead of trapping; unspeculation clears
+        the tag when it pushes the instruction back below a branch.
+        """
+        return bool(self.attrs.get("speculative"))
+
+    @property
     def has_side_effects(self) -> bool:
         """True if the instruction's effect is not captured by its defs.
 

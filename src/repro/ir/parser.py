@@ -97,7 +97,23 @@ def _parse_crcond(text: str, lineno: int) -> Tuple[Reg, str]:
 
 
 def parse_instr(line: str, lineno: int = 0) -> Instr:
-    """Parse a single instruction line."""
+    """Parse a single instruction line.
+
+    A trailing ``!spec`` marks the instruction speculative
+    (``attrs["speculative"]``), the printer's round-trip form for loads
+    the optimizer moved above their guards.
+    """
+    speculative = False
+    if line.rstrip().endswith("!spec"):
+        line = line.rstrip()[: -len("!spec")].rstrip()
+        speculative = True
+    instr = _parse_instr_body(line, lineno)
+    if speculative:
+        instr.attrs["speculative"] = True
+    return instr
+
+
+def _parse_instr_body(line: str, lineno: int = 0) -> Instr:
     parts = line.split(None, 1)
     op = parts[0].upper()
     operands = _split_operands(parts[1]) if len(parts) > 1 else []

@@ -14,7 +14,18 @@ from repro.ir.module import Module
 
 
 def format_instr(instr: Instr) -> str:
-    """One-line assembly form of an instruction."""
+    """One-line assembly form of an instruction.
+
+    Speculative instructions carry a ``!spec`` suffix so the paged
+    memory model's poison discipline survives a print/parse round trip.
+    """
+    text = _format_instr_body(instr)
+    if instr.attrs.get("speculative"):
+        return f"{text} !spec"
+    return text
+
+
+def _format_instr_body(instr: Instr) -> str:
     op = instr.opcode
     if op == "LI":
         return f"LI {instr.rd}, {instr.imm}"

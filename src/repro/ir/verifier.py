@@ -22,7 +22,12 @@ def _check(condition: bool, message: str, errors: List[str]) -> None:
         errors.append(message)
 
 
-def verify_function(fn: Function, known_symbols=None, check_defs: bool = False) -> None:
+def verify_function(
+    fn: Function,
+    known_symbols=None,
+    check_defs: bool = False,
+    check_speculation: bool = False,
+) -> None:
     """Raise :class:`VerificationError` if ``fn`` is malformed.
 
     ``check_defs`` additionally runs a conservative definite-assignment
@@ -30,6 +35,13 @@ def verify_function(fn: Function, known_symbols=None, check_defs: bool = False) 
     them. It is opt-in: the machine defines every register as 0, so
     use-before-def is *legal* at runtime and plenty of pre-linkage code
     relies on it — but for hand-written IR it almost always flags a typo.
+
+    ``check_speculation`` (also opt-in) rejects an
+    ``attrs["speculative"]`` tag on any instruction with a non-speculative
+    side effect — a store, a call, a volatile access, or a terminator.
+    The paged memory model's poison discipline only defers faults of
+    side-effect-free operations; a "speculative" store is a contradiction
+    no pass should ever produce.
     """
     errors: List[str] = []
     _check(bool(fn.blocks), f"{fn.name}: function has no blocks", errors)
@@ -64,6 +76,18 @@ def verify_function(fn: Function, known_symbols=None, check_defs: bool = False) 
                     errors,
                 )
             _verify_operand_kinds(fn, bb.label, instr, errors)
+            if check_speculation and instr.attrs.get("speculative"):
+                _check(
+                    not (
+                        instr.has_side_effects
+                        or instr.is_store
+                        or instr.is_call
+                        or instr.is_terminator
+                    ),
+                    f"{fn.name}/{bb.label}: speculative tag on {instr.opcode}, "
+                    f"which has a non-speculative side effect",
+                    errors,
+                )
             if known_symbols is not None and instr.opcode == "LA":
                 _check(
                     instr.symbol in known_symbols,
@@ -197,11 +221,18 @@ def _verify_operand_kinds(fn: Function, label: str, instr, errors: List[str]) ->
         _check(gpr_ok(instr.rd), f"{where}: bad operands", errors)
 
 
-def verify_module(module: Module, check_defs: bool = False) -> None:
+def verify_module(
+    module: Module, check_defs: bool = False, check_speculation: bool = False
+) -> None:
     """Verify every function in ``module`` (symbols checked against data)."""
     symbols = set(module.data)
     for fn in module.functions.values():
-        verify_function(fn, known_symbols=symbols, check_defs=check_defs)
+        verify_function(
+            fn,
+            known_symbols=symbols,
+            check_defs=check_defs,
+            check_speculation=check_speculation,
+        )
         for bb in fn.blocks:
             for instr in bb.instrs:
                 if instr.is_call and not instr.attrs.get("library"):

@@ -22,20 +22,36 @@ from repro.machine.interpreter import (
     MachineState,
     run_function,
 )
+from repro.machine.memory import (
+    MEM_MODELS,
+    ArithmeticFault,
+    FlatMemory,
+    MemoryFault,
+    PagedMemory,
+    SpeculationFault,
+    make_memory,
+)
 from repro.machine.timer import TimingReport, time_trace, cycles_for_run
 
 __all__ = [
+    "ArithmeticFault",
     "ExecResult",
     "ExecutionError",
     "ExecutionLimit",
+    "FlatMemory",
     "Interpreter",
+    "MEM_MODELS",
     "MachineModel",
     "MachineState",
+    "MemoryFault",
     "POWER2",
     "PPC601",
+    "PagedMemory",
     "RS6000",
+    "SpeculationFault",
     "TimingReport",
     "cycles_for_run",
+    "make_memory",
     "run_function",
     "time_trace",
 ]

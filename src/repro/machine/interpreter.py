@@ -1,6 +1,6 @@
 """Functional interpreter for the IR.
 
-Executes a module's functions against a flat memory and the shared
+Executes a module's functions against a memory model and the shared
 register file, recording (optionally) the dynamic instruction trace that
 the timing model replays, and per-basic-block execution counts (the same
 counts PDF instrumentation gathers).
@@ -8,40 +8,89 @@ counts PDF instrumentation gathers).
 The interpreter is the semantic ground truth: every transformation pass is
 validated by running a function before and after the pass on identical
 inputs and comparing return value, memory effects and I/O.
+
+Two memory models are available (see :mod:`repro.machine.memory`):
+
+- ``flat`` (default) — the historical total semantics: every address is
+  mapped, loads default to 0, divide-by-zero wraps to 0, nothing faults.
+- ``paged`` — only the stack, the module's data objects and a small heap
+  window are mapped. A non-speculative access to an unmapped address
+  raises :class:`MemoryFault`; divide-by-zero raises
+  :class:`ArithmeticFault`. An instruction tagged
+  ``attrs["speculative"]`` defers instead of trapping: its destination
+  register is *poisoned* (an IA-64 NaT-style token). Poison propagates
+  through ALU operations, copies and compares, and only raises
+  :class:`SpeculationFault` when it reaches a non-speculative side
+  effect — a store address or value, a conditional branch, I/O, or a
+  return value.
 """
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import ALU_FUNCS, ALU_RI_TO_RR, COND_FUNCS, Instr, wrap32
 from repro.ir.module import Module, STACK_BASE
 from repro.ir.operands import CALLEE_SAVED, CTR, RETVAL, SP, TOC, Reg, gpr
 from repro.machine.libcalls import LIBRARY_FUNCTIONS
-
-
-class ExecutionError(RuntimeError):
-    """Raised when execution goes structurally wrong (bad call, fallthrough
-    off the end of a function, call depth exceeded, ABI violation)."""
-
-
-class ExecutionLimit(ExecutionError):
-    """Raised when the step budget is exhausted (runaway loop)."""
+from repro.machine.memory import (  # noqa: F401  (re-exported, see memory.py)
+    MEM_MODELS,
+    ArithmeticFault,
+    ExecutionError,
+    ExecutionLimit,
+    FlatMemory,
+    MemoryFault,
+    PagedMemory,
+    SpeculationFault,
+    make_memory,
+    map_module_data,
+)
 
 
 class MachineState:
-    """Registers, memory and I/O streams."""
+    """Registers, memory, I/O streams and the poison set.
 
-    def __init__(self, input_values: Optional[Iterable[int]] = None):
+    ``mem_model`` selects the backing store (:data:`MEM_MODELS`); the
+    historical flat dict remains the default, so existing callers see
+    exactly the old semantics.
+    """
+
+    def __init__(
+        self,
+        input_values: Optional[Iterable[int]] = None,
+        mem_model: str = "flat",
+    ):
         self.regs: Dict[Reg, int] = {}
-        self.mem: Dict[int, int] = {}
+        self.mem = make_memory(mem_model)
+        self.mem_model = mem_model
         self.output: List[int] = []
         self.input: List[int] = list(input_values) if input_values else []
+        #: Registers currently holding a deferred-exception token.
+        self.poison: Set[Reg] = set()
+        #: How many times a speculative fault was converted into poison
+        #: (production events only — propagation does not count). The
+        #: sanitizer uses this to classify "masked" runs.
+        self.poison_events = 0
 
     def get(self, reg: Reg) -> int:
         return self.regs.get(reg, 0)
 
     def set(self, reg: Reg, value: int) -> None:
+        """A clean write: stores the value and clears any poison."""
         self.regs[reg] = wrap32(value)
+        if self.poison:
+            self.poison.discard(reg)
+
+    def taint(self, reg: Reg, seed: bool = False) -> None:
+        """Poison ``reg``; ``seed=True`` marks a fresh production event."""
+        self.regs[reg] = 0
+        self.poison.add(reg)
+        if seed:
+            self.poison_events += 1
+
+    def is_poisoned(self, *regs: Optional[Reg]) -> bool:
+        if not self.poison:
+            return False
+        return any(reg is not None and reg in self.poison for reg in regs)
 
     def snapshot_mem(self) -> Dict[int, int]:
         """Memory with zero-valued cells dropped, for comparisons."""
@@ -95,6 +144,9 @@ class Interpreter:
         self.steps = 0
         self.trace: List[Tuple[Instr, Optional[bool]]] = []
         self.block_counts: Dict[Tuple[str, str], int] = {}
+        #: Set per-run from the state's memory: gates every poison/fault
+        #: check so the flat model keeps its historical total semantics.
+        self.faulting = False
 
     # -- public API ----------------------------------------------------------
 
@@ -105,6 +157,7 @@ class Interpreter:
         state: Optional[MachineState] = None,
     ) -> ExecResult:
         state = state if state is not None else MachineState()
+        self.faulting = bool(getattr(state.mem, "faulting", False))
         fn = self.module.functions[fn_name]
         self._init_state(state, args, fn)
         value = self._exec_function(fn, state, depth=0)
@@ -139,9 +192,46 @@ class Interpreter:
                 if i >= 8:
                     raise ExecutionError("more than 8 arguments not supported")
                 state.set(gpr(3 + i), value)
+        if self.faulting:
+            map_module_data(
+                state.mem,
+                self.layout,
+                {name: obj.size for name, obj in self.module.data.items()},
+            )
         for name, addr in self.layout.items():
             for i, word in enumerate(self.module.data[name].init):
                 state.mem[addr + 4 * i] = wrap32(word)
+
+    # -- faulting-model helpers ----------------------------------------------
+
+    def _load_word(
+        self, state: MachineState, instr: Instr, addr: int
+    ) -> Optional[int]:
+        """One checked load; ``None`` means the destination was poisoned."""
+        try:
+            return state.mem.load(addr)
+        except MemoryFault:
+            if instr.attrs.get("speculative"):
+                return None
+            raise
+
+    def _sidefx(self, state: MachineState, instr: Instr, what: str, *regs) -> None:
+        """Raise if poison reaches a non-speculative side effect."""
+        if self.faulting and state.is_poisoned(*regs):
+            raise SpeculationFault(
+                f"poison reached {what} ({instr.opcode})"
+            )
+
+    def _alu_result(
+        self, state: MachineState, instr: Instr, func_op: str, a: int, b: int
+    ) -> None:
+        """Apply one ALU function with paged-model division semantics."""
+        if self.faulting and func_op == "DIV" and b == 0:
+            if instr.attrs.get("speculative"):
+                state.taint(instr.rd, seed=True)
+                return
+            raise ArithmeticFault(f"division by zero ({instr.opcode})")
+        state.set(instr.rd, ALU_FUNCS[func_op](a, b))
 
     # -- execution ---------------------------------------------------------------
 
@@ -152,6 +242,7 @@ class Interpreter:
         bi = 0
         ii = 0
         entered_block = True
+        faulting = self.faulting
         while True:
             if bi >= len(fn.blocks):
                 raise ExecutionError(f"fell off the end of {fn.name}")
@@ -181,15 +272,19 @@ class Interpreter:
             taken: Optional[bool] = None
 
             if op in ALU_FUNCS:
-                state.set(
-                    instr.rd,
-                    ALU_FUNCS[op](state.get(instr.ra), state.get(instr.rb)),
-                )
+                if faulting and state.is_poisoned(instr.ra, instr.rb):
+                    state.taint(instr.rd)
+                else:
+                    self._alu_result(
+                        state, instr, op, state.get(instr.ra), state.get(instr.rb)
+                    )
             elif op in ALU_RI_TO_RR:
-                state.set(
-                    instr.rd,
-                    ALU_FUNCS[ALU_RI_TO_RR[op]](state.get(instr.ra), instr.imm),
-                )
+                if faulting and state.is_poisoned(instr.ra):
+                    state.taint(instr.rd)
+                else:
+                    self._alu_result(
+                        state, instr, ALU_RI_TO_RR[op], state.get(instr.ra), instr.imm
+                    )
             elif op == "LI":
                 state.set(instr.rd, instr.imm)
             elif op == "LA":
@@ -198,46 +293,88 @@ class Interpreter:
                 except KeyError:
                     raise ExecutionError(f"unknown data symbol {instr.symbol}")
             elif op == "LR":
-                state.set(instr.rd, state.get(instr.ra))
+                if faulting and state.is_poisoned(instr.ra):
+                    state.taint(instr.rd)
+                else:
+                    state.set(instr.rd, state.get(instr.ra))
             elif op == "NEG":
-                state.set(instr.rd, -state.get(instr.ra))
+                if faulting and state.is_poisoned(instr.ra):
+                    state.taint(instr.rd)
+                else:
+                    state.set(instr.rd, -state.get(instr.ra))
             elif op == "NOT":
-                state.set(instr.rd, ~state.get(instr.ra))
+                if faulting and state.is_poisoned(instr.ra):
+                    state.taint(instr.rd)
+                else:
+                    state.set(instr.rd, ~state.get(instr.ra))
             elif op == "L":
-                addr = state.get(instr.base) + instr.disp
-                state.set(instr.rd, state.mem.get(addr, 0))
+                if faulting and state.is_poisoned(instr.base):
+                    # The effective address is unknowable: defer further.
+                    state.taint(instr.rd)
+                else:
+                    addr = state.get(instr.base) + instr.disp
+                    value = self._load_word(state, instr, addr)
+                    if value is None:
+                        state.taint(instr.rd, seed=True)
+                    else:
+                        state.set(instr.rd, value)
             elif op == "LU":
-                addr = state.get(instr.base) + instr.disp
-                state.set(instr.rd, state.mem.get(addr, 0))
-                state.set(instr.base, addr)
+                if faulting and state.is_poisoned(instr.base):
+                    state.taint(instr.rd)
+                    state.taint(instr.base)
+                else:
+                    addr = state.get(instr.base) + instr.disp
+                    value = self._load_word(state, instr, addr)
+                    if value is None:
+                        state.taint(instr.rd, seed=True)
+                    else:
+                        state.set(instr.rd, value)
+                    state.set(instr.base, addr)
             elif op == "ST":
+                self._sidefx(state, instr, "a store", instr.ra, instr.base)
                 addr = state.get(instr.base) + instr.disp
                 state.mem[addr] = state.get(instr.ra)
             elif op == "STU":
+                self._sidefx(state, instr, "a store", instr.ra, instr.base)
                 addr = state.get(instr.base) + instr.disp
                 state.mem[addr] = state.get(instr.ra)
                 state.set(instr.base, addr)
             elif op == "C":
-                diff = state.get(instr.ra) - state.get(instr.rb)
-                state.regs[instr.crf] = (diff > 0) - (diff < 0)
+                if faulting and state.is_poisoned(instr.ra, instr.rb):
+                    state.taint(instr.crf)
+                else:
+                    diff = state.get(instr.ra) - state.get(instr.rb)
+                    state.set(instr.crf, (diff > 0) - (diff < 0))
             elif op == "CI":
-                diff = state.get(instr.ra) - instr.imm
-                state.regs[instr.crf] = (diff > 0) - (diff < 0)
+                if faulting and state.is_poisoned(instr.ra):
+                    state.taint(instr.crf)
+                else:
+                    diff = state.get(instr.ra) - instr.imm
+                    state.set(instr.crf, (diff > 0) - (diff < 0))
             elif op == "MTCTR":
-                state.set(CTR, state.get(instr.ra))
+                if faulting and state.is_poisoned(instr.ra):
+                    state.taint(CTR)
+                else:
+                    state.set(CTR, state.get(instr.ra))
             elif op == "MFCTR":
-                state.set(instr.rd, state.get(CTR))
+                if faulting and state.is_poisoned(CTR):
+                    state.taint(instr.rd)
+                else:
+                    state.set(instr.rd, state.get(CTR))
             elif op == "B":
                 taken = True
             elif op == "BT" or op == "BF":
+                self._sidefx(state, instr, "a conditional branch", instr.crf)
                 holds = COND_FUNCS[instr.cond](state.get(instr.crf))
                 taken = holds if op == "BT" else not holds
             elif op == "BCT":
+                self._sidefx(state, instr, "a conditional branch", CTR)
                 state.set(CTR, state.get(CTR) - 1)
                 taken = state.get(CTR) != 0
             elif op == "CALL":
                 self._exec_call(instr, state, depth)
             elif op == "RET":
+                self._sidefx(state, instr, "a return value", RETVAL, SP)
                 if self.record_trace:
                     self.trace.append((instr, None))
                 return state.get(RETVAL)
@@ -279,7 +416,11 @@ class Interpreter:
         lib = LIBRARY_FUNCTIONS.get(symbol)
         if lib is None:
             raise ExecutionError(f"call to unknown function {symbol}")
-        args = [state.get(gpr(3 + i)) for i in range(lib.nargs)]
+        arg_regs = [gpr(3 + i) for i in range(lib.nargs)]
+        # A library call is a non-speculative side effect (I/O, memory
+        # writes): poisoned arguments must not leak into it.
+        self._sidefx(state, instr, f"library call {symbol}", *arg_regs)
+        args = [state.get(reg) for reg in arg_regs]
         result = lib.impl(state, args)
         if result is not None:
             state.set(RETVAL, result)
@@ -294,6 +435,7 @@ def run_function(
     record_trace: bool = False,
     count_blocks: bool = False,
     check_callee_saved: bool = False,
+    mem_model: str = "flat",
 ) -> ExecResult:
     """Run ``fn_name`` from ``module`` and return the :class:`ExecResult`."""
     interp = Interpreter(
@@ -303,5 +445,5 @@ def run_function(
         count_blocks=count_blocks,
         check_callee_saved=check_callee_saved,
     )
-    state = MachineState(input_values)
+    state = MachineState(input_values, mem_model=mem_model)
     return interp.run(fn_name, args, state)

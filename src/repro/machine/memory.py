@@ -1,0 +1,174 @@
+"""Segmented, optionally-faulting memory models for the interpreter.
+
+The original machine substrate backed memory with a flat dict in which
+every address is readable (defaulting to 0) and writable — by design,
+"random programs never trap". That makes the paper's speculation-safety
+arguments vacuous: a speculative load hoisted past its guard can never be
+observed going wrong. This module adds a second model in which it can:
+
+- :class:`FlatMemory` — the historical semantics, unchanged: any address
+  loads as 0 until stored, any store succeeds.
+- :class:`PagedMemory` — a segmented address space. Only *mapped*
+  segments (the downward-growing stack, each global data object, and a
+  small heap window) may be touched; a load or store to an unmapped
+  address raises :class:`MemoryFault`.
+
+Under the paged model a load tagged ``attrs["speculative"]`` does not
+trap on a fault: the interpreter instead *poisons* the destination
+register (an IA-64 NaT-style deferred exception token). Poison propagates
+through ALU operations and register copies and raises
+:class:`SpeculationFault` only if it reaches a non-speculative side
+effect — a store address or value, a conditional branch, I/O, or a
+return. Division by zero follows the same discipline: it wraps to 0 on
+the flat model (the historical total semantics), poisons the result when
+the dividing instruction is speculative on the paged model, and raises
+:class:`ArithmeticFault` otherwise.
+
+The fault hierarchy lives here (rather than in ``interpreter.py``) so
+both the memories and the interpreter can share it without an import
+cycle; ``repro.machine.interpreter`` re-exports every class for
+backwards compatibility.
+"""
+
+from typing import Dict, Iterable, List, Tuple
+
+#: Memory models selectable on :class:`~repro.machine.interpreter.MachineState`.
+MEM_MODELS = ("flat", "paged")
+
+#: Size of the mapped stack segment below ``STACK_BASE`` (64 KiB covers
+#: ``MAX_CALL_DEPTH`` frames comfortably) and the slack mapped above it
+#: for caller-frame accesses at small positive displacements.
+STACK_SIZE = 0x10000
+STACK_SLACK = 0x1000
+
+#: A small always-mapped heap window (no allocator exists yet; programs
+#: that fabricate pointers can be given this window deliberately).
+HEAP_BASE = 0x20000000
+HEAP_SIZE = 0x10000
+
+
+class ExecutionError(RuntimeError):
+    """Raised when execution goes structurally wrong (bad call, fallthrough
+    off the end of a function, call depth exceeded, ABI violation)."""
+
+
+class ExecutionLimit(ExecutionError):
+    """Raised when the step budget is exhausted (runaway loop)."""
+
+
+class MemoryFault(ExecutionError):
+    """A non-speculative access touched an unmapped address (paged model)."""
+
+
+class ArithmeticFault(ExecutionError):
+    """A non-speculative division by zero (paged model only; the flat
+    model keeps the historical wrap-to-0 total semantics)."""
+
+
+class SpeculationFault(ExecutionError):
+    """Poison from a faulting speculative operation reached a
+    non-speculative side effect (store, conditional branch, I/O, return)."""
+
+
+class FlatMemory(dict):
+    """The historical memory: every address mapped, loads default to 0."""
+
+    #: Whether unmapped accesses fault (drives the interpreter's paged
+    #: semantics: poison, ArithmeticFault, SpeculationFault).
+    faulting = False
+
+    def load(self, addr: int) -> int:
+        return self.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self[addr] = value
+
+    def map_segment(self, name: str, base: int, size: int) -> None:
+        """Flat memory is fully mapped; segments are accepted and ignored."""
+
+    def segments(self) -> List[Tuple[str, int, int]]:
+        return []
+
+
+class PagedMemory(dict):
+    """A segmented address space where unmapped accesses fault.
+
+    The dict protocol (``mem[addr]``, ``mem.get(addr, 0)``) is preserved
+    so library-call models and tests keep working, but every keyed access
+    is checked against the mapped segments first — a ``memcpy_words``
+    through a wild pointer faults exactly like an inline load would.
+    """
+
+    faulting = True
+
+    def __init__(self):
+        super().__init__()
+        self._segments: List[Tuple[str, int, int]] = []  # (name, start, end)
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_segment(self, name: str, base: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"segment {name!r} must have positive size")
+        self._segments.append((name, base, base + size))
+
+    def segments(self) -> List[Tuple[str, int, int]]:
+        return list(self._segments)
+
+    def is_mapped(self, addr: int) -> bool:
+        return any(start <= addr < end for _, start, end in self._segments)
+
+    def _require(self, addr: int, access: str) -> None:
+        if not self.is_mapped(addr):
+            raise MemoryFault(f"{access} of unmapped address {addr:#x}")
+
+    # -- checked access ----------------------------------------------------
+
+    def load(self, addr: int) -> int:
+        self._require(addr, "load")
+        return dict.get(self, addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self._require(addr, "store")
+        dict.__setitem__(self, addr, value)
+
+    # -- dict protocol, checked -------------------------------------------
+
+    def __getitem__(self, addr: int) -> int:
+        self._require(addr, "load")
+        return dict.get(self, addr, 0)
+
+    def __setitem__(self, addr: int, value: int) -> None:
+        self._require(addr, "store")
+        dict.__setitem__(self, addr, value)
+
+    def get(self, addr: int, default: int = 0) -> int:
+        self._require(addr, "load")
+        return dict.get(self, addr, default)
+
+
+def make_memory(mem_model: str):
+    """Build the backing store for one :data:`MEM_MODELS` entry.
+
+    The paged model comes with the stack and heap segments pre-mapped;
+    the interpreter maps one segment per module data object before a run.
+    """
+    if mem_model not in MEM_MODELS:
+        raise ValueError(
+            f"unknown memory model {mem_model!r}; expected one of {MEM_MODELS}"
+        )
+    if mem_model == "flat":
+        return FlatMemory()
+    from repro.ir.module import STACK_BASE
+
+    mem = PagedMemory()
+    mem.map_segment("stack", STACK_BASE - STACK_SIZE, STACK_SIZE + STACK_SLACK)
+    mem.map_segment("heap", HEAP_BASE, HEAP_SIZE)
+    return mem
+
+
+def map_module_data(mem, layout: Dict[str, int], sizes: Dict[str, int]) -> None:
+    """Map one segment per global data object (word-rounded sizes)."""
+    for name, base in layout.items():
+        size = (sizes[name] + 3) // 4 * 4
+        mem.map_segment(name, base, size)

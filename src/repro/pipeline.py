@@ -29,6 +29,7 @@ from repro.robustness.diffcheck import DifferentialChecker
 from repro.robustness.faults import FaultPlan
 from repro.robustness.guard import GuardedPassManager
 from repro.robustness.report import ResilienceReport
+from repro.robustness.sanitizer import SpeculationSanitizer
 from repro.scheduling import LocalScheduling, VLIWScheduling
 from repro.transforms import (
     BasicBlockExpansion,
@@ -123,6 +124,9 @@ def compile_module(
     diff_check: bool = True,
     pass_budget_seconds: Optional[float] = None,
     diff_checker: Optional[DifferentialChecker] = None,
+    sanitize: bool = False,
+    diff_seed: int = 0,
+    mem_model: str = "flat",
 ) -> CompileResult:
     """Clone and compile ``module`` at the given level.
 
@@ -138,6 +142,14 @@ def compile_module(
     deterministic faults (testing / demos); ``diff_check`` toggles the
     seeded differential checker under resilience;
     ``pass_budget_seconds`` bounds each pass's wall-clock time.
+
+    ``sanitize`` (requires ``resilience``) additionally runs the
+    :class:`~repro.robustness.sanitizer.SpeculationSanitizer` after every
+    pass: seeded entries are re-executed on the paged (faulting) memory
+    model and an optimized-only fault is a ``containment`` failure that
+    rolls the pass back. ``diff_seed`` seeds the input sampling of both
+    the checker and the sanitizer (echoed in the resilience report);
+    ``mem_model`` selects the differential checker's execution substrate.
     """
     work = module.clone()
     ctx = PassContext(work, model=model)
@@ -169,13 +181,15 @@ def compile_module(
     else:
         checker = diff_checker
         if checker is None and diff_check:
-            checker = DifferentialChecker()
+            checker = DifferentialChecker(seed=diff_seed, mem_model=mem_model)
+        sanitizer = SpeculationSanitizer(seed=diff_seed) if sanitize else None
         manager = GuardedPassManager(
             passes,
             policy=resilience,
             verify=verify,
             budget_seconds=pass_budget_seconds,
             checker=checker,
+            sanitizer=sanitizer,
         )
     start = time.perf_counter()
     manager.run(work, ctx)

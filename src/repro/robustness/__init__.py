@@ -10,8 +10,16 @@ failing pass is rolled back and reported rather than fatal. The
 :mod:`~repro.robustness.faults` harness injects deterministic failures so
 tests can prove each failure class is actually contained.
 
-Entry points: ``compile_module(..., resilience="rollback")`` and the
-``--resilience`` / ``--fault-plan`` CLI flags.
+On top of the flat-model diff check, the :class:`SpeculationSanitizer`
+re-runs the seeded entries on the *paged* (faulting) memory model and
+proves every pass's speculation stays contained: a speculative load may
+fault and poison its destination, but the poison must never reach a
+non-speculative side effect. An optimized-only paged-model fault is a
+``containment`` failure and rolls the pass back.
+
+Entry points: ``compile_module(..., resilience="rollback")``, the
+``repro sanitize`` subcommand, and the ``--resilience`` /
+``--fault-plan`` / ``--diff-seed`` / ``--mem-model`` CLI flags.
 """
 
 from repro.robustness.diffcheck import (
@@ -19,6 +27,7 @@ from repro.robustness.diffcheck import (
     DifferentialChecker,
     DiffVerdict,
     EntryOutcome,
+    derive_entries,
     observe,
 )
 from repro.robustness.faults import (
@@ -32,6 +41,7 @@ from repro.robustness.faults import (
 )
 from repro.robustness.guard import (
     POLICIES,
+    ContainmentViolationError,
     GuardedPassManager,
     PassBudgetExceeded,
     SemanticDivergenceError,
@@ -43,9 +53,17 @@ from repro.robustness.report import (
     PassRecord,
     ResilienceReport,
 )
+from repro.robustness.sanitizer import (
+    CLASSIFICATIONS,
+    SanitizerFinding,
+    SanitizerResult,
+    SpeculationSanitizer,
+)
 
 __all__ = [
     "ARG_PALETTE",
+    "CLASSIFICATIONS",
+    "ContainmentViolationError",
     "DANGLING_LABEL",
     "DifferentialChecker",
     "DiffVerdict",
@@ -63,7 +81,11 @@ __all__ = [
     "PassFailure",
     "PassRecord",
     "ResilienceReport",
+    "SanitizerFinding",
+    "SanitizerResult",
     "SemanticDivergenceError",
+    "SpeculationSanitizer",
+    "derive_entries",
     "load_fault_plan",
     "observe",
 ]

@@ -8,15 +8,23 @@ value, I/O, final memory) of a module on a battery of seeded inputs
 *before* the pipeline starts, and re-checks the current module against
 that baseline after every pass.
 
-Two failure contracts are deliberately distinct (``machine/interpreter.py``):
+Failure contracts (``machine/interpreter.py`` / ``machine/memory.py``):
 
-- :class:`~repro.machine.interpreter.ExecutionError` — structurally wrong
-  execution. If the baseline ran fine and the transformed module raises
-  this, the pass broke the program: **mismatch**.
+- :class:`~repro.machine.interpreter.ExecutionError` and its fault
+  subclasses (``MemoryFault``, ``ArithmeticFault``, ``SpeculationFault``)
+  — execution went wrong. Each outcome records the **concrete subclass
+  name**: if both the baseline and the transformed module fail an entry
+  with the *same* fault class, that is agreement (deterministic faulting
+  behaviour was preserved), not divergence. If the baseline ran fine and
+  the transformed module raises, the pass broke the program: **mismatch**.
 - :class:`~repro.machine.interpreter.ExecutionLimit` — the step budget
   ran out. The program may be fine but slow (unrolling legitimately
   changes step counts), so this is **inconclusive, keep**, never a
   rollback trigger.
+
+The checker runs on either memory model (``mem_model=``): the flat model
+checks value semantics, the paged model additionally compares faulting
+behaviour.
 """
 
 import random
@@ -38,9 +46,26 @@ class EntryOutcome:
     #: "ok" | "limit" | "error"
     kind: str
     detail: str = ""
+    #: Concrete exception class name for "limit"/"error" outcomes
+    #: (e.g. ``MemoryFault``, ``SpeculationFault``, ``ExecutionError``).
+    error_class: str = ""
     value: int = 0
     output: List[int] = field(default_factory=list)
     memory: Dict[int, int] = field(default_factory=dict)
+    #: Speculative faults converted into poison during the run (paged
+    #: model only; the sanitizer uses this to classify masked runs).
+    poison_events: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind}
+        if self.kind == "ok":
+            out["value"] = self.value
+            if self.poison_events:
+                out["poison_events"] = self.poison_events
+        else:
+            out["error_class"] = self.error_class
+            out["detail"] = self.detail
+        return out
 
 
 @dataclass
@@ -58,34 +83,64 @@ class DiffVerdict:
 
 
 def observe(
-    module: Module, fn_name: str, args: Sequence[int], max_steps: int
+    module: Module,
+    fn_name: str,
+    args: Sequence[int],
+    max_steps: int,
+    mem_model: str = "flat",
 ) -> EntryOutcome:
     """Interpret one entry and classify the outcome."""
     if fn_name not in module.functions:
-        return EntryOutcome("error", f"no function {fn_name}")
+        return EntryOutcome("error", f"no function {fn_name}", error_class="KeyError")
     try:
-        result = run_function(module, fn_name, list(args), max_steps=max_steps)
+        result = run_function(
+            module, fn_name, list(args), max_steps=max_steps, mem_model=mem_model
+        )
     except ExecutionLimit as exc:  # must precede ExecutionError (subclass)
-        return EntryOutcome("limit", str(exc))
+        return EntryOutcome("limit", str(exc), error_class=type(exc).__name__)
     except ExecutionError as exc:
-        return EntryOutcome("error", str(exc))
+        return EntryOutcome("error", str(exc), error_class=type(exc).__name__)
     except Exception as exc:  # malformed IR can break the interpreter itself
-        return EntryOutcome("error", f"{type(exc).__name__}: {exc}")
+        return EntryOutcome(
+            "error", f"{type(exc).__name__}: {exc}", error_class=type(exc).__name__
+        )
     return EntryOutcome(
         "ok",
         value=result.value,
         output=list(result.output),
         memory=result.state.snapshot_mem(),
+        poison_events=result.state.poison_events,
     )
+
+
+def derive_entries(
+    module: Module, seed: int, argsets_per_function: int
+) -> List[Tuple[str, Tuple[int, ...]]]:
+    """Deterministic seeded entries: every function gets an all-zeros
+    vector plus ``argsets_per_function - 1`` vectors from the palette."""
+    entries: List[Tuple[str, Tuple[int, ...]]] = []
+    for name in sorted(module.functions):
+        nparams = len(module.functions[name].params)
+        # Seeding with a string keys the RNG off (seed, function) in a
+        # process-independent way (str seeds avoid PYTHONHASHSEED).
+        rng = random.Random(f"diffcheck:{seed}:{name}")
+        seen = {(name, (0,) * nparams)}
+        entries.append((name, (0,) * nparams))
+        for _ in range(max(1, argsets_per_function) - 1):
+            args = tuple(rng.choice(ARG_PALETTE) for _ in range(nparams))
+            if (name, args) not in seen:
+                seen.add((name, args))
+                entries.append((name, args))
+    return entries
 
 
 class DifferentialChecker:
     """Seeded before/after execution comparison for a pipeline run.
 
     ``entries`` is a list of ``(function_name, argsets)`` pairs; when
-    omitted, entries are derived deterministically from the module: every
-    function is run on an all-zeros vector plus ``argsets_per_function - 1``
-    seeded vectors drawn from :data:`ARG_PALETTE`.
+    omitted, entries are derived deterministically from the module via
+    :func:`derive_entries`. ``mem_model`` selects the execution substrate
+    for both sides of every comparison.
     """
 
     def __init__(
@@ -95,12 +150,14 @@ class DifferentialChecker:
         argsets_per_function: int = 3,
         max_steps: int = 200_000,
         check_memory: bool = True,
+        mem_model: str = "flat",
     ):
         self.explicit_entries = list(entries) if entries is not None else None
         self.seed = seed
         self.argsets_per_function = max(1, argsets_per_function)
         self.max_steps = max_steps
         self.check_memory = check_memory
+        self.mem_model = mem_model
         self.entries: List[Tuple[str, Tuple[int, ...]]] = []
         self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
 
@@ -110,7 +167,7 @@ class DifferentialChecker:
         """Capture the reference behaviour of the pre-pipeline module."""
         self.entries = self._resolve_entries(module)
         self.baseline = {
-            (fn, args): observe(module, fn, args, self.max_steps)
+            (fn, args): observe(module, fn, args, self.max_steps, self.mem_model)
             for fn, args in self.entries
         }
 
@@ -121,20 +178,7 @@ class DifferentialChecker:
                 for args in argsets:
                     flat.append((fn, tuple(args)))
             return flat
-        entries: List[Tuple[str, Tuple[int, ...]]] = []
-        for name in sorted(module.functions):
-            nparams = len(module.functions[name].params)
-            # Seeding with a string keys the RNG off (seed, function) in a
-            # process-independent way (str seeds avoid PYTHONHASHSEED).
-            rng = random.Random(f"diffcheck:{self.seed}:{name}")
-            seen = {(name, (0,) * nparams)}
-            entries.append((name, (0,) * nparams))
-            for _ in range(self.argsets_per_function - 1):
-                args = tuple(rng.choice(ARG_PALETTE) for _ in range(nparams))
-                if (name, args) not in seen:
-                    seen.add((name, args))
-                    entries.append((name, args))
-        return entries
+        return derive_entries(module, self.seed, self.argsets_per_function)
 
     # -- checking -----------------------------------------------------------
 
@@ -145,12 +189,24 @@ class DifferentialChecker:
         compared = 0
         inconclusive = 0
         for (fn, args), base in self.baseline.items():
-            if base.kind != "ok":
-                # The reference itself could not run this input: nothing
-                # to conclude from it either way.
+            if base.kind == "limit":
+                # The reference itself ran out of budget: nothing to
+                # conclude from this input either way.
                 inconclusive += 1
                 continue
-            after = observe(module, fn, args, self.max_steps)
+            if base.kind == "error":
+                # The reference faults on this input. If the transformed
+                # module faults with the *same* class, deterministic
+                # faulting behaviour was preserved: agreement. Anything
+                # else (no fault, different fault) is inconclusive — a
+                # pass may legitimately remove a fault it proved dead.
+                after = observe(module, fn, args, self.max_steps, self.mem_model)
+                if after.kind == "error" and after.error_class == base.error_class:
+                    compared += 1
+                else:
+                    inconclusive += 1
+                continue
+            after = observe(module, fn, args, self.max_steps, self.mem_model)
             if after.kind == "limit":
                 # Budget exhaustion is "inconclusive, keep" — see module
                 # docstring — not "mismatch, rollback".
@@ -159,8 +215,8 @@ class DifferentialChecker:
             if after.kind == "error":
                 return DiffVerdict(
                     "mismatch",
-                    f"{fn}{tuple(args)}: ran on the baseline but now fails: "
-                    f"{after.detail}",
+                    f"{fn}{tuple(args)}: ran on the baseline but now fails "
+                    f"with {after.error_class}: {after.detail}",
                     compared=compared,
                     inconclusive=inconclusive,
                 )

@@ -14,7 +14,12 @@ apply when they run:
   before every ``RET`` (perfectly valid IR that computes the wrong
   answer; contained as a *divergence* failure by the diff checker),
 - ``stall``      — sleep past the guard's wall-clock budget (contained
-  as a *budget* failure).
+  as a *budget* failure),
+- ``speculate``  — after the real pass runs, hoist the first load of a
+  conditional successor above its guard branch and tag it
+  ``speculative`` (valid IR, invisible to the flat-model diff check
+  because unmapped flat loads read 0; the paged-model speculation
+  sanitizer contains it as a *containment* failure).
 
 Faults fire deterministically: each spec triggers on its first ``times``
 activations across the whole pipeline (``times=0`` means every time), so
@@ -35,7 +40,7 @@ from repro.ir.module import Module
 from repro.ir.operands import gpr
 from repro.transforms.pass_manager import Pass, PassContext
 
-FAULT_KINDS = ("raise", "corrupt-ir", "skew", "stall")
+FAULT_KINDS = ("raise", "corrupt-ir", "skew", "stall", "speculate")
 
 #: Label used for injected dangling branches; never defined anywhere.
 DANGLING_LABEL = "__injected_dangling__"
@@ -179,6 +184,8 @@ class FaultyPass(Pass):
             return _corrupt_ir(module) or changed
         if self.spec.kind == "skew":
             return _skew_semantics(module) or changed
+        if self.spec.kind == "speculate":
+            return _speculate_unsafely(module) or changed
         return changed
 
     def __repr__(self) -> str:
@@ -198,6 +205,37 @@ def _corrupt_ir(module: Module) -> bool:
         if fn.blocks:
             fn.blocks[0].instrs.insert(0, Instr("__BOGUS__"))
             return True
+    return False
+
+
+def _speculate_unsafely(module: Module) -> bool:
+    """Hoist a guarded load above its branch without checking safety.
+
+    This is exactly the bug a scheduler with a broken safety analysis
+    would introduce: the load now executes on paths where its guard said
+    not to. The flat model cannot see it (an unmapped load reads 0 and
+    the destination is typically dead on the other path); only the paged
+    model's speculation sanitizer can prove containment was violated.
+    """
+    for fn in module.functions.values():
+        blocks = {bb.label: bb for bb in fn.blocks}
+        for i, bb in enumerate(fn.blocks):
+            term = bb.terminator
+            if term is None or not term.is_cond_branch:
+                continue
+            succs = []
+            target = blocks.get(term.target)
+            if target is not None:
+                succs.append(target)
+            if i + 1 < len(fn.blocks):
+                succs.append(fn.blocks[i + 1])
+            for succ in succs:
+                if not succ.instrs or succ.instrs[0].opcode != "L":
+                    continue
+                load = succ.instrs.pop(0)
+                load.attrs["speculative"] = True
+                bb.instrs.insert(len(bb.instrs) - 1, load)
+                return True
     return False
 
 

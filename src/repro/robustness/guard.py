@@ -29,6 +29,7 @@ from typing import List, Optional, Set, Tuple
 from repro.ir.module import Module
 from repro.robustness.diffcheck import DifferentialChecker
 from repro.robustness.report import PassFailure, PassRecord, ResilienceReport
+from repro.robustness.sanitizer import SpeculationSanitizer
 from repro.transforms.pass_manager import Pass, PassContext, PassManager
 
 POLICIES = ("strict", "rollback", "retry")
@@ -42,6 +43,11 @@ class SemanticDivergenceError(RuntimeError):
     """A pass changed observable behaviour (strict policy only)."""
 
 
+class ContainmentViolationError(RuntimeError):
+    """The speculation sanitizer saw an optimized-only fault on the paged
+    model (strict policy only)."""
+
+
 class _Attempt:
     """Everything one sandboxed execution of a pass produced."""
 
@@ -53,6 +59,7 @@ class _Attempt:
         self.changed_fns: Optional[Set[str]] = None
         self.verify_status = "skipped"
         self.diff_status = "skipped"
+        self.sanitize_status = "skipped"
 
 
 def _restore(module: Module, snapshot: Module) -> None:
@@ -71,6 +78,7 @@ class GuardedPassManager(PassManager):
         verify: bool = True,
         budget_seconds: Optional[float] = None,
         checker: Optional[DifferentialChecker] = None,
+        sanitizer: Optional[SpeculationSanitizer] = None,
     ):
         super().__init__(passes, verify=verify)
         if policy not in POLICIES:
@@ -78,13 +86,20 @@ class GuardedPassManager(PassManager):
         self.policy = policy
         self.budget_seconds = budget_seconds
         self.checker = checker
+        self.sanitizer = sanitizer
         self.report = ResilienceReport(policy=policy)
+        if checker is not None:
+            self.report.diff_seed = checker.seed
+        elif sanitizer is not None:
+            self.report.diff_seed = sanitizer.seed
         self.failures: List[PassFailure] = []
 
     def run(self, module: Module, ctx: Optional[PassContext] = None) -> PassContext:
         ctx = ctx if ctx is not None else PassContext(module)
         if self.checker is not None:
             self.checker.prepare(module)
+        if self.sanitizer is not None:
+            self.sanitizer.prepare(module)
         for index, pss in enumerate(self.passes):
             self._guarded_step(index, pss, module, ctx)
         return ctx
@@ -120,6 +135,7 @@ class GuardedPassManager(PassManager):
                     seconds=attempt.seconds,
                     verify=attempt.verify_status,
                     diff=attempt.diff_status,
+                    sanitize=attempt.sanitize_status,
                 )
             )
             return
@@ -137,6 +153,7 @@ class GuardedPassManager(PassManager):
                     seconds=attempt.seconds,
                     verify=attempt.verify_status,
                     diff=attempt.diff_status,
+                    sanitize=attempt.sanitize_status,
                     failure=failure,
                 )
             )
@@ -153,6 +170,7 @@ class GuardedPassManager(PassManager):
                 seconds=attempt.seconds,
                 verify=attempt.verify_status,
                 diff=attempt.diff_status,
+                sanitize=attempt.sanitize_status,
                 failure=failure,
             )
         )
@@ -203,6 +221,20 @@ class GuardedPassManager(PassManager):
                 )
                 return attempt
 
+        if self.sanitizer is not None and attempt.changed:
+            outcome = self.sanitizer.check(module)
+            if outcome.violations:
+                attempt.sanitize_status = "violation"
+                first = outcome.violations[0]
+                attempt.failure = PassFailure(
+                    index,
+                    pss.name,
+                    "containment",
+                    f"{first.fn}{first.args}: {first.detail}",
+                )
+                return attempt
+            attempt.sanitize_status = "masked" if outcome.masked else "ok"
+
         return attempt
 
     def _charge(self, pss: Pass, seconds: float) -> None:
@@ -215,6 +247,10 @@ class GuardedPassManager(PassManager):
             return original
         if failure.kind == "budget":
             return PassBudgetExceeded(
+                f"pass {failure.pass_name!r}: {failure.detail}"
+            )
+        if failure.kind == "containment":
+            return ContainmentViolationError(
                 f"pass {failure.pass_name!r}: {failure.detail}"
             )
         return SemanticDivergenceError(

@@ -12,8 +12,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-#: Failure classes the guard distinguishes.
-FAILURE_KINDS = ("exception", "verifier", "divergence", "budget")
+#: Failure classes the guard distinguishes. ``containment`` means the
+#: speculation sanitizer saw an optimized-only fault on the paged model.
+FAILURE_KINDS = ("exception", "verifier", "divergence", "budget", "containment")
 
 #: What ultimately happened to a pass.
 OUTCOMES = ("ok", "retried", "rolled-back", "raised")
@@ -54,6 +55,8 @@ class PassRecord:
     verify: str
     #: "match" | "mismatch" | "inconclusive" | "skipped"
     diff: str
+    #: Sanitizer verdict: "ok" | "masked" | "violation" | "skipped"
+    sanitize: str = "skipped"
     failure: Optional[PassFailure] = None
 
     def to_dict(self) -> Dict[str, object]:
@@ -65,6 +68,7 @@ class PassRecord:
             "seconds": round(self.seconds, 6),
             "verify": self.verify,
             "diff": self.diff,
+            "sanitize": self.sanitize,
             "failure": self.failure.to_dict() if self.failure else None,
         }
 
@@ -75,6 +79,9 @@ class ResilienceReport:
 
     policy: str
     records: List[PassRecord] = field(default_factory=list)
+    #: Seed used by the differential checker / sanitizer input sampling,
+    #: echoed for reproducibility (None when neither was enabled).
+    diff_seed: Optional[int] = None
 
     def add(self, record: PassRecord) -> None:
         self.records.append(record)
@@ -91,6 +98,15 @@ class ResilienceReport:
     def retries(self) -> int:
         return sum(1 for r in self.records if r.outcome == "retried")
 
+    @property
+    def containment_violations(self) -> int:
+        """Passes whose failure was a speculation-containment violation."""
+        return sum(
+            1
+            for r in self.records
+            if r.failure is not None and r.failure.kind == "containment"
+        )
+
     def failed_passes(self) -> List[str]:
         """Names of passes that failed, in pipeline order."""
         return [r.name for r in self.records if r.failure is not None]
@@ -101,6 +117,8 @@ class ResilienceReport:
             "passes": len(self.records),
             "rollbacks": self.rollbacks,
             "retries": self.retries,
+            "containment_violations": self.containment_violations,
+            "diff_seed": self.diff_seed,
             "failed_passes": self.failed_passes(),
             "records": [r.to_dict() for r in self.records],
         }

@@ -1,0 +1,236 @@
+"""Speculation-containment sanitizer.
+
+The optimizer is allowed to *create* speculation — loads hoisted above
+their guards by the global scheduler, loop-memory-motion's preheader
+loads — but only because the paged machine model contains mis-speculation:
+a faulting speculative load poisons its destination, and the poison traps
+only if it reaches a non-speculative side effect. The
+:class:`SpeculationSanitizer` proves that contract holds for a concrete
+baseline/optimized module pair by executing both over seeded inputs **on
+the paged model** and classifying every entry:
+
+==============  ============================================================
+``clean``       both sides ran, observables agree, no poison was produced
+``benign``      the *baseline* faults on this input too — the program, not
+                the optimizer, is at fault (matching or not)
+``masked``      the optimized module produced poison (a speculative fault
+                occurred) but contained it: no side effect consumed it and
+                the observables still agree — speculation worked as designed
+``violation``   the optimized module faults (or diverges) on an input the
+                baseline handles — **containment failed**; the offending
+                pass must be rolled back
+``inconclusive``  a step budget ran out on either side
+==============  ============================================================
+
+Wired into :class:`~repro.robustness.guard.GuardedPassManager` the
+sanitizer runs after every pass like the differential checker; a
+``violation`` is recorded as a ``containment`` failure in the
+:class:`~repro.robustness.report.ResilienceReport` and triggers rollback
+under the ``rollback``/``retry`` policies. Standalone use::
+
+    result = SpeculationSanitizer().run(baseline, optimized)
+    assert not result.violations, result.summary()
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.module import Module
+from repro.robustness.diffcheck import EntryOutcome, derive_entries, observe
+
+#: Per-entry classifications, most to least severe.
+CLASSIFICATIONS = ("violation", "masked", "benign", "clean", "inconclusive")
+
+
+@dataclass
+class SanitizerFinding:
+    """One seeded entry's classification."""
+
+    fn: str
+    args: Tuple[int, ...]
+    #: One of :data:`CLASSIFICATIONS`.
+    classification: str
+    detail: str = ""
+    #: Outcome capsule for each side: "ok", or the fault class name.
+    baseline: str = "ok"
+    optimized: str = "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fn": self.fn,
+            "args": list(self.args),
+            "classification": self.classification,
+            "detail": self.detail,
+            "baseline": self.baseline,
+            "optimized": self.optimized,
+        }
+
+
+@dataclass
+class SanitizerResult:
+    """All findings of one baseline/optimized comparison."""
+
+    findings: List[SanitizerFinding] = field(default_factory=list)
+    seed: int = 0
+
+    def _of(self, classification: str) -> List[SanitizerFinding]:
+        return [f for f in self.findings if f.classification == classification]
+
+    @property
+    def violations(self) -> List[SanitizerFinding]:
+        return self._of("violation")
+
+    @property
+    def masked(self) -> List[SanitizerFinding]:
+        return self._of("masked")
+
+    @property
+    def benign(self) -> List[SanitizerFinding]:
+        return self._of("benign")
+
+    @property
+    def clean(self) -> List[SanitizerFinding]:
+        return self._of("clean")
+
+    @property
+    def ok(self) -> bool:
+        """True when containment held on every seeded entry."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def counts(self) -> Dict[str, int]:
+        out = {c: 0 for c in CLASSIFICATIONS}
+        for f in self.findings:
+            out[f.classification] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        text = " ".join(f"{c}={counts[c]}" for c in CLASSIFICATIONS if counts[c])
+        first = self.violations[0] if self.violations else None
+        tail = f" first-violation: {first.fn}{first.args}: {first.detail}" if first else ""
+        return f"sanitize[{len(self.findings)} entries] {text or 'no entries'}{tail}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "entries": len(self.findings),
+            "counts": self.counts(),
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class SpeculationSanitizer:
+    """Baseline-vs-optimized execution on the paged model.
+
+    ``entries`` is a list of ``(function_name, argsets)`` pairs; when
+    omitted, seeded entries are derived exactly like the differential
+    checker's (:func:`~repro.robustness.diffcheck.derive_entries`).
+    """
+
+    def __init__(
+        self,
+        entries: Optional[Sequence[Tuple[str, Sequence[Sequence[int]]]]] = None,
+        seed: int = 0,
+        argsets_per_function: int = 3,
+        max_steps: int = 200_000,
+    ):
+        self.explicit_entries = list(entries) if entries is not None else None
+        self.seed = seed
+        self.argsets_per_function = max(1, argsets_per_function)
+        self.max_steps = max_steps
+        self.entries: List[Tuple[str, Tuple[int, ...]]] = []
+        self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
+
+    # -- baseline -----------------------------------------------------------
+
+    def prepare(self, module: Module) -> None:
+        """Capture the pre-pipeline module's paged-model behaviour."""
+        if self.explicit_entries is not None:
+            self.entries = [
+                (fn, tuple(args))
+                for fn, argsets in self.explicit_entries
+                for args in argsets
+            ]
+        else:
+            self.entries = derive_entries(
+                module, self.seed, self.argsets_per_function
+            )
+        self.baseline = {
+            (fn, args): observe(module, fn, args, self.max_steps, mem_model="paged")
+            for fn, args in self.entries
+        }
+
+    # -- classification ------------------------------------------------------
+
+    def check(self, module: Module) -> SanitizerResult:
+        """Classify every prepared entry against ``module``."""
+        result = SanitizerResult(seed=self.seed)
+        for (fn, args), base in self.baseline.items():
+            after = observe(module, fn, args, self.max_steps, mem_model="paged")
+            result.findings.append(self._classify(fn, args, base, after))
+        return result
+
+    def run(self, baseline: Module, optimized: Module) -> SanitizerResult:
+        """Convenience: prepare on ``baseline``, check ``optimized``."""
+        self.prepare(baseline)
+        return self.check(optimized)
+
+    def _classify(
+        self,
+        fn: str,
+        args: Tuple[int, ...],
+        base: EntryOutcome,
+        after: EntryOutcome,
+    ) -> SanitizerFinding:
+        base_cap = "ok" if base.kind == "ok" else base.error_class
+        after_cap = "ok" if after.kind == "ok" else after.error_class
+        finding = SanitizerFinding(
+            fn, tuple(args), "clean", baseline=base_cap, optimized=after_cap
+        )
+        if base.kind == "limit" or after.kind == "limit":
+            finding.classification = "inconclusive"
+            finding.detail = "step budget exhausted"
+            return finding
+        if base.kind == "error":
+            # The program faults before any optimization: whatever the
+            # optimized module does on this input, the optimizer did not
+            # *introduce* the fault.
+            finding.classification = "benign"
+            finding.detail = f"baseline faults too ({base.error_class})"
+            return finding
+        if after.kind == "error":
+            finding.classification = "violation"
+            finding.detail = (
+                f"optimized-only fault {after.error_class}: {after.detail}"
+            )
+            return finding
+        if (
+            after.value != base.value
+            or after.output != base.output
+            or after.memory != base.memory
+        ):
+            # Not a fault, but still an optimized-only behaviour change
+            # observed under the containment model: treat as a violation
+            # (the differential checker would call it a mismatch).
+            finding.classification = "violation"
+            finding.detail = (
+                f"observables diverged (value {after.value} != {base.value})"
+                if after.value != base.value
+                else "observables diverged (output or memory)"
+            )
+            return finding
+        if after.poison_events > base.poison_events:
+            finding.classification = "masked"
+            finding.detail = (
+                f"{after.poison_events} poison event(s) produced and contained"
+            )
+            return finding
+        return finding

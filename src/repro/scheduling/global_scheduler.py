@@ -410,6 +410,10 @@ class GlobalScheduling(Pass):
         insert_at = len(block.instrs) - 1 if term is not None else len(block.instrs)
         if term is not None and term.is_cond_branch:
             instr.attrs["spec_depth"] = instr.attrs.get("spec_depth", 0) + 1
+            # The operation now executes on paths where its block never
+            # ran: under the paged memory model a faulting speculative
+            # load poisons its destination instead of trapping.
+            instr.attrs["speculative"] = True
         if back_edge:
             instr.attrs["rotations"] = instr.attrs.get("rotations", 0) + 1
             ctx.bump("global-sched.pipelined-ops")

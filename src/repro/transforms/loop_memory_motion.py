@@ -235,9 +235,15 @@ class LoopMemoryMotion(Pass):
         # Collect exit edges before any CFG surgery.
         exit_edges = loop.exit_edges(fn)
 
-        # Preheader: initialise the cache register.
+        # Preheader: initialise the cache register. The group members may
+        # be conditionally executed inside the loop, so this load runs on
+        # entries where none of them would have: it is speculative, and
+        # the paged memory model defers (poisons) rather than traps if it
+        # faults. Condition 5 is what makes that fault impossible.
+        init = make_load(cache, disp, base)
+        init.attrs["speculative"] = True
         pre = get_or_create_preheader(fn, loop)
-        insert_before_terminator(pre, make_load(cache, disp, base))
+        insert_before_terminator(pre, init)
 
         # Replace the in-loop accesses with register copies.
         for label, instr in members:
@@ -270,6 +276,11 @@ class LoopMemoryMotion(Pass):
                             i += 1
                         reload = make_load(cache, disp, base)
                         reload.attrs["cached"] = True
+                        # Reloads run whenever the call does, even on
+                        # iterations where no group member would have
+                        # touched the location: speculative like the
+                        # preheader load.
+                        reload.attrs["speculative"] = True
                         bb.insert(i + 1, reload)
                         i += 1
                     i += 1

@@ -255,6 +255,10 @@ class Unspeculation(Pass):
         edge_bb = split_edge(fn, block, dest_bb)
         insert_at = 0
         for instr in instrs:
+            # Below the branch the instruction only runs on the path that
+            # needs its results: it is no longer speculative, so a fault
+            # here must trap rather than poison.
+            instr.attrs.pop("speculative", None)
             edge_bb.insert(insert_at, instr)
             insert_at += 1
 
@@ -383,6 +387,12 @@ class Unspeculation(Pass):
         """Cut the group out of the layout and drop it on the branch edge."""
         follow = branch_block  # the group's single exit target (next block)
         group_labels = {bb.label for bb in group_blocks}
+
+        # The whole group becomes control-dependent on the branch: its
+        # instructions stop being speculative (see _move_instrs_to_edge).
+        for bb in group_blocks:
+            for instr in bb.instrs:
+                instr.attrs.pop("speculative", None)
 
         # Remove the group from the layout. The block laid before the
         # group fell through into it and now falls through into `follow`.

@@ -134,6 +134,125 @@ class TestResilience:
         assert "rolled-back=1 (dce)" in capsys.readouterr().err
 
 
+GUARDED = """
+func f(r3):
+    CI cr0, r3, 0
+    BT done, cr0.eq
+body:
+    L r3, 0(r3)
+done:
+    RET
+"""
+
+
+@pytest.fixture
+def guarded_file(tmp_path):
+    path = tmp_path / "guarded.ir"
+    path.write_text(GUARDED)
+    return str(path)
+
+
+class TestMemModel:
+    def test_run_paged_model(self, ir_file, capsys):
+        assert main(["run", ir_file, "--mem-model", "paged"]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+    def test_run_paged_faults_on_wild_load(self, guarded_file):
+        from repro.machine import MemoryFault
+
+        with pytest.raises(MemoryFault):
+            main(["run", guarded_file, "--entry", "f", "--args", "4",
+                  "--mem-model", "paged"])
+
+    def test_run_flat_tolerates_wild_load(self, guarded_file, capsys):
+        assert main(["run", guarded_file, "--entry", "f", "--args", "4"]) == 0
+        assert "returned 0" in capsys.readouterr().err
+
+    def test_time_paged_model(self, ir_file, capsys):
+        assert main(["time", ir_file, "--levels", "none,vliw",
+                     "--mem-model", "paged"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+
+class TestDiffSeed:
+    def test_seed_echoed_in_report(self, ir_file, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "resilience.json"
+        assert (
+            main(
+                [
+                    "compile",
+                    ir_file,
+                    "--resilience",
+                    "rollback",
+                    "--diff-seed",
+                    "99",
+                    "--resilience-report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(report_path.read_text())
+        assert data["diff_seed"] == 99
+        assert data["containment_violations"] == 0
+
+
+class TestSanitize:
+    def test_clean_module_exits_zero(self, ir_file, capsys):
+        assert main(["sanitize", ir_file, "--level", "vliw"]) == 0
+        captured = capsys.readouterr()
+        assert "sanitize[" in captured.err
+        assert "violation" not in captured.out
+
+    def test_violation_exits_nonzero_and_reports(self, guarded_file, capsys,
+                                                 tmp_path, monkeypatch):
+        # Sabotage the compile so the optimized module hoists the guarded
+        # load unsafely; the sanitize command must catch and report it.
+        import repro.__main__ as cli
+        from repro.robustness.faults import _speculate_unsafely
+
+        real_compile = cli.compile_module
+
+        def sabotaged(module, level, **kwargs):
+            result = real_compile(module, level, **kwargs)
+            _speculate_unsafely(result.module)
+            return result
+
+        monkeypatch.setattr(cli, "compile_module", sabotaged)
+        report_path = tmp_path / "sanitize.json"
+        rc = main(["sanitize", guarded_file, "--level", "base",
+                   "--report", str(report_path)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "!!" in captured.out
+        assert "violation" in captured.out
+
+        import json
+
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is False
+        assert data["counts"]["violation"] >= 1
+
+    def test_sanitize_flag_on_compile(self, guarded_file, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    guarded_file,
+                    "--resilience",
+                    "rollback",
+                    "--fault-plan",
+                    "dce:speculate",
+                    "--sanitize",
+                ]
+            )
+            == 0
+        )
+        assert "rolled-back=1 (dce)" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

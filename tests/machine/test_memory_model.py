@@ -1,0 +1,306 @@
+"""The paged (faulting) memory model and the poison discipline.
+
+The flat model is the historical substrate: every address reads 0, writes
+go anywhere, arithmetic wraps. The paged model is the containment
+substrate: only mapped segments are accessible, division by zero traps,
+and *speculative* instructions defer their faults as poison that traps
+only when consumed by a non-speculative side effect (IA-64 NaT style).
+Flat-model behaviour must be bit-identical to before the paged model
+existed.
+"""
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.machine.interpreter import MachineState, run_function
+from repro.machine.memory import (
+    HEAP_BASE,
+    MEM_MODELS,
+    ArithmeticFault,
+    ExecutionError,
+    FlatMemory,
+    MemoryFault,
+    PagedMemory,
+    SpeculationFault,
+    make_memory,
+)
+from repro.ir.module import STACK_BASE
+
+
+GUARDED_LOAD = """
+func f(r3):
+    CI cr0, r3, 0
+    BT done, cr0.eq
+body:
+    L r3, 0(r3)
+done:
+    RET
+"""
+
+DATA_LOAD = """
+data a: size=16 init=[11, 22, 33, 44]
+
+func f(r3):
+    LA r9, a
+    L r3, 0(r9)
+    RET
+"""
+
+
+def _tag_speculative(module, fn, opcode="L"):
+    """Mark every ``opcode`` instruction in ``fn`` speculative."""
+    for bb in module.functions[fn].blocks:
+        for instr in bb.instrs:
+            if instr.opcode == opcode:
+                instr.attrs["speculative"] = True
+
+
+class TestMemoryObjects:
+    def test_make_memory_models(self):
+        assert MEM_MODELS == ("flat", "paged")
+        assert isinstance(make_memory("flat"), FlatMemory)
+        assert isinstance(make_memory("paged"), PagedMemory)
+        with pytest.raises(ValueError):
+            make_memory("segmented")
+
+    def test_flat_memory_never_faults(self):
+        mem = make_memory("flat")
+        assert mem.load(0xDEADBEEF) == 0
+        mem.store(0xDEADBEEF, 7)
+        assert mem.load(0xDEADBEEF) == 7
+        assert mem.faulting is False
+
+    def test_paged_premaps_stack_and_heap(self):
+        mem = make_memory("paged")
+        assert mem.faulting is True
+        assert mem.is_mapped(STACK_BASE - 4)
+        assert mem.is_mapped(HEAP_BASE)
+        assert not mem.is_mapped(0)
+        assert not mem.is_mapped(0xDEADBEEF)
+
+    def test_paged_unmapped_access_faults(self):
+        mem = make_memory("paged")
+        with pytest.raises(MemoryFault):
+            mem.load(0x4)
+        with pytest.raises(MemoryFault):
+            mem.store(0x4, 1)
+        mem.map_segment("blob", 0x1000, 8)
+        mem.store(0x1000, 9)
+        assert mem.load(0x1000) == 9
+        with pytest.raises(MemoryFault):
+            mem.load(0x1008)
+
+    def test_fault_hierarchy(self):
+        for cls in (MemoryFault, ArithmeticFault, SpeculationFault):
+            assert issubclass(cls, ExecutionError)
+
+
+class TestFaultingExecution:
+    def test_guarded_load_ok_on_both_models(self):
+        m = parse_module(GUARDED_LOAD)
+        assert run_function(m, "f", [0]).value == 0
+        assert run_function(m, "f", [0], mem_model="paged").value == 0
+
+    def test_wild_load_faults_only_on_paged(self):
+        m = parse_module(GUARDED_LOAD)
+        # flat: address 4 is unmapped but reads 0
+        assert run_function(m, "f", [4]).value == 0
+        with pytest.raises(MemoryFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_data_objects_are_mapped(self):
+        m = parse_module(DATA_LOAD)
+        assert run_function(m, "f", [0], mem_model="paged").value == 11
+
+    def test_out_of_object_access_faults(self):
+        src = """
+data a: size=8
+
+func f(r3):
+    LA r9, a
+    L r3, 4096(r9)
+    RET
+"""
+        m = parse_module(src)
+        assert run_function(m, "f", [0]).value == 0
+        with pytest.raises(MemoryFault):
+            run_function(m, "f", [0], mem_model="paged")
+
+    def test_wild_store_faults_only_on_paged(self):
+        src = """
+func f(r3):
+    ST 0(r3), r3
+    RET
+"""
+        m = parse_module(src)
+        run_function(m, "f", [4])  # flat: fine
+        with pytest.raises(MemoryFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_update_load_faults_on_paged(self):
+        src = """
+func f(r3):
+    LU r4, 8(r3)
+    RET
+"""
+        m = parse_module(src)
+        run_function(m, "f", [0])
+        with pytest.raises(MemoryFault):
+            run_function(m, "f", [0], mem_model="paged")
+
+
+class TestArithmeticFaults:
+    DIV = """
+func g(r3, r4):
+    DIV r3, r3, r4
+    RET
+"""
+
+    def test_flat_divide_by_zero_wraps_to_zero(self):
+        m = parse_module(self.DIV)
+        assert run_function(m, "g", [5, 0]).value == 0
+
+    def test_paged_divide_by_zero_traps(self):
+        m = parse_module(self.DIV)
+        with pytest.raises(ArithmeticFault):
+            run_function(m, "g", [5, 0], mem_model="paged")
+
+    def test_paged_divide_ok_when_nonzero(self):
+        m = parse_module(self.DIV)
+        assert run_function(m, "g", [15, 3], mem_model="paged").value == 5
+
+    def test_speculative_divide_by_zero_poisons_instead(self):
+        src = """
+func g(r3, r4):
+    DIV r5, r3, r4
+    LI r3, 42
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "g", opcode="DIV")
+        # r5 is poisoned but dead: the run completes.
+        result = run_function(m, "g", [5, 0], mem_model="paged")
+        assert result.value == 42
+        assert result.state.poison_events == 1
+
+
+class TestPoisonDiscipline:
+    def test_speculative_fault_produces_poison_not_trap(self):
+        m = parse_module(GUARDED_LOAD)
+        _tag_speculative(m, "f")
+        # r3 != 0 takes the load; the tag only matters when it faults, and
+        # r3=4 is unmapped — but the guard path *consumes* r3 at RET.
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_poison_dies_quietly_when_unconsumed(self):
+        src = """
+func f(r3):
+    L r4, 0(r3)
+    LI r3, 7
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "f")
+        result = run_function(m, "f", [4], mem_model="paged")
+        assert result.value == 7
+        assert result.state.poison_events == 1
+
+    def test_poison_propagates_through_alu(self):
+        src = """
+func f(r3):
+    L r4, 0(r3)
+    AI r5, r4, 1
+    A r3, r5, r5
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "f")
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_clean_overwrite_clears_poison(self):
+        src = """
+func f(r3):
+    L r4, 0(r3)
+    LI r4, 9
+    A r3, r4, r4
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "f")
+        result = run_function(m, "f", [4], mem_model="paged")
+        assert result.value == 18
+        assert result.state.poison_events == 1
+
+    def test_poisoned_store_value_traps(self):
+        src = """
+data a: size=8
+
+func f(r3):
+    L r4, 0(r3)
+    LA r9, a
+    ST 0(r9), r4
+    LI r3, 0
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "f")
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_poisoned_branch_condition_traps(self):
+        src = """
+func f(r3):
+    L r4, 0(r3)
+    CI cr0, r4, 0
+    BT done, cr0.eq
+body:
+    LI r3, 1
+done:
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "f")
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_poisoned_libcall_argument_traps(self):
+        src = """
+func f(r3):
+    L r3, 0(r3)
+    CALL print_int
+    LI r3, 0
+    RET
+"""
+        m = parse_module(src)
+        _tag_speculative(m, "f")
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_non_speculative_load_still_traps_directly(self):
+        m = parse_module(GUARDED_LOAD)  # untagged
+        with pytest.raises(MemoryFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_flat_model_ignores_poison_machinery(self):
+        m = parse_module(GUARDED_LOAD)
+        _tag_speculative(m, "f")
+        result = run_function(m, "f", [4])
+        assert result.value == 0
+        assert result.state.poison_events == 0
+
+
+class TestMachineStatePoison:
+    def test_taint_and_clear(self):
+        from repro.ir.operands import gpr
+
+        state = MachineState(mem_model="paged")
+        state.taint(gpr(4), seed=True)
+        assert state.is_poisoned(gpr(4))
+        assert state.poison_events == 1
+        state.set(gpr(4), 5)
+        assert not state.is_poisoned(gpr(4))
+        # propagation-only taints do not bump the seed counter
+        state.taint(gpr(5))
+        assert state.poison_events == 1

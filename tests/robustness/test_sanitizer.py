@@ -1,0 +1,286 @@
+"""Speculation-containment sanitizer: classification and guard wiring.
+
+The acceptance contract: a pass that hoists a load past its guard
+without tagging safety produces a module the flat-model diff checker
+cannot distinguish from the original (unmapped flat loads read 0), but
+the paged-model sanitizer classifies the entry as a *containment
+violation*, the guard records it as a ``containment`` failure, the
+``rollback`` policy restores the pre-pass module, and the pipeline still
+completes.
+"""
+
+import json
+
+import pytest
+
+from repro.ir import parse_module
+from repro.machine.interpreter import run_function
+from repro.pipeline import compile_module
+from repro.robustness import (
+    CLASSIFICATIONS,
+    ContainmentViolationError,
+    DifferentialChecker,
+    FaultPlan,
+    FaultSpec,
+    GuardedPassManager,
+    SpeculationSanitizer,
+)
+from repro.robustness.faults import _speculate_unsafely
+from repro.transforms import DeadCodeElimination, Straighten
+
+#: The guarded-load shape every test here revolves around: with r3 == 0
+#: the load is skipped; its destination is the return value, so a
+#: mis-speculated hoist is consumed at RET.
+GUARDED = """
+func f(r3):
+    CI cr0, r3, 0
+    BT done, cr0.eq
+body:
+    L r3, 0(r3)
+done:
+    RET
+"""
+
+#: Same guard, but the loaded value is dead on the skip path: a hoisted
+#: speculative load that faults produces poison nothing ever consumes.
+DEAD_DEST = """
+func f(r3):
+    CI cr0, r3, 0
+    BT done, cr0.eq
+body:
+    L r4, 0(r3)
+done:
+    LI r3, 7
+    RET
+"""
+
+
+def hoisted(src: str):
+    """Parse ``src`` and unsafely hoist its guarded load (tagged)."""
+    module = parse_module(src)
+    assert _speculate_unsafely(module)
+    return module
+
+
+class TestClassifications:
+    def test_clean_when_nothing_changed(self):
+        m = parse_module(GUARDED)
+        result = SpeculationSanitizer(entries=[("f", [[0]])]).run(m, m)
+        assert result.ok
+        assert [f.classification for f in result.findings] == ["clean"]
+
+    def test_benign_when_baseline_faults_too(self):
+        m = parse_module(GUARDED)
+        result = SpeculationSanitizer(entries=[("f", [[4]])]).run(m, hoisted(GUARDED))
+        assert result.ok  # program bug, not an optimizer bug
+        assert [f.classification for f in result.findings] == ["benign"]
+        assert result.findings[0].baseline == "MemoryFault"
+
+    def test_violation_when_poison_is_consumed(self):
+        m = parse_module(GUARDED)
+        result = SpeculationSanitizer(entries=[("f", [[0]])]).run(m, hoisted(GUARDED))
+        assert not result.ok
+        assert not result
+        finding = result.violations[0]
+        assert finding.optimized == "SpeculationFault"
+        assert "optimized-only fault" in finding.detail
+
+    def test_masked_when_poison_dies_unconsumed(self):
+        m = parse_module(DEAD_DEST)
+        result = SpeculationSanitizer(entries=[("f", [[0]])]).run(m, hoisted(DEAD_DEST))
+        assert result.ok  # containment worked exactly as designed
+        assert [f.classification for f in result.findings] == ["masked"]
+
+    def test_inconclusive_on_step_budget(self):
+        src = """
+func f(r3):
+    LI r4, 1000000
+    MTCTR r4
+loop:
+    BCT loop
+done:
+    RET
+"""
+        m = parse_module(src)
+        sanitizer = SpeculationSanitizer(entries=[("f", [[0]])], max_steps=10)
+        result = sanitizer.run(m, m)
+        assert [f.classification for f in result.findings] == ["inconclusive"]
+        assert result.ok
+
+    def test_value_divergence_is_a_violation(self):
+        # Not a fault, but an optimized-only behaviour change observed
+        # under the containment model: still a violation.
+        before = parse_module("func f(r3):\n    LI r3, 7\n    RET\n")
+        after = parse_module("func f(r3):\n    LI r3, 8\n    RET\n")
+        result = SpeculationSanitizer(entries=[("f", [[0]])]).run(before, after)
+        assert not result.ok
+        assert "diverged" in result.violations[0].detail
+
+    def test_derived_entries_cover_every_function(self):
+        m = parse_module(GUARDED)
+        sanitizer = SpeculationSanitizer(seed=7, argsets_per_function=3)
+        result = sanitizer.run(m, m)
+        assert result.seed == 7
+        assert all(f.fn == "f" for f in result.findings)
+        assert len(result.findings) >= 2
+
+
+class TestResultApi:
+    def test_counts_and_summary(self):
+        m = parse_module(GUARDED)
+        result = SpeculationSanitizer(
+            entries=[("f", [[0], [4]])]
+        ).run(m, hoisted(GUARDED))
+        counts = result.counts()
+        assert set(counts) == set(CLASSIFICATIONS)
+        assert counts["violation"] == 1
+        assert counts["benign"] == 1
+        assert "violation=1" in result.summary()
+        assert "first-violation" in result.summary()
+
+    def test_json_round_trip(self):
+        m = parse_module(GUARDED)
+        result = SpeculationSanitizer(entries=[("f", [[0]])]).run(m, hoisted(GUARDED))
+        payload = json.loads(result.to_json())
+        assert payload["ok"] is False
+        assert payload["entries"] == 1
+        assert payload["findings"][0]["classification"] == "violation"
+        assert payload["findings"][0]["args"] == [0]
+
+
+class TestGuardIntegration:
+    def _plan(self):
+        return FaultPlan([FaultSpec(pass_name="dce", kind="speculate")])
+
+    def _passes(self):
+        return self._plan().apply([Straighten(), DeadCodeElimination()])
+
+    def test_flat_checker_is_blind_to_the_hoist(self):
+        # The premise of the whole sanitizer: the flat model cannot see
+        # the unsafe hoist because unmapped flat loads read 0.
+        module = parse_module(GUARDED)
+        checker = DifferentialChecker()
+        checker.prepare(module)
+        assert _speculate_unsafely(module)
+        assert checker.check(module).kind == "match"
+
+    def test_violation_rolls_back_and_pipeline_completes(self):
+        module = parse_module(GUARDED)
+        manager = GuardedPassManager(
+            self._passes(),
+            policy="rollback",
+            checker=DifferentialChecker(),
+            sanitizer=SpeculationSanitizer(),
+        )
+        manager.run(module)
+        report = manager.report
+        assert report.containment_violations == 1
+        assert report.failures[0].kind == "containment"
+        assert report.failures[0].pass_name == "dce"
+        # rollback restored the guard: paged execution is clean again
+        assert run_function(module, "f", [0], mem_model="paged").value == 0
+        # every pipeline position still ran
+        assert len(report.records) == 2
+        bad = [r for r in report.records if r.name == "dce"][0]
+        assert bad.outcome == "rolled-back"
+        assert bad.sanitize == "violation"
+
+    def test_strict_policy_raises_typed_error(self):
+        module = parse_module(GUARDED)
+        manager = GuardedPassManager(
+            self._passes(),
+            policy="strict",
+            checker=DifferentialChecker(),
+            sanitizer=SpeculationSanitizer(),
+        )
+        with pytest.raises(ContainmentViolationError, match="dce"):
+            manager.run(module)
+
+    def test_masked_hoist_is_kept_and_recorded(self):
+        # Inject on straighten, before DCE gets a chance to delete the
+        # dead-destination load: the sanitizer sees the contained poison.
+        plan = FaultPlan([FaultSpec(pass_name="straighten", kind="speculate")])
+        module = parse_module(DEAD_DEST)
+        manager = GuardedPassManager(
+            plan.apply([Straighten(), DeadCodeElimination()]),
+            policy="rollback",
+            checker=DifferentialChecker(),
+            sanitizer=SpeculationSanitizer(),
+        )
+        manager.run(module)
+        assert manager.report.containment_violations == 0
+        rec = [r for r in manager.report.records if r.name == "straighten"][0]
+        assert rec.outcome == "ok"
+        assert rec.sanitize == "masked"
+
+    def test_diff_seed_recorded_in_report(self):
+        module = parse_module(GUARDED)
+        manager = GuardedPassManager(
+            [Straighten()],
+            policy="rollback",
+            checker=DifferentialChecker(seed=41),
+            sanitizer=SpeculationSanitizer(seed=41),
+        )
+        manager.run(module)
+        payload = json.loads(manager.report.to_json())
+        assert payload["diff_seed"] == 41
+        assert "containment_violations" in payload
+        assert payload["records"][0]["sanitize"] in ("ok", "masked", "skipped")
+
+
+class TestPipelineWiring:
+    def test_compile_module_sanitize_flag(self):
+        module = parse_module(GUARDED)
+        result = compile_module(
+            module,
+            level="base",
+            resilience="rollback",
+            fault_plan=FaultPlan([FaultSpec(pass_name="dce", kind="speculate")]),
+            sanitize=True,
+            diff_seed=13,
+        )
+        report = result.resilience
+        assert report is not None
+        assert report.diff_seed == 13
+        assert report.containment_violations == 1
+        # the compiled module is still semantically the guarded original
+        assert run_function(result.module, "f", [0], mem_model="paged").value == 0
+
+    def test_scheduler_forced_past_guard_is_contained(self):
+        # The acceptance scenario: the (sabotaged) scheduler hoists a load
+        # past the guard that makes it safe. The flat diff checker stays
+        # blind, the sanitizer convicts, rollback restores the pre-pass
+        # module, and the full VLIW pipeline still completes.
+        module = parse_module(GUARDED)
+        result = compile_module(
+            module,
+            level="vliw",
+            resilience="rollback",
+            fault_plan=FaultPlan(
+                [FaultSpec(pass_name="vliw-scheduling", kind="speculate")]
+            ),
+            sanitize=True,
+        )
+        report = result.resilience
+        assert report.containment_violations == 1
+        bad = [f for f in report.failures if f.kind == "containment"][0]
+        assert bad.pass_name == "vliw-scheduling"
+        # every pipeline position ran to completion despite the rollback
+        assert [r.index for r in report.records] == list(range(len(report.records)))
+        assert len(report.records) > 5
+        # the shipped module is containment-clean again
+        assert run_function(result.module, "f", [0], mem_model="paged").value == 0
+
+    def test_sanitize_off_by_default(self):
+        module = parse_module(GUARDED)
+        result = compile_module(
+            module,
+            level="base",
+            resilience="rollback",
+            fault_plan=FaultPlan([FaultSpec(pass_name="dce", kind="speculate")]),
+        )
+        # without the sanitizer the unsafe hoist sails through: the flat
+        # diff checker cannot see it
+        assert result.resilience.containment_violations == 0
+        with pytest.raises(Exception):
+            run_function(result.module, "f", [0], mem_model="paged")

@@ -1,0 +1,242 @@
+"""Speculation tagging across the passes that create (or undo) it.
+
+Any pass that moves a load to a point where its guard may not have
+executed must tag the moved instruction ``attrs["speculative"]`` so the
+paged memory model can contain a mis-speculated fault as poison instead
+of a trap. Unspeculation moves instructions back *below* their guards,
+so it clears the tag. The verifier's opt-in ``check_speculation`` mode
+rejects the tag on anything with a non-speculative side effect.
+"""
+
+import pytest
+
+from repro.ir import parse_module, verify_module
+from repro.ir.verifier import VerificationError, verify_function
+from repro.machine.interpreter import run_function
+from repro.machine.memory import SpeculationFault
+from repro.scheduling.global_scheduler import GlobalScheduling
+from repro.transforms import LoopMemoryMotion, Unspeculation
+from repro.transforms.pass_manager import PassContext
+
+from support import assert_equivalent
+
+
+def _speculative_instrs(module):
+    return [
+        instr
+        for fn in module.functions.values()
+        for bb in fn.blocks
+        for instr in bb.instrs
+        if instr.is_speculative
+    ]
+
+
+class TestLoopMemoryMotionTags:
+    SRC = """
+data a: size=16 init=[0, 0, 0, 5]
+data b: size=40 init=[1, 0, 1, 1, 0, 1, 0, 0, 1, 1]
+
+func f(r3):
+    LA r4, a
+    LA r6, b
+    LI r5, 0
+loop:
+    L r7, 0(r6)
+    CI cr0, r7, 0
+    BT skip, cr0.eq
+    L r3, 12(r4)
+    AI r3, r3, 1
+    ST 12(r4), r3
+skip:
+    AI r6, r6, 4
+    AI r5, r5, 1
+    CI cr1, r5, 10
+    BF loop, cr1.eq
+done:
+    L r3, 12(r4)
+    RET
+"""
+
+    def test_preheader_load_is_tagged(self):
+        module = parse_module(self.SRC)
+        changed = LoopMemoryMotion().run_on_module(module, PassContext(module))
+        assert changed
+        verify_module(module, check_speculation=True)
+        tagged = _speculative_instrs(module)
+        assert tagged, "loop-memory-motion moved a load but tagged nothing"
+        assert all(i.is_load for i in tagged)
+
+    def test_tagged_module_runs_clean_on_paged(self):
+        before = parse_module(self.SRC)
+        after = parse_module(self.SRC)
+        LoopMemoryMotion().run_on_module(after, PassContext(after))
+        # condition 5 guarantees the moved load's address is always valid,
+        # so the speculative tag never converts a real fault
+        r = run_function(after, "f", [0], mem_model="paged")
+        assert r.value == run_function(before, "f", [0], mem_model="paged").value
+
+
+class TestGlobalSchedulerTags:
+    SRC = """
+data a: size=32 init=[5, 6, 7, 8]
+
+func f(r3):
+    LA r9, a
+    CI cr0, r3, 0
+    BT skip, cr0.le
+take:
+    L r4, 0(r9)
+    AI r4, r4, 1
+    A r3, r3, r4
+    RET
+skip:
+    LI r3, -1
+    RET
+"""
+
+    def test_hoisted_load_is_tagged(self):
+        module = parse_module(self.SRC)
+        GlobalScheduling().run_on_module(module, PassContext(module))
+        verify_module(module, check_speculation=True)
+        entry = module.functions["f"].blocks[0]
+        hoisted = [i for i in entry.instrs if i.is_load]
+        assert hoisted, "expected the guarded load hoisted into the entry block"
+        assert all(i.is_speculative for i in hoisted)
+
+    def test_untouched_instructions_not_tagged(self):
+        module = parse_module(self.SRC)
+        GlobalScheduling().run_on_module(module, PassContext(module))
+        for fn in module.functions.values():
+            for bb in fn.blocks:
+                for instr in bb.instrs:
+                    if instr.is_speculative:
+                        assert instr.is_load or not instr.is_memory
+
+    def test_semantics_preserved_on_paged(self):
+        before = parse_module(self.SRC)
+        after = parse_module(self.SRC)
+        GlobalScheduling().run_on_module(after, PassContext(after))
+        for args in ([1], [0], [-1], [10]):
+            r0 = run_function(before, "f", list(args), mem_model="paged")
+            r1 = run_function(after, "f", list(args), mem_model="paged")
+            assert r1.value == r0.value
+
+
+class TestUnspeculationClearsTags:
+    SRC = """
+data out: size=8
+
+func f(r3):
+    LA r9, out
+    LI r4, 1
+    CI cr0, r3, 0
+    BT cold, cr0.gt
+    B join
+cold:
+    LI r5, 99
+    ST 4(r9), r5
+    LI r4, 0
+join:
+    ST 0(r9), r4
+    LR r3, r4
+    RET
+"""
+
+    def test_pushed_instruction_loses_tag(self):
+        module = parse_module(self.SRC)
+        # Tag the speculative flag-setting LI the way a hoisting pass would.
+        entry = module.functions["f"].blocks[0]
+        for instr in entry.instrs:
+            if instr.opcode == "LI":
+                instr.attrs["speculative"] = True
+        ctx = PassContext(module)
+        Unspeculation().run_on_module(module, ctx)
+        assert ctx.stats.get("unspeculation.instrs-pushed", 0) >= 1
+        # Whatever was pushed below its guard is no longer speculative.
+        assert not _speculative_instrs(module)
+
+    def test_unspeculated_module_semantics(self):
+        before = parse_module(self.SRC)
+        after = parse_module(self.SRC)
+        for instr in after.functions["f"].blocks[0].instrs:
+            if instr.opcode == "LI":
+                instr.attrs["speculative"] = True
+        Unspeculation().run_on_module(after, PassContext(after))
+        verify_module(after, check_speculation=True)
+        assert_equivalent(before, after, "f", [[0], [5], [-5]])
+
+
+class TestRoundTrip:
+    def test_speculative_tag_survives_print_parse(self):
+        from repro.ir.printer import format_module
+
+        module = parse_module(TestGlobalSchedulerTags.SRC)
+        GlobalScheduling().run_on_module(module, PassContext(module))
+        assert _speculative_instrs(module)
+        text = format_module(module)
+        assert "!spec" in text
+        reparsed = parse_module(text)
+        assert len(_speculative_instrs(reparsed)) == len(
+            _speculative_instrs(module)
+        )
+        # and a second round trip is stable
+        assert format_module(reparsed) == text
+
+    def test_untagged_ir_prints_without_marker(self):
+        from repro.ir.printer import format_module
+
+        module = parse_module(TestGlobalSchedulerTags.SRC)
+        assert "!spec" not in format_module(module)
+
+
+class TestVerifierSpeculationCheck:
+    def test_speculative_store_rejected(self):
+        src = """
+data a: size=8
+
+func f(r3):
+    LA r9, a
+    ST 0(r9), r3
+    RET
+"""
+        module = parse_module(src)
+        for bb in module.functions["f"].blocks:
+            for instr in bb.instrs:
+                if instr.opcode == "ST":
+                    instr.attrs["speculative"] = True
+        # default mode tolerates it (opt-in check)
+        verify_module(module)
+        with pytest.raises(VerificationError, match="speculative"):
+            verify_module(module, check_speculation=True)
+
+    def test_speculative_branch_rejected(self):
+        src = """
+func f(r3):
+    CI cr0, r3, 0
+    BT done, cr0.eq
+body:
+    LI r3, 1
+done:
+    RET
+"""
+        module = parse_module(src)
+        for bb in module.functions["f"].blocks:
+            term = bb.terminator
+            if term is not None and term.is_cond_branch:
+                term.attrs["speculative"] = True
+        with pytest.raises(VerificationError, match="speculative"):
+            verify_function(module.functions["f"], check_speculation=True)
+
+    def test_speculative_load_accepted(self):
+        src = """
+func f(r3):
+    L r4, 0(r3)
+    LI r3, 0
+    RET
+"""
+        module = parse_module(src)
+        for bb in module.functions["f"].blocks:
+            for instr in bb.instrs:
+                if instr.is_load:
+                    instr.attrs["speculative"] = True
+        verify_module(module, check_speculation=True)
