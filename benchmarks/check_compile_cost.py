@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate on guarded compile cost: fail if it regressed >25% vs reference.
+
+The E2 guarded benchmark (``benchmarks/test_e2_compile_cost.py``) writes
+``BENCH_compile.json`` with, among other figures, the ratio of the
+fast-guarded suite compile time to the plain suite compile time.  That
+ratio cancels out machine speed (both sides run on the same interpreter
+on the same box), so it can be compared against a checked-in reference
+(``benchmarks/compile_cost_reference.json``) across CI runners.
+
+Usage::
+
+    python benchmarks/check_compile_cost.py [BENCH_compile.json [reference.json]]
+
+Exits non-zero when the current ratio exceeds the reference by more than
+the tolerance — i.e. when guarded compiles got relatively slower.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.25  # fail when >25% worse than the reference ratio
+
+
+def main(argv):
+    bench_path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_compile.json")
+    ref_path = (
+        Path(argv[2])
+        if len(argv) > 2
+        else Path(__file__).parent / "compile_cost_reference.json"
+    )
+    if not bench_path.exists():
+        print(f"error: {bench_path} not found — run the E2 benchmark first:")
+        print("  PYTHONPATH=src python -m pytest -q benchmarks/test_e2_compile_cost.py")
+        return 2
+
+    bench = json.loads(bench_path.read_text())
+    reference = json.loads(ref_path.read_text())
+
+    current = bench["guarded_fast_over_plain"]
+    baseline = reference["guarded_fast_over_plain"]
+    limit = baseline * (1.0 + TOLERANCE)
+
+    print(f"guarded/plain compile-time ratio: {current:.3f} "
+          f"(reference {baseline:.3f}, limit {limit:.3f})")
+    print(f"single-shot speedup vs legacy:    "
+          f"{bench.get('single_shot_speedup', float('nan')):.3f}")
+    print(f"repetition speedup vs legacy:     "
+          f"{bench.get('repeated_speedup', float('nan')):.3f}")
+
+    if current > limit:
+        print(f"FAIL: guarded compile cost regressed "
+              f"{100.0 * (current / baseline - 1.0):.1f}% over the reference "
+              f"(tolerance {100.0 * TOLERANCE:.0f}%)")
+        return 1
+    print("OK: guarded compile cost within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -50,6 +50,11 @@ def cmd_compile(args) -> int:
         from repro.robustness import load_fault_plan
 
         fault_plan = load_fault_plan(args.fault_plan)
+    trace = None
+    if args.trace_out:
+        from repro.perf import TraceRecorder
+
+        trace = TraceRecorder(process_name=f"repro compile {args.file}")
     result = compile_module(
         module,
         args.level,
@@ -61,6 +66,8 @@ def cmd_compile(args) -> int:
         sanitize=args.sanitize,
         diff_seed=args.diff_seed,
         mem_model=args.mem_model,
+        jobs=args.jobs,
+        trace=trace,
     )
     print(format_module(result.module))
     print(
@@ -75,6 +82,13 @@ def cmd_compile(args) -> int:
             with open(args.resilience_report, "w") as handle:
                 handle.write(result.resilience.to_json())
             print(f"# wrote {args.resilience_report}", file=sys.stderr)
+    if trace is not None:
+        trace.write(args.trace_out)
+        print(
+            f"# wrote {args.trace_out} ({len(trace.events)} trace events; "
+            "load in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -256,6 +270,18 @@ def main(argv=None) -> int:
         choices=MEM_MODELS,
         default="flat",
         help="execution substrate for the differential checker",
+    )
+    p_compile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for per-function pass work "
+        "(output is bit-identical to --jobs 1)",
+    )
+    p_compile.add_argument(
+        "--trace-out",
+        help="write per-(pass, function) compile spans as Chrome "
+        "trace-event JSON (open in chrome://tracing)",
     )
     p_compile.set_defaults(func=cmd_compile)
 

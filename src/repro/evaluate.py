@@ -15,6 +15,7 @@ from repro.machine.interpreter import run_function
 from repro.machine.model import MachineModel, RS6000
 from repro.machine.timer import TimingReport, time_trace
 from repro.pdf.profile import ProfileData, collect_profile
+from repro.perf.memo import DEFAULT_CACHE, CompileCache, config_key
 from repro.pipeline import CompileResult, compile_module
 from repro.robustness.report import ResilienceReport
 from repro.workloads import Workload, suite
@@ -37,6 +38,9 @@ class Measurement:
     rollbacks: int = 0
     #: Per-pass diagnostics when compiled with ``resilience=``; else None.
     resilience_report: Optional[ResilienceReport] = None
+    #: True when the compile was served from a :class:`CompileCache`
+    #: (``compile_seconds`` then reports the original compile's cost).
+    memo_hit: bool = False
 
     @property
     def ipc(self) -> float:
@@ -52,6 +56,7 @@ def measure(
     check_against: Optional[int] = None,
     resilience: Optional[str] = None,
     mem_model: str = "flat",
+    memo=False,
     **compile_kwargs,
 ) -> Measurement:
     """Compile and time one workload; verifies the computed value.
@@ -60,17 +65,39 @@ def measure(
     the per-pass report lands on ``Measurement.resilience_report``.
     ``mem_model`` selects the execution substrate for the final timed run
     (``"paged"`` makes stray accesses fault instead of reading 0).
+
+    ``memo`` caches compile results keyed by (module fingerprint, level,
+    pipeline config) so benchmark repetitions skip recompiling identical
+    modules: ``True`` uses the process-wide cache, or pass a
+    :class:`~repro.perf.memo.CompileCache` to scope it. Profile-guided
+    compiles are never cached (the profile is not part of the key).
     """
     module = workload.fresh_module()
-    compiled = compile_module(
-        module,
-        level=level,
-        model=model,
-        profile=profile,
-        plan=plan,
-        resilience=resilience,
-        **compile_kwargs,
-    )
+    cache: Optional[CompileCache] = None
+    if memo is not False and profile is None and plan is None:
+        # ``memo`` is True (process-wide cache) or a CompileCache; an
+        # *empty* cache is falsy (__len__), so never truth-test it.
+        cache = DEFAULT_CACHE if memo is True else memo
+    compiled: Optional[CompileResult] = None
+    memo_hit = False
+    if cache is not None:
+        key = config_key(
+            level, model=model.name, resilience=resilience, **compile_kwargs
+        )
+        compiled = cache.lookup(module, key)
+        memo_hit = compiled is not None
+    if compiled is None:
+        compiled = compile_module(
+            module,
+            level=level,
+            model=model,
+            profile=profile,
+            plan=plan,
+            resilience=resilience,
+            **compile_kwargs,
+        )
+        if cache is not None:
+            cache.store(module, key, compiled)
     result = run_function(
         compiled.module,
         workload.entry,
@@ -96,6 +123,7 @@ def measure(
         pass_changes=dict(compiled.pass_changes),
         rollbacks=compiled.resilience.rollbacks if compiled.resilience else 0,
         resilience_report=compiled.resilience,
+        memo_hit=memo_hit,
     )
 
 

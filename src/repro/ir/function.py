@@ -189,5 +189,19 @@ class Function:
             copy.add_block(bb.clone(bb.label))
         return copy
 
+    def restore_from(self, snapshot: "Function") -> None:
+        """Become ``snapshot``, in place and exhaustively.
+
+        Mirror of :meth:`Module.restore_from` at function granularity:
+        adopts every attribute of ``snapshot`` (blocks, params, label
+        counter, reserved registers, anything a pass added) while keeping
+        this object's identity, so references held by the enclosing
+        module or by analyses stay valid.
+        """
+        for key in list(self.__dict__):
+            if key not in snapshot.__dict__:
+                del self.__dict__[key]
+        self.__dict__.update(snapshot.__dict__)
+
     def __repr__(self) -> str:
         return f"<Function {self.name}: {len(self.blocks)} blocks>"

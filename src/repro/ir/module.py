@@ -98,5 +98,21 @@ class Module:
             copy.add_data(obj.name, obj.size, list(obj.init), obj.volatile)
         return copy
 
+    def restore_from(self, snapshot: "Module") -> None:
+        """Become ``snapshot``, in place and exhaustively.
+
+        Every instance attribute is taken from ``snapshot`` — including
+        attributes a (faulty) pass may have *added* to this module, which
+        are dropped. The snapshot's own functions/data objects are
+        adopted rather than copied, so the snapshot must not be reused
+        afterwards (clone it first if it must stay pristine). Callers
+        holding a reference to this module see the restored state; that
+        is the rollback contract of the guarded pass manager.
+        """
+        for key in list(self.__dict__):
+            if key not in snapshot.__dict__:
+                del self.__dict__[key]
+        self.__dict__.update(snapshot.__dict__)
+
     def __repr__(self) -> str:
         return f"<Module {self.name}: {len(self.functions)} functions, {len(self.data)} data>"

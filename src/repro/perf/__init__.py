@@ -1,0 +1,38 @@
+"""Compile-performance layer: fingerprints, COW snapshots, memoization,
+function-parallel pass execution support, and compile-time tracing.
+
+The paper reports compile-time cost as a first-class result (its
+Section 6 table motivates "limited" variants of every technique); this
+package keeps the *guarded* pipeline's robustness affordable:
+
+- :mod:`repro.perf.fingerprint` — structural content hashes of
+  functions/modules; the foundation everything else keys on.
+- :mod:`repro.perf.snapshot` — :class:`SnapshotStore`: per-function
+  copy-on-write snapshots for the guarded pass manager (full clones
+  only for ``run_on_module`` passes).
+- :mod:`repro.perf.memo` — :class:`CompileCache`: whole-compile
+  memoization for ``evaluate.measure`` across benchmark repetitions.
+- :mod:`repro.perf.trace` — :class:`TraceRecorder`: per-(pass, function)
+  spans and counters in Chrome trace-event JSON (``--trace-out``).
+"""
+
+from repro.perf.fingerprint import (
+    fingerprint_function,
+    fingerprint_module,
+    module_fingerprints,
+)
+from repro.perf.memo import DEFAULT_CACHE, CompileCache, config_key
+from repro.perf.snapshot import CowSnapshot, SnapshotStore
+from repro.perf.trace import TraceRecorder
+
+__all__ = [
+    "CompileCache",
+    "CowSnapshot",
+    "DEFAULT_CACHE",
+    "SnapshotStore",
+    "TraceRecorder",
+    "config_key",
+    "fingerprint_function",
+    "fingerprint_module",
+    "module_fingerprints",
+]

@@ -1,0 +1,99 @@
+"""Structural content hashes for functions and modules.
+
+A fingerprint is a short hex digest of everything semantically relevant
+in a piece of IR — opcodes, operands, immediates, displacements, branch
+targets, block labels and order, parameters, and the full ``attrs``
+dict (the printer only shows ``!spec``, but pinning attrs like ``save``/
+``restore``/``volatile`` change semantics too). Process-unique state is
+excluded: instruction ``uid``\\ s, label counters and reserved-register
+bookkeeping all differ between a function and its clone, yet a clone
+must fingerprint identically to its original — the whole point is that
+*content*, not identity, keys the caches built on top:
+
+- :class:`~repro.perf.snapshot.SnapshotStore` reuses a cached clone as a
+  pass snapshot whenever the live function still matches its fingerprint;
+- :class:`~repro.robustness.guard.GuardedPassManager` skips re-verifying,
+  diff-checking and sanitizing functions a pass left byte-identical;
+- :class:`~repro.perf.memo.CompileCache` keys whole compiles by module
+  fingerprint for ``evaluate.measure``.
+
+Content addressing makes the caches rollback-safe for free: restoring a
+snapshot restores the old fingerprint, and any result recorded against
+that fingerprint is valid again.
+"""
+
+import hashlib
+from typing import Dict
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+
+#: Digest size in bytes; 16 hex chars is plenty for per-compile caches.
+_DIGEST_SIZE = 12
+
+
+def _instr_text(instr: Instr) -> str:
+    """Canonical one-line serialization of one instruction.
+
+    Deliberately *not* the printer: the printer round-trips only the
+    ``speculative`` attr, while semantics can hinge on any attr.
+    """
+    parts = [
+        instr.opcode,
+        str(instr.rd),
+        str(instr.ra),
+        str(instr.rb),
+        str(instr.imm),
+        str(instr.base),
+        str(instr.disp),
+        str(instr.crf),
+        str(instr.cond),
+        str(instr.target),
+        str(instr.symbol),
+        str(instr.nargs),
+    ]
+    if instr.attrs:
+        parts.append(repr(sorted((str(k), repr(v)) for k, v in instr.attrs.items())))
+    return "|".join(parts)
+
+
+def _hash_function_into(hasher, fn: Function) -> None:
+    hasher.update(fn.name.encode())
+    hasher.update(("(" + ",".join(str(p) for p in fn.params) + ")").encode())
+    for bb in fn.blocks:
+        _hash_block_into(hasher, bb)
+
+
+def _hash_block_into(hasher, bb: BasicBlock) -> None:
+    hasher.update(("\n" + bb.label + ":").encode())
+    for instr in bb.instrs:
+        hasher.update(("\n" + _instr_text(instr)).encode())
+
+
+def fingerprint_function(fn: Function) -> str:
+    """Hex digest of a function's structural content."""
+    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    _hash_function_into(hasher, fn)
+    return hasher.hexdigest()
+
+
+def fingerprint_module(module: Module) -> str:
+    """Hex digest over every function (in order) plus the data objects."""
+    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    hasher.update(module.name.encode())
+    for name in sorted(module.data):
+        obj = module.data[name]
+        hasher.update(
+            f"\ndata {obj.name} {obj.size} {obj.init} {obj.volatile}".encode()
+        )
+    for fn in module.functions.values():
+        hasher.update(b"\n--\n")
+        _hash_function_into(hasher, fn)
+    return hasher.hexdigest()
+
+
+def module_fingerprints(module: Module) -> Dict[str, str]:
+    """Per-function fingerprints for the whole module."""
+    return {name: fingerprint_function(fn) for name, fn in module.functions.items()}

@@ -1,0 +1,78 @@
+"""Whole-compile memoization for the measurement harness.
+
+Benchmarks recompile identical modules over and over — every
+pytest-benchmark round, every ablation column, every PDF comparison
+starts from ``workload.fresh_module()``, which rebuilds byte-identical
+IR. :class:`CompileCache` keys a finished
+:class:`~repro.pipeline.CompileResult` by *content*:
+
+    (module fingerprint, level, canonical pipeline-config key)
+
+so a repeat compile is a dictionary lookup. The cached result's module
+is returned as-is (interpreting it does not mutate it); callers that
+want to transform the module further should ``clone()`` it first.
+
+``evaluate.measure(memo=...)`` is the intended consumer: pass ``True``
+to use the process-wide default cache, or a :class:`CompileCache` to
+scope the cache to one benchmark.
+"""
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.module import Module
+from repro.perf.fingerprint import fingerprint_module
+
+
+def config_key(level: str, **kwargs) -> str:
+    """Canonical hashable key for a pipeline configuration.
+
+    Only compile-affecting keyword arguments should be passed; values
+    are rendered with ``repr`` after sorting by name, so dict ordering
+    and default-vs-explicit differences cannot split the cache.
+    """
+    parts = [f"level={level!r}"]
+    for name in sorted(kwargs):
+        value = kwargs[name]
+        if value is None:
+            continue
+        parts.append(f"{name}={value!r}")
+    return ";".join(parts)
+
+
+class CompileCache:
+    """Content-addressed cache of compile results."""
+
+    def __init__(self, max_entries: int = 64):
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple[str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, module: Module, key: str):
+        """The cached result for (module content, config), or ``None``."""
+        fp = fingerprint_module(module)
+        result = self._entries.get((fp, key))
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def store(self, module: Module, key: str, result) -> None:
+        """Record ``result`` for this module content and configuration."""
+        if len(self._entries) >= self.max_entries:
+            # Drop the oldest entry (dict preserves insertion order).
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[(fingerprint_module(module), key)] = result
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide cache used by ``evaluate.measure(memo=True)``.
+DEFAULT_CACHE = CompileCache()

@@ -1,0 +1,209 @@
+"""Copy-on-write module snapshots for the guarded pass pipeline.
+
+The PR-1 guard cloned the *entire* module before every pass — O(passes ×
+module size) even when a pass touches one function. The
+:class:`SnapshotStore` replaces that with per-function copy-on-write:
+
+- it tracks a fingerprint (:mod:`repro.perf.fingerprint`) per live
+  function, updated as passes report changes;
+- it keeps at most one cached clone per function, keyed by fingerprint;
+- taking a snapshot for a per-function pass re-clones **only** the
+  functions whose cached clone is stale (i.e. the functions the previous
+  pass actually changed) — everything else is reused from the cache;
+- passes that override ``run_on_module`` lose per-function attribution,
+  so they fall back to a full ``Module.clone()``.
+
+Rolling back restores per function: cached clones are installed back
+into the module (via :meth:`~repro.ir.function.Function.restore_from`
+when the function object still exists, preserving identity), module
+order is rebuilt, functions the pass added are dropped, and module-level
+extras (``name``, data objects, any attribute a faulty pass invented)
+are restored exhaustively.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.module import DataObject, Module
+from repro.perf.fingerprint import fingerprint_function
+
+
+class CowSnapshot:
+    """One pass's restore point: function order, extras, fingerprints.
+
+    The function *clones* themselves live in the owning
+    :class:`SnapshotStore`'s cache (that is what makes them reusable
+    across passes); this object records which fingerprints were live so
+    the store can put the right clones back.
+    """
+
+    def __init__(
+        self,
+        order: List[str],
+        fingerprints: Dict[str, str],
+        extras: Dict[str, object],
+        data: Dict[str, DataObject],
+    ):
+        self.order = order
+        self.fingerprints = fingerprints
+        self.extras = extras
+        self.data = data
+
+
+class SnapshotStore:
+    """Fingerprint ledger + clone cache backing the guard's snapshots."""
+
+    def __init__(self):
+        #: Function name -> fingerprint of the *live* module state.
+        self.fingerprints: Dict[str, str] = {}
+        #: Function name -> (fingerprint, clone) — at most one per function.
+        self._clones: Dict[str, Tuple[str, Function]] = {}
+        self.counters: Dict[str, int] = {
+            "snapshot.fn_cloned": 0,
+            "snapshot.fn_reused": 0,
+            "snapshot.full_clones": 0,
+            "snapshot.restores": 0,
+        }
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    # -- ledger --------------------------------------------------------------
+
+    def prime(self, module: Module) -> None:
+        """Fingerprint every function of the pristine module."""
+        self.fingerprints = {
+            name: fingerprint_function(fn) for name, fn in module.functions.items()
+        }
+
+    def refresh(self, module: Module, names: Optional[set] = None) -> set:
+        """Re-fingerprint ``names`` (all functions when ``None``).
+
+        Returns the set of function names whose content actually changed
+        (including functions added or removed) — the guard uses this to
+        shrink a pass's self-reported change set to the real one.
+        """
+        changed = set()
+        if names is None:
+            fresh = {
+                name: fingerprint_function(fn)
+                for name, fn in module.functions.items()
+            }
+            changed = {
+                name
+                for name in set(fresh) | set(self.fingerprints)
+                if fresh.get(name) != self.fingerprints.get(name)
+            }
+            self.fingerprints = fresh
+            return changed
+        for name in names:
+            fn = module.functions.get(name)
+            if fn is None:
+                if self.fingerprints.pop(name, None) is not None:
+                    changed.add(name)
+                continue
+            fresh_fp = fingerprint_function(fn)
+            if fresh_fp != self.fingerprints.get(name):
+                changed.add(name)
+            self.fingerprints[name] = fresh_fp
+        return changed
+
+    # -- snapshots -----------------------------------------------------------
+
+    def take_cow(self, module: Module) -> CowSnapshot:
+        """Snapshot for a per-function pass: clone only stale functions."""
+        for name, fn in module.functions.items():
+            fp = self.fingerprints.get(name)
+            if fp is None:
+                fp = fingerprint_function(fn)
+                self.fingerprints[name] = fp
+            cached = self._clones.get(name)
+            if cached is None or cached[0] != fp:
+                self._clones[name] = (fp, fn.clone())
+                self._bump("snapshot.fn_cloned")
+            else:
+                self._bump("snapshot.fn_reused")
+        extras = {
+            key: value
+            for key, value in module.__dict__.items()
+            if key not in ("functions", "data")
+        }
+        data = {
+            name: DataObject(obj.name, obj.size, list(obj.init), obj.volatile)
+            for name, obj in module.data.items()
+        }
+        return CowSnapshot(
+            order=list(module.functions),
+            fingerprints=dict(self.fingerprints),
+            extras=extras,
+            data=data,
+        )
+
+    def take_full(self, module: Module) -> Module:
+        """Full-module snapshot (``run_on_module`` passes, no attribution)."""
+        self._bump("snapshot.full_clones")
+        return module.clone()
+
+    # -- restore -------------------------------------------------------------
+
+    def restore_cow(
+        self, module: Module, snapshot: CowSnapshot, preserve: bool = False
+    ) -> None:
+        """Roll ``module`` back to ``snapshot``, function by function.
+
+        ``preserve`` keeps the clone cache intact (the retry policy rolls
+        back, re-runs the pass, and may need to roll back *again*); the
+        default consumes cache entries, since an installed clone becomes
+        live and may be mutated by later passes.
+        """
+        self._bump("snapshot.restores")
+        restored: Dict[str, Function] = {}
+        for name in snapshot.order:
+            want_fp = snapshot.fingerprints[name]
+            live = module.functions.get(name)
+            if live is not None and self.fingerprints.get(name) == want_fp:
+                # Function untouched since the snapshot: keep it as is.
+                restored[name] = live
+                continue
+            cached = self._clones.get(name)
+            if cached is None or cached[0] != want_fp:  # pragma: no cover
+                raise RuntimeError(
+                    f"snapshot cache lost function {name!r}@{want_fp}"
+                )
+            fp, clone = cached
+            if preserve:
+                clone = clone.clone()
+            else:
+                del self._clones[name]
+            if live is not None:
+                # Preserve object identity for references into the module.
+                live.restore_from(clone)
+                restored[name] = live
+            else:
+                restored[name] = clone
+        # Drop functions the pass added, restore order, extras and data.
+        module.functions = restored
+        for key in list(module.__dict__):
+            if key in ("functions", "data"):
+                continue
+            if key not in snapshot.extras:
+                del module.__dict__[key]
+        for key, value in snapshot.extras.items():
+            module.__dict__[key] = value
+        module.data = snapshot.data if not preserve else {
+            name: DataObject(obj.name, obj.size, list(obj.init), obj.volatile)
+            for name, obj in snapshot.data.items()
+        }
+        self.fingerprints = dict(snapshot.fingerprints)
+
+    def restore_full(
+        self, module: Module, snapshot: Module, preserve: bool = False
+    ) -> None:
+        """Roll back from a full clone via ``Module.restore_from``."""
+        self._bump("snapshot.restores")
+        module.restore_from(snapshot.clone() if preserve else snapshot)
+
+    def forget(self, names) -> None:
+        """Invalidate cached clones (e.g. after an unattributed change)."""
+        for name in names:
+            self._clones.pop(name, None)

@@ -1,0 +1,149 @@
+"""Compile-time tracing in Chrome trace-event format.
+
+A :class:`TraceRecorder` collects per-(pass, function) spans while the
+pipeline runs and serialises them as the Trace Event JSON that
+``chrome://tracing`` / Perfetto load directly: complete events
+(``"ph": "X"``) with microsecond timestamps, one row (``tid``) per
+worker thread so the ``jobs=N`` pipeline shows its parallelism, and
+counter events (``"ph": "C"``) for the snapshot / memoization / profile
+hit statistics.
+
+The recorder is thread-safe (the function-parallel pass manager appends
+spans from worker threads) and cheap when absent — every emit site
+guards on ``if trace is not None``.
+
+Usage::
+
+    trace = TraceRecorder()
+    result = compile_module(module, "vliw", trace=trace)
+    trace.write("compile.trace.json")      # load in chrome://tracing
+"""
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class TraceRecorder:
+    """Collects trace events; serialises to Chrome's trace-event JSON."""
+
+    def __init__(self, process_name: str = "repro-compile"):
+        self.process_name = process_name
+        self.events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._origin = time.perf_counter()
+        self._tids: Dict[int, int] = {}
+
+    # -- internals -----------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    def _tid(self) -> int:
+        """Small stable per-thread id (0 = the main/compile thread)."""
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def _append(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- emitting ------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, cat: str = "pass", **args):
+        """Record a complete event around the ``with`` body."""
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            self.complete(name, start, self._now_us() - start, cat=cat, **args)
+
+    def complete(
+        self, name: str, start_us: float, dur_us: float, cat: str = "pass", **args
+    ) -> None:
+        event: Dict[str, object] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round(max(dur_us, 0.0), 3),
+            "pid": 1,
+            "tid": self._tid(),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(self, name: str, cat: str = "event", **args) -> None:
+        event: Dict[str, object] = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": round(self._now_us(), 3),
+            "pid": 1,
+            "tid": self._tid(),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def counter(self, name: str, values: Dict[str, int]) -> None:
+        """Record a counter sample (snapshot/memo/profile statistics)."""
+        self._append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": round(self._now_us(), 3),
+                "pid": 1,
+                "tid": self._tid(),
+                "args": dict(values),
+            }
+        )
+
+    # -- serialising ---------------------------------------------------------
+
+    def _metadata(self) -> List[Dict[str, object]]:
+        meta: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        with self._lock:
+            tids = dict(self._tids)
+        for ident, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": "compile" if tid == 0 else f"worker-{tid}"},
+                }
+            )
+        return meta
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            events = list(self.events)
+        return {
+            "traceEvents": self._metadata() + events,
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())

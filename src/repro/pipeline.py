@@ -127,6 +127,10 @@ def compile_module(
     sanitize: bool = False,
     diff_seed: int = 0,
     mem_model: str = "flat",
+    jobs: int = 1,
+    trace=None,
+    cow_snapshots: bool = True,
+    memoize: bool = True,
 ) -> CompileResult:
     """Clone and compile ``module`` at the given level.
 
@@ -150,7 +154,21 @@ def compile_module(
     rolls the pass back. ``diff_seed`` seeds the input sampling of both
     the checker and the sanitizer (echoed in the resilience report);
     ``mem_model`` selects the differential checker's execution substrate.
+
+    Compile-performance knobs (see :mod:`repro.perf` and
+    ``docs/PERFORMANCE.md``): ``jobs`` partitions per-function pass work
+    across worker threads (module passes stay serial barriers; output is
+    bit-identical to ``jobs=1``); ``trace`` is a
+    :class:`~repro.perf.trace.TraceRecorder` collecting per-(pass,
+    function) spans in Chrome trace-event form; ``cow_snapshots`` and
+    ``memoize`` control the guarded pipeline's copy-on-write snapshots
+    and fingerprint-keyed re-validation skipping (both on by default;
+    disabling restores the PR-1 whole-clone, re-check-everything cost
+    model for comparison benchmarks).
     """
+    # Timing starts before the clone and the edge-split application:
+    # setup is real compile cost and the E2 benchmark must see it.
+    start = time.perf_counter()
     work = module.clone()
     ctx = PassContext(work, model=model)
     if profile is not None:
@@ -177,7 +195,9 @@ def compile_module(
         passes = fault_plan.apply(passes)
 
     if resilience is None:
-        manager: PassManager = PassManager(passes, verify=verify)
+        manager: PassManager = PassManager(
+            passes, verify=verify, jobs=jobs, trace=trace
+        )
     else:
         checker = diff_checker
         if checker is None and diff_check:
@@ -190,8 +210,11 @@ def compile_module(
             budget_seconds=pass_budget_seconds,
             checker=checker,
             sanitizer=sanitizer,
+            jobs=jobs,
+            trace=trace,
+            cow_snapshots=cow_snapshots,
+            memoize=memoize,
         )
-    start = time.perf_counter()
     manager.run(work, ctx)
     elapsed = time.perf_counter() - start
     return CompileResult(

@@ -25,6 +25,20 @@ Failure contracts (``machine/interpreter.py`` / ``machine/memory.py``):
 The checker runs on either memory model (``mem_model=``): the flat model
 checks value semantics, the paged model additionally compares faulting
 behaviour.
+
+Two compile-performance features (see :mod:`repro.perf`) keep the
+always-on defense affordable:
+
+- **Lazy baselines** (``prepare(module, lazy=True)``): instead of
+  executing every seeded entry up front, a pristine clone is kept and a
+  baseline outcome is computed the first time its entry is actually
+  compared — functions the pipeline never changes never execute at all.
+- **Fingerprint memoization** (``check(module, fingerprints=...)``):
+  the per-function verdict is cached keyed by the function's structural
+  content hash. A pass that leaves a function byte-identical re-uses the
+  previous verdict without re-executing anything; because execution is
+  deterministic and the key is content-addressed, rollbacks restore
+  cache validity for free.
 """
 
 import random
@@ -160,16 +174,51 @@ class DifferentialChecker:
         self.mem_model = mem_model
         self.entries: List[Tuple[str, Tuple[int, ...]]] = []
         self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
+        #: Pristine pre-pipeline clone for lazily-computed baselines.
+        self._reference: Optional[Module] = None
+        self._prepared = False
+        #: (fn name, fingerprint) -> cached per-function verdict.
+        self._memo: Dict[Tuple[str, str], Tuple] = {}
+        self.counters: Dict[str, int] = {
+            "diff.entries_run": 0,
+            "diff.entries_memoized": 0,
+            "diff.fns_memoized": 0,
+            "diff.baselines_lazy": 0,
+        }
 
     # -- baseline -----------------------------------------------------------
 
-    def prepare(self, module: Module) -> None:
-        """Capture the reference behaviour of the pre-pipeline module."""
+    def prepare(self, module: Module, lazy: bool = False) -> None:
+        """Capture the reference behaviour of the pre-pipeline module.
+
+        With ``lazy=True`` only a pristine clone is captured; each
+        entry's baseline outcome is computed on first comparison.
+        """
         self.entries = self._resolve_entries(module)
+        self._memo.clear()
+        self._prepared = True
+        if lazy:
+            self._reference = module.clone()
+            self.baseline = {}
+            return
+        self._reference = None
         self.baseline = {
             (fn, args): observe(module, fn, args, self.max_steps, self.mem_model)
             for fn, args in self.entries
         }
+
+    def _baseline_for(self, fn: str, args: Tuple[int, ...]) -> EntryOutcome:
+        key = (fn, args)
+        outcome = self.baseline.get(key)
+        if outcome is None:
+            # Lazy mode: first comparison of this entry — run the pristine
+            # reference now and cache it for the rest of the pipeline.
+            self.counters["diff.baselines_lazy"] += 1
+            outcome = observe(
+                self._reference, fn, args, self.max_steps, self.mem_model
+            )
+            self.baseline[key] = outcome
+        return outcome
 
     def _resolve_entries(self, module: Module) -> List[Tuple[str, Tuple[int, ...]]]:
         if self.explicit_entries is not None:
@@ -182,18 +231,74 @@ class DifferentialChecker:
 
     # -- checking -----------------------------------------------------------
 
-    def check(self, module: Module) -> DiffVerdict:
-        """Compare ``module`` against the prepared baseline."""
-        if not self.baseline:
+    def check(
+        self, module: Module, fingerprints: Optional[Dict[str, str]] = None
+    ) -> DiffVerdict:
+        """Compare ``module`` against the prepared baseline.
+
+        ``fingerprints`` maps function names to their current structural
+        content hash; when supplied, a function whose hash was already
+        checked re-uses that verdict without executing anything.
+        """
+        if not self._prepared:
             return DiffVerdict("inconclusive", "no baseline prepared")
+        groups: Dict[str, List[Tuple[str, Tuple[int, ...]]]] = {}
+        for fn, args in self.entries:
+            groups.setdefault(fn, []).append((fn, args))
         compared = 0
         inconclusive = 0
-        for (fn, args), base in self.baseline.items():
+        for fn, entries in groups.items():
+            fp = fingerprints.get(fn) if fingerprints is not None else None
+            outcome = self._memo.get((fn, fp)) if fp is not None else None
+            if outcome is not None:
+                self.counters["diff.fns_memoized"] += 1
+                self.counters["diff.entries_memoized"] += len(entries)
+            else:
+                outcome = self._check_fn(module, entries)
+                if fp is not None:
+                    self._memo[(fn, fp)] = outcome
+            if outcome[0] == "mismatch":
+                return DiffVerdict(
+                    "mismatch",
+                    outcome[1],
+                    compared=compared,
+                    inconclusive=inconclusive,
+                )
+            compared += outcome[1]
+            inconclusive += outcome[2]
+        if compared == 0:
+            return DiffVerdict(
+                "inconclusive",
+                "no seeded entry was runnable on both sides",
+                inconclusive=inconclusive,
+            )
+        return DiffVerdict(
+            "match",
+            f"{compared} entries compared",
+            compared=compared,
+            inconclusive=inconclusive,
+        )
+
+    def _check_fn(
+        self, module: Module, entries: List[Tuple[str, Tuple[int, ...]]]
+    ) -> Tuple:
+        """Check one function's entries.
+
+        Returns ``("mismatch", detail)`` or ``("ok", compared,
+        inconclusive)`` — a self-contained record that can be memoized
+        against the function's content hash (execution is deterministic,
+        so identical content always reproduces it).
+        """
+        compared = 0
+        inconclusive = 0
+        for fn, args in entries:
+            base = self._baseline_for(fn, args)
             if base.kind == "limit":
                 # The reference itself ran out of budget: nothing to
                 # conclude from this input either way.
                 inconclusive += 1
                 continue
+            self.counters["diff.entries_run"] += 1
             if base.kind == "error":
                 # The reference faults on this input. If the transformed
                 # module faults with the *same* class, deterministic
@@ -213,44 +318,19 @@ class DifferentialChecker:
                 inconclusive += 1
                 continue
             if after.kind == "error":
-                return DiffVerdict(
+                return (
                     "mismatch",
                     f"{fn}{tuple(args)}: ran on the baseline but now fails "
                     f"with {after.error_class}: {after.detail}",
-                    compared=compared,
-                    inconclusive=inconclusive,
                 )
             if after.value != base.value:
-                return DiffVerdict(
+                return (
                     "mismatch",
                     f"{fn}{tuple(args)}: value {after.value} != {base.value}",
-                    compared=compared,
-                    inconclusive=inconclusive,
                 )
             if after.output != base.output:
-                return DiffVerdict(
-                    "mismatch",
-                    f"{fn}{tuple(args)}: output diverged",
-                    compared=compared,
-                    inconclusive=inconclusive,
-                )
+                return ("mismatch", f"{fn}{tuple(args)}: output diverged")
             if self.check_memory and after.memory != base.memory:
-                return DiffVerdict(
-                    "mismatch",
-                    f"{fn}{tuple(args)}: final memory diverged",
-                    compared=compared,
-                    inconclusive=inconclusive,
-                )
+                return ("mismatch", f"{fn}{tuple(args)}: final memory diverged")
             compared += 1
-        if compared == 0:
-            return DiffVerdict(
-                "inconclusive",
-                "no seeded entry was runnable on both sides",
-                inconclusive=inconclusive,
-            )
-        return DiffVerdict(
-            "match",
-            f"{compared} entries compared",
-            compared=compared,
-            inconclusive=inconclusive,
-        )
+        return ("ok", compared, inconclusive)

@@ -2,12 +2,23 @@
 
 :class:`GuardedPassManager` wraps every pipeline position in a sandbox:
 
-1. snapshot the module (``Module.clone()``) and the stats counters,
+1. snapshot the module — **copy-on-write** by default: a per-function
+   pass only forces clones of the functions the *previous* pass actually
+   changed (everything else is reused from the
+   :class:`~repro.perf.snapshot.SnapshotStore` cache); passes that
+   override ``run_on_module`` fall back to a full ``Module.clone()``,
 2. run the pass and charge its wall-clock time against an optional budget,
-3. re-verify the IR the pass touched,
-4. differentially execute seeded inputs against the pre-pipeline baseline
-   (:class:`~repro.robustness.diffcheck.DifferentialChecker`),
-5. on any failure — pass exception, verifier rejection, semantic
+3. re-fingerprint what the pass claims it touched
+   (:mod:`repro.perf.fingerprint`) and shrink the change set to the
+   functions whose *content* actually changed,
+4. re-verify the IR the pass touched,
+5. differentially execute seeded inputs against the pre-pipeline baseline
+   (:class:`~repro.robustness.diffcheck.DifferentialChecker`) and, when
+   enabled, re-prove speculation containment
+   (:class:`~repro.robustness.sanitizer.SpeculationSanitizer`) — both
+   skip functions whose fingerprint they already validated, so a pass
+   that leaves a function byte-identical costs nothing to re-check,
+6. on any failure — pass exception, verifier rejection, semantic
    divergence, budget overrun — apply the policy:
 
    - ``strict``  — raise, exactly like the plain ``PassManager`` would,
@@ -16,7 +27,15 @@
      remaining passes (graceful degradation: the compile completes with
      whatever optimisations survived),
    - ``retry``   — restore the snapshot and re-run the pass once on the
-     fresh clone; if it fails again, fall back to rollback.
+     fresh state; if it fails again, fall back to rollback.
+
+Restores are exhaustive: a full-clone rollback goes through
+``Module.restore_from`` (every module attribute, not just ``functions``
+and ``data``), and a COW rollback restores per function via
+``Function.restore_from`` plus the module-level extras the snapshot
+captured. ``cow_snapshots=False`` / ``memoize=False`` select the PR-1
+whole-clone, re-check-everything behaviour (the compile-cost benchmark
+uses them as its comparison baseline).
 
 The wall-clock budget is checked after the pass returns (cooperative,
 not preemptive — a Python pass cannot be safely interrupted mid-mutation;
@@ -24,13 +43,19 @@ what matters is that an over-budget result is discarded and reported).
 """
 
 import time
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.module import Module
+from repro.perf.snapshot import SnapshotStore
 from repro.robustness.diffcheck import DifferentialChecker
 from repro.robustness.report import PassFailure, PassRecord, ResilienceReport
 from repro.robustness.sanitizer import SpeculationSanitizer
-from repro.transforms.pass_manager import Pass, PassContext, PassManager
+from repro.transforms.pass_manager import (
+    Pass,
+    PassContext,
+    PassManager,
+    is_module_pass,
+)
 
 POLICIES = ("strict", "rollback", "retry")
 
@@ -62,12 +87,6 @@ class _Attempt:
         self.sanitize_status = "skipped"
 
 
-def _restore(module: Module, snapshot: Module) -> None:
-    """Make ``module`` the snapshot again, in place (callers hold the ref)."""
-    module.functions = snapshot.functions
-    module.data = snapshot.data
-
-
 class GuardedPassManager(PassManager):
     """A :class:`PassManager` that contains pass failures instead of dying."""
 
@@ -79,14 +98,21 @@ class GuardedPassManager(PassManager):
         budget_seconds: Optional[float] = None,
         checker: Optional[DifferentialChecker] = None,
         sanitizer: Optional[SpeculationSanitizer] = None,
+        jobs: int = 1,
+        trace=None,
+        cow_snapshots: bool = True,
+        memoize: bool = True,
     ):
-        super().__init__(passes, verify=verify)
+        super().__init__(passes, verify=verify, jobs=jobs, trace=trace)
         if policy not in POLICIES:
             raise ValueError(f"unknown resilience policy {policy!r}")
         self.policy = policy
         self.budget_seconds = budget_seconds
         self.checker = checker
         self.sanitizer = sanitizer
+        self.cow_snapshots = cow_snapshots
+        self.memoize = memoize
+        self.snapshots = SnapshotStore()
         self.report = ResilienceReport(policy=policy)
         if checker is not None:
             self.report.diff_seed = checker.seed
@@ -94,14 +120,25 @@ class GuardedPassManager(PassManager):
             self.report.diff_seed = sanitizer.seed
         self.failures: List[PassFailure] = []
 
+    @property
+    def _track(self) -> bool:
+        """Whether the fingerprint ledger is being maintained."""
+        return self.cow_snapshots or self.memoize
+
     def run(self, module: Module, ctx: Optional[PassContext] = None) -> PassContext:
         ctx = ctx if ctx is not None else PassContext(module)
         if self.checker is not None:
-            self.checker.prepare(module)
+            self.checker.prepare(module, lazy=self.memoize)
         if self.sanitizer is not None:
-            self.sanitizer.prepare(module)
-        for index, pss in enumerate(self.passes):
-            self._guarded_step(index, pss, module, ctx)
+            self.sanitizer.prepare(module, lazy=self.memoize)
+        if self._track:
+            self.snapshots.prime(module)
+        try:
+            for index, pss in enumerate(self.passes):
+                self._guarded_step(index, pss, module, ctx)
+        finally:
+            self._shutdown_executor()
+            self._finalize_counters(ctx)
         return ctx
 
     # -- one sandboxed pipeline position ------------------------------------
@@ -109,14 +146,20 @@ class GuardedPassManager(PassManager):
     def _guarded_step(
         self, index: int, pss: Pass, module: Module, ctx: PassContext
     ) -> None:
-        snapshot = module.clone()
+        use_cow = self.cow_snapshots and not is_module_pass(pss)
+        if self.trace is not None:
+            with self.trace.span(f"snapshot:{pss.name}", cat="snapshot"):
+                snapshot = self._take_snapshot(module, use_cow)
+        else:
+            snapshot = self._take_snapshot(module, use_cow)
+        fps_before = dict(self.snapshots.fingerprints) if self._track else {}
         stats_before = dict(ctx.stats)
         attempt = self._attempt(index, pss, module, ctx)
         retried = False
         if attempt.failure is not None and self.policy == "retry":
-            # Fresh clone for the second try; keep `snapshot` pristine so a
-            # second failure can still roll all the way back.
-            _restore(module, snapshot.clone())
+            # Keep the snapshot pristine (preserve=True) so a second
+            # failure can still roll all the way back.
+            self._restore(module, snapshot, use_cow, fps_before, attempt, True)
             ctx.stats.clear()
             ctx.stats.update(stats_before)
             retried = True
@@ -158,7 +201,7 @@ class GuardedPassManager(PassManager):
                 )
             )
             raise self._strict_exception(failure, attempt.exception)
-        _restore(module, snapshot)
+        self._restore(module, snapshot, use_cow, fps_before, attempt, False)
         ctx.stats.clear()
         ctx.stats.update(stats_before)
         self.report.add(
@@ -174,6 +217,49 @@ class GuardedPassManager(PassManager):
                 failure=failure,
             )
         )
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    def _take_snapshot(self, module: Module, use_cow: bool):
+        if use_cow:
+            return self.snapshots.take_cow(module)
+        return self.snapshots.take_full(module)
+
+    def _restore(
+        self,
+        module: Module,
+        snapshot,
+        use_cow: bool,
+        fps_before: Dict[str, str],
+        attempt: _Attempt,
+        preserve: bool,
+    ) -> None:
+        if (
+            self._track
+            and attempt.failure is not None
+            and attempt.failure.kind == "exception"
+        ):
+            # The pass died mid-mutation, so the ledger was never
+            # refreshed; re-fingerprint everything so the COW restore
+            # can tell which live functions are actually dirty.
+            self.snapshots.refresh(module, None)
+        if self.trace is not None:
+            with self.trace.span("restore", cat="snapshot"):
+                self._restore_inner(module, snapshot, use_cow, fps_before, preserve)
+        else:
+            self._restore_inner(module, snapshot, use_cow, fps_before, preserve)
+
+    def _restore_inner(
+        self, module, snapshot, use_cow, fps_before, preserve
+    ) -> None:
+        if use_cow:
+            self.snapshots.restore_cow(module, snapshot, preserve=preserve)
+        else:
+            self.snapshots.restore_full(module, snapshot, preserve=preserve)
+            if self._track:
+                self.snapshots.fingerprints = dict(fps_before)
+
+    # -- one attempt ----------------------------------------------------------
 
     def _attempt(
         self, index: int, pss: Pass, module: Module, ctx: PassContext
@@ -193,6 +279,19 @@ class GuardedPassManager(PassManager):
         attempt.seconds = time.perf_counter() - start
         self._charge(pss, attempt.seconds)
 
+        if self._track and attempt.changed:
+            # Shrink the pass's self-reported change set to the functions
+            # whose content hash actually moved. For run_on_module passes
+            # (changed_fns is None) this *recovers* attribution that the
+            # plain manager never had.
+            real_changed = self.snapshots.refresh(module, attempt.changed_fns)
+            if self.memoize:
+                if attempt.changed_fns is not None:
+                    skipped = len(attempt.changed_fns) - len(real_changed)
+                    if skipped > 0:
+                        ctx.bump("memo.reported_but_identical", skipped)
+                attempt.changed_fns = real_changed
+
         if self.budget_seconds is not None and attempt.seconds > self.budget_seconds:
             attempt.failure = PassFailure(
                 index,
@@ -202,7 +301,12 @@ class GuardedPassManager(PassManager):
             )
             return attempt
 
-        if self.verify and attempt.changed:
+        validate = attempt.changed and (
+            attempt.changed_fns is None or len(attempt.changed_fns) > 0
+        )
+        fingerprints = self.snapshots.fingerprints if self.memoize else None
+
+        if self.verify and validate:
             try:
                 self._verify_after(pss, module, attempt.changed_fns)
                 attempt.verify_status = "ok"
@@ -212,8 +316,12 @@ class GuardedPassManager(PassManager):
                 attempt.failure = PassFailure(index, pss.name, "verifier", str(exc))
                 return attempt
 
-        if self.checker is not None and attempt.changed:
-            verdict = self.checker.check(module)
+        if self.checker is not None and validate:
+            if self.trace is not None:
+                with self.trace.span(f"diffcheck:{pss.name}", cat="diffcheck"):
+                    verdict = self.checker.check(module, fingerprints=fingerprints)
+            else:
+                verdict = self.checker.check(module, fingerprints=fingerprints)
             attempt.diff_status = verdict.kind
             if verdict.kind == "mismatch":
                 attempt.failure = PassFailure(
@@ -221,8 +329,12 @@ class GuardedPassManager(PassManager):
                 )
                 return attempt
 
-        if self.sanitizer is not None and attempt.changed:
-            outcome = self.sanitizer.check(module)
+        if self.sanitizer is not None and validate:
+            if self.trace is not None:
+                with self.trace.span(f"sanitize:{pss.name}", cat="sanitize"):
+                    outcome = self.sanitizer.check(module, fingerprints=fingerprints)
+            else:
+                outcome = self.sanitizer.check(module, fingerprints=fingerprints)
             if outcome.violations:
                 attempt.sanitize_status = "violation"
                 first = outcome.violations[0]
@@ -236,6 +348,34 @@ class GuardedPassManager(PassManager):
             attempt.sanitize_status = "masked" if outcome.masked else "ok"
 
         return attempt
+
+    # -- accounting -----------------------------------------------------------
+
+    def _finalize_counters(self, ctx: PassContext) -> None:
+        """Fold snapshot/memo/profile counters into the report and trace."""
+        counters: Dict[str, int] = dict(self.snapshots.counters)
+        if self.checker is not None:
+            counters.update(self.checker.counters)
+        if self.sanitizer is not None:
+            counters.update(self.sanitizer.counters)
+        for key, value in sorted(ctx.stats.items()):
+            if key.startswith("profile.") or key.startswith("memo."):
+                counters[key] = value
+        self.report.counters = counters
+        if self.trace is not None:
+            self.trace.counter(
+                "snapshots",
+                {k.split(".", 1)[1]: v for k, v in counters.items()
+                 if k.startswith("snapshot.")},
+            )
+            memo = {k: v for k, v in counters.items()
+                    if k.startswith(("diff.", "sanitize.", "memo."))}
+            if memo:
+                self.trace.counter("memoization", memo)
+            profile = {k.split(".", 1)[1]: v for k, v in counters.items()
+                       if k.startswith("profile.")}
+            if profile:
+                self.trace.counter("profile-lookups", profile)
 
     def _charge(self, pss: Pass, seconds: float) -> None:
         self.timings[pss.name] = self.timings.get(pss.name, 0.0) + seconds

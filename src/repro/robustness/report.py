@@ -82,6 +82,10 @@ class ResilienceReport:
     #: Seed used by the differential checker / sanitizer input sampling,
     #: echoed for reproducibility (None when neither was enabled).
     diff_seed: Optional[int] = None
+    #: Compile-performance counters (see :mod:`repro.perf`): snapshot
+    #: clone/reuse counts, verify/diff/sanitize memo hits, profile
+    #: hit/miss counts. Legacy mode reports only the snapshot counters.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def add(self, record: PassRecord) -> None:
         self.records.append(record)
@@ -119,6 +123,7 @@ class ResilienceReport:
             "retries": self.retries,
             "containment_violations": self.containment_violations,
             "diff_seed": self.diff_seed,
+            "counters": dict(self.counters),
             "failed_passes": self.failed_passes(),
             "records": [r.to_dict() for r in self.records],
         }

@@ -148,11 +148,26 @@ class SpeculationSanitizer:
         self.max_steps = max_steps
         self.entries: List[Tuple[str, Tuple[int, ...]]] = []
         self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
+        #: Pristine pre-pipeline clone for lazily-computed baselines.
+        self._reference: Optional[Module] = None
+        #: (fn name, fingerprint) -> cached findings for that function.
+        self._memo: Dict[Tuple[str, str], List[SanitizerFinding]] = {}
+        self.counters: Dict[str, int] = {
+            "sanitize.entries_run": 0,
+            "sanitize.entries_memoized": 0,
+            "sanitize.entries_skipped": 0,
+            "sanitize.fns_memoized": 0,
+            "sanitize.baselines_lazy": 0,
+        }
 
     # -- baseline -----------------------------------------------------------
 
-    def prepare(self, module: Module) -> None:
-        """Capture the pre-pipeline module's paged-model behaviour."""
+    def prepare(self, module: Module, lazy: bool = False) -> None:
+        """Capture the pre-pipeline module's paged-model behaviour.
+
+        With ``lazy=True`` only a pristine clone is captured; each
+        entry's baseline outcome is computed on first comparison.
+        """
         if self.explicit_entries is not None:
             self.entries = [
                 (fn, tuple(args))
@@ -163,19 +178,90 @@ class SpeculationSanitizer:
             self.entries = derive_entries(
                 module, self.seed, self.argsets_per_function
             )
+        self._memo.clear()
+        if lazy:
+            self._reference = module.clone()
+            self.baseline = {}
+            return
+        self._reference = None
         self.baseline = {
             (fn, args): observe(module, fn, args, self.max_steps, mem_model="paged")
             for fn, args in self.entries
         }
 
+    def _baseline_for(self, fn: str, args: Tuple[int, ...]) -> EntryOutcome:
+        key = (fn, args)
+        outcome = self.baseline.get(key)
+        if outcome is None:
+            self.counters["sanitize.baselines_lazy"] += 1
+            outcome = observe(
+                self._reference, fn, args, self.max_steps, mem_model="paged"
+            )
+            self.baseline[key] = outcome
+        return outcome
+
     # -- classification ------------------------------------------------------
 
-    def check(self, module: Module) -> SanitizerResult:
-        """Classify every prepared entry against ``module``."""
+    def check(
+        self, module: Module, fingerprints: Optional[Dict[str, str]] = None
+    ) -> SanitizerResult:
+        """Classify every prepared entry against ``module``.
+
+        ``fingerprints`` maps function names to structural content
+        hashes; a function whose hash was classified before re-uses its
+        findings without executing (classification is deterministic).
+        """
         result = SanitizerResult(seed=self.seed)
-        for (fn, args), base in self.baseline.items():
-            after = observe(module, fn, args, self.max_steps, mem_model="paged")
-            result.findings.append(self._classify(fn, args, base, after))
+        groups: Dict[str, List[Tuple[str, Tuple[int, ...]]]] = {}
+        for fn, args in self.entries:
+            groups.setdefault(fn, []).append((fn, args))
+        for fn, entries in groups.items():
+            fp = fingerprints.get(fn) if fingerprints is not None else None
+            findings = self._memo.get((fn, fp)) if fp is not None else None
+            if findings is not None:
+                self.counters["sanitize.fns_memoized"] += 1
+                self.counters["sanitize.entries_memoized"] += len(entries)
+            else:
+                findings = []
+                for fn_name, args in entries:
+                    base = self._baseline_for(fn_name, args)
+                    if fingerprints is not None and base.kind != "ok":
+                        # The baseline alone decides these entries — a
+                        # limit baseline is "inconclusive" and a faulting
+                        # baseline is "benign" no matter what the
+                        # optimized side does — so the fast path skips
+                        # executing the optimized side (the legacy cost
+                        # model runs it and lets _classify discard it).
+                        if base.kind == "limit":
+                            classification, detail = (
+                                "inconclusive",
+                                "step budget exhausted",
+                            )
+                        else:
+                            classification, detail = (
+                                "benign",
+                                f"baseline faults too ({base.error_class})",
+                            )
+                        self.counters["sanitize.entries_skipped"] += 1
+                        findings.append(
+                            SanitizerFinding(
+                                fn_name,
+                                tuple(args),
+                                classification,
+                                detail=detail,
+                                baseline=base.error_class,
+                                optimized="skipped",
+                            )
+                        )
+                        continue
+                    self.counters["sanitize.entries_run"] += 1
+                    after = observe(
+                        module, fn_name, args, self.max_steps, mem_model="paged"
+                    )
+                    findings.append(self._classify(fn_name, args, base, after))
+                if fp is not None:
+                    self._memo[(fn, fp)] = findings
+            result.findings.extend(findings)
         return result
 
     def run(self, baseline: Module, optimized: Module) -> SanitizerResult:

@@ -8,9 +8,20 @@ caused it). Verification is selective: the manager drives
 the pass reported changing. Passes that override
 :meth:`Pass.run_on_module` lose per-function attribution, so every
 function is re-verified after them.
+
+Two compile-performance hooks live here (see :mod:`repro.perf`):
+
+- ``jobs=N`` partitions a per-function pass's work across ``N`` worker
+  threads with a deterministic merge — functions are disjoint mutation
+  domains, each worker gets a private stats scope, and results are
+  folded back in module order, so the output is bit-identical to
+  ``jobs=1``. ``run_on_module`` passes are serial barriers.
+- ``trace=`` records per-(pass, function) spans on a
+  :class:`~repro.perf.trace.TraceRecorder` in Chrome trace-event form.
 """
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -37,14 +48,43 @@ class PassContext:
         self.stats[counter] = self.stats.get(counter, 0) + amount
 
     def edge_count(self, fn_name: str, src: str, dst: str) -> Optional[int]:
+        """Profiled execution count of a CFG edge, 0 when unprofiled.
+
+        A miss (profile present, edge absent) is counted in
+        ``stats["profile.edge.misses"]``: CFG-restructuring passes rename
+        labels, and a renamed edge silently reading as "cold" (count 0)
+        is a quiet degradation the counters make visible.
+        """
         if self.edge_profile is None:
             return None
-        return self.edge_profile.get((fn_name, src, dst), 0)
+        key = (fn_name, src, dst)
+        if key in self.edge_profile:
+            self.bump("profile.edge.hits")
+            return self.edge_profile[key]
+        self.bump("profile.edge.misses")
+        return 0
 
     def block_count(self, fn_name: str, label: str) -> Optional[int]:
+        """Profiled execution count of a block; misses counted as above."""
         if self.block_profile is None:
             return None
-        return self.block_profile.get((fn_name, label), 0)
+        key = (fn_name, label)
+        if key in self.block_profile:
+            self.bump("profile.block.hits")
+            return self.block_profile[key]
+        self.bump("profile.block.misses")
+        return 0
+
+    def worker_scope(self) -> "PassContext":
+        """A context for one parallel worker: shared read-only state,
+        private stats (merged deterministically by the manager)."""
+        return PassContext(
+            module=self.module,
+            model=self.model,
+            edge_profile=self.edge_profile,
+            block_profile=self.block_profile,
+            options=self.options,
+        )
 
 
 class Pass:
@@ -65,28 +105,46 @@ class Pass:
         return f"<Pass {self.name}>"
 
 
+def is_module_pass(pss: Pass) -> bool:
+    """True when the pass supplies its own :meth:`Pass.run_on_module`
+    (per-function attribution is then unavailable)."""
+    return type(pss).run_on_module is not Pass.run_on_module
+
+
 class PassManager:
     """Runs an ordered list of passes over a module."""
 
-    def __init__(self, passes: List[Pass], verify: bool = True):
+    def __init__(
+        self,
+        passes: List[Pass],
+        verify: bool = True,
+        jobs: int = 1,
+        trace=None,
+    ):
         self.passes = list(passes)
         self.verify = verify
+        self.jobs = max(1, int(jobs))
+        self.trace = trace
         self.timings: Dict[str, float] = {}
         #: Pass name -> True if any invocation of that pass reported a change.
         self.pass_changes: Dict[str, bool] = {}
         #: True if any pass changed the module at all.
         self.module_changed = False
+        self._executor: Optional[ThreadPoolExecutor] = None
 
     def run(self, module: Module, ctx: Optional[PassContext] = None) -> PassContext:
         ctx = ctx if ctx is not None else PassContext(module)
-        for pss in self.passes:
-            start = time.perf_counter()
-            changed, changed_fns = self._run_pass(pss, module, ctx)
-            elapsed = time.perf_counter() - start
-            self.timings[pss.name] = self.timings.get(pss.name, 0.0) + elapsed
-            self._note_changes(pss, ctx, changed, changed_fns, len(module.functions))
-            if self.verify and changed:
-                self._verify_after(pss, module, changed_fns)
+        try:
+            for pss in self.passes:
+                start = time.perf_counter()
+                changed, changed_fns = self._run_pass(pss, module, ctx)
+                elapsed = time.perf_counter() - start
+                self.timings[pss.name] = self.timings.get(pss.name, 0.0) + elapsed
+                self._note_changes(pss, ctx, changed, changed_fns, len(module.functions))
+                if self.verify and changed:
+                    self._verify_after(pss, module, changed_fns)
+        finally:
+            self._shutdown_executor()
         return ctx
 
     # -- helpers (shared with GuardedPassManager) ---------------------------
@@ -100,13 +158,73 @@ class PassManager:
         own :meth:`Pass.run_on_module` — per-function attribution is then
         unavailable and any function may have changed.
         """
-        if type(pss).run_on_module is not Pass.run_on_module:
+        if is_module_pass(pss):
+            if self.trace is not None:
+                with self.trace.span(pss.name, cat="module-pass"):
+                    return bool(pss.run_on_module(module, ctx)), None
             return bool(pss.run_on_module(module, ctx)), None
+        if self.jobs > 1 and len(module.functions) > 1:
+            return self._run_pass_parallel(pss, module, ctx)
         changed_fns: Set[str] = set()
         for name in list(module.functions):
-            if pss.run_on_function(module.functions[name], ctx):
+            # A pass may delete functions while an earlier one is being
+            # processed; a name gone from the dict is simply finished work.
+            fn = module.functions.get(name)
+            if fn is None:
+                continue
+            if self.trace is not None:
+                with self.trace.span(f"{pss.name}:{name}", cat="function"):
+                    fn_changed = bool(pss.run_on_function(fn, ctx))
+            else:
+                fn_changed = bool(pss.run_on_function(fn, ctx))
+            if fn_changed:
                 changed_fns.add(name)
         return bool(changed_fns), changed_fns
+
+    def _run_pass_parallel(
+        self, pss: Pass, module: Module, ctx: PassContext
+    ) -> Tuple[bool, Optional[Set[str]]]:
+        """Fan a per-function pass out across worker threads.
+
+        Each worker mutates its own function (disjoint domains) under a
+        private stats scope; results — including stats deltas — are
+        merged back in module order, making the outcome independent of
+        worker scheduling and bit-identical to the serial path.
+        """
+        names = list(module.functions)
+
+        def work(name: str):
+            fn = module.functions.get(name)
+            if fn is None:
+                return name, False, {}
+            local = ctx.worker_scope()
+            if self.trace is not None:
+                with self.trace.span(f"{pss.name}:{name}", cat="function"):
+                    fn_changed = bool(pss.run_on_function(fn, local))
+            else:
+                fn_changed = bool(pss.run_on_function(fn, local))
+            return name, fn_changed, local.stats
+
+        executor = self._ensure_executor()
+        changed_fns: Set[str] = set()
+        for name, fn_changed, stats in executor.map(work, names):
+            if fn_changed:
+                changed_fns.add(name)
+            for key, amount in stats.items():
+                ctx.bump(key, amount)
+        return bool(changed_fns), changed_fns
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-pass"
+            )
+        return self._executor
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     def _note_changes(
         self,
@@ -142,7 +260,11 @@ class PassManager:
             ]
         for fn in targets:
             try:
-                verify_function(fn, known_symbols=symbols)
+                if self.trace is not None:
+                    with self.trace.span(f"verify:{fn.name}", cat="verify"):
+                        verify_function(fn, known_symbols=symbols)
+                else:
+                    verify_function(fn, known_symbols=symbols)
             except Exception as exc:
                 raise RuntimeError(
                     f"IR verification failed after pass "

@@ -1,0 +1,83 @@
+"""Stale-profile reads are counted, not silent.
+
+Regression: ``PassContext.edge_count``/``block_count`` return 0 for
+labels the profile does not know — which is correct for genuinely cold
+blocks but silently wrong for blocks *renamed* by CFG-restructuring
+passes that run before the PDF passes (VLIWScheduling runs before
+ProfileGuidedReorder). The counters make the distinction observable:
+every lookup is recorded as a hit or a miss in ``ctx.stats`` and
+surfaced through the resilience report and the trace output.
+"""
+
+from repro.ir.parser import parse_module
+from repro.perf.trace import TraceRecorder
+from repro.robustness import GuardedPassManager
+from repro.transforms import Pass
+from repro.transforms.pass_manager import PassContext
+
+SRC = """
+func f(r3):
+    AI r3, r3, 1
+    RET
+"""
+
+
+def _ctx():
+    module = parse_module(SRC)
+    return PassContext(
+        module,
+        edge_profile={("f", "entry", "body"): 7},
+        block_profile={("f", "entry"): 9},
+    )
+
+
+class TestLookupCounters:
+    def test_hits_are_counted(self):
+        ctx = _ctx()
+        assert ctx.block_count("f", "entry") == 9
+        assert ctx.edge_count("f", "entry", "body") == 7
+        assert ctx.stats["profile.block.hits"] == 1
+        assert ctx.stats["profile.edge.hits"] == 1
+        assert "profile.block.misses" not in ctx.stats
+
+    def test_renamed_block_is_a_miss_not_a_cold_zero(self):
+        # VLIWScheduling renames "entry" to e.g. "entry.unrolled" before
+        # the reorder pass reads the profile: the lookup still returns 0
+        # (the pass treats it as cold) but the miss is now recorded.
+        ctx = _ctx()
+        assert ctx.block_count("f", "entry.unrolled") == 0
+        assert ctx.edge_count("f", "entry.unrolled", "body") == 0
+        assert ctx.stats["profile.block.misses"] == 1
+        assert ctx.stats["profile.edge.misses"] == 1
+
+    def test_no_profile_means_no_counters(self):
+        ctx = PassContext(parse_module(SRC))
+        assert ctx.block_count("f", "entry") is None
+        assert ctx.edge_count("f", "entry", "body") is None
+        assert not ctx.stats
+
+
+class _ProfileReader(Pass):
+    name = "profile-reader"
+
+    def run_on_function(self, fn, ctx):
+        ctx.block_count(fn.name, "entry")      # hit
+        ctx.block_count(fn.name, "renamed")    # miss
+        return False
+
+
+class TestSurfacedInReportAndTrace:
+    def test_guard_folds_profile_counters_into_report(self):
+        ctx = _ctx()
+        trace = TraceRecorder()
+        manager = GuardedPassManager([_ProfileReader()], trace=trace)
+        manager.run(ctx.module, ctx)
+        counters = manager.report.counters
+        assert counters["profile.block.hits"] == 1
+        assert counters["profile.block.misses"] == 1
+        counter_events = [
+            e for e in trace.to_dict()["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "profile-lookups"
+        ]
+        assert counter_events
+        assert counter_events[0]["args"]["block.misses"] == 1

@@ -1,0 +1,48 @@
+"""``CompileResult.compile_seconds`` covers the whole compile.
+
+Regression: timing used to start *after* ``module.clone()`` and the
+edge-split application, so the E2 compile-cost benchmark undercounted
+setup — the clock must start before any setup work.
+"""
+
+import time
+
+from repro.evaluate import train_profile
+from repro.ir.module import Module
+from repro.pipeline import compile_module
+from repro.workloads import suite
+
+
+def _workload(name: str):
+    return next(wl for wl in suite() if wl.name == name)
+
+
+def test_clone_cost_is_charged(monkeypatch):
+    original = Module.clone
+
+    def slow_clone(self):
+        time.sleep(0.05)
+        return original(self)
+
+    monkeypatch.setattr(Module, "clone", slow_clone)
+    result = compile_module(_workload("compress").fresh_module(), "none")
+    assert result.compile_seconds >= 0.05
+
+
+def test_edge_split_cost_is_charged(monkeypatch):
+    wl = _workload("compress")
+    profile, plan = train_profile(wl)
+
+    import repro.pipeline as pipeline_mod
+
+    original = pipeline_mod.apply_edge_splits
+
+    def slow_split(module, the_plan):
+        time.sleep(0.05)
+        return original(module, the_plan)
+
+    monkeypatch.setattr(pipeline_mod, "apply_edge_splits", slow_split)
+    result = compile_module(
+        wl.fresh_module(), "vliw", profile=profile, plan=plan
+    )
+    assert result.compile_seconds >= 0.05

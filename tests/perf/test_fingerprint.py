@@ -1,0 +1,97 @@
+"""Fingerprints are content hashes: identity-free, attr-complete."""
+
+from repro.ir.parser import parse_module
+from repro.perf.fingerprint import (
+    fingerprint_function,
+    fingerprint_module,
+    module_fingerprints,
+)
+
+SRC = """
+data tab: size=8 init=[1, 2]
+
+func f(r3):
+    AI r3, r3, 1
+    RET
+
+func g(r3):
+    LA r4, tab
+    L r5, 0(r4)
+    A r3, r3, r5
+    RET
+"""
+
+
+class TestFunctionFingerprint:
+    def test_reparse_is_stable(self):
+        # Two parses allocate fresh instruction uids and label counters;
+        # the fingerprint must not see any of that.
+        a = parse_module(SRC)
+        b = parse_module(SRC)
+        for name in a.functions:
+            assert fingerprint_function(a.functions[name]) == fingerprint_function(
+                b.functions[name]
+            )
+
+    def test_clone_is_stable(self):
+        module = parse_module(SRC)
+        for fn in module.functions.values():
+            assert fingerprint_function(fn.clone()) == fingerprint_function(fn)
+
+    def test_distinct_functions_differ(self):
+        module = parse_module(SRC)
+        assert fingerprint_function(module.functions["f"]) != fingerprint_function(
+            module.functions["g"]
+        )
+
+    def test_immediate_change_moves_the_hash(self):
+        module = parse_module(SRC)
+        fn = module.functions["f"]
+        before = fingerprint_function(fn)
+        fn.blocks[0].instrs[0].imm = 2
+        assert fingerprint_function(fn) != before
+
+    def test_any_attr_is_significant(self):
+        # The printer round-trips only !spec; the fingerprint must cover
+        # every attr (save/restore/volatile pinning changes semantics).
+        module = parse_module(SRC)
+        fn = module.functions["f"]
+        before = fingerprint_function(fn)
+        fn.blocks[0].instrs[0].attrs["volatile"] = True
+        assert fingerprint_function(fn) != before
+
+    def test_label_rename_moves_the_hash(self):
+        module = parse_module(SRC)
+        fn = module.functions["g"]
+        before = fingerprint_function(fn)
+        fn.blocks[0].label = "renamed"
+        assert fingerprint_function(fn) != before
+
+
+class TestModuleFingerprint:
+    def test_reparse_is_stable(self):
+        assert fingerprint_module(parse_module(SRC)) == fingerprint_module(
+            parse_module(SRC)
+        )
+
+    def test_clone_is_stable(self):
+        module = parse_module(SRC)
+        assert fingerprint_module(module.clone()) == fingerprint_module(module)
+
+    def test_data_objects_are_significant(self):
+        module = parse_module(SRC)
+        before = fingerprint_module(module)
+        module.data["tab"].init[0] = 99
+        assert fingerprint_module(module) != before
+
+    def test_function_change_is_significant(self):
+        module = parse_module(SRC)
+        before = fingerprint_module(module)
+        module.functions["f"].blocks[0].instrs[0].imm = 7
+        assert fingerprint_module(module) != before
+
+    def test_per_function_map(self):
+        module = parse_module(SRC)
+        fps = module_fingerprints(module)
+        assert set(fps) == {"f", "g"}
+        assert fps["f"] == fingerprint_function(module.functions["f"])

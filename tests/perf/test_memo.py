@@ -1,0 +1,95 @@
+"""Whole-compile memoization: content-keyed hits, changed content misses."""
+
+from repro.evaluate import measure
+from repro.ir.parser import parse_module
+from repro.perf.memo import CompileCache, config_key
+from repro.workloads import suite
+
+SRC = """
+func f(r3):
+    AI r3, r3, 1
+    RET
+"""
+
+
+def _workload(name: str):
+    return next(wl for wl in suite() if wl.name == name)
+
+
+class TestConfigKey:
+    def test_kwarg_order_is_canonical(self):
+        assert config_key("vliw", a=1, b=2) == config_key("vliw", b=2, a=1)
+
+    def test_none_values_match_omitted(self):
+        # Passing the default None explicitly must not split the cache.
+        assert config_key("vliw", resilience=None) == config_key("vliw")
+
+    def test_level_and_values_are_significant(self):
+        assert config_key("base") != config_key("vliw")
+        assert config_key("vliw", jobs=1) != config_key("vliw", jobs=4)
+
+
+class TestCompileCache:
+    def test_content_keyed_hit(self):
+        cache = CompileCache()
+        cache.store(parse_module(SRC), "k", "result")
+        # A different module object with identical content hits.
+        assert cache.lookup(parse_module(SRC), "k") == "result"
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_fingerprint_change_is_a_miss(self):
+        cache = CompileCache()
+        cache.store(parse_module(SRC), "k", "result")
+        changed = parse_module(SRC)
+        changed.functions["f"].blocks[0].instrs[0].imm = 9
+        assert cache.lookup(changed, "k") is None
+        assert cache.misses == 1
+
+    def test_config_change_is_a_miss(self):
+        cache = CompileCache()
+        cache.store(parse_module(SRC), config_key("vliw"), "result")
+        assert cache.lookup(parse_module(SRC), config_key("base")) is None
+
+    def test_eviction_is_fifo(self):
+        cache = CompileCache(max_entries=2)
+        first = parse_module(SRC)
+        second = parse_module(SRC.replace("1", "2"))
+        third = parse_module(SRC.replace("1", "3"))
+        cache.store(first, "k", "a")
+        cache.store(second, "k", "b")
+        cache.store(third, "k", "c")
+        assert len(cache) == 2
+        assert cache.lookup(first, "k") is None
+        assert cache.lookup(second, "k") == "b"
+        assert cache.lookup(third, "k") == "c"
+
+
+class TestMeasureMemo:
+    def test_repeat_measurement_hits_the_cache(self):
+        cache = CompileCache()
+        wl = _workload("compress")
+        cold = measure(wl, "base", memo=cache)
+        warm = measure(wl, "base", memo=cache)
+        assert not cold.memo_hit
+        assert warm.memo_hit
+        assert warm.value == cold.value
+        assert warm.cycles == cold.cycles
+        assert warm.static_instructions == cold.static_instructions
+
+    def test_levels_do_not_collide(self):
+        cache = CompileCache()
+        wl = _workload("compress")
+        base = measure(wl, "base", memo=cache)
+        vliw = measure(wl, "vliw", memo=cache)
+        assert not base.memo_hit and not vliw.memo_hit
+        assert base.value == vliw.value
+
+    def test_profile_guided_compiles_are_never_cached(self):
+        from repro.evaluate import train_profile
+
+        cache = CompileCache()
+        wl = _workload("compress")
+        profile, plan = train_profile(wl)
+        m = measure(wl, "vliw", profile=profile, plan=plan, memo=cache)
+        assert not m.memo_hit
+        assert len(cache) == 0

@@ -1,0 +1,38 @@
+"""Function-parallel compilation is bit-identical to serial.
+
+The acceptance contract for ``jobs=``: workers partition per-function
+work, module passes are serial barriers, and the merge is deterministic
+— so the printed module (and the stats) must match ``jobs=1`` exactly,
+for every workload at every level.
+"""
+
+import pytest
+
+from repro.ir import format_module
+from repro.pipeline import compile_module
+from repro.workloads import suite
+
+WORKLOADS = list(suite())
+
+
+@pytest.mark.parametrize("level", ["base", "vliw"])
+@pytest.mark.parametrize("wl", WORKLOADS, ids=[w.name for w in WORKLOADS])
+class TestParallelDeterminism:
+    def test_jobs4_matches_serial(self, wl, level):
+        serial = compile_module(wl.fresh_module(), level, jobs=1)
+        parallel = compile_module(wl.fresh_module(), level, jobs=4)
+        assert format_module(parallel.module) == format_module(serial.module)
+        assert parallel.static_instructions == serial.static_instructions
+        assert parallel.pass_changes == serial.pass_changes
+        # Worker-scope stats merge in module order: same counters too.
+        assert parallel.ctx.stats == serial.ctx.stats
+
+
+class TestGuardedParallelDeterminism:
+    def test_guarded_jobs2_matches_serial(self):
+        wl = next(w for w in WORKLOADS if w.name == "compress")
+        kwargs = dict(resilience="rollback", sanitize=True)
+        serial = compile_module(wl.fresh_module(), "vliw", jobs=1, **kwargs)
+        parallel = compile_module(wl.fresh_module(), "vliw", jobs=2, **kwargs)
+        assert format_module(parallel.module) == format_module(serial.module)
+        assert parallel.resilience.rollbacks == serial.resilience.rollbacks

@@ -1,0 +1,109 @@
+"""SnapshotStore: copy-on-write snapshots restore exhaustively."""
+
+from repro.ir import format_module
+from repro.ir.parser import parse_module
+from repro.perf.snapshot import SnapshotStore
+
+SRC = """
+data tab: size=8 init=[1, 2]
+
+func f(r3):
+    AI r3, r3, 1
+    RET
+
+func g(r3):
+    AI r3, r3, 2
+    RET
+"""
+
+
+def _fresh():
+    module = parse_module(SRC)
+    store = SnapshotStore()
+    store.prime(module)
+    return module, store
+
+
+class TestCowRoundTrip:
+    def test_mutation_rolls_back_and_identity_survives(self):
+        module, store = _fresh()
+        pristine = format_module(module)
+        f_obj = module.functions["f"]
+        snap = store.take_cow(module)
+        f_obj.blocks[0].instrs[0].imm = 99
+        assert store.refresh(module, {"f"}) == {"f"}
+        store.restore_cow(module, snap)
+        assert format_module(module) == pristine
+        # References into the module stay valid across a rollback.
+        assert module.functions["f"] is f_obj
+
+    def test_deleted_function_is_reinstated(self):
+        module, store = _fresh()
+        pristine = format_module(module)
+        snap = store.take_cow(module)
+        del module.functions["g"]
+        store.refresh(module, {"g"})
+        store.restore_cow(module, snap)
+        assert format_module(module) == pristine
+        assert list(module.functions) == ["f", "g"]
+
+    def test_added_function_is_dropped(self):
+        module, store = _fresh()
+        pristine = format_module(module)
+        snap = store.take_cow(module)
+        extra = parse_module(SRC).functions["f"]
+        module.functions["h"] = extra
+        store.refresh(module, {"h"})
+        store.restore_cow(module, snap)
+        assert format_module(module) == pristine
+
+    def test_module_extras_and_data_restore(self):
+        module, store = _fresh()
+        snap = store.take_cow(module)
+        module.name = "evil"
+        module.__dict__["invented"] = True
+        module.data["tab"].init[0] = 77
+        store.restore_cow(module, snap)
+        assert module.name != "evil"
+        assert "invented" not in module.__dict__
+        assert module.data["tab"].init[0] == 1
+
+    def test_preserve_allows_double_restore(self):
+        # The retry policy restores, re-runs, and may restore again.
+        module, store = _fresh()
+        pristine = format_module(module)
+        snap = store.take_cow(module)
+        module.functions["f"].blocks[0].instrs[0].imm = 5
+        store.refresh(module, {"f"})
+        store.restore_cow(module, snap, preserve=True)
+        module.functions["f"].blocks[0].instrs[0].imm = 7
+        store.refresh(module, {"f"})
+        store.restore_cow(module, snap, preserve=True)
+        assert format_module(module) == pristine
+
+
+class TestCowEconomy:
+    def test_unchanged_functions_are_reused_not_recloned(self):
+        module, store = _fresh()
+        store.take_cow(module)
+        cloned_first = store.counters["snapshot.fn_cloned"]
+        assert cloned_first == 2
+        # Nothing changed: a second snapshot reuses both cached clones.
+        store.take_cow(module)
+        assert store.counters["snapshot.fn_cloned"] == cloned_first
+        assert store.counters["snapshot.fn_reused"] == 2
+
+    def test_only_the_stale_function_is_recloned(self):
+        module, store = _fresh()
+        store.take_cow(module)
+        module.functions["f"].blocks[0].instrs[0].imm = 42
+        store.refresh(module, {"f"})
+        store.take_cow(module)
+        assert store.counters["snapshot.fn_cloned"] == 3  # 2 prime + 1 stale
+        assert store.counters["snapshot.fn_reused"] == 1
+
+    def test_refresh_reports_only_real_changes(self):
+        module, store = _fresh()
+        # Reported-but-identical: refresh must say nothing changed.
+        assert store.refresh(module, {"f"}) == set()
+        assert store.refresh(module, None) == set()

@@ -1,0 +1,112 @@
+"""Trace output is well-formed Chrome trace-event JSON."""
+
+import json
+
+from repro.ir.parser import parse_module
+from repro.perf.trace import TraceRecorder
+from repro.pipeline import compile_module
+from repro.workloads import suite
+
+#: Phases the Trace Event format defines for the events we emit.
+_VALID_PH = {"X", "i", "C", "M"}
+
+
+def _workload(name: str):
+    return next(wl for wl in suite() if wl.name == name)
+
+
+def _validate(payload):
+    """Structural checks Chrome's trace importer performs on load."""
+    assert isinstance(payload, dict)
+    assert payload["displayTimeUnit"] in ("ms", "ns")
+    events = payload["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert event["ph"] in _VALID_PH
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        if event["ph"] == "C":
+            assert isinstance(event["args"], dict) and event["args"]
+    return events
+
+
+class TestRecorder:
+    def test_span_complete_counter_shapes(self):
+        trace = TraceRecorder(process_name="unit")
+        with trace.span("work", cat="pass", detail=1):
+            pass
+        trace.instant("marker")
+        trace.counter("stats", {"hits": 3, "misses": 1})
+        events = _validate(json.loads(trace.to_json()))
+        names = [e["name"] for e in events]
+        assert "work" in names and "marker" in names and "stats" in names
+        # Metadata names the process so the viewer labels the track.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"].get("name") == "unit" for e in meta)
+
+    def test_write_round_trips(self, tmp_path):
+        trace = TraceRecorder()
+        with trace.span("s"):
+            pass
+        path = tmp_path / "out.trace.json"
+        trace.write(str(path))
+        _validate(json.loads(path.read_text()))
+
+
+class TestCompileTrace:
+    def test_plain_compile_emits_function_spans(self):
+        wl = _workload("compress")
+        trace = TraceRecorder()
+        compile_module(wl.fresh_module(), "vliw", trace=trace)
+        events = _validate(trace.to_dict())
+        cats = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert "function" in cats
+        # Per-(pass, function) naming: "pass:function".
+        assert any(
+            ":" in e["name"] for e in events if e.get("cat") == "function"
+        )
+
+    def test_guarded_compile_emits_snapshot_and_counter_events(self):
+        wl = _workload("compress")
+        trace = TraceRecorder()
+        result = compile_module(
+            wl.fresh_module(),
+            "vliw",
+            resilience="rollback",
+            sanitize=True,
+            trace=trace,
+        )
+        events = _validate(trace.to_dict())
+        cats = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert {"function", "snapshot", "diffcheck", "sanitize"} <= cats
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "snapshots" for e in counters)
+        assert any(e["name"] == "memoization" for e in counters)
+        # The same counters land on the resilience report.
+        assert result.resilience is not None
+        assert result.resilience.counters.get("snapshot.fn_reused", 0) > 0
+
+    def test_parallel_compile_names_worker_threads(self):
+        trace = TraceRecorder()
+        module = parse_module(
+            """
+func a(r3):
+    AI r3, r3, 1
+    RET
+
+func b(r3):
+    AI r3, r3, 2
+    RET
+"""
+        )
+        compile_module(module, "base", jobs=2, trace=trace)
+        events = _validate(trace.to_dict())
+        thread_meta = [
+            e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        names = {e["args"]["name"] for e in thread_meta}
+        assert "compile" in names

@@ -1,0 +1,127 @@
+"""Rollback is exhaustive under both snapshot strategies.
+
+Regression: the old ``GuardedPassManager._restore`` copied back only
+``functions`` and ``data``, so any *other* module-level state a faulty
+pass mutated survived the rollback. Both restore paths — per-function
+copy-on-write and full-clone ``Module.restore_from`` — must undo
+everything: invented attributes, renames, deleted and added functions.
+"""
+
+import pytest
+
+from repro.ir import format_module, parse_module
+from repro.robustness import GuardedPassManager
+from repro.transforms import Pass, Straighten
+
+SRC = """
+data tab: size=8 init=[1, 2]
+
+func f(r3):
+    AI r3, r3, 1
+    RET
+
+func g(r3):
+    AI r3, r3, 2
+    RET
+"""
+
+
+class _FieldMutator(Pass):
+    """Mutates module-level state, then dies."""
+
+    name = "field-mutator"
+
+    def run_on_function(self, fn, ctx):
+        module = ctx.module
+        module.name = "evil"
+        module.__dict__["invented_field"] = {"oops": True}
+        module.data["tab"].init[0] = 99
+        fn.blocks[0].instrs[0].imm = 1234
+        raise RuntimeError("die mid-mutation")
+
+
+class _FunctionDeleter(Pass):
+    name = "deleter"
+
+    def run_on_function(self, fn, ctx):
+        ctx.module.functions.pop("g", None)
+        raise RuntimeError("die after deleting")
+
+
+class _FunctionAdder(Pass):
+    name = "adder"
+
+    def run_on_function(self, fn, ctx):
+        if "h" not in ctx.module.functions:
+            ctx.module.functions["h"] = parse_module(SRC).functions["f"]
+        raise RuntimeError("die after adding")
+
+
+@pytest.mark.parametrize("cow", [True, False], ids=["cow", "full-clone"])
+class TestExhaustiveRollback:
+    def _run(self, pass_obj, cow):
+        module = parse_module(SRC)
+        pristine = format_module(module)
+        original_name = module.name
+        manager = GuardedPassManager(
+            [pass_obj, Straighten()], policy="rollback", cow_snapshots=cow
+        )
+        manager.run(module)
+        return module, pristine, original_name, manager
+
+    def test_field_mutations_roll_back(self, cow):
+        module, pristine, original_name, manager = self._run(_FieldMutator(), cow)
+        assert format_module(module) == pristine
+        assert module.name == original_name
+        assert "invented_field" not in module.__dict__
+        assert module.data["tab"].init[0] == 1
+        assert manager.report.rollbacks == 1
+        assert manager.report.failures[0].kind == "exception"
+
+    def test_deleted_function_rolls_back(self, cow):
+        module, pristine, _, manager = self._run(_FunctionDeleter(), cow)
+        assert format_module(module) == pristine
+        assert list(module.functions) == ["f", "g"]
+        assert manager.report.rollbacks == 1
+
+    def test_added_function_rolls_back(self, cow):
+        module, pristine, _, manager = self._run(_FunctionAdder(), cow)
+        assert format_module(module) == pristine
+        assert "h" not in module.functions
+
+
+class TestCounters:
+    def test_fast_mode_reports_snapshot_counters(self):
+        module = parse_module(SRC)
+        manager = GuardedPassManager([Straighten()], policy="rollback")
+        manager.run(module)
+        counters = manager.report.counters
+        assert "snapshot.fn_cloned" in counters
+        assert counters["snapshot.full_clones"] == 0
+        # JSON report carries them too.
+        assert "counters" in manager.report.to_dict()
+
+    def test_legacy_mode_takes_full_clones(self):
+        module = parse_module(SRC)
+        manager = GuardedPassManager(
+            [Straighten()],
+            policy="rollback",
+            cow_snapshots=False,
+            memoize=False,
+        )
+        manager.run(module)
+        assert manager.report.counters["snapshot.full_clones"] == 1
+        assert manager.report.counters["snapshot.fn_cloned"] == 0
+
+
+class TestRetryDoubleRollback:
+    def test_persistent_failure_still_restores(self):
+        module = parse_module(SRC)
+        pristine = format_module(module)
+        manager = GuardedPassManager([_FieldMutator()], policy="retry")
+        manager.run(module)
+        assert format_module(module) == pristine
+        assert module.name != "evil"
+        record = manager.report.records[0]
+        assert record.outcome == "rolled-back"
+        assert record.failure.retried

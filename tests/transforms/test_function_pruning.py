@@ -1,0 +1,56 @@
+"""Regression: a pass may delete functions mid-iteration.
+
+``PassManager._run_pass`` iterates a snapshot of the function names and
+used to index ``module.functions[name]`` directly — a pass that prunes a
+later function while an earlier one is being processed crashed the
+manager with a ``KeyError``. Deleted names must simply be skipped, on
+both the serial and the parallel paths.
+"""
+
+from repro.ir import format_module, parse_module
+from repro.transforms import Pass
+from repro.transforms.pass_manager import PassManager
+
+SRC = """
+func a(r3):
+    AI r3, r3, 1
+    RET
+
+func b(r3):
+    AI r3, r3, 2
+    RET
+
+func c(r3):
+    AI r3, r3, 3
+    RET
+"""
+
+
+class _PruneOthers(Pass):
+    """Processing ``a`` deletes ``b`` and ``c`` from the module."""
+
+    name = "prune-others"
+
+    def run_on_function(self, fn, ctx):
+        if fn.name != "a":
+            return False
+        removed = False
+        for other in ("b", "c"):
+            removed |= ctx.module.functions.pop(other, None) is not None
+        return removed
+
+
+def test_serial_manager_survives_pruning():
+    module = parse_module(SRC)
+    manager = PassManager([_PruneOthers()])
+    manager.run(module)  # KeyError before the fix
+    assert list(module.functions) == ["a"]
+    assert manager.module_changed
+
+
+def test_parallel_manager_survives_pruning():
+    module = parse_module(SRC)
+    serial = parse_module(SRC)
+    PassManager([_PruneOthers()], jobs=1).run(serial)
+    PassManager([_PruneOthers()], jobs=3).run(module)
+    assert format_module(module) == format_module(serial)
