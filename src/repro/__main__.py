@@ -8,6 +8,8 @@ Examples::
     python -m repro bench                                # SPECint-style table
     python -m repro bench --pdf                          # with feedback
     python -m repro sanitize prog.ir --level vliw        # containment proof
+    python -m repro fuzz --seeds 2000 --level vliw       # differential fuzzing
+    python -m repro reduce failing.ir -o reduced.ir      # shrink a failure
 """
 
 import argparse
@@ -220,6 +222,111 @@ def cmd_sanitize(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign; exit 1 when anything diverges."""
+    from repro.fuzz import GenConfig, OracleConfig
+    from repro.fuzz.corpus import case_from_finding, save_case
+    from repro.fuzz.driver import run_fuzz
+
+    oracle_cfg = OracleConfig(
+        max_steps=args.max_steps,
+        argsets_per_function=args.argsets,
+        bisect=not args.no_bisect,
+        quick=args.quick,
+    )
+    gen_cfg = GenConfig(size=args.size)
+    findings, stats = run_fuzz(
+        seeds=args.seeds,
+        level=args.level,
+        start=args.start,
+        jobs=args.jobs,
+        time_budget=args.time_budget,
+        oracle_cfg=oracle_cfg,
+        gen_cfg=gen_cfg,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.save_failures and findings:
+        from pathlib import Path
+
+        for finding in findings:
+            case = case_from_finding(finding, finding.source, status="xfail")
+            path = save_case(case, Path(args.save_failures))
+            print(f"# wrote {path}", file=sys.stderr)
+    print(
+        f"# fuzz: {stats.seeds_run} seeds at level {args.level!r} in "
+        f"{stats.elapsed:.0f}s, {stats.findings} findings",
+        file=sys.stderr,
+    )
+    for (kind, guilty), count in sorted(stats.by_signature.items()):
+        print(
+            f"#   {kind} in {guilty or '<unattributed>'}: {count}",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+def cmd_reduce(args) -> int:
+    """Shrink a failing IR file while preserving its failure signature."""
+    from repro.fuzz import Oracle, OracleConfig
+    from repro.fuzz.corpus import case_from_finding, parse_case
+    from repro.fuzz.driver import signature_predicate
+    from repro.fuzz.oracle import config_from_key, sweep_configs
+    from repro.fuzz.reduce import instruction_count, reduce_module
+
+    with open(args.file) as handle:
+        text = handle.read()
+    header = parse_case(text, None)
+    module = parse_module(text)
+    verify_module(module)
+    seed = args.seed if args.seed is not None else header.seed
+
+    config_key = args.config or (
+        header.config if "# config:" in text else None
+    )
+    configs = (
+        [config_from_key(config_key)]
+        if config_key
+        else sweep_configs(args.level)
+    )
+    oracle = Oracle(OracleConfig(max_steps=args.max_steps))
+    findings = oracle.check_module(module, seed, args.level, configs=configs)
+    if not findings:
+        print("# no divergence reproduced; nothing to reduce", file=sys.stderr)
+        return 1
+    finding = findings[0]
+    print(f"# reproducing: {finding.describe()}", file=sys.stderr)
+
+    before = instruction_count(module)
+    reduced = reduce_module(
+        module,
+        signature_predicate(finding),
+        log=lambda msg: print(f"# {msg}", file=sys.stderr),
+    )
+    after = instruction_count(reduced)
+
+    # Re-confirm on the reduced module and re-bisect the guilty pass.
+    final = oracle.check_module(
+        reduced, seed, args.level, configs=[config_from_key(finding.config)]
+    )
+    confirmed = final[0] if final else finding
+    source = format_module(reduced)
+    case = case_from_finding(confirmed, source, status=args.status)
+    out_text = case.text()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(out_text)
+        print(f"# wrote {args.output}", file=sys.stderr)
+    else:
+        print(out_text)
+    shrink = 100.0 * (before - after) / before if before else 0.0
+    print(
+        f"# reduced {before} -> {after} instructions ({shrink:.0f}% smaller); "
+        f"signature: {confirmed.kind} guilty={confirmed.guilty or '?'}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -345,6 +452,52 @@ def main(argv=None) -> int:
     p_sanitize.add_argument("--max-steps", type=int, default=200_000)
     p_sanitize.add_argument("--report", help="write the JSON findings report here")
     p_sanitize.set_defaults(func=cmd_sanitize)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated modules, unoptimized vs "
+        "base/vliw across a config sweep, both memory models",
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=200)
+    p_fuzz.add_argument("--start", type=int, default=0, help="first seed")
+    p_fuzz.add_argument("--level", choices=("base", "vliw"), default="vliw")
+    p_fuzz.add_argument("--size", type=int, default=18,
+                        help="statement budget per generated function")
+    p_fuzz.add_argument("--argsets", type=int, default=3,
+                        help="seeded argument vectors per function")
+    p_fuzz.add_argument("--max-steps", type=int, default=200_000)
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the seed loop")
+    p_fuzz.add_argument("--time-budget", type=float,
+                        help="stop after this many seconds (CI smoke)")
+    p_fuzz.add_argument("--quick", action="store_true",
+                        help="sweep only the two main configs per seed")
+    p_fuzz.add_argument("--no-bisect", action="store_true",
+                        help="skip the per-finding guilty-pass bisection")
+    p_fuzz.add_argument("--save-failures",
+                        help="write each finding's module here as a corpus-"
+                        "format .ir file (status: xfail)")
+    p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_reduce = sub.add_parser(
+        "reduce",
+        help="delta-debug a failing IR file down to a minimal reproducer",
+    )
+    p_reduce.add_argument("file", help="IR file (plain or corpus format)")
+    p_reduce.add_argument("--output", "-o",
+                          help="write the reduced corpus-format case here "
+                          "(default: stdout)")
+    p_reduce.add_argument("--level", choices=("base", "vliw"), default="vliw")
+    p_reduce.add_argument("--config",
+                          help="sweep config key to reproduce under (e.g. "
+                          "vliw:u2:swp); default: corpus header, else sweep")
+    p_reduce.add_argument("--seed", type=int,
+                          help="entry-derivation seed (default: corpus header)")
+    p_reduce.add_argument("--status", choices=("fixed", "xfail"),
+                          default="fixed",
+                          help="status recorded in the emitted corpus header")
+    p_reduce.add_argument("--max-steps", type=int, default=200_000)
+    p_reduce.set_defaults(func=cmd_reduce)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,44 @@
+"""Differential IR fuzzing: generator, oracle, reducer, corpus.
+
+The fuzzer closes the gap between the six hand-written workloads and
+the "handle as many scenarios as you can imagine" correctness story:
+
+- :mod:`repro.fuzz.generate` — a seeded, deterministic program
+  generator emitting verifier-clean modules biased toward the CFG
+  shapes the paper's passes rewrite (reducible and irreducible loops,
+  joins, conditional memory traffic, calls, data sections).
+- :mod:`repro.fuzz.oracle` — a differential oracle comparing the
+  unoptimized module against ``base`` and ``vliw`` compilations across
+  a config sweep (unroll factors, software pipelining, single-pass
+  ablations) on both memory models, reusing diffcheck's
+  fault-class-agreement contract, with per-pass bisection.
+- :mod:`repro.fuzz.residue` — the defined-behaviour contract around
+  calls: a dataflow check that no instruction reads a call-clobbered
+  register some optimized callee may have left different residue in.
+- :mod:`repro.fuzz.reduce` — a delta-debugging reducer that shrinks a
+  failing module while preserving the failure signature.
+- :mod:`repro.fuzz.corpus` — persistence: every reduced failure
+  becomes a permanent regression test under ``tests/fuzz/corpus/``.
+"""
+
+from repro.fuzz.generate import GenConfig, generate_module, generate_source
+from repro.fuzz.oracle import Finding, Oracle, OracleConfig, sweep_configs
+from repro.fuzz.reduce import reduce_module
+from repro.fuzz.residue import call_residue_violations, reads_call_residue
+from repro.fuzz.corpus import CorpusCase, load_cases, save_case
+
+__all__ = [
+    "GenConfig",
+    "generate_module",
+    "generate_source",
+    "Finding",
+    "Oracle",
+    "OracleConfig",
+    "sweep_configs",
+    "reduce_module",
+    "call_residue_violations",
+    "reads_call_residue",
+    "CorpusCase",
+    "load_cases",
+    "save_case",
+]

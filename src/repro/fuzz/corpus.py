@@ -1,0 +1,135 @@
+"""Corpus persistence: reduced failures become permanent regressions.
+
+Every reduced finding is written to ``tests/fuzz/corpus/`` as a plain
+IR text file with a comment header carrying the metadata the replay
+test needs. Because the header lines are ``#`` comments, the corpus
+file *is* the test case — ``parse_module`` reads it directly.
+
+Header format::
+
+    # repro-fuzz case: <name>
+    # status: fixed | xfail
+    # seed: <generator seed>
+    # config: <sweep config key, e.g. vliw:u2:swp>
+    # kind: miscompile | containment | crash | verifier-reject
+    # guilty: <pass name>
+    # detail: <one-line description>
+
+``status: fixed`` cases assert the oracle finds nothing (the bug was
+fixed in-tree); ``status: xfail`` cases document a known-open failure —
+the replay test xfails them and flags when they start passing so they
+can be promoted to ``fixed``. See docs/FUZZING.md.
+"""
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.fuzz.oracle import Finding
+
+#: Default corpus location, relative to the repository root.
+CORPUS_DIR = Path("tests/fuzz/corpus")
+
+_HEADER_RE = re.compile(r"^#\s*([\w-]+):\s*(.*)$")
+
+
+@dataclass
+class CorpusCase:
+    """One persisted regression case."""
+
+    name: str
+    status: str  # "fixed" | "xfail"
+    seed: int
+    config: str
+    kind: str
+    guilty: str = ""
+    detail: str = ""
+    source: str = ""
+    path: Optional[Path] = None
+
+    def header(self) -> str:
+        lines = [
+            f"# repro-fuzz case: {self.name}",
+            f"# status: {self.status}",
+            f"# seed: {self.seed}",
+            f"# config: {self.config}",
+            f"# kind: {self.kind}",
+        ]
+        if self.guilty:
+            lines.append(f"# guilty: {self.guilty}")
+        if self.detail:
+            lines.append(f"# detail: {self.detail.splitlines()[0][:200]}")
+        return "\n".join(lines)
+
+    def text(self) -> str:
+        return f"{self.header()}\n\n{self.source.strip()}\n"
+
+
+def case_from_finding(
+    finding: Finding, source: str, status: str = "fixed", name: str = ""
+) -> CorpusCase:
+    """Build a corpus case from an oracle finding and its (reduced) IR."""
+    slug = finding.guilty or finding.kind
+    return CorpusCase(
+        name=name or f"seed{finding.seed}-{slug}",
+        status=status,
+        seed=finding.seed,
+        config=finding.config,
+        kind=finding.kind,
+        guilty=finding.guilty,
+        detail=finding.detail,
+        source=source,
+    )
+
+
+def save_case(case: CorpusCase, directory: Path = CORPUS_DIR) -> Path:
+    """Write ``case`` (unique-suffixing the filename if taken)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^\w.-]", "-", case.name)
+    path = directory / f"{stem}.ir"
+    serial = 1
+    while path.exists():
+        serial += 1
+        path = directory / f"{stem}-{serial}.ir"
+    path.write_text(case.text())
+    case.path = path
+    return path
+
+
+def parse_case(text: str, path: Optional[Path] = None) -> CorpusCase:
+    meta = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not stripped.startswith("#"):
+            break
+        if stripped.startswith("# repro-fuzz case:"):
+            meta["name"] = stripped.split(":", 1)[1].strip()
+            continue
+        match = _HEADER_RE.match(stripped)
+        if match:
+            meta[match.group(1)] = match.group(2).strip()
+    return CorpusCase(
+        name=meta.get("name", path.stem if path else "unnamed"),
+        status=meta.get("status", "fixed"),
+        seed=int(meta.get("seed", 0)),
+        config=meta.get("config", "vliw:u2:swp"),
+        kind=meta.get("kind", "miscompile"),
+        guilty=meta.get("guilty", ""),
+        detail=meta.get("detail", ""),
+        source=text,
+        path=path,
+    )
+
+
+def load_cases(directory: Path = CORPUS_DIR) -> List[CorpusCase]:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        parse_case(path.read_text(), path)
+        for path in sorted(directory.glob("*.ir"))
+    ]

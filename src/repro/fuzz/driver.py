@@ -1,0 +1,157 @@
+"""Fuzzing campaign driver: seed loop, parallelism, reporting.
+
+Keeps ``python -m repro fuzz`` thin and the per-seed worker picklable
+so campaigns can fan out across processes with ``--jobs``.
+"""
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.generate import GenConfig, generate_module
+from repro.fuzz.oracle import (
+    Finding,
+    Oracle,
+    OracleConfig,
+    config_from_key,
+)
+from repro.fuzz.residue import reads_call_residue
+from repro.ir.module import Module
+
+
+@dataclass
+class FuzzStats:
+    """Campaign summary."""
+
+    seeds_run: int = 0
+    findings: int = 0
+    elapsed: float = 0.0
+    #: (kind, guilty pass) -> count; "unique" findings for reporting.
+    by_signature: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def note(self, finding: Finding) -> None:
+        self.findings += 1
+        key = finding.signature()
+        self.by_signature[key] = self.by_signature.get(key, 0) + 1
+
+
+def fuzz_seed(
+    seed: int,
+    level: str,
+    oracle_cfg: Optional[OracleConfig] = None,
+    gen_cfg: Optional[GenConfig] = None,
+) -> List[Finding]:
+    """Check one seed; module-level so ProcessPoolExecutor can pickle it."""
+    module = generate_module(seed, gen_cfg)
+    return Oracle(oracle_cfg).check_module(module, seed, level)
+
+
+def run_fuzz(
+    seeds: int,
+    level: str = "vliw",
+    start: int = 0,
+    jobs: int = 1,
+    time_budget: Optional[float] = None,
+    oracle_cfg: Optional[OracleConfig] = None,
+    gen_cfg: Optional[GenConfig] = None,
+    log: Optional[Callable[[str], None]] = None,
+    progress_every: int = 50,
+) -> Tuple[List[Finding], FuzzStats]:
+    """Fuzz ``seeds`` seeds starting at ``start``.
+
+    ``time_budget`` (seconds) stops the campaign early once exceeded —
+    the CI smoke job runs "as many seeds as fit in a minute". Findings
+    are returned in seed order regardless of worker scheduling.
+    """
+    say = log or (lambda _msg: None)
+    stats = FuzzStats()
+    findings: List[Finding] = []
+    t0 = time.time()
+    seed_list = list(range(start, start + seeds))
+
+    def out_of_time() -> bool:
+        return time_budget is not None and time.time() - t0 > time_budget
+
+    def record(seed_findings: List[Finding]) -> None:
+        for finding in seed_findings:
+            findings.append(finding)
+            stats.note(finding)
+            say(f"FINDING {finding.describe()}")
+        stats.seeds_run += 1
+        if stats.seeds_run % progress_every == 0:
+            say(
+                f"... {stats.seeds_run}/{len(seed_list)} seeds, "
+                f"{stats.findings} findings, {time.time() - t0:.0f}s"
+            )
+
+    if jobs <= 1:
+        for seed in seed_list:
+            if out_of_time():
+                say(f"time budget exhausted after {stats.seeds_run} seeds")
+                break
+            record(fuzz_seed(seed, level, oracle_cfg, gen_cfg))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {}
+            cursor = 0
+            while cursor < len(seed_list) or pending:
+                while (
+                    cursor < len(seed_list)
+                    and len(pending) < jobs * 2
+                    and not out_of_time()
+                ):
+                    seed = seed_list[cursor]
+                    cursor += 1
+                    pending[
+                        pool.submit(fuzz_seed, seed, level, oracle_cfg, gen_cfg)
+                    ] = seed
+                if not pending:
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    del pending[future]
+                    record(future.result())
+                if out_of_time() and cursor < len(seed_list):
+                    say(f"time budget exhausted after {stats.seeds_run} seeds")
+                    cursor = len(seed_list)
+    stats.elapsed = time.time() - t0
+    findings.sort(key=lambda f: (f.seed, f.config))
+    return findings, stats
+
+
+def signature_predicate(
+    finding: Finding, oracle_cfg: Optional[OracleConfig] = None
+) -> Callable[[Module], bool]:
+    """Reduction predicate: does a candidate still show this failure?
+
+    Matches on the failure *kind* under the finding's exact sweep
+    config (bisection is skipped per candidate for speed; the reduced
+    module is re-bisected once at the end to re-confirm the guilty
+    pass). Restricting to the finding's memory model keeps each
+    candidate test to one compile plus a handful of interpretations.
+
+    Candidates that read call residue are rejected outright: deleting
+    instructions can turn a defined program into one that reads
+    registers a callee happened to populate, and such a candidate
+    "reproduces" a divergence that is the program's fault, not the
+    compiler's — the reducer would morph a real bug into noise.
+    """
+    sweep = config_from_key(finding.config)
+    cfg = oracle_cfg or OracleConfig()
+    cfg = replace(
+        cfg,
+        bisect=False,
+        mem_models=(finding.mem_model,) if finding.mem_model else cfg.mem_models,
+    )
+    oracle = Oracle(cfg)
+
+    def predicate(candidate: Module) -> bool:
+        if reads_call_residue(candidate):
+            return False
+        found = oracle.check_module(
+            candidate, finding.seed, configs=[sweep]
+        )
+        return any(f.kind == finding.kind for f in found)
+
+    return predicate

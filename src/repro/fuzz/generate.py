@@ -1,0 +1,571 @@
+"""Seeded, deterministic IR program generator for differential fuzzing.
+
+Emits verifier-clean modules biased toward the CFG shapes the paper's
+passes rewrite: counted loops (top-test, bottom-test, BCT), irreducible
+two-entry loops, pointer walks with update-form loads, diamonds and
+triangles with conditionally-executed memory traffic, loop-invariant
+loads and stores (loop-memory-motion fodder), register copies
+(combining / copy-propagation fodder), calls, library calls and data
+sections — plus a small dose of out-of-bounds loads so the paged memory
+model's faulting behaviour is exercised too.
+
+Every choice is drawn from ``random.Random(f"repro-fuzz:{seed}")`` (a
+string seed is process-independent), so a seed fully determines the
+module and the oracle/reducer can regenerate it at will.
+
+Two invariants keep the differential oracle free of false positives —
+the unoptimized reference is interpreted with *no* linkage code, so the
+semantic contract around calls is narrower than the ABI's:
+
+- **Residue discipline.** After a CALL the call-clobbered registers
+  (r0, r3..r12, all cr fields, CTR) hold whatever the callee left
+  there, and an optimized callee leaves *different* residue. Generated
+  code therefore never reads a call-clobbered register it has not
+  re-defined since the last call: the generator tracks register
+  definedness, intersects it at joins, and re-establishes the data
+  pointers with fresh ``LA`` instructions after every call.
+- **Callee-saved partitioning.** The unoptimized callee does not
+  save/restore callee-saved registers, so a callee writing one would
+  trash its caller's loop counters. Function ``f<i>`` draws loop
+  counters from its own slice of r24..r29 and only ever calls ``f<j>``
+  with ``j > i``, so no callee writes a register its caller holds live.
+
+All loops are bounded by dedicated constant-initialized counters, so
+every generated program terminates on every input.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+
+from repro.fuzz.residue import call_residue_violations
+
+#: Registers generated statements may define and read (call-clobbered).
+VALUE_REGS = ("r3", "r4", "r5", "r6", "r7", "r8", "r9")
+#: Data-section base pointers (re-established after every call).
+DATA_PTR = "r10"
+DATA_PTR2 = "r11"
+#: Callee-saved loop-counter pool, sliced per function (see module doc).
+COUNTER_POOL = ("r24", "r25", "r26", "r27", "r28", "r29")
+COUNTERS_PER_FN = 2
+
+ALU_RR = ("A", "S", "MUL", "AND", "OR", "XOR", "SL", "SR", "SRA")
+ALU_RI = ("AI", "SI", "MULI", "ANDI", "ORI", "XORI", "SLI", "SRI", "SRAI")
+CONDS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Words in the primary data object; computed addressing masks against
+#: this (``ANDI off, x, 0x3C`` covers words 0..15), so it is a floor.
+DATA_WORDS = 16
+#: Displacement that lands far outside every mapped segment (data
+#: objects sit near 0x10000, the heap at 0x20000000, the stack near
+#: 0x7FFF0000): r10 + 0xFF0000 ≈ 0x1000000 is unmapped on the paged
+#: model and reads as zero on the flat one.
+WILD_DISP = 0xFF0000
+
+
+@dataclass
+class GenConfig:
+    """Shape knobs for one generated module."""
+
+    #: Functions per module (f0 calls into f1 calls into f2, acyclic).
+    max_functions: int = 3
+    #: Statement budget per function.
+    size: int = 18
+    #: Maximum nesting depth of diamonds/loops.
+    max_depth: int = 3
+    #: Permit the rare out-of-bounds load (paged-model fault fodder).
+    wild_loads: bool = True
+    #: Permit CALLs to other generated functions / library routines.
+    calls: bool = True
+
+
+class _FnGen:
+    """Emits one function as parseable text, tracking definedness."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        name: str,
+        index: int,
+        params: List[str],
+        callees: List[tuple],
+        cfg: GenConfig,
+        has_second_object: bool,
+    ):
+        self.rng = rng
+        self.name = name
+        self.params = params
+        #: (name, nparams) of generated functions this one may call.
+        self.callees = callees
+        self.cfg = cfg
+        self.has_second_object = has_second_object
+        self.budget = cfg.size
+        self.lines: List[str] = []
+        self.label_counter = 0
+        self.cr_counter = index  # desynchronize cr choice across functions
+        self.counter_cursor = 0
+        base = (index * COUNTERS_PER_FN) % len(COUNTER_POOL)
+        self.counters = [
+            COUNTER_POOL[(base + i) % len(COUNTER_POOL)]
+            for i in range(COUNTERS_PER_FN)
+        ]
+        #: Registers safe to read: params, then everything defined since
+        #: the last call clobbered the volatile file.
+        self.defined: Set[str] = set(params)
+        self.call_sites = 0
+        self.in_bct = False
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, text: str, indent: bool = True) -> None:
+        self.lines.append(("    " if indent else "") + text)
+
+    def fresh_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{hint}{self.label_counter}"
+
+    def fresh_cr(self) -> str:
+        self.cr_counter = (self.cr_counter + 1) % 8
+        return f"cr{self.cr_counter}"
+
+    def def_reg(self) -> str:
+        """A destination register (always becomes defined)."""
+        reg = self.rng.choice(VALUE_REGS)
+        self.defined.add(reg)
+        return reg
+
+    def read_reg(self) -> str:
+        """A register that is safe to read (defining one if needed)."""
+        pool = [r for r in VALUE_REGS if r in self.defined]
+        if not pool:
+            reg = self.rng.choice(VALUE_REGS)
+            self.emit(f"LI {reg}, {self.rng.randrange(-20, 21)}")
+            self.defined.add(reg)
+            return reg
+        return self.rng.choice(pool)
+
+    def offset(self) -> int:
+        return 4 * self.rng.randrange(DATA_WORDS)
+
+    def data_ptr(self) -> str:
+        if self.has_second_object and self.rng.random() < 0.3:
+            return DATA_PTR2
+        return DATA_PTR
+
+    # -- statements ---------------------------------------------------------
+
+    def gen_statement(self, depth: int) -> None:
+        if self.budget <= 0:
+            return
+        self.budget -= 1
+        rng = self.rng
+        roll = rng.random()
+        # NOTE: source registers are always chosen *before* the
+        # destination — def_reg() adds its pick to ``defined``, and a
+        # source drawn afterwards could name a register that was never
+        # written since the last call (i.e. read callee residue).
+        if roll < 0.16:
+            op = rng.choice(ALU_RR)
+            ra, rb = self.read_reg(), self.read_reg()
+            self.emit(f"{op} {self.def_reg()}, {ra}, {rb}")
+        elif roll < 0.28:
+            op = rng.choice(ALU_RI)
+            imm = rng.randrange(0, 9) if op.startswith("S") and op != "SI" else rng.randrange(-12, 13)
+            ra = self.read_reg()
+            self.emit(f"{op} {self.def_reg()}, {ra}, {imm}")
+        elif roll < 0.34:
+            kind = rng.random()
+            unary = "LR" if kind < 0.4 else ("NEG" if kind < 0.7 else "NOT")
+            ra = self.read_reg()
+            self.emit(f"{unary} {self.def_reg()}, {ra}")
+        elif roll < 0.36:
+            # Division: divide-by-zero wraps to 0 on the flat model and
+            # faults on the paged one — both deterministically.
+            ra, rb = self.read_reg(), self.read_reg()
+            self.emit(f"DIV {self.def_reg()}, {ra}, {rb}")
+        elif roll < 0.48:
+            self.gen_load(depth)
+        elif roll < 0.58:
+            self.gen_store(depth)
+        elif roll < 0.70 and depth < self.cfg.max_depth:
+            self.gen_diamond(depth)
+        elif roll < 0.82 and depth < self.cfg.max_depth:
+            self.gen_loop(depth)
+        elif roll < 0.88 and self._may_call():
+            self.gen_call()
+        elif roll < 0.93 and self._may_call():
+            self.gen_libcall()
+        else:
+            self.emit(f"LI {self.def_reg()}, {rng.randrange(-40, 41)}")
+
+    def _may_call(self) -> bool:
+        return self.cfg.calls and not self.in_bct and self.call_sites < 3
+
+    def gen_load(self, depth: int) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if self.cfg.wild_loads and roll < 0.10:
+            # Out of every mapped segment: zero on flat, fault on paged.
+            self.emit(f"L {self.def_reg()}, {WILD_DISP}({DATA_PTR})")
+            return
+        if roll < 0.35:
+            # Computed in-bounds address: mask an arbitrary value down to
+            # a word offset inside the object (scheduling fodder).
+            off = self.rng.choice(VALUE_REGS)
+            base = self.rng.choice(VALUE_REGS)
+            self.emit(f"ANDI {off}, {self.read_reg()}, 0x3C")
+            self.emit(f"A {base}, {self.data_ptr()}, {off}")
+            self.defined.update((off, base))
+            self.emit(f"L {self.def_reg()}, 0({base})")
+            return
+        self.emit(f"L {self.def_reg()}, {self.offset()}({self.data_ptr()})")
+
+    def gen_store(self, depth: int) -> None:
+        if self.rng.random() < 0.25:
+            off = self.rng.choice(VALUE_REGS)
+            base = self.rng.choice(VALUE_REGS)
+            self.emit(f"ANDI {off}, {self.read_reg()}, 0x3C")
+            self.emit(f"A {base}, {self.data_ptr()}, {off}")
+            self.defined.update((off, base))
+            self.emit(f"ST 0({base}), {self.read_reg()}")
+            return
+        self.emit(f"ST {self.offset()}({self.data_ptr()}), {self.read_reg()}")
+
+    def gen_diamond(self, depth: int) -> None:
+        rng = self.rng
+        cr = self.fresh_cr()
+        else_label = self.fresh_label("els")
+        join_label = self.fresh_label("join")
+        self.emit(f"CI {cr}, {self.read_reg()}, {rng.randrange(-4, 5)}")
+        self.emit(f"BT {else_label}, {cr}.{rng.choice(CONDS)}")
+        before = set(self.defined)
+        self.gen_block(depth + 1, rng.randrange(1, 4))
+        then_defined = self.defined
+        if rng.random() < 0.6:
+            self.emit(f"B {join_label}")
+            self.emit(f"{else_label}:", indent=False)
+            self.defined = set(before)
+            self.gen_block(depth + 1, rng.randrange(1, 4))
+            self.emit(f"{join_label}:", indent=False)
+            self.defined &= then_defined
+        else:  # triangle: the then-arm may be skipped entirely
+            self.emit(f"{else_label}:", indent=False)
+            self.defined = before & then_defined
+
+    # -- loops --------------------------------------------------------------
+
+    def _counter(self) -> str:
+        reg = self.counters[self.counter_cursor % len(self.counters)]
+        self.counter_cursor += 1
+        return reg
+
+    def gen_loop(self, depth: int) -> None:
+        roll = self.rng.random()
+        if roll < 0.30:
+            self.gen_loop_top_test(depth)
+        elif roll < 0.55:
+            self.gen_loop_bottom_test(depth)
+        elif roll < 0.70 and not self.in_bct:
+            self.gen_loop_bct(depth)
+        elif roll < 0.85:
+            self.gen_loop_irreducible(depth)
+        elif depth == 0:
+            self.gen_loop_pointer_walk(depth)
+        else:
+            self.gen_loop_bottom_test(depth)
+
+    def _loop_body(self, depth: int) -> None:
+        n = self.rng.randrange(1, 4)
+        # Bias loop bodies toward memory traffic: loop-invariant loads
+        # and stores are exactly what LoopMemoryMotion rewrites.
+        if self.rng.random() < 0.5:
+            self.emit(f"L {self.def_reg()}, {self.offset()}({self.data_ptr()})")
+        self.gen_block(depth + 1, n)
+        if self.rng.random() < 0.35:
+            self.emit(f"ST {self.offset()}({self.data_ptr()}), {self.read_reg()}")
+
+    def gen_loop_top_test(self, depth: int) -> None:
+        counter = self._counter()
+        cr = self.fresh_cr()
+        head = self.fresh_label("loop")
+        exit_label = self.fresh_label("done")
+        trips = self.rng.randrange(1, 5)
+        self.emit(f"LI {counter}, {trips}")
+        self.emit(f"{head}:", indent=False)
+        self.emit(f"CI {cr}, {counter}, 0")
+        self.emit(f"BT {exit_label}, {cr}.le")
+        self._loop_body(depth)  # trips >= 1: body always runs, defs survive
+        self.emit(f"AI {counter}, {counter}, -1")
+        self.emit(f"B {head}")
+        self.emit(f"{exit_label}:", indent=False)
+
+    def gen_loop_bottom_test(self, depth: int) -> None:
+        counter = self._counter()
+        cr = self.fresh_cr()
+        head = self.fresh_label("loop")
+        trips = self.rng.randrange(1, 5)
+        self.emit(f"LI {counter}, {trips}")
+        self.emit(f"{head}:", indent=False)
+        self._loop_body(depth)
+        self.emit(f"AI {counter}, {counter}, -1")
+        self.emit(f"CI {cr}, {counter}, 0")
+        self.emit(f"BT {head}, {cr}.gt")
+
+    def gen_loop_bct(self, depth: int) -> None:
+        """Counted loop on the CTR register (the paper's native shape)."""
+        trips_reg = self.def_reg()
+        head = self.fresh_label("bct")
+        self.emit(f"LI {trips_reg}, {self.rng.randrange(1, 5)}")
+        self.emit(f"MTCTR {trips_reg}")
+        self.emit(f"{head}:", indent=False)
+        was = self.in_bct
+        self.in_bct = True  # CTR is live: no calls, no nested MTCTR/BCT
+        self._loop_body(depth)
+        self.in_bct = was
+        self.emit(f"BCT {head}")
+
+    def gen_loop_irreducible(self, depth: int) -> None:
+        """Two-entry loop: a side entrance jumps into the middle.
+
+        The counter still bounds it — at most ``trips + 1`` traversals —
+        but no amount of straightening makes this reducible, which is
+        exactly the shape region-based schedulers mishandle.
+        """
+        counter = self._counter()
+        cr_in = self.fresh_cr()
+        cr_back = self.fresh_cr()
+        l1 = self.fresh_label("irr_a")
+        l2 = self.fresh_label("irr_b")
+        trips = self.rng.randrange(1, 4)
+        self.emit(f"LI {counter}, {trips}")
+        self.emit(f"CI {cr_in}, {self.read_reg()}, {self.rng.randrange(-2, 3)}")
+        self.emit(f"BT {l2}, {cr_in}.{self.rng.choice(CONDS)}")
+        self.emit(f"{l1}:", indent=False)
+        before = set(self.defined)
+        self.gen_block(depth + 1, self.rng.randrange(1, 3))
+        # The side entrance may skip l1's body: its defs are not reliable.
+        self.defined = before
+        self.emit(f"{l2}:", indent=False)
+        self._loop_body(depth)
+        self.emit(f"AI {counter}, {counter}, -1")
+        self.emit(f"CI {cr_back}, {counter}, 0")
+        self.emit(f"BT {l1}, {cr_back}.gt")
+
+    def gen_loop_pointer_walk(self, depth: int) -> None:
+        """Update-form load walk over the data object (LU fodder)."""
+        walker = self.def_reg()
+        dest = self.def_reg()
+        counter = self._counter()
+        cr = self.fresh_cr()
+        head = self.fresh_label("walk")
+        trips = self.rng.randrange(1, 5)  # walks at most 16 bytes: in bounds
+        self.emit(f"LR {walker}, {DATA_PTR}")
+        self.emit(f"LI {counter}, {trips}")
+        self.emit(f"{head}:", indent=False)
+        self.emit(f"LU {dest}, 4({walker})")
+        addend = self.read_reg()
+        self.emit(f"A {self.def_reg()}, {dest}, {addend}")
+        self.emit(f"AI {counter}, {counter}, -1")
+        self.emit(f"CI {cr}, {counter}, 0")
+        self.emit(f"BT {head}, {cr}.gt")
+
+    # -- calls --------------------------------------------------------------
+
+    def _marshal_args(self, nargs: int) -> None:
+        """Load r3..r(3+nargs-1) from defined values or constants."""
+        for i in range(nargs):
+            arg = f"r{3 + i}"
+            src = [r for r in VALUE_REGS if r in self.defined and r != arg]
+            if src and self.rng.random() < 0.7:
+                self.emit(f"LR {arg}, {self.rng.choice(src)}")
+            else:
+                self.emit(f"LI {arg}, {self.rng.randrange(-8, 9)}")
+            self.defined.add(arg)
+
+    def _after_call(self) -> None:
+        """Drop the volatile file from ``defined``; re-anchor pointers."""
+        self.defined = {r for r in self.defined if r not in VALUE_REGS}
+        self.defined.add("r3")  # the return value is real data
+        self.emit(f"LA {DATA_PTR}, d0")
+        if self.has_second_object:
+            self.emit(f"LA {DATA_PTR2}, d1")
+        self.call_sites += 1
+
+    def gen_call(self) -> None:
+        if not self.callees:
+            self.gen_libcall()
+            return
+        name, nparams = self.rng.choice(self.callees)
+        self._marshal_args(nparams)
+        self.emit(f"CALL {name}, {nparams}")
+        self._after_call()
+        if self.rng.random() < 0.6:
+            self.emit(f"LR {self.def_reg()}, r3")
+
+    def gen_libcall(self) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.30:
+            self._marshal_args(1)
+            self.emit("CALL print_int, 1")
+        elif roll < 0.50:
+            self._marshal_args(2)
+            self.emit(f"CALL {rng.choice(['min_val', 'max_val'])}, 2")
+        elif roll < 0.62:
+            self._marshal_args(1)
+            self.emit("CALL abs_val, 1")
+        elif roll < 0.80:
+            # memset_words(addr, value, n) over a safe slice of d0.
+            nwords = rng.randrange(1, 5)
+            off = 4 * rng.randrange(0, DATA_WORDS - nwords)
+            self.emit(f"AI r3, {DATA_PTR}, {off}")
+            self.emit(f"LI r4, {rng.randrange(-9, 10)}")
+            self.emit(f"LI r5, {nwords}")
+            self.emit("CALL memset_words, 3")
+        elif roll < 0.92:
+            nwords = rng.randrange(1, 5)
+            dst = 4 * rng.randrange(0, DATA_WORDS - nwords)
+            src = 4 * rng.randrange(0, DATA_WORDS - nwords)
+            self.emit(f"AI r3, {DATA_PTR}, {dst}")
+            self.emit(f"AI r4, {DATA_PTR}, {src}")
+            self.emit(f"LI r5, {nwords}")
+            self.emit("CALL memcpy_words, 3")
+        else:
+            nwords = rng.randrange(1, 4)
+            self.emit(f"AI r3, {DATA_PTR}, 0")
+            self.emit(f"LI r4, {nwords}")
+            self.emit("CALL write_record, 2")
+        self._after_call()
+
+    # -- top level ----------------------------------------------------------
+
+    def gen_block(self, depth: int, n: int) -> None:
+        for _ in range(n):
+            self.gen_statement(depth)
+
+    def generate(self) -> str:
+        self.emit(f"func {self.name}({', '.join(self.params)}):", indent=False)
+        self.emit(f"LA {DATA_PTR}, d0")
+        if self.has_second_object:
+            self.emit(f"LA {DATA_PTR2}, d1")
+        # A couple of seeded constants so early statements have operands.
+        for _ in range(2):
+            self.emit(f"LI {self.def_reg()}, {self.rng.randrange(-30, 31)}")
+        # At least one loop per function: loops are what the paper's
+        # passes rewrite, so never generate a loop-free module.
+        self.gen_loop(0)
+        self.budget -= 3
+        while self.budget > 0:
+            self.gen_statement(0)
+        self._epilogue()
+        return "\n".join(self.lines)
+
+    def _epilogue(self) -> None:
+        """Fold live state into r3 so divergence is observable."""
+        fold_ops = ("A", "XOR", "S")
+        if "r3" not in self.defined:
+            self.emit("LI r3, 0")
+        for i, reg in enumerate(sorted(self.defined & set(VALUE_REGS))):
+            if reg == "r3":
+                continue
+            self.emit(f"{fold_ops[i % len(fold_ops)]} r3, r3, {reg}")
+        # Fold a memory word too: store-side bugs must reach the value.
+        self.emit(f"L r4, {self.offset()}({DATA_PTR})")
+        self.emit("XOR r3, r3, r4")
+        if self.rng.random() < 0.4:
+            self.emit(f"ST {self.offset()}({DATA_PTR}), r3")
+        self.emit("RET")
+
+
+def generate_source(seed: int, cfg: Optional[GenConfig] = None) -> str:
+    """The textual module for ``seed`` (fully deterministic)."""
+    cfg = cfg or GenConfig()
+    rng = random.Random(f"repro-fuzz:{seed}")
+    n_functions = rng.randrange(1, max(1, cfg.max_functions) + 1)
+    has_second = rng.random() < 0.4
+    lines: List[str] = []
+
+    def data_line(name: str, volatile: bool) -> str:
+        words = rng.randrange(DATA_WORDS, DATA_WORDS + 9)
+        init = ", ".join(str(rng.randrange(-100, 101)) for _ in range(words))
+        suffix = " volatile" if volatile else ""
+        return f"data {name}: size={4 * words} init=[{init}]{suffix}"
+
+    lines.append(data_line("d0", volatile=False))
+    if has_second:
+        lines.append(data_line("d1", volatile=rng.random() < 0.3))
+    lines.append("")
+
+    signatures = []
+    for i in range(n_functions):
+        nparams = rng.randrange(1, 4)
+        signatures.append((f"f{i}", [f"r{3 + p}" for p in range(nparams)]))
+    for i, (name, params) in enumerate(signatures):
+        callees = [(n, len(p)) for n, p in signatures[i + 1:]]
+        gen = _FnGen(rng, name, i, params, callees, cfg, has_second)
+        lines.append(gen.generate())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def repair_call_residue(module: Module, seed: int) -> Module:
+    """Re-define every register read as call residue, in place.
+
+    The emitter's definedness tracking is linear, so it cannot see that
+    a loop backedge re-enters a block whose reads were emitted while the
+    registers were still defined — with a call *inside* the loop, the
+    second traversal reads callee residue (seed 254: ``CI cr3, r9, 1``
+    at an irreducible header, ``NEG r9, r8`` before a ``CALL f1`` on the
+    loop-carried path). Rather than complicate the emitter with a whole
+    CFG dataflow mid-generation, run that dataflow afterwards and patch
+    each offending read with a seeded constant re-definition just before
+    it. Only the violating seeds change, and only at the violating uses.
+    """
+    rng = random.Random(f"repro-fuzz-repair:{seed}")
+    for _ in range(8):
+        violations = call_residue_violations(module)
+        if not violations:
+            return module
+        by_block: dict = {}
+        for v in violations:
+            by_block.setdefault((v.fn, v.block), []).append(v)
+        for (fn_name, label), vs in by_block.items():
+            fn = module.functions[fn_name]
+            bb = next(b for b in fn.blocks if b.label == label)
+            firsts: dict = {}
+            for v in vs:
+                if v.reg not in firsts or v.index < firsts[v.reg]:
+                    firsts[v.reg] = v.index
+            # Descending index so earlier insertions don't shift later
+            # targets; name-sorted within an index for determinism.
+            for reg, idx in sorted(
+                firsts.items(), key=lambda kv: (-kv[1], kv[0].name)
+            ):
+                if reg.kind != "gpr":
+                    raise AssertionError(
+                        f"generator produced a non-GPR residue read: {reg}"
+                    )
+                bb.instrs.insert(
+                    idx, Instr("LI", rd=reg, imm=rng.randrange(-20, 21))
+                )
+    raise AssertionError(f"residue repair did not converge on seed {seed}")
+
+
+def generate_module(seed: int, cfg: Optional[GenConfig] = None) -> Module:
+    """Parse, repair and verify the generated module for ``seed``.
+
+    This — not ``generate_source`` — is the canonical program for a
+    seed: the residue repair runs on the parsed module, so the raw text
+    of a violating seed differs from what the oracle actually tests.
+    A verification failure here is a *generator* bug, never a finding.
+    """
+    source = generate_source(seed, cfg)
+    module = parse_module(source)
+    repair_call_residue(module, seed)
+    verify_module(module)
+    return module

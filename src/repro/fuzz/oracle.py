@@ -1,0 +1,370 @@
+"""Differential oracle: unoptimized vs compiled, across a config sweep.
+
+For each generated module the oracle captures the unoptimized reference
+behaviour on a battery of seeded entries (reusing diffcheck's
+:func:`~repro.robustness.diffcheck.derive_entries` /
+:func:`~repro.robustness.diffcheck.observe`), then compiles the module
+under every sweep configuration — ``base``, ``vliw`` at several unroll
+factors, software pipelining on/off, and single-pass ``disable=``
+ablations — and compares behaviour on both memory models.
+
+The comparison reuses diffcheck's fault-class-agreement contract:
+
+- either side hitting the step budget → **skip** (unrolling changes
+  step counts; nothing to conclude);
+- reference faults, compiled faults with the same class → agreement;
+- reference faults, compiled does anything else → **inconclusive** (a
+  pass may legitimately delete a fault it proved dead);
+- reference runs, compiled faults → **miscompile** on the flat model,
+  **containment** on the paged one (a speculation-containment escape,
+  mirroring the sanitizer's ``violation`` class);
+- both run but value / output / observable memory differ →
+  **miscompile**.
+
+"Observable memory" excludes the stack segment: linkage code spills
+callee-saved registers there and the unoptimized reference has no
+linkage code at all, so stack residue differs harmlessly.
+
+Compile-time failures are findings too: a pass raising is a **crash**,
+and a compiled module the IR verifier rejects (or a pipeline whose own
+selective verification fires) is a **verifier-reject**.
+
+Each finding is bisected by replaying the pipeline one pass at a time
+on a fresh clone and re-testing the failure signature after every pass;
+the first pass that introduces the signature is named guilty.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.module import Module, STACK_BASE
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+from repro.pipeline import baseline_passes, compile_module, vliw_passes
+from repro.robustness.diffcheck import EntryOutcome, derive_entries, observe
+from repro.transforms.pass_manager import PassContext, PassManager
+
+#: The paged stack segment: [STACK_BASE - 0x10000, STACK_BASE + 0x1000).
+#: Addresses here are linkage spill slots, not program data.
+_STACK_LO = STACK_BASE - 0x10000
+_STACK_HI = STACK_BASE + 0x1000
+
+_VERIFY_FAIL_RE = re.compile(r"IR verification failed after pass '([^']+)'")
+
+
+def observable_memory(memory: Dict[int, int]) -> Dict[int, int]:
+    """Final memory minus the stack segment (see module docstring)."""
+    return {
+        addr: val
+        for addr, val in memory.items()
+        if not (_STACK_LO <= addr < _STACK_HI)
+    }
+
+
+@dataclass
+class SweepConfig:
+    """One compilation configuration in the sweep."""
+
+    key: str
+    level: str
+    unroll_factor: int = 2
+    software_pipelining: bool = True
+    disable: Tuple[str, ...] = ()
+
+    def compile(self, module: Module, verify: bool = True):
+        return compile_module(
+            module,
+            level=self.level,
+            unroll_factor=self.unroll_factor,
+            software_pipelining=self.software_pipelining,
+            disable=list(self.disable) or None,
+            verify=verify,
+        )
+
+    def passes(self):
+        if self.level == "base":
+            return baseline_passes()
+        return vliw_passes(
+            software_pipelining=self.software_pipelining,
+            unroll_factor=self.unroll_factor,
+            disable=list(self.disable) or None,
+        )
+
+
+#: Single-pass ablations worth sweeping: each removes one rewrite the
+#: others must then cope without (interaction bugs surface this way).
+ABLATION_PASSES = (
+    "loop-memory-motion",
+    "unspeculation",
+    "vliw-scheduling",
+    "limited-combining",
+    "bb-expansion",
+    "prolog-tailoring",
+)
+
+
+def sweep_configs(level: str = "vliw", quick: bool = False) -> List[SweepConfig]:
+    """The configurations the oracle compiles each module under."""
+    if level == "base":
+        return [SweepConfig("base", "base")]
+    configs = [
+        SweepConfig("vliw:u2:swp", "vliw", 2, True),
+        SweepConfig("vliw:u1:swp", "vliw", 1, True),
+        SweepConfig("vliw:u4:swp", "vliw", 4, True),
+        SweepConfig("vliw:u2:noswp", "vliw", 2, False),
+    ]
+    if quick:
+        return configs[:2]
+    for name in ABLATION_PASSES:
+        configs.append(
+            SweepConfig(f"vliw:u2:swp:no-{name}", "vliw", 2, True, (name,))
+        )
+    return configs
+
+
+def config_from_key(key: str) -> SweepConfig:
+    """Rebuild a :class:`SweepConfig` from its ``key`` string."""
+    if key == "base":
+        return SweepConfig("base", "base")
+    parts = key.split(":")
+    unroll = 2
+    swp = True
+    disable: List[str] = []
+    for part in parts[1:]:
+        if part.startswith("u") and part[1:].isdigit():
+            unroll = int(part[1:])
+        elif part == "swp":
+            swp = True
+        elif part == "noswp":
+            swp = False
+        elif part.startswith("no-"):
+            disable.append(part[3:])
+    return SweepConfig(key, "vliw", unroll, swp, tuple(disable))
+
+
+@dataclass
+class Finding:
+    """One confirmed divergence, ready for reduction / filing."""
+
+    seed: int
+    config: str
+    #: "miscompile" | "containment" | "crash" | "verifier-reject"
+    kind: str
+    detail: str = ""
+    fn: str = ""
+    args: Tuple[int, ...] = ()
+    mem_model: str = ""
+    #: Pass named by bisection (or parsed from the verifier message).
+    guilty: str = ""
+    #: Textual IR of the module that produced the finding.
+    source: str = ""
+
+    def signature(self) -> Tuple[str, str]:
+        """What makes a finding "unique" for dedup: failure kind + pass."""
+        return (self.kind, self.guilty)
+
+    def describe(self) -> str:
+        where = f" {self.fn}{self.args} [{self.mem_model}]" if self.fn else ""
+        guilty = f" guilty={self.guilty}" if self.guilty else ""
+        return (
+            f"seed={self.seed} config={self.config} {self.kind}{where}"
+            f"{guilty}: {self.detail}"
+        )
+
+
+@dataclass
+class OracleConfig:
+    """Knobs for one oracle run."""
+
+    max_steps: int = 200_000
+    argsets_per_function: int = 3
+    mem_models: Tuple[str, ...] = ("flat", "paged")
+    bisect: bool = True
+    quick: bool = False
+
+
+class Oracle:
+    """Differential check of one module across the config sweep."""
+
+    def __init__(self, cfg: Optional[OracleConfig] = None):
+        self.cfg = cfg or OracleConfig()
+
+    # -- outcome comparison -------------------------------------------------
+
+    def classify_pair(
+        self, base: EntryOutcome, after: EntryOutcome, mem_model: str
+    ) -> Optional[Tuple[str, str]]:
+        """``(kind, detail)`` when the pair diverges, else None."""
+        if base.kind == "limit" or after.kind == "limit":
+            return None
+        if base.kind == "error":
+            # Fault-class agreement; anything else is inconclusive (a
+            # pass may remove a fault it proved dead).
+            return None
+        if after.kind == "error":
+            kind = "containment" if mem_model == "paged" else "miscompile"
+            return (
+                kind,
+                f"ran unoptimized but compiled module faults with "
+                f"{after.error_class}: {after.detail}",
+            )
+        if after.value != base.value:
+            return ("miscompile", f"value {after.value} != {base.value}")
+        if after.output != base.output:
+            return (
+                "miscompile",
+                f"output {after.output[:8]} != {base.output[:8]}",
+            )
+        base_mem = observable_memory(base.memory)
+        after_mem = observable_memory(after.memory)
+        if after_mem != base_mem:
+            delta = sorted(
+                addr
+                for addr in set(base_mem) | set(after_mem)
+                if base_mem.get(addr, 0) != after_mem.get(addr, 0)
+            )[:4]
+            return (
+                "miscompile",
+                "observable memory diverged at "
+                + ", ".join(hex(a) for a in delta),
+            )
+        return None
+
+    # -- checking one module ------------------------------------------------
+
+    def check_module(
+        self,
+        module: Module,
+        seed: int,
+        level: str = "vliw",
+        configs: Optional[Sequence[SweepConfig]] = None,
+    ) -> List[Finding]:
+        """All findings for ``module`` (at most one per sweep config)."""
+        cfg = self.cfg
+        entries = derive_entries(module, seed, cfg.argsets_per_function)
+        baselines = {
+            (fn, args, mm): observe(module, fn, args, cfg.max_steps, mm)
+            for fn, args in entries
+            for mm in cfg.mem_models
+        }
+        source = format_module(module)
+        findings: List[Finding] = []
+        for sweep in configs or sweep_configs(level, quick=cfg.quick):
+            finding = self._check_config(module, seed, sweep, entries, baselines)
+            if finding is not None:
+                finding.source = source
+                findings.append(finding)
+        return findings
+
+    def _check_config(
+        self,
+        module: Module,
+        seed: int,
+        sweep: SweepConfig,
+        entries: Sequence[Tuple[str, Tuple[int, ...]]],
+        baselines: Dict,
+    ) -> Optional[Finding]:
+        cfg = self.cfg
+        try:
+            compiled = sweep.compile(module).module
+        except RuntimeError as exc:
+            match = _VERIFY_FAIL_RE.search(str(exc))
+            if match:
+                return Finding(
+                    seed, sweep.key, "verifier-reject", str(exc),
+                    guilty=match.group(1),
+                )
+            return self._compile_crash(module, seed, sweep, exc)
+        except Exception as exc:  # noqa: BLE001 — any pass blowup is a finding
+            return self._compile_crash(module, seed, sweep, exc)
+        try:
+            verify_module(compiled)
+        except Exception as exc:
+            finding = Finding(
+                seed, sweep.key, "verifier-reject",
+                f"compiled module rejected: {exc}",
+            )
+            if cfg.bisect:
+                finding.guilty = self._bisect(
+                    module, sweep, lambda m: not _verifies(m)
+                )
+            return finding
+        for mm in cfg.mem_models:
+            for fn, args in entries:
+                base = baselines[(fn, args, mm)]
+                after = observe(compiled, fn, args, cfg.max_steps, mm)
+                verdict = self.classify_pair(base, after, mm)
+                if verdict is None:
+                    continue
+                kind, detail = verdict
+                finding = Finding(
+                    seed, sweep.key, kind, detail,
+                    fn=fn, args=args, mem_model=mm,
+                )
+                if cfg.bisect:
+                    finding.guilty = self._bisect_behaviour(
+                        module, sweep, fn, args, mm, base
+                    )
+                return finding
+        return None
+
+    def _compile_crash(self, module, seed, sweep, exc) -> Finding:
+        finding = Finding(
+            seed, sweep.key, "crash", f"{type(exc).__name__}: {exc}"
+        )
+        if self.cfg.bisect:
+            finding.guilty = self._bisect(module, sweep, None)
+        return finding
+
+    # -- bisection ----------------------------------------------------------
+
+    def _bisect_behaviour(
+        self,
+        module: Module,
+        sweep: SweepConfig,
+        fn: str,
+        args: Tuple[int, ...],
+        mem_model: str,
+        base: EntryOutcome,
+    ) -> str:
+        """Name the first pass whose output diverges on the failing entry."""
+
+        def diverges(work: Module) -> bool:
+            after = observe(work, fn, args, self.cfg.max_steps, mem_model)
+            return self.classify_pair(base, after, mem_model) is not None
+
+        return self._bisect(module, sweep, diverges)
+
+    def _bisect(
+        self,
+        module: Module,
+        sweep: SweepConfig,
+        failed: Optional[Callable[[Module], bool]],
+    ) -> str:
+        """Replay the pipeline pass-at-a-time; first failing pass wins.
+
+        ``failed`` re-tests the failure signature on the intermediate
+        module (every pass boundary is a semantically complete program,
+        so interpreting mid-pipeline states is legitimate). ``None``
+        means the failure was a compile-time exception: the guilty pass
+        is simply the one that raises.
+        """
+        work = module.clone()
+        ctx = PassContext(work)
+        for pss in sweep.passes():
+            try:
+                PassManager([pss], verify=False).run(work, ctx)
+            except Exception:
+                return pss.name
+            if failed is not None and failed(work):
+                return pss.name
+        return ""
+
+
+def _verifies(module: Module) -> bool:
+    try:
+        verify_module(module)
+        return True
+    except Exception:
+        return False

@@ -1,0 +1,259 @@
+"""Delta-debugging reducer: shrink a failing module, keep the failure.
+
+Given a module and a predicate ("does this candidate still exhibit the
+failure signature?"), the reducer repeatedly tries structural
+simplifications and keeps every candidate the predicate accepts:
+
+1. **Drop functions** — a candidate that still calls a dropped function
+   fails verification and is rejected by the predicate wrapper, so no
+   call-graph bookkeeping is needed.
+2. **Drop blocks** (greedy ddmin over shrinking chunk sizes); branches
+   targeting a dropped block are deleted with it, so control falls
+   through — any candidate that still reproduces is valid.
+3. **Drop instructions** within each block (ddmin, halves down to
+   singles, terminators last).
+4. **Simplify operands** — ALU ops become copies, loads become ``LI 0``,
+   immediates and displacements become 0.
+5. **Re-straighten** — run the Straighten cleanup to merge what the
+   deletions left behind.
+
+Rounds repeat to a fixpoint. The predicate is always wrapped so that a
+candidate must parse-and-verify cleanly before the signature test runs:
+the output of reduction is a *valid* program, printable via
+:func:`~repro.ir.printer.format_module` and parseable right back.
+"""
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.ir.instructions import ALU_OPS, ALU_RI_OPS, Instr
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.transforms.pass_manager import PassContext
+from repro.transforms.straighten import Straighten
+
+Predicate = Callable[[Module], bool]
+
+
+def _is_valid(module: Module) -> bool:
+    try:
+        verify_module(module)
+        return True
+    except Exception:
+        return False
+
+
+def _guarded(predicate: Predicate) -> Predicate:
+    def check(candidate: Module) -> bool:
+        if not _is_valid(candidate):
+            return False
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    return check
+
+
+def instruction_count(module: Module) -> int:
+    return sum(
+        len(block.instrs)
+        for fn in module.functions.values()
+        for block in fn.blocks
+    )
+
+
+# -- candidate builders -----------------------------------------------------
+
+
+def _drop_function(module: Module, name: str) -> Module:
+    candidate = module.clone()
+    del candidate.functions[name]
+    return candidate
+
+
+def _drop_blocks(module: Module, fn_name: str, indices: List[int]) -> Module:
+    """Remove blocks and every branch that targets them."""
+    candidate = module.clone()
+    fn = candidate.functions[fn_name]
+    doomed = {fn.blocks[i].label for i in indices}
+    kept = [b for i, b in enumerate(fn.blocks) if i not in set(indices)]
+    for block in kept:
+        block.instrs = [
+            ins
+            for ins in block.instrs
+            if not (ins.target is not None and ins.target in doomed)
+        ]
+    fn.blocks = kept
+    return candidate
+
+
+def _drop_instrs(
+    module: Module, fn_name: str, block_idx: int, indices: List[int]
+) -> Module:
+    candidate = module.clone()
+    block = candidate.functions[fn_name].blocks[block_idx]
+    drop = set(indices)
+    block.instrs = [ins for i, ins in enumerate(block.instrs) if i not in drop]
+    return candidate
+
+
+def _simplify_instr(ins: Instr) -> Optional[Instr]:
+    """A strictly simpler replacement for ``ins``, or None."""
+    op = ins.opcode
+    if op in ALU_OPS and op != "DIV":
+        return Instr("LR", rd=ins.rd, ra=ins.ra, attrs=dict(ins.attrs))
+    if op == "DIV":
+        return Instr("LI", rd=ins.rd, imm=0, attrs=dict(ins.attrs))
+    if op in ALU_RI_OPS and ins.imm != 0:
+        return Instr(op, rd=ins.rd, ra=ins.ra, imm=0, attrs=dict(ins.attrs))
+    if op == "L":
+        return Instr("LI", rd=ins.rd, imm=0, attrs=dict(ins.attrs))
+    if op in ("L", "LU", "ST", "STU") and ins.disp:
+        clone = ins.clone()
+        clone.disp = 0
+        return clone
+    if op == "LI" and ins.imm != 0:
+        return Instr("LI", rd=ins.rd, imm=0, attrs=dict(ins.attrs))
+    return None
+
+
+# -- reduction phases -------------------------------------------------------
+
+
+def _phase_functions(module: Module, check: Predicate) -> Tuple[Module, bool]:
+    changed = False
+    for name in sorted(module.functions):
+        if len(module.functions) <= 1:
+            break
+        candidate = _drop_function(module, name)
+        if check(candidate):
+            module = candidate
+            changed = True
+    return module, changed
+
+
+def _ddmin_indices(n: int):
+    """Chunks of shrinking size over ``range(n)``, halves to singles."""
+    size = max(1, n // 2)
+    while size >= 1:
+        for start in range(0, n, size):
+            yield list(range(start, min(start + size, n)))
+        if size == 1:
+            return
+        size //= 2
+
+
+def _phase_blocks(module: Module, check: Predicate) -> Tuple[Module, bool]:
+    changed = False
+    for fn_name in sorted(module.functions):
+        progress = True
+        while progress:
+            progress = False
+            n = len(module.functions[fn_name].blocks)
+            if n <= 1:
+                break
+            for chunk in _ddmin_indices(n):
+                if len(chunk) >= n:
+                    continue
+                candidate = _drop_blocks(module, fn_name, chunk)
+                if check(candidate):
+                    module = candidate
+                    changed = progress = True
+                    break
+    return module, changed
+
+
+def _phase_instrs(module: Module, check: Predicate) -> Tuple[Module, bool]:
+    changed = False
+    for fn_name in sorted(module.functions):
+        for block_idx in range(len(module.functions[fn_name].blocks)):
+            progress = True
+            while progress:
+                progress = False
+                blocks = module.functions[fn_name].blocks
+                if block_idx >= len(blocks):
+                    break
+                n = len(blocks[block_idx].instrs)
+                if n == 0:
+                    break
+                for chunk in _ddmin_indices(n):
+                    candidate = _drop_instrs(module, fn_name, block_idx, chunk)
+                    if check(candidate):
+                        module = candidate
+                        changed = progress = True
+                        break
+    return module, changed
+
+
+def _phase_operands(module: Module, check: Predicate) -> Tuple[Module, bool]:
+    changed = False
+    for fn_name in sorted(module.functions):
+        for block_idx in range(len(module.functions[fn_name].blocks)):
+            i = 0
+            while True:
+                blocks = module.functions[fn_name].blocks
+                if block_idx >= len(blocks) or i >= len(blocks[block_idx].instrs):
+                    break
+                simpler = _simplify_instr(blocks[block_idx].instrs[i])
+                if simpler is not None:
+                    candidate = module.clone()
+                    candidate.functions[fn_name].blocks[block_idx].instrs[i] = (
+                        simpler
+                    )
+                    if check(candidate):
+                        module = candidate
+                        changed = True
+                i += 1
+    return module, changed
+
+
+def _phase_straighten(module: Module, check: Predicate) -> Tuple[Module, bool]:
+    candidate = module.clone()
+    try:
+        Straighten().run_on_module(candidate, PassContext(candidate))
+    except Exception:
+        return module, False
+    if instruction_count(candidate) < instruction_count(module) and check(
+        candidate
+    ):
+        return candidate, True
+    return module, False
+
+
+def reduce_module(
+    module: Module,
+    predicate: Predicate,
+    max_rounds: int = 10,
+    log: Optional[Callable[[str], None]] = None,
+) -> Module:
+    """Shrink ``module`` while ``predicate`` keeps holding.
+
+    ``predicate`` receives a candidate module and returns True when the
+    failure signature is still present; it never sees an invalid module
+    (verification is checked first) and its exceptions count as "no".
+    The original module is returned unchanged if the predicate does not
+    hold on it (nothing to reduce), and is never mutated.
+    """
+    check = _guarded(predicate)
+    if not check(module):
+        return module
+    module = module.clone()
+    say = log or (lambda _msg: None)
+    for round_no in range(1, max_rounds + 1):
+        before = instruction_count(module)
+        round_changed = False
+        for phase in (
+            _phase_functions,
+            _phase_blocks,
+            _phase_instrs,
+            _phase_operands,
+            _phase_straighten,
+        ):
+            module, changed = phase(module, check)
+            round_changed |= changed
+        say(
+            f"round {round_no}: {before} -> {instruction_count(module)} instrs"
+        )
+        if not round_changed:
+            break
+    return module

@@ -1,0 +1,126 @@
+"""Call-residue contract checking for fuzzed programs.
+
+The differential oracle's reference is the *unoptimized* interpretation,
+which executes no linkage code — so the semantic contract around calls
+is narrower than the ABI's. After a call to a generated (non-library)
+function, the call-clobbered registers hold whatever the callee happened
+to leave in them, and an *optimized* callee leaves different residue
+(DCE deletes the dead writes that used to populate them). A program
+that reads such a register before re-defining it has no single defined
+behaviour across optimization levels: any "divergence" the oracle sees
+on it is the program's fault, not the compiler's.
+
+``call_residue_violations`` decides membership in the defined-behaviour
+contract with a forward may-dataflow over each function's CFG:
+
+- a call to another generated function makes every call-clobbered
+  register except the return value *hazardous*;
+- calls to library routines with known properties (``print_int`` & co)
+  are not hazard sources — their interpreter implementations write the
+  return value and nothing else;
+- defining a register clears its hazard; reading a hazardous one is a
+  violation;
+- block-entry hazard sets meet by union, so a hazard reaching a use
+  along *any* path (in particular a loop backedge that crosses a call)
+  convicts.
+
+The fuzz driver uses this both as a generator invariant (the generator
+repairs its output until clean — see ``generate.repair_call_residue``)
+and as a reduction-predicate guard: a shrinking candidate that drifts
+outside the contract must read as "not reproducing", or the reducer
+happily morphs a real compiler bug into a defined-behaviour violation
+(found the hard way: seed 254's "dce miscompile" was a generated read
+of ``r9`` across a call on a loop-carried path).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import CALL_CLOBBERED, RETVAL, Instr
+from repro.ir.module import Module
+from repro.ir.operands import Reg
+
+#: What a call to a generated function leaves unpredictable: the full
+#: clobber file minus the return value, which the call itself defines.
+HAZARD_REGS = frozenset(CALL_CLOBBERED) - {RETVAL}
+
+
+@dataclass(frozen=True)
+class ResidueViolation:
+    """One read of a register whose value is callee residue."""
+
+    fn: str
+    block: str
+    index: int  #: instruction index within the block
+    instr: Instr
+    reg: Reg
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fn}/{self.block}[{self.index}]: "
+            f"'{self.instr}' reads call residue in {self.reg}"
+        )
+
+
+def _is_hazard_source(instr: Instr) -> bool:
+    """True for calls whose register effects are callee-dependent."""
+    if instr.opcode != "CALL":
+        return False
+    # Library routines write RETVAL and nothing else (their defs() say
+    # so); Instr.defs() is the single source of truth for the split.
+    return set(instr.defs()) != {RETVAL}
+
+
+def _transfer(hazard: Set[Reg], instr: Instr) -> None:
+    hazard.difference_update(instr.defs())
+    if _is_hazard_source(instr):
+        hazard.update(HAZARD_REGS)
+        hazard.discard(RETVAL)
+
+
+def _block_entry_hazards(fn: Function) -> Dict[str, Set[Reg]]:
+    """Fixpoint of hazardous-register sets at each block entry."""
+    entry: Dict[str, Set[Reg]] = {bb.label: set() for bb in fn.blocks}
+    work = list(fn.blocks)
+    while work:
+        bb = work.pop()
+        hazard = set(entry[bb.label])
+        for instr in bb.instrs:
+            _transfer(hazard, instr)
+        for succ in fn.successors(bb):
+            if not hazard <= entry[succ.label]:
+                entry[succ.label] |= hazard
+                work.append(succ)
+    return entry
+
+
+def function_residue_violations(fn: Function) -> List[ResidueViolation]:
+    """Every residue-reading use in ``fn``, in block/instruction order."""
+    entry = _block_entry_hazards(fn)
+    violations: List[ResidueViolation] = []
+    for bb in fn.blocks:
+        hazard = set(entry[bb.label])
+        for i, instr in enumerate(bb.instrs):
+            seen = set()
+            for reg in instr.uses():
+                if reg in hazard and reg not in seen:
+                    seen.add(reg)
+                    violations.append(
+                        ResidueViolation(fn.name, bb.label, i, instr, reg)
+                    )
+            _transfer(hazard, instr)
+    return violations
+
+
+def call_residue_violations(module: Module) -> List[ResidueViolation]:
+    """Every residue-reading use in ``module``."""
+    violations: List[ResidueViolation] = []
+    for fn in module.functions.values():
+        violations.extend(function_residue_violations(fn))
+    return violations
+
+
+def reads_call_residue(module: Module) -> bool:
+    """True if any instruction reads post-call residue (fast path)."""
+    return bool(call_residue_violations(module))

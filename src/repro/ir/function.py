@@ -87,12 +87,21 @@ class Function:
         return None
 
     def successors(self, block: BasicBlock) -> List[BasicBlock]:
-        """CFG successors; for two-way branches the taken target is first."""
+        """CFG successors; for two-way branches the taken target is first.
+
+        A branch to a label with no block (a dangling target — invalid
+        IR that the verifier reports) contributes no edge rather than
+        raising: CFG queries stay total on broken functions so cleanup
+        passes can delete the offending unreachable code instead of
+        crashing before they get the chance.
+        """
         labels = self.label_map()
         result: List[BasicBlock] = []
         term = block.terminator
         if term is not None and term.target is not None:
-            result.append(labels[term.target])
+            target = labels.get(term.target)
+            if target is not None:
+                result.append(target)
         if block.falls_through:
             nxt = self.layout_successor(block)
             if nxt is not None and all(s is not nxt for s in result):

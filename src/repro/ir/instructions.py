@@ -76,6 +76,20 @@ ALL_OPCODES = frozenset(
 
 _MASK32 = 0xFFFFFFFF
 
+# Names of the interpreter's library routines, fetched lazily so the IR
+# layer never imports repro.machine at module-import time (the machine
+# package imports the IR right back).
+_LIBRARY_SYMBOL_CACHE = None
+
+
+def _library_symbols():
+    global _LIBRARY_SYMBOL_CACHE
+    if _LIBRARY_SYMBOL_CACHE is None:
+        from repro.machine.libcalls import LIBRARY_FUNCTIONS
+
+        _LIBRARY_SYMBOL_CACHE = frozenset(LIBRARY_FUNCTIONS)
+    return _LIBRARY_SYMBOL_CACHE
+
 
 def wrap32(value: int) -> int:
     """Wrap an integer to signed 32-bit two's-complement."""
@@ -297,6 +311,16 @@ class Instr:
         if op == "MTCTR" or op == "BCT":
             return (CTR,)
         if op == "CALL":
+            # Library routines have *known* properties (the paper's
+            # special case): their implementations touch the return
+            # value and nothing else, so claiming the full volatile set
+            # would let liveness kill definitions the interpreter in
+            # fact preserves across the call (found by fuzzing: DCE
+            # deleted a store operand defined before a memset_words
+            # call). Calls to IR functions keep the full ABI clobber
+            # set — the callee really may leave anything in them.
+            if self.symbol in _library_symbols():
+                return (RETVAL,)
             return CALL_CLOBBERED
         return ()
 

@@ -96,20 +96,40 @@ def _parse_crcond(text: str, lineno: int) -> Tuple[Reg, str]:
     return parse_reg(match.group(1)), cond
 
 
+_ATTR_RE = re.compile(r"!([A-Za-z_][\w]*)(?:=(-?\w+))?\s*$")
+
+#: Short printed spellings back to canonical attr keys (``!spec``).
+_ATTR_LONG = {"spec": "speculative"}
+
+
 def parse_instr(line: str, lineno: int = 0) -> Instr:
     """Parse a single instruction line.
 
-    A trailing ``!spec`` marks the instruction speculative
-    (``attrs["speculative"]``), the printer's round-trip form for loads
-    the optimizer moved above their guards.
+    Trailing ``!key`` / ``!key=value`` tokens populate the instruction's
+    ``attrs`` dict — ``!spec`` is the short form of
+    ``attrs["speculative"]``, and linkage/scheduler bookkeeping like
+    ``!save`` or ``!spec_depth=2`` round-trips the same way. Bare keys
+    parse as ``True``; values parse as integers when they look like one,
+    and are kept as strings otherwise.
     """
-    speculative = False
-    if line.rstrip().endswith("!spec"):
-        line = line.rstrip()[: -len("!spec")].rstrip()
-        speculative = True
-    instr = _parse_instr_body(line, lineno)
-    if speculative:
-        instr.attrs["speculative"] = True
+    attrs = {}
+    text = line.rstrip()
+    while True:
+        match = _ATTR_RE.search(text)
+        if not match:
+            break
+        key = _ATTR_LONG.get(match.group(1), match.group(1))
+        raw = match.group(2)
+        if raw is None:
+            attrs[key] = True
+        else:
+            try:
+                attrs[key] = int(raw, 0)
+            except ValueError:
+                attrs[key] = raw
+        text = text[: match.start()].rstrip()
+    instr = _parse_instr_body(text, lineno)
+    instr.attrs.update(attrs)
     return instr
 
 

@@ -13,15 +13,36 @@ from repro.ir.instructions import (
 from repro.ir.module import Module
 
 
+#: Attr keys with a short printed spelling (kept for backwards
+#: compatibility — ``!spec`` predates the general attr syntax).
+_ATTR_SHORT = {"speculative": "spec"}
+
+
 def format_instr(instr: Instr) -> str:
     """One-line assembly form of an instruction.
 
-    Speculative instructions carry a ``!spec`` suffix so the paged
-    memory model's poison discipline survives a print/parse round trip.
+    Instruction attrs are printed as trailing ``!key`` (boolean) /
+    ``!key=value`` tokens in sorted key order so that *every* attr —
+    not just ``speculative`` (``!spec``) — survives a print/parse round
+    trip. Pinning attrs like ``save``/``restore``/``counter`` and the
+    scheduler's ``spec_depth`` budget change how later passes may treat
+    an instruction, so dropping them on reparse would silently alter
+    semantics. Falsy attrs are elided: an attr a pass set to ``False``
+    is indistinguishable from one never set.
     """
     text = _format_instr_body(instr)
-    if instr.attrs.get("speculative"):
-        return f"{text} !spec"
+    parts = []
+    for key in sorted(instr.attrs):
+        value = instr.attrs[key]
+        if not value:
+            continue  # False/None/0 read the same as "never set"
+        name = _ATTR_SHORT.get(key, key)
+        if value is True:
+            parts.append(f"!{name}")
+        else:
+            parts.append(f"!{name}={value}")
+    if parts:
+        return f"{text} " + " ".join(parts)
     return text
 
 

@@ -136,6 +136,12 @@ class GuardedPassManager(PassManager):
         try:
             for index, pss in enumerate(self.passes):
                 self._guarded_step(index, pss, module, ctx)
+            if self.verify:
+                # Same final barrier as the plain manager: a pass that
+                # mutated the module while reporting no change escaped
+                # its per-pass verification and cannot be rolled back
+                # (the snapshots trusted the same report), so surface it.
+                self._verify_final(module)
         finally:
             self._shutdown_executor()
             self._finalize_counters(ctx)

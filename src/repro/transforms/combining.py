@@ -107,6 +107,13 @@ class LimitedCombining(Pass):
                     # The paper stops the search here; so do we (before
                     # consuming the instruction).
                     break
+                if ins.opcode in ("LU", "STU") and ins.base == dest:
+                    # Update forms read *and write* the base through one
+                    # field, so renaming the use would also redirect the
+                    # update into ``src`` — clobbering it while it is
+                    # still live (found by fuzzing). Not a collapsible
+                    # use; the def check below ends the walk.
+                    break
                 if dest in ins.uses():
                     last_use = (len(segments) - 1, pos)
                 if dest in ins.defs() or src in ins.defs():

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.verifier import verify_function
+from repro.ir.verifier import verify_function, verify_module
 from repro.machine.model import MachineModel, RS6000
 
 
@@ -143,6 +143,8 @@ class PassManager:
                 self._note_changes(pss, ctx, changed, changed_fns, len(module.functions))
                 if self.verify and changed:
                     self._verify_after(pss, module, changed_fns)
+            if self.verify:
+                self._verify_final(module)
         finally:
             self._shutdown_executor()
         return ctx
@@ -270,6 +272,23 @@ class PassManager:
                     f"IR verification failed after pass "
                     f"{pss.name!r} on {fn.name}: {exc}"
                 ) from exc
+
+    def _verify_final(self, module: Module) -> None:
+        """Whole-module verification at the end of the pipeline.
+
+        Selective verification trusts each pass's changed-function
+        report; a pass that mutates the module while reporting no
+        change escapes it entirely (e.g. leaving an unreachable block
+        with a dangling branch target behind). This final barrier
+        catches such silent corruption before the module is handed to
+        the caller, at the cost of one full verification per compile.
+        """
+        try:
+            verify_module(module)
+        except Exception as exc:
+            raise RuntimeError(
+                f"IR verification failed at end of pipeline: {exc}"
+            ) from exc
 
     def total_time(self) -> float:
         return sum(self.timings.values())

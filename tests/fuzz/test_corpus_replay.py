@@ -1,0 +1,47 @@
+"""Replay every corpus case against the current compiler.
+
+Reduced fuzz findings live in ``tests/fuzz/corpus/`` as plain IR with a
+comment header (see :mod:`repro.fuzz.corpus`). ``status: fixed`` cases
+assert the divergence stays dead; ``status: xfail`` cases document a
+known-open bug — they xfail while the bug lives and *fail loudly* once
+it is fixed, so the header can be promoted to ``fixed``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_cases
+from repro.fuzz.oracle import Oracle, OracleConfig, config_from_key
+from repro.ir.parser import parse_module
+
+CORPUS = Path(__file__).parent / "corpus"
+
+CASES = load_cases(CORPUS)
+
+
+def test_corpus_is_not_empty():
+    assert CASES, "fuzz corpus went missing"
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.name for case in CASES]
+)
+def test_replay(case):
+    module = parse_module(case.source)
+    oracle = Oracle(OracleConfig(bisect=True))
+    findings = oracle.check_module(
+        module, seed=case.seed, configs=[config_from_key(case.config)]
+    )
+    if case.status == "xfail":
+        if findings:
+            pytest.xfail(
+                f"known-open: {findings[0].kind} guilty={findings[0].guilty}"
+            )
+        pytest.fail(
+            f"{case.name} now passes — promote its header to 'status: fixed'"
+        )
+    assert not findings, (
+        f"regressed: {case.name} ({case.path}) reproduces again: "
+        + "; ".join(f.describe() for f in findings)
+    )

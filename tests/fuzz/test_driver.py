@@ -1,0 +1,50 @@
+"""Campaign driver and CLI plumbing (kept cheap: base level, few seeds)."""
+
+from repro.__main__ import main
+from repro.fuzz.driver import run_fuzz, signature_predicate
+from repro.fuzz.generate import GenConfig, generate_module
+from repro.fuzz.oracle import Finding, OracleConfig
+
+
+class TestRunFuzz:
+    def test_serial_campaign_over_clean_seeds(self):
+        log = []
+        findings, stats = run_fuzz(
+            seeds=4,
+            level="base",
+            oracle_cfg=OracleConfig(bisect=False, quick=True),
+            log=log.append,
+        )
+        assert stats.seeds_run == 4
+        assert findings == [] and stats.findings == 0
+        assert stats.elapsed >= 0
+
+    def test_time_budget_stops_early(self):
+        findings, stats = run_fuzz(
+            seeds=10_000,
+            level="base",
+            time_budget=0.01,
+            oracle_cfg=OracleConfig(bisect=False, quick=True),
+        )
+        assert stats.seeds_run < 10_000
+
+
+class TestSignaturePredicate:
+    def test_matches_only_under_the_findings_config(self):
+        # A predicate built from a finding that does not reproduce on the
+        # (healthy) current tree must reject the module.
+        module = generate_module(3, GenConfig())
+        finding = Finding(
+            seed=3, config="base", kind="miscompile",
+            fn="f0", args=(0,), mem_model="flat",
+        )
+        assert not signature_predicate(finding, OracleConfig(bisect=False))(module)
+
+
+class TestCli:
+    def test_fuzz_subcommand_clean_exit(self, capsys):
+        rc = main(["fuzz", "--seeds", "2", "--level", "base", "--quick",
+                   "--no-bisect"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "# fuzz: 2 seeds" in err

@@ -1,0 +1,70 @@
+"""Delta-debugging reducer: shrinks hard, preserves the predicate."""
+
+from repro.fuzz.generate import GenConfig, generate_module
+from repro.fuzz.reduce import instruction_count, reduce_module
+from repro.ir.verifier import verify_module
+
+
+def _has_call(module) -> bool:
+    return any(
+        instr.opcode == "CALL"
+        for fn in module.functions.values()
+        for instr in fn.instructions()
+    )
+
+
+def _find_seed_with_call():
+    for seed in range(40):
+        module = generate_module(seed, GenConfig())
+        if _has_call(module) and instruction_count(module) >= 40:
+            return seed, module
+    raise AssertionError("no call-bearing module in seed range")
+
+
+class TestReduceModule:
+    def test_shrinks_at_least_80_percent_preserving_predicate(self):
+        # The acceptance bar for real findings; a structural predicate
+        # ("still contains a CALL") keeps the test independent of any
+        # particular compiler bug while exercising every phase.
+        _, module = _find_seed_with_call()
+        before = instruction_count(module)
+        reduced = reduce_module(module, _has_call)
+        after = instruction_count(reduced)
+        assert _has_call(reduced)
+        verify_module(reduced)  # the reducer never emits broken IR
+        assert after <= before * 0.2, f"only shrank {before} -> {after}"
+
+    def test_failing_predicate_is_never_satisfied_by_broken_ir(self):
+        # The guard wraps the caller's predicate: candidates that fail
+        # verification must be rejected before the predicate ever runs.
+        _, module = _find_seed_with_call()
+        seen_broken = []
+
+        def predicate(candidate):
+            try:
+                verify_module(candidate)
+            except Exception:
+                seen_broken.append(candidate)
+            return _has_call(candidate)
+
+        reduce_module(module, predicate)
+        assert not seen_broken
+
+    def test_predicate_exceptions_count_as_failure(self):
+        _, module = _find_seed_with_call()
+        calls = []
+
+        def fragile(candidate):
+            calls.append(1)
+            raise RuntimeError("flaky predicate")
+
+        reduced = reduce_module(module, fragile)
+        # Nothing reproduced, so nothing was removed.
+        assert instruction_count(reduced) == instruction_count(module)
+        assert calls
+
+    def test_idempotent_on_minimal_input(self):
+        _, module = _find_seed_with_call()
+        once = reduce_module(module, _has_call)
+        twice = reduce_module(once, _has_call)
+        assert instruction_count(twice) == instruction_count(once)

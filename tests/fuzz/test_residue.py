@@ -1,0 +1,168 @@
+"""The call-residue contract: checker, generator repair, reducer guard.
+
+Regression for the fuzzer's own bug: seed 254 read ``r9`` at a loop
+header whose loop-carried path crossed a ``CALL`` — DCE then deleted
+the callee's dead writes, changed the residue, and the oracle blamed
+the compiler for a program with no defined behaviour.
+"""
+
+import pytest
+
+from repro.fuzz.driver import signature_predicate
+from repro.fuzz.generate import GenConfig, generate_module, generate_source
+from repro.fuzz.oracle import Finding, OracleConfig
+from repro.fuzz.residue import call_residue_violations, reads_call_residue
+from repro.ir import format_module, parse_module
+
+DATA = "data d0: size=16 init=[1, 2, 3, 4]\n\n"
+
+
+def violations(text):
+    return call_residue_violations(parse_module(DATA + text))
+
+
+class TestChecker:
+    def test_read_after_real_call_is_a_violation(self):
+        v = violations(
+            "func f0(r3):\n"
+            "    LI r4, 7\n"
+            "    CALL f1, 1\n"
+            "    A r5, r4, r4\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+        assert [str(x.reg) for x in v] == ["r4"]
+        assert v[0].fn == "f0"
+
+    def test_retval_after_call_is_defined(self):
+        assert not violations(
+            "func f0(r3):\n"
+            "    CALL f1, 1\n"
+            "    A r3, r3, r3\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+
+    def test_library_calls_are_not_hazard_sources(self):
+        assert not violations(
+            "func f0(r3):\n"
+            "    LI r4, 7\n"
+            "    CALL abs_val, 1\n"
+            "    A r5, r4, r4\n"
+            "    RET\n"
+        )
+
+    def test_redefinition_clears_the_hazard(self):
+        assert not violations(
+            "func f0(r3):\n"
+            "    CALL f1, 1\n"
+            "    LI r4, 7\n"
+            "    A r5, r4, r4\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+
+    def test_loop_backedge_carries_the_hazard(self):
+        # The seed-254 shape: the header's read of r4 is fine on entry
+        # but reads residue on every trip after the call in the body.
+        v = violations(
+            "func f0(r3):\n"
+            "    LI r4, 7\n"
+            "    LI r24, 3\n"
+            "head:\n"
+            "    A r5, r4, r4\n"
+            "    CALL f1, 1\n"
+            "    AI r24, r24, -1\n"
+            "    CI cr1, r24, 0\n"
+            "    BT head, cr1.gt\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+        assert [str(x.reg) for x in v] == ["r4"]
+        assert v[0].block == "head"
+
+    def test_callee_saved_registers_survive_calls(self):
+        # r24 is read after the call above and is not a violation: the
+        # hazard set is exactly the call-clobbered file.
+        assert not violations(
+            "func f0(r3):\n"
+            "    LI r24, 3\n"
+            "    CALL f1, 1\n"
+            "    A r3, r24, r24\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+
+    def test_hazardous_call_argument_is_caught(self):
+        # CALL uses its argument registers: marshaling residue into an
+        # argument is as undefined as any other read.
+        v = violations(
+            "func f0(r3):\n"
+            "    CALL f1, 1\n"
+            "    CALL f1, 2\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+        assert [str(x.reg) for x in v] == ["r4"]
+
+
+class TestGeneratorInvariant:
+    @pytest.mark.parametrize("seed", sorted(set(range(120)) | {56, 132, 254}))
+    def test_generated_modules_are_residue_clean(self, seed):
+        assert not reads_call_residue(generate_module(seed, GenConfig()))
+
+    def test_repair_is_deterministic(self):
+        a = format_module(generate_module(254, GenConfig()))
+        b = format_module(generate_module(254, GenConfig()))
+        assert a == b
+
+    def test_repair_leaves_clean_seeds_untouched(self):
+        # Seed 0 needs no repair: the canonical module is exactly the
+        # parsed source.
+        source = parse_module(generate_source(0, GenConfig()))
+        assert not call_residue_violations(source)
+        assert format_module(source) == format_module(
+            generate_module(0, GenConfig())
+        )
+
+    def test_repair_changes_a_violating_seed(self):
+        source = parse_module(generate_source(254, GenConfig()))
+        assert call_residue_violations(source)
+        assert format_module(source) != format_module(
+            generate_module(254, GenConfig())
+        )
+
+
+class TestReducerGuard:
+    def test_predicate_rejects_residue_reading_candidates(self):
+        # Whatever the target signature, a candidate outside the
+        # defined-behaviour contract must read as "not reproducing".
+        candidate = parse_module(
+            DATA
+            + "func f0(r3):\n"
+            "    LI r4, 7\n"
+            "    CALL f1, 1\n"
+            "    A r3, r4, r4\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    RET\n"
+        )
+        finding = Finding(
+            seed=254, config="base", kind="miscompile",
+            fn="f0", args=(0,), mem_model="flat",
+        )
+        predicate = signature_predicate(finding, OracleConfig(bisect=False))
+        assert not predicate(candidate)

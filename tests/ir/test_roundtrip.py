@@ -1,0 +1,106 @@
+"""Printer -> parser round-trip property tests.
+
+``format_module`` output must reparse to an identical module — same
+text on a second print, same per-instruction attrs. The perf caches
+(``perf/fingerprint.py``) and the fuzz corpus both lean on this: a
+reduced corpus case is stored as printed text, and an attr silently
+dropped on reparse (``save``, ``counter``, ``spec_depth``...) would
+change how later passes treat the reloaded IR.
+
+Inputs come from two directions: the fuzzer's generated modules
+(attr-free, structurally wild) and fully compiled modules (tame CFGs,
+attr-rich after linkage, scheduling and PDF instrumentation).
+"""
+
+import pytest
+
+from repro.fuzz.generate import GenConfig, generate_module
+from repro.ir import format_instr, format_module, parse_module
+from repro.ir.parser import parse_instr
+from repro.ir.verifier import verify_module
+from repro.perf.fingerprint import fingerprint_module
+from repro.pipeline import compile_module
+
+
+def _attr_maps(module):
+    return [
+        (fn.name, bb.label, i, dict(instr.attrs))
+        for fn in module.functions.values()
+        for bb in fn.blocks
+        for i, instr in enumerate(bb.instrs)
+    ]
+
+
+def _strip_falsy(maps):
+    # Printed form elides falsy attrs: a pass that stored False/0 meant
+    # "not set", and the reparse legitimately returns a leaner dict.
+    return [
+        (fn, label, i, {k: v for k, v in attrs.items() if v})
+        for fn, label, i, attrs in maps
+    ]
+
+
+def assert_roundtrip(module):
+    text = format_module(module)
+    reparsed = parse_module(text)
+    assert format_module(reparsed) == text
+    assert _attr_maps(reparsed) == _strip_falsy(_attr_maps(module))
+    assert fingerprint_module(reparsed) == fingerprint_module(
+        parse_module(format_module(reparsed))
+    )
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_generated_modules_roundtrip(seed):
+    assert_roundtrip(generate_module(seed, GenConfig()))
+
+
+@pytest.mark.parametrize("seed", [3, 11, 17])
+@pytest.mark.parametrize("level", ["base", "vliw"])
+def test_compiled_modules_roundtrip(seed, level):
+    # Compiled output carries the attr-heavy instructions: linkage
+    # save/restore pins, speculative loads, scheduler spec_depth and
+    # rotation budgets.
+    compiled = compile_module(generate_module(seed, GenConfig()), level=level)
+    module = compiled.module
+    assert_roundtrip(module)
+    reparsed = parse_module(format_module(module))
+    verify_module(reparsed)
+
+
+def test_compiled_attrs_actually_present():
+    # Guard the guard: if the pipelines ever stop producing attrs the
+    # compiled round-trip tests would silently weaken to the plain case.
+    compiled = compile_module(generate_module(3, GenConfig()), level="vliw")
+    keys = {
+        key
+        for _, _, _, attrs in _attr_maps(compiled.module)
+        for key in attrs
+    }
+    assert "save" in keys and "restore" in keys
+
+
+class TestAttrSyntax:
+    def test_bare_key_parses_true(self):
+        instr = parse_instr("L r3, 4(r5) !spec !cached")
+        assert instr.attrs == {"speculative": True, "cached": True}
+
+    def test_valued_key_parses_int(self):
+        instr = parse_instr("A r3, r4, r5 !spec_depth=2 !rotations=1")
+        assert instr.attrs == {"spec_depth": 2, "rotations": 1}
+
+    def test_spec_short_form_round_trips(self):
+        instr = parse_instr("L r3, 4(r5) !spec")
+        assert instr.attrs.get("speculative") is True
+        assert format_instr(instr) == "L r3, 4(r5) !spec"
+
+    def test_printed_order_is_sorted_and_stable(self):
+        instr = parse_instr("ST 8(r1), r30 !save !pinned")
+        assert format_instr(instr) == "ST 8(r1), r30 !pinned !save"
+        assert format_instr(parse_instr(format_instr(instr))) == format_instr(instr)
+
+    def test_falsy_attrs_elided(self):
+        instr = parse_instr("NOP")
+        instr.attrs["rotations"] = 0
+        instr.attrs["counter"] = False
+        assert format_instr(instr) == "NOP"

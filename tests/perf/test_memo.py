@@ -93,3 +93,44 @@ class TestMeasureMemo:
         m = measure(wl, "vliw", profile=profile, plan=plan, memo=cache)
         assert not m.memo_hit
         assert len(cache) == 0
+
+
+class TestMemoExecutionMatrix:
+    """A cache hit skips the *compile*, never the run or the value check.
+
+    ``memo=`` interacts with ``check_against=`` and ``mem_model=``: the
+    cache key covers only compilation inputs, so a hit must still
+    execute the cached module on the requested memory model and still
+    enforce the reference value.
+    """
+
+    def test_hit_still_executes_and_checks_on_paged(self):
+        from repro.evaluate import reference_value
+
+        cache = CompileCache()
+        wl = _workload("compress")
+        ref = reference_value(wl)
+        cold = measure(wl, "vliw", memo=cache, check_against=ref, mem_model="paged")
+        warm = measure(wl, "vliw", memo=cache, check_against=ref, mem_model="paged")
+        assert not cold.memo_hit and warm.memo_hit
+        assert warm.value == ref
+        assert warm.cycles == cold.cycles > 0
+
+    def test_hit_does_not_bypass_check_against(self):
+        import pytest
+
+        cache = CompileCache()
+        wl = _workload("compress")
+        measure(wl, "vliw", memo=cache)  # prime the cache
+        with pytest.raises(AssertionError, match="reference"):
+            measure(wl, "vliw", memo=cache, check_against=10**9, mem_model="paged")
+
+    def test_mem_model_does_not_split_the_cache(self):
+        # The memory model is an execution knob, not a compile input: a
+        # module compiled during a flat run must be reused for a paged one.
+        cache = CompileCache()
+        wl = _workload("compress")
+        flat = measure(wl, "vliw", memo=cache, mem_model="flat")
+        paged = measure(wl, "vliw", memo=cache, mem_model="paged")
+        assert not flat.memo_hit and paged.memo_hit
+        assert paged.value == flat.value

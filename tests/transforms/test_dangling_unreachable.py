@@ -1,0 +1,106 @@
+"""A pass that silently leaves an unreachable block with a dangling
+branch target must not slip through the pipeline.
+
+Selective verification only re-checks functions a pass *reports*
+changing, so a buggy pass that mutates while reporting ``False`` used
+to escape verification entirely — and ``Straighten``, the pass that
+could have cleaned the garbage up, crashed with a ``KeyError`` when
+CFG queries hit the dangling target. Three independent defenses are
+exercised here:
+
+- ``Function.successors`` is total on broken IR (a dangling target
+  contributes no edge),
+- ``Straighten`` deletes the unreachable block instead of crashing,
+- both pass managers re-verify the whole module at the end of the
+  pipeline and surface the corruption.
+"""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import make_b
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+from repro.pipeline import compile_module
+from repro.robustness.guard import GuardedPassManager
+from repro.transforms.pass_manager import Pass, PassContext, PassManager
+from repro.transforms.straighten import Straighten
+
+SOURCE = """
+func f(r3):
+entry:
+    AI r3, r3, 1
+    RET
+"""
+
+
+class LyingPass(Pass):
+    """Adds an unreachable block branching nowhere; reports no change."""
+
+    name = "lying-pass"
+
+    def run_on_function(self, fn, ctx) -> bool:
+        orphan = BasicBlock(fn.new_label("orphan"))
+        orphan.append(make_b("no_such_label"))
+        fn.blocks.append(orphan)
+        return False  # the lie: selective verification is skipped
+
+
+def _corrupted():
+    module = parse_module(SOURCE)
+    LyingPass().run_on_function(module.functions["f"], PassContext(module))
+    return module
+
+
+def test_successors_total_on_dangling_target():
+    module = _corrupted()
+    fn = module.functions["f"]
+    orphan = fn.blocks[-1]
+    assert fn.successors(orphan) == []
+    # predecessor_map used to raise KeyError via successors.
+    assert orphan.label in fn.predecessor_map()
+
+
+def test_verifier_still_rejects_dangling_target():
+    with pytest.raises(Exception):
+        verify_module(_corrupted())
+
+
+def test_straighten_cleans_dangling_unreachable():
+    module = _corrupted()
+    fn = module.functions["f"]
+    assert Straighten().run_on_function(fn, PassContext(module))
+    assert [bb.label for bb in fn.blocks] == ["entry"]
+    verify_module(module)  # clean again
+
+
+def test_pass_manager_final_verify_catches_lying_pass():
+    module = parse_module(SOURCE)
+    manager = PassManager([LyingPass()])
+    with pytest.raises(RuntimeError, match="end of pipeline"):
+        manager.run(module)
+
+
+def test_guarded_manager_final_verify_catches_lying_pass():
+    module = parse_module(SOURCE)
+    manager = GuardedPassManager([LyingPass()], policy="rollback")
+    with pytest.raises(RuntimeError, match="end of pipeline"):
+        manager.run(module)
+
+
+def test_straighten_in_pipeline_repairs_before_final_verify():
+    """A lying pass followed by Straighten: cleanup wins, compile is clean.
+
+    This mirrors the real pipelines, where Straighten runs late exactly
+    to mop up after CFG-restructuring passes.
+    """
+    module = parse_module(SOURCE)
+    manager = PassManager([LyingPass(), Straighten()])
+    manager.run(module)
+    verify_module(module)
+    assert [bb.label for bb in module.functions["f"].blocks] == ["entry"]
+
+
+def test_compile_module_end_to_end_still_clean():
+    compiled = compile_module(parse_module(SOURCE), level="vliw")
+    verify_module(compiled.module)

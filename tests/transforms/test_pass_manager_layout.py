@@ -144,20 +144,31 @@ class TestChangeTracking:
 
     def test_only_changed_functions_reverified(self):
         # The pass corrupts g but only admits changing f: selective
-        # verification (the satellite's contract) skips g, so no raise...
+        # verification skips g at the pass boundary (the pass name is
+        # never blamed), but the end-of-pipeline barrier still refuses
+        # to hand out the corrupt module.
         module = parse_module(TWO_FN_SRC)
-        PassManager([_BreakOther(admitted="f", victim="g")]).run(module)
-        # ...whereas admitting the changed function catches the breakage.
+        with pytest.raises(RuntimeError, match="end of pipeline"):
+            PassManager([_BreakOther(admitted="f", victim="g")]).run(module)
+        # Admitting the changed function catches the breakage at the
+        # pass itself, with per-pass attribution.
         module = parse_module(TWO_FN_SRC)
         with pytest.raises(RuntimeError, match="on g"):
             PassManager([_BreakOther(admitted="g", victim="g")]).run(module)
 
     def test_unchanged_pass_skips_verification_entirely(self):
-        # A pass reporting no change leaves even pre-broken IR unverified —
-        # verification cost now scales with what actually changed.
+        # A pass reporting no change skips per-pass verification — cost
+        # scales with what actually changed, and no pass gets blamed for
+        # pre-broken IR. The end-of-pipeline barrier still reports the
+        # module as a whole.
         module = parse_module(TWO_FN_SRC)
         module.functions["g"].blocks[0].terminator.target = "nowhere"
-        PassManager([_Counter()]).run(module)  # no raise
+        with pytest.raises(RuntimeError, match="end of pipeline"):
+            PassManager([_Counter()]).run(module)
+        # With verification off nothing fires at all.
+        module = parse_module(TWO_FN_SRC)
+        module.functions["g"].blocks[0].terminator.target = "nowhere"
+        PassManager([_Counter()], verify=False).run(module)  # no raise
 
     def test_module_level_changed_flag_captured(self):
         module = parse_module(TWO_FN_SRC)
