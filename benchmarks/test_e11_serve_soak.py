@@ -1,0 +1,294 @@
+"""E11 — fault-injected soak of the compile service.
+
+Drives :class:`repro.serve.CompileService` (real worker processes) with
+a multi-threaded client mix in which **over 10% of requests carry an
+injected fault**: abrupt worker death, unresponsive hangs that force
+the supervisor's hard-kill path, soft stalls caught by the worker's own
+alarm, and persistent pass faults that exercise the degradation ladder.
+
+The acceptance contract asserted here:
+
+- **zero dropped requests** — every submitted request gets a response,
+  and every response is ``ok``;
+- **100% correct results** — each distinct compiled binary is executed
+  and differentially checked against the unoptimised reference;
+- **>= 90% served at the requested level** — transient faults heal via
+  same-level retry; only the deliberately-poisoned minority degrades;
+- **>= 3 worker crashes survived** with automatic respawn;
+- **> 5x throughput** over serial ``compile_module`` in the warm-cache
+  phase.
+
+Environment knobs (CI runs 60s / 2 workers; the default is a quick
+local soak): ``SERVE_SOAK_SECONDS``, ``SERVE_SOAK_WORKERS``.
+
+Writes ``BENCH_serve.json`` next to the working directory, in the same
+spirit as E2's ``BENCH_compile.json``.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.ir import parse_module
+from repro.machine import run_function
+from repro.perf.memo import CompileCache
+from repro.pipeline import compile_module
+from repro.serve import CompileService, ServeRequest, WorkerPool
+from repro.serve.breaker import CircuitBreaker
+from repro.workloads import suite
+
+SOAK_SECONDS = float(os.environ.get("SERVE_SOAK_SECONDS", "8"))
+WORKERS = int(os.environ.get("SERVE_SOAK_WORKERS", "2"))
+CLIENT_THREADS = 8
+WARM_REQUESTS = 200
+BENCH_JSON = Path("BENCH_serve.json")
+
+#: A module kept distinct from the suite so its breaker entries (its
+#: vliw pipeline is persistently poisoned) never contaminate the
+#: fingerprints the healthy traffic compiles.
+POISON_SRC = """
+func main(r3):
+    AI r3, r3, 40
+    AI r3, r3, 2
+    RET
+"""
+POISON_REF = 42  # main(0)
+
+
+class Corpus:
+    """Request corpus: suite workloads plus the poisoned module."""
+
+    def __init__(self):
+        self.entries = []
+        for wl in suite():
+            module = wl.fresh_module()
+            reference = run_function(
+                module, wl.entry, list(wl.args), max_steps=10_000_000
+            ).value
+            self.entries.append({
+                "name": wl.name,
+                "ir": _render(wl.fresh_module()),
+                "entry": wl.entry,
+                "args": list(wl.args),
+                "reference": reference,
+            })
+
+    def pick(self, index):
+        return self.entries[index % len(self.entries)]
+
+
+def _render(module):
+    from repro.ir import format_module
+
+    return format_module(module)
+
+
+def _plan_request(index, corpus):
+    """The deterministic client mix; >10% of requests carry a fault."""
+    entry = corpus.pick(index)
+    request = ServeRequest(
+        ir=entry["ir"], level="vliw", request_id=str(index)
+    )
+    fault = "none"
+    if index % 10 == 7:
+        # Transient: the worker dies on attempt 0, the retry heals.
+        request.inject = {"kind": "worker-crash", "attempts": [0]}
+        fault = "worker-crash"
+    elif index % 40 == 13:
+        # Unresponsive hang: only the supervisor's hard kill helps.
+        request.inject = {"kind": "hang", "seconds": 30.0, "attempts": [0]}
+        request.deadline = 1.5
+        fault = "hang"
+    elif index % 40 == 33:
+        # Soft stall: the worker's own alarm answers "timeout".
+        request.inject = {"kind": "soft-hang", "seconds": 10.0, "attempts": [0]}
+        request.deadline = 1.5
+        fault = "soft-hang"
+    elif index % 15 == 4:
+        # Persistent vliw poison: exercises true degradation.
+        request = ServeRequest(
+            ir=POISON_SRC,
+            level="vliw",
+            options={"fault_plan": "vliw-scheduling:raise:0"},
+            request_id=str(index),
+        )
+        entry = {
+            "name": "poison",
+            "entry": "main",
+            "args": [0],
+            "reference": POISON_REF,
+        }
+        fault = "poison-plan"
+    return request, entry, fault
+
+
+def _soak(service, corpus, seconds):
+    responses = []
+    lock = threading.Lock()
+    counter = {"next": 0}
+    stop_at = time.monotonic() + seconds
+
+    def client():
+        while time.monotonic() < stop_at:
+            with lock:
+                index = counter["next"]
+                counter["next"] += 1
+            request, entry, fault = _plan_request(index, corpus)
+            response = service.compile(request)
+            with lock:
+                responses.append((response, entry, fault))
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENT_THREADS)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    return responses, counter["next"], elapsed
+
+
+def _check_differentially(responses):
+    """Execute each distinct compiled binary against its reference."""
+    checked = {}
+    for response, entry, _fault in responses:
+        key = (entry["name"], hash(response.ir))
+        if key in checked:
+            continue
+        module = parse_module(response.ir)
+        value = run_function(
+            module, entry["entry"], list(entry["args"]), max_steps=10_000_000
+        ).value
+        assert value == entry["reference"], (
+            f"{entry['name']}: served binary computed {value}, "
+            f"reference {entry['reference']} (level {response.level_served})"
+        )
+        checked[key] = True
+    return len(checked)
+
+
+def _warm_phase(service, corpus):
+    """Warm-cache throughput vs serial compile_module."""
+    lock = threading.Lock()
+    counter = {"next": 0}
+
+    def client():
+        while True:
+            with lock:
+                index = counter["next"]
+                if index >= WARM_REQUESTS:
+                    return
+                counter["next"] += 1
+            entry = corpus.pick(index)
+            response = service.compile(ServeRequest(ir=entry["ir"], level="vliw"))
+            assert response.status == "ok"
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENT_THREADS)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    warm_seconds = time.perf_counter() - t0
+
+    serial_t0 = time.perf_counter()
+    serial_compiles = 0
+    for entry in corpus.entries:
+        compile_module(parse_module(entry["ir"]), "vliw")
+        serial_compiles += 1
+    serial_seconds = time.perf_counter() - serial_t0
+
+    warm_rps = WARM_REQUESTS / warm_seconds
+    serial_rps = serial_compiles / serial_seconds
+    return {
+        "requests": WARM_REQUESTS,
+        "seconds": round(warm_seconds, 3),
+        "requests_per_second": round(warm_rps, 1),
+        "serial_compiles": serial_compiles,
+        "serial_seconds": round(serial_seconds, 3),
+        "serial_compiles_per_second": round(serial_rps, 2),
+        "speedup_over_serial": round(warm_rps / serial_rps, 1),
+    }
+
+
+def test_e11_serve_soak():
+    corpus = Corpus()
+    pool = WorkerPool(workers=WORKERS, deadline=5.0, grace=0.5,
+                      backoff_base=0.02, backoff_cap=0.5)
+    service = CompileService(
+        pool,
+        cache=CompileCache(max_entries=256),
+        deadline=5.0,
+        breaker=CircuitBreaker(threshold=3, cooldown=300.0),
+    )
+    try:
+        responses, submitted, elapsed = _soak(service, corpus, SOAK_SECONDS)
+
+        # -- zero dropped, all ok -------------------------------------------
+        assert len(responses) == submitted
+        bad = [
+            (r.request_id, r.status, r.detail)
+            for r, _e, _f in responses if r.status != "ok"
+        ]
+        assert not bad, f"non-ok responses: {bad[:5]}"
+
+        # -- differential correctness ---------------------------------------
+        distinct_binaries = _check_differentially(responses)
+
+        # -- degradation bounded --------------------------------------------
+        degraded = sum(1 for r, _e, _f in responses if r.degraded)
+        requested_level_fraction = 1.0 - degraded / len(responses)
+        assert requested_level_fraction >= 0.90, (
+            f"only {requested_level_fraction:.1%} served at requested level"
+        )
+
+        # -- fault coverage and crash recovery ------------------------------
+        faults = {}
+        for _r, _e, fault in responses:
+            faults[fault] = faults.get(fault, 0) + 1
+        injected = sum(n for kind, n in faults.items() if kind != "none")
+        fault_fraction = injected / len(responses)
+        assert fault_fraction >= 0.10, f"fault mix only {fault_fraction:.1%}"
+
+        pool_stats = pool.stats()
+        assert pool_stats["crashes"] >= 3, pool_stats
+        assert pool_stats["respawns"] >= 3, pool_stats
+        assert pool_stats["alive"] >= 1
+
+        # -- warm-cache throughput ------------------------------------------
+        warm = _warm_phase(service, corpus)
+        assert warm["speedup_over_serial"] > 5.0, warm
+
+        stats = service.stats()
+        payload = {
+            "soak_seconds": round(elapsed, 2),
+            "workers": WORKERS,
+            "client_threads": CLIENT_THREADS,
+            "requests": submitted,
+            "throughput_rps": round(submitted / elapsed, 1),
+            "latency_ms": {
+                "p50": round(stats["latency_ms"]["p50"], 2),
+                "p99": round(stats["latency_ms"]["p99"], 2),
+            },
+            "completion_fraction": 1.0,
+            "requested_level_fraction": round(requested_level_fraction, 4),
+            "degraded": degraded,
+            "distinct_binaries_checked": distinct_binaries,
+            "fault_fraction": round(fault_fraction, 4),
+            "faults_injected": faults,
+            "request_failures_seen": stats["failures"],
+            "pool": {
+                "crashes": pool_stats["crashes"],
+                "timeouts": pool_stats["timeouts"],
+                "respawns": pool_stats["respawns"],
+            },
+            "breaker": stats["breaker"],
+            "cache": stats["cache"],
+            "dedupe": stats["dedupe"],
+            "warm_cache": warm,
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    finally:
+        pool.stop()

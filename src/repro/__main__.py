@@ -10,6 +10,7 @@ Examples::
     python -m repro sanitize prog.ir --level vliw        # containment proof
     python -m repro fuzz --seeds 2000 --level vliw       # differential fuzzing
     python -m repro reduce failing.ir -o reduced.ir      # shrink a failure
+    python -m repro serve --workers 4 --port 8077        # compile service
 """
 
 import argparse
@@ -241,6 +242,7 @@ def cmd_fuzz(args) -> int:
         start=args.start,
         jobs=args.jobs,
         time_budget=args.time_budget,
+        seed_timeout=args.seed_timeout,
         oracle_cfg=oracle_cfg,
         gen_cfg=gen_cfg,
         log=lambda msg: print(msg, file=sys.stderr),
@@ -324,6 +326,71 @@ def cmd_reduce(args) -> int:
         f"signature: {confirmed.kind} guilty={confirmed.guilty or '?'}",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Fault-contained compile service (see docs/SERVING.md)."""
+    import asyncio
+
+    from repro.perf.memo import CompileCache
+    from repro.perf.store import PersistentCacheShard
+    from repro.serve import (
+        CircuitBreaker,
+        CompileService,
+        WorkerPool,
+        serve_http,
+        serve_stdin,
+    )
+
+    store = None
+    if args.cache_dir:
+        store = PersistentCacheShard(args.cache_dir)
+    pool = WorkerPool(
+        workers=args.workers,
+        deadline=args.deadline,
+        grace=args.grace,
+    )
+    default_options = {}
+    if args.fault_plan:
+        # Drill mode: every request compiles under this fault plan
+        # (lenient across ladder levels) so containment can be watched
+        # live. Testing/demo only.
+        default_options["fault_plan"] = args.fault_plan
+    service = CompileService(
+        pool,
+        cache=CompileCache(max_entries=args.cache_entries),
+        store=store,
+        max_pending=args.max_pending,
+        deadline=args.deadline,
+        breaker=CircuitBreaker(cooldown=args.breaker_cooldown),
+    )
+    if default_options:
+        original = service.compile
+
+        def compile_with_defaults(request):
+            merged = dict(default_options)
+            merged.update(request.options)
+            request.options = merged
+            return original(request)
+
+        service.compile = compile_with_defaults
+    try:
+        if args.stdin:
+            serve_stdin(service, log=lambda m: print(m, file=sys.stderr))
+        else:
+            asyncio.run(
+                serve_http(
+                    service,
+                    args.host,
+                    args.port,
+                    log=lambda m: print(m, file=sys.stderr),
+                )
+            )
+    except KeyboardInterrupt:
+        print("# repro serve: interrupted, stopping workers", file=sys.stderr)
+    finally:
+        pool.stop()
     return 0
 
 
@@ -470,6 +537,9 @@ def main(argv=None) -> int:
                         help="worker processes for the seed loop")
     p_fuzz.add_argument("--time-budget", type=float,
                         help="stop after this many seconds (CI smoke)")
+    p_fuzz.add_argument("--seed-timeout", type=float,
+                        help="per-seed wall-clock limit; an overrun is "
+                        "recorded as a crash finding")
     p_fuzz.add_argument("--quick", action="store_true",
                         help="sweep only the two main configs per seed")
     p_fuzz.add_argument("--no-bisect", action="store_true",
@@ -498,6 +568,38 @@ def main(argv=None) -> int:
                           help="status recorded in the emitted corpus header")
     p_reduce.add_argument("--max-steps", type=int, default=200_000)
     p_reduce.set_defaults(func=cmd_reduce)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="fault-contained compile service: process-isolated workers, "
+        "deadlines, retry-with-degradation, persistent cache",
+    )
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes in the supervised pool")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8077)
+    p_serve.add_argument("--stdin", action="store_true",
+                         help="JSON-lines on stdin/stdout instead of HTTP")
+    p_serve.add_argument("--deadline", type=float, default=10.0,
+                         help="per-request wall-clock budget in seconds")
+    p_serve.add_argument("--grace", type=float, default=1.0,
+                         help="extra seconds before the supervisor kills "
+                         "an unresponsive worker")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="backpressure bound: shed (429) beyond this "
+                         "many in-flight requests")
+    p_serve.add_argument("--cache-dir",
+                         help="persist the compile cache here (checksummed, "
+                         "fingerprint-prefix sharded; survives restart)")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="in-memory LRU compile cache size")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=60.0,
+                         help="seconds before a poisoned (module, level) "
+                         "pair may be retried")
+    p_serve.add_argument("--fault-plan",
+                         help="drill mode: apply this fault plan to every "
+                         "request (compact 'pass:kind[:n]' spec)")
+    p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -98,6 +98,11 @@ def measure(
         )
         if cache is not None:
             cache.store(module, key, compiled)
+    if cache is not None and compiled.resilience is not None:
+        # Surface the compile cache's hit/miss/eviction counters next to
+        # the snapshot/memo counters (the serve stats endpoint and the
+        # benchmarks read them all from one place).
+        compiled.resilience.counters.update(cache.counters)
     result = run_function(
         compiled.module,
         workload.entry,

@@ -2,10 +2,28 @@
 
 Keeps ``python -m repro fuzz`` thin and the per-seed worker picklable
 so campaigns can fan out across processes with ``--jobs``.
+
+A campaign must survive its own findings. Two containment layers keep
+one bad seed from taking down a whole ``--time-budget`` run:
+
+- :func:`fuzz_seed` never raises: an oracle exception or a per-seed
+  timeout (``seed_timeout``, enforced by an in-worker alarm) comes back
+  as a ``crash``-kind :class:`Finding` naming the offending seed.
+- A *hard* worker death (``os._exit``, segfault) breaks the whole
+  ``ProcessPoolExecutor`` — every in-flight future raises
+  ``BrokenProcessPool`` and blame is ambiguous. The driver rebuilds the
+  pool and retries the in-flight seeds one at a time; the seed that
+  kills a pool all by itself is recorded as the crash, the innocent
+  cohort completes normally.
 """
 
+import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -18,6 +36,67 @@ from repro.fuzz.oracle import (
 )
 from repro.fuzz.residue import reads_call_residue
 from repro.ir.module import Module
+from repro.ir.printer import format_module
+
+#: Test hook: ``"3:raise,5:exit,7:hang"`` makes those seeds misbehave.
+#: ``raise`` crashes the oracle in-process, ``exit`` kills the worker
+#: hard (``os._exit``), ``hang`` sleeps past any per-seed timeout.
+CRASH_SEEDS_ENV = "REPRO_FUZZ_CRASH_SEEDS"
+
+
+class SeedTimeout(Exception):
+    """Raised inside a worker when a seed overruns ``seed_timeout``."""
+
+
+@contextmanager
+def _seed_alarm(seconds: Optional[float]):
+    """Arm a wall-clock alarm for one seed, where the platform allows.
+
+    Pool workers run tasks on their main thread, so SIGALRM is usable
+    there; a non-main thread (or a SIGALRM-less platform) runs without
+    the soft timeout and relies on the caller's budget checks.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(_signum, _frame):
+        raise SeedTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _apply_crash_hooks(seed: int) -> None:
+    spec = os.environ.get(CRASH_SEEDS_ENV, "")
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        target, _, mode = part.partition(":")
+        if int(target) != seed:
+            continue
+        mode = mode or "raise"
+        if mode == "exit":
+            os._exit(41)
+        if mode == "hang":
+            time.sleep(3600)
+        raise RuntimeError(f"injected oracle crash for seed {seed}")
+
+
+def _crash_finding(seed: int, level: str, detail: str, source: str = "") -> Finding:
+    return Finding(
+        seed=seed, config=level, kind="crash", detail=detail, source=source
+    )
 
 
 @dataclass
@@ -41,10 +120,37 @@ def fuzz_seed(
     level: str,
     oracle_cfg: Optional[OracleConfig] = None,
     gen_cfg: Optional[GenConfig] = None,
+    seed_timeout: Optional[float] = None,
 ) -> List[Finding]:
-    """Check one seed; module-level so ProcessPoolExecutor can pickle it."""
-    module = generate_module(seed, gen_cfg)
-    return Oracle(oracle_cfg).check_module(module, seed, level)
+    """Check one seed; module-level so ProcessPoolExecutor can pickle it.
+
+    Never raises: an oracle crash or a ``seed_timeout`` overrun is
+    itself a finding (``kind="crash"``) — the campaign must outlive its
+    own discoveries.
+    """
+    source = ""
+    try:
+        with _seed_alarm(seed_timeout):
+            _apply_crash_hooks(seed)
+            module = generate_module(seed, gen_cfg)
+            source = format_module(module)
+            return Oracle(oracle_cfg).check_module(module, seed, level)
+    except SeedTimeout:
+        return [
+            _crash_finding(
+                seed, level,
+                f"seed stalled past the {seed_timeout:.1f}s per-seed timeout",
+                source,
+            )
+        ]
+    except Exception as exc:  # noqa: BLE001 — any oracle failure is a finding
+        return [
+            _crash_finding(
+                seed, level,
+                f"oracle crashed: {type(exc).__name__}: {exc}",
+                source,
+            )
+        ]
 
 
 def run_fuzz(
@@ -53,6 +159,7 @@ def run_fuzz(
     start: int = 0,
     jobs: int = 1,
     time_budget: Optional[float] = None,
+    seed_timeout: Optional[float] = None,
     oracle_cfg: Optional[OracleConfig] = None,
     gen_cfg: Optional[GenConfig] = None,
     log: Optional[Callable[[str], None]] = None,
@@ -61,8 +168,10 @@ def run_fuzz(
     """Fuzz ``seeds`` seeds starting at ``start``.
 
     ``time_budget`` (seconds) stops the campaign early once exceeded —
-    the CI smoke job runs "as many seeds as fit in a minute". Findings
-    are returned in seed order regardless of worker scheduling.
+    the CI smoke job runs "as many seeds as fit in a minute".
+    ``seed_timeout`` (seconds) bounds a *single* seed so one hung
+    oracle run cannot eat the whole budget. Findings are returned in
+    seed order regardless of worker scheduling.
     """
     say = log or (lambda _msg: None)
     stats = FuzzStats()
@@ -90,34 +199,106 @@ def run_fuzz(
             if out_of_time():
                 say(f"time budget exhausted after {stats.seeds_run} seeds")
                 break
-            record(fuzz_seed(seed, level, oracle_cfg, gen_cfg))
+            record(fuzz_seed(seed, level, oracle_cfg, gen_cfg, seed_timeout))
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            pending = {}
-            cursor = 0
-            while cursor < len(seed_list) or pending:
+        _run_parallel(
+            seed_list, level, jobs, seed_timeout, oracle_cfg, gen_cfg,
+            record, out_of_time, say, stats,
+        )
+    stats.elapsed = time.time() - t0
+    findings.sort(key=lambda f: (f.seed, f.config))
+    return findings, stats
+
+
+def _run_parallel(
+    seed_list: List[int],
+    level: str,
+    jobs: int,
+    seed_timeout: Optional[float],
+    oracle_cfg: Optional[OracleConfig],
+    gen_cfg: Optional[GenConfig],
+    record: Callable[[List[Finding]], None],
+    out_of_time: Callable[[], bool],
+    say: Callable[[str], None],
+    stats: FuzzStats,
+) -> None:
+    """Fan seeds across a process pool, surviving hard worker deaths.
+
+    A worker that dies outright breaks the whole executor and every
+    in-flight future reports ``BrokenProcessPool`` — the guilty seed is
+    ambiguous. The recovery protocol: rebuild the pool, then retry the
+    in-flight cohort *one seed at a time* (the quarantine queue). A
+    seed that breaks a pool while alone in it is definitively guilty
+    and recorded as a ``crash`` finding; the rest complete normally.
+    """
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    pending: Dict = {}
+    quarantine: List[int] = []
+    cursor = 0
+
+    def submit(seed: int) -> None:
+        pending[
+            pool.submit(fuzz_seed, seed, level, oracle_cfg, gen_cfg, seed_timeout)
+        ] = seed
+
+    try:
+        while True:
+            if quarantine:
+                if not pending and not out_of_time():
+                    submit(quarantine.pop(0))
+            else:
                 while (
                     cursor < len(seed_list)
                     and len(pending) < jobs * 2
                     and not out_of_time()
                 ):
-                    seed = seed_list[cursor]
+                    submit(seed_list[cursor])
                     cursor += 1
-                    pending[
-                        pool.submit(fuzz_seed, seed, level, oracle_cfg, gen_cfg)
-                    ] = seed
-                if not pending:
-                    break
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    del pending[future]
-                    record(future.result())
-                if out_of_time() and cursor < len(seed_list):
+            if not pending:
+                if out_of_time() and (cursor < len(seed_list) or quarantine):
                     say(f"time budget exhausted after {stats.seeds_run} seeds")
-                    cursor = len(seed_list)
-    stats.elapsed = time.time() - t0
-    findings.sort(key=lambda f: (f.seed, f.config))
-    return findings, stats
+                break
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            broken: List[int] = []
+            for future in done:
+                seed = pending.pop(future)
+                try:
+                    record(future.result())
+                except BrokenProcessPool:
+                    broken.append(seed)
+                except Exception as exc:  # noqa: BLE001 — contain, don't abort
+                    record([
+                        _crash_finding(
+                            seed, level,
+                            f"worker failed: {type(exc).__name__}: {exc}",
+                        )
+                    ])
+            if broken:
+                # The executor is dead; in-flight futures are lost too.
+                in_flight = sorted(set(broken) | set(pending.values()))
+                pending.clear()
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                if len(in_flight) == 1:
+                    record([
+                        _crash_finding(
+                            in_flight[0], level,
+                            "worker process died (hard crash) while checking "
+                            "this seed",
+                        )
+                    ])
+                    say(
+                        f"worker died on seed {in_flight[0]}; pool rebuilt, "
+                        "campaign continues"
+                    )
+                else:
+                    quarantine = in_flight + quarantine
+                    say(
+                        f"worker died with {len(in_flight)} seeds in flight; "
+                        "pool rebuilt, retrying them one at a time"
+                    )
+    finally:
+        pool.shutdown(wait=False)
 
 
 def signature_predicate(

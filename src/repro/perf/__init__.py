@@ -12,6 +12,9 @@ package keeps the *guarded* pipeline's robustness affordable:
   only for ``run_on_module`` passes).
 - :mod:`repro.perf.memo` — :class:`CompileCache`: whole-compile
   memoization for ``evaluate.measure`` across benchmark repetitions.
+- :mod:`repro.perf.store` — :class:`PersistentCacheShard`: the
+  disk-backed, checksummed tier behind the :class:`CompileCache`;
+  fingerprint-prefix sharded, quarantines corrupt entries individually.
 - :mod:`repro.perf.trace` — :class:`TraceRecorder`: per-(pass, function)
   spans and counters in Chrome trace-event JSON (``--trace-out``).
 """
@@ -23,14 +26,17 @@ from repro.perf.fingerprint import (
 )
 from repro.perf.memo import DEFAULT_CACHE, CompileCache, config_key
 from repro.perf.snapshot import CowSnapshot, SnapshotStore
+from repro.perf.store import PersistentCacheShard, entry_checksum
 from repro.perf.trace import TraceRecorder
 
 __all__ = [
     "CompileCache",
     "CowSnapshot",
     "DEFAULT_CACHE",
+    "PersistentCacheShard",
     "SnapshotStore",
     "TraceRecorder",
+    "entry_checksum",
     "config_key",
     "fingerprint_function",
     "fingerprint_module",

@@ -17,7 +17,8 @@ to use the process-wide default cache, or a :class:`CompileCache` to
 scope the cache to one benchmark.
 """
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Tuple
 
 from repro.ir.module import Module
 from repro.perf.fingerprint import fingerprint_module
@@ -40,35 +41,65 @@ def config_key(level: str, **kwargs) -> str:
 
 
 class CompileCache:
-    """Content-addressed cache of compile results."""
+    """Content-addressed, LRU-evicted cache of compile results.
+
+    Eviction is least-recently-*used*: a lookup hit refreshes the entry,
+    so a hot workload survives a stream of one-shot compiles (under the
+    old FIFO policy a full cache evicted in insertion order no matter
+    what was actually being served). ``hits`` / ``misses`` /
+    ``evictions`` are exposed via :attr:`counters` — the serve stats
+    endpoint and ``ResilienceReport.counters`` surface them.
+    """
 
     def __init__(self, max_entries: int = 64):
         self.max_entries = max_entries
-        self._entries: Dict[Tuple[str, str], object] = {}
+        self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def lookup(self, module: Module, key: str):
         """The cached result for (module content, config), or ``None``."""
-        fp = fingerprint_module(module)
+        return self.lookup_fp(fingerprint_module(module), key)
+
+    def lookup_fp(self, fp: str, key: str):
+        """Like :meth:`lookup` with a precomputed module fingerprint."""
         result = self._entries.get((fp, key))
         if result is None:
             self.misses += 1
         else:
             self.hits += 1
+            self._entries.move_to_end((fp, key))
         return result
 
     def store(self, module: Module, key: str, result) -> None:
         """Record ``result`` for this module content and configuration."""
-        if len(self._entries) >= self.max_entries:
-            # Drop the oldest entry (dict preserves insertion order).
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[(fingerprint_module(module), key)] = result
+        self.store_fp(fingerprint_module(module), key, result)
+
+    def store_fp(self, fp: str, key: str, result) -> None:
+        """Like :meth:`store` with a precomputed module fingerprint."""
+        if (fp, key) in self._entries:
+            self._entries.move_to_end((fp, key))
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[(fp, key)] = result
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters in ``ResilienceReport.counters`` form."""
+        return {
+            "cache.hits": self.hits,
+            "cache.misses": self.misses,
+            "cache.evictions": self.evictions,
+            "cache.entries": len(self._entries),
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)

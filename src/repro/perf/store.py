@@ -1,0 +1,174 @@
+"""Persistent, checksummed shard of the :class:`CompileCache`.
+
+A warm compile fleet must survive restart: the serve layer
+(:mod:`repro.serve`) keys finished compile payloads by module
+fingerprint and pipeline-config key, and this store persists them to
+disk, sharded by fingerprint prefix::
+
+    <root>/<fp[:2]>/<fp>-<key digest>.json
+
+Every entry file carries a blake2b checksum over its canonical body
+(fingerprint + config key + payload). Loading verifies the checksum and
+the embedded fingerprint before trusting anything; an entry that fails
+— truncated write, bit rot, hand-editing — is **quarantined
+individually** (renamed ``*.corrupt``) and the rest of the shard keeps
+serving. A corrupt entry must never take out its shard: a fleet that
+discards a whole prefix directory because one file rotted would
+recompile everything behind it.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-``put``
+leaves either the old entry or no entry, never a torn one.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Digest size for the per-entry checksum.
+_DIGEST_SIZE = 16
+#: Digest size for the config-key component of the filename.
+_KEY_DIGEST_SIZE = 8
+
+
+def entry_checksum(fingerprint: str, key: str, payload: Dict) -> str:
+    """Blake2b over the canonical JSON body of one entry."""
+    body = json.dumps(
+        {"fingerprint": fingerprint, "key": key, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(body.encode(), digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def _key_digest(key: str) -> str:
+    return hashlib.blake2b(key.encode(), digest_size=_KEY_DIGEST_SIZE).hexdigest()
+
+
+class PersistentCacheShard:
+    """Disk-backed (fingerprint, config key) -> payload store.
+
+    Payloads are JSON-serialisable dicts (the serve layer stores the
+    compiled IR text plus its accounting). The in-memory
+    :class:`~repro.perf.memo.CompileCache` sits in front; this shard is
+    the restart-surviving tier behind it.
+    """
+
+    def __init__(self, root, prefix_len: int = 2):
+        self.root = Path(root)
+        self.prefix_len = prefix_len
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.quarantined = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, fingerprint: str, key: str) -> Path:
+        shard = self.root / fingerprint[: self.prefix_len]
+        return shard / f"{fingerprint}-{_key_digest(key)}.json"
+
+    # -- read ----------------------------------------------------------------
+
+    def get(self, fingerprint: str, key: str) -> Optional[Dict]:
+        """The stored payload, or ``None`` (missing or quarantined)."""
+        path = self._path(fingerprint, key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        entry = self._load(path, expect_fingerprint=fingerprint, expect_key=key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def _load(
+        self,
+        path: Path,
+        expect_fingerprint: Optional[str] = None,
+        expect_key: Optional[str] = None,
+    ) -> Optional[Dict]:
+        """Parse and verify one entry file; quarantine it on any defect."""
+        try:
+            raw = json.loads(path.read_text())
+        except OSError:
+            return None  # vanished concurrently; nothing to quarantine
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(raw, dict) or not all(
+            field in raw for field in ("fingerprint", "key", "payload", "checksum")
+        ):
+            self._quarantine(path)
+            return None
+        expected = entry_checksum(raw["fingerprint"], raw["key"], raw["payload"])
+        if raw["checksum"] != expected:
+            self._quarantine(path)
+            return None
+        if expect_fingerprint is not None and raw["fingerprint"] != expect_fingerprint:
+            self._quarantine(path)
+            return None
+        if expect_key is not None and raw["key"] != expect_key:
+            self._quarantine(path)
+            return None
+        return raw
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside; only this entry is lost."""
+        try:
+            os.replace(path, str(path) + ".corrupt")
+        except OSError:
+            pass  # already moved by a concurrent loader
+        self.quarantined += 1
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, fingerprint: str, key: str, payload: Dict) -> Path:
+        """Atomically persist one entry; returns its path."""
+        path = self._path(fingerprint, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "fingerprint": fingerprint,
+            "key": key,
+            "payload": payload,
+            "checksum": entry_checksum(fingerprint, key, payload),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    # -- bulk ----------------------------------------------------------------
+
+    def load_all(self) -> Iterator[Tuple[str, str, Dict]]:
+        """Yield every valid ``(fingerprint, key, payload)`` in the shard.
+
+        Corrupt entries are quarantined one by one as they are hit; the
+        iteration continues past them.
+        """
+        for path in sorted(self.root.glob("*/*.json")):
+            entry = self._load(path)
+            if entry is None:
+                continue
+            if not path.name.startswith(entry["fingerprint"]):
+                # Entry verifies internally but sits under the wrong
+                # name — treat as corruption, not as a valid record.
+                self._quarantine(path)
+                continue
+            yield entry["fingerprint"], entry["key"], entry["payload"]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {
+            "store.hits": self.hits,
+            "store.misses": self.misses,
+            "store.stores": self.stores,
+            "store.quarantined": self.quarantined,
+        }

@@ -44,6 +44,28 @@ from repro.transforms import (
 )
 from repro.transforms.pass_manager import Pass, PassContext, PassManager
 
+#: Every compilation level, worst to best. ``none`` runs no passes at
+#: all — the paper's "unoptimized" column — and exists precisely so a
+#: degrading service always has a level that cannot fail.
+LEVELS = ("none", "base", "vliw")
+
+#: The quality ladder the compile service degrades along when an
+#: aggressive compile crashes, times out or trips the sanitizer: the
+#: paper's own measurement columns, best first.
+DEGRADATION_LADDER = ("vliw", "base", "none")
+
+
+def degradation_ladder(level: str) -> List[str]:
+    """The levels to attempt for a request at ``level``, best first.
+
+    ``degradation_ladder("vliw")`` is ``["vliw", "base", "none"]``; a
+    request already at ``none`` has nowhere left to fall.
+    """
+    if level not in DEGRADATION_LADDER:
+        raise ValueError(f"unknown level {level!r} (want one of {LEVELS})")
+    index = DEGRADATION_LADDER.index(level)
+    return list(DEGRADATION_LADDER[index:])
+
 
 @dataclass
 class CompileResult:

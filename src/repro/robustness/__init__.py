@@ -49,6 +49,7 @@ from repro.robustness.guard import (
 from repro.robustness.report import (
     FAILURE_KINDS,
     OUTCOMES,
+    REQUEST_FAILURE_KINDS,
     PassFailure,
     PassRecord,
     ResilienceReport,
@@ -80,6 +81,7 @@ __all__ = [
     "PassBudgetExceeded",
     "PassFailure",
     "PassRecord",
+    "REQUEST_FAILURE_KINDS",
     "ResilienceReport",
     "SanitizerFinding",
     "SanitizerResult",

@@ -89,19 +89,29 @@ class FaultPlan:
     """An ordered set of fault specs, applied to a pass list by wrapping."""
 
     faults: List[FaultSpec] = field(default_factory=list)
+    #: With ``lenient=True`` specs naming passes absent from the pipeline
+    #: are skipped instead of rejected. The serve layer needs this: one
+    #: request-level plan targeting ``vliw-scheduling`` must still apply
+    #: cleanly when the degradation ladder retries the request at
+    #: ``base`` or ``none``, where that pass does not exist.
+    lenient: bool = False
 
     def apply(self, passes: Sequence[Pass]) -> List[Pass]:
         """Wrap every pass a spec targets; reject typo'd pass names."""
         known = {p.name for p in passes}
-        for spec in self.faults:
-            if spec.pass_name not in known:
-                raise ValueError(
-                    f"fault plan targets unknown pass {spec.pass_name!r}; "
-                    f"pipeline has: {', '.join(sorted(known))}"
-                )
+        if self.lenient:
+            specs = [s for s in self.faults if s.pass_name in known]
+        else:
+            for spec in self.faults:
+                if spec.pass_name not in known:
+                    raise ValueError(
+                        f"fault plan targets unknown pass {spec.pass_name!r}; "
+                        f"pipeline has: {', '.join(sorted(known))}"
+                    )
+            specs = self.faults
         wrapped: List[Pass] = []
         for pss in passes:
-            for spec in self.faults:
+            for spec in specs:
                 if spec.pass_name == pss.name:
                     pss = FaultyPass(pss, spec)
             wrapped.append(pss)

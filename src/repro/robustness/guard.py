@@ -302,7 +302,7 @@ class GuardedPassManager(PassManager):
             attempt.failure = PassFailure(
                 index,
                 pss.name,
-                "budget",
+                "stall",
                 f"took {attempt.seconds:.3f}s, budget {self.budget_seconds:.3f}s",
             )
             return attempt
@@ -391,7 +391,7 @@ class GuardedPassManager(PassManager):
     ) -> BaseException:
         if failure.kind in ("exception", "verifier") and original is not None:
             return original
-        if failure.kind == "budget":
+        if failure.kind == "stall":
             return PassBudgetExceeded(
                 f"pass {failure.pass_name!r}: {failure.detail}"
             )

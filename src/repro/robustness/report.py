@@ -13,8 +13,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 #: Failure classes the guard distinguishes. ``containment`` means the
-#: speculation sanitizer saw an optimized-only fault on the paged model.
-FAILURE_KINDS = ("exception", "verifier", "divergence", "budget", "containment")
+#: speculation sanitizer saw an optimized-only fault on the paged model;
+#: ``stall`` means the pass blew through its wall-clock budget
+#: (``pass_budget_seconds``) and its result was discarded.
+FAILURE_KINDS = ("exception", "verifier", "divergence", "stall", "containment")
+
+#: Failure classes the compile *service* distinguishes per request
+#: attempt (see :mod:`repro.serve`): a worker process dying or a pass
+#: raising is a ``crash``; a request blowing its wall-clock deadline —
+#: whether the worker's own SIGALRM fired or the supervisor had to kill
+#: it — is a ``timeout``; ``sanitizer-violation`` is a speculation
+#: containment escape under ``sanitize=``; ``overload`` is load shedding
+#: (the request never reached a worker).
+REQUEST_FAILURE_KINDS = ("crash", "timeout", "sanitizer-violation", "overload")
 
 #: What ultimately happened to a pass.
 OUTCOMES = ("ok", "retried", "rolled-back", "raised")

@@ -1,0 +1,57 @@
+"""Fault-contained compile service: ``repro serve``.
+
+The "millions of users" architecture from ROADMAP item 1, with failure
+behaviour as the headline. A stateless, reentrant ``compile_module``
+core runs inside a supervised pool of **process-isolated** workers
+(:mod:`repro.serve.pool` / :mod:`repro.serve.worker`); the service layer
+(:mod:`repro.serve.service`) adds every containment mechanism a real
+fleet needs:
+
+- per-request hard deadlines — the worker arms ``SIGALRM`` around the
+  compile, and the supervisor kills the whole process if even that does
+  not come back;
+- crash containment — a dead worker is respawned automatically under
+  exponential-backoff throttling, and the request that was on it is
+  retried, not dropped;
+- bounded queues with backpressure — overload sheds (HTTP 429) instead
+  of queueing without bound;
+- retry **with degradation** — a request at ``vliw`` that crashes, times
+  out or trips the speculation sanitizer is retried down the paper's own
+  quality ladder ``vliw → base → none`` (unoptimized), so the service
+  always returns *some* correct binary; the degradation is recorded on
+  the response;
+- a per-fingerprint circuit breaker — known-poison inputs skip straight
+  to the safe level instead of burning deadlines re-proving the failure;
+- a two-tier compile cache — in-memory LRU
+  (:class:`~repro.perf.memo.CompileCache`) over a persisted, checksummed
+  shard (:class:`~repro.perf.store.PersistentCacheShard`) keyed by
+  module fingerprint, plus in-flight dedupe of identical compiles;
+- structured JSON health/stats endpoints.
+
+Front ends (:mod:`repro.serve.http`): an asyncio HTTP server
+(``POST /compile``, ``GET /healthz``, ``GET /stats``) and a JSON-lines
+stdin loop. See ``docs/SERVING.md`` for the failure matrix and
+``benchmarks/test_e11_serve_soak.py`` for the fault-injected soak proof.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.http import HttpFrontEnd, serve_http, serve_stdin
+from repro.serve.pool import WorkerPool
+from repro.serve.service import (
+    AttemptRecord,
+    CompileService,
+    ServeRequest,
+    ServeResponse,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CircuitBreaker",
+    "CompileService",
+    "HttpFrontEnd",
+    "ServeRequest",
+    "ServeResponse",
+    "WorkerPool",
+    "serve_http",
+    "serve_stdin",
+]

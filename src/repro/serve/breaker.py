@@ -1,0 +1,88 @@
+"""Per-(module fingerprint, level) circuit breaker.
+
+A module that reliably crashes or stalls the ``vliw`` pipeline would
+otherwise pay the full retry-with-degradation cost — two deadlines and
+a respawn — on *every* request. The breaker remembers: once a
+(fingerprint, level) pair has failed ``threshold`` times, the pair is
+**open** and :meth:`start_level` sends subsequent requests straight to
+the highest level that is not known-poisoned. After ``cooldown``
+seconds the pair goes half-open: one trial request may attempt the
+level again (the compiler may have been fixed, the stall may have been
+load), and a single further failure re-opens it immediately because the
+failure count is retained until a success clears it.
+"""
+
+import time
+from typing import Dict, List, Tuple
+
+
+class CircuitBreaker:
+    """Failure memory keyed by (module fingerprint, compile level)."""
+
+    def __init__(
+        self,
+        threshold: int = 2,
+        cooldown: float = 60.0,
+        clock=time.monotonic,
+    ):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures: Dict[Tuple[str, str], int] = {}
+        self._open_until: Dict[Tuple[str, str], float] = {}
+        self.opens = 0
+        self.skips = 0
+
+    def record_failure(self, fingerprint: str, level: str) -> None:
+        key = (fingerprint, level)
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count >= self.threshold:
+            if key not in self._open_until:
+                self.opens += 1
+            self._open_until[key] = self._clock() + self.cooldown
+
+    def record_success(self, fingerprint: str, level: str) -> None:
+        key = (fingerprint, level)
+        self._failures.pop(key, None)
+        self._open_until.pop(key, None)
+
+    def is_open(self, fingerprint: str, level: str) -> bool:
+        key = (fingerprint, level)
+        until = self._open_until.get(key)
+        if until is None:
+            return False
+        if self._clock() >= until:
+            # Half-open: allow one trial; the retained failure count
+            # re-opens on the next record_failure.
+            del self._open_until[key]
+            return False
+        return True
+
+    def start_index(self, fingerprint: str, ladder: List[str]) -> int:
+        """Index into ``ladder`` of the first level worth attempting.
+
+        Counts a skip when anything above it is open. If every level is
+        open the last (safest) one is attempted anyway — the service
+        never refuses to try.
+        """
+        for index, level in enumerate(ladder):
+            if not self.is_open(fingerprint, level):
+                if index:
+                    self.skips += 1
+                return index
+        self.skips += 1
+        return len(ladder) - 1
+
+    @property
+    def open_entries(self) -> int:
+        now = self._clock()
+        return sum(1 for until in self._open_until.values() if until > now)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "opens": self.opens,
+            "skips": self.skips,
+            "open_entries": self.open_entries,
+            "tracked": len(self._failures),
+        }

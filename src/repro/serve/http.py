@@ -1,0 +1,191 @@
+"""Front ends: asyncio HTTP server and a JSON-lines stdin loop.
+
+The HTTP surface is deliberately tiny (no framework, stdlib only):
+
+- ``POST /compile`` — JSON body ``{"ir": "...", "level": "vliw",
+  "options": {...}, "id": "...", "deadline": 2.0}``; answers the
+  :class:`~repro.serve.service.ServeResponse` wire dict. Status codes:
+  200 served, 400 rejected IR, 429 shed (backpressure), 500 failed.
+- ``GET /healthz`` — liveness; 200 with worker counts, 503 when no
+  worker is alive.
+- ``GET /stats`` — the structured JSON stats document (requests,
+  latency percentiles, degradations, cache/dedupe/breaker/pool
+  counters).
+
+Blocking service calls run on a dedicated thread pool sized past the
+service's ``max_pending`` so the shed logic — not an invisible executor
+queue — is what absorbs overload. Each connection serves one request
+(``Connection: close``): compile requests are long relative to
+connection setup, and one-shot connections keep the parser honest.
+
+``serve_stdin`` is the same service over JSON lines on stdin/stdout —
+handy behind an SSH pipe or in a test harness without sockets.
+"""
+
+import asyncio
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.serve.service import CompileService, ServeRequest
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: Cap on request bodies; a compile request is IR text, not a data set.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def request_from_wire(msg: Dict) -> ServeRequest:
+    """Build a :class:`ServeRequest` from a decoded JSON message."""
+    if not isinstance(msg, dict) or "ir" not in msg:
+        raise ValueError('body must be a JSON object with an "ir" field')
+    return ServeRequest(
+        ir=msg["ir"],
+        level=msg.get("level", "vliw"),
+        options=msg.get("options") or {},
+        inject=msg.get("inject"),
+        request_id=msg.get("id"),
+        deadline=msg.get("deadline"),
+    )
+
+
+class HttpFrontEnd:
+    """Minimal asyncio HTTP/1.1 server over a :class:`CompileService`."""
+
+    def __init__(
+        self,
+        service: CompileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=service.max_pending + 4,
+            thread_name_prefix="repro-serve",
+        )
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    # -- one connection ------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 — a bad request must not kill the server
+            status, payload = 400, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, reader) -> Tuple[int, Dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length > MAX_BODY_BYTES:
+            return 400, {"error": f"body too large ({length} bytes)"}
+        body = await reader.readexactly(length) if length else b""
+
+        if method == "GET" and path == "/healthz":
+            health = self.service.health()
+            return (200 if health["status"] == "ok" else 503), health
+        if method == "GET" and path == "/stats":
+            return 200, self.service.stats()
+        if method == "POST" and path == "/compile":
+            try:
+                message = json.loads(body)
+                request = request_from_wire(message)
+            except ValueError as exc:
+                return 400, {"error": str(exc)}
+            loop = asyncio.get_running_loop()
+            response = await loop.run_in_executor(
+                self._executor, self.service.compile, request
+            )
+            return response.http_status, response.to_dict()
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+async def serve_http(
+    service: CompileService,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    log=print,
+) -> None:
+    """Run the HTTP front end until cancelled."""
+    front = HttpFrontEnd(service, host, port)
+    await front.start()
+    log(f"# repro serve: listening on http://{host}:{front.port} "
+        f"(POST /compile, GET /healthz, GET /stats)")
+    try:
+        await front.serve_forever()
+    finally:
+        await front.stop()
+
+
+def serve_stdin(service: CompileService, stdin=None, stdout=None, log=None) -> int:
+    """JSON-lines mode: one request object per line in, one response out."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    served = 0
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = request_from_wire(json.loads(line))
+        except ValueError as exc:
+            print(json.dumps({"status": "reject", "detail": str(exc)}),
+                  file=stdout, flush=True)
+            continue
+        response = service.compile(request)
+        print(json.dumps(response.to_dict()), file=stdout, flush=True)
+        served += 1
+    if log is not None:
+        log(f"# repro serve: stdin closed after {served} requests")
+    return served

@@ -1,0 +1,257 @@
+"""Supervised pool of process-isolated compile workers.
+
+:class:`WorkerPool` owns N worker processes (:mod:`repro.serve.worker`)
+and the supervision logic around them:
+
+- **dispatch** — ``submit`` blocks until a worker is free, sends the
+  request over the worker's pipe and waits for the response;
+- **hard deadlines** — if no response arrives within the request
+  deadline plus a grace period (time for the worker's own SIGALRM to
+  answer first), the worker is killed outright and the request reports
+  ``timeout``;
+- **crash containment** — EOF on the pipe (the process died) reports
+  ``crash``; either way the request fails *cleanly* and the caller (the
+  service's degradation ladder) decides what to do next;
+- **supervised respawn with backoff** — a dead worker is respawned
+  automatically, but consecutive failures of the same slot back off
+  exponentially (base doubling up to a cap), so a crash-looping
+  environment throttles instead of fork-bombing. A successful request
+  resets the slot's backoff.
+
+The pool is thread-safe: the service layer calls ``submit`` from many
+threads, each of which exclusively holds one worker for the duration of
+its request.
+"""
+
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.serve.worker import worker_main
+
+
+def _mp_context():
+    # fork is dramatically cheaper per respawn; fall back where absent.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _WorkerHandle:
+    """One worker slot: process + pipe + respawn bookkeeping."""
+
+    def __init__(self, slot: int, ctx):
+        self.slot = slot
+        self.ctx = ctx
+        self.proc = None
+        self.conn = None
+        self.alive = False
+        #: Consecutive failures since the last successful request.
+        self.failures = 0
+        #: Monotonic time before which this slot must not respawn.
+        self.respawn_at = 0.0
+        #: Lifetime respawn count for this slot.
+        self.restarts = 0
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.slot),
+            name=f"repro-serve-worker-{self.slot}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.proc = proc
+        self.conn = parent_conn
+        self.alive = True
+
+    def kill(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.proc is not None:
+            self.proc.terminate()
+            self.proc.join(timeout=0.5)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=0.5)
+        self.alive = False
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self.proc.exitcode if self.proc is not None else None
+
+
+class WorkerPool:
+    """Process-isolated compile workers with supervised respawn."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        deadline: float = 10.0,
+        grace: float = 1.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        start: bool = True,
+    ):
+        self.deadline = deadline
+        self.grace = grace
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._ctx = _mp_context()
+        self._handles: List[_WorkerHandle] = [
+            _WorkerHandle(i, self._ctx) for i in range(workers)
+        ]
+        self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._started = False
+        self.requests = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.respawns = 0
+        if start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            for handle in self._handles:
+                handle.spawn()
+                self._idle.put(handle)
+            self._started = True
+
+    def stop(self) -> None:
+        with self._lock:
+            self._started = False
+            while True:
+                try:
+                    self._idle.get_nowait()
+                except queue.Empty:
+                    break
+            for handle in self._handles:
+                if handle.alive and handle.conn is not None:
+                    try:
+                        handle.conn.send(None)
+                    except (BrokenPipeError, OSError):
+                        pass
+                handle.kill()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def submit(self, request: Dict, deadline: Optional[float] = None) -> Dict:
+        """Run one request on a worker; always returns a response dict.
+
+        Failure responses use ``status`` ``"crash"`` (process died) or
+        ``"timeout"`` (hard deadline, worker killed); everything else is
+        whatever the worker itself answered.
+        """
+        if not self._started:
+            raise RuntimeError("WorkerPool is not started")
+        budget = deadline if deadline is not None else (
+            request.get("deadline") or self.deadline
+        )
+        request = dict(request, deadline=budget)
+        handle = self._acquire()
+        with self._lock:
+            self.requests += 1
+        try:
+            handle.conn.send(request)
+        except (BrokenPipeError, OSError):
+            self._fail(handle, "crash")
+            return {
+                "status": "crash",
+                "detail": f"worker {handle.slot} pipe closed before send",
+            }
+        if not handle.conn.poll(budget + self.grace):
+            exit_note = self._fail(handle, "timeout")
+            return {
+                "status": "timeout",
+                "detail": (
+                    f"no response within {budget + self.grace:.2f}s; "
+                    f"worker {handle.slot} killed{exit_note}"
+                ),
+            }
+        try:
+            response = handle.conn.recv()
+        except (EOFError, OSError):
+            exit_note = self._fail(handle, "crash")
+            return {
+                "status": "crash",
+                "detail": f"worker {handle.slot} died mid-request{exit_note}",
+            }
+        self._release(handle)
+        return response
+
+    # -- supervision ---------------------------------------------------------
+
+    def _acquire(self) -> _WorkerHandle:
+        while True:
+            self._maybe_respawn()
+            try:
+                return self._idle.get(timeout=0.05)
+            except queue.Empty:
+                continue
+
+    def _release(self, handle: _WorkerHandle) -> None:
+        handle.failures = 0
+        self._idle.put(handle)
+
+    def _fail(self, handle: _WorkerHandle, kind: str) -> str:
+        """Record a failure, kill the slot, schedule its respawn."""
+        exitcode = handle.exitcode
+        with self._lock:
+            if kind == "timeout":
+                self.timeouts += 1
+            else:
+                self.crashes += 1
+            handle.kill()
+            handle.failures += 1
+            delay = min(
+                self.backoff_base * (2 ** (handle.failures - 1)),
+                self.backoff_cap,
+            )
+            handle.respawn_at = time.monotonic() + delay
+        return f" (exit {exitcode})" if exitcode is not None else ""
+
+    def _maybe_respawn(self) -> None:
+        with self._lock:
+            if not self._started:
+                return
+            now = time.monotonic()
+            for handle in self._handles:
+                if not handle.alive and now >= handle.respawn_at:
+                    handle.spawn()
+                    handle.restarts += 1
+                    self.respawns += 1
+                    self._idle.put(handle)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "workers": len(self._handles),
+                "alive": sum(1 for h in self._handles if h.alive),
+                "requests": self.requests,
+                "crashes": self.crashes,
+                "timeouts": self.timeouts,
+                "respawns": self.respawns,
+                "restarts_by_worker": [h.restarts for h in self._handles],
+            }
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

@@ -1,0 +1,478 @@
+"""The compile service: validation, caching, dedupe, backpressure and
+the retry-with-degradation ladder.
+
+:class:`CompileService` is the synchronous, thread-safe logic layer
+between a front end (:mod:`repro.serve.http`) and the worker pool
+(:mod:`repro.serve.pool`). One request flows through:
+
+1. **backpressure** — more than ``max_pending`` requests in flight and
+   the request is shed immediately (``shed`` / HTTP 429); a queue with
+   no bound is just a slower crash;
+2. **validation** — unparseable or verifier-rejected IR is a ``reject``
+   (HTTP 400) without ever touching a worker;
+3. **cache** — in-memory LRU (:class:`~repro.perf.memo.CompileCache`)
+   in front of the persisted, checksummed shard
+   (:class:`~repro.perf.store.PersistentCacheShard`), both keyed by
+   (module fingerprint, config key). Only results served at the
+   *requested* level are cached — degraded results stay out so a fixed
+   compiler restores full quality without cache invalidation;
+4. **in-flight dedupe** — identical concurrent compiles share one
+   worker execution; followers wait and reuse the leader's response;
+5. **the ladder** — the request is attempted at each level of
+   :func:`repro.pipeline.degradation_ladder` starting from the best the
+   circuit breaker still trusts. Transient failures (worker crash,
+   timeout) get one same-level retry; deterministic failures (a pass
+   raising, a sanitizer violation) degrade immediately. Every attempt
+   is recorded on the response, and each given-up failure feeds the
+   breaker.
+
+``level="none"`` runs zero passes, so short of the worker fleet being
+unspawnable, every well-formed request ends in a correct binary.
+"""
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+from repro.perf.fingerprint import fingerprint_module
+from repro.perf.memo import CompileCache, config_key
+from repro.perf.store import PersistentCacheShard
+from repro.pipeline import degradation_ladder
+from repro.robustness.report import REQUEST_FAILURE_KINDS
+from repro.serve.breaker import CircuitBreaker
+
+
+@dataclass
+class ServeRequest:
+    """One compile request, front-end agnostic."""
+
+    ir: str
+    level: str = "vliw"
+    #: Pipeline options forwarded to the worker: ``unroll_factor``,
+    #: ``software_pipelining``, ``resilience``, ``sanitize``,
+    #: ``diff_seed``, ``pass_budget``, ``fault_plan`` (compact spec).
+    options: Dict = field(default_factory=dict)
+    #: Fault drill (tests/soak only): see :mod:`repro.serve.worker`.
+    inject: Optional[Dict] = None
+    request_id: Optional[str] = None
+    #: Per-request wall-clock budget; None uses the service default.
+    deadline: Optional[float] = None
+
+
+@dataclass
+class AttemptRecord:
+    """One ladder attempt and how it ended."""
+
+    level: str
+    status: str  # "ok" or one of REQUEST_FAILURE_KINDS
+    detail: str = ""
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "level": self.level,
+            "status": self.status,
+            "detail": self.detail,
+            "seconds": round(self.seconds, 4),
+        }
+
+
+@dataclass
+class ServeResponse:
+    """The service's answer; serialises to the wire format."""
+
+    status: str  # "ok" | "reject" | "shed" | "failed"
+    level_requested: str
+    level_served: Optional[str] = None
+    ir: Optional[str] = None
+    static_instructions: Optional[int] = None
+    degraded: bool = False
+    cached: bool = False
+    deduped: bool = False
+    breaker_skip: bool = False
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    latency_seconds: float = 0.0
+    fingerprint: str = ""
+    detail: str = ""
+    request_id: Optional[str] = None
+
+    @property
+    def http_status(self) -> int:
+        return {"ok": 200, "reject": 400, "shed": 429}.get(self.status, 500)
+
+    def to_dict(self) -> Dict:
+        return {
+            "status": self.status,
+            "level_requested": self.level_requested,
+            "level_served": self.level_served,
+            "ir": self.ir,
+            "static_instructions": self.static_instructions,
+            "degraded": self.degraded,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "breaker_skip": self.breaker_skip,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "latency_seconds": round(self.latency_seconds, 4),
+            "fingerprint": self.fingerprint,
+            "detail": self.detail,
+            "request_id": self.request_id,
+        }
+
+
+class _Inflight:
+    """Rendezvous for deduped identical compiles."""
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: Optional[ServeResponse] = None
+
+
+class CompileService:
+    """Thread-safe compile-as-a-service core."""
+
+    def __init__(
+        self,
+        pool,
+        cache: Optional[CompileCache] = None,
+        store: Optional[PersistentCacheShard] = None,
+        max_pending: int = 64,
+        deadline: float = 10.0,
+        retry_per_level: int = 1,
+        breaker: Optional[CircuitBreaker] = None,
+        warm_start: bool = True,
+    ):
+        self.pool = pool
+        self.cache = cache if cache is not None else CompileCache(max_entries=256)
+        self.store = store
+        self.max_pending = max_pending
+        self.deadline = deadline
+        self.retry_per_level = retry_per_level
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._lock = threading.Lock()
+        self._inflight: Dict = {}
+        self._pending = 0
+        self._started_at = time.time()
+        self.requests = 0
+        self.completed = 0
+        self.shed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.degraded = 0
+        self.dedupe_hits = 0
+        self.store_hits = 0
+        self.failures_by_kind: Dict[str, int] = {
+            kind: 0 for kind in REQUEST_FAILURE_KINDS
+        }
+        self.served_by_level: Dict[str, int] = {}
+        self._latencies: List[float] = []
+        if self.store is not None and warm_start:
+            for fp, key, payload in self.store.load_all():
+                self.cache.store_fp(fp, key, payload)
+
+    # -- entry point ---------------------------------------------------------
+
+    def compile(self, request: ServeRequest) -> ServeResponse:
+        """Serve one request end to end; never raises."""
+        start = time.perf_counter()
+        with self._lock:
+            self.requests += 1
+            admitted = self._pending < self.max_pending
+            if admitted:
+                self._pending += 1
+            else:
+                self.shed += 1
+                self.failures_by_kind["overload"] += 1
+                pending = self._pending
+        if not admitted:
+            return self._finish(
+                ServeResponse(
+                    status="shed",
+                    level_requested=request.level,
+                    detail=(
+                        f"{pending} requests already pending "
+                        f"(limit {self.max_pending}); retry later"
+                    ),
+                    request_id=request.request_id,
+                ),
+                start,
+            )
+        try:
+            response = self._compile(request)
+        except Exception as exc:  # noqa: BLE001 — the service must not die
+            response = ServeResponse(
+                status="failed",
+                level_requested=request.level,
+                detail=f"internal error: {type(exc).__name__}: {exc}",
+                request_id=request.request_id,
+            )
+        finally:
+            with self._lock:
+                self._pending -= 1
+        return self._finish(response, start)
+
+    def _finish(self, response: ServeResponse, start: float) -> ServeResponse:
+        response.latency_seconds = time.perf_counter() - start
+        with self._lock:
+            self._latencies.append(response.latency_seconds)
+            if len(self._latencies) > 100_000:
+                del self._latencies[: len(self._latencies) // 2]
+            if response.status == "ok":
+                self.completed += 1
+                level = response.level_served or response.level_requested
+                self.served_by_level[level] = self.served_by_level.get(level, 0) + 1
+                if response.degraded:
+                    self.degraded += 1
+            elif response.status == "reject":
+                self.rejected += 1
+            elif response.status == "failed":
+                self.failed += 1
+        return response
+
+    # -- pipeline ------------------------------------------------------------
+
+    def _compile(self, request: ServeRequest) -> ServeResponse:
+        try:
+            module = parse_module(request.ir)
+            verify_module(module)
+        except Exception as exc:
+            return ServeResponse(
+                status="reject",
+                level_requested=request.level,
+                detail=f"{type(exc).__name__}: {exc}",
+                request_id=request.request_id,
+            )
+        fp = fingerprint_module(module)
+        key = config_key(request.level, **request.options)
+
+        # Fault drills bypass the read path — a cache hit would swallow
+        # the injection the test asked for — but their (sound) results
+        # may still be stored below.
+        if request.inject is None:
+            hit = self._cache_get(fp, key)
+            if hit is not None:
+                return ServeResponse(
+                    status="ok",
+                    level_requested=request.level,
+                    level_served=hit["level_served"],
+                    ir=hit["ir"],
+                    static_instructions=hit.get("static_instructions"),
+                    cached=True,
+                    fingerprint=fp,
+                    request_id=request.request_id,
+                )
+            leader, entry = self._join_inflight(fp, key)
+            if not leader:
+                return self._await_leader(request, entry, fp)
+            response = None
+            try:
+                response = self._run_ladder(request, fp, key)
+            finally:
+                entry.response = response
+                entry.event.set()
+                with self._lock:
+                    self._inflight.pop((fp, key), None)
+            return response
+        return self._run_ladder(request, fp, key)
+
+    def _cache_get(self, fp: str, key: str) -> Optional[Dict]:
+        hit = self.cache.lookup_fp(fp, key)
+        if hit is not None:
+            return hit
+        if self.store is not None:
+            payload = self.store.get(fp, key)
+            if payload is not None:
+                with self._lock:
+                    self.store_hits += 1
+                self.cache.store_fp(fp, key, payload)
+                return payload
+        return None
+
+    def _join_inflight(self, fp: str, key: str):
+        with self._lock:
+            entry = self._inflight.get((fp, key))
+            if entry is not None:
+                self.dedupe_hits += 1
+                return False, entry
+            entry = _Inflight()
+            self._inflight[(fp, key)] = entry
+            return True, entry
+
+    def _await_leader(
+        self, request: ServeRequest, entry: _Inflight, fp: str
+    ) -> ServeResponse:
+        # Worst case the leader walks the whole ladder with retries;
+        # the timeout is defensive only (the leader's finally always
+        # fires in-process).
+        budget = (request.deadline or self.deadline) + getattr(
+            self.pool, "grace", 1.0
+        )
+        ladder_len = len(degradation_ladder(request.level))
+        entry.event.wait(timeout=budget * ladder_len * (1 + self.retry_per_level) + 5.0)
+        leader_response = entry.response
+        if leader_response is None:
+            return ServeResponse(
+                status="failed",
+                level_requested=request.level,
+                detail="deduped leader never answered",
+                fingerprint=fp,
+                request_id=request.request_id,
+            )
+        return replace(
+            leader_response,
+            deduped=True,
+            attempts=list(leader_response.attempts),
+            request_id=request.request_id,
+        )
+
+    # -- the degradation ladder ----------------------------------------------
+
+    def _run_ladder(
+        self, request: ServeRequest, fp: str, key: str
+    ) -> ServeResponse:
+        ladder = degradation_ladder(request.level)
+        start_index = self.breaker.start_index(fp, ladder)
+        attempts: List[AttemptRecord] = []
+        attempt_no = 0
+        for level in ladder[start_index:]:
+            failures_here = 0
+            while True:
+                worker_request = {
+                    "ir": request.ir,
+                    "level": level,
+                    "attempt": attempt_no,
+                    "options": request.options,
+                    "inject": request.inject,
+                    "deadline": request.deadline or self.deadline,
+                }
+                began = time.perf_counter()
+                answer = self.pool.submit(worker_request)
+                seconds = time.perf_counter() - began
+                attempt_no += 1
+                status = answer.get("status", "error")
+                if status == "ok":
+                    self.breaker.record_success(fp, level)
+                    attempts.append(AttemptRecord(level, "ok", seconds=seconds))
+                    payload = {
+                        "ir": answer["ir"],
+                        "level_served": level,
+                        "static_instructions": answer.get("static_instructions"),
+                    }
+                    if level == request.level:
+                        self.cache.store_fp(fp, key, payload)
+                        if self.store is not None:
+                            self.store.put(fp, key, payload)
+                    return ServeResponse(
+                        status="ok",
+                        level_requested=request.level,
+                        level_served=level,
+                        ir=answer["ir"],
+                        static_instructions=answer.get("static_instructions"),
+                        degraded=level != request.level,
+                        breaker_skip=start_index > 0,
+                        attempts=attempts,
+                        fingerprint=fp,
+                        request_id=request.request_id,
+                    )
+                if status == "reject":
+                    # The service already verified this IR; a worker
+                    # reject means the two disagree — surface loudly.
+                    return ServeResponse(
+                        status="failed",
+                        level_requested=request.level,
+                        detail=f"worker rejected validated IR: {answer.get('detail')}",
+                        attempts=attempts,
+                        fingerprint=fp,
+                        request_id=request.request_id,
+                    )
+                kind = self._failure_kind(status)
+                attempts.append(
+                    AttemptRecord(level, kind, answer.get("detail", ""), seconds)
+                )
+                with self._lock:
+                    self.failures_by_kind[kind] += 1
+                self.breaker.record_failure(fp, level)
+                failures_here += 1
+                # Crashes and timeouts may be transient (a poisoned
+                # worker, a load spike): one same-level retry. An
+                # in-worker exception or sanitizer violation is
+                # deterministic for this input — degrade immediately.
+                if status in ("crash", "timeout") and failures_here <= self.retry_per_level:
+                    continue
+                break
+        return ServeResponse(
+            status="failed",
+            level_requested=request.level,
+            detail="every ladder level failed",
+            attempts=attempts,
+            fingerprint=fp,
+            request_id=request.request_id,
+        )
+
+    @staticmethod
+    def _failure_kind(status: str) -> str:
+        if status in ("crash", "error"):
+            return "crash"
+        if status == "timeout":
+            return "timeout"
+        if status == "sanitizer-violation":
+            return "sanitizer-violation"
+        return "crash"
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> Dict:
+        pool = self.pool.stats()
+        healthy = pool.get("alive", 0) > 0
+        return {
+            "status": "ok" if healthy else "degraded",
+            "workers_alive": pool.get("alive", 0),
+            "workers": pool.get("workers", 0),
+            "pending": self._pending,
+            "uptime_seconds": round(time.time() - self._started_at, 1),
+        }
+
+    def stats(self) -> Dict:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            counts = {
+                "total": self.requests,
+                "ok": self.completed,
+                "degraded": self.degraded,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "pending": self._pending,
+            }
+            failures = dict(self.failures_by_kind)
+            levels = dict(self.served_by_level)
+            dedupe = {"hits": self.dedupe_hits, "inflight": len(self._inflight)}
+            store_hits = self.store_hits
+        cache = dict(self.cache.counters)
+        if self.store is not None:
+            cache.update(self.store.counters)
+        cache["store.promotions"] = store_hits
+        return {
+            "uptime_seconds": round(time.time() - self._started_at, 1),
+            "requests": counts,
+            "latency_ms": {
+                "p50": _percentile(latencies, 0.50) * 1e3,
+                "p99": _percentile(latencies, 0.99) * 1e3,
+                "count": len(latencies),
+            },
+            "levels_served": levels,
+            "failures": failures,
+            "cache": cache,
+            "dedupe": dedupe,
+            "breaker": self.breaker.stats(),
+            "pool": self.pool.stats(),
+        }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[index]

@@ -1,0 +1,200 @@
+"""The compile worker process: one request in, one response out.
+
+Each worker is a separate OS process running :func:`worker_main` — a
+loop that receives request dicts over a pipe, compiles, and sends
+response dicts back. Process isolation is the containment boundary: a
+pass that segfaults the interpreter, leaks without bound or wedges the
+GIL takes out *its* process, and the supervising
+:class:`~repro.serve.pool.WorkerPool` respawns it.
+
+Deadlines are enforced in two layers:
+
+1. **soft** — the worker arms ``SIGALRM`` (``setitimer``, fractional
+   seconds) around the compile; an over-deadline pure-Python compile is
+   interrupted and reported as a ``timeout`` response with the worker
+   still healthy;
+2. **hard** — if the worker does not answer within deadline + grace
+   (hung in C, spinning with signals blocked, or simply dead), the
+   supervisor kills the process. That path is the pool's, not ours.
+
+Requests may carry an ``inject`` dict for fault drills (the soak
+benchmark and the serve tests): ``worker-crash`` exits the process
+mid-request, ``hang`` sleeps unresponsively so the supervisor must
+hard-kill, ``soft-hang`` stalls under the armed alarm so the worker
+itself answers ``timeout``. Injections fire only on the listed request
+``attempt`` numbers, so a retry of the same request can succeed.
+"""
+
+import os
+import signal
+import time
+from typing import Dict, Optional
+
+from repro.ir.parser import parse_module
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+from repro.pipeline import compile_module
+from repro.robustness.faults import FaultPlan
+from repro.robustness.guard import ContainmentViolationError
+
+
+class DeadlineExceeded(Exception):
+    """Raised by the worker's own SIGALRM when the compile overruns."""
+
+
+def _alarm_handler(signum, frame):
+    raise DeadlineExceeded()
+
+
+class _deadline:
+    """Arm SIGALRM for ``seconds``; no-op where unavailable."""
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self):
+        if self.seconds and hasattr(signal, "SIGALRM"):
+            self._previous = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _inject_spec(request: Dict) -> Optional[Dict]:
+    """The request's fault drill, if it applies to this attempt."""
+    inject = request.get("inject")
+    if not inject:
+        return None
+    attempts = inject.get("attempts")
+    if attempts is not None and request.get("attempt", 0) not in attempts:
+        return None
+    return inject
+
+
+def _maybe_inject(request: Dict) -> None:
+    """Apply a pre-deadline fault drill.
+
+    ``worker-crash`` dies abruptly (the supervisor sees EOF on the
+    pipe); ``hang`` sleeps with no alarm armed, forcing the
+    supervisor's hard-kill path. (``soft-hang`` sleeps *inside* the
+    armed deadline instead — see :func:`handle_request`.)
+    """
+    inject = _inject_spec(request)
+    if not inject:
+        return
+    kind = inject.get("kind")
+    if kind == "worker-crash":
+        os._exit(13)
+    if kind == "hang":
+        time.sleep(float(inject.get("seconds", 3600.0)))
+
+
+def handle_request(request: Dict, worker_id: int) -> Dict:
+    """Compile one request dict into a response dict (never raises)."""
+    _maybe_inject(request)
+    try:
+        module = parse_module(request["ir"])
+        verify_module(module)
+    except Exception as exc:
+        return {
+            "status": "reject",
+            "detail": f"{type(exc).__name__}: {exc}",
+            "worker": worker_id,
+        }
+
+    level = request.get("level", "vliw")
+    options = request.get("options") or {}
+    fault_plan = None
+    if options.get("fault_plan"):
+        fault_plan = FaultPlan.parse(options["fault_plan"])
+        # One request-level plan must apply at every ladder level, even
+        # where a targeted pass does not exist.
+        fault_plan.lenient = True
+    resilience = options.get("resilience")
+    sanitize = bool(options.get("sanitize", False))
+    if sanitize and resilience is None:
+        # Sanitizing demands a guarded pipeline; strict makes a
+        # containment escape a hard failure the ladder can degrade on.
+        resilience = "strict"
+
+    try:
+        with _deadline(request.get("deadline")):
+            inject = _inject_spec(request)
+            if inject and inject.get("kind") == "soft-hang":
+                # Interruptible stall under the armed alarm: exercises
+                # the worker-survives soft-timeout path.
+                time.sleep(float(inject.get("seconds", 3600.0)))
+            result = compile_module(
+                module,
+                level=level,
+                unroll_factor=int(options.get("unroll_factor", 2)),
+                software_pipelining=bool(
+                    options.get("software_pipelining", True)
+                ),
+                resilience=resilience,
+                sanitize=sanitize,
+                diff_seed=int(options.get("diff_seed", 0)),
+                fault_plan=fault_plan,
+                pass_budget_seconds=options.get("pass_budget"),
+            )
+    except DeadlineExceeded:
+        return {
+            "status": "timeout",
+            "detail": f"compile exceeded {request.get('deadline'):.2f}s deadline",
+            "level": level,
+            "worker": worker_id,
+        }
+    except ContainmentViolationError as exc:
+        return {
+            "status": "sanitizer-violation",
+            "detail": str(exc),
+            "level": level,
+            "worker": worker_id,
+        }
+    except Exception as exc:
+        return {
+            "status": "error",
+            "detail": f"{type(exc).__name__}: {exc}",
+            "level": level,
+            "worker": worker_id,
+        }
+
+    response = {
+        "status": "ok",
+        "ir": format_module(result.module),
+        "level": level,
+        "static_instructions": result.static_instructions,
+        "compile_seconds": result.compile_seconds,
+        "worker": worker_id,
+    }
+    if result.resilience is not None:
+        response["rollbacks"] = result.resilience.rollbacks
+    return response
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """The worker process entry point: serve requests until EOF/None."""
+    # The supervisor owns lifecycle; a Ctrl-C at the front end must not
+    # race the supervisor's orderly shutdown of this process.
+    if hasattr(signal, "SIGINT"):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        if request is None:
+            break
+        response = handle_request(request, worker_id)
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()

@@ -1,9 +1,16 @@
 """Campaign driver and CLI plumbing (kept cheap: base level, few seeds)."""
 
 from repro.__main__ import main
-from repro.fuzz.driver import run_fuzz, signature_predicate
+from repro.fuzz.driver import (
+    CRASH_SEEDS_ENV,
+    fuzz_seed,
+    run_fuzz,
+    signature_predicate,
+)
 from repro.fuzz.generate import GenConfig, generate_module
 from repro.fuzz.oracle import Finding, OracleConfig
+
+QUICK = OracleConfig(bisect=False, quick=True)
 
 
 class TestRunFuzz:
@@ -27,6 +34,57 @@ class TestRunFuzz:
             oracle_cfg=OracleConfig(bisect=False, quick=True),
         )
         assert stats.seeds_run < 10_000
+
+
+class TestCrashContainment:
+    def test_oracle_exception_becomes_crash_finding(self, monkeypatch):
+        monkeypatch.setenv(CRASH_SEEDS_ENV, "2:raise")
+        findings, stats = run_fuzz(
+            seeds=4, level="base", oracle_cfg=QUICK,
+        )
+        assert stats.seeds_run == 4
+        assert [f.kind for f in findings] == ["crash"]
+        assert findings[0].seed == 2
+        assert "injected oracle crash" in findings[0].detail
+
+    def test_seed_timeout_becomes_crash_finding(self, monkeypatch):
+        monkeypatch.setenv(CRASH_SEEDS_ENV, "1:hang")
+        findings, stats = run_fuzz(
+            seeds=3, level="base", seed_timeout=0.2, oracle_cfg=QUICK,
+        )
+        assert stats.seeds_run == 3
+        assert [f.seed for f in findings] == [1]
+        assert findings[0].kind == "crash"
+        assert "per-seed timeout" in findings[0].detail
+
+    def test_fuzz_seed_never_raises(self, monkeypatch):
+        monkeypatch.setenv(CRASH_SEEDS_ENV, "7:raise")
+        findings = fuzz_seed(7, "base", QUICK)
+        assert [f.kind for f in findings] == ["crash"]
+
+    def test_hard_worker_death_is_contained_in_parallel_campaign(
+        self, monkeypatch
+    ):
+        # Seed 3's worker dies via os._exit: the pool breaks, is rebuilt,
+        # the in-flight cohort is retried one at a time, and exactly seed 3
+        # is blamed. Every other seed still completes.
+        monkeypatch.setenv(CRASH_SEEDS_ENV, "3:exit")
+        findings, stats = run_fuzz(
+            seeds=8, level="base", jobs=2, oracle_cfg=QUICK,
+        )
+        assert stats.seeds_run == 8
+        crash = [f for f in findings if f.kind == "crash"]
+        assert [f.seed for f in crash] == [3]
+        assert "worker process died" in crash[0].detail
+
+    def test_parallel_seed_timeout(self, monkeypatch):
+        monkeypatch.setenv(CRASH_SEEDS_ENV, "2:hang")
+        findings, stats = run_fuzz(
+            seeds=4, level="base", jobs=2, seed_timeout=0.2,
+            oracle_cfg=QUICK,
+        )
+        assert stats.seeds_run == 4
+        assert [f.seed for f in findings if f.kind == "crash"] == [2]
 
 
 class TestSignaturePredicate:

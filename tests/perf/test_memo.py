@@ -50,18 +50,51 @@ class TestCompileCache:
         cache.store(parse_module(SRC), config_key("vliw"), "result")
         assert cache.lookup(parse_module(SRC), config_key("base")) is None
 
-    def test_eviction_is_fifo(self):
+    def test_eviction_is_lru(self):
         cache = CompileCache(max_entries=2)
         first = parse_module(SRC)
         second = parse_module(SRC.replace("1", "2"))
         third = parse_module(SRC.replace("1", "3"))
         cache.store(first, "k", "a")
         cache.store(second, "k", "b")
+        # Touch "a": it becomes most-recent, so storing "c" evicts "b".
+        assert cache.lookup(first, "k") == "a"
         cache.store(third, "k", "c")
         assert len(cache) == 2
-        assert cache.lookup(first, "k") is None
-        assert cache.lookup(second, "k") == "b"
+        assert cache.lookup(first, "k") == "a"
+        assert cache.lookup(second, "k") is None
         assert cache.lookup(third, "k") == "c"
+        assert cache.evictions == 1
+
+    def test_restore_refreshes_recency(self):
+        # Re-storing an existing key must move it to most-recent, not
+        # duplicate it or change the entry count.
+        cache = CompileCache(max_entries=2)
+        first = parse_module(SRC)
+        second = parse_module(SRC.replace("1", "2"))
+        third = parse_module(SRC.replace("1", "3"))
+        cache.store(first, "k", "a")
+        cache.store(second, "k", "b")
+        cache.store(first, "k", "a2")
+        assert len(cache) == 2
+        cache.store(third, "k", "c")
+        assert cache.lookup(first, "k") == "a2"
+        assert cache.lookup(second, "k") is None
+
+    def test_counters_snapshot(self):
+        cache = CompileCache(max_entries=1)
+        first = parse_module(SRC)
+        second = parse_module(SRC.replace("1", "2"))
+        cache.store(first, "k", "a")
+        cache.lookup(first, "k")
+        cache.lookup(second, "k")
+        cache.store(second, "k", "b")
+        assert cache.counters == {
+            "cache.hits": 1,
+            "cache.misses": 1,
+            "cache.evictions": 1,
+            "cache.entries": 1,
+        }
 
 
 class TestMeasureMemo:
@@ -124,6 +157,15 @@ class TestMemoExecutionMatrix:
         measure(wl, "vliw", memo=cache)  # prime the cache
         with pytest.raises(AssertionError, match="reference"):
             measure(wl, "vliw", memo=cache, check_against=10**9, mem_model="paged")
+
+    def test_cache_counters_land_on_resilience_report(self):
+        cache = CompileCache()
+        wl = _workload("compress")
+        cold = measure(wl, "vliw", memo=cache, resilience="retry")
+        warm = measure(wl, "vliw", memo=cache, resilience="retry")
+        assert cold.resilience_report.counters["cache.misses"] == 1
+        assert warm.resilience_report.counters["cache.hits"] == 1
+        assert warm.resilience_report.counters["cache.evictions"] == 0
 
     def test_mem_model_does_not_split_the_cache(self):
         # The memory model is an execution knob, not a compile input: a

@@ -1,0 +1,131 @@
+"""PersistentCacheShard: checksummed persistence, per-entry quarantine.
+
+The corruption contract under test: a bit-flipped (or truncated, or
+misnamed) entry file is quarantined *individually* — renamed
+``*.corrupt`` — while every other entry in the shard keeps serving.
+Corruption of one file must never discard the shard.
+"""
+
+import json
+
+from repro.perf.store import PersistentCacheShard, entry_checksum
+
+FP_A = "aa" + "0" * 30
+FP_B = "bb" + "1" * 30
+FP_C = "aa" + "2" * 30  # same prefix directory as FP_A
+
+
+def _fill(store):
+    store.put(FP_A, "vliw", {"ir": "func a", "static_instructions": 3})
+    store.put(FP_B, "vliw", {"ir": "func b", "static_instructions": 4})
+    store.put(FP_C, "base", {"ir": "func c", "static_instructions": 5})
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        payload = {"ir": "func a", "static_instructions": 3}
+        store.put(FP_A, "vliw", payload)
+        assert store.get(FP_A, "vliw") == payload
+        assert store.get(FP_A, "base") is None  # different config key
+        assert store.get(FP_B, "vliw") is None
+        assert store.counters["store.hits"] == 1
+        assert store.counters["store.misses"] == 2
+
+    def test_survives_reopen(self, tmp_path):
+        _fill(PersistentCacheShard(tmp_path))
+        reopened = PersistentCacheShard(tmp_path)
+        assert reopened.get(FP_B, "vliw") == {
+            "ir": "func b", "static_instructions": 4,
+        }
+        assert len(reopened) == 3
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        store.put(FP_A, "vliw", {"ir": "old"})
+        path = store.put(FP_A, "vliw", {"ir": "new"})
+        assert store.get(FP_A, "vliw") == {"ir": "new"}
+        # No stray temp files left behind.
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_sharded_by_fingerprint_prefix(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        _fill(store)
+        assert (tmp_path / "aa").is_dir() and (tmp_path / "bb").is_dir()
+        assert len(list((tmp_path / "aa").glob("*.json"))) == 2
+
+    def test_load_all_yields_every_entry(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        _fill(store)
+        entries = {(fp, key) for fp, key, _ in store.load_all()}
+        assert entries == {(FP_A, "vliw"), (FP_B, "vliw"), (FP_C, "base")}
+
+
+class TestQuarantine:
+    def _bit_flip(self, path):
+        """Flip one bit inside the stored payload, keeping valid JSON."""
+        entry = json.loads(path.read_text())
+        entry["payload"]["ir"] = entry["payload"]["ir"][:-1] + "X"
+        path.write_text(json.dumps(entry))
+
+    def test_bit_flip_quarantines_only_that_entry(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        _fill(store)
+        victim = store._path(FP_A, "vliw")
+        self._bit_flip(victim)
+
+        fresh = PersistentCacheShard(tmp_path)
+        assert fresh.get(FP_A, "vliw") is None
+        # The corrupt file was renamed aside, not deleted, and nothing
+        # else in the same prefix directory was touched.
+        assert not victim.exists()
+        assert victim.with_name(victim.name + ".corrupt").exists()
+        assert fresh.get(FP_C, "base") == {
+            "ir": "func c", "static_instructions": 5,
+        }
+        assert fresh.get(FP_B, "vliw") == {
+            "ir": "func b", "static_instructions": 4,
+        }
+        assert fresh.counters["store.quarantined"] == 1
+
+    def test_load_all_continues_past_corruption(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        _fill(store)
+        self._bit_flip(store._path(FP_A, "vliw"))
+        fresh = PersistentCacheShard(tmp_path)
+        survivors = {(fp, key) for fp, key, _ in fresh.load_all()}
+        assert survivors == {(FP_B, "vliw"), (FP_C, "base")}
+        assert fresh.counters["store.quarantined"] == 1
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        _fill(store)
+        victim = store._path(FP_B, "vliw")
+        victim.write_text(victim.read_text()[: len(victim.read_text()) // 2])
+        assert store.get(FP_B, "vliw") is None
+        assert victim.with_name(victim.name + ".corrupt").exists()
+
+    def test_wrong_fingerprint_under_right_name_is_quarantined(self, tmp_path):
+        # An internally-consistent entry sitting under another entry's
+        # filename is corruption (e.g. a botched restore), not a hit.
+        store = PersistentCacheShard(tmp_path)
+        payload = {"ir": "func z"}
+        entry = {
+            "fingerprint": FP_B,
+            "key": "vliw",
+            "payload": payload,
+            "checksum": entry_checksum(FP_B, "vliw", payload),
+        }
+        target = store._path(FP_A, "vliw")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(entry))
+        assert store.get(FP_A, "vliw") is None
+        assert target.with_name(target.name + ".corrupt").exists()
+
+    def test_quarantined_entry_can_be_rewritten(self, tmp_path):
+        store = PersistentCacheShard(tmp_path)
+        _fill(store)
+        self._bit_flip(store._path(FP_A, "vliw"))
+        assert store.get(FP_A, "vliw") is None
+        store.put(FP_A, "vliw", {"ir": "func a2"})
+        assert store.get(FP_A, "vliw") == {"ir": "func a2"}

@@ -1,0 +1,108 @@
+"""``pass_budget_seconds`` deadline enforcement in the guarded pipeline.
+
+The contract under test: a pass that blows through its wall-clock
+budget is *discarded and reported*, never allowed to hang the compile.
+``rollback`` restores the snapshot and records a ``stall``-kind
+failure naming the pass; ``strict`` raises :class:`PassBudgetExceeded`;
+``retry`` re-runs the pass once and keeps the result when the retry
+lands under budget.
+"""
+
+import time
+
+import pytest
+
+from repro.ir import parse_module, verify_module
+from repro.machine.interpreter import run_function
+from repro.pipeline import compile_module
+from repro.robustness import FaultPlan, FaultSpec, PassBudgetExceeded
+
+SRC = """
+func main(r3):
+    AI r3, r3, 7
+    AI r3, r3, -2
+    RET
+"""
+
+STALL = 0.4     # injected sleep inside the faulted pass
+BUDGET = 0.1    # wall-clock allowance per pass
+
+
+def _stall_plan(times: int = 0) -> FaultPlan:
+    return FaultPlan(
+        [FaultSpec(pass_name="dce", kind="stall", seconds=STALL, times=times)]
+    )
+
+
+class TestBudgetEnforcement:
+    def test_rollback_records_stall_not_hang(self):
+        t0 = time.monotonic()
+        result = compile_module(
+            parse_module(SRC),
+            "vliw",
+            resilience="rollback",
+            fault_plan=_stall_plan(times=1),
+            pass_budget_seconds=BUDGET,
+        )
+        elapsed = time.monotonic() - t0
+        # Bounded: one cooperative stall, nowhere near a hang.
+        assert elapsed < 10 * STALL
+        verify_module(result.module)
+        assert run_function(result.module, "main", [0]).value == 5
+        report = result.resilience
+        assert report.rollbacks == 1
+        assert report.failed_passes() == ["dce"]
+        failure = report.failures[0]
+        assert failure.kind == "stall"
+        assert "budget" in failure.detail
+
+    def test_strict_raises_pass_budget_exceeded(self):
+        with pytest.raises(PassBudgetExceeded, match="dce"):
+            compile_module(
+                parse_module(SRC),
+                "vliw",
+                resilience="strict",
+                fault_plan=_stall_plan(),
+                pass_budget_seconds=BUDGET,
+            )
+
+    def test_retry_heals_a_one_shot_stall(self):
+        # The stall fires once; the retry runs clean and under budget, so
+        # the compile succeeds with the stall recorded but not fatal.
+        result = compile_module(
+            parse_module(SRC),
+            "vliw",
+            resilience="retry",
+            fault_plan=_stall_plan(times=1),
+            pass_budget_seconds=BUDGET,
+        )
+        verify_module(result.module)
+        assert run_function(result.module, "main", [0]).value == 5
+        report = result.resilience
+        retried = [r for r in report.records if r.outcome == "retried"]
+        assert [r.name for r in retried] == ["dce"]
+        # The healed stall is not a surviving failure.
+        assert report.failures == []
+        assert report.failed_passes() == []
+
+    def test_under_budget_pass_is_not_penalised(self):
+        result = compile_module(
+            parse_module(SRC),
+            "vliw",
+            resilience="rollback",
+            pass_budget_seconds=5.0,
+        )
+        assert result.resilience.rollbacks == 0
+        assert result.resilience.failures == []
+
+    def test_no_budget_means_no_stall_failures(self):
+        # Without a budget the stalled pass is merely slow, not a failure.
+        result = compile_module(
+            parse_module(SRC),
+            "vliw",
+            resilience="rollback",
+            fault_plan=FaultPlan(
+                [FaultSpec(pass_name="dce", kind="stall", seconds=0.05)]
+            ),
+        )
+        assert result.resilience.failures == []

@@ -53,7 +53,7 @@ def test_random_program_flat_and_paged(seed):
     assert report is not None
     assert report.diff_seed == seed
     for failure in report.failures:
-        assert failure.kind in ("exception", "verifier", "divergence", "budget")
+        assert failure.kind in ("exception", "verifier", "divergence", "stall")
 
     for args in standard_argsets():
         for mem_model in ("flat", "paged"):

@@ -50,7 +50,7 @@ EXPECTED_FAILURE = {
     "raise": "exception",
     "corrupt-ir": "verifier",
     "skew": "divergence",
-    "stall": "budget",
+    "stall": "stall",
 }
 
 

@@ -1,0 +1,1 @@
+"""Tests for the fault-contained compile service (repro.serve)."""

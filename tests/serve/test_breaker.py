@@ -1,0 +1,72 @@
+"""CircuitBreaker: open/half-open transitions and ladder start index."""
+
+from repro.serve.breaker import CircuitBreaker
+
+FP = "f" * 32
+LADDER = ["vliw", "base", "none"]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBreaker:
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=60.0, clock=FakeClock())
+        breaker.record_failure(FP, "vliw")
+        assert not breaker.is_open(FP, "vliw")
+        breaker.record_failure(FP, "vliw")
+        assert breaker.is_open(FP, "vliw")
+        assert breaker.opens == 1
+
+    def test_keys_are_per_level_and_per_fingerprint(self):
+        breaker = CircuitBreaker(threshold=1, clock=FakeClock())
+        breaker.record_failure(FP, "vliw")
+        assert breaker.is_open(FP, "vliw")
+        assert not breaker.is_open(FP, "base")
+        assert not breaker.is_open("0" * 32, "vliw")
+
+    def test_success_clears_failure_memory(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure(FP, "vliw")
+        breaker.record_success(FP, "vliw")
+        breaker.record_failure(FP, "vliw")
+        assert not breaker.is_open(FP, "vliw")
+
+    def test_half_open_after_cooldown_reopens_on_one_failure(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+        breaker.record_failure(FP, "vliw")
+        breaker.record_failure(FP, "vliw")
+        assert breaker.is_open(FP, "vliw")
+        clock.now = 11.0
+        # Cooldown elapsed: one trial allowed...
+        assert not breaker.is_open(FP, "vliw")
+        # ...but the retained failure count re-opens on the next failure.
+        breaker.record_failure(FP, "vliw")
+        assert breaker.is_open(FP, "vliw")
+
+    def test_start_index_skips_open_levels(self):
+        breaker = CircuitBreaker(threshold=1, clock=FakeClock())
+        assert breaker.start_index(FP, LADDER) == 0
+        breaker.record_failure(FP, "vliw")
+        assert breaker.start_index(FP, LADDER) == 1
+        assert breaker.skips == 1
+
+    def test_start_index_all_open_still_tries_safest(self):
+        breaker = CircuitBreaker(threshold=1, clock=FakeClock())
+        for level in LADDER:
+            breaker.record_failure(FP, level)
+        assert breaker.start_index(FP, LADDER) == len(LADDER) - 1
+
+    def test_stats_shape(self):
+        breaker = CircuitBreaker(threshold=1, clock=FakeClock())
+        breaker.record_failure(FP, "vliw")
+        stats = breaker.stats()
+        assert stats["opens"] == 1
+        assert stats["open_entries"] == 1
+        assert stats["tracked"] == 1

@@ -1,0 +1,161 @@
+"""HTTP front end and the JSON-lines stdin loop.
+
+The front end runs on a real socket (port 0) with the asyncio loop on
+a background thread; requests go through ``http.client`` so the
+hand-rolled parser sees genuine wire bytes. The service underneath
+uses a scripted fake pool — worker realism lives in
+``test_worker_pool.py``.
+"""
+
+import asyncio
+import io
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.serve.http import HttpFrontEnd, request_from_wire, serve_stdin
+from repro.serve.service import CompileService
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+OK = {"status": "ok", "ir": "func main(r3):\n    RET\n", "static_instructions": 2}
+
+
+class FakePool:
+    grace = 0.1
+
+    def submit(self, request, deadline=None):
+        return dict(OK)
+
+    def stats(self):
+        return {"workers": 1, "alive": 1}
+
+
+class DeadPool(FakePool):
+    def stats(self):
+        return {"workers": 1, "alive": 0}
+
+
+def _serve(service):
+    front = HttpFrontEnd(service)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(front.start(), loop).result(timeout=5)
+
+    def teardown():
+        asyncio.run_coroutine_threadsafe(front.stop(), loop).result(timeout=5)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=2)
+
+    return front, teardown
+
+
+@pytest.fixture()
+def front():
+    front, teardown = _serve(CompileService(FakePool(), deadline=1.0))
+    yield front
+    teardown()
+
+
+def _call(front, method, path, body=None):
+    conn = HTTPConnection("127.0.0.1", front.port, timeout=10)
+    payload = json.dumps(body) if isinstance(body, dict) else body
+    conn.request(method, path, body=payload)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    conn.close()
+    return response.status, data
+
+
+class TestCompileEndpoint:
+    def test_post_compile_ok(self, front):
+        status, data = _call(front, "POST", "/compile",
+                             {"ir": SRC, "level": "vliw", "id": "r1"})
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["level_served"] == "vliw"
+        assert data["request_id"] == "r1"
+        assert "func main" in data["ir"]
+
+    def test_post_invalid_ir_is_400(self, front):
+        status, data = _call(front, "POST", "/compile", {"ir": "garbage"})
+        assert status == 400
+        assert data["status"] == "reject"
+
+    def test_post_malformed_json_is_400(self, front):
+        status, data = _call(front, "POST", "/compile", "{not json")
+        assert status == 400
+        assert "error" in data
+
+    def test_post_missing_ir_field_is_400(self, front):
+        status, data = _call(front, "POST", "/compile", {"level": "vliw"})
+        assert status == 400
+        assert "ir" in data["error"]
+
+
+class TestOtherRoutes:
+    def test_healthz_ok(self, front):
+        status, data = _call(front, "GET", "/healthz")
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["workers_alive"] == 1
+
+    def test_healthz_degraded_is_503(self):
+        front, teardown = _serve(CompileService(DeadPool(), deadline=1.0))
+        try:
+            status, data = _call(front, "GET", "/healthz")
+            assert status == 503
+            assert data["status"] == "degraded"
+        finally:
+            teardown()
+
+    def test_stats_counts_requests(self, front):
+        _call(front, "POST", "/compile", {"ir": SRC})
+        status, data = _call(front, "GET", "/stats")
+        assert status == 200
+        assert data["requests"]["total"] == 1
+        assert data["requests"]["ok"] == 1
+        assert "latency_ms" in data and "pool" in data
+
+    def test_unknown_route_is_404(self, front):
+        status, data = _call(front, "GET", "/nope")
+        assert status == 404
+
+
+class TestWire:
+    def test_request_from_wire_requires_ir(self):
+        with pytest.raises(ValueError):
+            request_from_wire({"level": "vliw"})
+        with pytest.raises(ValueError):
+            request_from_wire(["not", "a", "dict"])
+
+    def test_request_from_wire_defaults(self):
+        request = request_from_wire({"ir": SRC})
+        assert request.level == "vliw"
+        assert request.options == {}
+        assert request.deadline is None
+
+
+class TestStdinLoop:
+    def test_json_lines_round_trip(self):
+        service = CompileService(FakePool(), deadline=1.0)
+        stdin = io.StringIO(
+            json.dumps({"ir": SRC, "id": "a"}) + "\n"
+            + "\n"  # blank lines are skipped
+            + "not json\n"
+            + json.dumps({"ir": SRC, "id": "b"}) + "\n"
+        )
+        stdout = io.StringIO()
+        served = serve_stdin(service, stdin=stdin, stdout=stdout)
+        lines = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert served == 2
+        assert [l["status"] for l in lines] == ["ok", "reject", "ok"]
+        assert lines[0]["request_id"] == "a"
+        assert lines[2]["request_id"] == "b"

@@ -1,0 +1,271 @@
+"""CompileService logic against a scripted in-process fake pool.
+
+Everything above the process boundary — the degradation ladder, retry
+policy, breaker integration, caching, dedupe and backpressure — is
+deterministic logic, so it is tested here with a FakePool that answers
+from a script. Real worker processes are exercised in
+``test_worker_pool.py`` and the soak benchmark.
+"""
+
+import threading
+import time
+
+from repro.perf.memo import CompileCache
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.service import CompileService, ServeRequest
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+OK = {"status": "ok", "ir": "func main(r3):\n    RET\n", "static_instructions": 2}
+
+
+class FakePool:
+    """Answers ``submit`` from a handler; records every worker request."""
+
+    grace = 0.1
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.calls = []
+
+    def submit(self, request, deadline=None):
+        self.calls.append(request)
+        return self.handler(request)
+
+    def stats(self):
+        return {"workers": 1, "alive": 1}
+
+
+def scripted(script):
+    """``script``: (level, attempt-index-at-level) -> response dict."""
+    seen = {}
+
+    def handler(request):
+        level = request["level"]
+        index = seen.get(level, 0)
+        seen[level] = index + 1
+        return script(level, index)
+
+    return FakePool(handler)
+
+
+def service(pool, **kwargs):
+    kwargs.setdefault("cache", CompileCache(max_entries=8))
+    kwargs.setdefault("deadline", 1.0)
+    return CompileService(pool, **kwargs)
+
+
+class TestHappyPath:
+    def test_ok_at_requested_level(self):
+        svc = service(FakePool(lambda _req: dict(OK)))
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.status == "ok"
+        assert response.level_served == "vliw"
+        assert not response.degraded and not response.cached
+        assert [a.status for a in response.attempts] == ["ok"]
+        assert response.http_status == 200
+
+    def test_second_identical_request_is_a_cache_hit(self):
+        pool = FakePool(lambda _req: dict(OK))
+        svc = service(pool)
+        svc.compile(ServeRequest(ir=SRC))
+        warm = svc.compile(ServeRequest(ir=SRC))
+        assert warm.status == "ok" and warm.cached
+        assert len(pool.calls) == 1
+
+    def test_options_split_the_cache(self):
+        pool = FakePool(lambda _req: dict(OK))
+        svc = service(pool)
+        svc.compile(ServeRequest(ir=SRC, options={"unroll_factor": 2}))
+        miss = svc.compile(ServeRequest(ir=SRC, options={"unroll_factor": 4}))
+        assert not miss.cached
+        assert len(pool.calls) == 2
+
+
+class TestLadder:
+    def test_deterministic_failure_degrades_immediately(self):
+        pool = scripted(
+            lambda level, _i: {"status": "error", "detail": "pass blew up"}
+            if level == "vliw" else dict(OK)
+        )
+        svc = service(pool)
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.status == "ok"
+        assert response.level_served == "base"
+        assert response.degraded
+        assert [(a.level, a.status) for a in response.attempts] == [
+            ("vliw", "crash"), ("base", "ok"),
+        ]
+
+    def test_transient_crash_gets_one_same_level_retry(self):
+        pool = scripted(
+            lambda level, i: {"status": "crash", "detail": "worker died"}
+            if level == "vliw" and i == 0 else dict(OK)
+        )
+        svc = service(pool)
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.status == "ok"
+        assert response.level_served == "vliw"
+        assert not response.degraded
+        assert [(a.level, a.status) for a in response.attempts] == [
+            ("vliw", "crash"), ("vliw", "ok"),
+        ]
+
+    def test_timeout_retries_then_degrades(self):
+        pool = scripted(
+            lambda level, _i: {"status": "timeout", "detail": "killed"}
+            if level == "vliw" else dict(OK)
+        )
+        svc = service(pool)
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.level_served == "base" and response.degraded
+        assert [(a.level, a.status) for a in response.attempts] == [
+            ("vliw", "timeout"), ("vliw", "timeout"), ("base", "ok"),
+        ]
+
+    def test_every_level_failing_is_a_failed_response(self):
+        svc = service(FakePool(lambda _req: {"status": "error", "detail": "no"}))
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.status == "failed"
+        assert response.http_status == 500
+        assert "every ladder level failed" in response.detail
+        assert [a.level for a in response.attempts] == ["vliw", "base", "none"]
+
+    def test_degraded_results_are_not_cached(self):
+        pool = scripted(
+            lambda level, _i: {"status": "error"} if level == "vliw" else dict(OK)
+        )
+        svc = service(pool)
+        first = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        second = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert first.degraded and second.degraded
+        assert not second.cached  # a fixed compiler restores full quality
+
+    def test_worker_reject_of_validated_ir_fails_loudly(self):
+        svc = service(FakePool(lambda _req: {"status": "reject", "detail": "??"}))
+        response = svc.compile(ServeRequest(ir=SRC))
+        assert response.status == "failed"
+        assert "worker rejected validated IR" in response.detail
+
+
+class TestBreakerIntegration:
+    def test_known_poison_input_skips_to_safe_level(self):
+        pool = scripted(
+            lambda level, _i: {"status": "error"} if level == "vliw" else dict(OK)
+        )
+        svc = service(pool, breaker=CircuitBreaker(threshold=1, cooldown=60.0))
+        first = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert first.degraded and not first.breaker_skip
+        second = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert second.status == "ok"
+        assert second.breaker_skip
+        # No vliw attempt at all the second time around.
+        assert [a.level for a in second.attempts] == ["base"]
+
+    def test_success_closes_the_breaker(self):
+        responses = {"fail": True}
+        pool = scripted(
+            lambda level, _i: {"status": "error"}
+            if level == "vliw" and responses["fail"] else dict(OK)
+        )
+        svc = service(pool, breaker=CircuitBreaker(threshold=2, cooldown=0.0))
+        svc.compile(ServeRequest(ir=SRC, level="vliw", inject={"kind": "none"}))
+        responses["fail"] = False
+        healed = svc.compile(ServeRequest(ir=SRC, level="vliw", inject={"kind": "none"}))
+        assert healed.level_served == "vliw" and not healed.degraded
+
+
+class TestAdmission:
+    def test_invalid_ir_is_rejected_without_a_worker(self):
+        pool = FakePool(lambda _req: dict(OK))
+        svc = service(pool)
+        response = svc.compile(ServeRequest(ir="this is not IR"))
+        assert response.status == "reject"
+        assert response.http_status == 400
+        assert pool.calls == []
+
+    def test_backpressure_sheds_over_the_pending_limit(self):
+        svc = service(FakePool(lambda _req: dict(OK)), max_pending=0)
+        response = svc.compile(ServeRequest(ir=SRC))
+        assert response.status == "shed"
+        assert response.http_status == 429
+        assert svc.failures_by_kind["overload"] == 1
+
+    def test_internal_error_becomes_failed_response(self):
+        def explode(_req):
+            raise RuntimeError("supervisor bug")
+
+        svc = service(FakePool(explode))
+        response = svc.compile(ServeRequest(ir=SRC))
+        assert response.status == "failed"
+        assert "supervisor bug" in response.detail
+
+
+class TestDedupe:
+    def test_concurrent_identical_compiles_share_one_execution(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def handler(_req):
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return dict(OK)
+
+        pool = FakePool(handler)
+        svc = service(pool)
+        results = {}
+
+        def leader():
+            results["leader"] = svc.compile(ServeRequest(ir=SRC, request_id="L"))
+
+        def follower():
+            results["follower"] = svc.compile(ServeRequest(ir=SRC, request_id="F"))
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        assert entered.wait(timeout=5.0)
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        # Let the follower reach the rendezvous before releasing.
+        for _ in range(500):
+            if svc.dedupe_hits:
+                break
+            time.sleep(0.01)
+        release.set()
+        t1.join(timeout=5.0)
+        t2.join(timeout=5.0)
+        assert results["leader"].status == "ok"
+        assert results["follower"].status == "ok"
+        assert results["follower"].deduped
+        assert results["follower"].request_id == "F"
+        assert len(pool.calls) == 1
+        assert svc.dedupe_hits == 1
+
+
+class TestStats:
+    def test_stats_document_shape(self):
+        svc = service(FakePool(lambda _req: dict(OK)))
+        svc.compile(ServeRequest(ir=SRC))
+        svc.compile(ServeRequest(ir=SRC))
+        svc.compile(ServeRequest(ir="bogus"))
+        stats = svc.stats()
+        assert stats["requests"]["total"] == 3
+        assert stats["requests"]["ok"] == 2
+        assert stats["requests"]["rejected"] == 1
+        assert stats["levels_served"] == {"vliw": 2}
+        assert stats["cache"]["cache.hits"] == 1
+        assert stats["latency_ms"]["count"] == 3
+        assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"] >= 0
+        assert set(stats["failures"]) == {
+            "crash", "timeout", "sanitizer-violation", "overload",
+        }
+
+    def test_health_reflects_pool(self):
+        svc = service(FakePool(lambda _req: dict(OK)))
+        health = svc.health()
+        assert health["status"] == "ok"
+        assert health["workers_alive"] == 1

@@ -1,0 +1,127 @@
+"""WorkerPool against real worker processes: crash, hang, respawn.
+
+These tests cross the process boundary on purpose — they are the proof
+that a worker dying or hanging cannot take the supervisor with it.
+Deadlines are kept short so the whole file stays in CI budget.
+"""
+
+import time
+
+import pytest
+
+from repro.serve.pool import WorkerPool
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+
+@pytest.fixture()
+def pool():
+    with WorkerPool(workers=2, deadline=5.0, grace=1.0,
+                    backoff_base=0.01, backoff_cap=0.1) as p:
+        yield p
+
+
+def _request(**overrides):
+    request = {"ir": SRC, "level": "vliw", "attempt": 0, "options": {}}
+    request.update(overrides)
+    return request
+
+
+class TestHappyPath:
+    def test_compile_round_trip(self, pool):
+        answer = pool.submit(_request())
+        assert answer["status"] == "ok"
+        assert "func main" in answer["ir"]
+        assert answer["static_instructions"] > 0
+
+    def test_invalid_ir_is_a_reject_not_a_crash(self, pool):
+        answer = pool.submit(_request(ir="garbage"))
+        assert answer["status"] == "reject"
+        assert pool.crashes == 0
+
+
+class TestCrashContainment:
+    def test_worker_crash_is_contained_and_respawned(self, pool):
+        answer = pool.submit(
+            _request(inject={"kind": "worker-crash"})
+        )
+        assert answer["status"] == "crash"
+        assert "died" in answer["detail"] or "pipe" in answer["detail"]
+        assert pool.crashes == 1
+        # The next request finds a live worker and succeeds.
+        healed = pool.submit(_request())
+        assert healed["status"] == "ok"
+        # Respawn is lazy (acquire-time, after backoff): keep submitting
+        # until the supervisor has brought the dead slot back.
+        for _ in range(100):
+            if pool.stats()["respawns"] >= 1:
+                break
+            time.sleep(0.02)
+            pool.submit(_request())
+        assert pool.stats()["respawns"] >= 1
+        assert pool.stats()["alive"] == 2
+
+    def test_soft_deadline_in_worker_answers_timeout(self, pool):
+        # Sleep shorter than the hard kill but past the soft alarm: the
+        # worker survives and answers "timeout" itself.
+        answer = pool.submit(
+            _request(inject={"kind": "soft-hang", "seconds": 1.0}),
+            deadline=0.3,
+        )
+        assert answer["status"] == "timeout"
+        # Soft timeouts do not kill the worker.
+        assert pool.stats()["alive"] == 2
+
+    def test_hard_hang_is_killed_at_the_deadline(self, pool):
+        # "hang" sleeps before the alarm is armed, so only the
+        # supervisor's hard deadline can save the request.
+        answer = pool.submit(
+            _request(inject={"kind": "hang", "seconds": 30.0}),
+            deadline=0.3,
+        )
+        assert answer["status"] == "timeout"
+        assert "killed" in answer["detail"]
+        assert pool.timeouts == 1
+        healed = pool.submit(_request())
+        assert healed["status"] == "ok"
+
+
+class TestBackoff:
+    def test_consecutive_crashes_back_off_exponentially(self):
+        with WorkerPool(workers=1, deadline=5.0, backoff_base=0.05,
+                        backoff_cap=10.0) as pool:
+            handle = pool._handles[0]
+            pool.submit(_request(inject={"kind": "worker-crash"}))
+            assert handle.failures == 1
+            first_delay = handle.respawn_at
+            pool.submit(_request(inject={"kind": "worker-crash"}))
+            assert handle.failures == 2
+            # The second window ends later than the first by at least
+            # the doubled base delay.
+            assert handle.respawn_at > first_delay
+
+    def test_success_resets_the_backoff(self, pool):
+        pool.submit(_request(inject={"kind": "worker-crash"}))
+        pool.submit(_request())  # success on some worker resets it
+        assert all(h.failures == 0 for h in pool._handles if h.alive)
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_kills_workers(self):
+        pool = WorkerPool(workers=2, deadline=5.0)
+        procs = [h.proc for h in pool._handles]
+        pool.stop()
+        pool.stop()
+        for proc in procs:
+            proc.join(timeout=2.0)
+            assert not proc.is_alive()
+
+    def test_submit_after_stop_raises(self):
+        pool = WorkerPool(workers=1, deadline=5.0)
+        pool.stop()
+        with pytest.raises(RuntimeError):
+            pool.submit(_request())
