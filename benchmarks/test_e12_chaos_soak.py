@@ -1,0 +1,373 @@
+"""E12 — chaos soak: SIGKILL mid-load, filesystem faults, full recovery.
+
+Runs ``repro serve`` as a real subprocess (a SIGKILL you can believe in)
+with the chaos filesystem armed on its journal and cache shard, drives
+it with concurrent clients, kills it -9 mid-load, restarts it on the
+same ``--state-dir``/``--cache-dir`` and proves the crash-durability
+contract end to end:
+
+- **zero corrupt results served** — every binary served in either epoch
+  is executed and differentially checked against its reference;
+- **100% eventual completion** — every request the clients submitted is
+  eventually answered ``ok`` (phase 1 or the post-restart re-drive) and
+  the journal's recovered backlog drains to zero;
+- **bounded recovery** — the restarted service reaches ``healthz`` 200
+  (through the 503 ``recovering`` window) inside ``RECOVERY_BOUND``;
+- **fs-fault mix above 10%** — injected ENOSPC/EIO/torn writes as a
+  fraction of chaos-fs operations, proven from the service's own
+  counters, with every armed kind observed firing;
+- **state survives restart** — counters restored from the checkpoint,
+  journal replay evidenced, and the SIGTERM at the end exits 0 (the
+  graceful-shutdown satellite, asserted out-of-process).
+
+Environment knobs (CI runs 60s / 2 workers): ``CHAOS_SOAK_SECONDS``,
+``CHAOS_SOAK_WORKERS``. Writes ``BENCH_chaos.json``.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+import pytest
+
+from repro.ir import format_module, parse_module
+from repro.machine import run_function
+from repro.robustness.chaosfs import ChaosSpec
+from repro.robustness.faults import FaultPlan
+from repro.workloads import suite
+
+SOAK_SECONDS = float(os.environ.get("CHAOS_SOAK_SECONDS", "8"))
+WORKERS = int(os.environ.get("CHAOS_SOAK_WORKERS", "2"))
+CLIENT_THREADS = 6
+HOSTAGES = 4
+RECOVERY_BOUND = 30.0
+BENCH_JSON = Path("BENCH_chaos.json")
+
+#: The fs-fault mix. Writes are the hot path (journal appends, shard
+#: publications); rates are chosen so injections exceed 10% of all
+#: chaos-fs operations with margin. ``crash`` is deliberately absent —
+#: this soak's power loss is a real SIGKILL, not a simulated one.
+CHAOS_SPECS = [
+    ChaosSpec(kind="enospc", op="write", p=0.06),
+    ChaosSpec(kind="eio", op="write", p=0.06),
+    ChaosSpec(kind="torn-write", op="write", p=0.05),
+    ChaosSpec(kind="eio", op="fsync", p=0.10),
+    ChaosSpec(kind="eio", op="fsync-dir", p=0.15),
+]
+
+
+class ServerProc:
+    """One ``repro serve`` subprocess: spawn, log-tail, talk, kill."""
+
+    def __init__(self, state_dir, cache_dir, plan_path, port=0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path("src").resolve())
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--port", str(port), "--workers", str(WORKERS),
+             "--deadline", "5", "--grace", "1",
+             "--state-dir", str(state_dir), "--cache-dir", str(cache_dir),
+             "--checkpoint-every", "32", "--drain-seconds", "10",
+             "--worker-mem-mb", "256",
+             "--fault-plan", str(plan_path), "--chaos-seed", "0"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.started_at = time.monotonic()
+        self.lines = []
+        self._lock = threading.Lock()
+        self._tail = threading.Thread(target=self._drain, daemon=True)
+        self._tail.start()
+        self.port = self._await_port()
+
+    def _drain(self):
+        for line in self.proc.stderr:
+            with self._lock:
+                self.lines.append(line.rstrip())
+
+    def log_line(self, needle, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                for line in self.lines:
+                    if needle in line:
+                        return line
+            if self.proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        with self._lock:
+            tail = "\n".join(self.lines[-20:])
+        raise AssertionError(f"no {needle!r} in server log within {timeout}s:\n{tail}")
+
+    def _await_port(self):
+        line = self.log_line("listening on http://")
+        return int(line.rsplit(":", 1)[1].split()[0])
+
+    def call(self, method, path, body=None, timeout=15.0):
+        conn = HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            conn.request(method, path,
+                         body=json.dumps(body) if body is not None else None)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def sigkill(self):
+        self.proc.kill()  # SIGKILL: no handler, no drain, no flush
+        self.proc.wait(timeout=10)
+
+    def sigterm_and_wait(self, timeout=30.0):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+
+def _corpus():
+    entries = []
+    for wl in suite():
+        module = wl.fresh_module()
+        reference = run_function(
+            module, wl.entry, list(wl.args), max_steps=10_000_000
+        ).value
+        entries.append({
+            "name": wl.name,
+            "ir": format_module(wl.fresh_module()),
+            "entry": wl.entry,
+            "args": list(wl.args),
+            "reference": reference,
+        })
+    return entries
+
+
+def _body(index, corpus):
+    entry = corpus[index % len(corpus)]
+    body = {"ir": entry["ir"], "level": "vliw", "id": str(index)}
+    if index % 5 != 0:
+        # Unique config key: a guaranteed cache miss, so the request is
+        # journaled and the shard is written — the chaos fs stays hot.
+        body["options"] = {"soak_nonce": index}
+    return body, entry
+
+
+def _drive(server, corpus, seconds, results, start_index=0):
+    """Hammer the server from CLIENT_THREADS; record outcomes by index.
+
+    ``results[index] = (response_dict | None, entry)`` — None means the
+    connection died (the SIGKILL window) and the request is in doubt.
+    """
+    lock = threading.Lock()
+    counter = {"next": start_index}
+    stop_at = time.monotonic() + seconds
+    stop = threading.Event()
+
+    def client():
+        while time.monotonic() < stop_at and not stop.is_set():
+            with lock:
+                index = counter["next"]
+                counter["next"] += 1
+            body, entry = _body(index, corpus)
+            try:
+                _status, data = server.call("POST", "/compile", body)
+            except Exception:
+                data = None
+            with lock:
+                results[index] = (data, entry)
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENT_THREADS)]
+    for thread in threads:
+        thread.start()
+    return threads, stop, counter
+
+
+def _take_hostages(server, corpus, count):
+    """Slow in-flight requests so the SIGKILL provably interrupts work."""
+
+    def hostage(index):
+        body, _entry = _body(10_000 + index, corpus)
+        body["id"] = f"hostage-{index}"
+        body["inject"] = {"kind": "soft-hang", "seconds": 30.0, "attempts": [0]}
+        try:
+            server.call("POST", "/compile", body, timeout=60.0)
+        except Exception:
+            pass  # the point is to die mid-flight
+
+    threads = [threading.Thread(target=hostage, args=(i,), daemon=True)
+               for i in range(count)]
+    for thread in threads:
+        thread.start()
+    return threads
+
+
+def _check_binary(data, entry):
+    module = parse_module(data["ir"])
+    value = run_function(
+        module, entry["entry"], list(entry["args"]), max_steps=10_000_000
+    ).value
+    assert value == entry["reference"], (
+        f"{entry['name']}: served binary computed {value}, "
+        f"reference {entry['reference']} (level {data['level_served']})"
+    )
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+def test_e12_chaos_soak(tmp_path):
+    corpus = _corpus()
+    state_dir = tmp_path / "state"
+    cache_dir = tmp_path / "cache"
+    plan_path = tmp_path / "chaos-plan.json"
+    plan = FaultPlan()
+    plan.chaos.extend(CHAOS_SPECS)
+    plan_path.write_text(plan.to_json())
+
+    # ---- phase 1: load, then pull the plug ------------------------------
+    first = ServerProc(state_dir, cache_dir, plan_path)
+    results = {}
+    kill_after = max(1.0, SOAK_SECONDS * 0.5)
+    threads, stop, _counter = _drive(first, corpus, SOAK_SECONDS, results)
+    time.sleep(kill_after)
+    _status, pre_kill = first.call("GET", "/stats")
+    _take_hostages(first, corpus, HOSTAGES)
+    time.sleep(0.7)  # hostages are now journaled and mid-compile
+    first.sigkill()
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    answered = {i: (d, e) for i, (d, e) in results.items() if d is not None}
+    in_doubt = [i for i, (d, _e) in results.items() if d is None]
+    assert answered, "phase 1 served nothing — soak setup is broken"
+    assert all(d["status"] == "ok" for d, _e in answered.values()), [
+        (d["status"], d["detail"]) for d, _e in answered.values()
+        if d["status"] != "ok"
+    ][:5]
+    pre_kill_total = pre_kill["requests"]["total"]
+    assert pre_kill_total > 0
+
+    # ---- phase 2: restart on the same state, measure recovery -----------
+    second = ServerProc(state_dir, cache_dir, plan_path)
+    recovery_line = second.log_line("journal recovery")
+    summary = json.loads(recovery_line.split("journal recovery ", 1)[1])
+    assert summary["replayed"] > 0, summary  # the journal really drove this
+    assert summary["recovered_inflight"] >= 1, summary  # hostages were caught
+
+    recovered_at = None
+    while time.monotonic() - second.started_at < RECOVERY_BOUND:
+        try:
+            status, health = second.call("GET", "/healthz", timeout=5.0)
+        except Exception:
+            time.sleep(0.1)
+            continue
+        if status == 200 and health["status"] == "ok":
+            recovered_at = time.monotonic() - second.started_at
+            break
+        assert health["status"] in ("recovering", "ok"), health
+        time.sleep(0.1)
+    assert recovered_at is not None, (
+        f"service not healthy within {RECOVERY_BOUND}s of restart"
+    )
+
+    _status, post_recovery = second.call("GET", "/stats")
+    assert post_recovery["journal"]["recovery_pending"] == 0
+    # Counters restored from the checkpoint: the restarted process
+    # remembers (at least) everything up to its last checkpoint, never
+    # restarts from zero.
+    assert post_recovery["requests"]["total"] > 0
+
+    # ---- eventual completion: re-drive everything in doubt --------------
+    still_failing = []
+    for index in in_doubt:
+        body, entry = _body(index, corpus)
+        data = None
+        for _attempt in range(3):
+            try:
+                _status, data = second.call("POST", "/compile", body)
+                break
+            except Exception:
+                time.sleep(0.2)
+        if data is None or data["status"] != "ok":
+            still_failing.append((index, data))
+        else:
+            answered[index] = (data, entry)
+    assert not still_failing, still_failing[:5]
+    completion = len(answered) / len(results)
+    assert completion == 1.0
+
+    # ---- zero corrupt results -------------------------------------------
+    checked = set()
+    for data, entry in answered.values():
+        key = (entry["name"], hash(data["ir"]))
+        if key in checked:
+            continue
+        _check_binary(data, entry)
+        checked.add(key)
+
+    # ---- fault mix: >10% of fs ops, every armed kind observed -----------
+    _status, final_stats = second.call("GET", "/stats")
+    fs_ops = (pre_kill["journal"]["fs.ops"]
+              + final_stats["journal"]["fs.ops"])
+    fs_injected = (pre_kill["journal"]["fs.injected.total"]
+                   + final_stats["journal"]["fs.injected.total"])
+    fault_rate = fs_injected / max(1, fs_ops)
+    assert fault_rate > 0.10, (
+        f"fs fault mix only {fault_rate:.1%} ({fs_injected}/{fs_ops} ops)"
+    )
+    for kind in ("enospc", "eio", "torn_write"):
+        fired = (pre_kill["journal"][f"fs.injected.{kind}"]
+                 + final_stats["journal"][f"fs.injected.{kind}"])
+        assert fired > 0, f"armed fault kind {kind} never fired"
+
+    # ---- graceful exit (the SIGTERM satellite, out-of-process) ----------
+    returncode = second.sigterm_and_wait()
+    assert returncode == 0, f"SIGTERM exit code {returncode}"
+    second.log_line("shutdown", timeout=5.0)
+
+    BENCH_JSON.write_text(json.dumps({
+        "soak_seconds": SOAK_SECONDS,
+        "workers": WORKERS,
+        "client_threads": CLIENT_THREADS,
+        "requests_submitted": len(results),
+        "answered_before_kill": len(results) - len(in_doubt),
+        "in_doubt_at_kill": len(in_doubt),
+        "completion_fraction": completion,
+        "distinct_binaries_checked": len(checked),
+        "recovery": {
+            "seconds_to_healthy": round(recovered_at, 2),
+            "bound_seconds": RECOVERY_BOUND,
+            "replayed_records": summary["replayed"],
+            "recovered_inflight": summary["recovered_inflight"],
+            "corrupt_records_skipped": summary["corrupt_skipped"],
+            "completed_before_crash": summary["completed_before_crash"],
+        },
+        "fault_mix": {
+            "fs_ops": fs_ops,
+            "fs_injected": fs_injected,
+            "rate": round(fault_rate, 4),
+            "by_kind": {
+                kind: (pre_kill["journal"].get(f"fs.injected.{kind}", 0)
+                       + final_stats["journal"].get(f"fs.injected.{kind}", 0))
+                for kind in ("enospc", "eio", "torn_write", "crash")
+            },
+        },
+        "journal": {
+            key: final_stats["journal"].get(key)
+            for key in ("journal.appends", "journal.append_errors",
+                        "journal.checkpoints", "journal.replayed",
+                        "journal.corrupt_skipped")
+        },
+        "store": {
+            key: final_stats["cache"].get(key)
+            for key in ("store.stores", "store.quarantined",
+                        "store.evictions", "store.write_errors",
+                        "store.disabled")
+        },
+        "graceful_exit_code": returncode,
+    }, indent=2) + "\n")

@@ -330,33 +330,64 @@ def cmd_reduce(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Fault-contained compile service (see docs/SERVING.md)."""
+    """Fault-contained, crash-durable compile service (docs/SERVING.md)."""
     import asyncio
+    import json
+    import signal
 
     from repro.perf.memo import CompileCache
     from repro.perf.store import PersistentCacheShard
+    from repro.robustness import load_fault_plan
+    from repro.robustness.chaosfs import REAL_FS, ChaosFs
     from repro.serve import (
         CircuitBreaker,
         CompileService,
         WorkerPool,
+        WriteAheadJournal,
         serve_http,
         serve_stdin,
     )
 
+    def log(msg):
+        print(msg, file=sys.stderr)
+
+    # A fault plan's chaos section turns the real filesystem into the
+    # fault-injecting shim for *both* durable tiers (cache shard and
+    # journal); pass-level faults still ride to workers as before.
+    fs = REAL_FS
+    default_options = {}
+    if args.fault_plan:
+        plan = load_fault_plan(args.fault_plan)
+        if plan.chaos:
+            fs = ChaosFs(plan.chaos, seed=args.chaos_seed)
+            log(f"# repro serve: chaos fs armed ({len(plan.chaos)} specs, "
+                f"seed {args.chaos_seed})")
+        if plan.faults:
+            # Drill mode: every request compiles under this fault plan
+            # (lenient across ladder levels) so containment can be
+            # watched live. Testing/demo only.
+            default_options["fault_plan"] = args.fault_plan
+
     store = None
     if args.cache_dir:
-        store = PersistentCacheShard(args.cache_dir)
+        store = PersistentCacheShard(
+            args.cache_dir,
+            fs=fs,
+            max_bytes=args.cache_max_mb * 1024 * 1024
+            if args.cache_max_mb else None,
+        )
+    journal = None
+    if args.state_dir:
+        journal = WriteAheadJournal(
+            args.state_dir, fs=fs, checkpoint_every=args.checkpoint_every
+        )
     pool = WorkerPool(
         workers=args.workers,
         deadline=args.deadline,
         grace=args.grace,
+        mem_headroom_bytes=args.worker_mem_mb * 1024 * 1024
+        if args.worker_mem_mb else None,
     )
-    default_options = {}
-    if args.fault_plan:
-        # Drill mode: every request compiles under this fault plan
-        # (lenient across ladder levels) so containment can be watched
-        # live. Testing/demo only.
-        default_options["fault_plan"] = args.fault_plan
     service = CompileService(
         pool,
         cache=CompileCache(max_entries=args.cache_entries),
@@ -364,6 +395,7 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         deadline=args.deadline,
         breaker=CircuitBreaker(cooldown=args.breaker_cooldown),
+        journal=journal,
     )
     if default_options:
         original = service.compile
@@ -375,22 +407,54 @@ def cmd_serve(args) -> int:
             return original(request)
 
         service.compile = compile_with_defaults
+
+    if journal is not None:
+        summary = service.recover()
+        log(f"# repro serve: journal recovery {json.dumps(summary)}")
+
+    interrupted = False
     try:
         if args.stdin:
-            serve_stdin(service, log=lambda m: print(m, file=sys.stderr))
-        else:
-            asyncio.run(
-                serve_http(
-                    service,
-                    args.host,
-                    args.port,
-                    log=lambda m: print(m, file=sys.stderr),
+            # SIGTERM takes the same graceful path Ctrl-C does.
+            if hasattr(signal, "SIGTERM"):
+                signal.signal(
+                    signal.SIGTERM,
+                    lambda *_: (_ for _ in ()).throw(KeyboardInterrupt()),
                 )
-            )
+            serve_stdin(service, log=log)
+        else:
+
+            async def _run():
+                shutdown = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                for signame in ("SIGTERM", "SIGINT"):
+                    if hasattr(signal, signame):
+                        try:
+                            loop.add_signal_handler(
+                                getattr(signal, signame), shutdown.set
+                            )
+                        except (NotImplementedError, RuntimeError):
+                            pass
+                await serve_http(
+                    service, args.host, args.port, log=log, shutdown=shutdown
+                )
+
+            asyncio.run(_run())
     except KeyboardInterrupt:
-        print("# repro serve: interrupted, stopping workers", file=sys.stderr)
+        interrupted = True
     finally:
+        # Graceful shutdown: stop admission, drain in-flight requests
+        # against the deadline, flush journal state, stop the pool —
+        # and exit 0 so supervisors see an orderly stop, not a crash.
+        service.begin_shutdown()
+        drained = service.drain(args.drain_seconds)
+        if not drained:
+            log(f"# repro serve: drain deadline ({args.drain_seconds}s) "
+                "expired with requests still in flight")
+        service.flush()
         pool.stop()
+        log("# repro serve: drained and stopped"
+            + (" (interrupted)" if interrupted else ""))
     return 0
 
 
@@ -593,12 +657,34 @@ def main(argv=None) -> int:
                          "fingerprint-prefix sharded; survives restart)")
     p_serve.add_argument("--cache-entries", type=int, default=256,
                          help="in-memory LRU compile cache size")
+    p_serve.add_argument("--cache-max-mb", type=int,
+                         help="disk budget for --cache-dir in MiB; oldest "
+                         "entries are evicted past it (plus on ENOSPC)")
+    p_serve.add_argument("--state-dir",
+                         help="crash durability: write-ahead journal of "
+                         "accepted requests, breaker state and counters; "
+                         "replayed on restart (SIGKILL loses no accepted "
+                         "work)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=512,
+                         help="journal appends between truncating "
+                         "checkpoints")
+    p_serve.add_argument("--drain-seconds", type=float, default=10.0,
+                         help="graceful-shutdown deadline for in-flight "
+                         "requests on SIGTERM/SIGINT")
+    p_serve.add_argument("--worker-mem-mb", type=int,
+                         help="per-worker memory headroom in MiB (rlimit = "
+                         "startup footprint + this); an over-allocating "
+                         "compile is contained as an 'oom' failure")
     p_serve.add_argument("--breaker-cooldown", type=float, default=60.0,
                          help="seconds before a poisoned (module, level) "
                          "pair may be retried")
     p_serve.add_argument("--fault-plan",
                          help="drill mode: apply this fault plan to every "
-                         "request (compact 'pass:kind[:n]' spec)")
+                         "request (compact 'pass:kind[:n]' spec; a 'chaos' "
+                         "section / 'fs:kind' chunks arm the chaos "
+                         "filesystem on the journal and cache shard)")
+    p_serve.add_argument("--chaos-seed", type=int, default=0,
+                         help="seed for probabilistic chaos-fs fault specs")
     p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)

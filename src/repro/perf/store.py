@@ -16,15 +16,35 @@ serving. A corrupt entry must never take out its shard: a fleet that
 discards a whole prefix directory because one file rotted would
 recompile everything behind it.
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-``put``
-leaves either the old entry or no entry, never a torn one.
+Writes are durable-atomic: temp file, ``fsync`` of the temp file,
+``os.replace``, ``fsync`` of the parent directory. Atomic against
+readers alone would only need the replace; power loss additionally
+needs both fsyncs — without the file fsync the rename can reach disk
+ahead of the data it names (publishing a torn entry), and without the
+directory fsync the rename itself may not survive. The chaos
+filesystem (:mod:`repro.robustness.chaosfs`) models exactly this and
+pins it in ``tests/perf/test_store_durability.py``.
+
+Environmental failure is contained, not fatal:
+
+- **disk budget** — ``max_bytes`` caps the shard's footprint with
+  on-disk LRU eviction (oldest access first); an ``ENOSPC`` from the
+  filesystem evicts and retries once before giving up (a cache write
+  is best-effort);
+- **whole-shard quarantine** — ``eio_threshold`` consecutive ``EIO``
+  errors mark the medium itself as dying and disable the shard
+  (reads miss, writes drop) instead of hammering broken hardware;
+  one success before the threshold resets the count.
 """
 
+import errno
 import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
+
+from repro.robustness.chaosfs import REAL_FS
 
 #: Digest size for the per-entry checksum.
 _DIGEST_SIZE = 16
@@ -53,16 +73,34 @@ class PersistentCacheShard:
     compiled IR text plus its accounting). The in-memory
     :class:`~repro.perf.memo.CompileCache` sits in front; this shard is
     the restart-surviving tier behind it.
+
+    ``fs`` is the filesystem interface (default the real one); the
+    chaos harness substitutes a fault-injecting
+    :class:`~repro.robustness.chaosfs.ChaosFs`.
     """
 
-    def __init__(self, root, prefix_len: int = 2):
+    def __init__(
+        self,
+        root,
+        prefix_len: int = 2,
+        fs=None,
+        max_bytes: Optional[int] = None,
+        eio_threshold: int = 3,
+    ):
         self.root = Path(root)
         self.prefix_len = prefix_len
+        self.fs = fs if fs is not None else REAL_FS
+        self.max_bytes = max_bytes
+        self.eio_threshold = eio_threshold
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.quarantined = 0
+        self.evictions = 0
+        self.write_errors = 0
+        self.disabled = False
+        self._eio_run = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -70,10 +108,26 @@ class PersistentCacheShard:
         shard = self.root / fingerprint[: self.prefix_len]
         return shard / f"{fingerprint}-{_key_digest(key)}.json"
 
+    # -- media-failure accounting --------------------------------------------
+
+    def _note_io_ok(self) -> None:
+        self._eio_run = 0
+
+    def _note_io_error(self, exc: OSError) -> None:
+        if exc.errno != errno.EIO:
+            return
+        self._eio_run += 1
+        if self._eio_run >= self.eio_threshold and not self.disabled:
+            # The medium, not an entry, is the problem: stop touching it.
+            self.disabled = True
+
     # -- read ----------------------------------------------------------------
 
     def get(self, fingerprint: str, key: str) -> Optional[Dict]:
-        """The stored payload, or ``None`` (missing or quarantined)."""
+        """The stored payload, or ``None`` (missing, quarantined, disabled)."""
+        if self.disabled:
+            self.misses += 1
+            return None
         path = self._path(fingerprint, key)
         if not path.exists():
             self.misses += 1
@@ -93,12 +147,14 @@ class PersistentCacheShard:
     ) -> Optional[Dict]:
         """Parse and verify one entry file; quarantine it on any defect."""
         try:
-            raw = json.loads(path.read_text())
-        except OSError:
-            return None  # vanished concurrently; nothing to quarantine
+            raw = json.loads(self.fs.read_text(path))
+        except OSError as exc:
+            self._note_io_error(exc)
+            return None  # vanished concurrently or dying media
         except ValueError:
             self._quarantine(path)
             return None
+        self._note_io_ok()
         if not isinstance(raw, dict) or not all(
             field in raw for field in ("fingerprint", "key", "payload", "checksum")
         ):
@@ -119,16 +175,43 @@ class PersistentCacheShard:
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside; only this entry is lost."""
         try:
-            os.replace(path, str(path) + ".corrupt")
+            self.fs.replace(path, str(path) + ".corrupt")
         except OSError:
             pass  # already moved by a concurrent loader
         self.quarantined += 1
 
     # -- write ---------------------------------------------------------------
 
-    def put(self, fingerprint: str, key: str, payload: Dict) -> Path:
-        """Atomically persist one entry; returns its path."""
+    def put(self, fingerprint: str, key: str, payload: Dict) -> Optional[Path]:
+        """Durably persist one entry; best-effort (``None`` on give-up).
+
+        The publication sequence is write-tmp, fsync-tmp, rename,
+        fsync-dir — crash-safe at every cut point: a crash before the
+        rename leaves the old entry (plus a dead ``.tmp`` a later put
+        overwrites); a crash after it leaves either the old or the
+        complete new entry depending on whether the directory update
+        reached disk, never a torn one.
+        """
+        if self.disabled:
+            return None
         path = self._path(fingerprint, key)
+        try:
+            return self._put_once(path, fingerprint, key, payload)
+        except OSError as exc:
+            self._note_io_error(exc)
+            if exc.errno == errno.ENOSPC:
+                # Disk full: make room and retry once.
+                self._evict(target_free=max(4096, self._entry_size(payload)))
+                try:
+                    return self._put_once(path, fingerprint, key, payload)
+                except OSError as retry_exc:
+                    self._note_io_error(retry_exc)
+            self.write_errors += 1
+            return None
+
+    def _put_once(
+        self, path: Path, fingerprint: str, key: str, payload: Dict
+    ) -> Path:
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "fingerprint": fingerprint,
@@ -136,11 +219,73 @@ class PersistentCacheShard:
             "payload": payload,
             "checksum": entry_checksum(fingerprint, key, payload),
         }
+        data = json.dumps(entry, indent=1, sort_keys=True)
+        if self.max_bytes is not None:
+            self._enforce_budget(incoming=len(data))
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
-        os.replace(tmp, path)
+        self.fs.write_text(tmp, data)
+        self.fs.fsync(tmp)
+        self.fs.replace(tmp, path)
+        self.fs.fsync_dir(path.parent)
+        self._note_io_ok()
         self.stores += 1
         return path
+
+    @staticmethod
+    def _entry_size(payload: Dict) -> int:
+        try:
+            return len(json.dumps(payload))
+        except (TypeError, ValueError):
+            return 4096
+
+    # -- eviction ------------------------------------------------------------
+
+    def _entries_by_age(self):
+        """(atime-ish, size, path) for every entry, least recent first.
+
+        ``st_mtime`` stands in for access recency: puts refresh it, and
+        many filesystems mount ``noatime`` so ``st_atime`` lies anyway.
+        """
+        records = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime, stat.st_size, path))
+        records.sort()
+        return records
+
+    def disk_bytes(self) -> int:
+        return sum(size for _mtime, size, _path in self._entries_by_age())
+
+    def _enforce_budget(self, incoming: int = 0) -> None:
+        if self.max_bytes is None:
+            return
+        records = self._entries_by_age()
+        used = sum(size for _mtime, size, _path in records)
+        for _mtime, size, path in records:
+            if used + incoming <= self.max_bytes:
+                break
+            try:
+                self.fs.remove(path)
+            except OSError:
+                continue
+            used -= size
+            self.evictions += 1
+
+    def _evict(self, target_free: int) -> None:
+        """ENOSPC relief: drop the oldest entries to free ``target_free``."""
+        freed = 0
+        for _mtime, size, path in self._entries_by_age():
+            if freed >= target_free:
+                break
+            try:
+                self.fs.remove(path)
+            except OSError:
+                continue
+            freed += size
+            self.evictions += 1
 
     # -- bulk ----------------------------------------------------------------
 
@@ -150,6 +295,8 @@ class PersistentCacheShard:
         Corrupt entries are quarantined one by one as they are hit; the
         iteration continues past them.
         """
+        if self.disabled:
+            return
         for path in sorted(self.root.glob("*/*.json")):
             entry = self._load(path)
             if entry is None:
@@ -171,4 +318,7 @@ class PersistentCacheShard:
             "store.misses": self.misses,
             "store.stores": self.stores,
             "store.quarantined": self.quarantined,
+            "store.evictions": self.evictions,
+            "store.write_errors": self.write_errors,
+            "store.disabled": int(self.disabled),
         }

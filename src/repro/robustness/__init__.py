@@ -22,6 +22,14 @@ Entry points: ``compile_module(..., resilience="rollback")``, the
 ``--fault-plan`` / ``--diff-seed`` / ``--mem-model`` CLI flags.
 """
 
+from repro.robustness.chaosfs import (
+    FS_FAULT_KINDS,
+    ChaosFs,
+    ChaosSpec,
+    RealFs,
+    REAL_FS,
+    SimulatedCrash,
+)
 from repro.robustness.diffcheck import (
     ARG_PALETTE,
     DifferentialChecker,
@@ -64,6 +72,8 @@ from repro.robustness.sanitizer import (
 __all__ = [
     "ARG_PALETTE",
     "CLASSIFICATIONS",
+    "ChaosFs",
+    "ChaosSpec",
     "ContainmentViolationError",
     "DANGLING_LABEL",
     "DifferentialChecker",
@@ -71,6 +81,10 @@ __all__ = [
     "EntryOutcome",
     "FAILURE_KINDS",
     "FAULT_KINDS",
+    "FS_FAULT_KINDS",
+    "REAL_FS",
+    "RealFs",
+    "SimulatedCrash",
     "FaultPlan",
     "FaultSpec",
     "FaultyPass",

@@ -1,0 +1,360 @@
+"""Injectable filesystem shim: deterministic fs faults and crash modeling.
+
+The pass-level fault harness (:mod:`repro.robustness.faults`) proves the
+guard contains bad *compiler* behaviour; this module does the same for
+bad *environment* behaviour. Everything in the serve layer that touches
+disk — the persistent cache shard (:mod:`repro.perf.store`) and the
+write-ahead journal (:mod:`repro.serve.journal`) — goes through a tiny
+filesystem interface (:class:`RealFs`) that :class:`ChaosFs` can
+substitute to inject, deterministically and seeded:
+
+- ``enospc``     — the write/replace raises ``OSError(ENOSPC)`` (disk
+  full); callers must evict-and-retry or degrade, never corrupt;
+- ``eio``        — the operation raises ``OSError(EIO)`` (dying media);
+  repeated EIO is how a shard earns whole-shard quarantine;
+- ``torn-write`` — the write *appears* to succeed but only a seeded
+  prefix of the data reaches the file, exactly what a crash mid-write
+  leaves behind; checksums must catch it on the next read;
+- ``crash``      — :class:`SimulatedCrash` is raised *before* the
+  operation takes effect, modeling power loss. Crucially, ChaosFs
+  tracks which bytes were actually made **durable** (fsynced) versus
+  merely written to the page cache, and :meth:`ChaosFs.apply_crash`
+  rewinds the real directory tree to the durable view — un-fsynced
+  writes vanish, un-fsynced renames un-happen. Code that publishes
+  with ``write; rename`` but no fsync loses data here just like it
+  would on a real power cut.
+
+Fault specs live in the ``chaos`` section of the existing
+:class:`~repro.robustness.faults.FaultPlan` format, so one plan can
+compose pass-level sabotage, worker-level drills and fs-level faults::
+
+    {"faults": [{"pass": "dce", "kind": "raise"}],
+     "chaos":  [{"op": "write", "kind": "enospc", "times": 1},
+                {"op": "any", "kind": "eio", "path": "*shard*", "p": 0.1}]}
+
+Compact CLI form: ``fs:<kind>[:times]`` alongside the usual
+``pass:kind`` chunks (e.g. ``"dce:raise,fs:enospc:2"``); op- and
+path-targeted specs need the JSON form. Probability-based specs
+(``p``) draw from a ``random.Random(seed)`` owned by the ChaosFs, so
+a given (plan, seed) always injects the same faults in the same order.
+"""
+
+import errno
+import fnmatch
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Injectable filesystem fault kinds.
+FS_FAULT_KINDS = ("enospc", "eio", "torn-write", "crash")
+
+#: Operations a spec may target (``any`` matches all of them).
+FS_OPS = ("read", "write", "fsync", "fsync-dir", "replace", "remove", "any")
+
+
+class SimulatedCrash(BaseException):
+    """Power loss injected by a ``crash``-kind chaos spec.
+
+    Derives from ``BaseException`` so the service's catch-all request
+    handling (``except Exception``) cannot absorb a simulated power cut
+    — a real one would not be absorbable either.
+    """
+
+
+@dataclass
+class ChaosSpec:
+    """One fs sabotage: which op, what kind, how often."""
+
+    kind: str
+    op: str = "any"
+    #: Glob matched against the full path (``fnmatch``).
+    path: str = "*"
+    #: Number of matching operations that trigger (0 = every one);
+    #: ignored when ``p`` is set.
+    times: int = 1
+    #: Probability per matching op (seeded); ``None`` = deterministic.
+    p: Optional[float] = None
+    _activations: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in FS_FAULT_KINDS:
+            raise ValueError(f"unknown fs fault kind {self.kind!r}")
+        if self.op not in FS_OPS:
+            raise ValueError(f"unknown fs op {self.op!r}")
+
+    def matches(self, op: str, path: str, rng: random.Random) -> bool:
+        if self.op != "any" and self.op != op:
+            return False
+        if not fnmatch.fnmatch(path, self.path):
+            return False
+        if self.p is not None:
+            return rng.random() < self.p
+        self._activations += 1
+        return self.times == 0 or self._activations <= self.times
+
+    def reset(self) -> None:
+        self._activations = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind, "op": self.op}
+        if self.path != "*":
+            out["path"] = self.path
+        if self.p is not None:
+            out["p"] = self.p
+        else:
+            out["times"] = self.times
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "ChaosSpec":
+        return cls(
+            kind=raw["kind"],
+            op=raw.get("op", "any"),
+            path=raw.get("path", "*"),
+            times=int(raw.get("times", 1)),
+            p=raw.get("p"),
+        )
+
+
+class RealFs:
+    """The pass-through filesystem the production code runs on.
+
+    Durable publication is two fsyncs: the data file *before* the
+    rename (otherwise the rename can reach disk ahead of the bytes it
+    names) and the parent directory *after* it (otherwise the rename
+    itself may not survive). :class:`ChaosFs` models exactly that.
+    """
+
+    def read_bytes(self, path) -> bytes:
+        return Path(path).read_bytes()
+
+    def read_text(self, path) -> str:
+        return self.read_bytes(path).decode()
+
+    def write_bytes(self, path, data: bytes) -> None:
+        Path(path).write_bytes(data)
+
+    def write_text(self, path, text: str) -> None:
+        self.write_bytes(path, text.encode())
+
+    def append_bytes(self, path, data: bytes) -> None:
+        with open(path, "ab") as handle:
+            handle.write(data)
+
+    def fsync(self, path) -> None:
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path) -> None:
+        # Windows cannot open directories; directory durability is a
+        # POSIX concept and a no-op there.
+        try:
+            fd = os.open(str(path), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src, dst) -> None:
+        os.replace(str(src), str(dst))
+
+    def remove(self, path) -> None:
+        os.remove(str(path))
+
+
+#: Shared default instance; stateless, safe across threads.
+REAL_FS = RealFs()
+
+
+class ChaosFs(RealFs):
+    """A :class:`RealFs` that injects faults and models power loss.
+
+    Every tracked path has two views: the **live** view (what the real
+    filesystem currently holds — what running code reads back) and the
+    **durable** view (what would still be there after power loss). A
+    plain write changes only the live view; ``fsync`` promotes the
+    live bytes to durable; ``replace`` moves the live file at once but
+    its durable effect is *staged* until the parent directory is
+    fsynced. :meth:`apply_crash` rewrites the tree to the durable view.
+
+    ``counters`` records every injected fault by kind plus the total
+    op count, so a soak can prove its fault mix was really applied.
+    """
+
+    #: Sentinel durable state for "file did not exist".
+    _ABSENT = None
+
+    def __init__(self, specs: Optional[List[ChaosSpec]] = None, seed: int = 0):
+        self.specs = list(specs or [])
+        self.rng = random.Random(seed)
+        self.ops = 0
+        self.injected: Dict[str, int] = {kind: 0 for kind in FS_FAULT_KINDS}
+        #: path -> durable content (bytes) or _ABSENT. Only paths
+        #: touched through this shim are tracked.
+        self._durable: Dict[str, Optional[bytes]] = {}
+        #: dir -> list of (src, dst, src-durable-at-replace) renames
+        #: whose durability is still pending that dir's fsync.
+        self._staged: Dict[str, List] = {}
+        self.crashed = False
+
+    # -- injection -----------------------------------------------------------
+
+    def _inject(self, op: str, path) -> Optional[str]:
+        """The fault kind to apply to this op, if any."""
+        self.ops += 1
+        for spec in self.specs:
+            if spec.matches(op, str(path), self.rng):
+                self.injected[spec.kind] += 1
+                return spec.kind
+        return None
+
+    def _raise_for(self, kind: Optional[str], op: str, path) -> None:
+        if kind == "enospc":
+            raise OSError(errno.ENOSPC, f"injected ENOSPC on {op} {path}")
+        if kind == "eio":
+            raise OSError(errno.EIO, f"injected EIO on {op} {path}")
+        if kind == "crash":
+            self.crashed = True
+            raise SimulatedCrash(f"injected power loss before {op} {path}")
+
+    # -- durable-view bookkeeping --------------------------------------------
+
+    def _track(self, path) -> None:
+        """First touch of ``path``: its current on-disk bytes are durable.
+
+        A file that predates the shim is assumed fsynced (it survived
+        until now); everything after this point must earn durability.
+        """
+        key = str(path)
+        if key in self._durable:
+            return
+        try:
+            self._durable[key] = Path(path).read_bytes()
+        except OSError:
+            self._durable[key] = self._ABSENT
+
+    # -- operations ----------------------------------------------------------
+
+    def read_bytes(self, path) -> bytes:
+        self._raise_for(self._inject("read", path), "read", path)
+        return super().read_bytes(path)
+
+    def write_bytes(self, path, data: bytes) -> None:
+        self._track(path)
+        kind = self._inject("write", path)
+        if kind == "torn-write":
+            # A seeded prefix lands; the caller sees success. Only the
+            # next reader's checksum can tell.
+            cut = self.rng.randrange(0, max(1, len(data)))
+            super().write_bytes(path, data[:cut])
+            return
+        self._raise_for(kind, "write", path)
+        super().write_bytes(path, data)
+
+    def append_bytes(self, path, data: bytes) -> None:
+        self._track(path)
+        kind = self._inject("write", path)
+        if kind == "torn-write":
+            cut = self.rng.randrange(0, max(1, len(data)))
+            super().append_bytes(path, data[:cut])
+            return
+        self._raise_for(kind, "write", path)
+        super().append_bytes(path, data)
+
+    def fsync(self, path) -> None:
+        kind = self._inject("fsync", path)
+        self._raise_for(kind, "fsync", path)
+        super().fsync(path)
+        try:
+            self._durable[str(path)] = Path(path).read_bytes()
+        except OSError:
+            self._durable[str(path)] = self._ABSENT
+
+    def fsync_dir(self, path) -> None:
+        kind = self._inject("fsync-dir", path)
+        self._raise_for(kind, "fsync-dir", path)
+        super().fsync_dir(path)
+        # Commit staged renames under this directory.
+        for src, dst, durable_src in self._staged.pop(str(path), []):
+            self._durable[dst] = durable_src
+            self._durable[src] = self._ABSENT
+
+    def replace(self, src, dst) -> None:
+        self._track(src)
+        self._track(dst)
+        kind = self._inject("replace", src)
+        self._raise_for(kind, "replace", src)
+        durable_src = self._durable.get(str(src), self._ABSENT)
+        super().replace(src, dst)
+        # The rename is visible immediately but durable only after the
+        # parent directory is fsynced — and even then the *content* that
+        # survives is only what was fsynced into src beforehand.
+        parent = str(Path(dst).parent)
+        self._staged.setdefault(parent, []).append(
+            (str(src), str(dst), durable_src)
+        )
+
+    def remove(self, path) -> None:
+        self._track(path)
+        kind = self._inject("remove", path)
+        self._raise_for(kind, "remove", path)
+        super().remove(path)
+        # Unlink durability also rides the next dir fsync; model the
+        # conservative (survives-until-fsync) case by leaving the
+        # durable view alone — apply_crash may resurrect the file,
+        # which recovery code must tolerate anyway.
+
+    # -- the crash -----------------------------------------------------------
+
+    def apply_crash(self) -> List[str]:
+        """Rewind the real tree to the durable view; returns changed paths.
+
+        Call after catching :class:`SimulatedCrash` (or at any point to
+        model an abrupt power cut): un-fsynced writes are rolled back,
+        staged renames are undone, files that were never durable are
+        deleted. The shim then starts a fresh epoch — current disk
+        state is the new durable baseline.
+        """
+        changed = []
+        for key, durable in self._durable.items():
+            path = Path(key)
+            try:
+                live = path.read_bytes()
+            except OSError:
+                live = self._ABSENT
+            if live == durable:
+                continue
+            changed.append(key)
+            if durable is self._ABSENT:
+                try:
+                    os.remove(key)
+                except OSError:
+                    pass
+            else:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(durable)
+        self._durable.clear()
+        self._staged.clear()
+        self.crashed = False
+        return changed
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        out = {"fs.ops": self.ops}
+        for kind, count in self.injected.items():
+            out[f"fs.injected.{kind.replace('-', '_')}"] = count
+        out["fs.injected.total"] = sum(self.injected.values())
+        return out
+
+    def reset(self) -> None:
+        for spec in self.specs:
+            spec.reset()

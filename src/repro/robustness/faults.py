@@ -25,9 +25,17 @@ Faults fire deterministically: each spec triggers on its first ``times``
 activations across the whole pipeline (``times=0`` means every time), so
 a ``retry`` policy can observe a fault that heals on the second attempt.
 
-Plan sources: JSON (``{"faults": [{"pass": "dce", "kind": "raise"}]}``)
-or the compact CLI form ``"dce:raise,vliw-scheduling:stall:0.4"``
-(``pass:kind[:times-or-seconds]``).
+Plans may also carry a ``chaos`` section of *filesystem* fault specs
+(see :mod:`repro.robustness.chaosfs`): ENOSPC, EIO, torn writes and
+crash-before-fsync injected into the persistent cache shard and the
+serve journal. One plan therefore composes pass-level, worker-level
+and fs-level faults.
+
+Plan sources: JSON (``{"faults": [{"pass": "dce", "kind": "raise"}],
+"chaos": [{"op": "write", "kind": "enospc"}]}``) or the compact CLI
+form ``"dce:raise,vliw-scheduling:stall:0.4,fs:enospc:2"``
+(``pass:kind[:times-or-seconds]``; the reserved pass name ``fs``
+makes a chaos spec ``fs:kind[:times]``).
 """
 
 import json
@@ -38,6 +46,7 @@ from typing import Dict, List, Sequence
 from repro.ir.instructions import Instr
 from repro.ir.module import Module
 from repro.ir.operands import gpr
+from repro.robustness.chaosfs import ChaosSpec
 from repro.transforms.pass_manager import Pass, PassContext
 
 FAULT_KINDS = ("raise", "corrupt-ir", "skew", "stall", "speculate")
@@ -89,6 +98,10 @@ class FaultPlan:
     """An ordered set of fault specs, applied to a pass list by wrapping."""
 
     faults: List[FaultSpec] = field(default_factory=list)
+    #: Filesystem fault specs (see :mod:`repro.robustness.chaosfs`);
+    #: applied by whoever owns the :class:`~repro.robustness.chaosfs.ChaosFs`
+    #: (the serve CLI, the chaos soak), not by :meth:`apply`.
+    chaos: List[ChaosSpec] = field(default_factory=list)
     #: With ``lenient=True`` specs naming passes absent from the pipeline
     #: are skipped instead of rejected. The serve layer needs this: one
     #: request-level plan targeting ``vliw-scheduling`` must still apply
@@ -120,11 +133,18 @@ class FaultPlan:
     def reset(self) -> None:
         for spec in self.faults:
             spec.reset()
+        for spec in self.chaos:
+            spec.reset()
 
     # -- serialisation ------------------------------------------------------
 
     def to_json(self, indent: int = 1) -> str:
-        return json.dumps({"faults": [s.to_dict() for s in self.faults]}, indent=indent)
+        payload: Dict[str, object] = {
+            "faults": [s.to_dict() for s in self.faults]
+        }
+        if self.chaos:
+            payload["chaos"] = [s.to_dict() for s in self.chaos]
+        return json.dumps(payload, indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
@@ -138,12 +158,19 @@ class FaultPlan:
             )
             for entry in raw.get("faults", [])
         ]
-        return cls(faults)
+        chaos = [ChaosSpec.from_dict(entry) for entry in raw.get("chaos", [])]
+        return cls(faults, chaos=chaos)
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
-        """Compact form: ``pass:kind[:times-or-seconds][,pass:kind...]``."""
+        """Compact form: ``pass:kind[:times-or-seconds][,pass:kind...]``.
+
+        The reserved pass name ``fs`` makes a filesystem chaos spec:
+        ``fs:enospc``, ``fs:torn-write:3``, ``fs:eio:0`` (every op).
+        Op-/path-targeted or probabilistic chaos needs the JSON form.
+        """
         faults = []
+        chaos = []
         for chunk in text.split(","):
             chunk = chunk.strip()
             if not chunk:
@@ -152,6 +179,12 @@ class FaultPlan:
             if len(parts) < 2:
                 raise ValueError(f"bad fault spec {chunk!r} (want pass:kind)")
             name, kind = parts[0], parts[1]
+            if name == "fs":
+                fs_spec = ChaosSpec(kind=kind)
+                if len(parts) > 2:
+                    fs_spec.times = int(parts[2])
+                chaos.append(fs_spec)
+                continue
             spec = FaultSpec(pass_name=name, kind=kind)
             if len(parts) > 2:
                 if kind == "stall":
@@ -159,7 +192,7 @@ class FaultPlan:
                 else:
                     spec.times = int(parts[2])
             faults.append(spec)
-        return cls(faults)
+        return cls(faults, chaos=chaos)
 
 
 def load_fault_plan(source: str) -> FaultPlan:

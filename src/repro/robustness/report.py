@@ -23,9 +23,17 @@ FAILURE_KINDS = ("exception", "verifier", "divergence", "stall", "containment")
 #: raising is a ``crash``; a request blowing its wall-clock deadline —
 #: whether the worker's own SIGALRM fired or the supervisor had to kill
 #: it — is a ``timeout``; ``sanitizer-violation`` is a speculation
-#: containment escape under ``sanitize=``; ``overload`` is load shedding
-#: (the request never reached a worker).
-REQUEST_FAILURE_KINDS = ("crash", "timeout", "sanitizer-violation", "overload")
+#: containment escape under ``sanitize=``; ``oom`` is a worker hitting
+#: its RSS rlimit (``MemoryError`` contained in-process, the worker
+#: survives); ``overload`` is load shedding (the request never reached
+#: a worker).
+REQUEST_FAILURE_KINDS = (
+    "crash",
+    "timeout",
+    "sanitizer-violation",
+    "oom",
+    "overload",
+)
 
 #: What ultimately happened to a pass.
 OUTCOMES = ("ok", "retried", "rolled-back", "raised")

@@ -36,6 +36,7 @@ stdin loop. See ``docs/SERVING.md`` for the failure matrix and
 
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.http import HttpFrontEnd, serve_http, serve_stdin
+from repro.serve.journal import JournalState, WriteAheadJournal
 from repro.serve.pool import WorkerPool
 from repro.serve.service import (
     AttemptRecord,
@@ -49,9 +50,11 @@ __all__ = [
     "CircuitBreaker",
     "CompileService",
     "HttpFrontEnd",
+    "JournalState",
     "ServeRequest",
     "ServeResponse",
     "WorkerPool",
+    "WriteAheadJournal",
     "serve_http",
     "serve_stdin",
 ]

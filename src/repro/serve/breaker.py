@@ -74,6 +74,43 @@ class CircuitBreaker:
         self.skips += 1
         return len(ladder) - 1
 
+    # -- persistence (journal checkpoints) -----------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe state for a journal checkpoint.
+
+        Open deadlines are stored as *remaining* cooldown seconds, so
+        restoring on a different clock (a fresh process) re-opens each
+        pair for the time it had left, not forever.
+        """
+        now = self._clock()
+        return {
+            "failures": {
+                f"{fp}|{level}": count
+                for (fp, level), count in self._failures.items()
+            },
+            "open_remaining": {
+                f"{fp}|{level}": max(0.0, until - now)
+                for (fp, level), until in self._open_until.items()
+            },
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Load a :meth:`snapshot` (replacing current state)."""
+        if not snapshot:
+            return
+        now = self._clock()
+        self._failures = {
+            tuple(key.split("|", 1)): int(count)
+            for key, count in snapshot.get("failures", {}).items()
+            if "|" in key
+        }
+        self._open_until = {
+            tuple(key.split("|", 1)): now + float(remaining)
+            for key, remaining in snapshot.get("open_remaining", {}).items()
+            if "|" in key and float(remaining) > 0.0
+        }
+
     @property
     def open_entries(self) -> int:
         now = self._clock()

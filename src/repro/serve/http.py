@@ -156,14 +156,24 @@ async def serve_http(
     host: str = "127.0.0.1",
     port: int = 8077,
     log=print,
+    shutdown: Optional[asyncio.Event] = None,
 ) -> None:
-    """Run the HTTP front end until cancelled."""
+    """Run the HTTP front end until cancelled (or ``shutdown`` is set).
+
+    With a ``shutdown`` event the server returns cleanly when it fires
+    — the caller then owns the graceful sequence (stop admission, drain
+    in-flight work, flush the journal) before exiting 0.
+    """
     front = HttpFrontEnd(service, host, port)
     await front.start()
     log(f"# repro serve: listening on http://{host}:{front.port} "
         f"(POST /compile, GET /healthz, GET /stats)")
     try:
-        await front.serve_forever()
+        if shutdown is None:
+            await front.serve_forever()
+        else:
+            await shutdown.wait()
+            log("# repro serve: shutdown signal received")
     finally:
         await front.stop()
 

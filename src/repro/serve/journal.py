@@ -1,0 +1,283 @@
+"""Checksummed write-ahead journal: crash-durable serving state.
+
+``repro serve --state-dir`` makes the service itself crash-recoverable.
+Every *accepted* request is journaled before its compile starts and a
+completion record is appended when it finishes; restart replays the
+journal and gets back:
+
+- the **in-flight set** — requests accepted but never completed (the
+  process died mid-compile) are re-enqueued and finished, so a SIGKILL
+  mid-load loses zero accepted work;
+- **circuit-breaker state** — reconstructed from checkpoint snapshots
+  plus the per-attempt outcomes recorded on completions, so a module
+  that poisoned the vliw pipeline before the crash does not get to
+  re-poison the fresh fleet one deadline at a time;
+- **service counters** — request/degradation/failure tallies continue
+  across restarts instead of resetting to zero.
+
+Format: append-only text file of one record per line,
+``<blake2b-12> <canonical JSON>\\n``. Every line is independently
+checksummed, so replay **skips** any record that fails — a torn tail
+from a crash mid-append, a torn middle from dying media — and keeps
+going. Skipping (rather than halting) is what makes recovery converge
+under fs faults: a lost ``accept`` leaves an orphan completion (ignored);
+a lost ``complete`` re-enqueues an already-finished request, and
+compiling twice is safe — the journal guarantees **at-least-once**
+completion, with the content-addressed cache absorbing the duplicates.
+
+The journal stays bounded by **checkpointing**: every
+``checkpoint_every`` appends the owner writes a checkpoint record
+(breaker snapshot, counters, the full in-flight request bodies) into a
+fresh file and atomically rotates it into place (write, fsync, rename,
+fsync dir — the same durable-publication sequence as the cache shard).
+History before the checkpoint is gone; state is not.
+
+All disk access goes through the ``fs`` interface so the chaos harness
+(:mod:`repro.robustness.chaosfs`) can inject ENOSPC/EIO/torn
+writes/power loss; an append that fails with an ``OSError`` is counted
+(``journal.append_errors``) and serving continues — availability wins
+over durability for a cache-backed compile service, and the counter
+keeps the loss honest.
+"""
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.robustness.chaosfs import REAL_FS
+
+#: Journal file name under ``--state-dir``.
+JOURNAL_NAME = "journal.wal"
+
+_CHECKSUM_SIZE = 12
+
+
+def _checksum(body: bytes) -> str:
+    return hashlib.blake2b(body, digest_size=_CHECKSUM_SIZE).hexdigest()
+
+
+def encode_record(record: Dict) -> bytes:
+    """One journal line: checksum, space, canonical JSON, newline."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    return _checksum(body).encode() + b" " + body + b"\n"
+
+
+def decode_record(line: bytes) -> Optional[Dict]:
+    """The record on this line, or ``None`` if torn/corrupt."""
+    parts = line.rstrip(b"\n").split(b" ", 1)
+    if len(parts) != 2:
+        return None
+    checksum, body = parts
+    if checksum.decode("ascii", "replace") != _checksum(body):
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+@dataclass
+class JournalState:
+    """What replay recovered."""
+
+    #: Accepted-but-never-completed request wire dicts, oldest first.
+    inflight: List[Dict] = field(default_factory=list)
+    #: Circuit-breaker snapshot (see ``CircuitBreaker.snapshot``).
+    breaker: Dict = field(default_factory=dict)
+    #: Service counter snapshot at the last checkpoint + replay deltas.
+    counters: Dict = field(default_factory=dict)
+    #: Per-attempt (fingerprint, level, ok?) outcomes since the last
+    #: checkpoint, in order — replayed into the breaker.
+    attempts: List = field(default_factory=list)
+    #: Completions seen during replay (accepted requests that finished).
+    completed: int = 0
+    #: Records whose checksum failed and were skipped.
+    corrupt_skipped: int = 0
+    #: Total records replayed (valid ones).
+    replayed: int = 0
+    last_seq: int = 0
+
+
+class WriteAheadJournal:
+    """Append-only, checksummed, checkpoint-truncated journal.
+
+    Thread-safe: the service appends from many request threads. Each
+    append is fsynced by default (``sync=True``) — a compile is slow
+    next to an fsync, and an un-synced WAL is a diary, not a journal.
+    """
+
+    def __init__(
+        self,
+        state_dir,
+        fs=None,
+        checkpoint_every: int = 512,
+        sync: bool = True,
+    ):
+        self.state_dir = Path(state_dir)
+        self.fs = fs if fs is not None else REAL_FS
+        self.checkpoint_every = checkpoint_every
+        self.sync = sync
+        self.path = self.state_dir / JOURNAL_NAME
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._since_checkpoint = 0
+        self.appends = 0
+        self.append_errors = 0
+        self.checkpoints = 0
+        self.last_replay: Optional[JournalState] = None
+
+    # -- appends -------------------------------------------------------------
+
+    def append(self, record: Dict) -> int:
+        """Append one record (a ``seq`` field is added); returns its seq.
+
+        OSError from the filesystem is contained and counted; a
+        :class:`~repro.robustness.chaosfs.SimulatedCrash` propagates —
+        power loss is not containable, only recoverable.
+        """
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            record = dict(record, seq=seq)
+            line = encode_record(record)
+            try:
+                self.fs.append_bytes(self.path, line)
+                if self.sync:
+                    self.fs.fsync(self.path)
+            except OSError:
+                self.append_errors += 1
+            else:
+                self.appends += 1
+            self._since_checkpoint += 1
+            return seq
+
+    def append_accept(self, request_wire: Dict) -> int:
+        return self.append({"t": "accept", "req": request_wire})
+
+    def append_complete(
+        self,
+        accept_seq: int,
+        status: str,
+        fingerprint: str = "",
+        level_served: Optional[str] = None,
+        attempts: Optional[List] = None,
+    ) -> int:
+        return self.append({
+            "t": "complete",
+            "accept": accept_seq,
+            "status": status,
+            "fp": fingerprint,
+            "level_served": level_served,
+            "attempts": attempts or [],
+        })
+
+    @property
+    def should_checkpoint(self) -> bool:
+        return self._since_checkpoint >= self.checkpoint_every
+
+    # -- checkpoint / truncation ---------------------------------------------
+
+    def checkpoint(self, breaker: Dict, counters: Dict, inflight: List[Dict]) -> None:
+        """Write a checkpoint and truncate history before it.
+
+        The new journal file holds exactly one record — the checkpoint,
+        carrying everything replay needs (breaker snapshot, counters,
+        in-flight request bodies) — and is published durable-atomically,
+        so a crash during checkpointing leaves either the old journal or
+        the new one, both complete.
+        """
+        with self._lock:
+            self._seq += 1
+            record = {
+                "t": "checkpoint",
+                "seq": self._seq,
+                "breaker": breaker,
+                "counters": counters,
+                "inflight": list(inflight),
+            }
+            tmp = self.path.with_name(self.path.name + ".new")
+            try:
+                self.fs.write_bytes(tmp, encode_record(record))
+                self.fs.fsync(tmp)
+                self.fs.replace(tmp, self.path)
+                self.fs.fsync_dir(self.path.parent)
+            except OSError:
+                # Failed checkpoint: the old journal is still intact and
+                # still authoritative; try again after more appends.
+                self.append_errors += 1
+                self._since_checkpoint = max(0, self.checkpoint_every // 2)
+                return
+            self.checkpoints += 1
+            self._since_checkpoint = 0
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Reconstruct state from disk; tolerant of torn/corrupt records."""
+        state = JournalState()
+        inflight: Dict[int, Dict] = {}
+        try:
+            raw = self.fs.read_bytes(self.path)
+        except OSError:
+            self.last_replay = state
+            return state
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            record = decode_record(line)
+            if record is None:
+                state.corrupt_skipped += 1
+                continue
+            state.replayed += 1
+            seq = int(record.get("seq", 0))
+            state.last_seq = max(state.last_seq, seq)
+            kind = record.get("t")
+            if kind == "checkpoint":
+                # Checkpoints reset everything before them.
+                inflight = {
+                    int(req.get("_seq", -index)): req
+                    for index, req in enumerate(record.get("inflight", []))
+                }
+                state.breaker = record.get("breaker", {})
+                state.counters = record.get("counters", {})
+                state.attempts = []
+            elif kind == "accept":
+                req = record.get("req")
+                if isinstance(req, dict):
+                    inflight[seq] = req
+            elif kind == "complete":
+                inflight.pop(int(record.get("accept", -1)), None)
+                state.completed += 1
+                fp = record.get("fp", "")
+                for attempt in record.get("attempts", []):
+                    if isinstance(attempt, (list, tuple)) and len(attempt) == 2:
+                        state.attempts.append((fp, attempt[0], attempt[1]))
+        state.inflight = [req for _seq, req in sorted(inflight.items())]
+        with self._lock:
+            self._seq = max(self._seq, state.last_seq)
+        self.last_replay = state
+        return state
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        out = {
+            "journal.appends": self.appends,
+            "journal.append_errors": self.append_errors,
+            "journal.checkpoints": self.checkpoints,
+            "journal.seq": self._seq,
+        }
+        if self.last_replay is not None:
+            out["journal.replayed"] = self.last_replay.replayed
+            out["journal.corrupt_skipped"] = self.last_replay.corrupt_skipped
+            out["journal.recovered_inflight"] = len(self.last_replay.inflight)
+        fs_counters = getattr(self.fs, "counters", None)
+        if isinstance(fs_counters, dict):
+            out.update(fs_counters)
+        return out

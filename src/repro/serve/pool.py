@@ -12,11 +12,17 @@ and the supervision logic around them:
 - **crash containment** — EOF on the pipe (the process died) reports
   ``crash``; either way the request fails *cleanly* and the caller (the
   service's degradation ladder) decides what to do next;
-- **supervised respawn with backoff** — a dead worker is respawned
-  automatically, but consecutive failures of the same slot back off
-  exponentially (base doubling up to a cap), so a crash-looping
-  environment throttles instead of fork-bombing. A successful request
-  resets the slot's backoff.
+- **supervised respawn with backoff and jitter** — a dead worker is
+  respawned automatically, but consecutive failures of the same slot
+  back off exponentially (base doubling up to a cap), so a
+  crash-looping environment throttles instead of fork-bombing; a
+  seeded multiplicative jitter decorrelates the slots, so N workers
+  killed by the same event (an OOM sweep, a bad deploy) respawn
+  staggered instead of stampeding back in lockstep;
+- **memory caps** — ``mem_headroom_bytes`` gives each worker an
+  address-space rlimit (its startup footprint plus the headroom); an
+  over-allocating compile is contained in-worker as an ``oom`` answer
+  rather than summoning the kernel's OOM killer.
 
 The pool is thread-safe: the service layer calls ``submit`` from many
 threads, each of which exclusively holds one worker for the duration of
@@ -25,6 +31,7 @@ its request.
 
 import multiprocessing
 import queue
+import random
 import threading
 import time
 from typing import Dict, List, Optional
@@ -41,9 +48,10 @@ def _mp_context():
 class _WorkerHandle:
     """One worker slot: process + pipe + respawn bookkeeping."""
 
-    def __init__(self, slot: int, ctx):
+    def __init__(self, slot: int, ctx, mem_headroom_bytes: Optional[int] = None):
         self.slot = slot
         self.ctx = ctx
+        self.mem_headroom_bytes = mem_headroom_bytes
         self.proc = None
         self.conn = None
         self.alive = False
@@ -58,7 +66,7 @@ class _WorkerHandle:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         proc = self.ctx.Process(
             target=worker_main,
-            args=(child_conn, self.slot),
+            args=(child_conn, self.slot, self.mem_headroom_bytes),
             name=f"repro-serve-worker-{self.slot}",
             daemon=True,
         )
@@ -98,15 +106,24 @@ class WorkerPool:
         grace: float = 1.0,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        backoff_jitter: float = 0.5,
+        jitter_seed: int = 0,
+        mem_headroom_bytes: Optional[int] = None,
         start: bool = True,
     ):
         self.deadline = deadline
         self.grace = grace
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        #: Seeded so a pool's respawn schedule is reproducible in tests
+        #: while still decorrelating its slots from one another.
+        self._jitter_rng = random.Random(jitter_seed)
+        self.mem_headroom_bytes = mem_headroom_bytes
         self._ctx = _mp_context()
         self._handles: List[_WorkerHandle] = [
-            _WorkerHandle(i, self._ctx) for i in range(workers)
+            _WorkerHandle(i, self._ctx, mem_headroom_bytes)
+            for i in range(workers)
         ]
         self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
         self._lock = threading.Lock()
@@ -219,6 +236,10 @@ class WorkerPool:
                 self.backoff_base * (2 ** (handle.failures - 1)),
                 self.backoff_cap,
             )
+            # Multiplicative jitter: slots killed by the same event get
+            # distinct delays, so the fleet respawns staggered instead
+            # of thundering back all at once.
+            delay *= 1.0 + self.backoff_jitter * self._jitter_rng.random()
             handle.respawn_at = time.monotonic() + delay
         return f" (exit {exitcode})" if exitcode is not None else ""
 

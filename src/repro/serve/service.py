@@ -28,6 +28,15 @@ between a front end (:mod:`repro.serve.http`) and the worker pool
 
 ``level="none"`` runs zero passes, so short of the worker fleet being
 unspawnable, every well-formed request ends in a correct binary.
+
+With a :class:`~repro.serve.journal.WriteAheadJournal` attached the
+service is additionally **crash-durable**: ladder-bound requests are
+journaled before compile and on completion, breaker state and counters
+ride checkpoint snapshots, and :meth:`CompileService.recover` replays
+the journal on restart — re-enqueueing whatever was in flight when the
+process died (at-least-once completion). :meth:`begin_shutdown` /
+:meth:`drain` give SIGTERM a graceful path: stop admission, finish
+in-flight work, checkpoint, exit.
 """
 
 import threading
@@ -143,6 +152,7 @@ class CompileService:
         retry_per_level: int = 1,
         breaker: Optional[CircuitBreaker] = None,
         warm_start: bool = True,
+        journal=None,
     ):
         self.pool = pool
         self.cache = cache if cache is not None else CompileCache(max_entries=256)
@@ -151,9 +161,21 @@ class CompileService:
         self.deadline = deadline
         self.retry_per_level = retry_per_level
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.journal = journal
         self._lock = threading.Lock()
         self._inflight: Dict = {}
         self._pending = 0
+        #: accept_seq -> journaled request wire dict, for requests whose
+        #: completion record has not been written yet (checkpoints must
+        #: carry them forward).
+        self._journaled: Dict[int, Dict] = {}
+        self._closing = False
+        self._drained = threading.Event()
+        self._drained.set()
+        self._recovering = 0
+        self._recovery_thread: Optional[threading.Thread] = None
+        self.recovery_seconds: Optional[float] = None
+        self.recovered_inflight = 0
         self._started_at = time.time()
         self.requests = 0
         self.completed = 0
@@ -179,22 +201,27 @@ class CompileService:
         start = time.perf_counter()
         with self._lock:
             self.requests += 1
-            admitted = self._pending < self.max_pending
+            closing = self._closing
+            admitted = not closing and self._pending < self.max_pending
             if admitted:
                 self._pending += 1
+                self._drained.clear()
             else:
                 self.shed += 1
                 self.failures_by_kind["overload"] += 1
                 pending = self._pending
         if not admitted:
+            detail = (
+                "service is shutting down; admission stopped"
+                if closing
+                else f"{pending} requests already pending "
+                f"(limit {self.max_pending}); retry later"
+            )
             return self._finish(
                 ServeResponse(
                     status="shed",
                     level_requested=request.level,
-                    detail=(
-                        f"{pending} requests already pending "
-                        f"(limit {self.max_pending}); retry later"
-                    ),
+                    detail=detail,
                     request_id=request.request_id,
                 ),
                 start,
@@ -211,6 +238,8 @@ class CompileService:
         finally:
             with self._lock:
                 self._pending -= 1
+                if self._pending == 0:
+                    self._drained.set()
         return self._finish(response, start)
 
     def _finish(self, response: ServeResponse, start: float) -> ServeResponse:
@@ -268,14 +297,14 @@ class CompileService:
                 return self._await_leader(request, entry, fp)
             response = None
             try:
-                response = self._run_ladder(request, fp, key)
+                response = self._run_ladder_journaled(request, fp, key)
             finally:
                 entry.response = response
                 entry.event.set()
                 with self._lock:
                     self._inflight.pop((fp, key), None)
             return response
-        return self._run_ladder(request, fp, key)
+        return self._run_ladder_journaled(request, fp, key)
 
     def _cache_get(self, fp: str, key: str) -> Optional[Dict]:
         hit = self.cache.lookup_fp(fp, key)
@@ -326,6 +355,176 @@ class CompileService:
             attempts=list(leader_response.attempts),
             request_id=request.request_id,
         )
+
+    # -- write-ahead journaling ----------------------------------------------
+
+    @staticmethod
+    def _wire(request: ServeRequest) -> Dict:
+        """The journal-persisted form of a request (drills excluded —
+        a fault drill belongs to the run that asked for it, not to the
+        recovery replaying its work)."""
+        return {
+            "ir": request.ir,
+            "level": request.level,
+            "options": request.options,
+            "id": request.request_id,
+            "deadline": request.deadline,
+        }
+
+    def _run_ladder_journaled(
+        self, request: ServeRequest, fp: str, key: str
+    ) -> ServeResponse:
+        """Accept-journal, run the ladder, completion-journal."""
+        if self.journal is None:
+            return self._run_ladder(request, fp, key)
+        accept_seq = self.journal.append_accept(self._wire(request))
+        with self._lock:
+            self._journaled[accept_seq] = self._wire(request)
+        try:
+            response = self._run_ladder(request, fp, key)
+        finally:
+            with self._lock:
+                self._journaled.pop(accept_seq, None)
+        self.journal.append_complete(
+            accept_seq,
+            response.status,
+            fingerprint=fp,
+            level_served=response.level_served,
+            attempts=[[a.level, a.status] for a in response.attempts],
+        )
+        if self.journal.should_checkpoint:
+            self.checkpoint()
+        return response
+
+    def checkpoint(self) -> None:
+        """Write a journal checkpoint (breaker + counters + in-flight)."""
+        if self.journal is None:
+            return
+        with self._lock:
+            inflight = list(self._journaled.values())
+            counters = self._counters_snapshot_locked()
+        self.journal.checkpoint(self.breaker.snapshot(), counters, inflight)
+
+    def _counters_snapshot_locked(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "degraded": self.degraded,
+            "dedupe_hits": self.dedupe_hits,
+            "store_hits": self.store_hits,
+            "failures_by_kind": dict(self.failures_by_kind),
+            "served_by_level": dict(self.served_by_level),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+            },
+        }
+
+    def _restore_counters(self, counters: Dict) -> None:
+        if not counters:
+            return
+        with self._lock:
+            self.requests = int(counters.get("requests", 0))
+            self.completed = int(counters.get("completed", 0))
+            self.shed = int(counters.get("shed", 0))
+            self.rejected = int(counters.get("rejected", 0))
+            self.failed = int(counters.get("failed", 0))
+            self.degraded = int(counters.get("degraded", 0))
+            self.dedupe_hits = int(counters.get("dedupe_hits", 0))
+            self.store_hits = int(counters.get("store_hits", 0))
+            for kind, count in counters.get("failures_by_kind", {}).items():
+                if kind in self.failures_by_kind:
+                    self.failures_by_kind[kind] = int(count)
+            for level, count in counters.get("served_by_level", {}).items():
+                self.served_by_level[level] = int(count)
+        cache = counters.get("cache", {})
+        self.cache.hits += int(cache.get("hits", 0))
+        self.cache.misses += int(cache.get("misses", 0))
+        self.cache.evictions += int(cache.get("evictions", 0))
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self, block: bool = False) -> Dict:
+        """Replay the journal; restore state; re-enqueue in-flight work.
+
+        Returns a summary dict. Re-enqueued requests run on a background
+        thread (oldest first) through the normal ``compile`` path — each
+        is re-journaled, so a crash *during* recovery still loses
+        nothing. ``health()`` reports ``recovering`` (HTTP 503) until
+        the backlog is finished; ``block=True`` waits for it inline.
+        """
+        t0 = time.perf_counter()
+        if self.journal is None:
+            return {"recovered_inflight": 0, "replayed": 0}
+        state = self.journal.replay()
+        self.breaker.restore(state.breaker)
+        self._restore_counters(state.counters)
+        for fp, level, status in state.attempts:
+            if status == "ok":
+                self.breaker.record_success(fp, level)
+            else:
+                self.breaker.record_failure(fp, level)
+        pending = list(state.inflight)
+        self.recovered_inflight = len(pending)
+        with self._lock:
+            self._recovering = len(pending)
+
+        def _replay_backlog():
+            for wire in pending:
+                try:
+                    self.compile(
+                        ServeRequest(
+                            ir=wire.get("ir", ""),
+                            level=wire.get("level", "vliw"),
+                            options=wire.get("options") or {},
+                            request_id=wire.get("id"),
+                            deadline=wire.get("deadline"),
+                        )
+                    )
+                finally:
+                    with self._lock:
+                        self._recovering -= 1
+            self.recovery_seconds = time.perf_counter() - t0
+
+        if pending:
+            self._recovery_thread = threading.Thread(
+                target=_replay_backlog, name="repro-serve-recovery", daemon=True
+            )
+            self._recovery_thread.start()
+            if block:
+                self._recovery_thread.join()
+        else:
+            self.recovery_seconds = time.perf_counter() - t0
+        # Rewrite the journal as one checkpoint: replayed history is
+        # now live state, and an unbounded journal defeats recovery-time
+        # bounds.
+        self.checkpoint()
+        return {
+            "recovered_inflight": self.recovered_inflight,
+            "replayed": state.replayed,
+            "corrupt_skipped": state.corrupt_skipped,
+            "completed_before_crash": state.completed,
+            "breaker_tracked": len(state.breaker.get("failures", {})),
+        }
+
+    # -- graceful shutdown ---------------------------------------------------
+
+    def begin_shutdown(self) -> None:
+        """Stop admission; in-flight requests keep running."""
+        with self._lock:
+            self._closing = True
+
+    def drain(self, deadline: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish; True when fully drained."""
+        return self._drained.wait(timeout=deadline)
+
+    def flush(self) -> None:
+        """Final checkpoint so restart replays state, not history."""
+        self.checkpoint()
 
     # -- the degradation ladder ----------------------------------------------
 
@@ -397,8 +596,10 @@ class CompileService:
                 failures_here += 1
                 # Crashes and timeouts may be transient (a poisoned
                 # worker, a load spike): one same-level retry. An
-                # in-worker exception or sanitizer violation is
-                # deterministic for this input — degrade immediately.
+                # in-worker exception, sanitizer violation or OOM is
+                # deterministic for this input — the same compile at the
+                # same level will blow the same limit — so degrade
+                # immediately; a lower level allocates less.
                 if status in ("crash", "timeout") and failures_here <= self.retry_per_level:
                     continue
                 break
@@ -419,6 +620,8 @@ class CompileService:
             return "timeout"
         if status == "sanitizer-violation":
             return "sanitizer-violation"
+        if status == "oom":
+            return "oom"
         return "crash"
 
     # -- introspection -------------------------------------------------------
@@ -426,11 +629,20 @@ class CompileService:
     def health(self) -> Dict:
         pool = self.pool.stats()
         healthy = pool.get("alive", 0) > 0
+        with self._lock:
+            recovering = self._recovering
+        if not healthy:
+            status = "degraded"
+        elif recovering:
+            status = "recovering"
+        else:
+            status = "ok"
         return {
-            "status": "ok" if healthy else "degraded",
+            "status": status,
             "workers_alive": pool.get("alive", 0),
             "workers": pool.get("workers", 0),
             "pending": self._pending,
+            "recovering": recovering,
             "uptime_seconds": round(time.time() - self._started_at, 1),
         }
 
@@ -454,6 +666,13 @@ class CompileService:
         if self.store is not None:
             cache.update(self.store.counters)
         cache["store.promotions"] = store_hits
+        journal = None
+        if self.journal is not None:
+            journal = dict(self.journal.counters)
+            journal["recovery_pending"] = self._recovering
+            journal["recovered_inflight"] = self.recovered_inflight
+            if self.recovery_seconds is not None:
+                journal["recovery_seconds"] = round(self.recovery_seconds, 3)
         return {
             "uptime_seconds": round(time.time() - self._started_at, 1),
             "requests": counts,
@@ -468,6 +687,7 @@ class CompileService:
             "dedupe": dedupe,
             "breaker": self.breaker.stats(),
             "pool": self.pool.stats(),
+            "journal": journal,
         }
 
 

@@ -17,12 +17,24 @@ Deadlines are enforced in two layers:
    (hung in C, spinning with signals blocked, or simply dead), the
    supervisor kills the process. That path is the pool's, not ours.
 
+Memory is a third containment layer: the pool can cap each worker's
+address space (``resource.setrlimit(RLIMIT_AS)``, sized as the worker's
+startup footprint plus a headroom budget). A compile that allocates
+past the cap gets ``MemoryError`` *inside* the worker, which answers
+``status: "oom"`` and stays alive — the service degrades the request
+(a lower level allocates less) and feeds the breaker, and the kernel's
+OOM killer never enters the picture. If the platform cannot express
+the limit (no ``/proc``, no ``resource``), the cap is skipped and OOM
+falls back to the crash-containment path.
+
 Requests may carry an ``inject`` dict for fault drills (the soak
 benchmark and the serve tests): ``worker-crash`` exits the process
 mid-request, ``hang`` sleeps unresponsively so the supervisor must
 hard-kill, ``soft-hang`` stalls under the armed alarm so the worker
-itself answers ``timeout``. Injections fire only on the listed request
-``attempt`` numbers, so a retry of the same request can succeed.
+itself answers ``timeout``, ``memory-hog`` allocates until the rlimit
+bites (bounded by ``mb`` so an uncapped platform is not eaten).
+Injections fire only on the listed request ``attempt`` numbers, so a
+retry of the same request can succeed.
 """
 
 import os
@@ -65,6 +77,42 @@ class _deadline:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._previous)
         return False
+
+
+def apply_memory_limit(headroom_bytes: Optional[int]) -> Optional[int]:
+    """Cap this process's address space at current usage + headroom.
+
+    Returns the limit installed, or ``None`` where the platform cannot
+    express it (no ``resource`` module, no ``/proc/self/statm``) — the
+    worker then runs uncapped and real memory exhaustion surfaces as a
+    crash instead of a contained ``oom``.
+    """
+    if not headroom_bytes:
+        return None
+    try:
+        import resource
+
+        with open("/proc/self/statm") as handle:
+            vsize_pages = int(handle.read().split()[0])
+        vsize = vsize_pages * os.sysconf("SC_PAGE_SIZE")
+        limit = vsize + int(headroom_bytes)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        return limit
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+def _hog_memory(inject: Dict) -> None:
+    """Allocate until the rlimit bites (or the ``mb`` bound is reached)."""
+    bound_mb = int(inject.get("mb", 4096))
+    hoard = []
+    for _ in range(bound_mb):
+        hoard.append(bytearray(1024 * 1024))
+    # Rlimit generous enough that the bound won, or no limit installed:
+    # report as if the allocation had failed so the drill still answers
+    # deterministically.
+    del hoard
+    raise MemoryError(f"memory-hog drill exhausted its {bound_mb} MiB bound")
 
 
 def _inject_spec(request: Dict) -> Optional[Dict]:
@@ -131,6 +179,8 @@ def handle_request(request: Dict, worker_id: int) -> Dict:
                 # Interruptible stall under the armed alarm: exercises
                 # the worker-survives soft-timeout path.
                 time.sleep(float(inject.get("seconds", 3600.0)))
+            if inject and inject.get("kind") == "memory-hog":
+                _hog_memory(inject)
             result = compile_module(
                 module,
                 level=level,
@@ -148,6 +198,16 @@ def handle_request(request: Dict, worker_id: int) -> Dict:
         return {
             "status": "timeout",
             "detail": f"compile exceeded {request.get('deadline'):.2f}s deadline",
+            "level": level,
+            "worker": worker_id,
+        }
+    except MemoryError:
+        # The rlimit bit mid-compile. The failed allocation's frames are
+        # gone with the exception, so the worker itself is healthy —
+        # answer and keep serving.
+        return {
+            "status": "oom",
+            "detail": "compile exceeded the worker memory limit",
             "level": level,
             "worker": worker_id,
         }
@@ -179,12 +239,13 @@ def handle_request(request: Dict, worker_id: int) -> Dict:
     return response
 
 
-def worker_main(conn, worker_id: int) -> None:
+def worker_main(conn, worker_id: int, mem_headroom_bytes: Optional[int] = None) -> None:
     """The worker process entry point: serve requests until EOF/None."""
     # The supervisor owns lifecycle; a Ctrl-C at the front end must not
     # race the supervisor's orderly shutdown of this process.
     if hasattr(signal, "SIGINT"):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+    apply_memory_limit(mem_headroom_bytes)
     while True:
         try:
             request = conn.recv()

@@ -1,0 +1,165 @@
+"""The shard under environmental failure: power loss, full disks,
+dying media.
+
+``test_store.py`` covers per-entry corruption (checksums, quarantine);
+this file covers the filesystem turning hostile, via the chaos shim
+(:mod:`repro.robustness.chaosfs`). The crash tests are the pin for the
+store's durable-publication sequence — drop either fsync from
+``_put_once`` and they fail.
+"""
+
+import errno
+import os
+import time
+
+import pytest
+
+from repro.perf.store import PersistentCacheShard
+from repro.robustness.chaosfs import ChaosFs, ChaosSpec, SimulatedCrash
+
+PAYLOAD = {"ir": "func main(r3):\n    RET\n", "level_served": "vliw",
+           "static_instructions": 2}
+
+
+def shard(root, fs, **kwargs):
+    return PersistentCacheShard(root, fs=fs, **kwargs)
+
+
+class TestCrashDurability:
+    def test_published_entry_survives_power_loss(self, tmp_path):
+        fs = ChaosFs()
+        store = shard(tmp_path, fs)
+        store.put("aa" * 16, "vliw", PAYLOAD)
+        fs.apply_crash()  # power cut immediately after put returns
+        survivor = shard(tmp_path, ChaosFs())
+        assert survivor.get("aa" * 16, "vliw") == PAYLOAD
+
+    def test_overwrite_keeps_old_or_new_never_torn(self, tmp_path):
+        fs = ChaosFs()
+        store = shard(tmp_path, fs)
+        fp = "bb" * 16
+        old = dict(PAYLOAD, static_instructions=2)
+        new = dict(PAYLOAD, static_instructions=9)
+        store.put(fp, "vliw", old)
+        fs.apply_crash()
+        store.put(fp, "vliw", new)
+        fs.apply_crash()
+        after = shard(tmp_path, ChaosFs()).get(fp, "vliw")
+        assert after in (old, new)
+        assert after is not None  # never quarantined, never lost
+
+    def test_crash_mid_publication_loses_only_the_new_entry(self, tmp_path):
+        # Power cut injected at the dir fsync — the last step. The
+        # pre-crash durable view must hold the *old* complete entry.
+        fp = "cc" * 16
+        setup_fs = ChaosFs()
+        store = shard(tmp_path, setup_fs)
+        store.put(fp, "vliw", PAYLOAD)
+        setup_fs.apply_crash()
+
+        fs = ChaosFs([ChaosSpec(kind="crash", op="fsync-dir")])
+        dying = shard(tmp_path, fs)
+        with pytest.raises(SimulatedCrash):
+            dying.put(fp, "vliw", dict(PAYLOAD, static_instructions=99))
+        fs.apply_crash()
+        after = shard(tmp_path, ChaosFs())
+        assert after.get(fp, "vliw") == PAYLOAD  # old entry, intact
+        assert after.quarantined == 0
+
+    def test_the_fsync_sequence_is_what_saves_it(self, tmp_path):
+        """Regression pin: publish WITHOUT the fsyncs and power loss
+        eats the entry — the exact bug ``_put_once`` used to have."""
+        fs = ChaosFs()
+        path = tmp_path / "aa" / "entry.json"
+        path.parent.mkdir(parents=True)
+        tmp = path.with_name(path.name + ".tmp")
+        fs.write_text(tmp, "data")
+        fs.replace(tmp, path)  # no fsync(tmp), no fsync_dir(parent)
+        fs.apply_crash()
+        assert not path.exists()
+
+
+class TestDiskBudget:
+    def _put_n(self, store, n, key="vliw"):
+        for index in range(n):
+            fp = f"{index:02d}" + "ab" * 15
+            store.put(fp, key, dict(PAYLOAD, seq=index))
+            # mtime is the LRU clock; keep insertions ordered.
+            stamp = time.time() - (n - index) * 10
+            os.utime(store._path(fp, key), (stamp, stamp))
+
+    def test_budget_evicts_oldest_first(self, tmp_path):
+        fs = ChaosFs()
+        store = shard(tmp_path, fs)
+        self._put_n(store, 4)
+        entry_size = store.disk_bytes() // 4
+        store.max_bytes = entry_size * 2 + entry_size // 2  # room for ~2
+        store.put("ff" * 16, "vliw", PAYLOAD)
+        assert store.evictions > 0
+        assert store.disk_bytes() <= store.max_bytes + entry_size
+        # The newest pre-existing entry and the new one survive; the
+        # oldest did not.
+        assert store.get("00" + "ab" * 15, "vliw") is None
+        assert store.get("ff" * 16, "vliw") == PAYLOAD
+
+    def test_enospc_evicts_and_retries_once(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="enospc", op="write",
+                                path=f"*{'ee' * 16}*.tmp", times=1)])
+        store = shard(tmp_path, fs)
+        self._put_n(store, 2)
+        result = store.put("ee" * 16, "vliw", PAYLOAD)
+        assert result is not None  # retry after eviction succeeded
+        assert store.evictions > 0
+        assert store.write_errors == 0
+        assert store.get("ee" * 16, "vliw") == PAYLOAD
+
+    def test_persistent_enospc_gives_up_cleanly(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="enospc", op="write", path="*.tmp", times=0)])
+        store = shard(tmp_path, fs)
+        assert store.put("dd" * 16, "vliw", PAYLOAD) is None
+        assert store.write_errors == 1
+        assert not store.disabled  # full is not dying
+
+
+class TestMediaQuarantine:
+    def test_eio_run_disables_the_shard(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="eio", op="write", times=0)])
+        store = shard(tmp_path, fs, eio_threshold=3)
+        for index in range(3):
+            assert store.put(f"{index:02d}" + "cd" * 15, "vliw", PAYLOAD) is None
+        assert store.disabled
+        assert store.counters["store.disabled"] == 1
+        # Disabled shard: reads miss, writes drop, no fs traffic.
+        ops_before = fs.ops
+        assert store.get("00" + "cd" * 15, "vliw") is None
+        assert store.put("ee" * 16, "vliw", PAYLOAD) is None
+        assert fs.ops == ops_before
+
+    def test_success_resets_the_eio_run(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="eio", op="write", path="*.tmp", times=2)])
+        store = shard(tmp_path, fs, eio_threshold=3)
+        store.put("aa" * 16, "vliw", PAYLOAD)  # eio
+        store.put("bb" * 16, "vliw", PAYLOAD)  # eio
+        assert store.put("cc" * 16, "vliw", PAYLOAD) is not None  # ok: run resets
+        assert not store.disabled
+        store.put("dd" * 16, "vliw", PAYLOAD)
+        assert not store.disabled
+
+    def test_read_eio_counts_toward_quarantine(self, tmp_path):
+        seeded = shard(tmp_path, ChaosFs())
+        for index in range(3):
+            seeded.put(f"{index:02d}" + "ef" * 15, "vliw", PAYLOAD)
+        fs = ChaosFs([ChaosSpec(kind="eio", op="read", times=0)])
+        store = shard(tmp_path, fs, eio_threshold=3)
+        for index in range(3):
+            assert store.get(f"{index:02d}" + "ef" * 15, "vliw") is None
+        assert store.disabled
+
+    def test_torn_write_is_caught_by_the_checksum(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="torn-write", op="write", path="*.tmp",
+                                times=1)], seed=11)
+        store = shard(tmp_path, fs)
+        store.put("ab" * 16, "vliw", PAYLOAD)  # silently torn
+        reader = shard(tmp_path, ChaosFs())
+        assert reader.get("ab" * 16, "vliw") is None
+        assert reader.quarantined == 1

@@ -1,0 +1,191 @@
+"""The chaos filesystem: fault injection and the power-loss model.
+
+These tests pin the shim itself; its consumers (the cache shard's
+durable publication, the journal's torn-tail recovery) are pinned in
+``tests/perf/test_store_durability.py`` and ``tests/serve/test_journal.py``.
+"""
+
+import errno
+
+import pytest
+
+from repro.robustness.chaosfs import (
+    REAL_FS,
+    ChaosFs,
+    ChaosSpec,
+    SimulatedCrash,
+)
+from repro.robustness.faults import FaultPlan
+
+
+class TestSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kind="sharknado")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kind="eio", op="defragment")
+
+    def test_times_budget(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="enospc", op="write", times=2)])
+        target = tmp_path / "f"
+        for _ in range(2):
+            with pytest.raises(OSError) as info:
+                fs.write_bytes(target, b"x")
+            assert info.value.errno == errno.ENOSPC
+        fs.write_bytes(target, b"x")  # budget spent
+        assert target.read_bytes() == b"x"
+        assert fs.injected["enospc"] == 2
+
+    def test_path_glob_targets(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="eio", op="read", path="*.json", times=0)])
+        victim = tmp_path / "entry.json"
+        bystander = tmp_path / "entry.txt"
+        REAL_FS.write_bytes(victim, b"v")
+        REAL_FS.write_bytes(bystander, b"b")
+        with pytest.raises(OSError) as info:
+            fs.read_bytes(victim)
+        assert info.value.errno == errno.EIO
+        assert fs.read_bytes(bystander) == b"b"
+
+    def test_probability_is_seeded(self, tmp_path):
+        def run(seed):
+            fs = ChaosFs([ChaosSpec(kind="enospc", op="write", p=0.5)], seed=seed)
+            outcomes = []
+            for i in range(40):
+                try:
+                    fs.write_bytes(tmp_path / f"f{i}", b"x")
+                    outcomes.append(0)
+                except OSError:
+                    outcomes.append(1)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert 0 < sum(run(7)) < 40
+
+    def test_compact_fault_plan_chaos_section(self):
+        plan = FaultPlan.parse("dce:raise,fs:torn-write:3")
+        assert len(plan.faults) == 1 and plan.faults[0].pass_name == "dce"
+        assert len(plan.chaos) == 1
+        assert plan.chaos[0].kind == "torn-write" and plan.chaos[0].times == 3
+
+    def test_json_round_trip_with_chaos(self):
+        plan = FaultPlan.parse("fs:eio:0")
+        plan.chaos.append(ChaosSpec(kind="enospc", op="write", path="*.json", p=0.25))
+        again = FaultPlan.from_json(plan.to_json())
+        assert [s.to_dict() for s in again.chaos] == [s.to_dict() for s in plan.chaos]
+
+
+class TestTornWrite:
+    def test_torn_write_leaves_prefix_and_reports_success(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="torn-write", op="write")], seed=3)
+        target = tmp_path / "f"
+        data = b"A" * 1000
+        fs.write_bytes(target, data)  # no exception: the caller is lied to
+        written = target.read_bytes()
+        assert len(written) < len(data)
+        assert data.startswith(written)
+
+
+class TestCrashModel:
+    def test_unsynced_write_does_not_survive_crash(self, tmp_path):
+        fs = ChaosFs()
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"volatile")
+        assert target.read_bytes() == b"volatile"  # live view
+        fs.apply_crash()
+        assert not target.exists()  # never fsynced -> gone
+
+    def test_fsynced_write_survives_crash(self, tmp_path):
+        fs = ChaosFs()
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"durable")
+        fs.fsync(target)
+        fs.write_bytes(target, b"durable+later")
+        fs.apply_crash()
+        assert target.read_bytes() == b"durable"
+
+    def test_preexisting_file_is_durable_baseline(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"old")
+        fs = ChaosFs()
+        fs.write_bytes(target, b"new-unsynced")
+        fs.apply_crash()
+        assert target.read_bytes() == b"old"
+
+    def test_rename_without_dir_fsync_is_lost(self, tmp_path):
+        fs = ChaosFs()
+        tmp = tmp_path / "f.tmp"
+        dst = tmp_path / "f"
+        dst.write_bytes(b"old")
+        fs.write_bytes(tmp, b"new")
+        fs.fsync(tmp)
+        fs.replace(tmp, dst)
+        assert dst.read_bytes() == b"new"  # live view sees the rename
+        fs.apply_crash()
+        assert dst.read_bytes() == b"old"  # ...but it never became durable
+
+    def test_rename_without_file_fsync_publishes_nothing_durable(self, tmp_path):
+        # The exact bug the store used to have: replace + dir fsync but
+        # no fsync of the data file — the name survives, the bytes don't.
+        fs = ChaosFs()
+        tmp = tmp_path / "f.tmp"
+        dst = tmp_path / "f"
+        fs.write_bytes(tmp, b"new")
+        fs.replace(tmp, dst)
+        fs.fsync_dir(tmp_path)
+        fs.apply_crash()
+        assert not dst.exists() or dst.read_bytes() != b"new"
+
+    def test_full_durable_publication_survives(self, tmp_path):
+        fs = ChaosFs()
+        tmp = tmp_path / "f.tmp"
+        dst = tmp_path / "f"
+        fs.write_bytes(tmp, b"new")
+        fs.fsync(tmp)
+        fs.replace(tmp, dst)
+        fs.fsync_dir(tmp_path)
+        fs.apply_crash()
+        assert dst.read_bytes() == b"new"
+
+    def test_crash_spec_raises_simulated_crash(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="crash", op="fsync")])
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"x")
+        with pytest.raises(SimulatedCrash):
+            fs.fsync(target)
+        assert fs.crashed
+        fs.apply_crash()
+        assert not target.exists()
+
+    def test_simulated_crash_is_not_an_ordinary_exception(self):
+        # The service's blanket `except Exception` must not absorb a
+        # power cut.
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_crash_starts_fresh_epoch(self, tmp_path):
+        fs = ChaosFs()
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"one")
+        fs.apply_crash()
+        fs.write_bytes(target, b"two")
+        fs.fsync(target)
+        fs.apply_crash()
+        assert target.read_bytes() == b"two"
+
+
+class TestCounters:
+    def test_ops_and_injections_counted(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="enospc", op="write", times=1)])
+        try:
+            fs.write_bytes(tmp_path / "a", b"x")
+        except OSError:
+            pass
+        fs.write_bytes(tmp_path / "a", b"x")
+        fs.read_bytes(tmp_path / "a")
+        counters = fs.counters
+        assert counters["fs.ops"] == 3
+        assert counters["fs.injected.enospc"] == 1
+        assert counters["fs.injected.total"] == 1

@@ -1,0 +1,201 @@
+"""Degraded-mode HTTP transitions: 429 under pressure, 503 during
+recovery, and back.
+
+``test_http.py`` pins the routes; this file pins the *state machine*
+visible through them — what a load balancer actually keys on. The
+pressure tests hold a request open inside the pool so the pending
+counter (not timing luck) is what trips the shed path.
+"""
+
+import asyncio
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.serve.http import HttpFrontEnd
+from repro.serve.journal import WriteAheadJournal
+from repro.serve.service import CompileService, ServeRequest
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+OK = {"status": "ok", "ir": "func main(r3):\n    RET\n", "static_instructions": 2}
+
+
+class GatedPool:
+    """Every submit blocks until ``release`` is set."""
+
+    grace = 0.1
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def submit(self, request, deadline=None):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0)
+        return dict(OK)
+
+    def stats(self):
+        return {"workers": 1, "alive": 1}
+
+
+def _serve(service):
+    front = HttpFrontEnd(service)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(front.start(), loop).result(timeout=5)
+
+    def teardown():
+        asyncio.run_coroutine_threadsafe(front.stop(), loop).result(timeout=5)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=2)
+
+    return front, teardown
+
+
+def _call(front, method, path, body=None):
+    conn = HTTPConnection("127.0.0.1", front.port, timeout=10)
+    payload = json.dumps(body) if isinstance(body, dict) else body
+    conn.request(method, path, body=payload)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    conn.close()
+    return response.status, data
+
+
+class TestBackpressure429:
+    def test_pending_limit_sheds_with_429(self):
+        pool = GatedPool()
+        front, teardown = _serve(
+            CompileService(pool, deadline=5.0, max_pending=1)
+        )
+        try:
+            first = {}
+            runner = threading.Thread(
+                target=lambda: first.update(
+                    zip(("status", "data"),
+                        _call(front, "POST", "/compile", {"ir": SRC, "id": "slow"}))
+                )
+            )
+            runner.start()
+            assert pool.entered.wait(timeout=5.0)  # slot is now held
+            status, data = _call(front, "POST", "/compile",
+                                 {"ir": SRC, "id": "over"})
+            assert status == 429
+            assert data["status"] == "shed"
+            assert "pending" in data["detail"]
+            pool.release.set()
+            runner.join(timeout=10.0)
+            # The held request was never shed; pressure gone, 200s return.
+            assert first["status"] == 200
+            status, _data = _call(front, "POST", "/compile", {"ir": SRC})
+            assert status == 200
+        finally:
+            pool.release.set()
+            teardown()
+
+    def test_shed_shows_up_in_stats(self):
+        pool = GatedPool()
+        front, teardown = _serve(
+            CompileService(pool, deadline=5.0, max_pending=1)
+        )
+        try:
+            runner = threading.Thread(
+                target=_call, args=(front, "POST", "/compile", {"ir": SRC})
+            )
+            runner.start()
+            assert pool.entered.wait(timeout=5.0)
+            _call(front, "POST", "/compile", {"ir": SRC})
+            pool.release.set()
+            runner.join(timeout=10.0)
+            _status, stats = _call(front, "GET", "/stats")
+            assert stats["requests"]["shed"] == 1
+            assert stats["failures"]["overload"] == 1
+        finally:
+            pool.release.set()
+            teardown()
+
+    def test_shutdown_sheds_with_429(self):
+        class InstantPool(GatedPool):
+            def submit(self, request, deadline=None):
+                return dict(OK)
+
+        service = CompileService(InstantPool(), deadline=1.0)
+        front, teardown = _serve(service)
+        try:
+            service.begin_shutdown()
+            status, data = _call(front, "POST", "/compile", {"ir": SRC})
+            assert status == 429
+            assert "shutting down" in data["detail"]
+        finally:
+            teardown()
+
+
+class TestRecovery503:
+    def test_healthz_503_while_recovering_then_200(self, tmp_path):
+        # The crash leftover: an accepted request that never completed.
+        WriteAheadJournal(tmp_path).append_accept(
+            {"ir": SRC, "level": "vliw", "options": {}, "id": "lost",
+             "deadline": None}
+        )
+        pool = GatedPool()
+        service = CompileService(
+            pool, deadline=5.0, journal=WriteAheadJournal(tmp_path)
+        )
+        front, teardown = _serve(service)
+        try:
+            service.recover(block=False)
+            assert pool.entered.wait(timeout=5.0)  # backlog replay started
+            status, data = _call(front, "GET", "/healthz")
+            assert status == 503
+            assert data["status"] == "recovering"
+            assert data["recovering"] == 1
+
+            pool.release.set()
+            service._recovery_thread.join(timeout=10.0)
+            status, data = _call(front, "GET", "/healthz")
+            assert status == 200
+            assert data["status"] == "ok"
+
+            _status, stats = _call(front, "GET", "/stats")
+            assert stats["journal"]["recovered_inflight"] == 1
+            assert stats["journal"]["recovery_pending"] == 0
+            assert stats["journal"]["recovery_seconds"] >= 0
+            # The lost request really ran to completion.
+            assert stats["requests"]["ok"] == 1
+        finally:
+            pool.release.set()
+            teardown()
+
+    def test_restart_without_backlog_is_immediately_healthy(self, tmp_path):
+        class InstantPool(GatedPool):
+            def submit(self, request, deadline=None):
+                return dict(OK)
+
+        first = CompileService(
+            InstantPool(), deadline=1.0, journal=WriteAheadJournal(tmp_path)
+        )
+        first.compile(ServeRequest(ir=SRC))
+        first.flush()
+
+        service = CompileService(
+            InstantPool(), deadline=1.0, journal=WriteAheadJournal(tmp_path)
+        )
+        front, teardown = _serve(service)
+        try:
+            summary = service.recover(block=True)
+            assert summary["recovered_inflight"] == 0
+            status, data = _call(front, "GET", "/healthz")
+            assert status == 200 and data["status"] == "ok"
+            # Counters carried across the restart.
+            _status, stats = _call(front, "GET", "/stats")
+            assert stats["requests"]["total"] == 1
+        finally:
+            teardown()

@@ -1,0 +1,328 @@
+"""Write-ahead journal: records, replay, checkpoints, crash recovery,
+graceful shutdown.
+
+Journal mechanics are tested directly; the service-level tests use the
+same scripted FakePool as ``test_service.py`` and simulate a crash the
+honest way — an ``accept`` record with no completion, exactly what a
+SIGKILL mid-compile leaves behind. The full out-of-process kill is the
+soak benchmark's job (``benchmarks/test_e12_chaos_soak.py``).
+"""
+
+import threading
+
+from repro.perf.memo import CompileCache
+from repro.robustness.chaosfs import REAL_FS, ChaosFs, ChaosSpec
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.journal import (
+    JOURNAL_NAME,
+    WriteAheadJournal,
+    decode_record,
+    encode_record,
+)
+from repro.serve.service import CompileService, ServeRequest
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+OK = {"status": "ok", "ir": "func main(r3):\n    RET\n", "static_instructions": 2}
+
+
+class FakePool:
+    grace = 0.1
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.calls = []
+
+    def submit(self, request, deadline=None):
+        self.calls.append(request)
+        return self.handler(request)
+
+    def stats(self):
+        return {"workers": 1, "alive": 1}
+
+
+def service(pool, tmp_path, **kwargs):
+    kwargs.setdefault("cache", CompileCache(max_entries=8))
+    kwargs.setdefault("deadline", 1.0)
+    kwargs.setdefault("journal", WriteAheadJournal(tmp_path))
+    return CompileService(pool, **kwargs)
+
+
+def wire(ir=SRC, request_id=None):
+    return {"ir": ir, "level": "vliw", "options": {}, "id": request_id,
+            "deadline": None}
+
+
+class TestRecords:
+    def test_round_trip(self):
+        record = {"t": "accept", "req": {"ir": "x"}, "seq": 7}
+        assert decode_record(encode_record(record).rstrip(b"\n")) == record
+
+    def test_flipped_byte_fails_checksum(self):
+        line = bytearray(encode_record({"t": "accept", "seq": 1}))
+        line[-5] ^= 0xFF
+        assert decode_record(bytes(line)) is None
+
+    def test_torn_prefix_is_rejected(self):
+        line = encode_record({"t": "complete", "accept": 3, "seq": 4})
+        for cut in (1, len(line) // 2, len(line) - 2):
+            assert decode_record(line[:cut]) is None
+
+    def test_garbage_is_rejected(self):
+        assert decode_record(b"") is None
+        assert decode_record(b"not a journal line") is None
+
+
+class TestReplay:
+    def test_accept_without_complete_is_inflight(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path)
+        done = journal.append_accept(wire(request_id="done"))
+        journal.append_accept(wire(ir=SRC + "\n", request_id="lost"))
+        journal.append_complete(done, "ok", fingerprint="fp", level_served="vliw")
+        state = WriteAheadJournal(tmp_path).replay()
+        assert [req["id"] for req in state.inflight] == ["lost"]
+        assert state.completed == 1
+        assert state.corrupt_skipped == 0
+
+    def test_torn_tail_is_skipped_and_rest_survives(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path)
+        journal.append_accept(wire(request_id="a"))
+        journal.append_accept(wire(request_id="b"))
+        torn = encode_record({"t": "complete", "accept": 1, "seq": 3})
+        REAL_FS.append_bytes(journal.path, torn[: len(torn) // 2])
+        state = WriteAheadJournal(tmp_path).replay()
+        assert state.corrupt_skipped == 1
+        assert state.replayed == 2
+        # The lost completion re-enqueues "a" — at-least-once, never lost.
+        assert [req["id"] for req in state.inflight] == ["a", "b"]
+
+    def test_corrupt_middle_record_is_skipped(self, tmp_path):
+        good1 = encode_record({"t": "accept", "req": wire(request_id="x"), "seq": 1})
+        bad = b"0123456789ab {\"t\":\"accept\"}\n"
+        good2 = encode_record({"t": "complete", "accept": 1, "seq": 2})
+        (tmp_path / JOURNAL_NAME).write_bytes(good1 + bad + good2)
+        state = WriteAheadJournal(tmp_path).replay()
+        assert state.corrupt_skipped == 1
+        assert state.inflight == []
+        assert state.completed == 1
+
+    def test_empty_state_dir_replays_to_nothing(self, tmp_path):
+        state = WriteAheadJournal(tmp_path).replay()
+        assert state.inflight == [] and state.replayed == 0
+
+    def test_seq_continues_after_replay(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path)
+        journal.append_accept(wire())
+        journal.append_accept(wire())
+        fresh = WriteAheadJournal(tmp_path)
+        fresh.replay()
+        assert fresh.append_accept(wire()) == 3
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_history(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path, checkpoint_every=3)
+        for index in range(3):
+            journal.append_accept(wire(request_id=f"r{index}"))
+        assert journal.should_checkpoint
+        journal.checkpoint(
+            breaker={"failures": {"fp|vliw": 2}, "open_remaining": {}},
+            counters={"requests": 3},
+            inflight=[wire(request_id="r2")],
+        )
+        assert not journal.should_checkpoint
+        raw = (tmp_path / JOURNAL_NAME).read_bytes()
+        assert raw.count(b"\n") == 1  # exactly the checkpoint record
+        state = WriteAheadJournal(tmp_path).replay()
+        assert [req["id"] for req in state.inflight] == ["r2"]
+        assert state.breaker["failures"] == {"fp|vliw": 2}
+        assert state.counters == {"requests": 3}
+
+    def test_appends_after_checkpoint_compose(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path)
+        journal.checkpoint(breaker={}, counters={"requests": 5},
+                           inflight=[wire(request_id="old")])
+        journal.append_accept(wire(request_id="new"))
+        state = WriteAheadJournal(tmp_path).replay()
+        assert sorted(req["id"] for req in state.inflight) == ["new", "old"]
+
+    def test_failed_checkpoint_keeps_old_journal(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="enospc", op="write", path="*.new", times=1)])
+        journal = WriteAheadJournal(tmp_path, fs=fs, checkpoint_every=1)
+        journal.append_accept(wire(request_id="keep"))
+        journal.checkpoint(breaker={}, counters={}, inflight=[])
+        assert journal.checkpoints == 0
+        assert journal.append_errors == 1
+        state = WriteAheadJournal(tmp_path).replay()
+        assert [req["id"] for req in state.inflight] == ["keep"]
+        journal.checkpoint(breaker={}, counters={}, inflight=[])  # fault spent
+        assert journal.checkpoints == 1
+
+    def test_append_enospc_is_contained_and_counted(self, tmp_path):
+        fs = ChaosFs([ChaosSpec(kind="enospc", op="write",
+                                path=f"*{JOURNAL_NAME}", times=0)])
+        journal = WriteAheadJournal(tmp_path, fs=fs)
+        journal.append_accept(wire())
+        assert journal.append_errors == 1 and journal.appends == 0
+
+
+class TestBreakerPersistence:
+    def test_snapshot_round_trip(self):
+        clock = lambda: 100.0  # noqa: E731
+        breaker = CircuitBreaker(threshold=2, cooldown=30.0, clock=clock)
+        breaker.record_failure("fp", "vliw")
+        breaker.record_failure("fp", "vliw")
+        assert breaker.is_open("fp", "vliw")
+        snap = breaker.snapshot()
+        assert snap["failures"] == {"fp|vliw": 2}
+        assert snap["open_remaining"] == {"fp|vliw": 30.0}
+        fresh = CircuitBreaker(threshold=2, cooldown=30.0, clock=lambda: 7000.0)
+        fresh.restore(snap)
+        # Remaining (not absolute) deadlines: still open on the new clock.
+        assert fresh.is_open("fp", "vliw")
+
+    def test_expired_entries_do_not_restore(self):
+        times = {"now": 100.0}
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0,
+                                 clock=lambda: times["now"])
+        breaker.record_failure("fp", "vliw")
+        times["now"] = 200.0  # cooldown long past
+        fresh = CircuitBreaker()
+        fresh.restore(breaker.snapshot())
+        assert not fresh.is_open("fp", "vliw")
+        # ...but the failure count survives, so one more failure re-opens.
+        assert fresh._failures[("fp", "vliw")] == 1
+
+
+class TestServiceRecovery:
+    def test_unfinished_request_is_recompiled_after_restart(self, tmp_path):
+        # Crash leftovers: an accept with no completion.
+        WriteAheadJournal(tmp_path).append_accept(wire(request_id="lost"))
+        pool = FakePool(lambda _req: dict(OK))
+        svc = service(pool, tmp_path)
+        summary = svc.recover(block=True)
+        assert summary["recovered_inflight"] == 1
+        assert len(pool.calls) == 1
+        assert svc.completed == 1
+        assert svc.health()["status"] == "ok"
+        # Recovery work was re-journaled and checkpointed away: a second
+        # restart has nothing left to redo.
+        again = service(FakePool(lambda _req: dict(OK)), tmp_path)
+        assert again.recover(block=True)["recovered_inflight"] == 0
+
+    def test_completed_requests_are_not_redone(self, tmp_path):
+        first_pool = FakePool(lambda _req: dict(OK))
+        first = service(first_pool, tmp_path)
+        first.compile(ServeRequest(ir=SRC))
+        pool = FakePool(lambda _req: dict(OK))
+        svc = service(pool, tmp_path)
+        assert svc.recover(block=True)["recovered_inflight"] == 0
+        assert pool.calls == []
+
+    def test_health_reports_recovering_until_backlog_drains(self, tmp_path):
+        WriteAheadJournal(tmp_path).append_accept(wire(request_id="lost"))
+        release = threading.Event()
+        entered = threading.Event()
+
+        def handler(_req):
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return dict(OK)
+
+        svc = service(FakePool(handler), tmp_path)
+        svc.recover(block=False)
+        assert entered.wait(timeout=5.0)
+        health = svc.health()
+        assert health["status"] == "recovering" and health["recovering"] == 1
+        release.set()
+        svc._recovery_thread.join(timeout=5.0)
+        assert svc.health()["status"] == "ok"
+        assert svc.recovery_seconds is not None
+
+    def test_counters_survive_restart(self, tmp_path):
+        first = service(FakePool(lambda _req: dict(OK)), tmp_path)
+        first.compile(ServeRequest(ir=SRC))
+        first.compile(ServeRequest(ir="bogus"))  # reject
+        first.flush()
+        svc = service(FakePool(lambda _req: dict(OK)), tmp_path)
+        svc.recover(block=True)
+        assert svc.requests == 2
+        assert svc.completed == 1
+        assert svc.rejected == 1
+        assert svc.stats()["requests"]["total"] == 2
+
+    def test_breaker_poison_memory_survives_restart(self, tmp_path):
+        def poisoned(request):
+            return ({"status": "error", "detail": "pass blew up"}
+                    if request["level"] == "vliw" else dict(OK))
+
+        first = service(FakePool(poisoned), tmp_path,
+                        breaker=CircuitBreaker(threshold=1, cooldown=600.0))
+        degraded = first.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert degraded.degraded
+        first.flush()
+
+        pool = FakePool(poisoned)
+        svc = service(pool, tmp_path,
+                      breaker=CircuitBreaker(threshold=1, cooldown=600.0))
+        svc.recover(block=True)
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        # The fresh process remembers the poison: no vliw attempt at all.
+        assert response.breaker_skip
+        assert [a.level for a in response.attempts] == ["base"]
+        assert all(call["level"] != "vliw" for call in pool.calls)
+
+    def test_journal_section_in_stats(self, tmp_path):
+        svc = service(FakePool(lambda _req: dict(OK)), tmp_path)
+        svc.compile(ServeRequest(ir=SRC))
+        journal_stats = svc.stats()["journal"]
+        assert journal_stats["journal.appends"] == 2  # accept + complete
+        assert journal_stats["recovery_pending"] == 0
+
+    def test_no_journal_means_no_journal_stats(self, tmp_path):
+        svc = service(FakePool(lambda _req: dict(OK)), tmp_path, journal=None)
+        assert svc.stats()["journal"] is None
+        assert svc.recover() == {"recovered_inflight": 0, "replayed": 0}
+
+
+class TestGracefulShutdown:
+    def test_shutdown_sheds_new_requests(self, tmp_path):
+        svc = service(FakePool(lambda _req: dict(OK)), tmp_path)
+        svc.begin_shutdown()
+        response = svc.compile(ServeRequest(ir=SRC))
+        assert response.status == "shed"
+        assert "shutting down" in response.detail
+        assert response.http_status == 429
+
+    def test_drain_waits_for_inflight(self, tmp_path):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def handler(_req):
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return dict(OK)
+
+        svc = service(FakePool(handler), tmp_path)
+        worker = threading.Thread(
+            target=svc.compile, args=(ServeRequest(ir=SRC),)
+        )
+        worker.start()
+        assert entered.wait(timeout=5.0)
+        svc.begin_shutdown()
+        assert not svc.drain(deadline=0.05)  # still busy
+        release.set()
+        assert svc.drain(deadline=5.0)
+        worker.join(timeout=5.0)
+
+    def test_flush_writes_a_checkpoint(self, tmp_path):
+        svc = service(FakePool(lambda _req: dict(OK)), tmp_path)
+        svc.compile(ServeRequest(ir=SRC))
+        svc.flush()
+        assert svc.journal.checkpoints == 1
+        raw = (tmp_path / JOURNAL_NAME).read_bytes()
+        assert raw.count(b"\n") == 1

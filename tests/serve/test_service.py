@@ -261,7 +261,7 @@ class TestStats:
         assert stats["latency_ms"]["count"] == 3
         assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"] >= 0
         assert set(stats["failures"]) == {
-            "crash", "timeout", "sanitizer-violation", "overload",
+            "crash", "timeout", "sanitizer-violation", "oom", "overload",
         }
 
     def test_health_reflects_pool(self):

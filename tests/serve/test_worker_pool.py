@@ -110,6 +110,46 @@ class TestBackoff:
         assert all(h.failures == 0 for h in pool._handles if h.alive)
 
 
+class TestRespawnJitter:
+    @staticmethod
+    def _delays(seed, slots=4):
+        """Backoff delays the first failure of each slot would get."""
+        pool = WorkerPool(workers=slots, start=False, backoff_base=1.0,
+                          backoff_cap=100.0, backoff_jitter=0.5,
+                          jitter_seed=seed)
+        delays = []
+        for handle in pool._handles:
+            pool._fail(handle, "crash")
+            delays.append(handle.respawn_at - time.monotonic())
+        return delays
+
+    def test_jitter_stays_within_the_multiplicative_band(self):
+        for delay in self._delays(seed=1):
+            assert 1.0 <= delay <= 1.5 + 0.01  # base .. base*(1+jitter)
+
+    def test_slots_get_decorrelated_delays(self):
+        delays = self._delays(seed=1)
+        assert len({round(d, 3) for d in delays}) == len(delays)
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        first = self._delays(seed=7)
+        second = self._delays(seed=7)
+        other = self._delays(seed=8)
+        assert all(abs(a - b) < 0.05 for a, b in zip(first, second))
+        assert any(abs(a - b) > 0.01 for a, b in zip(first, other))
+
+    def test_zero_jitter_is_pure_exponential(self):
+        pool = WorkerPool(workers=1, start=False, backoff_base=0.5,
+                          backoff_cap=100.0, backoff_jitter=0.0)
+        handle = pool._handles[0]
+        pool._fail(handle, "crash")
+        first = handle.respawn_at - time.monotonic()
+        pool._fail(handle, "crash")
+        second = handle.respawn_at - time.monotonic()
+        assert abs(first - 0.5) < 0.01
+        assert abs(second - 1.0) < 0.01
+
+
 class TestLifecycle:
     def test_stop_is_idempotent_and_kills_workers(self):
         pool = WorkerPool(workers=2, deadline=5.0)
