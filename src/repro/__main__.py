@@ -29,6 +29,7 @@ from repro.ir import format_module, parse_module, verify_module
 from repro.machine import MEM_MODELS, run_function, time_trace
 from repro.machine.model import PRESETS, RS6000
 from repro.pipeline import compile_module
+from repro.scheduling import PIPELINERS
 from repro.workloads import suite
 
 
@@ -63,6 +64,7 @@ def cmd_compile(args) -> int:
         args.level,
         profile=profile,
         plan=plan,
+        pipeliner=args.pipeliner,
         resilience=args.resilience,
         fault_plan=fault_plan,
         pass_budget_seconds=args.pass_budget,
@@ -236,6 +238,20 @@ def cmd_fuzz(args) -> int:
         quick=args.quick,
     )
     gen_cfg = GenConfig(size=args.size)
+    config_keys = (
+        tuple(k.strip() for k in args.configs.split(",") if k.strip())
+        if args.configs
+        else None
+    )
+    if config_keys:
+        from repro.fuzz.oracle import config_from_key
+
+        try:
+            for key in config_keys:
+                config_from_key(key)
+        except ValueError as exc:
+            print(f"repro fuzz: {exc}", file=sys.stderr)
+            return 2
     findings, stats = run_fuzz(
         seeds=args.seeds,
         level=args.level,
@@ -246,6 +262,7 @@ def cmd_fuzz(args) -> int:
         oracle_cfg=oracle_cfg,
         gen_cfg=gen_cfg,
         log=lambda msg: print(msg, file=sys.stderr),
+        config_keys=config_keys,
     )
     if args.save_failures and findings:
         from pathlib import Path
@@ -473,6 +490,14 @@ def main(argv=None) -> int:
         "--profile", help="profile file from `repro profile` (enables PDF)"
     )
     p_compile.add_argument(
+        "--pipeliner",
+        choices=PIPELINERS,
+        default="swp",
+        help="software-pipelining backend: legacy greedy rotations (swp), "
+        "true modulo scheduling (modulo), or modulo scheduling with the "
+        "bounded-exhaustive slot search (modulo-opt)",
+    )
+    p_compile.add_argument(
         "--resilience",
         choices=("strict", "rollback", "retry"),
         help="guard every pass with snapshot/rollback + differential checks",
@@ -606,6 +631,10 @@ def main(argv=None) -> int:
                         "recorded as a crash finding")
     p_fuzz.add_argument("--quick", action="store_true",
                         help="sweep only the two main configs per seed")
+    p_fuzz.add_argument("--configs",
+                        help="comma-separated sweep config keys (e.g. "
+                        "vliw:u2:modulo,vliw:u2:modulo-opt) to check "
+                        "instead of the level's default sweep")
     p_fuzz.add_argument("--no-bisect", action="store_true",
                         help="skip the per-finding guilty-pass bisection")
     p_fuzz.add_argument("--save-failures",

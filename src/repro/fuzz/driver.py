@@ -121,20 +121,30 @@ def fuzz_seed(
     oracle_cfg: Optional[OracleConfig] = None,
     gen_cfg: Optional[GenConfig] = None,
     seed_timeout: Optional[float] = None,
+    config_keys: Optional[Tuple[str, ...]] = None,
 ) -> List[Finding]:
     """Check one seed; module-level so ProcessPoolExecutor can pickle it.
+
+    ``config_keys`` restricts the sweep to those exact configurations
+    (e.g. ``("vliw:u2:modulo",)`` for a campaign targeting the modulo
+    backend); None sweeps the level's full default set.
 
     Never raises: an oracle crash or a ``seed_timeout`` overrun is
     itself a finding (``kind="crash"``) — the campaign must outlive its
     own discoveries.
     """
     source = ""
+    configs = (
+        [config_from_key(key) for key in config_keys] if config_keys else None
+    )
     try:
         with _seed_alarm(seed_timeout):
             _apply_crash_hooks(seed)
             module = generate_module(seed, gen_cfg)
             source = format_module(module)
-            return Oracle(oracle_cfg).check_module(module, seed, level)
+            return Oracle(oracle_cfg).check_module(
+                module, seed, level, configs=configs
+            )
     except SeedTimeout:
         return [
             _crash_finding(
@@ -164,14 +174,16 @@ def run_fuzz(
     gen_cfg: Optional[GenConfig] = None,
     log: Optional[Callable[[str], None]] = None,
     progress_every: int = 50,
+    config_keys: Optional[Tuple[str, ...]] = None,
 ) -> Tuple[List[Finding], FuzzStats]:
     """Fuzz ``seeds`` seeds starting at ``start``.
 
     ``time_budget`` (seconds) stops the campaign early once exceeded —
     the CI smoke job runs "as many seeds as fit in a minute".
     ``seed_timeout`` (seconds) bounds a *single* seed so one hung
-    oracle run cannot eat the whole budget. Findings are returned in
-    seed order regardless of worker scheduling.
+    oracle run cannot eat the whole budget. ``config_keys`` restricts
+    the sweep (see :func:`fuzz_seed`). Findings are returned in seed
+    order regardless of worker scheduling.
     """
     say = log or (lambda _msg: None)
     stats = FuzzStats()
@@ -199,11 +211,15 @@ def run_fuzz(
             if out_of_time():
                 say(f"time budget exhausted after {stats.seeds_run} seeds")
                 break
-            record(fuzz_seed(seed, level, oracle_cfg, gen_cfg, seed_timeout))
+            record(
+                fuzz_seed(
+                    seed, level, oracle_cfg, gen_cfg, seed_timeout, config_keys
+                )
+            )
     else:
         _run_parallel(
             seed_list, level, jobs, seed_timeout, oracle_cfg, gen_cfg,
-            record, out_of_time, say, stats,
+            record, out_of_time, say, stats, config_keys,
         )
     stats.elapsed = time.time() - t0
     findings.sort(key=lambda f: (f.seed, f.config))
@@ -221,6 +237,7 @@ def _run_parallel(
     out_of_time: Callable[[], bool],
     say: Callable[[str], None],
     stats: FuzzStats,
+    config_keys: Optional[Tuple[str, ...]] = None,
 ) -> None:
     """Fan seeds across a process pool, surviving hard worker deaths.
 
@@ -238,7 +255,10 @@ def _run_parallel(
 
     def submit(seed: int) -> None:
         pending[
-            pool.submit(fuzz_seed, seed, level, oracle_cfg, gen_cfg, seed_timeout)
+            pool.submit(
+                fuzz_seed, seed, level, oracle_cfg, gen_cfg, seed_timeout,
+                config_keys,
+            )
         ] = seed
 
     try:

@@ -71,6 +71,7 @@ class SweepConfig:
     unroll_factor: int = 2
     software_pipelining: bool = True
     disable: Tuple[str, ...] = ()
+    pipeliner: str = "swp"
 
     def compile(self, module: Module, verify: bool = True):
         return compile_module(
@@ -79,6 +80,7 @@ class SweepConfig:
             unroll_factor=self.unroll_factor,
             software_pipelining=self.software_pipelining,
             disable=list(self.disable) or None,
+            pipeliner=self.pipeliner,
             verify=verify,
         )
 
@@ -89,6 +91,7 @@ class SweepConfig:
             software_pipelining=self.software_pipelining,
             unroll_factor=self.unroll_factor,
             disable=list(self.disable) or None,
+            pipeliner=self.pipeliner,
         )
 
 
@@ -110,9 +113,15 @@ def sweep_configs(level: str = "vliw", quick: bool = False) -> List[SweepConfig]
         return [SweepConfig("base", "base")]
     configs = [
         SweepConfig("vliw:u2:swp", "vliw", 2, True),
+        SweepConfig("vliw:u2:modulo", "vliw", 2, True, pipeliner="modulo"),
         SweepConfig("vliw:u1:swp", "vliw", 1, True),
         SweepConfig("vliw:u4:swp", "vliw", 4, True),
         SweepConfig("vliw:u2:noswp", "vliw", 2, False),
+        SweepConfig("vliw:u1:modulo", "vliw", 1, True, pipeliner="modulo"),
+        SweepConfig("vliw:u4:modulo", "vliw", 4, True, pipeliner="modulo"),
+        SweepConfig(
+            "vliw:u2:modulo-opt", "vliw", 2, True, pipeliner="modulo-opt"
+        ),
     ]
     if quick:
         return configs[:2]
@@ -124,12 +133,25 @@ def sweep_configs(level: str = "vliw", quick: bool = False) -> List[SweepConfig]
 
 
 def config_from_key(key: str) -> SweepConfig:
-    """Rebuild a :class:`SweepConfig` from its ``key`` string."""
+    """Rebuild a :class:`SweepConfig` from its ``key`` string.
+
+    Keys come from two places: the oracle's own sweeps (always valid)
+    and the user-typed ``repro fuzz --configs`` list — so unknown
+    segments are rejected loudly instead of silently falling back to
+    the defaults (a typo'd backend name would otherwise sweep plain
+    ``swp`` under the misspelled key and "find" nothing).
+    """
     if key == "base":
         return SweepConfig("base", "base")
     parts = key.split(":")
+    if parts[0] != "vliw":
+        raise ValueError(
+            f"unknown sweep config {key!r}: expected 'base' or "
+            "'vliw[:u<N>][:swp|noswp|modulo|modulo-opt][:no-<pass>...]'"
+        )
     unroll = 2
     swp = True
+    pipeliner = "swp"
     disable: List[str] = []
     for part in parts[1:]:
         if part.startswith("u") and part[1:].isdigit():
@@ -138,9 +160,25 @@ def config_from_key(key: str) -> SweepConfig:
             swp = True
         elif part == "noswp":
             swp = False
+        elif part in ("modulo", "modulo-opt"):
+            swp = True
+            pipeliner = part
         elif part.startswith("no-"):
-            disable.append(part[3:])
-    return SweepConfig(key, "vliw", unroll, swp, tuple(disable))
+            name = part[3:]
+            known = {p.name for p in vliw_passes()}
+            if name not in known:
+                raise ValueError(
+                    f"sweep config {key!r} disables unknown pass "
+                    f"{name!r}; pipeline has: {', '.join(sorted(known))}"
+                )
+            disable.append(name)
+        else:
+            raise ValueError(
+                f"unknown segment {part!r} in sweep config {key!r}: "
+                "expected u<N>, swp, noswp, modulo, modulo-opt, "
+                "or no-<pass>"
+            )
+    return SweepConfig(key, "vliw", unroll, swp, tuple(disable), pipeliner)
 
 
 @dataclass

@@ -13,6 +13,13 @@ on it is the program's fault, not the compiler's.
 ``call_residue_violations`` decides membership in the defined-behaviour
 contract with a forward may-dataflow over each function's CFG:
 
+- at function entry every call-clobbered register that is not a
+  declared parameter is *hazardous*: its value is whatever the caller
+  left there, and the caller's optimizer is free to delete or repurpose
+  those leftovers (a callee-side read of an undeclared register is the
+  dual of the caller-side post-call read — seed 186's reducer walked
+  through this gap, morphing a real containment bug into a "dce
+  miscompile" on a candidate whose callee read the caller's ``r10``);
 - a call to another generated function makes every call-clobbered
   register except the return value *hazardous*;
 - calls to library routines with known properties (``print_int`` & co)
@@ -82,6 +89,9 @@ def _transfer(hazard: Set[Reg], instr: Instr) -> None:
 def _block_entry_hazards(fn: Function) -> Dict[str, Set[Reg]]:
     """Fixpoint of hazardous-register sets at each block entry."""
     entry: Dict[str, Set[Reg]] = {bb.label: set() for bb in fn.blocks}
+    # Incoming caller residue: everything call-clobbered that the
+    # function does not declare as a parameter.
+    entry[fn.blocks[0].label] = set(HAZARD_REGS - set(fn.params))
     work = list(fn.blocks)
     while work:
         bb = work.pop()

@@ -66,6 +66,12 @@ class MachineState:
         self.input: List[int] = list(input_values) if input_values else []
         #: Registers currently holding a deferred-exception token.
         self.poison: Set[Reg] = set()
+        #: Stack-slot addresses holding a *spilled* token: a linkage
+        #: save (``ST !save``) of a poisoned register preserves the
+        #: token through memory (IA-64 ``st8.spill`` style) and the
+        #: matching ``L !restore`` re-poisons the register, instead of
+        #: the save counting as a speculation escape.
+        self.mem_poison: Set[int] = set()
         #: How many times a speculative fault was converted into poison
         #: (production events only — propagation does not count). The
         #: sanitizer uses this to classify "masked" runs.
@@ -316,6 +322,14 @@ class Interpreter:
                     value = self._load_word(state, instr, addr)
                     if value is None:
                         state.taint(instr.rd, seed=True)
+                    elif (
+                        state.mem_poison
+                        and addr in state.mem_poison
+                        and instr.attrs.get("restore")
+                    ):
+                        # Fill of a spilled token: re-poison the
+                        # register (propagation, not a fresh event).
+                        state.taint(instr.rd)
                     else:
                         state.set(instr.rd, value)
             elif op == "LU":
@@ -331,13 +345,32 @@ class Interpreter:
                         state.set(instr.rd, value)
                     state.set(instr.base, addr)
             elif op == "ST":
-                self._sidefx(state, instr, "a store", instr.ra, instr.base)
-                addr = state.get(instr.base) + instr.disp
-                state.mem[addr] = state.get(instr.ra)
+                if (
+                    faulting
+                    and instr.attrs.get("save")
+                    and state.is_poisoned(instr.ra)
+                ):
+                    # Register spill of a poisoned value: the save must
+                    # preserve the token, not trap — the spilled value
+                    # may be dead garbage the callee is merely required
+                    # to put back (the reason IA-64 pairs st8.spill
+                    # with ld8.fill).
+                    self._sidefx(state, instr, "a store", instr.base)
+                    addr = state.get(instr.base) + instr.disp
+                    state.mem[addr] = state.get(instr.ra)
+                    state.mem_poison.add(addr)
+                else:
+                    self._sidefx(state, instr, "a store", instr.ra, instr.base)
+                    addr = state.get(instr.base) + instr.disp
+                    state.mem[addr] = state.get(instr.ra)
+                    if state.mem_poison:
+                        state.mem_poison.discard(addr)
             elif op == "STU":
                 self._sidefx(state, instr, "a store", instr.ra, instr.base)
                 addr = state.get(instr.base) + instr.disp
                 state.mem[addr] = state.get(instr.ra)
+                if state.mem_poison:
+                    state.mem_poison.discard(addr)
                 state.set(instr.base, addr)
             elif op == "C":
                 if faulting and state.is_poisoned(instr.ra, instr.rb):

@@ -101,9 +101,11 @@ def vliw_passes(
     software_pipelining: bool = True,
     unroll_factor: int = 2,
     disable: Optional[List[str]] = None,
+    pipeliner: str = "swp",
 ) -> List[Pass]:
     """The full VLIW pipeline; ``disable`` names passes to skip (for the
-    ablation experiments)."""
+    ablation experiments). ``pipeliner`` selects the software-pipelining
+    backend (``"swp"``, ``"modulo"`` or ``"modulo-opt"``)."""
     skip = set(disable or ())
     passes: List[Pass] = [
         Straighten(),
@@ -114,6 +116,7 @@ def vliw_passes(
         VLIWScheduling(
             unroll_factor=unroll_factor,
             software_pipelining=software_pipelining,
+            pipeliner=pipeliner,
         ),
         LimitedCombining(),
         CopyPropagation(),
@@ -140,6 +143,7 @@ def compile_module(
     software_pipelining: bool = True,
     unroll_factor: int = 2,
     disable: Optional[List[str]] = None,
+    pipeliner: str = "swp",
     verify: bool = True,
     resilience: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
@@ -159,6 +163,11 @@ def compile_module(
     ``profile``/``plan`` enable PDF: the plan's edge splits are re-applied
     first (the profile refers to the split flow graph), then the edge and
     block counts guide the PDF passes and the scheduler.
+
+    ``pipeliner`` selects the software-pipelining backend of the VLIW
+    level: ``"swp"`` (legacy greedy rotations), ``"modulo"`` (true
+    modulo scheduling with reservation tables) or ``"modulo-opt"``
+    (modulo scheduling plus the bounded-exhaustive slot search).
 
     ``resilience`` selects the guarded pipeline (``"strict"``,
     ``"rollback"`` or ``"retry"``, see :mod:`repro.robustness`); the
@@ -207,6 +216,7 @@ def compile_module(
             software_pipelining=software_pipelining,
             unroll_factor=unroll_factor,
             disable=disable,
+            pipeliner=pipeliner,
         )
     elif level == "none":
         passes = []

@@ -14,11 +14,15 @@ copy that lands on the loop entry edge is exactly the pipeline prolog.
 
 from repro.scheduling.list_scheduler import LocalScheduling, schedule_block
 from repro.scheduling.global_scheduler import GlobalScheduling
-from repro.scheduling.pipeline import VLIWScheduling
+from repro.scheduling.modulo import ModuloScheduling, ReservationTable
+from repro.scheduling.pipeline import PIPELINERS, VLIWScheduling
 
 __all__ = [
     "GlobalScheduling",
     "LocalScheduling",
+    "ModuloScheduling",
+    "PIPELINERS",
+    "ReservationTable",
     "VLIWScheduling",
     "schedule_block",
 ]

@@ -79,8 +79,13 @@ def schedule_block(
             candidates = [
                 i for i in ready if not placed[i] and earliest[i] <= cycle
             ]
-            # Highest critical path first; the terminator goes last.
-            candidates.sort(key=lambda i: (-heights[i], i))
+            # Highest critical path first, program order on ties (the
+            # classic list-scheduling heuristic), instruction uid last so
+            # the key is a total order over instruction identity — never
+            # dict/set iteration order, never anything a ``--jobs``
+            # parallel compile could reorder. Serial and parallel
+            # compiles must stay bit-identical.
+            candidates.sort(key=lambda i: (-heights[i], i, dag.instrs[i].uid))
             issued_any = False
             for i in candidates:
                 if width_left <= 0:

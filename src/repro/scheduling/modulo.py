@@ -1,0 +1,1019 @@
+"""True modulo scheduling with resource reservation tables.
+
+The legacy software-pipelining path approximates the paper's enhanced
+pipeline scheduling by letting :class:`GlobalScheduling` greedily rotate
+operations across loop back edges. This module adds the classical modulo
+scheduler on top of that machinery:
+
+- **II lower bounds.** The resource-constrained bound *ResMII* comes
+  from the :class:`~repro.machine.model.MachineModel` unit pools (the
+  shared FXU, the branch unit) and the issue width; the recurrence bound
+  *RecMII* comes from loop-carried dependence cycles: the smallest II
+  for which no cycle has positive weight under edge weights
+  ``latency - II * distance`` (checked with Bellman-Ford longest-path
+  relaxation).
+- **Reservation tables.** A :class:`ReservationTable` tracks, per kernel
+  slot ``cycle % II``, how many operations occupy each functional-unit
+  class and how much issue width is left. ``reserve`` refuses to
+  oversubscribe a slot; the scheduler backtracks instead.
+- **Iterative modulo scheduling.** Rau's IMS: operations are placed in
+  priority order (critical height at the candidate II, ties broken on
+  instruction ``uid`` so parallel compiles stay bit-identical to
+  serial); when no slot in ``[estart, estart + II)`` has a free unit the
+  operation is *forced* and conflicting operations are evicted and
+  rescheduled. A budget bounds the eviction churn; on exhaustion the II
+  is bumped and the search restarts.
+- **Optimal backend.** ``optimal_modulo_schedule`` runs a bounded
+  exhaustive search over slot assignments starting at MII; the result
+  never exceeds the heuristic II (the heuristic schedule itself is the
+  fallback candidate), which :class:`ModuloScheduling` asserts.
+
+Materialization reuses the enhanced-pipeline-scheduling rotation
+machinery rather than inventing a second code generator: an operation
+scheduled in stage *s* of an *S*-stage kernel must execute
+``stage(branch) - s`` iterations ahead of the loop-closing branch, which
+is exactly that many back-edge rotations. Each rotation's bookkeeping
+copy on the loop entry edge is one prologue stage; loop exits stay in
+place (the kernel drains naturally, so no explicit epilogue is needed
+and the variable iteration issue rate the paper highlights is
+preserved), and the existing loop-exit ``LR`` copies keep exit values
+correct. Modulo variable expansion reuses
+:class:`~repro.transforms.renaming.LiveRangeRenaming`: unrolling already
+expanded the kernel, and a post-rotation renaming pass splits any webs
+the rotation separated. A per-loop snapshot guard measures the
+steady-state II (two concatenated kernel copies minus one) before and
+after and rolls the loop back if pipelining did not pay, so the modulo
+backend is never worse than the legacy path it starts from.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.alias import MemoryModel
+from repro.analysis.dependence import build_dag
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import Loop, find_natural_loops
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.machine.model import MachineModel, RS6000
+from repro.machine.timer import time_trace
+from repro.scheduling.global_scheduler import GlobalScheduling
+from repro.scheduling.list_scheduler import _unit_class, schedule_block
+from repro.transforms.pass_manager import Pass, PassContext
+from repro.transforms.renaming import LiveRangeRenaming
+
+__all__ = [
+    "KernelDep",
+    "ModuloSchedule",
+    "ModuloScheduling",
+    "ReservationTable",
+    "iterative_modulo_schedule",
+    "kernel_dependences",
+    "modulo_schedule",
+    "optimal_modulo_schedule",
+    "rec_mii",
+    "res_mii",
+    "unit_key",
+    "unit_limit",
+]
+
+
+# -- functional units ---------------------------------------------------------
+
+
+def unit_key(instr: Instr, model: MachineModel) -> str:
+    """The unit pool ``instr`` draws from (mirrors the list scheduler)."""
+    klass = _unit_class(instr)
+    if klass == "branch":
+        return "branch"
+    return "fxu" if model.shared_fxu else klass
+
+
+def unit_limit(key: str, model: MachineModel) -> int:
+    """How many operations of unit class ``key`` may issue per cycle."""
+    if key == "branch":
+        return model.branch_units
+    if key == "fxu":
+        return model.fxu_units
+    return model.mem_units if key == "mem" else model.int_units
+
+
+class ReservationTable:
+    """Per-slot unit bookkeeping for a kernel of ``ii`` cycles.
+
+    Cycle ``c`` lands in slot ``c % ii``; every slot holds at most
+    ``issue_width`` operations overall and at most ``unit_limit(key)``
+    operations of each unit class. ``reserve`` raises instead of
+    oversubscribing — callers must check :meth:`fits` and backtrack.
+    """
+
+    def __init__(self, ii: int, model: MachineModel = RS6000):
+        if ii < 1:
+            raise ValueError(f"initiation interval must be >= 1, got {ii}")
+        self.ii = ii
+        self.model = model
+        self._width = [0] * ii
+        self._units: List[Dict[str, int]] = [dict() for _ in range(ii)]
+
+    def fits(self, cycle: int, key: str) -> bool:
+        slot = cycle % self.ii
+        if self._width[slot] >= self.model.issue_width:
+            return False
+        return self._units[slot].get(key, 0) < unit_limit(key, self.model)
+
+    def reserve(self, cycle: int, key: str) -> None:
+        if not self.fits(cycle, key):
+            raise ValueError(
+                f"slot {cycle % self.ii} of II={self.ii} oversubscribed "
+                f"for unit {key!r}"
+            )
+        slot = cycle % self.ii
+        self._width[slot] += 1
+        self._units[slot][key] = self._units[slot].get(key, 0) + 1
+
+    def release(self, cycle: int, key: str) -> None:
+        slot = cycle % self.ii
+        if self._units[slot].get(key, 0) <= 0:
+            raise ValueError(f"release of empty reservation {key!r}@{slot}")
+        self._width[slot] -= 1
+        self._units[slot][key] -= 1
+
+    def occupancy(self) -> List[Dict[str, int]]:
+        """Per-slot unit usage (a copy; for tests and reporting)."""
+        return [dict(units) for units in self._units]
+
+    def oversubscribed(self) -> bool:
+        """True if any slot exceeds a unit pool or the issue width."""
+        for slot in range(self.ii):
+            if self._width[slot] > self.model.issue_width:
+                return True
+            for key, count in self._units[slot].items():
+                if count > unit_limit(key, self.model):
+                    return True
+        return False
+
+
+# -- the kernel dependence graph ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelDep:
+    """One dependence edge of the kernel graph.
+
+    ``distance`` counts iterations: 0 for intra-iteration edges, 1 for
+    loop-carried edges. The constraint is
+    ``time[dst] >= time[src] + latency - II * distance``.
+    """
+
+    src: int
+    dst: int
+    latency: int
+    distance: int
+
+
+def kernel_dependences(
+    seq: Sequence[Instr],
+    memory: Optional[MemoryModel] = None,
+    model: MachineModel = RS6000,
+) -> List[KernelDep]:
+    """Dependences of the linearised kernel, including loop-carried ones.
+
+    Intra-iteration edges come from the ordinary block DAG over ``seq``;
+    loop-carried (distance-1) edges are read off a DAG over two
+    concatenated kernel copies: an edge from the first copy into the
+    second is a dependence that wraps around the back edge. (Distances
+    beyond 1 impose strictly weaker constraints and are dropped.)
+    """
+    n = len(seq)
+    edges: List[KernelDep] = []
+    dag0 = build_dag(list(seq), memory=memory, model=model)
+    for i in range(n):
+        for j, lat in dag0.succs[i].items():
+            edges.append(KernelDep(i, j, lat, 0))
+    dag2 = build_dag(list(seq) + list(seq), memory=memory, model=model)
+    for i in range(n):
+        for j, lat in dag2.succs[i].items():
+            if j >= n:
+                edges.append(KernelDep(i, j - n, lat, 1))
+    return edges
+
+
+def res_mii(seq: Sequence[Instr], model: MachineModel = RS6000) -> int:
+    """Resource-constrained lower bound on the initiation interval."""
+    if not seq:
+        return 1
+    counts: Dict[str, int] = {}
+    for instr in seq:
+        key = unit_key(instr, model)
+        counts[key] = counts.get(key, 0) + 1
+    mii = -(-len(seq) // model.issue_width)  # ceil
+    for key, count in counts.items():
+        mii = max(mii, -(-count // unit_limit(key, model)))
+    return max(1, mii)
+
+
+def rec_mii(n: int, edges: Sequence[KernelDep]) -> int:
+    """Recurrence-constrained lower bound on the initiation interval.
+
+    The smallest II such that no dependence cycle has positive weight
+    under ``latency - II * distance``. Feasibility is monotone in II
+    (every cycle crosses the back edge at least once), so binary search
+    over [1, sum of latencies] with Bellman-Ford positive-cycle
+    detection finds it.
+    """
+    if n == 0:
+        return 1
+    carried = [e for e in edges if e.distance > 0]
+    if not carried:
+        return 1
+
+    def has_positive_cycle(ii: int) -> bool:
+        dist = [0] * n
+        for _ in range(n):
+            changed = False
+            for e in edges:
+                weight = e.latency - ii * e.distance
+                if dist[e.src] + weight > dist[e.dst]:
+                    dist[e.dst] = dist[e.src] + weight
+                    changed = True
+            if not changed:
+                return False
+        return True  # still relaxing after n rounds
+
+    lo, hi = 1, max(1, sum(e.latency for e in edges))
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if has_positive_cycle(mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+# -- the schedule -------------------------------------------------------------
+
+
+@dataclass
+class ModuloSchedule:
+    """A resource- and dependence-feasible modulo schedule of a kernel."""
+
+    ii: int
+    times: List[int]
+    table: ReservationTable
+    optimal: bool = False
+
+    def stage(self, i: int) -> int:
+        return self.times[i] // self.ii
+
+    @property
+    def stages(self) -> int:
+        return max(self.stage(i) for i in range(len(self.times))) + 1
+
+    def rotations(self, anchor: int) -> Dict[int, int]:
+        """Back-edge rotations per node, relative to ``anchor``.
+
+        An operation in stage *s* executes ``stage(anchor) - s``
+        iterations ahead of the anchor (the loop-closing branch); ops at
+        or past the anchor's stage keep rotation 0.
+        """
+        base = self.stage(anchor)
+        return {
+            i: max(0, base - self.stage(i)) for i in range(len(self.times))
+        }
+
+    def verify(self, edges: Sequence[KernelDep]) -> bool:
+        """Every dependence honoured and no slot oversubscribed."""
+        for e in edges:
+            if self.times[e.dst] < self.times[e.src] + e.latency - self.ii * e.distance:
+                return False
+        return not self.table.oversubscribed()
+
+
+def _priority_heights(
+    n: int, edges: Sequence[KernelDep], ii: int
+) -> List[int]:
+    """Critical height of each node at the candidate II.
+
+    Longest-path-to-sink under ``latency - II * distance`` weights,
+    computed by bounded relaxation (converges when II >= RecMII).
+    """
+    heights = [0] * n
+    for _ in range(n + 1):
+        changed = False
+        for e in edges:
+            cand = heights[e.dst] + e.latency - ii * e.distance
+            if cand > heights[e.src]:
+                heights[e.src] = cand
+                changed = True
+        if not changed:
+            break
+    return heights
+
+
+def iterative_modulo_schedule(
+    seq: Sequence[Instr],
+    edges: Sequence[KernelDep],
+    model: MachineModel,
+    ii: int,
+    budget_ratio: int = 8,
+) -> Optional[ModuloSchedule]:
+    """Rau's iterative modulo scheduling at a fixed II.
+
+    Returns ``None`` when the eviction budget runs out (the caller bumps
+    the II and retries). Deterministic: the worklist is ordered on
+    (height desc, uid asc) and evictions pick the lowest-priority
+    conflictor, so two runs — serial or under ``--jobs`` — produce the
+    same schedule.
+    """
+    n = len(seq)
+    if n == 0:
+        return ModuloSchedule(ii, [], ReservationTable(ii, model))
+    heights = _priority_heights(n, edges, ii)
+    in_edges: List[List[KernelDep]] = [[] for _ in range(n)]
+    out_edges: List[List[KernelDep]] = [[] for _ in range(n)]
+    for e in edges:
+        out_edges[e.src].append(e)
+        in_edges[e.dst].append(e)
+
+    table = ReservationTable(ii, model)
+    times: List[Optional[int]] = [None] * n
+    keys = [unit_key(instr, model) for instr in seq]
+    last_forced = [-1] * n
+    unscheduled: Set[int] = set(range(n))
+    budget = max(64, budget_ratio * n)
+
+    def evict(j: int) -> None:
+        table.release(times[j], keys[j])
+        times[j] = None
+        unscheduled.add(j)
+
+    while unscheduled:
+        if budget <= 0:
+            return None
+        budget -= 1
+        i = min(unscheduled, key=lambda k: (-heights[k], seq[k].uid))
+        estart = 0
+        for e in in_edges[i]:
+            if times[e.src] is not None:
+                estart = max(
+                    estart, times[e.src] + e.latency - ii * e.distance
+                )
+        slot = None
+        for c in range(estart, estart + ii):
+            if table.fits(c, keys[i]):
+                slot = c
+                break
+        if slot is None:
+            slot = max(estart, last_forced[i] + 1)
+        last_forced[i] = slot
+        # Evict (lowest height first) until the forced slot fits: ops of
+        # the same unit class when the unit pool is the binding limit,
+        # any slot occupant when the issue width is.
+        while not table.fits(slot, keys[i]):
+            mates = [
+                j
+                for j in range(n)
+                if times[j] is not None and times[j] % ii == slot % ii
+            ]
+            unit_bound = table._units[slot % ii].get(keys[i], 0) >= unit_limit(
+                keys[i], model
+            )
+            pool = [j for j in mates if keys[j] == keys[i]] if unit_bound else mates
+            if not pool:
+                return None  # zero-capacity unit pool: no schedule at any II
+            evict(min(pool, key=lambda j: (heights[j], seq[j].uid)))
+        table.reserve(slot, keys[i])
+        times[i] = slot
+        unscheduled.discard(i)
+        # Displace neighbours whose constraints the placement violated.
+        for e in out_edges[i]:
+            j = e.dst
+            if j != i and times[j] is not None:
+                if times[j] < slot + e.latency - ii * e.distance:
+                    evict(j)
+        for e in in_edges[i]:
+            j = e.src
+            if j != i and times[j] is not None:
+                if slot < times[j] + e.latency - ii * e.distance:
+                    evict(j)
+    return ModuloSchedule(ii, [t for t in times], table)
+
+
+def modulo_schedule(
+    seq: Sequence[Instr],
+    edges: Sequence[KernelDep],
+    model: MachineModel = RS6000,
+    mii: Optional[int] = None,
+    ii_window: int = 8,
+) -> Optional[ModuloSchedule]:
+    """The heuristic schedule: IMS at MII, MII+1, ... until one fits."""
+    if mii is None:
+        mii = max(res_mii(seq, model), rec_mii(len(seq), edges))
+    for ii in range(mii, mii + ii_window):
+        sched = iterative_modulo_schedule(seq, edges, model, ii)
+        if sched is not None:
+            return sched
+    return None
+
+
+def optimal_modulo_schedule(
+    seq: Sequence[Instr],
+    edges: Sequence[KernelDep],
+    model: MachineModel = RS6000,
+    mii: Optional[int] = None,
+    ii_limit: Optional[int] = None,
+    max_nodes: int = 16,
+    step_budget: int = 200_000,
+) -> Optional[ModuloSchedule]:
+    """Bounded exhaustive search over slot assignments at low II.
+
+    Nodes are assigned absolute times in (intra-iteration topological,
+    uid) order; each node explores the II consecutive start cycles from
+    its earliest feasible time — every distinct kernel slot relative to
+    the partial schedule. The first feasible II in [MII, ii_limit] wins.
+    ``None`` when the kernel is too large or the budget runs out; the
+    caller then keeps the heuristic schedule, so the optimal backend
+    never returns a worse II than the heuristic one.
+    """
+    n = len(seq)
+    if n == 0 or n > max_nodes:
+        return None
+    if mii is None:
+        mii = max(res_mii(seq, model), rec_mii(len(seq), edges))
+    if ii_limit is None:
+        ii_limit = mii + 8
+    keys = [unit_key(instr, model) for instr in seq]
+    # Distance-0 edges always point forward in the linearised kernel, so
+    # index order is a topological order (and deterministic).
+    order = list(range(n))
+    by_node: List[List[KernelDep]] = [[] for _ in range(n)]
+    for e in edges:
+        by_node[e.src].append(e)
+        by_node[e.dst].append(e)
+
+    steps = [0]
+
+    def search(ii: int) -> Optional[List[int]]:
+        times: List[Optional[int]] = [None] * n
+        table = ReservationTable(ii, model)
+
+        def violated(i: int, t: int) -> bool:
+            for e in by_node[i]:
+                src_t = t if e.src == i else times[e.src]
+                dst_t = t if e.dst == i else times[e.dst]
+                if e.src == i and e.dst == i:
+                    src_t = dst_t = t
+                if src_t is None or dst_t is None:
+                    continue
+                if dst_t < src_t + e.latency - ii * e.distance:
+                    return True
+            return False
+
+        def assign(pos: int) -> bool:
+            if steps[0] >= step_budget:
+                return False
+            if pos == n:
+                return True
+            i = order[pos]
+            estart = 0
+            for e in by_node[i]:
+                if e.dst == i and e.src != i and times[e.src] is not None:
+                    estart = max(
+                        estart, times[e.src] + e.latency - ii * e.distance
+                    )
+            for t in range(estart, estart + ii):
+                steps[0] += 1
+                if not table.fits(t, keys[i]):
+                    continue
+                if violated(i, t):
+                    continue
+                times[i] = t
+                table.reserve(t, keys[i])
+                if assign(pos + 1):
+                    return True
+                table.release(t, keys[i])
+                times[i] = None
+            return False
+
+        if assign(0):
+            return [t for t in times]
+        return None
+
+    for ii in range(mii, ii_limit + 1):
+        found = search(ii)
+        if found is not None:
+            table = ReservationTable(ii, model)
+            for i, t in enumerate(found):
+                table.reserve(t, keys[i])
+            return ModuloSchedule(ii, found, table, optimal=True)
+        if steps[0] >= step_budget:
+            return None
+    return None
+
+
+# -- the pass -----------------------------------------------------------------
+
+
+class ModuloScheduling(Pass):
+    """Pipeline innermost loops to their modulo-scheduled II.
+
+    Runs after the legacy global scheduler: computes the modulo schedule
+    of each innermost loop kernel, derives per-operation rotation counts
+    from the schedule's stages, and applies them through the
+    enhanced-pipeline-scheduling rotation machinery (bookkeeping copies
+    on entry edges become the prologue; exits stay in place). A per-loop
+    snapshot rolls back any loop whose steady-state II did not improve.
+    """
+
+    name = "modulo-scheduling"
+
+    def __init__(
+        self,
+        optimal: bool = False,
+        max_kernel: int = 48,
+        ii_window: int = 8,
+        candidate_depth: int = 32,
+        max_rounds: int = 64,
+        trip_weight: int = 16,
+    ):
+        self.optimal = optimal
+        self.max_kernel = max_kernel
+        self.ii_window = ii_window
+        self.candidate_depth = candidate_depth
+        self.max_rounds = max_rounds
+        self.trip_weight = trip_weight
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        loops = find_natural_loops(fn)
+        parents = {id(lp.parent) for lp in loops if lp.parent is not None}
+        headers = [lp.header for lp in loops if id(lp) not in parents]
+        headers.sort(key=lambda label: fn.block_index(fn.block(label)))
+        changed = False
+        for header in headers:
+            changed |= self._pipeline_loop(fn, header, ctx)
+        return changed
+
+    # -- one loop -------------------------------------------------------------
+
+    def _find_loop(self, fn: Function, header: str) -> Optional[Loop]:
+        for lp in find_natural_loops(fn):
+            if lp.header == header:
+                return lp
+        return None
+
+    def _kernel(self, fn: Function, loop: Loop) -> List[Instr]:
+        return [x for bb in loop.blocks(fn) for x in bb.instrs]
+
+    def _exit_branch_uids(self, fn: Function, loop: Loop) -> Set[int]:
+        """Terminators whose taken path leaves the loop.
+
+        In the steady state these branches are untaken (correctly
+        predicted, hence free on the machine); only branches that stay
+        in the kernel pay the compare-to-branch distance.
+        """
+        out: Set[int] = set()
+        for bb in loop.blocks(fn):
+            term = bb.terminator
+            if term is not None and term.is_cond_branch:
+                if term.target not in loop.body:
+                    out.add(term.uid)
+        return out
+
+    def _steady_ii(
+        self,
+        seq: List[Instr],
+        model: MachineModel,
+        memory: MemoryModel,
+        exit_uids: Set[int],
+    ) -> int:
+        """Steady-state cycles per iteration of the kernel as laid out.
+
+        Measured with the real trace timer on a synthetic steady-state
+        trace — loop-exit branches untaken (correctly predicted, free),
+        every other conditional branch taken — so every machine rule
+        (compare-to-branch distance, branch folding, the unconditional-
+        branch issue window, in-order floors) is priced exactly as the
+        benchmarks will price it. Two concatenated kernel copies expose
+        the wrap-around overlap; their cycles minus one copy's is the
+        initiation interval actually achieved.
+        """
+
+        def cycles(s: List[Instr]) -> int:
+            trace = [
+                (x, x.is_cond_branch and x.uid not in exit_uids) for x in s
+            ]
+            return time_trace(trace, model).cycles
+
+        one = cycles(list(seq))
+        two = cycles(list(seq) + list(seq))
+        return max(1, two - one)
+
+    def _anchor_index(self, fn: Function, loop: Loop, seq: List[Instr]) -> Optional[int]:
+        """Index in ``seq`` of the loop-closing branch (the latch's)."""
+        tails = sorted(
+            (tail for tail, _ in loop.back_edges),
+            key=lambda label: fn.block_index(fn.block(label)),
+        )
+        if not tails:
+            return None
+        term = fn.block(tails[-1]).terminator
+        if term is None:
+            return None
+        for i, instr in enumerate(seq):
+            if instr is term:
+                return i
+        return None
+
+    def _pipeline_loop(self, fn: Function, header: str, ctx: PassContext) -> bool:
+        loop = self._find_loop(fn, header)
+        if loop is None:
+            return False
+        memory = MemoryModel(fn, ctx.module)
+        seq = self._kernel(fn, loop)
+        if len(seq) < 2 or len(seq) > self.max_kernel:
+            return False
+        anchor = self._anchor_index(fn, loop, seq)
+        if anchor is None:
+            return False
+
+        edges = kernel_dependences(seq, memory, ctx.model)
+        mii = max(res_mii(seq, ctx.model), rec_mii(len(seq), edges))
+        exit_uids = self._exit_branch_uids(fn, loop)
+        before = self._steady_ii(seq, ctx.model, memory, exit_uids)
+        before_outside = fn.instruction_count() - len(seq)
+
+        sched = modulo_schedule(
+            seq, edges, ctx.model, mii=mii, ii_window=self.ii_window
+        )
+        if sched is None:
+            return False
+        if self.optimal:
+            opt = optimal_modulo_schedule(
+                seq, edges, ctx.model, mii=mii, ii_limit=sched.ii
+            )
+            if opt is not None:
+                assert opt.ii <= sched.ii, (
+                    f"optimal II {opt.ii} exceeds heuristic II {sched.ii}"
+                )
+                if opt.ii < sched.ii or opt.stages > sched.stages:
+                    sched = opt
+                ctx.bump("modulo-sched.optimal-schedules")
+
+        plan = self._placement_plan(fn, loop, seq, sched, anchor)
+        if not plan:
+            ctx.bump("modulo-sched.loops-already-at-mii")
+            return False
+
+        # Two materialization strategies compete: the full placement
+        # plan (slot positions + rotations from the modulo schedule) and
+        # window-filling alone (rebalance the unconditional-branch
+        # windows without disturbing the rest of the legacy schedule).
+        # Each is measured with the steady-state estimator; the best
+        # strictly-improving variant wins, else the loop is rolled back.
+        snapshot = fn.clone()
+        best: Optional[Tuple[int, int]] = None
+        best_clone = None
+        for strategy in ("plan", "fill"):
+            moved = (
+                self._apply_schedule(fn, header, plan, ctx)
+                if strategy == "plan"
+                else False
+            )
+            moved |= self._fill_uncond_windows(fn, header, ctx)
+            measured = self._finish_and_measure(fn, header, ctx) if moved else None
+            if measured is not None:
+                after, after_outside = measured
+                if best is None or (after, after_outside) < best:
+                    best = (after, after_outside)
+                    best_clone = fn.clone()
+            # restore_from adopts the snapshot's blocks by reference, so
+            # hand it a private clone: the next strategy mutates ``fn``
+            # and must not corrupt the snapshot through the alias.
+            fn.restore_from(snapshot.clone())
+        if best is None:
+            return False
+        after, after_outside = best
+        # Accept only on a strict steady-state win whose trip-weighted
+        # cost improves: the steady II amortised over ``trip_weight``
+        # iterations plus the per-entry cost of everything outside the
+        # kernel (the prologue copies a rotation leaves on the entry
+        # edge). Low-trip loops must not pay an ever-growing prologue
+        # for a kernel they barely spin, and a reordering that does not
+        # shrink the II is not worth disturbing the legacy schedule.
+        cost_before = self.trip_weight * before + before_outside
+        cost_after = self.trip_weight * after + after_outside
+        if after >= before or cost_after > cost_before:
+            ctx.bump("modulo-sched.rollbacks")
+            return False
+        fn.restore_from(best_clone)
+        ctx.bump("modulo-sched.loops-pipelined")
+        ctx.bump("modulo-sched.cycles-saved", before - after)
+        return True
+
+    def _finish_and_measure(
+        self, fn: Function, header: str, ctx: PassContext
+    ) -> Optional[Tuple[int, int]]:
+        """Run MVE + local rescheduling, then measure the steady state.
+
+        Returns ``(steady II, instructions outside the kernel)`` for the
+        loop as now materialised, or ``None`` if the loop dissolved.
+        """
+        # Modulo variable expansion: renaming splits any webs the
+        # rotations separated (unrolling expanded the kernel already).
+        LiveRangeRenaming(insert_exit_copies=False).run_on_function(fn, ctx)
+        loop = self._find_loop(fn, header)
+        if loop is None:
+            return None
+        memory = MemoryModel(fn, ctx.module)
+        for bb in loop.blocks(fn):
+            if len(bb.instrs) >= 2:
+                new_order, _ = schedule_block(bb.instrs, ctx.model, memory)
+                bb.instrs[:] = new_order
+        seq_after = self._kernel(fn, loop)
+        after = self._steady_ii(
+            seq_after, ctx.model, memory, self._exit_branch_uids(fn, loop)
+        )
+        return after, fn.instruction_count() - len(seq_after)
+
+    # -- turning the schedule into code motion --------------------------------
+
+    def _placement_plan(
+        self,
+        fn: Function,
+        loop: Loop,
+        seq: List[Instr],
+        sched: ModuloSchedule,
+        anchor: int,
+    ) -> Dict[int, Tuple[int, int]]:
+        """Per-uid ``(extra rotations, destination block index)`` targets.
+
+        The schedule assigns every operation a kernel slot
+        ``(time - time(anchor) - 1) mod II`` — its issue position within
+        one steady-state window, with the loop-closing branch last — and
+        a stage. An operation in an earlier stage than the anchor must
+        rotate across the back edge once per stage of separation; its
+        destination block is the first kernel block whose (unmoving)
+        branch is scheduled at or after the operation's slot. Only
+        upward motion is planned: an operation already at or above its
+        slot stays put.
+        """
+        ii = sched.ii
+        blocks = loop.blocks(fn)
+        index_of = {bb.label: bi for bi, bb in enumerate(blocks)}
+
+        def pos(i: int) -> int:
+            return (sched.times[i] - sched.times[anchor] - 1) % ii
+
+        boundaries: List[Tuple[int, int]] = []
+        for bi, bb in enumerate(blocks):
+            term = bb.terminator
+            if term is None:
+                continue
+            for i, instr in enumerate(seq):
+                if instr is term:
+                    boundaries.append((bi, pos(i)))
+                    break
+
+        block_of: Dict[int, int] = {}
+        for bb in blocks:
+            for instr in bb.instrs:
+                block_of[instr.uid] = index_of[bb.label]
+
+        anchor_stage = sched.stage(anchor)
+        plan: Dict[int, Tuple[int, int]] = {}
+        for i, instr in enumerate(seq):
+            if instr.is_terminator:
+                continue
+            extra = max(0, anchor_stage - sched.stage(i))
+            dest = len(blocks) - 1
+            for bi, bpos in boundaries:
+                if bpos >= pos(i):
+                    dest = bi
+                    break
+            current = block_of.get(instr.uid, 0)
+            if extra == 0 and dest >= current:
+                continue
+            plan[instr.uid] = (extra, dest)
+        return plan
+
+    def _apply_schedule(
+        self,
+        fn: Function,
+        header: str,
+        plan: Dict[int, Tuple[int, int]],
+        ctx: PassContext,
+    ) -> bool:
+        """Hoist operations toward their planned kernel positions.
+
+        A fresh :class:`GlobalScheduling` instance supplies the legality
+        check, the ready-candidate scan and the hoist applicator (with
+        its bookkeeping-copy prologue); this driver replaces the greedy
+        acceptance test with the modulo schedule's placement plan. An
+        operation still owing rotations climbs to the header and crosses
+        the back edge into the latch; one at its rotation count climbs
+        only while it sits below its destination block.
+        """
+        start_rot = {
+            instr.uid: instr.attrs.get("rotations", 0)
+            for bb in fn.blocks
+            for instr in bb.instrs
+            if instr.uid in plan
+        }
+        gs = GlobalScheduling(
+            across_back_edges=True,
+            max_rotations=max(
+                start_rot.get(uid, 0) + extra for uid, (extra, _) in plan.items()
+            ) + 1,
+            candidate_depth=self.candidate_depth,
+        )
+        changed = False
+        for _ in range(self.max_rounds):
+            if self._one_placement_step(fn, header, plan, start_rot, gs, ctx):
+                changed = True
+            else:
+                break
+        return changed
+
+    def _one_placement_step(
+        self,
+        fn: Function,
+        header: str,
+        plan: Dict[int, Tuple[int, int]],
+        start_rot: Dict[int, int],
+        gs: GlobalScheduling,
+        ctx: PassContext,
+    ) -> bool:
+        loop = self._find_loop(fn, header)
+        if loop is None:
+            return False
+        memory = MemoryModel(fn, ctx.module)
+        liveness = compute_liveness(fn)
+        loops = find_natural_loops(fn)
+        blocks = loop.blocks(fn)
+        tails = sorted(
+            (tail for tail, _ in loop.back_edges),
+            key=lambda label: fn.block_index(fn.block(label)),
+        )
+        if not tails:
+            return False
+        latch = fn.block(tails[-1])
+        for bi, bb in enumerate(blocks):
+            if bb.label == header:
+                pred, back_edge = latch, True
+            else:
+                in_preds = [
+                    p
+                    for p in fn.predecessors(bb)
+                    if p.label in loop.body and index_of_block(blocks, p) < bi
+                ]
+                if not in_preds:
+                    continue
+                pred = max(in_preds, key=lambda p: index_of_block(blocks, p))
+                back_edge = False
+            term = pred.terminator
+            is_cond = term is not None and term.is_cond_branch
+            for instr in gs._ready_candidates(bb, memory):
+                target = plan.get(instr.uid)
+                if target is None:
+                    continue
+                extra, dest = target
+                done_rot = instr.attrs.get("rotations", 0) - start_rot.get(
+                    instr.uid, 0
+                )
+                if bb.label == header:
+                    if done_rot >= extra:
+                        continue  # rotation complete; header is home
+                else:
+                    if done_rot >= extra and bi <= dest:
+                        continue  # in place
+                if not gs._legal(
+                    fn, pred, bb, instr, term, is_cond, liveness, loops,
+                    back_edge,
+                ):
+                    continue
+                other_preds = [p for p in fn.predecessors(bb) if p is not pred]
+                gs._apply_hoist(fn, pred, bb, instr, other_preds, back_edge, ctx)
+                ctx.bump(
+                    "modulo-sched.rotations"
+                    if back_edge
+                    else "modulo-sched.placements"
+                )
+                return True
+        return False
+
+
+    # -- filling unconditional-branch windows ---------------------------------
+
+    def _fill_uncond_windows(self, fn: Function, header: str, ctx: PassContext) -> bool:
+        """Pull operations into blocks whose ``B`` stalls the issue unit.
+
+        The machine stalls an unconditional branch that issues within
+        ``cond_uncond_window`` non-branch operations of a conditional
+        branch — a per-iteration cost the reservation-table model cannot
+        see. This driver rebalances the kernel: a block ending in ``B``
+        with too few non-branch operations pulls ready operations up the
+        successor chain (crossing the back edge when the deficit block
+        is the latch, which is one more pipeline rotation). The caller's
+        snapshot guard arbitrates whether the rebalance actually paid.
+        """
+        loop = self._find_loop(fn, header)
+        if loop is None:
+            return False
+        max_rot = max(
+            (x.attrs.get("rotations", 0)
+             for bb in loop.blocks(fn) for x in bb.instrs),
+            default=0,
+        )
+        gs = GlobalScheduling(
+            across_back_edges=True,
+            max_rotations=max_rot + 2,
+            candidate_depth=self.candidate_depth,
+        )
+        changed = False
+        for _ in range(self.max_rounds):
+            if self._one_window_step(fn, header, gs, ctx):
+                changed = True
+            else:
+                break
+        return changed
+
+    def _one_window_step(
+        self, fn: Function, header: str, gs: GlobalScheduling, ctx: PassContext
+    ) -> bool:
+        loop = self._find_loop(fn, header)
+        if loop is None:
+            return False
+        memory = MemoryModel(fn, ctx.module)
+        liveness = compute_liveness(fn)
+        loops = find_natural_loops(fn)
+        window = ctx.model.cond_uncond_window
+        for bb in loop.blocks(fn):
+            term = bb.terminator
+            if term is None or term.opcode != "B":
+                continue
+            filler = sum(
+                1 for x in bb.instrs if unit_key(x, ctx.model) != "branch"
+            )
+            if filler >= window:
+                continue
+            if self._pull_into(
+                fn, loop, header, bb, gs, memory, liveness, loops, ctx
+            ):
+                return True
+        return False
+
+    def _pull_into(
+        self, fn, loop, header, start, gs, memory, liveness, loops, ctx
+    ) -> bool:
+        """Hoist one ready non-branch op into ``start`` from down the
+        chain of in-loop successors (nearest source first; a pull from
+        the header across the back edge is a rotation)."""
+        pred = start
+        for _ in range(len(loop.body)):
+            term = pred.terminator
+            if term is None:
+                return False
+            if term.opcode == "B":
+                succ_label = term.target
+            else:
+                inside = [
+                    s.label
+                    for s in fn.successors(pred)
+                    if s.label in loop.body
+                ]
+                if not inside:
+                    return False
+                succ_label = inside[-1]
+            if succ_label not in loop.body:
+                return False
+            back_edge = succ_label == header and pred.label in {
+                tail for tail, _ in loop.back_edges
+            }
+            succ = fn.block(succ_label)
+            is_cond = term.is_cond_branch
+            for instr in gs._ready_candidates(succ, memory):
+                if unit_key(instr, ctx.model) == "branch":
+                    continue
+                if not gs._legal(
+                    fn, pred, succ, instr, term, is_cond, liveness, loops,
+                    back_edge,
+                ):
+                    continue
+                other_preds = [
+                    p for p in fn.predecessors(succ) if p is not pred
+                ]
+                gs._apply_hoist(fn, pred, succ, instr, other_preds, back_edge, ctx)
+                ctx.bump("modulo-sched.window-fills")
+                return True
+            if back_edge:
+                return False  # one rotation per pull; stop past the header
+            pred = succ
+        return False
+
+
+def index_of_block(blocks: List, block) -> int:
+    """Index of ``block`` in the kernel's layout-ordered block list."""
+    for i, bb in enumerate(blocks):
+        if bb is block:
+            return i
+    return -1

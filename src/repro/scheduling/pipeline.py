@@ -9,14 +9,30 @@ live range renaming is performed, to increase scheduling opportunities."
 This composite pass runs, in order: loop unrolling, loop-exit copies +
 live-range renaming, local list scheduling, global scheduling (with
 pipelining across back edges), and a final local scheduling cleanup.
+
+The ``pipeliner`` knob selects the software-pipelining backend:
+
+- ``"swp"`` — the legacy path: greedy rotations inside
+  :class:`~repro.scheduling.global_scheduler.GlobalScheduling`;
+- ``"modulo"`` — the legacy path followed by
+  :class:`~repro.scheduling.modulo.ModuloScheduling`, which drives
+  further rotations from a true modulo schedule (ResMII/RecMII,
+  reservation tables, iterative modulo scheduling);
+- ``"modulo-opt"`` — same, with the bounded exhaustive slot search that
+  asserts ``II_opt <= II_heuristic``.
 """
 
 from repro.ir.function import Function
+from repro.perf.fingerprint import fingerprint_function
 from repro.scheduling.global_scheduler import GlobalScheduling
 from repro.scheduling.list_scheduler import LocalScheduling
+from repro.scheduling.modulo import ModuloScheduling
 from repro.transforms.pass_manager import Pass, PassContext
 from repro.transforms.renaming import LiveRangeRenaming
 from repro.transforms.unroll import LoopUnroll
+
+#: The selectable software-pipelining backends.
+PIPELINERS = ("swp", "modulo", "modulo-opt")
 
 
 class VLIWScheduling(Pass):
@@ -29,20 +45,36 @@ class VLIWScheduling(Pass):
         unroll_factor: int = 2,
         software_pipelining: bool = True,
         rounds: int = 6,
+        pipeliner: str = "swp",
     ):
+        if pipeliner not in PIPELINERS:
+            raise ValueError(
+                f"unknown pipeliner {pipeliner!r} (want one of {PIPELINERS})"
+            )
+        self.pipeliner = pipeliner
         self.unroll = LoopUnroll(factor=unroll_factor) if unroll_factor >= 2 else None
         self.rename = LiveRangeRenaming()
         self.local = LocalScheduling()
         self.global_sched = GlobalScheduling(
             rounds=rounds, across_back_edges=software_pipelining
         )
+        self.modulo = None
+        if software_pipelining and pipeliner != "swp":
+            self.modulo = ModuloScheduling(optimal=(pipeliner == "modulo-opt"))
 
     def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
-        changed = False
+        # ``changed`` is judged on content, not on sub-pass reports: a
+        # sub-pass may mutate and a later one revert (the local scheduler
+        # undoing a motion, say), and a stale True here would make the
+        # pass manager re-verify — and the guarded manager re-validate —
+        # functions that did not actually change.
+        before = fingerprint_function(fn)
         if self.unroll is not None:
-            changed |= bool(self.unroll.run_on_function(fn, ctx))
-        changed |= bool(self.rename.run_on_function(fn, ctx))
-        changed |= bool(self.local.run_on_function(fn, ctx))
-        changed |= bool(self.global_sched.run_on_function(fn, ctx))
-        changed |= bool(self.local.run_on_function(fn, ctx))
-        return changed
+            self.unroll.run_on_function(fn, ctx)
+        self.rename.run_on_function(fn, ctx)
+        self.local.run_on_function(fn, ctx)
+        self.global_sched.run_on_function(fn, ctx)
+        if self.modulo is not None:
+            self.modulo.run_on_function(fn, ctx)
+        self.local.run_on_function(fn, ctx)
+        return fingerprint_function(fn) != before

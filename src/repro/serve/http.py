@@ -28,6 +28,7 @@ import sys
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
+from repro.scheduling import PIPELINERS
 from repro.serve.service import CompileService, ServeRequest
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -42,10 +43,18 @@ def request_from_wire(msg: Dict) -> ServeRequest:
     """Build a :class:`ServeRequest` from a decoded JSON message."""
     if not isinstance(msg, dict) or "ir" not in msg:
         raise ValueError('body must be a JSON object with an "ir" field')
+    options = msg.get("options") or {}
+    # Admission-time validation: an unknown pipelining backend must be a
+    # 400 here, not a ladder of doomed worker attempts later.
+    pipeliner = options.get("pipeliner", "swp")
+    if pipeliner not in PIPELINERS:
+        raise ValueError(
+            f"unknown pipeliner {pipeliner!r} (want one of {PIPELINERS})"
+        )
     return ServeRequest(
         ir=msg["ir"],
         level=msg.get("level", "vliw"),
-        options=msg.get("options") or {},
+        options=options,
         inject=msg.get("inject"),
         request_id=msg.get("id"),
         deadline=msg.get("deadline"),

@@ -61,8 +61,9 @@ class ServeRequest:
     ir: str
     level: str = "vliw"
     #: Pipeline options forwarded to the worker: ``unroll_factor``,
-    #: ``software_pipelining``, ``resilience``, ``sanitize``,
-    #: ``diff_seed``, ``pass_budget``, ``fault_plan`` (compact spec).
+    #: ``software_pipelining``, ``pipeliner`` (``swp`` | ``modulo`` |
+    #: ``modulo-opt``), ``resilience``, ``sanitize``, ``diff_seed``,
+    #: ``pass_budget``, ``fault_plan`` (compact spec).
     options: Dict = field(default_factory=dict)
     #: Fault drill (tests/soak only): see :mod:`repro.serve.worker`.
     inject: Optional[Dict] = None

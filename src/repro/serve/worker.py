@@ -188,6 +188,7 @@ def handle_request(request: Dict, worker_id: int) -> Dict:
                 software_pipelining=bool(
                     options.get("software_pipelining", True)
                 ),
+                pipeliner=options.get("pipeliner", "swp"),
                 resilience=resilience,
                 sanitize=sanitize,
                 diff_seed=int(options.get("diff_seed", 0)),

@@ -168,3 +168,29 @@ class TestSweepConfigs:
                 rebuilt.disable) == (
             cfg.level, cfg.unroll_factor, cfg.software_pipelining, cfg.disable
         )
+
+    def test_every_sweep_key_round_trips(self):
+        for level, quick in (("vliw", False), ("vliw", True), ("base", False)):
+            for cfg in sweep_configs(level, quick=quick):
+                assert config_from_key(cfg.key).key == cfg.key
+
+    def test_modulo_keys_select_backend(self):
+        assert config_from_key("vliw:u2:modulo").pipeliner == "modulo"
+        assert config_from_key("vliw:u2:modulo-opt").pipeliner == "modulo-opt"
+        assert config_from_key("vliw:u4:swp").pipeliner == "swp"
+
+    # ``--configs`` exposes keys to user typos: unknown segments must
+    # error, not silently sweep the swp defaults under the bad key.
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "vliw:u2:bogus",
+            "vliw:u2:moduloopt",
+            "vliw:ux:swp",
+            "base:u2",
+            "vliw:u2:swp:no-nosuchpass",
+        ],
+    )
+    def test_unknown_key_segments_are_rejected(self, key):
+        with pytest.raises(ValueError):
+            config_from_key(key)

@@ -166,3 +166,77 @@ class TestReducerGuard:
         )
         predicate = signature_predicate(finding, OracleConfig(bisect=False))
         assert not predicate(candidate)
+
+
+class TestEntryResidue:
+    """The callee-side half of the contract: incoming caller residue.
+
+    A function reading a call-clobbered register it does not declare as
+    a parameter reads whatever its caller left there — the dual of the
+    caller-side post-call read, and the gap seed 186's reducer walked
+    through (deleting the callee's own def of ``r10`` turned a real
+    containment bug into a fake "dce miscompile" on a candidate whose
+    callee read the caller's register).
+    """
+
+    def test_undeclared_entry_read_is_a_violation(self):
+        v = violations(
+            "func f0(r3):\n"
+            "    LA r10, d0\n"
+            "    CALL f1, 1\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3):\n"
+            "    AI r4, r10, 0\n"
+            "    RET\n"
+        )
+        assert any(str(x.reg) == "r10" and x.fn == "f1" for x in v)
+
+    def test_declared_params_are_defined_at_entry(self):
+        v = violations(
+            "func f0(r3, r4):\n"
+            "    A r5, r3, r4\n"
+            "    LR r3, r5\n"
+            "    RET\n"
+        )
+        assert v == []
+
+    def test_entry_def_before_read_is_clean(self):
+        v = violations(
+            "func f0(r3):\n"
+            "    LI r10, 4\n"
+            "    AI r4, r10, 0\n"
+            "    RET\n"
+        )
+        assert v == []
+
+    def test_undefined_call_argument_is_a_violation(self):
+        # CALL's argument registers are uses: passing a never-written
+        # r4 hands the callee whatever the environment left there.
+        v = violations(
+            "func f0(r3):\n"
+            "    CALL f1, 2\n"
+            "    RET\n"
+            "\n"
+            "func f1(r3, r4):\n"
+            "    A r5, r3, r4\n"
+            "    RET\n"
+        )
+        assert any(str(x.reg) == "r4" and x.fn == "f0" for x in v)
+
+    def test_entry_hazard_reaches_later_blocks(self):
+        v = violations(
+            "func f0(r3):\n"
+            "    CI cr0, r3, 0\n"
+            "    BT b, cr0.eq\n"
+            "a:\n"
+            "    LI r9, 1\n"
+            "b:\n"
+            "    AI r4, r9, 0\n"
+            "    RET\n"
+        )
+        assert any(str(x.reg) == "r9" for x in v)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_generated_modules_honour_the_entry_contract(self, seed):
+        assert not reads_call_residue(generate_module(seed))

@@ -304,3 +304,124 @@ class TestMachineStatePoison:
         # propagation-only taints do not bump the seed counter
         state.taint(gpr(5))
         assert state.poison_events == 1
+
+
+SPILL_ROUND_TRIP = """
+data a: size=8
+
+func f(r3):
+    L r4, 0(r3)
+    AI r1, r1, -8
+    ST 0(r1), r4
+    LI r4, 7
+    L r4, 0(r1)
+    AI r1, r1, 8
+    LA r9, a
+    ST 0(r9), r4
+    LI r3, 0
+    RET
+"""
+
+
+def _mark_spill(module):
+    """Tag the wild load speculative and the r1 pair save/restore."""
+    instrs = [i for bb in module.functions["f"].blocks for i in bb.instrs]
+    instrs[0].attrs["speculative"] = True
+    for instr in instrs:
+        if instr.opcode == "ST" and instr.base.name == "r1":
+            instr.attrs["save"] = True
+        if instr.opcode == "L" and instr.base is not None and instr.base.name == "r1":
+            instr.attrs["restore"] = True
+    return instrs
+
+
+class TestSpillPoison:
+    """Linkage spills preserve poison instead of trapping.
+
+    A prolog-tailored ``ST !save`` of a callee-saved register may spill
+    a value that is dead garbage — including a speculative load's
+    deferred-fault token. The save must not count as "poison reached a
+    store" (the token would make every call from a poisoned context
+    trap); instead the slot carries the token and the matching
+    ``L !restore`` re-poisons the register, like IA-64's
+    st8.spill/ld8.fill pair. Found by the modulo-config fuzz campaign
+    (corpus case spill-poison-prolog-save).
+    """
+
+    def test_save_of_poison_does_not_trap_and_restore_repoisons(self):
+        m = parse_module(SPILL_ROUND_TRIP)
+        _mark_spill(m)
+        # The token survives the spill round trip, so the *normal*
+        # store of the restored register still convicts.
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_spilled_poison_dies_quietly_when_unconsumed(self):
+        m = parse_module(SPILL_ROUND_TRIP)
+        instrs = _mark_spill(m)
+        # Overwrite the restored register before the data store: the
+        # re-poisoned value is never consumed.
+        for instr in instrs:
+            if instr.opcode == "ST" and instr.base.name == "r9":
+                instr.attrs["save"] = True  # neutralize the consumer too
+        result = run_function(m, "f", [4], mem_model="paged")
+        assert result.value == 0
+
+    def test_plain_store_clears_slot_poison(self):
+        src = """
+data a: size=8
+
+func f(r3):
+    L r4, 0(r3)
+    AI r1, r1, -8
+    ST 0(r1), r4
+    LI r5, 42
+    ST 0(r1), r5
+    L r4, 0(r1)
+    AI r1, r1, 8
+    LA r9, a
+    ST 0(r9), r4
+    LR r3, r4
+    RET
+"""
+        m = parse_module(src)
+        instrs = [i for bb in m.functions["f"].blocks for i in bb.instrs]
+        instrs[0].attrs["speculative"] = True
+        first_st = next(i for i in instrs if i.opcode == "ST")
+        first_st.attrs["save"] = True
+        restore = next(i for i in instrs if i.opcode == "L" and i.base.name == "r1")
+        restore.attrs["restore"] = True
+        # The clean ST overwrote the slot, so the restore reads 42 with
+        # no poison and the data store is legal.
+        result = run_function(m, "f", [4], mem_model="paged")
+        assert result.value == 42
+
+    def test_save_with_poisoned_base_still_traps(self):
+        src = """
+func f(r3):
+    L r4, 0(r3)
+    ST 0(r4), r5
+    LI r3, 0
+    RET
+"""
+        m = parse_module(src)
+        instrs = [i for bb in m.functions["f"].blocks for i in bb.instrs]
+        instrs[0].attrs["speculative"] = True
+        instrs[1].attrs["save"] = True
+        # A save through a poisoned *address* is unknowable — spill
+        # semantics only exempt the stored value.
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
+
+    def test_normal_store_of_poison_still_traps(self):
+        m = parse_module(SPILL_ROUND_TRIP)
+        instrs = _mark_spill(m)
+        for instr in instrs:
+            instr.attrs.pop("restore", None)
+        # Without the restore tag the slot load reads raw 0: clean. But
+        # removing the save tag instead must trap at the spill itself.
+        for instr in instrs:
+            if instr.opcode == "ST" and instr.base.name == "r1":
+                instr.attrs.pop("save")
+        with pytest.raises(SpeculationFault):
+            run_function(m, "f", [4], mem_model="paged")
