@@ -1,0 +1,327 @@
+"""E13 — triage soak: a buggy pass is found, named and quarantined live.
+
+Runs ``repro serve`` as a real subprocess in drill mode — a fault plan
+injects a deterministic crash into one vliw pass (``limited-combining``)
+on every activation — and proves the self-healing contract end to end:
+
+- **convergence** — the flight recorder captures the crashes, the
+  background triage worker replays/bisects/reduces them in isolation,
+  and once two distinct modules implicate the same pass the service
+  quarantines exactly that pass (and no other);
+- **recovered throughput** — after convergence, fresh requests are
+  served at the *requested* ``vliw`` level (the guilty pass ablated,
+  advertised per-response via ``quarantined_passes``) instead of being
+  degraded to ``base``; ≥95% of the steady-state drive must hit vliw;
+- **zero corrupt results** — every distinct binary served in any phase
+  and at any level is executed and differentially checked against the
+  interpreter reference;
+- **durability** — SIGKILL, restart on the same ``--state-dir``: the
+  quarantine is active *immediately* (journal checkpoint, not
+  re-convergence) and the next vliw request is already ablated;
+- **promotion** — the reduced finding lands in the ``--promote-corpus``
+  directory as a corpus case naming the guilty pass;
+- **graceful exit** — the final SIGTERM exits 0.
+
+Environment knobs (CI runs single-core): ``TRIAGE_SOAK_WORKERS``,
+``TRIAGE_CONVERGE_BOUND``. Writes ``BENCH_triage.json``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_cases
+from repro.ir import parse_module
+from repro.machine import run_function
+
+WORKERS = int(os.environ.get("TRIAGE_SOAK_WORKERS", "2"))
+CONVERGE_BOUND = float(os.environ.get("TRIAGE_CONVERGE_BOUND", "60"))
+STEADY_REQUESTS = 20
+GUILTY = "limited-combining"
+FAULT_PLAN = f"{GUILTY}:raise:0"  # fire on every activation
+BENCH_JSON = Path("BENCH_triage.json")
+
+#: Small hand-written loop kernels: three *distinct* modules (the
+#: quarantine threshold demands evidence from 2+ fingerprints), each
+#: cheap enough that the in-process triage replay/bisect/reduce cycle
+#: stays well under a second on a single core.
+MODULES = {
+    "sumodd": """
+func main(r3):
+    MTCTR r3
+    LI r4, 0
+    LI r5, 1
+loop:
+    A r4, r4, r5
+    AI r5, r5, 2
+    BCT loop
+    LR r3, r4
+    RET
+""",
+    "poly": """
+func main(r3):
+    MTCTR r3
+    LI r4, 1
+loop:
+    MULI r4, r4, 2
+    AI r4, r4, 1
+    BCT loop
+    LR r3, r4
+    RET
+""",
+    "mixer": """
+func main(r3):
+    MTCTR r3
+    LI r4, 7
+loop:
+    MULI r5, r4, 3
+    XOR r4, r4, r5
+    AI r4, r4, 1
+    BCT loop
+    LR r3, r4
+    RET
+""",
+}
+ARGS = [6]
+
+
+class ServerProc:
+    """One ``repro serve`` subprocess: spawn, log-tail, talk, kill."""
+
+    def __init__(self, state_dir, promote_dir, port=0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path("src").resolve())
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--port", str(port), "--workers", str(WORKERS),
+             "--deadline", "10", "--grace", "1",
+             "--state-dir", str(state_dir), "--checkpoint-every", "8",
+             "--drain-seconds", "10",
+             "--fault-plan", FAULT_PLAN,
+             "--quarantine-threshold", "2",
+             # Longer than any sane soak: no half-open probe re-enables
+             # the broken pass mid-test and muddies the vliw fraction.
+             "--quarantine-cooldown", "3600",
+             "--triage-deadline", "30",
+             "--promote-corpus", str(promote_dir)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.started_at = time.monotonic()
+        self.lines = []
+        self._lock = threading.Lock()
+        self._tail = threading.Thread(target=self._drain, daemon=True)
+        self._tail.start()
+        self.port = self._await_port()
+
+    def _drain(self):
+        for line in self.proc.stderr:
+            with self._lock:
+                self.lines.append(line.rstrip())
+
+    def log_line(self, needle, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                for line in self.lines:
+                    if needle in line:
+                        return line
+            if self.proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        with self._lock:
+            tail = "\n".join(self.lines[-20:])
+        raise AssertionError(f"no {needle!r} in server log within {timeout}s:\n{tail}")
+
+    def _await_port(self):
+        line = self.log_line("listening on http://")
+        return int(line.rsplit(":", 1)[1].split()[0])
+
+    def call(self, method, path, body=None, timeout=30.0):
+        conn = HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            conn.request(method, path,
+                         body=json.dumps(body) if body is not None else None)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def sigkill(self):
+        self.proc.kill()  # SIGKILL: no handler, no drain, no flush
+        self.proc.wait(timeout=10)
+
+    def sigterm_and_wait(self, timeout=30.0):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+
+def _references():
+    return {
+        name: run_function(parse_module(src), "main", ARGS,
+                           max_steps=100_000).value
+        for name, src in MODULES.items()
+    }
+
+
+def _compile(server, name, nonce):
+    # Unique nonce -> unique config key: a guaranteed cache miss, so
+    # every request exercises a real compile under the current plan.
+    status, data = server.call("POST", "/compile", {
+        "ir": MODULES[name], "level": "vliw",
+        "id": f"{name}-{nonce}", "options": {"soak_nonce": nonce},
+    })
+    assert status == 200 and data["status"] == "ok", (name, status, data)
+    return data
+
+
+def _check_binary(name, data, references, checked):
+    key = (name, hash(data["ir"]))
+    if key in checked:
+        return
+    value = run_function(parse_module(data["ir"]), "main", ARGS,
+                         max_steps=100_000).value
+    assert value == references[name], (
+        f"{name}: served binary computed {value}, reference "
+        f"{references[name]} (level {data['level_served']})"
+    )
+    checked.add(key)
+
+
+def _quarantine_active(server):
+    _status, stats = server.call("GET", "/stats")
+    return stats["triage"]["quarantine"]["active"], stats
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+def test_e13_triage_soak(tmp_path):
+    references = _references()
+    names = sorted(MODULES)
+    state_dir = tmp_path / "state"
+    promote_dir = tmp_path / "promoted"
+    checked = set()
+
+    # ---- phase A: drive until the service heals itself ------------------
+    first = ServerProc(state_dir, promote_dir)
+    nonce = 0
+    converge_requests = 0
+    active = []
+    deadline = time.monotonic() + CONVERGE_BOUND
+    while time.monotonic() < deadline:
+        data = _compile(first, names[nonce % len(names)], nonce)
+        _check_binary(names[nonce % len(names)], data, references, checked)
+        nonce += 1
+        converge_requests += 1
+        active, converge_stats = _quarantine_active(first)
+        if active:
+            break
+        time.sleep(0.1)  # let the triage thread breathe (single core)
+    converged_at = time.monotonic() - first.started_at
+    assert active == [GUILTY], (
+        f"no quarantine within {CONVERGE_BOUND}s "
+        f"(active={active}, triage={converge_stats['triage']})"
+    )
+    assert converge_stats["triage"]["recorder"]["recorded"] >= 2
+    assert converge_stats["triage"]["worker"]["findings"] >= 1
+
+    # ---- phase B: steady state at the requested level -------------------
+    vliw_served = 0
+    for _ in range(STEADY_REQUESTS):
+        name = names[nonce % len(names)]
+        data = _compile(first, name, nonce)
+        nonce += 1
+        _check_binary(name, data, references, checked)
+        if data["level_served"] == "vliw":
+            assert data["quarantined_passes"] == [GUILTY], data
+            vliw_served += 1
+    vliw_fraction = vliw_served / STEADY_REQUESTS
+    assert vliw_fraction >= 0.95, (
+        f"only {vliw_served}/{STEADY_REQUESTS} steady-state requests "
+        f"served at vliw"
+    )
+    active, steady_stats = _quarantine_active(first)
+    assert active == [GUILTY], active  # exactly the guilty pass, no other
+    pre_kill = steady_stats["triage"]
+
+    # ---- phase C: SIGKILL; the quarantine must survive the restart ------
+    first.sigkill()
+    second = ServerProc(state_dir, promote_dir)
+    recovery_line = second.log_line("journal recovery")
+    summary = json.loads(recovery_line.split("journal recovery ", 1)[1])
+    assert summary["quarantined_passes"] == [GUILTY], summary
+    second.log_line("triage worker running")
+
+    # Active immediately — restored from the checkpoint, not re-learned.
+    active, restart_stats = _quarantine_active(second)
+    assert active == [GUILTY], active
+    assert restart_stats["triage"]["quarantine"]["quarantines"] == 0, (
+        "restart re-learned the quarantine instead of restoring it"
+    )
+
+    restart_vliw = 0
+    restart_requests = 5
+    for _ in range(restart_requests):
+        name = names[nonce % len(names)]
+        data = _compile(second, name, nonce)
+        nonce += 1
+        _check_binary(name, data, references, checked)
+        if data["level_served"] == "vliw":
+            assert data["quarantined_passes"] == [GUILTY], data
+            restart_vliw += 1
+    assert restart_vliw == restart_requests, (
+        f"post-restart requests degraded: {restart_vliw}/{restart_requests} "
+        f"at vliw"
+    )
+
+    # ---- promotion: the reduced finding is now a corpus case ------------
+    cases = load_cases(promote_dir)
+    assert cases, "triage promoted nothing to the corpus"
+    assert any(c.guilty == GUILTY for c in cases), [c.guilty for c in cases]
+    promoted = next(c for c in cases if c.guilty == GUILTY)
+    # Injected drill fault: the clean config stays clean -> "fixed".
+    assert promoted.status == "fixed"
+    assert promoted.extra["origin"] == "serve-triage"
+    parse_module(promoted.source)
+
+    # ---- graceful exit --------------------------------------------------
+    returncode = second.sigterm_and_wait()
+    assert returncode == 0, f"SIGTERM exit code {returncode}"
+
+    BENCH_JSON.write_text(json.dumps({
+        "workers": WORKERS,
+        "guilty_pass": GUILTY,
+        "fault_plan": FAULT_PLAN,
+        "modules": len(MODULES),
+        "convergence": {
+            "seconds_to_quarantine": round(converged_at, 2),
+            "bound_seconds": CONVERGE_BOUND,
+            "requests_before_quarantine": converge_requests,
+            "bundles_recorded": pre_kill["recorder"]["recorded"],
+            "triage_findings": pre_kill["worker"]["findings"],
+            "quarantines_first_epoch": pre_kill["quarantine"]["quarantines"],
+        },
+        "steady_state": {
+            "requests": STEADY_REQUESTS,
+            "served_at_vliw": vliw_served,
+            "vliw_fraction": round(vliw_fraction, 3),
+        },
+        "restart": {
+            "quarantine_restored": summary["quarantined_passes"],
+            "relearned_quarantines": restart_stats["triage"]["quarantine"][
+                "quarantines"],
+            "requests_at_vliw": restart_vliw,
+        },
+        "distinct_binaries_checked": len(checked),
+        "promoted_cases": len(cases),
+        "graceful_exit_code": returncode,
+    }, indent=2) + "\n")

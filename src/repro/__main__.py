@@ -352,6 +352,8 @@ def cmd_serve(args) -> int:
     import json
     import signal
 
+    from pathlib import Path
+
     from repro.perf.memo import CompileCache
     from repro.perf.store import PersistentCacheShard
     from repro.robustness import load_fault_plan
@@ -359,6 +361,11 @@ def cmd_serve(args) -> int:
     from repro.serve import (
         CircuitBreaker,
         CompileService,
+        FlightRecorder,
+        IsolatedTriageRunner,
+        PassQuarantine,
+        TriageIndex,
+        TriageWorker,
         WorkerPool,
         WriteAheadJournal,
         serve_http,
@@ -398,6 +405,12 @@ def cmd_serve(args) -> int:
         journal = WriteAheadJournal(
             args.state_dir, fs=fs, checkpoint_every=args.checkpoint_every
         )
+    # Self-healing stack: flight recorder + background triage worker +
+    # pass quarantine, rooted under the state dir (no state dir: the
+    # quarantine still exists but nothing feeds it evidence).
+    recorder = None
+    if args.state_dir and not args.no_triage:
+        recorder = FlightRecorder(Path(args.state_dir) / "triage", fs=fs)
     pool = WorkerPool(
         workers=args.workers,
         deadline=args.deadline,
@@ -413,7 +426,25 @@ def cmd_serve(args) -> int:
         deadline=args.deadline,
         breaker=CircuitBreaker(cooldown=args.breaker_cooldown),
         journal=journal,
+        quarantine=PassQuarantine(
+            threshold=args.quarantine_threshold,
+            cooldown=args.quarantine_cooldown,
+        ),
+        recorder=recorder,
     )
+    triage = None
+    if recorder is not None:
+        triage = TriageWorker(
+            recorder,
+            TriageIndex(Path(args.state_dir) / "triage", fs=fs),
+            service.quarantine,
+            runner=IsolatedTriageRunner(deadline=args.triage_deadline),
+            promote_dir=args.promote_corpus,
+            on_finding=service.checkpoint,
+            on_quarantine=service.pass_quarantined,
+            log=log,
+        )
+        service.triage = triage
     if default_options:
         original = service.compile
 
@@ -428,6 +459,10 @@ def cmd_serve(args) -> int:
     if journal is not None:
         summary = service.recover()
         log(f"# repro serve: journal recovery {json.dumps(summary)}")
+    if triage is not None:
+        triage.start()
+        log("# repro serve: triage worker running "
+            f"(quarantined: {sorted(service.quarantine.active()) or 'none'})")
 
     interrupted = False
     try:
@@ -468,10 +503,47 @@ def cmd_serve(args) -> int:
         if not drained:
             log(f"# repro serve: drain deadline ({args.drain_seconds}s) "
                 "expired with requests still in flight")
+        if triage is not None:
+            triage.stop()
         service.flush()
         pool.stop()
         log("# repro serve: drained and stopped"
             + (" (interrupted)" if interrupted else ""))
+    return 0
+
+
+def cmd_triage(args) -> int:
+    """Offline triage of a serve state dir's pending crash bundles."""
+    import json
+    from pathlib import Path
+
+    from repro.serve import (
+        FlightRecorder,
+        IsolatedTriageRunner,
+        PassQuarantine,
+        TriageIndex,
+        TriageWorker,
+    )
+
+    root = Path(args.state_dir) / "triage"
+    recorder = FlightRecorder(root)
+    index = TriageIndex(root)
+    quarantine = PassQuarantine(threshold=args.threshold)
+    worker = TriageWorker(
+        recorder,
+        index,
+        quarantine,
+        runner=IsolatedTriageRunner(deadline=args.deadline),
+        promote_dir=args.promote_corpus,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    handled = worker.drain(timeout=args.time_budget)
+    print(json.dumps({
+        "bundles": handled,
+        "worker": worker.stats(),
+        "index": index.summary(),
+        "quarantine_candidates": sorted(quarantine.active()),
+    }, indent=2))
     return 0
 
 
@@ -714,7 +786,41 @@ def main(argv=None) -> int:
                          "filesystem on the journal and cache shard)")
     p_serve.add_argument("--chaos-seed", type=int, default=0,
                          help="seed for probabilistic chaos-fs fault specs")
+    p_serve.add_argument("--quarantine-threshold", type=int, default=2,
+                         help="distinct triage indictments before a pass "
+                         "is quarantined (ablated from vliw compiles)")
+    p_serve.add_argument("--quarantine-cooldown", type=float, default=300.0,
+                         help="seconds a quarantined pass stays ablated "
+                         "before one probe compile re-tries it")
+    p_serve.add_argument("--no-triage", action="store_true",
+                         help="disable the flight recorder and background "
+                         "triage worker (quarantine then never activates)")
+    p_serve.add_argument("--triage-deadline", type=float, default=60.0,
+                         help="wall-clock budget per crash-bundle replay "
+                         "in the isolated triage process")
+    p_serve.add_argument("--promote-corpus",
+                         help="write reduced triage findings here as corpus-"
+                         "format .ir cases (tests/fuzz/corpus layout)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_triage = sub.add_parser(
+        "triage",
+        help="offline crash triage: replay/bisect/reduce the pending crash "
+        "bundles under a serve --state-dir",
+    )
+    p_triage.add_argument("state_dir",
+                          help="the serve --state-dir holding triage/pending")
+    p_triage.add_argument("--deadline", type=float, default=60.0,
+                          help="wall-clock budget per bundle replay")
+    p_triage.add_argument("--time-budget", type=float, default=300.0,
+                          help="overall drain budget in seconds")
+    p_triage.add_argument("--threshold", type=int, default=2,
+                          help="distinct indictments for the report's "
+                          "quarantine-candidate list")
+    p_triage.add_argument("--promote-corpus",
+                          help="write reduced findings here as corpus-format "
+                          ".ir cases")
+    p_triage.set_defaults(func=cmd_triage)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -24,7 +24,7 @@ can be promoted to ``fixed``. See docs/FUZZING.md.
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.fuzz.oracle import Finding
 
@@ -47,6 +47,10 @@ class CorpusCase:
     detail: str = ""
     source: str = ""
     path: Optional[Path] = None
+    #: Free-form provenance headers (``# key: value``) beyond the known
+    #: set — e.g. the serve triage pipeline pins the crash-bundle id and
+    #: environment fingerprint of production-found cases here.
+    extra: Dict[str, str] = field(default_factory=dict)
 
     def header(self) -> str:
         lines = [
@@ -60,6 +64,9 @@ class CorpusCase:
             lines.append(f"# guilty: {self.guilty}")
         if self.detail:
             lines.append(f"# detail: {self.detail.splitlines()[0][:200]}")
+        for key in sorted(self.extra):
+            value = str(self.extra[key]).splitlines()[0][:200]
+            lines.append(f"# {key}: {value}")
         return "\n".join(lines)
 
     def text(self) -> str:
@@ -112,6 +119,7 @@ def parse_case(text: str, path: Optional[Path] = None) -> CorpusCase:
         match = _HEADER_RE.match(stripped)
         if match:
             meta[match.group(1)] = match.group(2).strip()
+    known = {"name", "status", "seed", "config", "kind", "guilty", "detail"}
     return CorpusCase(
         name=meta.get("name", path.stem if path else "unnamed"),
         status=meta.get("status", "fixed"),
@@ -122,6 +130,7 @@ def parse_case(text: str, path: Optional[Path] = None) -> CorpusCase:
         detail=meta.get("detail", ""),
         source=text,
         path=path,
+        extra={k: v for k, v in meta.items() if k not in known},
     )
 
 

@@ -72,6 +72,23 @@ class SweepConfig:
     software_pipelining: bool = True
     disable: Tuple[str, ...] = ()
     pipeliner: str = "swp"
+    #: Optional compact fault-plan spec (``pass:kind[:n]``) injected into
+    #: the pipeline — the serve triage worker replays production crash
+    #: bundles from fault drills this way. Not part of ``key``: the key
+    #: names the clean configuration the plan perturbs.
+    fault_plan: Optional[str] = None
+
+    def _plan(self):
+        """A fresh plan per compile: FaultSpec activation counts are
+        stateful, so sharing one instance would fire on the first
+        compile only."""
+        if not self.fault_plan:
+            return None
+        from repro.robustness.faults import FaultPlan
+
+        plan = FaultPlan.parse(self.fault_plan)
+        plan.lenient = True
+        return plan
 
     def compile(self, module: Module, verify: bool = True):
         return compile_module(
@@ -82,17 +99,21 @@ class SweepConfig:
             disable=list(self.disable) or None,
             pipeliner=self.pipeliner,
             verify=verify,
+            fault_plan=self._plan(),
         )
 
     def passes(self):
         if self.level == "base":
-            return baseline_passes()
-        return vliw_passes(
-            software_pipelining=self.software_pipelining,
-            unroll_factor=self.unroll_factor,
-            disable=list(self.disable) or None,
-            pipeliner=self.pipeliner,
-        )
+            passes = baseline_passes()
+        else:
+            passes = vliw_passes(
+                software_pipelining=self.software_pipelining,
+                unroll_factor=self.unroll_factor,
+                disable=list(self.disable) or None,
+                pipeliner=self.pipeliner,
+            )
+        plan = self._plan()
+        return plan.apply(passes) if plan is not None else passes
 
 
 #: Single-pass ablations worth sweeping: each removes one rewrite the

@@ -55,6 +55,24 @@ LEVELS = ("none", "base", "vliw")
 DEGRADATION_LADDER = ("vliw", "base", "none")
 
 
+#: Passes the serving stack may ablate when production triage implicates
+#: them (see :mod:`repro.serve.quarantine`): every optional rewrite of
+#: the vliw pipeline. ``linkage-lowering`` stays out — it is the one
+#: mandatory lowering, and a pipeline without it emits functions whose
+#: callee-saved contract nobody honoured.
+QUARANTINABLE_PASSES = frozenset({
+    "straighten",
+    "copy-propagation",
+    "dce",
+    "loop-memory-motion",
+    "unspeculation",
+    "vliw-scheduling",
+    "limited-combining",
+    "bb-expansion",
+    "prolog-tailoring",
+})
+
+
 def degradation_ladder(level: str) -> List[str]:
     """The levels to attempt for a request at ``level``, best first.
 

@@ -38,21 +38,35 @@ from repro.serve.breaker import CircuitBreaker
 from repro.serve.http import HttpFrontEnd, serve_http, serve_stdin
 from repro.serve.journal import JournalState, WriteAheadJournal
 from repro.serve.pool import WorkerPool
+from repro.serve.quarantine import PassQuarantine
 from repro.serve.service import (
     AttemptRecord,
     CompileService,
     ServeRequest,
     ServeResponse,
 )
+from repro.serve.triage import (
+    CrashBundle,
+    FlightRecorder,
+    IsolatedTriageRunner,
+    TriageIndex,
+    TriageWorker,
+)
 
 __all__ = [
     "AttemptRecord",
     "CircuitBreaker",
     "CompileService",
+    "CrashBundle",
+    "FlightRecorder",
     "HttpFrontEnd",
+    "IsolatedTriageRunner",
     "JournalState",
+    "PassQuarantine",
     "ServeRequest",
     "ServeResponse",
+    "TriageIndex",
+    "TriageWorker",
     "WorkerPool",
     "WriteAheadJournal",
     "serve_http",

@@ -6,14 +6,17 @@ a respawn — on *every* request. The breaker remembers: once a
 (fingerprint, level) pair has failed ``threshold`` times, the pair is
 **open** and :meth:`start_level` sends subsequent requests straight to
 the highest level that is not known-poisoned. After ``cooldown``
-seconds the pair goes half-open: one trial request may attempt the
-level again (the compiler may have been fixed, the stall may have been
-load), and a single further failure re-opens it immediately because the
+seconds the pair goes half-open: exactly **one** trial request may
+attempt the level again (the compiler may have been fixed, the stall
+may have been load) while everyone else keeps being routed around it.
+A probe that never reports back (its request died) is a lease: it
+expires after another cooldown and the next caller re-claims it. A
+single further failure re-opens the pair immediately because the
 failure count is retained until a success clears it.
 """
 
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class CircuitBreaker:
@@ -30,11 +33,16 @@ class CircuitBreaker:
         self._clock = clock
         self._failures: Dict[Tuple[str, str], int] = {}
         self._open_until: Dict[Tuple[str, str], float] = {}
+        #: Half-open pairs: None means a probe is available (the next
+        #: is_open admits it); a float is the outstanding probe's lease
+        #: expiry (everyone else sees the pair as open until then).
+        self._half_open: Dict[Tuple[str, str], Optional[float]] = {}
         self.opens = 0
         self.skips = 0
 
     def record_failure(self, fingerprint: str, level: str) -> None:
         key = (fingerprint, level)
+        self._half_open.pop(key, None)
         count = self._failures.get(key, 0) + 1
         self._failures[key] = count
         if count >= self.threshold:
@@ -46,18 +54,30 @@ class CircuitBreaker:
         key = (fingerprint, level)
         self._failures.pop(key, None)
         self._open_until.pop(key, None)
+        self._half_open.pop(key, None)
 
     def is_open(self, fingerprint: str, level: str) -> bool:
         key = (fingerprint, level)
+        now = self._clock()
         until = self._open_until.get(key)
-        if until is None:
-            return False
-        if self._clock() >= until:
-            # Half-open: allow one trial; the retained failure count
-            # re-opens on the next record_failure.
+        if until is not None:
+            if now < until:
+                return True
+            # Cooldown elapsed: this caller becomes the half-open
+            # probe; the retained failure count re-opens on its next
+            # record_failure, a success closes fully.
             del self._open_until[key]
+            self._half_open[key] = now + self.cooldown
             return False
-        return True
+        if key in self._half_open:
+            lease = self._half_open[key]
+            if lease is None or now >= lease:
+                # Probe available (restored half-open, or the previous
+                # probe's request died without reporting): admit one.
+                self._half_open[key] = now + self.cooldown
+                return False
+            return True
+        return False
 
     def start_index(self, fingerprint: str, ladder: List[str]) -> int:
         """Index into ``ladder`` of the first level worth attempting.
@@ -74,6 +94,28 @@ class CircuitBreaker:
         self.skips += 1
         return len(ladder) - 1
 
+    def forget_level(self, level: str) -> int:
+        """Drop all state for one ladder level, across every fingerprint.
+
+        For when the level's root cause was fixed *out of band* — e.g.
+        triage just quarantined the guilty pass, so vliw compiles now
+        run without it. The per-module failure memory accumulated while
+        the pass was live is stale evidence; honouring it would keep
+        routing requests around a level that works again. Returns the
+        number of pairs forgotten.
+        """
+        keys = {
+            key
+            for table in (self._failures, self._open_until, self._half_open)
+            for key in table
+            if key[1] == level
+        }
+        for key in keys:
+            self._failures.pop(key, None)
+            self._open_until.pop(key, None)
+            self._half_open.pop(key, None)
+        return len(keys)
+
     # -- persistence (journal checkpoints) -----------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
@@ -84,32 +126,50 @@ class CircuitBreaker:
         pair for the time it had left, not forever.
         """
         now = self._clock()
+        remaining = {
+            f"{fp}|{level}": max(0.0, until - now)
+            for (fp, level), until in self._open_until.items()
+        }
+        # Half-open pairs persist at 0.0 remaining: nobody will report
+        # a pre-crash probe after a restart, so restore must re-admit
+        # one probe, not wait out a dead lease (and never silently
+        # close a pair that still has retained failures).
+        for (fp, level) in self._half_open:
+            remaining[f"{fp}|{level}"] = 0.0
         return {
             "failures": {
                 f"{fp}|{level}": count
                 for (fp, level), count in self._failures.items()
             },
-            "open_remaining": {
-                f"{fp}|{level}": max(0.0, until - now)
-                for (fp, level), until in self._open_until.items()
-            },
+            "open_remaining": remaining,
         }
 
     def restore(self, snapshot: Dict) -> None:
-        """Load a :meth:`snapshot` (replacing current state)."""
+        """Load a :meth:`snapshot` (replacing current state).
+
+        A deadline already expired at restore time lands the pair in
+        **half-open** (one probe admitted on the next ``is_open``), not
+        closed — the retained failure count is still evidence, and the
+        probe protocol is how evidence gets retired.
+        """
         if not snapshot:
             return
-        now = self._clock()
         self._failures = {
             tuple(key.split("|", 1)): int(count)
             for key, count in snapshot.get("failures", {}).items()
             if "|" in key
         }
-        self._open_until = {
-            tuple(key.split("|", 1)): now + float(remaining)
-            for key, remaining in snapshot.get("open_remaining", {}).items()
-            if "|" in key and float(remaining) > 0.0
-        }
+        now = self._clock()
+        self._open_until = {}
+        self._half_open = {}
+        for key, remaining in snapshot.get("open_remaining", {}).items():
+            if "|" not in key:
+                continue
+            pair = tuple(key.split("|", 1))
+            if float(remaining) > 0.0:
+                self._open_until[pair] = now + float(remaining)
+            else:
+                self._half_open[pair] = None
 
     @property
     def open_entries(self) -> int:
@@ -121,5 +181,6 @@ class CircuitBreaker:
             "opens": self.opens,
             "skips": self.skips,
             "open_entries": self.open_entries,
+            "half_open": len(self._half_open),
             "tracked": len(self._failures),
         }

@@ -38,6 +38,17 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 #: Cap on request bodies; a compile request is IR text, not a data set.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+_KNOWN_PASSES: Optional[frozenset] = None
+
+
+def _known_passes() -> frozenset:
+    global _KNOWN_PASSES
+    if _KNOWN_PASSES is None:
+        from repro.pipeline import vliw_passes
+
+        _KNOWN_PASSES = frozenset(p.name for p in vliw_passes())
+    return _KNOWN_PASSES
+
 
 def request_from_wire(msg: Dict) -> ServeRequest:
     """Build a :class:`ServeRequest` from a decoded JSON message."""
@@ -51,6 +62,16 @@ def request_from_wire(msg: Dict) -> ServeRequest:
         raise ValueError(
             f"unknown pipeliner {pipeliner!r} (want one of {PIPELINERS})"
         )
+    disable = options.get("disable")
+    if disable is not None:
+        if not isinstance(disable, list):
+            raise ValueError('"disable" must be a list of pass names')
+        unknown = sorted(set(disable) - _known_passes())
+        if unknown:
+            raise ValueError(
+                f"unknown passes in disable: {', '.join(map(repr, unknown))} "
+                f"(pipeline has: {', '.join(sorted(_known_passes()))})"
+            )
     return ServeRequest(
         ir=msg["ir"],
         level=msg.get("level", "vliw"),

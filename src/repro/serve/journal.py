@@ -88,6 +88,9 @@ class JournalState:
     inflight: List[Dict] = field(default_factory=list)
     #: Circuit-breaker snapshot (see ``CircuitBreaker.snapshot``).
     breaker: Dict = field(default_factory=dict)
+    #: Pass-quarantine snapshot (see ``PassQuarantine.snapshot``) —
+    #: empty for journals written before the triage stack existed.
+    quarantine: Dict = field(default_factory=dict)
     #: Service counter snapshot at the last checkpoint + replay deltas.
     counters: Dict = field(default_factory=dict)
     #: Per-attempt (fingerprint, level, ok?) outcomes since the last
@@ -182,7 +185,13 @@ class WriteAheadJournal:
 
     # -- checkpoint / truncation ---------------------------------------------
 
-    def checkpoint(self, breaker: Dict, counters: Dict, inflight: List[Dict]) -> None:
+    def checkpoint(
+        self,
+        breaker: Dict,
+        counters: Dict,
+        inflight: List[Dict],
+        quarantine: Optional[Dict] = None,
+    ) -> None:
         """Write a checkpoint and truncate history before it.
 
         The new journal file holds exactly one record — the checkpoint,
@@ -199,6 +208,7 @@ class WriteAheadJournal:
                 "breaker": breaker,
                 "counters": counters,
                 "inflight": list(inflight),
+                "quarantine": quarantine or {},
             }
             tmp = self.path.with_name(self.path.name + ".new")
             try:
@@ -244,6 +254,7 @@ class WriteAheadJournal:
                     for index, req in enumerate(record.get("inflight", []))
                 }
                 state.breaker = record.get("breaker", {})
+                state.quarantine = record.get("quarantine", {})
                 state.counters = record.get("counters", {})
                 state.attempts = []
             elif kind == "accept":

@@ -1,0 +1,233 @@
+"""Pass-level quarantine: a circuit breaker keyed by *pass name*.
+
+The per-(fingerprint, level) breaker (:mod:`repro.serve.breaker`)
+protects one module from re-proving a known failure, but a buggy pass
+taxes *every* module at its level: each new fingerprint pays the full
+deadline-and-degrade cost before its own breaker trips. The quarantine
+closes that gap with evidence from the triage pipeline
+(:mod:`repro.serve.triage`): once bisection has implicated the same
+pass in ``threshold`` *distinct* failures, subsequent ``vliw`` compiles
+run with that pass ablated — a finer degradation rung between "full
+vliw" and "fall back to base", since the other dozen passes still run.
+
+Lifecycle per pass::
+
+    closed --k distinct implications--> quarantined (ablated)
+    quarantined --cooldown elapsed--> probing: exactly ONE compile runs
+        with the pass re-enabled (everyone else keeps the ablation)
+    probe ok (xprobe_successes) --> closed again (evidence cleared)
+    probe failed --> quarantined for another cooldown
+
+Distinctness is what makes the threshold honest: evidence keys are
+crash-bundle ids (fingerprint + level + failure kind), so one weird
+module hammering the service cannot quarantine a pass for everyone —
+that module's own breaker handles it.
+
+Probes are leases: a claimed probe that never reports back (the probing
+request died with the process) expires after ``probe_timeout`` and the
+next request re-claims it, so an abandoned probe can never wedge a pass
+in quarantine forever.
+
+:meth:`snapshot`/:meth:`restore` carry the state through journal
+checkpoints using *remaining* cooldown seconds (same convention as the
+breaker), so quarantine survives SIGKILL+restart on a fresh monotonic
+clock. A deadline already expired at restore time lands in the
+half-open probing state — one probe admitted — never silently closed.
+"""
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.pipeline import QUARANTINABLE_PASSES
+
+
+class PassQuarantine:
+    """Evidence-driven ablation of passes the triage pipeline indicted."""
+
+    def __init__(
+        self,
+        threshold: int = 2,
+        cooldown: float = 300.0,
+        probe_successes: int = 1,
+        probe_timeout: float = 30.0,
+        clock=time.monotonic,
+        quarantinable: Optional[Iterable[str]] = None,
+    ):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probe_successes = probe_successes
+        self.probe_timeout = probe_timeout
+        self._clock = clock
+        self.quarantinable = frozenset(
+            quarantinable if quarantinable is not None else QUARANTINABLE_PASSES
+        )
+        #: pass -> {evidence_key: failure kind}; distinct keys count
+        #: toward the threshold.
+        self._evidence: Dict[str, Dict[str, str]] = {}
+        #: pass -> monotonic deadline after which a probe is admitted.
+        self._cooldown_until: Dict[str, float] = {}
+        #: pass -> probe lease expiry (probe claimed, result pending).
+        self._probing: Dict[str, float] = {}
+        self._streak: Dict[str, int] = {}
+        self.quarantines = 0
+        self.probes = 0
+        self.reinstated = 0
+        self.requarantined = 0
+        self.ignored = 0
+
+    # -- evidence ------------------------------------------------------------
+
+    def record_implication(
+        self, name: str, evidence_key: str, kind: str
+    ) -> bool:
+        """Triage implicated ``name``; True when this *newly* quarantines it.
+
+        Implications against passes outside the quarantinable set (the
+        mandatory lowering, or a pass the pipeline does not know) are
+        counted and dropped — ablating them would not leave a runnable
+        pipeline behind.
+        """
+        if name not in self.quarantinable:
+            self.ignored += 1
+            return False
+        bucket = self._evidence.setdefault(name, {})
+        bucket[evidence_key] = kind
+        if name in self._cooldown_until or name in self._probing:
+            return False
+        if len(bucket) >= self.threshold:
+            self._cooldown_until[name] = self._clock() + self.cooldown
+            self._streak.pop(name, None)
+            self.quarantines += 1
+            return True
+        return False
+
+    # -- per-request planning ------------------------------------------------
+
+    def plan(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """``(disabled, probes)`` for one compile about to run at vliw.
+
+        Every quarantined pass lands in ``disabled`` except those whose
+        cooldown has elapsed and whose probe lease this call claims —
+        the caller must compile with each probed pass *enabled* and
+        report the outcome via :meth:`probe_result` (or let the lease
+        expire). Concurrent callers keep ablating while a probe is out.
+        """
+        now = self._clock()
+        disabled: List[str] = []
+        probes: List[str] = []
+        for name in sorted(set(self._cooldown_until) | set(self._probing)):
+            lease = self._probing.get(name)
+            if lease is not None:
+                if now >= lease:
+                    # Abandoned probe: re-claim it here.
+                    self._probing[name] = now + self.probe_timeout
+                    self.probes += 1
+                    probes.append(name)
+                else:
+                    disabled.append(name)
+                continue
+            if now >= self._cooldown_until[name]:
+                del self._cooldown_until[name]
+                self._probing[name] = now + self.probe_timeout
+                self.probes += 1
+                probes.append(name)
+            else:
+                disabled.append(name)
+        return tuple(disabled), tuple(probes)
+
+    def probe_result(self, name: str, ok: bool) -> Optional[str]:
+        """Report a probe compile; returns ``"reinstated"``,
+        ``"requarantined"`` or None (probe consumed, state unchanged /
+        stale report)."""
+        if self._probing.pop(name, None) is None:
+            return None
+        if ok:
+            streak = self._streak.get(name, 0) + 1
+            if streak >= self.probe_successes:
+                self._streak.pop(name, None)
+                self._evidence.pop(name, None)
+                self.reinstated += 1
+                return "reinstated"
+            self._streak[name] = streak
+            # More successes required: expired deadline re-admits the
+            # next request as another probe immediately.
+            self._cooldown_until[name] = self._clock()
+            return None
+        self._streak.pop(name, None)
+        self._cooldown_until[name] = self._clock() + self.cooldown
+        self.requarantined += 1
+        return "requarantined"
+
+    def abandon_probe(self, name: str) -> None:
+        """Return an unclaimed probe (the caller never attempted vliw)."""
+        if self._probing.pop(name, None) is not None:
+            self._cooldown_until[name] = self._clock()
+
+    # -- introspection -------------------------------------------------------
+
+    def active(self) -> Tuple[str, ...]:
+        """Passes currently quarantined or under probe."""
+        return tuple(sorted(set(self._cooldown_until) | set(self._probing)))
+
+    def evidence_counts(self) -> Dict[str, int]:
+        return {name: len(keys) for name, keys in self._evidence.items()}
+
+    def stats(self) -> Dict:
+        return {
+            "active": list(self.active()),
+            "probing": sorted(self._probing),
+            "evidence": self.evidence_counts(),
+            "threshold": self.threshold,
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+            "reinstated": self.reinstated,
+            "requarantined": self.requarantined,
+            "ignored": self.ignored,
+        }
+
+    # -- persistence (journal checkpoints) -----------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-safe state; deadlines stored as *remaining* seconds.
+
+        A pass under probe snapshots at 0.0 remaining — after a restart
+        nobody will report the old probe, so the restored state must
+        re-admit one, not wait out a dead lease.
+        """
+        now = self._clock()
+        remaining = {
+            name: max(0.0, until - now)
+            for name, until in self._cooldown_until.items()
+        }
+        for name in self._probing:
+            remaining[name] = 0.0
+        return {
+            "evidence": {
+                name: dict(keys) for name, keys in self._evidence.items()
+            },
+            "cooldown_remaining": remaining,
+        }
+
+    def restore(self, snapshot: Optional[Dict]) -> None:
+        """Load a :meth:`snapshot` (replacing current state).
+
+        Remaining time <= 0 lands the pass half-open — quarantined with
+        an already-expired deadline, so the next :meth:`plan` admits
+        exactly one probe — never silently closed.
+        """
+        if not snapshot:
+            return
+        now = self._clock()
+        self._evidence = {
+            str(name): {str(k): str(v) for k, v in keys.items()}
+            for name, keys in snapshot.get("evidence", {}).items()
+            if isinstance(keys, dict)
+        }
+        self._cooldown_until = {
+            str(name): now + max(0.0, float(remaining))
+            for name, remaining in snapshot.get(
+                "cooldown_remaining", {}
+            ).items()
+        }
+        self._probing = {}
+        self._streak = {}

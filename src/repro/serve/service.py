@@ -37,12 +37,22 @@ the journal on restart — re-enqueueing whatever was in flight when the
 process died (at-least-once completion). :meth:`begin_shutdown` /
 :meth:`drain` give SIGTERM a graceful path: stop admission, finish
 in-flight work, checkpoint, exit.
+
+The service is also **self-healing** (see :mod:`repro.serve.triage`):
+deterministic failures are flight-recorded as crash bundles, a
+background triage worker replays/bisects/reduces them, and once a pass
+is indicted often enough the :class:`~repro.serve.quarantine.PassQuarantine`
+inserts a finer degradation rung — ``vliw`` minus the guilty pass —
+ahead of the fall to ``base``. Ablated (and probe) compiles are forced
+through the guarded pipeline's differential check, so quarantine never
+trades a known-bad pass for an unchecked binary; quarantine state rides
+journal checkpoints and survives SIGKILL+restart.
 """
 
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ir.parser import parse_module
 from repro.ir.verifier import verify_module
@@ -52,6 +62,8 @@ from repro.perf.store import PersistentCacheShard
 from repro.pipeline import degradation_ladder
 from repro.robustness.report import REQUEST_FAILURE_KINDS
 from repro.serve.breaker import CircuitBreaker
+from repro.serve.quarantine import PassQuarantine
+from repro.serve.triage import BUNDLE_KINDS
 
 
 @dataclass
@@ -108,6 +120,9 @@ class ServeResponse:
     fingerprint: str = ""
     detail: str = ""
     request_id: Optional[str] = None
+    #: Passes ablated from the binary actually served (the quarantine's
+    #: finer degradation rung); empty for full-quality compiles.
+    quarantined_passes: List[str] = field(default_factory=list)
 
     @property
     def http_status(self) -> int:
@@ -129,6 +144,7 @@ class ServeResponse:
             "fingerprint": self.fingerprint,
             "detail": self.detail,
             "request_id": self.request_id,
+            "quarantined_passes": list(self.quarantined_passes),
         }
 
 
@@ -154,6 +170,8 @@ class CompileService:
         breaker: Optional[CircuitBreaker] = None,
         warm_start: bool = True,
         journal=None,
+        quarantine: Optional[PassQuarantine] = None,
+        recorder=None,
     ):
         self.pool = pool
         self.cache = cache if cache is not None else CompileCache(max_entries=256)
@@ -163,6 +181,14 @@ class CompileService:
         self.retry_per_level = retry_per_level
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.journal = journal
+        self.quarantine = quarantine if quarantine is not None else PassQuarantine()
+        #: Flight recorder (:class:`~repro.serve.triage.FlightRecorder`)
+        #: for crash bundles; None disables flight recording.
+        self.recorder = recorder
+        #: Background :class:`~repro.serve.triage.TriageWorker`, wired by
+        #: the CLI; the service only consults it to retire evidence when
+        #: a probe reinstates a pass.
+        self.triage = None
         self._lock = threading.Lock()
         self._inflight: Dict = {}
         self._pending = 0
@@ -275,12 +301,22 @@ class CompileService:
                 request_id=request.request_id,
             )
         fp = fingerprint_module(module)
+        qdisabled: Tuple[str, ...] = ()
+        qprobes: Tuple[str, ...] = ()
+        if request.level == "vliw":
+            qdisabled, qprobes = self.quarantine.plan()
         key = config_key(request.level, **request.options)
+        if qdisabled:
+            # Ablated results are keyed apart from full-quality ones, so
+            # a later reinstatement restores full quality without cache
+            # invalidation (the clean key was never polluted).
+            key += "|q:" + ",".join(qdisabled)
 
         # Fault drills bypass the read path — a cache hit would swallow
         # the injection the test asked for — but their (sound) results
-        # may still be stored below.
-        if request.inject is None:
+        # may still be stored below. Probe compiles bypass it too: the
+        # probe's whole point is to run the suspect pass again.
+        if request.inject is None and not qprobes:
             hit = self._cache_get(fp, key)
             if hit is not None:
                 return ServeResponse(
@@ -292,20 +328,23 @@ class CompileService:
                     cached=True,
                     fingerprint=fp,
                     request_id=request.request_id,
+                    quarantined_passes=list(hit.get("quarantined_passes") or []),
                 )
             leader, entry = self._join_inflight(fp, key)
             if not leader:
                 return self._await_leader(request, entry, fp)
             response = None
             try:
-                response = self._run_ladder_journaled(request, fp, key)
+                response = self._run_ladder_journaled(
+                    request, fp, key, qdisabled, qprobes
+                )
             finally:
                 entry.response = response
                 entry.event.set()
                 with self._lock:
                     self._inflight.pop((fp, key), None)
             return response
-        return self._run_ladder_journaled(request, fp, key)
+        return self._run_ladder_journaled(request, fp, key, qdisabled, qprobes)
 
     def _cache_get(self, fp: str, key: str) -> Optional[Dict]:
         hit = self.cache.lookup_fp(fp, key)
@@ -373,16 +412,21 @@ class CompileService:
         }
 
     def _run_ladder_journaled(
-        self, request: ServeRequest, fp: str, key: str
+        self,
+        request: ServeRequest,
+        fp: str,
+        key: str,
+        qdisabled: Tuple[str, ...] = (),
+        qprobes: Tuple[str, ...] = (),
     ) -> ServeResponse:
         """Accept-journal, run the ladder, completion-journal."""
         if self.journal is None:
-            return self._run_ladder(request, fp, key)
+            return self._run_ladder(request, fp, key, qdisabled, qprobes)
         accept_seq = self.journal.append_accept(self._wire(request))
         with self._lock:
             self._journaled[accept_seq] = self._wire(request)
         try:
-            response = self._run_ladder(request, fp, key)
+            response = self._run_ladder(request, fp, key, qdisabled, qprobes)
         finally:
             with self._lock:
                 self._journaled.pop(accept_seq, None)
@@ -404,7 +448,12 @@ class CompileService:
         with self._lock:
             inflight = list(self._journaled.values())
             counters = self._counters_snapshot_locked()
-        self.journal.checkpoint(self.breaker.snapshot(), counters, inflight)
+        self.journal.checkpoint(
+            self.breaker.snapshot(),
+            counters,
+            inflight,
+            quarantine=self.quarantine.snapshot(),
+        )
 
     def _counters_snapshot_locked(self) -> Dict:
         return {
@@ -463,6 +512,7 @@ class CompileService:
             return {"recovered_inflight": 0, "replayed": 0}
         state = self.journal.replay()
         self.breaker.restore(state.breaker)
+        self.quarantine.restore(state.quarantine)
         self._restore_counters(state.counters)
         for fp, level, status in state.attempts:
             if status == "ok":
@@ -510,6 +560,7 @@ class CompileService:
             "corrupt_skipped": state.corrupt_skipped,
             "completed_before_crash": state.completed,
             "breaker_tracked": len(state.breaker.get("failures", {})),
+            "quarantined_passes": sorted(self.quarantine.active()),
         }
 
     # -- graceful shutdown ---------------------------------------------------
@@ -530,80 +581,131 @@ class CompileService:
     # -- the degradation ladder ----------------------------------------------
 
     def _run_ladder(
-        self, request: ServeRequest, fp: str, key: str
+        self,
+        request: ServeRequest,
+        fp: str,
+        key: str,
+        qdisabled: Tuple[str, ...] = (),
+        qprobes: Tuple[str, ...] = (),
     ) -> ServeResponse:
         ladder = degradation_ladder(request.level)
         start_index = self.breaker.start_index(fp, ladder)
         attempts: List[AttemptRecord] = []
         attempt_no = 0
-        for level in ladder[start_index:]:
-            failures_here = 0
-            while True:
-                worker_request = {
-                    "ir": request.ir,
-                    "level": level,
-                    "attempt": attempt_no,
-                    "options": request.options,
-                    "inject": request.inject,
-                    "deadline": request.deadline or self.deadline,
-                }
-                began = time.perf_counter()
-                answer = self.pool.submit(worker_request)
-                seconds = time.perf_counter() - began
-                attempt_no += 1
-                status = answer.get("status", "error")
-                if status == "ok":
-                    self.breaker.record_success(fp, level)
-                    attempts.append(AttemptRecord(level, "ok", seconds=seconds))
-                    payload = {
-                        "ir": answer["ir"],
-                        "level_served": level,
-                        "static_instructions": answer.get("static_instructions"),
+        probes_pending = list(qprobes)
+        try:
+            for level in ladder[start_index:]:
+                options = request.options
+                if level == "vliw" and (qdisabled or probes_pending):
+                    options = dict(request.options)
+                    if qdisabled:
+                        merged = set(options.get("disable") or ()) | set(qdisabled)
+                        options["disable"] = sorted(merged)
+                    # Quarantine may never trade a known-bad pass for an
+                    # unchecked binary: ablated and probe compiles go
+                    # through the guarded pipeline's differential check,
+                    # with rollback so a probe of a still-bad pass costs
+                    # the prober nothing.
+                    options.setdefault("resilience", "rollback")
+                failures_here = 0
+                while True:
+                    worker_request = {
+                        "ir": request.ir,
+                        "level": level,
+                        "attempt": attempt_no,
+                        "options": options,
+                        "inject": request.inject,
+                        "deadline": request.deadline or self.deadline,
                     }
-                    if level == request.level:
-                        self.cache.store_fp(fp, key, payload)
-                        if self.store is not None:
-                            self.store.put(fp, key, payload)
-                    return ServeResponse(
-                        status="ok",
-                        level_requested=request.level,
-                        level_served=level,
-                        ir=answer["ir"],
-                        static_instructions=answer.get("static_instructions"),
-                        degraded=level != request.level,
-                        breaker_skip=start_index > 0,
-                        attempts=attempts,
-                        fingerprint=fp,
-                        request_id=request.request_id,
+                    began = time.perf_counter()
+                    answer = self.pool.submit(worker_request)
+                    seconds = time.perf_counter() - began
+                    attempt_no += 1
+                    status = answer.get("status", "error")
+                    if status == "ok":
+                        rollbacks = int(answer.get("rollbacks") or 0)
+                        if level == "vliw" and probes_pending:
+                            # A probed pass is healthy only if it ran and
+                            # survived the differential check — a rollback
+                            # means the guard caught it misbehaving again.
+                            for name in probes_pending:
+                                self._report_probe(name, rollbacks == 0)
+                            probes_pending = []
+                        self.breaker.record_success(fp, level)
+                        attempts.append(AttemptRecord(level, "ok", seconds=seconds))
+                        payload = {
+                            "ir": answer["ir"],
+                            "level_served": level,
+                            "static_instructions": answer.get("static_instructions"),
+                        }
+                        if level == "vliw" and qdisabled:
+                            payload["quarantined_passes"] = list(qdisabled)
+                        if level == request.level and rollbacks == 0:
+                            # Rolled-back results are quality-degraded
+                            # (a pass's effect is missing): keep them out
+                            # so the healed pipeline restores quality.
+                            self.cache.store_fp(fp, key, payload)
+                            if self.store is not None:
+                                self.store.put(fp, key, payload)
+                        return ServeResponse(
+                            status="ok",
+                            level_requested=request.level,
+                            level_served=level,
+                            ir=answer["ir"],
+                            static_instructions=answer.get("static_instructions"),
+                            degraded=level != request.level,
+                            breaker_skip=start_index > 0,
+                            attempts=attempts,
+                            fingerprint=fp,
+                            request_id=request.request_id,
+                            quarantined_passes=(
+                                list(qdisabled) if level == "vliw" else []
+                            ),
+                        )
+                    if status == "reject":
+                        # The service already verified this IR; a worker
+                        # reject means the two disagree — surface loudly.
+                        return ServeResponse(
+                            status="failed",
+                            level_requested=request.level,
+                            detail=f"worker rejected validated IR: {answer.get('detail')}",
+                            attempts=attempts,
+                            fingerprint=fp,
+                            request_id=request.request_id,
+                        )
+                    kind = self._failure_kind(status)
+                    attempts.append(
+                        AttemptRecord(level, kind, answer.get("detail", ""), seconds)
                     )
-                if status == "reject":
-                    # The service already verified this IR; a worker
-                    # reject means the two disagree — surface loudly.
-                    return ServeResponse(
-                        status="failed",
-                        level_requested=request.level,
-                        detail=f"worker rejected validated IR: {answer.get('detail')}",
-                        attempts=attempts,
-                        fingerprint=fp,
-                        request_id=request.request_id,
+                    with self._lock:
+                        self.failures_by_kind[kind] += 1
+                    self.breaker.record_failure(fp, level)
+                    failures_here += 1
+                    # Crashes and timeouts may be transient (a poisoned
+                    # worker, a load spike): one same-level retry. An
+                    # in-worker exception, sanitizer violation or OOM is
+                    # deterministic for this input — the same compile at
+                    # the same level will blow the same limit — so degrade
+                    # immediately; a lower level allocates less.
+                    if status in ("crash", "timeout") and failures_here <= self.retry_per_level:
+                        continue
+                    # Giving up at this level: report probe failures and
+                    # flight-record the failure for background triage.
+                    if level == "vliw" and probes_pending:
+                        for name in probes_pending:
+                            self._report_probe(name, False)
+                        probes_pending = []
+                    self._flight_record(
+                        request, fp, level, kind, options, answer, attempts
                     )
-                kind = self._failure_kind(status)
-                attempts.append(
-                    AttemptRecord(level, kind, answer.get("detail", ""), seconds)
-                )
-                with self._lock:
-                    self.failures_by_kind[kind] += 1
-                self.breaker.record_failure(fp, level)
-                failures_here += 1
-                # Crashes and timeouts may be transient (a poisoned
-                # worker, a load spike): one same-level retry. An
-                # in-worker exception, sanitizer violation or OOM is
-                # deterministic for this input — the same compile at the
-                # same level will blow the same limit — so degrade
-                # immediately; a lower level allocates less.
-                if status in ("crash", "timeout") and failures_here <= self.retry_per_level:
-                    continue
-                break
+                    break
+        finally:
+            # Probes the ladder never resolved (breaker skipped vliw, or
+            # an internal error unwound us) go back to half-open so the
+            # next request re-claims them instead of waiting out a dead
+            # lease.
+            for name in probes_pending:
+                self.quarantine.abandon_probe(name)
         return ServeResponse(
             status="failed",
             level_requested=request.level,
@@ -612,6 +714,69 @@ class CompileService:
             fingerprint=fp,
             request_id=request.request_id,
         )
+
+    def pass_quarantined(self, name: str) -> None:
+        """Triage just quarantined ``name``: heal the routing around it.
+
+        Vliw compiles now run with the pass ablated, so the breaker's
+        per-module vliw failure memory — accumulated while the pass was
+        live — is stale; clearing it lets the very next request retry
+        the full level instead of waiting out a breaker cooldown. The
+        transition is made durable immediately (same as probe
+        outcomes). Wired as the triage worker's ``on_quarantine``.
+        """
+        with self._lock:
+            self.breaker.forget_level("vliw")
+        if self.journal is not None:
+            self.checkpoint()
+
+    def _report_probe(self, name: str, ok: bool) -> None:
+        """Feed one probe outcome to the quarantine; retire evidence on
+        reinstatement so a later regression can be re-indicted."""
+        outcome = self.quarantine.probe_result(name, ok)
+        if outcome == "reinstated" and self.triage is not None:
+            try:
+                self.triage.forget_pass(name)
+            except Exception:  # noqa: BLE001 — probes must not kill serving
+                pass
+        if outcome is not None and self.journal is not None:
+            # Quarantine transitions are rare and load-bearing: make
+            # them durable now, not at the next periodic checkpoint.
+            self.checkpoint()
+
+    def _flight_record(
+        self,
+        request: ServeRequest,
+        fp: str,
+        level: str,
+        kind: str,
+        options: Dict,
+        answer: Dict,
+        attempts: List[AttemptRecord],
+    ) -> None:
+        """Write a crash bundle for a given-up failure at ``level``.
+
+        Drill-injected failures are synthetic worker faults, not
+        compiler bugs — they would only no-repro in triage. ``none``
+        runs zero passes, so there is nothing for triage to bisect.
+        """
+        if self.recorder is None or request.inject is not None:
+            return
+        if level == "none" or kind not in BUNDLE_KINDS:
+            return
+        try:
+            self.recorder.record(
+                fp,
+                level,
+                kind,
+                request.ir,
+                options=options,
+                detail=answer.get("detail", ""),
+                attempts=[[a.level, a.status] for a in attempts],
+                seed=int(options.get("diff_seed", 0) or 0),
+            )
+        except Exception:  # noqa: BLE001 — recording must not kill serving
+            pass
 
     @staticmethod
     def _failure_kind(status: str) -> str:
@@ -674,6 +839,16 @@ class CompileService:
             journal["recovered_inflight"] = self.recovered_inflight
             if self.recovery_seconds is not None:
                 journal["recovery_seconds"] = round(self.recovery_seconds, 3)
+        triage = {
+            "quarantine": self.quarantine.stats(),
+            "recorder": (
+                self.recorder.stats() if self.recorder is not None else None
+            ),
+            "index": (
+                self.triage.index.summary() if self.triage is not None else None
+            ),
+            "worker": self.triage.stats() if self.triage is not None else None,
+        }
         return {
             "uptime_seconds": round(time.time() - self._started_at, 1),
             "requests": counts,
@@ -689,6 +864,7 @@ class CompileService:
             "breaker": self.breaker.stats(),
             "pool": self.pool.stats(),
             "journal": journal,
+            "triage": triage,
         }
 
 

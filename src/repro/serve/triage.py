@@ -1,0 +1,682 @@
+"""In-production crash triage: flight recorder, replay, reduce, indict.
+
+The serve stack contains failures (degrade, breaker) but never *learns*
+from them — the fuzz stack's bisection and delta-debugging reducer that
+can name the guilty pass sit idle in production. This module closes the
+loop:
+
+- :class:`FlightRecorder` — on any deterministic request failure the
+  service writes a checksummed **crash bundle** (module IR, config,
+  level, fault class, env fingerprint) under ``--state-dir/triage/``.
+  Bundles are content-addressed (``fp12-level-kind``), so the same
+  failure recurring is deduplicated, and the pending set is bounded —
+  a crash storm drops bundles, it does not eat the disk.
+- :class:`TriageWorker` — a background thread that replays each pending
+  bundle in a **separate process** (triage replays failures; a replay
+  that segfaults or hangs must not take the service with it), reusing
+  ``fuzz/oracle.py``'s differential check + per-pass bisection to name
+  the guilty pass and ``fuzz/reduce.py``'s delta-debugging reducer to
+  shrink the module while the signature reproduces.
+- :class:`TriageIndex` — findings deduplicated by signature (guilty
+  pass, failure kind, reduced fingerprint) into a persistent,
+  durable-atomically rewritten JSON index.
+- confirmed indictments feed
+  :class:`~repro.serve.quarantine.PassQuarantine`, and (optionally) the
+  reduced module is promoted into the fuzz corpus so the failure
+  replays forever under ``tests/fuzz/test_corpus_replay.py``.
+
+Every byte on disk goes through the ``fs`` interface and the journal's
+``encode_record``/``decode_record`` framing, so chaos-fs faults and
+torn writes are survivable: a corrupt bundle is quarantined aside and
+counted, never replayed, never fatal.
+"""
+
+import multiprocessing
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.robustness.chaosfs import REAL_FS
+from repro.serve.journal import decode_record, encode_record
+
+#: Failure kinds worth bundling: deterministic for the input, so a
+#: replay has something to find. ("overload" is the service's problem,
+#: not a compiler bug.)
+BUNDLE_KINDS = ("crash", "sanitizer-violation", "oom", "timeout")
+
+_BUNDLE_SUFFIX = ".crash"
+
+
+def _env_fingerprint() -> Dict[str, str]:
+    return {
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+    }
+
+
+@dataclass
+class CrashBundle:
+    """Everything a triage replay needs, as captured at failure time."""
+
+    bundle_id: str
+    fingerprint: str
+    level: str
+    kind: str
+    ir: str
+    options: Dict = field(default_factory=dict)
+    detail: str = ""
+    attempts: List = field(default_factory=list)
+    env: Dict = field(default_factory=_env_fingerprint)
+    seed: int = 0
+
+    def to_record(self) -> Dict:
+        return {
+            "bundle_id": self.bundle_id,
+            "fingerprint": self.fingerprint,
+            "level": self.level,
+            "kind": self.kind,
+            "ir": self.ir,
+            "options": self.options,
+            "detail": self.detail,
+            "attempts": self.attempts,
+            "env": self.env,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "CrashBundle":
+        return cls(
+            bundle_id=str(record.get("bundle_id", "")),
+            fingerprint=str(record.get("fingerprint", "")),
+            level=str(record.get("level", "vliw")),
+            kind=str(record.get("kind", "crash")),
+            ir=str(record.get("ir", "")),
+            options=record.get("options") or {},
+            detail=str(record.get("detail", "")),
+            attempts=record.get("attempts") or [],
+            env=record.get("env") or {},
+            seed=int(record.get("seed", 0)),
+        )
+
+
+class FlightRecorder:
+    """Checksummed crash bundles under ``<root>/pending``.
+
+    Thread-safe; all I/O is contained (an OSError is a counter, not an
+    outage). Bundle ids are ``fp[:12]-level-kind``: the same module
+    failing the same way twice writes one bundle, and a bundle already
+    triaged (moved to ``resolved/``) is not re-recorded until
+    :meth:`forget` clears it — which the service does when a quarantined
+    pass is reinstated, so a regression is re-detectable.
+    """
+
+    def __init__(self, root, fs=None, max_pending: int = 64):
+        self.root = Path(root)
+        self.fs = fs if fs is not None else REAL_FS
+        self.max_pending = max_pending
+        self.pending_dir = self.root / "pending"
+        self.resolved_dir = self.root / "resolved"
+        self.pending_dir.mkdir(parents=True, exist_ok=True)
+        self.resolved_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.deduped = 0
+        self.dropped = 0
+        self.resolved = 0
+        self.corrupt = 0
+        self.errors = 0
+        self.forgotten = 0
+
+    def record(
+        self,
+        fingerprint: str,
+        level: str,
+        kind: str,
+        ir: str,
+        options: Optional[Dict] = None,
+        detail: str = "",
+        attempts: Optional[List] = None,
+        seed: int = 0,
+    ) -> Optional[str]:
+        """Write one bundle; returns its id, or None (dedupe/drop/error)."""
+        bundle_id = f"{fingerprint[:12]}-{level}-{kind}"
+        name = bundle_id + _BUNDLE_SUFFIX
+        with self._lock:
+            if (self.pending_dir / name).exists() or (
+                self.resolved_dir / name
+            ).exists():
+                self.deduped += 1
+                return None
+            if len(self._pending_names()) >= self.max_pending:
+                self.dropped += 1
+                return None
+            bundle = CrashBundle(
+                bundle_id=bundle_id,
+                fingerprint=fingerprint,
+                level=level,
+                kind=kind,
+                ir=ir,
+                options=dict(options or {}),
+                detail=detail,
+                attempts=list(attempts or []),
+                seed=seed,
+            )
+            path = self.pending_dir / name
+            try:
+                self.fs.write_bytes(path, encode_record(bundle.to_record()))
+                self.fs.fsync(path)
+            except OSError:
+                self.errors += 1
+                return None
+            self.recorded += 1
+            return bundle_id
+
+    def _pending_names(self) -> List[str]:
+        try:
+            return sorted(
+                p.name
+                for p in self.pending_dir.iterdir()
+                if p.name.endswith(_BUNDLE_SUFFIX)
+            )
+        except OSError:
+            return []
+
+    def pending(self) -> List[Path]:
+        """Pending bundle paths, oldest id first."""
+        return [self.pending_dir / name for name in self._pending_names()]
+
+    def load(self, path: Path) -> Optional[CrashBundle]:
+        """Decode one bundle; a corrupt file is shunted aside, not fatal."""
+        try:
+            raw = self.fs.read_bytes(path)
+        except OSError:
+            self.errors += 1
+            return None
+        record = decode_record(raw.splitlines()[0] if raw else b"")
+        if record is None:
+            self.corrupt += 1
+            try:
+                self.fs.replace(path, path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            return None
+        return CrashBundle.from_record(record)
+
+    def resolve(self, path: Path, outcome: str = "") -> None:
+        """Move a triaged bundle out of the pending set (keeps the dedupe)."""
+        try:
+            self.fs.replace(path, self.resolved_dir / path.name)
+        except OSError:
+            self.errors += 1
+            return
+        self.resolved += 1
+
+    def forget(self, bundle_ids) -> int:
+        """Drop resolved bundles so their failures can re-record.
+
+        Called when a quarantined pass is reinstated: if it regresses,
+        the same (fingerprint, level, kind) must be able to open a fresh
+        bundle and re-indict it.
+        """
+        dropped = 0
+        for bundle_id in bundle_ids:
+            path = self.resolved_dir / (str(bundle_id) + _BUNDLE_SUFFIX)
+            try:
+                self.fs.remove(path)
+            except OSError:
+                continue
+            dropped += 1
+        self.forgotten += dropped
+        return dropped
+
+    def stats(self) -> Dict:
+        return {
+            "recorded": self.recorded,
+            "deduped": self.deduped,
+            "dropped": self.dropped,
+            "resolved": self.resolved,
+            "corrupt": self.corrupt,
+            "errors": self.errors,
+            "forgotten": self.forgotten,
+            "pending": len(self._pending_names()),
+        }
+
+
+class TriageIndex:
+    """Persistent findings, deduplicated by signature.
+
+    Signature = ``guilty pass | failure kind | reduced fingerprint`` —
+    one entry per distinct bug, with an occurrence count and the source
+    bundle ids. Rewritten durable-atomically on every add (findings are
+    rare next to requests).
+    """
+
+    NAME = "index.json"
+
+    def __init__(self, root, fs=None):
+        self.root = Path(root)
+        self.fs = fs if fs is not None else REAL_FS
+        self.path = self.root / self.NAME
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.entries: Dict[str, Dict] = {}
+        self.save_errors = 0
+        self.corrupt = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = self.fs.read_bytes(self.path)
+        except OSError:
+            return
+        record = decode_record(raw.splitlines()[0] if raw else b"")
+        if record is None:
+            self.corrupt = True
+            return
+        entries = record.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def _save_locked(self) -> None:
+        tmp = self.path.with_name(self.path.name + ".new")
+        try:
+            self.fs.write_bytes(tmp, encode_record({"entries": self.entries}))
+            self.fs.fsync(tmp)
+            self.fs.replace(tmp, self.path)
+            self.fs.fsync_dir(self.path.parent)
+        except OSError:
+            self.save_errors += 1
+
+    def add(self, result: Dict, source: str) -> Tuple[str, bool]:
+        """Record one triage finding; returns (signature, is_new)."""
+        guilty = result.get("guilty") or "?"
+        kind = result.get("kind") or "?"
+        reduced_fp = (result.get("reduced_fp") or "")[:12]
+        signature = f"{guilty}|{kind}|{reduced_fp}"
+        with self._lock:
+            entry = self.entries.get(signature)
+            new = entry is None
+            if new:
+                entry = {
+                    "guilty": guilty,
+                    "kind": kind,
+                    "reduced_fp": reduced_fp,
+                    "config": result.get("config", ""),
+                    "detail": result.get("detail", ""),
+                    "reduced_ir": result.get("reduced_ir", ""),
+                    "occurrences": 0,
+                    "sources": [],
+                }
+                self.entries[signature] = entry
+            entry["occurrences"] += 1
+            if source and source not in entry["sources"]:
+                entry["sources"].append(source)
+            self._save_locked()
+        return signature, new
+
+    def sources_for(self, guilty: str) -> List[str]:
+        with self._lock:
+            out: List[str] = []
+            for entry in self.entries.values():
+                if entry.get("guilty") == guilty:
+                    out.extend(entry.get("sources", []))
+            return out
+
+    def summary(self) -> Dict:
+        with self._lock:
+            by_pass: Dict[str, int] = {}
+            occurrences = 0
+            for entry in self.entries.values():
+                occurrences += int(entry.get("occurrences", 0))
+                guilty = entry.get("guilty", "?")
+                by_pass[guilty] = by_pass.get(guilty, 0) + 1
+            return {
+                "signatures": len(self.entries),
+                "occurrences": occurrences,
+                "by_pass": by_pass,
+                "save_errors": self.save_errors,
+            }
+
+
+# -- the replay itself (runs in a child process) ----------------------------
+
+
+def _sweep_for_bundle(bundle: Dict):
+    """A :class:`~repro.fuzz.oracle.SweepConfig` matching the failing
+    compile. The key is the canonical clean form (``config_from_key``
+    round-trips it); any injected fault plan rides separately so corpus
+    promotion can replay the reduced module *without* the injection."""
+    from repro.fuzz.oracle import SweepConfig
+
+    level = bundle.get("level", "vliw")
+    options = bundle.get("options") or {}
+    fault_plan = options.get("fault_plan") or None
+    if level == "base":
+        return SweepConfig("base", "base", fault_plan=fault_plan)
+    unroll = int(options.get("unroll_factor", 2))
+    swp = bool(options.get("software_pipelining", True))
+    pipeliner = options.get("pipeliner", "swp")
+    disable = tuple(options.get("disable") or ())
+    parts = ["vliw", f"u{unroll}"]
+    if pipeliner in ("modulo", "modulo-opt"):
+        parts.append(pipeliner)
+    else:
+        parts.append("swp" if swp else "noswp")
+    parts.extend(f"no-{name}" for name in disable)
+    return SweepConfig(
+        ":".join(parts), "vliw", unroll, swp, disable, pipeliner,
+        fault_plan=fault_plan,
+    )
+
+
+def triage_bundle(
+    bundle: Dict,
+    max_steps: int = 50_000,
+    argsets: int = 2,
+    reduce_rounds: int = 3,
+) -> Dict:
+    """Replay one bundle: reproduce, bisect the guilty pass, reduce.
+
+    Pure function of the bundle record — safe to run in a child process
+    (and meant to: a replayed failure may hang or kill the interpreter).
+    """
+    from repro.fuzz.oracle import Oracle, OracleConfig
+    from repro.fuzz.reduce import instruction_count, reduce_module
+    from repro.fuzz.residue import reads_call_residue
+    from repro.ir.parser import parse_module
+    from repro.ir.printer import format_module
+    from repro.perf.fingerprint import fingerprint_module
+
+    module = parse_module(bundle["ir"])
+    sweep = _sweep_for_bundle(bundle)
+    seed = int(bundle.get("seed", 0))
+    oracle = Oracle(OracleConfig(max_steps=max_steps, argsets_per_function=argsets))
+    findings = oracle.check_module(module, seed, configs=[sweep])
+    if not findings:
+        return {"status": "no-repro", "config": sweep.key}
+    finding = findings[0]
+
+    quick = Oracle(OracleConfig(
+        max_steps=max_steps, argsets_per_function=argsets, bisect=False,
+    ))
+
+    def predicate(candidate) -> bool:
+        if reads_call_residue(candidate):
+            return False
+        found = quick.check_module(candidate, seed, configs=[sweep])
+        return any(f.kind == finding.kind for f in found)
+
+    before = instruction_count(module)
+    reduced = reduce_module(module, predicate, max_rounds=reduce_rounds)
+    # Re-confirm (and re-bisect) on the reduced module; if reduction
+    # morphed the failure, fall back to the original finding.
+    final = oracle.check_module(reduced, seed, configs=[sweep])
+    confirmed = next(
+        (f for f in final if f.kind == finding.kind), None
+    )
+    if confirmed is None:
+        reduced, confirmed = module, finding
+    return {
+        "status": "finding",
+        "kind": confirmed.kind,
+        "guilty": confirmed.guilty,
+        "config": sweep.key,
+        "detail": confirmed.detail,
+        "reduced_ir": format_module(reduced),
+        "reduced_fp": fingerprint_module(reduced),
+        "instructions_before": before,
+        "instructions_after": instruction_count(reduced),
+        "injected": bool((bundle.get("options") or {}).get("fault_plan")),
+    }
+
+
+def _triage_child(conn, bundle: Dict, knobs: Dict) -> None:
+    try:
+        result = triage_bundle(bundle, **knobs)
+    except BaseException as exc:  # noqa: BLE001 — anything is a result here
+        result = {
+            "status": "triage-error",
+            "detail": f"{type(exc).__name__}: {exc}",
+        }
+    try:
+        conn.send(result)
+    except (BrokenPipeError, OSError):
+        pass
+    finally:
+        conn.close()
+
+
+class IsolatedTriageRunner:
+    """One child process per bundle, hard-killed past ``deadline``.
+
+    Same containment contract as the compile workers: a replay that
+    wedges or dies is a counted outcome (``triage-timeout`` /
+    ``triage-crash``), never the service's problem.
+    """
+
+    def __init__(
+        self,
+        deadline: float = 120.0,
+        max_steps: int = 50_000,
+        argsets: int = 2,
+        reduce_rounds: int = 3,
+    ):
+        self.deadline = deadline
+        self.knobs = {
+            "max_steps": max_steps,
+            "argsets": argsets,
+            "reduce_rounds": reduce_rounds,
+        }
+
+    def __call__(self, bundle: Dict) -> Dict:
+        parent, child = multiprocessing.Pipe(duplex=False)
+        proc = multiprocessing.Process(
+            target=_triage_child,
+            args=(child, bundle, self.knobs),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        result: Dict = {"status": "triage-timeout"}
+        try:
+            if parent.poll(self.deadline):
+                try:
+                    result = parent.recv()
+                except (EOFError, OSError):
+                    result = {"status": "triage-crash"}
+        finally:
+            parent.close()
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10.0)
+        return result
+
+
+def promote_case(result: Dict, bundle: CrashBundle, directory) -> Path:
+    """Write a reduced finding into the fuzz corpus, pinned forever.
+
+    A finding whose bundle carried an injected fault plan reproduces
+    only *with* the injection, so it is promoted ``status: fixed`` —
+    the replay test asserts the clean config stays clean, pinning the
+    reduced module as a regression input. A finding with no injection
+    is a real in-tree bug: promoted ``status: xfail`` so it replays as
+    known-open until fixed (and fails loudly when it heals).
+    """
+    from repro.fuzz.corpus import case_from_finding, save_case
+    from repro.fuzz.oracle import Finding
+
+    finding = Finding(
+        seed=int(bundle.seed),
+        config=result.get("config", "vliw:u2:swp"),
+        kind=result.get("kind", "crash"),
+        detail=result.get("detail", ""),
+        guilty=result.get("guilty", ""),
+    )
+    status = "fixed" if result.get("injected") else "xfail"
+    case = case_from_finding(
+        finding,
+        result.get("reduced_ir", ""),
+        status=status,
+        name=f"triage-{bundle.bundle_id}",
+    )
+    case.extra = {
+        "origin": "serve-triage",
+        "bundle": bundle.bundle_id,
+        "env": f"{bundle.env.get('python', '?')}/{bundle.env.get('platform', '?')}",
+    }
+    return save_case(case, Path(directory))
+
+
+class TriageWorker:
+    """Background triage loop: pending bundles -> index + quarantine.
+
+    Runs :class:`IsolatedTriageRunner` per bundle on a daemon thread;
+    ``drain()`` processes synchronously (tests, ``repro triage``). Each
+    confirmed finding is indexed, fed to the quarantine as one distinct
+    implication, optionally promoted to the corpus, and followed by
+    ``on_finding`` (the service passes its ``checkpoint`` so quarantine
+    state hits the journal before the next SIGKILL). When an implication
+    *activates* a quarantine, ``on_quarantine`` fires with the pass name
+    (the service clears the breaker's stale vliw memory there).
+    """
+
+    def __init__(
+        self,
+        recorder: FlightRecorder,
+        index: TriageIndex,
+        quarantine,
+        runner: Optional[Callable[[Dict], Dict]] = None,
+        interval: float = 0.25,
+        promote_dir=None,
+        on_finding: Optional[Callable[[], None]] = None,
+        on_quarantine: Optional[Callable[[str], None]] = None,
+        log=None,
+    ):
+        self.recorder = recorder
+        self.index = index
+        self.quarantine = quarantine
+        self.runner = runner if runner is not None else IsolatedTriageRunner()
+        self.interval = interval
+        self.promote_dir = promote_dir
+        self.on_finding = on_finding
+        self.on_quarantine = on_quarantine
+        self.log = log
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.processed = 0
+        self.findings = 0
+        self.duplicates = 0
+        self.no_repro = 0
+        self.errors = 0
+        self.promoted = 0
+        self.promote_errors = 0
+
+    # -- processing ----------------------------------------------------------
+
+    def process_once(self) -> int:
+        """Triage everything currently pending; returns bundles handled."""
+        handled = 0
+        for path in self.recorder.pending():
+            if self._stop.is_set():
+                break
+            bundle = self.recorder.load(path)
+            if bundle is None:
+                continue
+            result = self.runner(bundle.to_record())
+            self._apply(bundle, result)
+            self.recorder.resolve(path, result.get("status", ""))
+            handled += 1
+        return handled
+
+    def _apply(self, bundle: CrashBundle, result: Dict) -> None:
+        self.processed += 1
+        status = result.get("status")
+        if status == "finding":
+            _signature, new = self.index.add(result, source=bundle.bundle_id)
+            if new:
+                self.findings += 1
+            else:
+                self.duplicates += 1
+            guilty = result.get("guilty") or ""
+            if guilty:
+                newly = self.quarantine.record_implication(
+                    guilty, bundle.bundle_id, result.get("kind", "")
+                )
+                if newly and self.log:
+                    self.log(
+                        f"# repro serve: triage quarantined pass {guilty!r} "
+                        f"({result.get('kind')}, bundle {bundle.bundle_id})"
+                    )
+                if newly and self.on_quarantine is not None:
+                    try:
+                        self.on_quarantine(guilty)
+                    except Exception:  # noqa: BLE001 — healing is best-effort
+                        pass
+            if new and self.promote_dir:
+                try:
+                    promote_case(result, bundle, self.promote_dir)
+                    self.promoted += 1
+                except Exception:  # noqa: BLE001 — promotion is best-effort
+                    self.promote_errors += 1
+            if self.on_finding is not None:
+                self.on_finding()
+        elif status == "no-repro":
+            self.no_repro += 1
+        else:
+            self.errors += 1
+
+    def forget_pass(self, name: str) -> None:
+        """A reinstated pass's resolved bundles become recordable again."""
+        self.recorder.forget(self.index.sources_for(name))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-triage", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.process_once()
+            except Exception:  # noqa: BLE001 — triage must not die
+                self.errors += 1
+            self._stop.wait(self.interval)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def drain(self, timeout: float = 60.0) -> int:
+        """Process synchronously until the pending set is empty."""
+        deadline = time.monotonic() + timeout
+        total = 0
+        while self.recorder.pending() and time.monotonic() < deadline:
+            handled = self.process_once()
+            total += handled
+            if not handled:
+                break
+        return total
+
+    def stats(self) -> Dict:
+        return {
+            "processed": self.processed,
+            "findings": self.findings,
+            "duplicates": self.duplicates,
+            "no_repro": self.no_repro,
+            "errors": self.errors,
+            "promoted": self.promoted,
+            "promote_errors": self.promote_errors,
+            "running": self._thread is not None,
+        }

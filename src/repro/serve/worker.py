@@ -59,7 +59,18 @@ def _alarm_handler(signum, frame):
 
 
 class _deadline:
-    """Arm SIGALRM for ``seconds``; no-op where unavailable."""
+    """Arm SIGALRM for ``seconds``; no-op where unavailable.
+
+    Fully save/restore semantics: both the pre-existing SIGALRM
+    *handler* and any pre-armed *itimer* are captured on entry and
+    reinstated on exit (the outer timer's remaining time is reduced by
+    the time spent inside; an outer deadline that expired while we ran
+    is re-armed at epsilon so its handler still fires). Without this, a
+    host embedding ``handle_request`` under its own alarm would come
+    back with its handler intact but its timer silently cancelled.
+    """
+
+    _EPSILON = 1e-6
 
     def __init__(self, seconds: Optional[float]):
         self.seconds = seconds
@@ -68,7 +79,10 @@ class _deadline:
     def __enter__(self):
         if self.seconds and hasattr(signal, "SIGALRM"):
             self._previous = signal.signal(signal.SIGALRM, _alarm_handler)
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._entered = time.monotonic()
+            self._previous_timer = signal.setitimer(
+                signal.ITIMER_REAL, self.seconds
+            )
             self.armed = True
         return self
 
@@ -76,6 +90,14 @@ class _deadline:
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._previous)
+            outer_remaining, outer_interval = self._previous_timer
+            if outer_remaining:
+                elapsed = time.monotonic() - self._entered
+                signal.setitimer(
+                    signal.ITIMER_REAL,
+                    max(outer_remaining - elapsed, self._EPSILON),
+                    outer_interval,
+                )
         return False
 
 
@@ -188,6 +210,8 @@ def handle_request(request: Dict, worker_id: int) -> Dict:
                 software_pipelining=bool(
                     options.get("software_pipelining", True)
                 ),
+                disable=list(options["disable"])
+                if options.get("disable") else None,
                 pipeliner=options.get("pipeliner", "swp"),
                 resilience=resilience,
                 sanitize=sanitize,

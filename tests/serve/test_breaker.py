@@ -70,3 +70,106 @@ class TestBreaker:
         assert stats["opens"] == 1
         assert stats["open_entries"] == 1
         assert stats["tracked"] == 1
+        assert stats["half_open"] == 0
+
+
+class TestHalfOpenProbe:
+    def _opened(self, clock, cooldown=10.0):
+        breaker = CircuitBreaker(threshold=2, cooldown=cooldown, clock=clock)
+        breaker.record_failure(FP, "vliw")
+        breaker.record_failure(FP, "vliw")
+        return breaker
+
+    def test_exactly_one_probe_admitted_after_cooldown(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 11.0
+        assert not breaker.is_open(FP, "vliw")  # this caller is the probe
+        assert breaker.is_open(FP, "vliw")  # everyone else keeps routing around
+        assert breaker.is_open(FP, "vliw")
+
+    def test_abandoned_probe_lease_expires(self):
+        clock = FakeClock()
+        breaker = self._opened(clock, cooldown=10.0)
+        clock.now = 11.0
+        assert not breaker.is_open(FP, "vliw")  # probe claimed...
+        clock.now = 22.0  # ...and never reported back
+        assert not breaker.is_open(FP, "vliw")  # next caller re-claims it
+
+    def test_probe_success_closes_fully(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 11.0
+        assert not breaker.is_open(FP, "vliw")
+        breaker.record_success(FP, "vliw")
+        assert not breaker.is_open(FP, "vliw")
+        assert not breaker.is_open(FP, "vliw")
+        assert breaker.stats()["half_open"] == 0
+
+    def test_probe_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 11.0
+        assert not breaker.is_open(FP, "vliw")
+        breaker.record_failure(FP, "vliw")
+        assert breaker.is_open(FP, "vliw")
+
+    def test_snapshot_of_half_open_pair_is_zero_remaining(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 11.0
+        breaker.is_open(FP, "vliw")  # half-open, probe outstanding
+        snap = breaker.snapshot()
+        assert snap["open_remaining"][f"{FP}|vliw"] == 0.0
+
+    def test_restore_expired_cooldown_lands_half_open_not_closed(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 50.0  # cooldown long expired, nobody probed yet
+        snap = breaker.snapshot()
+
+        restored = CircuitBreaker(threshold=2, cooldown=10.0, clock=FakeClock())
+        restored.restore(snap)
+        # Not closed: exactly one probe is admitted...
+        assert not restored.is_open(FP, "vliw")
+        assert restored.is_open(FP, "vliw")
+        # ...and the retained failure count re-opens on one failure.
+        restored2 = CircuitBreaker(threshold=2, cooldown=10.0, clock=FakeClock())
+        restored2.restore(snap)
+        restored2.record_failure(FP, "vliw")
+        assert restored2.is_open(FP, "vliw")
+
+    def test_forget_level_clears_only_that_level(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure(FP, "vliw")
+        breaker.record_failure("0" * 32, "vliw")
+        breaker.record_failure(FP, "base")
+        assert breaker.forget_level("vliw") == 2
+        assert not breaker.is_open(FP, "vliw")
+        assert not breaker.is_open("0" * 32, "vliw")
+        assert breaker.is_open(FP, "base")
+
+    def test_forget_level_drops_failure_memory_and_leases(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 11.0
+        breaker.is_open(FP, "vliw")  # half-open, probe lease outstanding
+        assert breaker.forget_level("vliw") == 1
+        assert breaker.stats()["half_open"] == 0
+        # Fully forgotten, not half-open: a single new failure stays
+        # below the threshold instead of re-opening on old counts.
+        breaker.record_failure(FP, "vliw")
+        assert not breaker.is_open(FP, "vliw")
+
+    def test_restore_live_cooldown_stays_open(self):
+        clock = FakeClock()
+        breaker = self._opened(clock)
+        clock.now = 4.0
+        snap = breaker.snapshot()
+        fresh_clock = FakeClock()
+        restored = CircuitBreaker(threshold=2, cooldown=10.0, clock=fresh_clock)
+        restored.restore(snap)
+        assert restored.is_open(FP, "vliw")
+        fresh_clock.now = 7.0  # 6s remained at snapshot; now expired
+        assert not restored.is_open(FP, "vliw")

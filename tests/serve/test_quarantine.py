@@ -1,0 +1,413 @@
+"""PassQuarantine: evidence thresholds, probes, persistence — and the
+service integration (ablated compiles, probe accounting, cache keying)
+against a scripted fake pool."""
+
+from repro.perf.memo import CompileCache
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.quarantine import PassQuarantine
+from repro.serve.service import CompileService, ServeRequest
+
+PASS = "limited-combining"
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+OK = {"status": "ok", "ir": "func main(r3):\n    RET\n", "static_instructions": 2}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def quarantine(clock, **kwargs):
+    kwargs.setdefault("threshold", 2)
+    kwargs.setdefault("cooldown", 100.0)
+    kwargs.setdefault("probe_timeout", 10.0)
+    return PassQuarantine(clock=clock, **kwargs)
+
+
+class TestEvidence:
+    def test_distinct_evidence_reaches_threshold(self):
+        q = quarantine(FakeClock())
+        assert not q.record_implication(PASS, "bundle-a", "crash")
+        assert q.active() == ()
+        assert q.record_implication(PASS, "bundle-b", "crash")
+        assert q.active() == (PASS,)
+        assert q.quarantines == 1
+
+    def test_duplicate_evidence_does_not_count_twice(self):
+        q = quarantine(FakeClock())
+        q.record_implication(PASS, "bundle-a", "crash")
+        assert not q.record_implication(PASS, "bundle-a", "crash")
+        assert q.active() == ()
+        assert q.evidence_counts() == {PASS: 1}
+
+    def test_unquarantinable_pass_is_ignored(self):
+        q = quarantine(FakeClock(), threshold=1)
+        assert not q.record_implication("linkage-lowering", "b1", "crash")
+        assert not q.record_implication("no-such-pass", "b2", "crash")
+        assert q.active() == ()
+        assert q.ignored == 2
+
+    def test_evidence_while_quarantined_does_not_requarantine(self):
+        q = quarantine(FakeClock())
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        assert not q.record_implication(PASS, "c", "crash")
+        assert q.quarantines == 1
+
+
+class TestPlanAndProbe:
+    def test_plan_ablates_during_cooldown(self):
+        clock = FakeClock()
+        q = quarantine(clock)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        disabled, probes = q.plan()
+        assert disabled == (PASS,) and probes == ()
+
+    def test_cooldown_elapsed_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        q = quarantine(clock)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        clock.now = 101.0
+        disabled, probes = q.plan()
+        assert probes == (PASS,) and disabled == ()
+        # A concurrent request keeps ablating while the probe is out.
+        disabled2, probes2 = q.plan()
+        assert probes2 == () and disabled2 == (PASS,)
+
+    def test_probe_success_reinstates_and_clears_evidence(self):
+        clock = FakeClock()
+        q = quarantine(clock)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        clock.now = 101.0
+        q.plan()
+        assert q.probe_result(PASS, True) == "reinstated"
+        assert q.active() == ()
+        assert q.evidence_counts() == {}
+        # Fresh evidence is needed to quarantine again.
+        assert not q.record_implication(PASS, "a", "crash")
+
+    def test_probe_failure_requarantines_for_another_cooldown(self):
+        clock = FakeClock()
+        q = quarantine(clock)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        clock.now = 101.0
+        q.plan()
+        assert q.probe_result(PASS, False) == "requarantined"
+        disabled, probes = q.plan()
+        assert disabled == (PASS,) and probes == ()
+        clock.now = 202.0
+        _disabled, probes = q.plan()
+        assert probes == (PASS,)
+
+    def test_stale_probe_report_is_ignored(self):
+        q = quarantine(FakeClock())
+        assert q.probe_result(PASS, True) is None
+
+    def test_abandoned_probe_lease_expires_and_is_reclaimed(self):
+        clock = FakeClock()
+        q = quarantine(clock, probe_timeout=10.0)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        clock.now = 101.0
+        _d, probes = q.plan()
+        assert probes == (PASS,)
+        clock.now = 105.0  # lease still live
+        _d, probes = q.plan()
+        assert probes == ()
+        clock.now = 112.0  # lease expired: the probe died with its request
+        _d, probes = q.plan()
+        assert probes == (PASS,)
+
+    def test_abandon_probe_reopens_immediately(self):
+        clock = FakeClock()
+        q = quarantine(clock)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        clock.now = 101.0
+        q.plan()
+        q.abandon_probe(PASS)
+        _d, probes = q.plan()
+        assert probes == (PASS,)
+
+    def test_multi_success_probe_protocol(self):
+        clock = FakeClock()
+        q = quarantine(clock, probe_successes=2)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        clock.now = 101.0
+        q.plan()
+        assert q.probe_result(PASS, True) is None  # streak 1 of 2
+        _d, probes = q.plan()  # immediately re-probeable
+        assert probes == (PASS,)
+        assert q.probe_result(PASS, True) == "reinstated"
+
+
+class TestPersistence:
+    def _quarantined(self, clock):
+        q = quarantine(clock)
+        q.record_implication(PASS, "a", "crash")
+        q.record_implication(PASS, "b", "crash")
+        return q
+
+    def test_snapshot_restore_carries_remaining_cooldown(self):
+        clock = FakeClock()
+        q = self._quarantined(clock)
+        clock.now = 40.0
+        snap = q.snapshot()
+        assert 59.0 <= snap["cooldown_remaining"][PASS] <= 60.0
+
+        clock2 = FakeClock()
+        q2 = quarantine(clock2)
+        q2.restore(snap)
+        _d, probes = q2.plan()
+        assert _d == (PASS,) and probes == ()
+        clock2.now = 61.0
+        _d, probes = q2.plan()
+        assert probes == (PASS,)
+        # Evidence survived the round trip.
+        assert q2.evidence_counts() == {PASS: 2}
+
+    def test_expired_cooldown_restores_half_open_not_closed(self):
+        clock = FakeClock()
+        q = self._quarantined(clock)
+        clock.now = 150.0  # cooldown long expired
+        snap = q.snapshot()
+        q2 = quarantine(FakeClock())
+        q2.restore(snap)
+        assert q2.active() == (PASS,)  # never silently closed
+        disabled, probes = q2.plan()
+        assert probes == (PASS,) and disabled == ()
+
+    def test_in_flight_probe_restores_as_probe_available(self):
+        clock = FakeClock()
+        q = self._quarantined(clock)
+        clock.now = 101.0
+        q.plan()  # probe claimed, never reported (process died)
+        snap = q.snapshot()
+        q2 = quarantine(FakeClock())
+        q2.restore(snap)
+        _d, probes = q2.plan()
+        assert probes == (PASS,)
+
+    def test_restore_empty_snapshot_is_a_noop(self):
+        q = self._quarantined(FakeClock())
+        q.restore({})
+        q.restore(None)
+        assert q.active() == (PASS,)
+
+    def test_stats_shape(self):
+        q = self._quarantined(FakeClock())
+        stats = q.stats()
+        for key in ("active", "probing", "evidence", "threshold",
+                    "quarantines", "probes", "reinstated",
+                    "requarantined", "ignored"):
+            assert key in stats
+        assert stats["active"] == [PASS]
+
+
+# -- service integration ------------------------------------------------------
+
+
+class FakePool:
+    grace = 0.1
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.calls = []
+
+    def submit(self, request, deadline=None):
+        self.calls.append(request)
+        return self.handler(request)
+
+    def stats(self):
+        return {"workers": 1, "alive": 1}
+
+
+def service(pool, clock=None, **kwargs):
+    kwargs.setdefault("cache", CompileCache(max_entries=8))
+    kwargs.setdefault("deadline", 1.0)
+    kwargs.setdefault(
+        "quarantine",
+        PassQuarantine(threshold=2, cooldown=100.0,
+                       clock=clock or FakeClock()),
+    )
+    return CompileService(pool, **kwargs)
+
+
+def _quarantine_pass(svc, name=PASS):
+    svc.quarantine.record_implication(name, "bundle-a", "crash")
+    svc.quarantine.record_implication(name, "bundle-b", "crash")
+
+
+class TestServiceAblation:
+    def test_quarantined_pass_is_ablated_with_diff_check(self):
+        pool = FakePool(lambda _req: dict(OK, rollbacks=0))
+        svc = service(pool)
+        _quarantine_pass(svc)
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.status == "ok"
+        assert response.level_served == "vliw"
+        assert response.quarantined_passes == [PASS]
+        options = pool.calls[0]["options"]
+        assert options["disable"] == [PASS]
+        assert options["resilience"] == "rollback"
+
+    def test_ablation_merges_with_request_disable(self):
+        pool = FakePool(lambda _req: dict(OK, rollbacks=0))
+        svc = service(pool)
+        _quarantine_pass(svc)
+        svc.compile(ServeRequest(
+            ir=SRC, level="vliw", options={"disable": ["bb-expansion"]}
+        ))
+        assert pool.calls[0]["options"]["disable"] == [
+            "bb-expansion", PASS,
+        ]
+
+    def test_request_resilience_choice_is_respected(self):
+        pool = FakePool(lambda _req: dict(OK, rollbacks=0))
+        svc = service(pool)
+        _quarantine_pass(svc)
+        svc.compile(ServeRequest(
+            ir=SRC, level="vliw", options={"resilience": "strict"}
+        ))
+        assert pool.calls[0]["options"]["resilience"] == "strict"
+
+    def test_base_requests_are_untouched(self):
+        pool = FakePool(lambda _req: dict(OK))
+        svc = service(pool)
+        _quarantine_pass(svc)
+        svc.compile(ServeRequest(ir=SRC, level="base"))
+        assert "disable" not in pool.calls[0]["options"]
+
+    def test_ablated_results_keyed_apart_from_clean_ones(self):
+        pool = FakePool(lambda _req: dict(OK, rollbacks=0))
+        clock = FakeClock()
+        svc = service(pool, clock=clock)
+        cold = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert not cold.cached and cold.quarantined_passes == []
+        _quarantine_pass(svc)
+        ablated = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert not ablated.cached  # different key: not the clean result
+        assert ablated.quarantined_passes == [PASS]
+        warm = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert warm.cached and warm.quarantined_passes == [PASS]
+
+    def test_probe_success_reinstates(self):
+        pool = FakePool(lambda _req: dict(OK, rollbacks=0))
+        clock = FakeClock()
+        svc = service(pool, clock=clock)
+        _quarantine_pass(svc)
+        clock.now = 101.0
+        probe = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert probe.status == "ok"
+        assert probe.quarantined_passes == []  # probe ran the full pipeline
+        assert svc.quarantine.active() == ()
+        assert svc.quarantine.reinstated == 1
+        clean = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert clean.quarantined_passes == []
+
+    def test_probe_rollback_requarantines(self):
+        # The guarded pipeline rolled the probed pass back: compile is
+        # "ok" (the served binary is clean) but the pass is still bad.
+        pool = FakePool(lambda _req: dict(OK, rollbacks=1))
+        clock = FakeClock()
+        svc = service(pool, clock=clock)
+        _quarantine_pass(svc)
+        clock.now = 101.0
+        probe = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert probe.status == "ok"
+        assert svc.quarantine.active() == (PASS,)
+        assert svc.quarantine.requarantined == 1
+        # A rolled-back result must not be cached as full quality.
+        again = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert not again.cached
+
+    def test_probe_compile_failure_requarantines(self):
+        clock = FakeClock()
+        seen = {"n": 0}
+
+        def handler(request):
+            if request["level"] == "vliw":
+                seen["n"] += 1
+                return {"status": "error", "detail": "still broken"}
+            return dict(OK)
+
+        svc = service(FakePool(handler), clock=clock)
+        _quarantine_pass(svc)
+        clock.now = 101.0
+        response = svc.compile(ServeRequest(ir=SRC, level="vliw"))
+        assert response.status == "ok" and response.level_served == "base"
+        assert svc.quarantine.active() == (PASS,)
+        assert svc.quarantine.requarantined == 1
+
+
+class TestBreakerHealing:
+    """Quarantine activation retires the breaker's stale vliw memory."""
+
+    def _failing_pool(self):
+        def handler(request):
+            options = request.get("options") or {}
+            disabled = options.get("disable") or []
+            if request["level"] == "vliw" and PASS not in disabled:
+                return {"status": "error", "detail": "InjectedFault: boom"}
+            return dict(OK, rollbacks=0)
+
+        return FakePool(handler)
+
+    def test_pass_quarantined_reopens_the_vliw_level(self):
+        svc = service(
+            self._failing_pool(),
+            breaker=CircuitBreaker(threshold=2, cooldown=100.0,
+                                   clock=FakeClock()),
+        )
+        # The module fails at vliw until its per-fingerprint breaker
+        # opens; every request degrades to base.
+        for nonce in range(3):
+            response = svc.compile(ServeRequest(
+                ir=SRC, level="vliw", options={"nonce": nonce}
+            ))
+            assert response.status == "ok"
+            assert response.level_served == "base"
+        assert svc.breaker.stats()["open_entries"] == 1
+        # Triage names the guilty pass; the healing hook clears the
+        # stale memory so the *very next* request retries vliw — now
+        # ablated — instead of waiting out the breaker cooldown.
+        _quarantine_pass(svc)
+        svc.pass_quarantined(PASS)
+        response = svc.compile(ServeRequest(
+            ir=SRC, level="vliw", options={"nonce": 99}
+        ))
+        assert response.level_served == "vliw"
+        assert response.quarantined_passes == [PASS]
+
+    def test_without_healing_the_breaker_keeps_degrading(self):
+        # Contrast case: same scenario minus the hook — the breaker
+        # still routes around vliw even though the quarantine would fix
+        # the compile (this is the regression the hook exists for).
+        svc = service(
+            self._failing_pool(),
+            breaker=CircuitBreaker(threshold=2, cooldown=100.0,
+                                   clock=FakeClock()),
+        )
+        for nonce in range(2):
+            svc.compile(ServeRequest(
+                ir=SRC, level="vliw", options={"nonce": nonce}
+            ))
+        _quarantine_pass(svc)
+        response = svc.compile(ServeRequest(
+            ir=SRC, level="vliw", options={"nonce": 99}
+        ))
+        assert response.level_served == "base"

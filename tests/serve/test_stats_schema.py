@@ -1,0 +1,121 @@
+"""GET /stats schema: the keys dashboards are built on must be stable.
+
+Asserts the full top-level key set and the load-bearing sub-keys of
+each section (including the triage section added with the self-healing
+stack), and that the whole document is JSON-serialisable — a stats
+regression should fail here, not in a scraper.
+"""
+
+import json
+
+from repro.perf.memo import CompileCache
+from repro.serve.quarantine import PassQuarantine
+from repro.serve.service import CompileService, ServeRequest
+from repro.serve.triage import FlightRecorder, TriageIndex, TriageWorker
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+OK = {"status": "ok", "ir": "func main(r3):\n    RET\n", "static_instructions": 2}
+
+TOP_LEVEL_KEYS = {
+    "uptime_seconds",
+    "requests",
+    "latency_ms",
+    "levels_served",
+    "failures",
+    "cache",
+    "dedupe",
+    "breaker",
+    "pool",
+    "journal",
+    "triage",
+}
+
+
+class FakePool:
+    grace = 0.1
+
+    def submit(self, request, deadline=None):
+        return dict(OK)
+
+    def stats(self):
+        return {"workers": 1, "alive": 1}
+
+
+def _service(tmp_path=None):
+    recorder = None
+    svc = CompileService(
+        FakePool(),
+        cache=CompileCache(max_entries=8),
+        deadline=1.0,
+        recorder=FlightRecorder(tmp_path / "triage") if tmp_path else None,
+    )
+    if tmp_path:
+        recorder = svc.recorder
+        svc.triage = TriageWorker(
+            recorder,
+            TriageIndex(tmp_path / "triage"),
+            svc.quarantine,
+            runner=lambda bundle: {"status": "no-repro"},
+        )
+    return svc
+
+
+class TestStatsSchema:
+    def test_top_level_keys_are_exactly_stable(self, tmp_path):
+        svc = _service(tmp_path)
+        svc.compile(ServeRequest(ir=SRC))
+        stats = svc.stats()
+        assert set(stats.keys()) == TOP_LEVEL_KEYS
+
+    def test_section_subkeys(self, tmp_path):
+        svc = _service(tmp_path)
+        svc.compile(ServeRequest(ir=SRC))
+        stats = svc.stats()
+        assert {"total", "ok", "degraded", "shed", "rejected", "failed",
+                "pending"} <= set(stats["requests"])
+        assert {"p50", "p99", "count"} <= set(stats["latency_ms"])
+        assert {"opens", "skips", "open_entries", "half_open",
+                "tracked"} <= set(stats["breaker"])
+        assert {"quarantine", "recorder", "index", "worker"} == set(
+            stats["triage"]
+        )
+        assert {"active", "probing", "evidence", "threshold", "quarantines",
+                "probes", "reinstated", "requarantined",
+                "ignored"} <= set(stats["triage"]["quarantine"])
+        assert {"recorded", "deduped", "dropped", "resolved", "corrupt",
+                "errors", "forgotten",
+                "pending"} <= set(stats["triage"]["recorder"])
+        assert {"signatures", "occurrences", "by_pass",
+                "save_errors"} <= set(stats["triage"]["index"])
+        assert {"processed", "findings", "duplicates", "no_repro", "errors",
+                "promoted", "promote_errors",
+                "running"} <= set(stats["triage"]["worker"])
+
+    def test_triage_sections_null_without_the_stack(self):
+        # A service without recorder/worker still has the section (the
+        # quarantine always exists), with explicit nulls — scrapers see
+        # "not wired", never a missing key.
+        svc = _service()
+        stats = svc.stats()
+        assert set(stats.keys()) == TOP_LEVEL_KEYS
+        assert stats["triage"]["recorder"] is None
+        assert stats["triage"]["index"] is None
+        assert stats["triage"]["worker"] is None
+        assert stats["triage"]["quarantine"]["active"] == []
+
+    def test_stats_document_is_json_serialisable(self, tmp_path):
+        svc = _service(tmp_path)
+        svc.compile(ServeRequest(ir=SRC))
+        svc.quarantine.record_implication("dce", "b1", "crash")
+        round_tripped = json.loads(json.dumps(svc.stats()))
+        assert round_tripped["triage"]["quarantine"]["evidence"] == {"dce": 1}
+
+    def test_quarantined_passes_on_the_response_wire(self):
+        svc = _service()
+        wire = svc.compile(ServeRequest(ir=SRC)).to_dict()
+        assert wire["quarantined_passes"] == []

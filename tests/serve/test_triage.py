@@ -1,0 +1,275 @@
+"""Flight recorder, triage index, triage worker and corpus promotion.
+
+The replay/bisect/reduce pipeline itself (``triage_bundle``) is tested
+against a real injected pass fault; the worker orchestration is tested
+with a scripted runner so its policy (dedupe, quarantine feeding,
+promotion, forget) is exercised without paying a replay per case.
+"""
+
+from repro.fuzz.corpus import load_cases
+from repro.ir.parser import parse_module
+from repro.perf.fingerprint import fingerprint_module
+from repro.serve.quarantine import PassQuarantine
+from repro.serve.triage import (
+    CrashBundle,
+    FlightRecorder,
+    IsolatedTriageRunner,
+    TriageIndex,
+    TriageWorker,
+    promote_case,
+    triage_bundle,
+)
+
+PASS = "limited-combining"
+PLAN = f"{PASS}:raise:0"  # fire on every activation
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    MUL r4, r3, r3
+    AI r3, r4, 1
+    RET
+"""
+
+FP = fingerprint_module(parse_module(SRC))
+
+
+def _bundle(fp=FP, ir=SRC, kind="crash", options=None):
+    return {
+        "bundle_id": f"{fp[:12]}-vliw-{kind}",
+        "fingerprint": fp,
+        "level": "vliw",
+        "kind": kind,
+        "ir": ir,
+        "options": {"fault_plan": PLAN} if options is None else options,
+        "seed": 0,
+    }
+
+
+class TestFlightRecorder:
+    def test_record_load_roundtrip(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        bundle_id = recorder.record(
+            FP, "vliw", "crash", SRC,
+            options={"fault_plan": PLAN}, detail="boom", attempts=[["vliw", "crash"]],
+        )
+        assert bundle_id == f"{FP[:12]}-vliw-crash"
+        [path] = recorder.pending()
+        bundle = recorder.load(path)
+        assert bundle.ir == SRC
+        assert bundle.options == {"fault_plan": PLAN}
+        assert bundle.kind == "crash"
+        assert bundle.env["python"]
+
+    def test_same_failure_is_deduplicated(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        assert recorder.record(FP, "vliw", "crash", SRC) is not None
+        assert recorder.record(FP, "vliw", "crash", SRC) is None
+        assert recorder.deduped == 1
+        # A different kind or level is a different bundle.
+        assert recorder.record(FP, "vliw", "timeout", SRC) is not None
+        assert recorder.record(FP, "base", "crash", SRC) is not None
+
+    def test_pending_set_is_bounded(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, max_pending=2)
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        recorder.record("b" * 32, "vliw", "crash", SRC)
+        assert recorder.record("c" * 32, "vliw", "crash", SRC) is None
+        assert recorder.dropped == 1
+
+    def test_resolved_bundle_stays_deduped_until_forgotten(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        bundle_id = recorder.record(FP, "vliw", "crash", SRC)
+        [path] = recorder.pending()
+        recorder.resolve(path)
+        assert recorder.pending() == []
+        assert recorder.record(FP, "vliw", "crash", SRC) is None  # still deduped
+        assert recorder.forget([bundle_id]) == 1
+        assert recorder.record(FP, "vliw", "crash", SRC) is not None
+
+    def test_corrupt_bundle_is_shunted_aside(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        recorder.record(FP, "vliw", "crash", SRC)
+        [path] = recorder.pending()
+        path.write_bytes(b"deadbeef not a record\n")
+        assert recorder.load(path) is None
+        assert recorder.corrupt == 1
+        assert recorder.pending() == []  # renamed .corrupt
+
+
+class TestTriageIndex:
+    def test_dedupe_by_signature_and_persistence(self, tmp_path):
+        index = TriageIndex(tmp_path)
+        finding = {"guilty": PASS, "kind": "crash", "reduced_fp": "ab" * 16}
+        sig, new = index.add(finding, source="bundle-1")
+        assert new
+        sig2, new2 = index.add(finding, source="bundle-2")
+        assert sig2 == sig and not new2
+
+        reloaded = TriageIndex(tmp_path)
+        assert reloaded.summary()["signatures"] == 1
+        assert reloaded.summary()["occurrences"] == 2
+        assert reloaded.summary()["by_pass"] == {PASS: 1}
+        assert sorted(reloaded.sources_for(PASS)) == ["bundle-1", "bundle-2"]
+
+
+class TestTriageBundle:
+    def test_injected_fault_is_bisected_and_reduced(self):
+        result = triage_bundle(
+            _bundle(), max_steps=10_000, argsets=1, reduce_rounds=1
+        )
+        assert result["status"] == "finding"
+        assert result["kind"] == "crash"
+        assert result["guilty"] == PASS
+        assert result["injected"]
+        assert result["instructions_after"] <= result["instructions_before"]
+        parse_module(result["reduced_ir"])  # reduced module is valid IR
+
+    def test_clean_bundle_is_no_repro(self):
+        result = triage_bundle(
+            _bundle(options={}), max_steps=10_000, argsets=1, reduce_rounds=1
+        )
+        assert result["status"] == "no-repro"
+
+    def test_isolated_runner_round_trips(self):
+        runner = IsolatedTriageRunner(
+            deadline=120.0, max_steps=10_000, argsets=1, reduce_rounds=1
+        )
+        result = runner(_bundle())
+        assert result["status"] == "finding"
+        assert result["guilty"] == PASS
+
+    def test_isolated_runner_contains_replay_errors(self):
+        runner = IsolatedTriageRunner(
+            deadline=30.0, max_steps=10_000, argsets=1, reduce_rounds=1
+        )
+        result = runner(_bundle(ir="this is not IR"))
+        assert result["status"] == "triage-error"
+
+
+class FakeRunner:
+    """Scripted triage results keyed by bundle fingerprint."""
+
+    def __init__(self, result):
+        self.result = result
+        self.calls = []
+
+    def __call__(self, bundle):
+        self.calls.append(bundle)
+        return dict(self.result)
+
+
+FINDING = {
+    "status": "finding",
+    "kind": "crash",
+    "guilty": PASS,
+    "config": "vliw:u2:swp",
+    "detail": "InjectedFault: boom",
+    "reduced_ir": SRC,
+    "reduced_fp": FP,
+    "injected": True,
+}
+
+
+def _worker(tmp_path, result=FINDING, threshold=2, promote_dir=None,
+            on_finding=None, on_quarantine=None):
+    recorder = FlightRecorder(tmp_path / "triage")
+    index = TriageIndex(tmp_path / "triage")
+    quarantine = PassQuarantine(threshold=threshold)
+    worker = TriageWorker(
+        recorder, index, quarantine,
+        runner=FakeRunner(result),
+        promote_dir=promote_dir,
+        on_finding=on_finding,
+        on_quarantine=on_quarantine,
+    )
+    return worker, recorder, index, quarantine
+
+
+class TestTriageWorker:
+    def test_distinct_findings_quarantine_the_pass(self, tmp_path):
+        worker, recorder, index, quarantine = _worker(tmp_path)
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        recorder.record("b" * 32, "vliw", "crash", SRC)
+        assert worker.process_once() == 2
+        assert quarantine.active() == (PASS,)
+        assert recorder.pending() == []  # resolved
+        assert worker.findings == 1 and worker.duplicates == 1
+        assert index.summary()["occurrences"] == 2
+
+    def test_one_module_alone_cannot_quarantine(self, tmp_path):
+        worker, recorder, _index, quarantine = _worker(tmp_path)
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        worker.process_once()
+        assert quarantine.active() == ()
+
+    def test_no_repro_feeds_nothing(self, tmp_path):
+        worker, recorder, index, quarantine = _worker(
+            tmp_path, result={"status": "no-repro"}, threshold=1
+        )
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        worker.process_once()
+        assert quarantine.active() == ()
+        assert worker.no_repro == 1
+        assert index.summary()["signatures"] == 0
+
+    def test_on_finding_callback_fires(self, tmp_path):
+        fired = []
+        worker, recorder, _i, _q = _worker(
+            tmp_path, on_finding=lambda: fired.append(1)
+        )
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        worker.process_once()
+        assert fired == [1]
+
+    def test_on_quarantine_fires_only_on_activation(self, tmp_path):
+        quarantined = []
+        worker, recorder, _i, _q = _worker(
+            tmp_path, on_quarantine=quarantined.append
+        )
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        worker.process_once()
+        assert quarantined == []  # one implication: below threshold
+        recorder.record("b" * 32, "vliw", "crash", SRC)
+        recorder.record("c" * 32, "vliw", "crash", SRC)
+        worker.process_once()
+        assert quarantined == [PASS]  # activation once, not per implication
+
+    def test_forget_pass_reenables_detection(self, tmp_path):
+        worker, recorder, _index, quarantine = _worker(tmp_path)
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        worker.process_once()
+        assert recorder.record("a" * 32, "vliw", "crash", SRC) is None
+        worker.forget_pass(PASS)
+        assert recorder.record("a" * 32, "vliw", "crash", SRC) is not None
+
+    def test_new_findings_promote_to_corpus(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        worker, recorder, _i, _q = _worker(tmp_path, promote_dir=corpus_dir)
+        recorder.record("a" * 32, "vliw", "crash", SRC)
+        recorder.record("b" * 32, "vliw", "crash", SRC)  # duplicate signature
+        worker.process_once()
+        cases = load_cases(corpus_dir)
+        assert len(cases) == 1  # deduped: one case per signature
+        assert worker.promoted == 1
+
+
+class TestPromotion:
+    def test_promoted_case_replays_under_the_corpus_test(self, tmp_path):
+        bundle = CrashBundle.from_record(_bundle())
+        path = promote_case(FINDING, bundle, tmp_path)
+        [case] = load_cases(tmp_path)
+        assert case.path == path
+        # Injected fault: the clean config must stay clean -> "fixed".
+        assert case.status == "fixed"
+        assert case.guilty == PASS
+        assert case.kind == "crash"
+        assert case.extra["origin"] == "serve-triage"
+        assert case.extra["bundle"] == bundle.bundle_id
+        parse_module(case.source)  # the corpus file is directly parseable
+
+    def test_real_bug_promotes_as_xfail(self, tmp_path):
+        bundle = CrashBundle.from_record(_bundle(options={}))
+        promote_case(dict(FINDING, injected=False), bundle, tmp_path)
+        [case] = load_cases(tmp_path)
+        assert case.status == "xfail"

@@ -1,0 +1,119 @@
+"""The worker's SIGALRM soft-deadline must leave no trace on the host.
+
+Regression tests for the save/restore contract of ``_deadline``: both
+the pre-existing SIGALRM *handler* and any pre-armed *itimer* are
+reinstated on exit. The itimer half is the subtle one — ``setitimer``
+inside the guard silently cancelled an embedding host's own alarm, so a
+process that wrapped ``handle_request`` under its own deadline would
+never hear it fire.
+"""
+
+import signal
+import time
+
+import pytest
+
+from repro.serve.worker import DeadlineExceeded, _deadline, handle_request
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="requires SIGALRM"
+)
+
+SRC = """
+func main(r3):
+    AI r3, r3, 5
+    RET
+"""
+
+
+class _OuterAlarm:
+    """Arm an outer handler + itimer; restore everything on exit."""
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+        self.fired = []
+
+    def __enter__(self):
+        self._old_handler = signal.signal(
+            signal.SIGALRM, lambda *_: self.fired.append(time.monotonic())
+        )
+        signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc_info):
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, self._old_handler)
+        return False
+
+
+class TestDeadlineSaveRestore:
+    def test_outer_handler_and_timer_are_restored(self):
+        with _OuterAlarm(30.0) as outer:
+            handler_inside = None
+            with _deadline(5.0):
+                handler_inside = signal.getsignal(signal.SIGALRM)
+            remaining, _interval = signal.getitimer(signal.ITIMER_REAL)
+            restored = signal.getsignal(signal.SIGALRM)
+            # Inside: our alarm handler; outside: the host's, with its
+            # timer re-armed at (remaining - elapsed), not cancelled.
+            assert handler_inside is not restored
+            assert 0.0 < remaining <= 30.0
+            assert not outer.fired
+
+    def test_outer_deadline_expiring_inside_still_fires(self):
+        with _OuterAlarm(0.05) as outer:
+            with _deadline(10.0):
+                time.sleep(0.1)  # outer deadline passes while suspended
+            # Re-armed at epsilon: the host hears its (late) alarm.
+            deadline = time.monotonic() + 2.0
+            while not outer.fired and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert outer.fired
+
+    def test_no_outer_timer_means_none_left_armed(self):
+        old = signal.signal(signal.SIGALRM, signal.SIG_DFL)
+        try:
+            with _deadline(5.0):
+                pass
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+            assert signal.getsignal(signal.SIGALRM) is signal.SIG_DFL
+        finally:
+            signal.signal(signal.SIGALRM, old)
+
+    def test_deadline_still_fires_for_its_own_overrun(self):
+        with pytest.raises(DeadlineExceeded):
+            with _deadline(0.05):
+                time.sleep(5.0)
+
+    def test_unarmed_guard_is_a_noop(self):
+        before = signal.getsignal(signal.SIGALRM)
+        with _deadline(None):
+            pass
+        assert signal.getsignal(signal.SIGALRM) is before
+
+
+class TestHandleRequestSignals:
+    def test_soft_timeout_answers_and_restores_host_state(self):
+        with _OuterAlarm(30.0) as outer:
+            response = handle_request(
+                {
+                    "ir": SRC,
+                    "level": "none",
+                    "deadline": 0.1,
+                    "inject": {"kind": "soft-hang", "seconds": 30.0},
+                },
+                worker_id=0,
+            )
+            remaining, _interval = signal.getitimer(signal.ITIMER_REAL)
+            assert response["status"] == "timeout"
+            assert 0.0 < remaining <= 30.0
+            assert not outer.fired
+
+    def test_successful_compile_restores_host_state(self):
+        with _OuterAlarm(30.0):
+            response = handle_request(
+                {"ir": SRC, "level": "vliw", "deadline": 10.0}, worker_id=0
+            )
+            remaining, _interval = signal.getitimer(signal.ITIMER_REAL)
+            assert response["status"] == "ok"
+            assert 0.0 < remaining <= 30.0
