@@ -1,0 +1,154 @@
+"""E14 — closure-compiled engine vs the tree-walking interpreter.
+
+The closure engine exists to make the differential infrastructure
+cheap: ``repro run``/``repro time`` hot paths and the fuzz oracle's
+execution half all sit on ``run_function``. This benchmark measures
+the speedup on the real workload suite in both hot modes:
+
+- *run path* (``repro run``): no trace, no block counts — the fuzz
+  oracle's configuration when bisection is off;
+- *time path* (``repro time``): ``record_trace=True``, since the
+  machine timer replays the trace against the pipeline model.
+
+The acceptance contract — geometric-mean speedup of at least 5x on
+both paths — is asserted here, and the per-workload figures land in
+``BENCH_interp.json`` for CI to archive. A second benchmark times a
+small fuzz campaign end-to-end (generate + compile + execute) with the
+oracle on each executor and records the throughput multiplier; on the
+oracle's small generated programs compilation and verification dominate
+a seed's cost, so the measured end-to-end gain is real but modest
+(~1.1x here) and the floor is >1.05x, with the figure in the JSON.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.fuzz.driver import fuzz_seed
+from repro.fuzz.oracle import OracleConfig
+from repro.machine import run_function
+from repro.workloads import suite
+
+BENCH_JSON = Path("BENCH_interp.json")
+
+REPS = 5
+FUZZ_SEEDS = 12
+
+_RESULTS = {}
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _time_engine(module, entry, args, engine, record_trace):
+    # Warm the code cache so compile cost isn't billed to the run.
+    run_function(
+        module, entry, list(args), record_trace=record_trace, engine=engine
+    )
+    t0 = time.perf_counter()
+    for _ in range(REPS):
+        run_function(
+            module, entry, list(args), record_trace=record_trace, engine=engine
+        )
+    return (time.perf_counter() - t0) / REPS
+
+
+def run_workload_comparison():
+    results = {}
+    for wl in suite():
+        module = wl.fresh_module()
+        row = {}
+        for mode, record_trace in (("run", False), ("time", True)):
+            tree = _time_engine(module, wl.entry, wl.args, "tree", record_trace)
+            clos = _time_engine(
+                module, wl.entry, wl.args, "closure", record_trace
+            )
+            row[mode] = {
+                "tree_s": tree,
+                "closure_s": clos,
+                "speedup": tree / clos,
+            }
+        results[wl.name] = row
+    return results
+
+
+def test_e14_engine_speedup(benchmark):
+    results = benchmark.pedantic(run_workload_comparison, iterations=1, rounds=1)
+
+    print()
+    print(f"{'workload':<10} {'run':>8} {'time':>8}")
+    for name, row in results.items():
+        print(
+            f"{name:<10} {row['run']['speedup']:>7.2f}x "
+            f"{row['time']['speedup']:>7.2f}x"
+        )
+        benchmark.extra_info[f"{name}:run"] = round(row["run"]["speedup"], 2)
+        benchmark.extra_info[f"{name}:time"] = round(row["time"]["speedup"], 2)
+
+    geo = {
+        mode: _geomean([row[mode]["speedup"] for row in results.values()])
+        for mode in ("run", "time")
+    }
+    print(f"{'geomean':<10} {geo['run']:>7.2f}x {geo['time']:>7.2f}x")
+
+    # Acceptance: at least 5x on both hot paths, suite-wide.
+    assert geo["run"] >= 5.0, geo
+    assert geo["time"] >= 5.0, geo
+
+    _RESULTS["workloads"] = {
+        name: {
+            mode: {
+                "tree_s": round(row[mode]["tree_s"], 5),
+                "closure_s": round(row[mode]["closure_s"], 5),
+                "speedup": round(row[mode]["speedup"], 2),
+            }
+            for mode in ("run", "time")
+        }
+        for name, row in results.items()
+    }
+    _RESULTS["geomean_speedup"] = {m: round(v, 2) for m, v in geo.items()}
+
+
+def run_fuzz_throughput():
+    times = {}
+    for engine in ("tree", "closure"):
+        cfg = OracleConfig(bisect=False, engine=engine)
+        t0 = time.perf_counter()
+        findings = []
+        for seed in range(FUZZ_SEEDS):
+            findings += fuzz_seed(
+                seed, "vliw", cfg, config_keys=("vliw:u2:swp", "vliw:u2:modulo")
+            )
+        times[engine] = time.perf_counter() - t0
+        assert not findings, findings
+    return times
+
+
+def test_e14_fuzz_throughput(benchmark):
+    times = benchmark.pedantic(run_fuzz_throughput, iterations=1, rounds=1)
+
+    multiplier = times["tree"] / times["closure"]
+    print()
+    print(
+        f"fuzz {FUZZ_SEEDS} seeds: tree {times['tree']:.1f}s, "
+        f"closure {times['closure']:.1f}s -> {multiplier:.2f}x"
+    )
+    benchmark.extra_info["fuzz_multiplier"] = round(multiplier, 2)
+
+    # Execution is only part of a seed's cost (generation, compilation
+    # and verification are engine-independent), so the floor is modest.
+    assert multiplier > 1.05, times
+
+    _RESULTS["fuzz"] = {
+        "seeds": FUZZ_SEEDS,
+        "configs": ["vliw:u2:swp", "vliw:u2:modulo"],
+        "tree_s": round(times["tree"], 2),
+        "closure_s": round(times["closure"], 2),
+        "multiplier": round(multiplier, 2),
+    }
+
+    payload = {"benchmark": "E14-interp", "reps": REPS, **_RESULTS}
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")

@@ -26,7 +26,7 @@ from repro.evaluate import (
     train_profile,
 )
 from repro.ir import format_module, parse_module, verify_module
-from repro.machine import MEM_MODELS, run_function, time_trace
+from repro.machine import ENGINES, MEM_MODELS, run_function, time_trace
 from repro.machine.model import PRESETS, RS6000
 from repro.pipeline import compile_module
 from repro.scheduling import PIPELINERS
@@ -71,6 +71,7 @@ def cmd_compile(args) -> int:
         sanitize=args.sanitize,
         diff_seed=args.diff_seed,
         mem_model=args.mem_model,
+        engine=args.engine,
         jobs=args.jobs,
         trace=trace,
     )
@@ -147,6 +148,7 @@ def cmd_run(args) -> int:
         _parse_args_list(args.args),
         max_steps=args.max_steps,
         mem_model=args.mem_model,
+        engine=args.engine,
     )
     if result.output:
         for value in result.output:
@@ -169,6 +171,7 @@ def cmd_time(args) -> int:
             record_trace=True,
             max_steps=args.max_steps,
             mem_model=args.mem_model,
+            engine=args.engine,
         )
         report = time_trace(run.trace, model)
         print(
@@ -236,6 +239,7 @@ def cmd_fuzz(args) -> int:
         argsets_per_function=args.argsets,
         bisect=not args.no_bisect,
         quick=args.quick,
+        engine=args.engine,
     )
     gen_cfg = GenConfig(size=args.size)
     config_keys = (
@@ -243,6 +247,18 @@ def cmd_fuzz(args) -> int:
         if args.configs
         else None
     )
+    if args.xengine:
+        # Executor-vs-executor campaign: cross-check the uncompiled
+        # module plus every swept config's compiled form.
+        from repro.fuzz.oracle import sweep_configs
+
+        base_keys = config_keys or tuple(
+            c.key for c in sweep_configs(args.level, quick=args.quick)
+        )
+        config_keys = ("xengine:none",) + tuple(
+            key if key.startswith("xengine:") else f"xengine:{key}"
+            for key in base_keys
+        )
     if config_keys:
         from repro.fuzz.oracle import config_from_key
 
@@ -607,6 +623,12 @@ def main(argv=None) -> int:
         help="execution substrate for the differential checker",
     )
     p_compile.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="tree",
+        help="executor for the differential checker / sanitizer entries",
+    )
+    p_compile.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -645,6 +667,13 @@ def main(argv=None) -> int:
         default="flat",
         help="'paged' makes unmapped accesses fault instead of reading 0",
     )
+    p_run.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="tree",
+        help="executor: 'tree' (ground-truth interpreter) or 'closure' "
+        "(compiled engine, ~5x faster, differentially cross-checked)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_time = sub.add_parser("time", help="cycle counts on a machine model")
@@ -659,6 +688,12 @@ def main(argv=None) -> int:
         choices=MEM_MODELS,
         default="flat",
         help="'paged' makes unmapped accesses fault instead of reading 0",
+    )
+    p_time.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="tree",
+        help="executor for the traced run (see 'repro run --engine')",
     )
     p_time.set_defaults(func=cmd_time)
 
@@ -707,6 +742,14 @@ def main(argv=None) -> int:
                         help="comma-separated sweep config keys (e.g. "
                         "vliw:u2:modulo,vliw:u2:modulo-opt) to check "
                         "instead of the level's default sweep")
+    p_fuzz.add_argument("--engine", choices=ENGINES, default="tree",
+                        help="executor for the oracle's observations")
+    p_fuzz.add_argument("--xengine", action="store_true",
+                        help="executor-vs-executor mode: run the tree-"
+                        "walker and the closure engine on every config "
+                        "and flag any divergence as an engine bug "
+                        "(prefixes each sweep key with 'xengine:' and "
+                        "adds 'xengine:none' for the uncompiled module)")
     p_fuzz.add_argument("--no-bisect", action="store_true",
                         help="skip the per-finding guilty-pass bisection")
     p_fuzz.add_argument("--save-failures",

@@ -57,6 +57,7 @@ def measure(
     resilience: Optional[str] = None,
     mem_model: str = "flat",
     memo=False,
+    engine: str = "tree",
     **compile_kwargs,
 ) -> Measurement:
     """Compile and time one workload; verifies the computed value.
@@ -110,6 +111,7 @@ def measure(
         record_trace=True,
         max_steps=10_000_000,
         mem_model=mem_model,
+        engine=engine,
     )
     if check_against is not None and result.value != check_against:
         raise AssertionError(

@@ -337,6 +337,10 @@ def signature_predicate(
     registers a callee happened to populate, and such a candidate
     "reproduces" a divergence that is the program's fault, not the
     compiler's — the reducer would morph a real bug into noise.
+    ``engine-divergence`` findings skip that guard: both executors run
+    the *same* module, so they must agree even on residue-reading
+    programs — a candidate reproducing the divergence is always a real
+    engine bug.
     """
     sweep = config_from_key(finding.config)
     cfg = oracle_cfg or OracleConfig()
@@ -346,9 +350,10 @@ def signature_predicate(
         mem_models=(finding.mem_model,) if finding.mem_model else cfg.mem_models,
     )
     oracle = Oracle(cfg)
+    residue_guard = finding.kind != "engine-divergence"
 
     def predicate(candidate: Module) -> bool:
-        if reads_call_residue(candidate):
+        if residue_guard and reads_call_residue(candidate):
             return False
         found = oracle.check_module(
             candidate, finding.seed, configs=[sweep]

@@ -32,15 +32,29 @@ selective verification fires) is a **verifier-reject**.
 Each finding is bisected by replaying the pipeline one pass at a time
 on a fresh clone and re-testing the failure signature after every pass;
 the first pass that introduces the signature is named guilty.
+
+**Executor-vs-executor mode** (``xengine:`` sweep keys): instead of
+comparing unoptimized-vs-compiled behaviour, run the *same* compiled
+module under both the tree-walking interpreter and the closure-compiled
+engine and demand bit-identical observations — value, fault class and
+message, final memory, output, poison events, step count and block
+counts. Any disagreement is an ``engine-divergence`` finding blamed on
+the diverging function (there is no guilty pass: the program is the
+same on both sides, the executors differ). ``xengine:none`` checks the
+uncompiled module; ``xengine:<config>`` checks the module compiled
+under that sweep config, so scheduler-shaped code (speculation, modulo
+prologs) exercises the engine too.
 """
 
 import re
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module, STACK_BASE
 from repro.ir.printer import format_module
 from repro.ir.verifier import verify_module
+from repro.machine.interpreter import Interpreter, MachineState
 from repro.pipeline import baseline_passes, compile_module, vliw_passes
 from repro.robustness.diffcheck import EntryOutcome, derive_entries, observe
 from repro.transforms.pass_manager import PassContext, PassManager
@@ -77,6 +91,10 @@ class SweepConfig:
     #: bundles from fault drills this way. Not part of ``key``: the key
     #: names the clean configuration the plan perturbs.
     fault_plan: Optional[str] = None
+    #: Executor-vs-executor mode: compare the tree-walking interpreter
+    #: against the closure engine on this config's compiled module
+    #: instead of comparing against the unoptimized reference.
+    xengine: bool = False
 
     def _plan(self):
         """A fresh plan per compile: FaultSpec activation counts are
@@ -162,13 +180,19 @@ def config_from_key(key: str) -> SweepConfig:
     the defaults (a typo'd backend name would otherwise sweep plain
     ``swp`` under the misspelled key and "find" nothing).
     """
+    if key.startswith("xengine:"):
+        rest = key[len("xengine:"):]
+        if rest == "none":
+            return SweepConfig(key, "none", xengine=True)
+        return _dc_replace(config_from_key(rest), key=key, xengine=True)
     if key == "base":
         return SweepConfig("base", "base")
     parts = key.split(":")
     if parts[0] != "vliw":
         raise ValueError(
-            f"unknown sweep config {key!r}: expected 'base' or "
-            "'vliw[:u<N>][:swp|noswp|modulo|modulo-opt][:no-<pass>...]'"
+            f"unknown sweep config {key!r}: expected 'base', "
+            "'vliw[:u<N>][:swp|noswp|modulo|modulo-opt][:no-<pass>...]', "
+            "or 'xengine:none' / 'xengine:<config>'"
         )
     unroll = 2
     swp = True
@@ -209,6 +233,7 @@ class Finding:
     seed: int
     config: str
     #: "miscompile" | "containment" | "crash" | "verifier-reject"
+    #: | "engine-divergence"
     kind: str
     detail: str = ""
     fn: str = ""
@@ -233,6 +258,88 @@ class Finding:
 
 
 @dataclass
+class ExecObservation:
+    """Everything one executor lets us observe about one entry run."""
+
+    kind: str  # "ok" | "error"
+    error_class: str = ""
+    detail: str = ""
+    value: int = 0
+    output: Tuple[int, ...] = ()
+    memory: Dict[int, int] = field(default_factory=dict)
+    steps: int = 0
+    block_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    poison_events: int = 0
+
+
+def observe_exec(executor, fn_name: str, args, mem_model: str) -> ExecObservation:
+    """Run one entry on an already-constructed executor and record
+    *everything* it exposes — including step counts and block counts on
+    fault paths, which :func:`~repro.robustness.diffcheck.observe`
+    discards (``executor.steps``/``block_counts`` stay readable after
+    the exception; both executors guarantee that)."""
+    state = MachineState(mem_model=mem_model)
+    try:
+        result = executor.run(fn_name, list(args), state)
+    except Exception as exc:  # noqa: BLE001 — the *class* is the observation
+        return ExecObservation(
+            "error",
+            error_class=type(exc).__name__,
+            detail=str(exc),
+            memory=dict(state.snapshot_mem()),
+            steps=executor.steps,
+            block_counts=dict(executor.block_counts),
+            poison_events=state.poison_events,
+        )
+    return ExecObservation(
+        "ok",
+        value=result.value,
+        output=tuple(state.output),
+        memory=dict(state.snapshot_mem()),
+        steps=result.steps,
+        block_counts=dict(result.block_counts or {}),
+        poison_events=state.poison_events,
+    )
+
+
+def _diff_observations(a: ExecObservation, b: ExecObservation) -> str:
+    """First observable difference between tree (``a``) and closure
+    (``b``), or ``""`` when they agree bit-for-bit."""
+    if a.kind != b.kind:
+        return (
+            f"tree {a.kind} ({a.error_class or a.value}) but closure "
+            f"{b.kind} ({b.error_class or b.value})"
+        )
+    if a.error_class != b.error_class:
+        return f"fault class {a.error_class} != {b.error_class}"
+    if a.detail != b.detail:
+        return f"fault detail {a.detail!r} != {b.detail!r}"
+    if a.value != b.value:
+        return f"value {a.value} != {b.value}"
+    if a.output != b.output:
+        return f"output {list(a.output)[:8]} != {list(b.output)[:8]}"
+    if a.steps != b.steps:
+        return f"step count {a.steps} != {b.steps}"
+    if a.block_counts != b.block_counts:
+        delta = sorted(
+            key
+            for key in set(a.block_counts) | set(b.block_counts)
+            if a.block_counts.get(key, 0) != b.block_counts.get(key, 0)
+        )[:4]
+        return "block counts diverged at " + ", ".join(map(str, delta))
+    if a.memory != b.memory:
+        delta = sorted(
+            addr
+            for addr in set(a.memory) | set(b.memory)
+            if a.memory.get(addr, 0) != b.memory.get(addr, 0)
+        )[:4]
+        return "memory diverged at " + ", ".join(hex(x) for x in delta)
+    if a.poison_events != b.poison_events:
+        return f"poison events {a.poison_events} != {b.poison_events}"
+    return ""
+
+
+@dataclass
 class OracleConfig:
     """Knobs for one oracle run."""
 
@@ -241,6 +348,9 @@ class OracleConfig:
     mem_models: Tuple[str, ...] = ("flat", "paged")
     bisect: bool = True
     quick: bool = False
+    #: Executor for the reference-vs-compiled observations ("tree" or
+    #: "closure"); ``xengine:`` sweep configs always run both.
+    engine: str = "tree"
 
 
 class Oracle:
@@ -301,15 +411,23 @@ class Oracle:
     ) -> List[Finding]:
         """All findings for ``module`` (at most one per sweep config)."""
         cfg = self.cfg
+        sweeps = list(configs or sweep_configs(level, quick=cfg.quick))
         entries = derive_entries(module, seed, cfg.argsets_per_function)
-        baselines = {
-            (fn, args, mm): observe(module, fn, args, cfg.max_steps, mm)
-            for fn, args in entries
-            for mm in cfg.mem_models
-        }
+        if all(sweep.xengine for sweep in sweeps):
+            # Executor-vs-executor sweeps never consult the unoptimized
+            # reference — both observations come from the same module.
+            baselines: Dict = {}
+        else:
+            baselines = {
+                (fn, args, mm): observe(
+                    module, fn, args, cfg.max_steps, mm, cfg.engine
+                )
+                for fn, args in entries
+                for mm in cfg.mem_models
+            }
         source = format_module(module)
         findings: List[Finding] = []
-        for sweep in configs or sweep_configs(level, quick=cfg.quick):
+        for sweep in sweeps:
             finding = self._check_config(module, seed, sweep, entries, baselines)
             if finding is not None:
                 finding.source = source
@@ -349,10 +467,12 @@ class Oracle:
                     module, sweep, lambda m: not _verifies(m)
                 )
             return finding
+        if sweep.xengine:
+            return self._check_engines(compiled, seed, sweep, entries)
         for mm in cfg.mem_models:
             for fn, args in entries:
                 base = baselines[(fn, args, mm)]
-                after = observe(compiled, fn, args, cfg.max_steps, mm)
+                after = observe(compiled, fn, args, cfg.max_steps, mm, cfg.engine)
                 verdict = self.classify_pair(base, after, mm)
                 if verdict is None:
                     continue
@@ -366,6 +486,41 @@ class Oracle:
                         module, sweep, fn, args, mm, base
                     )
                 return finding
+        return None
+
+    def _check_engines(
+        self,
+        compiled: Module,
+        seed: int,
+        sweep: SweepConfig,
+        entries: Sequence[Tuple[str, Tuple[int, ...]]],
+    ) -> Optional[Finding]:
+        """Tree-walker vs closure engine on the same compiled module.
+
+        One executor of each kind is built per module and *reused*
+        across every entry and memory model — per-run state reset under
+        reuse is part of the contract being checked (the interpreter's
+        missing reset was exactly such a bug). Block counts are always
+        recorded: they distinguish divergences that value comparison
+        alone would miss (same result, different path).
+        """
+        from repro.machine.engine import ClosureEngine
+
+        cfg = self.cfg
+        tree = Interpreter(compiled, max_steps=cfg.max_steps, count_blocks=True)
+        clos = ClosureEngine(compiled, max_steps=cfg.max_steps, count_blocks=True)
+        for mm in cfg.mem_models:
+            for fn, args in entries:
+                a = observe_exec(tree, fn, args, mm)
+                b = observe_exec(clos, fn, args, mm)
+                diff = _diff_observations(a, b)
+                if diff:
+                    # No guilty *pass* — the program is identical on
+                    # both sides; blame the diverging function.
+                    return Finding(
+                        seed, sweep.key, "engine-divergence", diff,
+                        fn=fn, args=args, mem_model=mm, guilty=fn,
+                    )
         return None
 
     def _compile_crash(self, module, seed, sweep, exc) -> Finding:
@@ -390,7 +545,9 @@ class Oracle:
         """Name the first pass whose output diverges on the failing entry."""
 
         def diverges(work: Module) -> bool:
-            after = observe(work, fn, args, self.cfg.max_steps, mem_model)
+            after = observe(
+                work, fn, args, self.cfg.max_steps, mem_model, self.cfg.engine
+            )
             return self.classify_pair(base, after, mem_model) is not None
 
         return self._bisect(module, sweep, diverges)

@@ -14,6 +14,7 @@ substitute a two-part substrate:
 """
 
 from repro.machine.model import MachineModel, POWER2, PPC601, RS6000
+from repro.machine.engine import ENGINES, ClosureEngine, cached_engine
 from repro.machine.interpreter import (
     ExecutionError,
     ExecutionLimit,
@@ -35,6 +36,8 @@ from repro.machine.timer import TimingReport, time_trace, cycles_for_run
 
 __all__ = [
     "ArithmeticFault",
+    "ClosureEngine",
+    "ENGINES",
     "ExecResult",
     "ExecutionError",
     "ExecutionLimit",
@@ -50,6 +53,7 @@ __all__ = [
     "RS6000",
     "SpeculationFault",
     "TimingReport",
+    "cached_engine",
     "cycles_for_run",
     "make_memory",
     "run_function",

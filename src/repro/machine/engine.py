@@ -1,0 +1,1517 @@
+"""Closure-compiled threaded-code execution engine.
+
+The tree-walking :class:`~repro.machine.interpreter.Interpreter` decodes
+every instruction on every step: opcode dispatch through an ``if`` chain,
+operand field reads, attribute lookups.  This module compiles each
+function once into chained Python closures and then only *runs* them:
+
+- one closure per instruction, with operands, immediates, ALU functions,
+  data-symbol addresses and speculative/save/restore attribute flags all
+  pre-resolved at compile time;
+- straight-line runs of instructions are batched into segments that
+  account their steps with a single add (falling back to per-instruction
+  accounting near the budget so :class:`ExecutionLimit` fires on exactly
+  the same instruction as the interpreter, with the same final count);
+- one *runner* per basic block that threads control by returning the
+  successor block's runner (computed-goto style), driven by a small
+  trampoline so deep block chains cost no Python stack.
+
+Compiled code is cached per ``(function, memory model)`` and keyed by the
+function's blake2b fingerprint (:mod:`repro.perf.fingerprint`), exactly
+like diffcheck memoizes baselines: a direct engine revalidates
+fingerprints once per run and recompiles any function whose body changed
+in place, and :func:`cached_engine` (used by ``run_function``) keys whole
+engines by module fingerprint over a *pinned clone* of the module so the
+compiled code can never drift from the content hash.
+
+Semantics are intended to be bit-identical to the interpreter — value,
+fault class and message, step count, trace, block counts, poison events —
+and the interpreter stays the ground truth: ``repro fuzz --xengine`` runs
+both executors on every generated program and flags any divergence as an
+engine bug.  Two cases delegate to the tree-walker outright rather than
+duplicate rarely-exercised logic: ABI callee-saved checking
+(``check_callee_saved=True``) and a *flat-memory* run entered with
+pre-poisoned state (the flat model cannot create poison, so compiled flat
+code elides all poison handling).
+"""
+
+from collections import OrderedDict
+from threading import local as _ThreadLocal
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.instructions import ALU_FUNCS, ALU_RI_TO_RR, COND_FUNCS, Instr, wrap32
+from repro.ir.module import Module, STACK_BASE
+from repro.ir.operands import CALLEE_SAVED, CTR, RETVAL, SP, TOC, gpr
+from repro.machine.interpreter import (
+    ExecResult,
+    Interpreter,
+    MachineState,
+    initialize_state,
+)
+from repro.machine.libcalls import LIBRARY_FUNCTIONS
+from repro.machine.memory import (
+    ArithmeticFault,
+    ExecutionError,
+    ExecutionLimit,
+    MemoryFault,
+    SpeculationFault,
+)
+from repro.perf.fingerprint import fingerprint_function, fingerprint_module
+
+#: The executors `run_function` (and every knob threaded above it) accepts.
+ENGINES = ("tree", "closure")
+
+#: Sentinel a RET item returns to unwind the block trampoline.
+_RETURNED = object()
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+_WRAP = 0x100000000
+
+
+def _raiser_op(exc_type, msg):
+    """An instruction body that always raises (e.g. unknown LA symbol)."""
+
+    def op(state, regs, mem):
+        raise exc_type(msg)
+
+    return op
+
+
+def _traced_op(eng, body, pair):
+    """Wrap ``body`` to append its trace entry after it executes."""
+
+    def traced(state, regs, mem):
+        body(state, regs, mem)
+        eng.trace.append(pair)
+
+    return traced
+
+
+# -- instruction factories, flat model ---------------------------------------
+#
+# Flat-model code runs against a *dense list* register file: every Reg
+# operand is resolved to an integer index at compile time (``eng._ridx``),
+# so the hot path never hashes a Reg dataclass.  The list is synced from
+# and back to ``state.regs`` around the run.  Flat code is compiled for
+# states with no poison anywhere (runs that start poisoned delegate to
+# the interpreter, and the flat model never creates poison), so these
+# closures write registers directly.  Every value stored must already be
+# wrapped, to keep the register-file invariant the interpreter maintains
+# via ``state.set``.
+
+
+def _flat_alu(eng, instr):
+    opcode = instr.opcode
+    rd = eng._ridx(instr.rd)
+    ra = eng._ridx(instr.ra)
+    rb = eng._ridx(instr.rb)
+    # The hot opcodes get inline arithmetic (no lambda, no wrap32 call);
+    # AND/OR/XOR of two in-range two's-complement values cannot leave
+    # the range, so they skip wrapping entirely.
+    if opcode == "A":
+
+        def op(state, regs, mem):
+            v = (regs[ra] + regs[rb]) & _MASK
+            regs[rd] = v - _WRAP if v & _SIGN else v
+
+    elif opcode == "S":
+
+        def op(state, regs, mem):
+            v = (regs[ra] - regs[rb]) & _MASK
+            regs[rd] = v - _WRAP if v & _SIGN else v
+
+    elif opcode == "MUL":
+
+        def op(state, regs, mem):
+            v = (regs[ra] * regs[rb]) & _MASK
+            regs[rd] = v - _WRAP if v & _SIGN else v
+
+    elif opcode == "AND":
+
+        def op(state, regs, mem):
+            regs[rd] = regs[ra] & regs[rb]
+
+    elif opcode == "OR":
+
+        def op(state, regs, mem):
+            regs[rd] = regs[ra] | regs[rb]
+
+    elif opcode == "XOR":
+
+        def op(state, regs, mem):
+            regs[rd] = regs[ra] ^ regs[rb]
+
+    else:
+        f = ALU_FUNCS[opcode]
+
+        def op(state, regs, mem):
+            regs[rd] = f(regs[ra], regs[rb])
+
+    return op
+
+
+def _flat_alui(eng, instr):
+    func_op = ALU_RI_TO_RR[instr.opcode]
+    rd = eng._ridx(instr.rd)
+    ra = eng._ridx(instr.ra)
+    imm = instr.imm
+    if func_op == "A":
+
+        def op(state, regs, mem):
+            v = (regs[ra] + imm) & _MASK
+            regs[rd] = v - _WRAP if v & _SIGN else v
+
+    elif func_op == "S":
+
+        def op(state, regs, mem):
+            v = (regs[ra] - imm) & _MASK
+            regs[rd] = v - _WRAP if v & _SIGN else v
+
+    elif func_op == "MUL":
+
+        def op(state, regs, mem):
+            v = (regs[ra] * imm) & _MASK
+            regs[rd] = v - _WRAP if v & _SIGN else v
+
+    elif func_op == "AND" and -0x80000000 <= imm < 0x80000000:
+
+        def op(state, regs, mem):
+            regs[rd] = regs[ra] & imm
+
+    elif func_op == "OR" and -0x80000000 <= imm < 0x80000000:
+
+        def op(state, regs, mem):
+            regs[rd] = regs[ra] | imm
+
+    elif func_op == "XOR" and -0x80000000 <= imm < 0x80000000:
+
+        def op(state, regs, mem):
+            regs[rd] = regs[ra] ^ imm
+
+    else:
+        f = ALU_FUNCS[func_op]
+
+        def op(state, regs, mem):
+            regs[rd] = f(regs[ra], imm)
+
+    return op
+
+
+def _flat_li(eng, instr):
+    rd, value = eng._ridx(instr.rd), wrap32(instr.imm)
+
+    def op(state, regs, mem):
+        regs[rd] = value
+
+    return op
+
+
+def _flat_la(eng, instr):
+    addr = eng.layout.get(instr.symbol)
+    if addr is None:
+        return _raiser_op(ExecutionError, f"unknown data symbol {instr.symbol}")
+    rd, value = eng._ridx(instr.rd), wrap32(addr)
+
+    def op(state, regs, mem):
+        regs[rd] = value
+
+    return op
+
+
+def _flat_lr(eng, instr):
+    rd, ra = eng._ridx(instr.rd), eng._ridx(instr.ra)
+
+    def op(state, regs, mem):
+        regs[rd] = regs[ra]
+
+    return op
+
+
+def _flat_neg(eng, instr):
+    rd, ra = eng._ridx(instr.rd), eng._ridx(instr.ra)
+
+    def op(state, regs, mem):
+        v = -regs[ra] & _MASK
+        regs[rd] = v - _WRAP if v & _SIGN else v
+
+    return op
+
+
+def _flat_not(eng, instr):
+    rd, ra = eng._ridx(instr.rd), eng._ridx(instr.ra)
+
+    def op(state, regs, mem):
+        v = ~regs[ra] & _MASK
+        regs[rd] = v - _WRAP if v & _SIGN else v
+
+    return op
+
+
+def _flat_l(eng, instr):
+    rd, base, disp = eng._ridx(instr.rd), eng._ridx(instr.base), instr.disp
+
+    def op(state, regs, mem):
+        # Re-wrap on load: library routines (memset_words) may store
+        # unwrapped words, and the interpreter wraps via state.set.
+        v = mem.get(regs[base] + disp, 0) & _MASK
+        regs[rd] = v - _WRAP if v & _SIGN else v
+
+    return op
+
+
+def _flat_lu(eng, instr):
+    rd, base, disp = eng._ridx(instr.rd), eng._ridx(instr.base), instr.disp
+
+    def op(state, regs, mem):
+        addr = regs[base] + disp
+        v = mem.get(addr, 0) & _MASK
+        # rd first, then the base update — the interpreter's order, so
+        # rd == base resolves identically.
+        regs[rd] = v - _WRAP if v & _SIGN else v
+        a = addr & _MASK
+        regs[base] = a - _WRAP if a & _SIGN else a
+
+    return op
+
+
+def _flat_st(eng, instr):
+    ra, base, disp = eng._ridx(instr.ra), eng._ridx(instr.base), instr.disp
+
+    def op(state, regs, mem):
+        mem[regs[base] + disp] = regs[ra]
+
+    return op
+
+
+def _flat_stu(eng, instr):
+    ra, base, disp = eng._ridx(instr.ra), eng._ridx(instr.base), instr.disp
+
+    def op(state, regs, mem):
+        addr = regs[base] + disp
+        mem[addr] = regs[ra]
+        a = addr & _MASK
+        regs[base] = a - _WRAP if a & _SIGN else a
+
+    return op
+
+
+def _flat_c(eng, instr):
+    ra = eng._ridx(instr.ra)
+    rb = eng._ridx(instr.rb)
+    crf = eng._ridx(instr.crf)
+
+    def op(state, regs, mem):
+        diff = regs[ra] - regs[rb]
+        regs[crf] = (diff > 0) - (diff < 0)
+
+    return op
+
+
+def _flat_ci(eng, instr):
+    ra, imm, crf = eng._ridx(instr.ra), instr.imm, eng._ridx(instr.crf)
+
+    def op(state, regs, mem):
+        diff = regs[ra] - imm
+        regs[crf] = (diff > 0) - (diff < 0)
+
+    return op
+
+
+def _flat_mtctr(eng, instr):
+    ra, ctr = eng._ridx(instr.ra), eng._ridx(CTR)
+
+    def op(state, regs, mem):
+        regs[ctr] = regs[ra]
+
+    return op
+
+
+def _flat_mfctr(eng, instr):
+    rd, ctr = eng._ridx(instr.rd), eng._ridx(CTR)
+
+    def op(state, regs, mem):
+        regs[rd] = regs[ctr]
+
+    return op
+
+
+def _flat_nop(eng, instr):
+    def op(state, regs, mem):
+        pass
+
+    return op
+
+
+# -- instruction factories, faulting (paged) model ---------------------------
+#
+# These mirror the interpreter's paged semantics through the state
+# methods (set/taint/is_poisoned) so poison bookkeeping — including
+# poison_events seeding and mem_poison carry — stays shared code.
+
+
+def _fault_alu(eng, instr):
+    func_op = instr.opcode
+    f = ALU_FUNCS[func_op]
+    rd, ra, rb = instr.rd, instr.ra, instr.rb
+    if func_op == "DIV":
+        speculative = bool(instr.attrs.get("speculative"))
+        msg = f"division by zero ({instr.opcode})"
+
+        def op(state, regs, mem):
+            if state.is_poisoned(ra, rb):
+                state.taint(rd)
+                return
+            b = regs.get(rb, 0)
+            if b == 0:
+                if speculative:
+                    state.taint(rd, seed=True)
+                    return
+                raise ArithmeticFault(msg)
+            state.set(rd, f(regs.get(ra, 0), b))
+
+        return op
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra, rb):
+            state.taint(rd)
+        else:
+            state.set(rd, f(regs.get(ra, 0), regs.get(rb, 0)))
+
+    return op
+
+
+def _fault_alui(eng, instr):
+    func_op = ALU_RI_TO_RR[instr.opcode]
+    f = ALU_FUNCS[func_op]
+    rd, ra, imm = instr.rd, instr.ra, instr.imm
+    if func_op == "DIV" and imm == 0:
+        speculative = bool(instr.attrs.get("speculative"))
+        msg = f"division by zero ({instr.opcode})"
+
+        def op(state, regs, mem):
+            if state.is_poisoned(ra):
+                state.taint(rd)
+            elif speculative:
+                state.taint(rd, seed=True)
+            else:
+                raise ArithmeticFault(msg)
+
+        return op
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra):
+            state.taint(rd)
+        else:
+            state.set(rd, f(regs.get(ra, 0), imm))
+
+    return op
+
+
+def _fault_li(eng, instr):
+    rd, imm = instr.rd, instr.imm
+
+    def op(state, regs, mem):
+        state.set(rd, imm)
+
+    return op
+
+
+def _fault_la(eng, instr):
+    addr = eng.layout.get(instr.symbol)
+    if addr is None:
+        return _raiser_op(ExecutionError, f"unknown data symbol {instr.symbol}")
+    rd = instr.rd
+
+    def op(state, regs, mem):
+        state.set(rd, addr)
+
+    return op
+
+
+def _fault_lr(eng, instr):
+    rd, ra = instr.rd, instr.ra
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra):
+            state.taint(rd)
+        else:
+            state.set(rd, regs.get(ra, 0))
+
+    return op
+
+
+def _fault_neg(eng, instr):
+    rd, ra = instr.rd, instr.ra
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra):
+            state.taint(rd)
+        else:
+            state.set(rd, -regs.get(ra, 0))
+
+    return op
+
+
+def _fault_not(eng, instr):
+    rd, ra = instr.rd, instr.ra
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra):
+            state.taint(rd)
+        else:
+            state.set(rd, ~regs.get(ra, 0))
+
+    return op
+
+
+def _fault_l(eng, instr):
+    rd, base, disp = instr.rd, instr.base, instr.disp
+    speculative = bool(instr.attrs.get("speculative"))
+    restore = bool(instr.attrs.get("restore"))
+
+    def op(state, regs, mem):
+        if state.is_poisoned(base):
+            # The effective address is unknowable: defer further.
+            state.taint(rd)
+            return
+        addr = regs.get(base, 0) + disp
+        try:
+            value = mem.load(addr)
+        except MemoryFault:
+            if speculative:
+                state.taint(rd, seed=True)
+                return
+            raise
+        if state.mem_poison and addr in state.mem_poison and restore:
+            # Fill of a spilled token: re-poison the register
+            # (propagation, not a fresh event).
+            state.taint(rd)
+        else:
+            state.set(rd, value)
+
+    return op
+
+
+def _fault_lu(eng, instr):
+    rd, base, disp = instr.rd, instr.base, instr.disp
+    speculative = bool(instr.attrs.get("speculative"))
+
+    def op(state, regs, mem):
+        if state.is_poisoned(base):
+            state.taint(rd)
+            state.taint(base)
+            return
+        addr = regs.get(base, 0) + disp
+        try:
+            value = mem.load(addr)
+        except MemoryFault:
+            if not speculative:
+                raise
+            state.taint(rd, seed=True)
+        else:
+            state.set(rd, value)
+        state.set(base, addr)
+
+    return op
+
+
+def _fault_st(eng, instr):
+    ra, base, disp = instr.ra, instr.base, instr.disp
+    save = bool(instr.attrs.get("save"))
+    msg = f"poison reached a store ({instr.opcode})"
+
+    def op(state, regs, mem):
+        if save and state.is_poisoned(ra):
+            # Register spill of a poisoned value: preserve the token
+            # through memory instead of trapping (IA-64 st8.spill).
+            if state.is_poisoned(base):
+                raise SpeculationFault(msg)
+            addr = regs.get(base, 0) + disp
+            mem[addr] = regs.get(ra, 0)
+            state.mem_poison.add(addr)
+            return
+        if state.is_poisoned(ra, base):
+            raise SpeculationFault(msg)
+        addr = regs.get(base, 0) + disp
+        mem[addr] = regs.get(ra, 0)
+        if state.mem_poison:
+            state.mem_poison.discard(addr)
+
+    return op
+
+
+def _fault_stu(eng, instr):
+    ra, base, disp = instr.ra, instr.base, instr.disp
+    msg = f"poison reached a store ({instr.opcode})"
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra, base):
+            raise SpeculationFault(msg)
+        addr = regs.get(base, 0) + disp
+        mem[addr] = regs.get(ra, 0)
+        if state.mem_poison:
+            state.mem_poison.discard(addr)
+        state.set(base, addr)
+
+    return op
+
+
+def _fault_c(eng, instr):
+    ra, rb, crf = instr.ra, instr.rb, instr.crf
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra, rb):
+            state.taint(crf)
+        else:
+            diff = regs.get(ra, 0) - regs.get(rb, 0)
+            state.set(crf, (diff > 0) - (diff < 0))
+
+    return op
+
+
+def _fault_ci(eng, instr):
+    ra, imm, crf = instr.ra, instr.imm, instr.crf
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra):
+            state.taint(crf)
+        else:
+            diff = regs.get(ra, 0) - imm
+            state.set(crf, (diff > 0) - (diff < 0))
+
+    return op
+
+
+def _fault_mtctr(eng, instr):
+    ra = instr.ra
+
+    def op(state, regs, mem):
+        if state.is_poisoned(ra):
+            state.taint(CTR)
+        else:
+            state.set(CTR, regs.get(ra, 0))
+
+    return op
+
+
+def _fault_mfctr(eng, instr):
+    rd = instr.rd
+
+    def op(state, regs, mem):
+        if state.is_poisoned(CTR):
+            state.taint(rd)
+        else:
+            state.set(rd, regs.get(CTR, 0))
+
+    return op
+
+
+#: opcode -> factory(engine, instr) -> closure(state, regs, mem), for the
+#: two memory models. Module-level and mutable on purpose: the xengine
+#: oracle tests inject a wrong factory here to prove the cross-check
+#: campaign catches real engine bugs.
+_FLAT_FACTORIES = {}
+_FAULT_FACTORIES = {}
+
+for _op in ALU_FUNCS:
+    _FLAT_FACTORIES[_op] = _flat_alu
+    _FAULT_FACTORIES[_op] = _fault_alu
+for _op in ALU_RI_TO_RR:
+    _FLAT_FACTORIES[_op] = _flat_alui
+    _FAULT_FACTORIES[_op] = _fault_alui
+del _op
+
+_FLAT_FACTORIES.update(
+    LI=_flat_li, LA=_flat_la, LR=_flat_lr, NEG=_flat_neg, NOT=_flat_not,
+    L=_flat_l, LU=_flat_lu, ST=_flat_st, STU=_flat_stu, C=_flat_c,
+    CI=_flat_ci, MTCTR=_flat_mtctr, MFCTR=_flat_mfctr, NOP=_flat_nop,
+)
+_FAULT_FACTORIES.update(
+    LI=_fault_li, LA=_fault_la, LR=_fault_lr, NEG=_fault_neg,
+    NOT=_fault_not, L=_fault_l, LU=_fault_lu, ST=_fault_st,
+    STU=_fault_stu, C=_fault_c, CI=_fault_ci, MTCTR=_fault_mtctr,
+    MFCTR=_fault_mfctr, NOP=_flat_nop,
+)
+
+
+class _FnCode:
+    """Compiled form of one function: block runners plus the entry."""
+
+    __slots__ = ("fn_name", "entry", "runners")
+
+    def __init__(self, fn_name: str):
+        self.fn_name = fn_name
+        self.entry = None
+        self.runners: List = []
+
+
+class ClosureEngine:
+    """Drop-in executor with the Interpreter's public surface.
+
+    ``pin_module=True`` compiles from a private clone of the module (used
+    by the fingerprint-keyed engine cache, where the key *is* the content
+    hash); the default revalidates per-function fingerprints once per run
+    and recompiles anything that changed in place.
+    """
+
+    MAX_CALL_DEPTH = Interpreter.MAX_CALL_DEPTH
+
+    def __init__(
+        self,
+        module: Module,
+        max_steps: int = 2_000_000,
+        record_trace: bool = False,
+        count_blocks: bool = False,
+        check_callee_saved: bool = False,
+        pin_module: bool = False,
+    ):
+        self.module = module.clone() if pin_module else module
+        self.layout = self.module.layout()
+        self.max_steps = max_steps
+        self.record_trace = record_trace
+        self.count_blocks = count_blocks
+        self.check_callee_saved = check_callee_saved
+        self.steps = 0
+        self.trace: List[Tuple[Instr, Optional[bool]]] = []
+        self.block_counts: Dict[Tuple[str, str], int] = {}
+        self.faulting = False
+        self._pinned = pin_module
+        #: (fn name, faulting) -> (fingerprint, _FnCode)
+        self._codes: Dict[Tuple[str, bool], Tuple[str, _FnCode]] = {}
+        #: cache keys revalidated during the current run
+        self._validated: set = set()
+        self._retval = 0
+        #: lazily folded flat-memory data image: ((addr, word), ...)
+        self._data_words: Optional[Tuple[Tuple[int, int], ...]] = None
+        #: Reg -> dense index into the flat-model list register file.
+        #: Linkage registers are pre-registered so any caller-provided
+        #: initial state syncs in even before code references them.
+        self._reg_index: Dict = {}
+        #: live list register file of the current flat-model run
+        self._rfile: Optional[List[int]] = None
+        #: state of the current run (seeds indices registered mid-run)
+        self._run_state: Optional[MachineState] = None
+        for _reg in (SP, TOC, CTR, RETVAL):
+            self._ridx(_reg)
+        for _i in range(3, 11):
+            self._ridx(gpr(_i))
+        for _reg in CALLEE_SAVED:
+            self._ridx(_reg)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        fn_name: str,
+        args: Iterable[int] = (),
+        state: Optional[MachineState] = None,
+    ) -> ExecResult:
+        # Per-run reset: this engine is *designed* to be reused across
+        # runs, which is exactly what made the interpreter's missing
+        # reset a live bug.
+        self.steps = 0
+        self.trace = []
+        self.block_counts = {}
+        self._retval = 0
+        state = state if state is not None else MachineState()
+        faulting = bool(getattr(state.mem, "faulting", False))
+        if self.check_callee_saved or (
+            not faulting and (state.poison or state.mem_poison)
+        ):
+            # Rare contracts the compiled flat code does not model:
+            # delegate the whole run to the ground-truth tree-walker.
+            return self._run_tree(fn_name, args, state)
+        self.faulting = faulting
+        fn = self.module.functions[fn_name]
+        self._validated.clear()
+        if faulting:
+            initialize_state(state, args, fn, self.layout, self.module, faulting)
+            value = self._exec_code(self._code_for(fn_name), state, 0)
+        else:
+            self._init_flat(state, args, fn)
+            value = self._run_flat(fn_name, state)
+        return ExecResult(
+            value,
+            self.steps,
+            self.trace if self.record_trace else None,
+            self.block_counts if self.count_blocks else None,
+            state,
+        )
+
+    def _init_flat(self, state: MachineState, args: Iterable[int], fn) -> None:
+        """Flat-model twin of :func:`initialize_state`.
+
+        Same writes and the same error messages, but the data-section
+        image is folded once into ``(addr, word)`` pairs instead of
+        being re-derived from the layout on every run.  Stale-layout
+        semantics match a reused :class:`Interpreter` (both snapshot the
+        layout at construction); fingerprint-cached engines are pinned,
+        so their image can never drift from the content hash.
+        """
+        regs = state.regs
+        regs[SP] = STACK_BASE
+        regs[TOC] = 0x8000
+        args = list(args)
+        if fn is not None and fn.params:
+            if len(args) > len(fn.params):
+                raise ExecutionError(
+                    f"{fn.name} takes {len(fn.params)} args, got {len(args)}"
+                )
+            for reg, value in zip(fn.params, args):
+                regs[reg] = wrap32(value)
+        else:
+            for i, value in enumerate(args):
+                if i >= 8:
+                    raise ExecutionError("more than 8 arguments not supported")
+                regs[gpr(3 + i)] = wrap32(value)
+        words = self._data_words
+        if words is None:
+            words = self._data_words = tuple(
+                (addr + 4 * i, wrap32(word))
+                for name, addr in self.layout.items()
+                for i, word in enumerate(self.module.data[name].init)
+            )
+        mem = state.mem
+        for addr, word in words:
+            mem[addr] = word
+
+    # -- flat-model register file --------------------------------------------
+
+    def _ridx(self, reg) -> int:
+        """Dense index of ``reg`` in the list register file.
+
+        New registers can be discovered mid-run (a callee compiled
+        lazily on its first call): the live register file is extended
+        with the register's initial value, which is still exactly what
+        the state dict holds — only indexed registers are ever written
+        during a run.
+        """
+        idx = self._reg_index
+        i = idx.get(reg)
+        if i is None:
+            i = len(idx)
+            idx[reg] = i
+            rfile = self._rfile
+            if rfile is not None and len(rfile) <= i:
+                run_state = self._run_state
+                rfile.append(
+                    run_state.regs.get(reg, 0) if run_state is not None else 0
+                )
+        return i
+
+    def _run_flat(self, fn_name: str, state: MachineState) -> int:
+        idx = self._reg_index
+        rfile = [0] * len(idx)
+        sregs = state.regs
+        for reg, val in sregs.items():
+            i = idx.get(reg)
+            if i is not None:
+                rfile[i] = val
+        self._rfile = rfile
+        self._run_state = state
+        try:
+            return self._exec_code(self._code_for(fn_name), state, 0)
+        finally:
+            # Publish the register file back into the state dict (for
+            # faults too — observers may read registers afterwards).
+            # Only registers the run could have written are updated, so
+            # unindexed dict entries survive untouched; zero-valued
+            # registers with no dict entry stay absent, matching the
+            # interpreter's lazily-populated dict.
+            for reg, i in idx.items():
+                v = rfile[i]
+                if v or reg in sregs:
+                    sregs[reg] = v
+            self._rfile = None
+            self._run_state = None
+
+    # -- code cache ----------------------------------------------------------
+
+    def _code_for(self, name: str) -> _FnCode:
+        key = (name, self.faulting)
+        cached = self._codes.get(key)
+        if cached is not None and key in self._validated:
+            return cached[1]
+        fn = self.module.functions[name]
+        if self._pinned:
+            # Content is frozen by the construction-time clone; the
+            # cache key at the engine-cache layer is the module hash.
+            self._validated.add(key)
+            if cached is None:
+                code = self._compile_fn(fn)
+                self._codes[key] = ("", code)
+                return code
+            return cached[1]
+        fp = fingerprint_function(fn)
+        if cached is not None and cached[0] == fp:
+            self._validated.add(key)
+            return cached[1]
+        code = self._compile_fn(fn)
+        self._codes[key] = (fp, code)
+        self._validated.add(key)
+        return code
+
+    # -- execution -----------------------------------------------------------
+
+    def _exec_code(self, code: _FnCode, state: MachineState, depth: int) -> int:
+        if depth > self.MAX_CALL_DEPTH:
+            raise ExecutionError(f"call depth exceeded entering {code.fn_name}")
+        runner = code.entry
+        while runner is not _RETURNED:
+            runner = runner(state, depth)
+        return self._retval
+
+    def _run_tree(self, fn_name, args, state) -> ExecResult:
+        interp = Interpreter(
+            self.module,
+            max_steps=self.max_steps,
+            record_trace=self.record_trace,
+            count_blocks=self.count_blocks,
+            check_callee_saved=self.check_callee_saved,
+        )
+        try:
+            return interp.run(fn_name, args, state)
+        finally:
+            self.steps = interp.steps
+            self.trace = interp.trace
+            self.block_counts = interp.block_counts
+            self.faulting = interp.faulting
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile_fn(self, fn) -> _FnCode:
+        code = _FnCode(fn.name)
+        labels = {bb.label: i for i, bb in enumerate(fn.blocks)}
+        code.runners.extend(None for _ in fn.blocks)
+        for bi, bb in enumerate(fn.blocks):
+            code.runners[bi] = self._compile_block(code, fn, bi, bb, labels)
+        if code.runners:
+            code.entry = code.runners[0]
+        else:
+            fn_name = fn.name
+
+            def empty_entry(state, depth):
+                raise ExecutionError(f"fell off the end of {fn_name}")
+
+            code.entry = empty_entry
+        return code
+
+    def _compile_block(self, code, fn, bi, bb, labels):
+        eng = self
+        fn_name = fn.name
+
+        # Where execution goes when it walks past the last instruction.
+        if bb.falls_through:
+            if bi + 1 < len(fn.blocks):
+                tail_idx: Optional[int] = bi + 1
+                tail_msg = None
+            else:
+                tail_idx = None
+                tail_msg = f"fell off the end of {fn_name}"
+        else:
+            tail_idx = None
+            tail_msg = f"fell through a non-fallthrough block {bb.label}"
+
+        body = self._generic_block_body(code, fn, bb, labels, tail_idx, tail_msg)
+        if not self.faulting:
+            fused = self._fused_block_body(
+                code, fn, bb, labels, tail_idx, tail_msg, body
+            )
+            if fused is not None:
+                body = fused
+        if self.count_blocks:
+            key = (fn_name, bb.label)
+            inner = body
+
+            def body(state, depth):
+                bc = eng.block_counts
+                bc[key] = bc.get(key, 0) + 1
+                return inner(state, depth)
+
+        return body
+
+    def _generic_block_body(self, code, fn, bb, labels, tail_idx, tail_msg):
+        """Item-based runner: handles every instruction mix, and is the
+        near-step-budget fallback with exact per-instruction accounting."""
+        eng = self
+        fn_name = fn.name
+        record_trace = self.record_trace
+        factories = _FAULT_FACTORIES if self.faulting else _FLAT_FACTORIES
+        items = []
+        seg_ops: List = []
+
+        def flush():
+            if seg_ops:
+                items.append(_make_segment(eng, fn_name, tuple(seg_ops)))
+                seg_ops.clear()
+
+        for instr in bb.instrs:
+            op = instr.opcode
+            if op == "CALL":
+                flush()
+                items.append(self._make_call_item(instr, fn_name))
+            elif op == "RET":
+                flush()
+                items.append(self._make_ret_item(instr, fn_name))
+            elif op == "B":
+                flush()
+                items.append(self._make_b_item(code, instr, fn_name, labels))
+            elif op == "BT" or op == "BF":
+                flush()
+                items.append(self._make_cond_item(code, instr, fn_name, labels))
+            elif op == "BCT":
+                flush()
+                items.append(self._make_bct_item(code, instr, fn_name, labels))
+            else:
+                factory = factories.get(op)
+                if factory is None:  # pragma: no cover - verifier rejects these
+                    body = _raiser_op(ExecutionError, f"cannot execute opcode {op}")
+                else:
+                    body = factory(self, instr)
+                if record_trace:
+                    body = _traced_op(self, body, (instr, None))
+                seg_ops.append(body)
+        flush()
+        items = tuple(items)
+        runners = code.runners
+
+        if self.faulting:
+
+            def runner(state, depth):
+                regs = state.regs
+                mem = state.mem
+                for item in items:
+                    nxt = item(state, regs, mem, depth)
+                    if nxt is not None:
+                        return nxt
+                if tail_idx is not None:
+                    return runners[tail_idx]
+                raise ExecutionError(tail_msg)
+
+        else:
+
+            def runner(state, depth):
+                regs = eng._rfile
+                mem = state.mem
+                for item in items:
+                    nxt = item(state, regs, mem, depth)
+                    if nxt is not None:
+                        return nxt
+                if tail_idx is not None:
+                    return runners[tail_idx]
+                raise ExecutionError(tail_msg)
+
+        return runner
+
+    def _fused_block_body(self, code, fn, bb, labels, tail_idx, tail_msg, generic):
+        """One closure for the whole block — the flat-model fast path.
+
+        Applies to the common shape: straight-line ops with at most one
+        terminator at the end, no CALL, nothing that can raise.  Steps
+        are claimed with a single add; near the budget (or for any shape
+        this fast path does not model) control bails to ``generic``,
+        which re-executes the block from the top with exact
+        per-instruction accounting — sound because the fast path bails
+        before executing anything.
+        """
+        eng = self
+        record_trace = self.record_trace
+        instrs = list(bb.instrs)
+        term = None
+        if instrs and instrs[-1].opcode in ("B", "BT", "BF", "BCT", "RET"):
+            term = instrs[-1]
+            instrs = instrs[:-1]
+        ops = []
+        for instr in instrs:
+            op = instr.opcode
+            if op in ("CALL", "RET", "B", "BT", "BF", "BCT"):
+                return None  # mid-block control: generic path handles it
+            factory = _FLAT_FACTORIES.get(op)
+            if factory is None:
+                return None  # unknown opcode raises: needs exact stepping
+            if op == "LA" and instr.symbol not in self.layout:
+                return None  # raiser op: needs exact stepping
+            ops.append(factory(self, instr))
+        ops = tuple(ops)
+        # Fused flat ops cannot raise, so their straight-line trace
+        # entries can be batched into one extend after the op loop.
+        pairs = tuple((instr, None) for instr in instrs)
+        n = len(ops) + (1 if term is not None else 0)
+        if n == 0:
+            return None
+        runners = code.runners
+
+        if term is None:
+            if tail_idx is None:
+                return None  # raising tail: rare, generic handles it
+
+            def body(state, depth):
+                new = eng.steps + n
+                if new > eng.max_steps:
+                    return generic(state, depth)
+                eng.steps = new
+                regs = eng._rfile
+                mem = state.mem
+                for op in ops:
+                    op(state, regs, mem)
+                if record_trace:
+                    eng.trace.extend(pairs)
+                return runners[tail_idx]
+
+            return body
+
+        opcode = term.opcode
+        if opcode == "RET":
+            iret = self._ridx(RETVAL)
+            pair = (term, None)
+
+            def body(state, depth):
+                new = eng.steps + n
+                if new > eng.max_steps:
+                    return generic(state, depth)
+                eng.steps = new
+                regs = eng._rfile
+                mem = state.mem
+                for op in ops:
+                    op(state, regs, mem)
+                if record_trace:
+                    eng.trace.extend(pairs)
+                    eng.trace.append(pair)
+                eng._retval = regs[iret]
+                return _RETURNED
+
+            return body
+
+        ti = labels.get(term.target)
+        if ti is None:
+            return None  # dangling target raises: generic path
+
+        if opcode == "B":
+            pair = (term, True)
+
+            def body(state, depth):
+                new = eng.steps + n
+                if new > eng.max_steps:
+                    return generic(state, depth)
+                eng.steps = new
+                regs = eng._rfile
+                mem = state.mem
+                for op in ops:
+                    op(state, regs, mem)
+                if record_trace:
+                    eng.trace.extend(pairs)
+                    eng.trace.append(pair)
+                return runners[ti]
+
+            return body
+
+        pair_t = (term, True)
+        pair_f = (term, False)
+
+        if opcode == "BCT":
+            ictr = self._ridx(CTR)
+
+            def body(state, depth):
+                new = eng.steps + n
+                if new > eng.max_steps:
+                    return generic(state, depth)
+                eng.steps = new
+                regs = eng._rfile
+                mem = state.mem
+                for op in ops:
+                    op(state, regs, mem)
+                v = (regs[ictr] - 1) & _MASK
+                v = v - _WRAP if v & _SIGN else v
+                regs[ictr] = v
+                if record_trace:
+                    eng.trace.extend(pairs)
+                    eng.trace.append(pair_t if v != 0 else pair_f)
+                if v != 0:
+                    return runners[ti]
+                if tail_idx is not None:
+                    return runners[tail_idx]
+                raise ExecutionError(tail_msg)
+
+            return body
+
+        # BT / BF
+        icrf = self._ridx(term.crf)
+        cond_f = COND_FUNCS[term.cond]
+        is_bt = opcode == "BT"
+
+        def body(state, depth):
+            new = eng.steps + n
+            if new > eng.max_steps:
+                return generic(state, depth)
+            eng.steps = new
+            regs = eng._rfile
+            mem = state.mem
+            for op in ops:
+                op(state, regs, mem)
+            holds = cond_f(regs[icrf])
+            taken = holds if is_bt else not holds
+            if record_trace:
+                eng.trace.extend(pairs)
+                eng.trace.append(pair_t if taken else pair_f)
+            if taken:
+                return runners[ti]
+            if tail_idx is not None:
+                return runners[tail_idx]
+            raise ExecutionError(tail_msg)
+
+        return body
+
+    # -- control-flow items --------------------------------------------------
+
+    def _make_call_item(self, instr, fn_name):
+        eng = self
+        symbol = instr.symbol
+        functions = self.module.functions
+        faulting = self.faulting
+        record_trace = self.record_trace
+        pair = (instr, None)
+        limit_msg = f"step budget exhausted in {fn_name}"
+        unknown_msg = f"call to unknown function {symbol}"
+        lib_msg = f"poison reached library call {symbol} ({instr.opcode})"
+        lib = LIBRARY_FUNCTIONS.get(symbol)
+        impl = lib.impl if lib is not None else None
+        arg_regs = tuple(gpr(3 + i) for i in range(lib.nargs)) if lib else ()
+
+        if faulting:
+
+            def item(state, regs, mem, depth):
+                steps = eng.steps + 1
+                eng.steps = steps
+                if steps > eng.max_steps:
+                    raise ExecutionLimit(limit_msg)
+                if symbol in functions:
+                    value = eng._exec_code(
+                        eng._code_for(symbol), state, depth + 1
+                    )
+                    state.set(RETVAL, value)
+                elif impl is None:
+                    raise ExecutionError(unknown_msg)
+                else:
+                    # A library call is a non-speculative side effect
+                    # (I/O, memory writes): poisoned arguments must not
+                    # leak in.
+                    if state.is_poisoned(*arg_regs):
+                        raise SpeculationFault(lib_msg)
+                    args = [regs.get(r, 0) for r in arg_regs]
+                    result = impl(state, args)
+                    if result is not None:
+                        state.set(RETVAL, result)
+                if record_trace:
+                    eng.trace.append(pair)
+                return None
+
+            return item
+
+        iret = self._ridx(RETVAL)
+        arg_idx = tuple(self._ridx(r) for r in arg_regs)
+        max_depth = self.MAX_CALL_DEPTH
+        depth_msg = f"call depth exceeded entering {symbol}"
+
+        def item(state, regs, mem, depth):
+            steps = eng.steps + 1
+            eng.steps = steps
+            if steps > eng.max_steps:
+                raise ExecutionLimit(limit_msg)
+            if symbol in functions:
+                # Inlined trampoline (hot path): one Python frame per
+                # call instead of two.
+                code = eng._code_for(symbol)
+                if depth >= max_depth:
+                    raise ExecutionError(depth_msg)
+                d1 = depth + 1
+                runner = code.entry
+                while runner is not _RETURNED:
+                    runner = runner(state, d1)
+                regs[iret] = eng._retval
+            elif impl is None:
+                raise ExecutionError(unknown_msg)
+            else:
+                args = [regs[i] for i in arg_idx]
+                result = impl(state, args)
+                if result is not None:
+                    v = result & _MASK
+                    regs[iret] = v - _WRAP if v & _SIGN else v
+            if record_trace:
+                eng.trace.append(pair)
+            return None
+
+        return item
+
+    def _make_ret_item(self, instr, fn_name):
+        eng = self
+        faulting = self.faulting
+        record_trace = self.record_trace
+        pair = (instr, None)
+        limit_msg = f"step budget exhausted in {fn_name}"
+        ret_msg = f"poison reached a return value ({instr.opcode})"
+
+        if faulting:
+
+            def item(state, regs, mem, depth):
+                steps = eng.steps + 1
+                eng.steps = steps
+                if steps > eng.max_steps:
+                    raise ExecutionLimit(limit_msg)
+                if state.is_poisoned(RETVAL, SP):
+                    raise SpeculationFault(ret_msg)
+                if record_trace:
+                    eng.trace.append(pair)
+                eng._retval = regs.get(RETVAL, 0)
+                return _RETURNED
+
+            return item
+
+        iret = self._ridx(RETVAL)
+
+        def item(state, regs, mem, depth):
+            steps = eng.steps + 1
+            eng.steps = steps
+            if steps > eng.max_steps:
+                raise ExecutionLimit(limit_msg)
+            if record_trace:
+                eng.trace.append(pair)
+            eng._retval = regs[iret]
+            return _RETURNED
+
+        return item
+
+    def _make_b_item(self, code, instr, fn_name, labels):
+        eng = self
+        runners = code.runners
+        ti = labels.get(instr.target)
+        record_trace = self.record_trace
+        pair = (instr, True)
+        limit_msg = f"step budget exhausted in {fn_name}"
+        dangling_msg = f"dangling branch target {instr.target}"
+
+        def item(state, regs, mem, depth):
+            steps = eng.steps + 1
+            eng.steps = steps
+            if steps > eng.max_steps:
+                raise ExecutionLimit(limit_msg)
+            if record_trace:
+                eng.trace.append(pair)
+            if ti is None:
+                raise ExecutionError(dangling_msg)
+            return runners[ti]
+
+        return item
+
+    def _make_cond_item(self, code, instr, fn_name, labels):
+        eng = self
+        runners = code.runners
+        ti = labels.get(instr.target)
+        cond_f = COND_FUNCS[instr.cond]
+        crf = instr.crf
+        is_bt = instr.opcode == "BT"
+        faulting = self.faulting
+        record_trace = self.record_trace
+        pair_t = (instr, True)
+        pair_f = (instr, False)
+        limit_msg = f"step budget exhausted in {fn_name}"
+        branch_msg = f"poison reached a conditional branch ({instr.opcode})"
+        dangling_msg = f"dangling branch target {instr.target}"
+
+        if faulting:
+
+            def item(state, regs, mem, depth):
+                steps = eng.steps + 1
+                eng.steps = steps
+                if steps > eng.max_steps:
+                    raise ExecutionLimit(limit_msg)
+                if state.is_poisoned(crf):
+                    raise SpeculationFault(branch_msg)
+                holds = cond_f(regs.get(crf, 0))
+                taken = holds if is_bt else not holds
+                if record_trace:
+                    eng.trace.append(pair_t if taken else pair_f)
+                if taken:
+                    if ti is None:
+                        raise ExecutionError(dangling_msg)
+                    return runners[ti]
+                return None
+
+            return item
+
+        icrf = self._ridx(crf)
+
+        def item(state, regs, mem, depth):
+            steps = eng.steps + 1
+            eng.steps = steps
+            if steps > eng.max_steps:
+                raise ExecutionLimit(limit_msg)
+            holds = cond_f(regs[icrf])
+            taken = holds if is_bt else not holds
+            if record_trace:
+                eng.trace.append(pair_t if taken else pair_f)
+            if taken:
+                if ti is None:
+                    raise ExecutionError(dangling_msg)
+                return runners[ti]
+            return None
+
+        return item
+
+    def _make_bct_item(self, code, instr, fn_name, labels):
+        eng = self
+        runners = code.runners
+        ti = labels.get(instr.target)
+        faulting = self.faulting
+        record_trace = self.record_trace
+        pair_t = (instr, True)
+        pair_f = (instr, False)
+        limit_msg = f"step budget exhausted in {fn_name}"
+        branch_msg = f"poison reached a conditional branch ({instr.opcode})"
+        dangling_msg = f"dangling branch target {instr.target}"
+
+        if faulting:
+
+            def item(state, regs, mem, depth):
+                steps = eng.steps + 1
+                eng.steps = steps
+                if steps > eng.max_steps:
+                    raise ExecutionLimit(limit_msg)
+                if state.is_poisoned(CTR):
+                    raise SpeculationFault(branch_msg)
+                state.set(CTR, regs.get(CTR, 0) - 1)
+                taken = regs.get(CTR, 0) != 0
+                if record_trace:
+                    eng.trace.append(pair_t if taken else pair_f)
+                if taken:
+                    if ti is None:
+                        raise ExecutionError(dangling_msg)
+                    return runners[ti]
+                return None
+
+        else:
+            ictr = self._ridx(CTR)
+
+            def item(state, regs, mem, depth):
+                steps = eng.steps + 1
+                eng.steps = steps
+                if steps > eng.max_steps:
+                    raise ExecutionLimit(limit_msg)
+                v = (regs[ictr] - 1) & _MASK
+                v = v - _WRAP if v & _SIGN else v
+                regs[ictr] = v
+                if record_trace:
+                    eng.trace.append(pair_t if v != 0 else pair_f)
+                if v != 0:
+                    if ti is None:
+                        raise ExecutionError(dangling_msg)
+                    return runners[ti]
+                return None
+
+        return item
+
+
+def _make_segment(eng, fn_name, ops):
+    """Batch a straight-line run of closures behind one step-budget add."""
+    limit_msg = f"step budget exhausted in {fn_name}"
+    if len(ops) == 1:
+        op0 = ops[0]
+
+        def item(state, regs, mem, depth):
+            steps = eng.steps + 1
+            eng.steps = steps
+            if steps > eng.max_steps:
+                raise ExecutionLimit(limit_msg)
+            op0(state, regs, mem)
+            return None
+
+        return item
+
+    n = len(ops)
+
+    def item(state, regs, mem, depth):
+        steps0 = eng.steps
+        new = steps0 + n
+        if new > eng.max_steps:
+            # Near the budget: fall back to per-instruction accounting
+            # so the limit fires on exactly the interpreter's step.
+            limit = eng.max_steps
+            s = steps0
+            for op in ops:
+                s += 1
+                eng.steps = s
+                if s > limit:
+                    raise ExecutionLimit(limit_msg)
+                op(state, regs, mem)
+            return None
+        eng.steps = new
+        i = 0
+        try:
+            for op in ops:
+                op(state, regs, mem)
+                i += 1
+        except BaseException:
+            # A fault mid-segment: report the interpreter's exact count
+            # (instructions started, including the faulting one).
+            eng.steps = steps0 + i + 1
+            raise
+        return None
+
+    return item
+
+
+# -- fingerprint-keyed engine cache ------------------------------------------
+
+#: Engines kept per thread; compiled code is tiny next to the modules
+#: themselves and 64 entries comfortably covers a fuzz sweep's configs.
+_ENGINE_CACHE_CAPACITY = 64
+_tls = _ThreadLocal()
+
+
+def cached_engine(
+    module: Module,
+    max_steps: int = 2_000_000,
+    record_trace: bool = False,
+    count_blocks: bool = False,
+    check_callee_saved: bool = False,
+) -> ClosureEngine:
+    """A compiled engine for ``module``, keyed by its content hash.
+
+    The cache is thread-local (engines hold per-run mutable state) and
+    FIFO-bounded. Invalidation is the fingerprint itself: any in-place
+    edit to the module changes the key, exactly like diffcheck baseline
+    memoization.
+    """
+    cache = getattr(_tls, "engines", None)
+    if cache is None:
+        cache = _tls.engines = OrderedDict()
+    key = (
+        fingerprint_module(module),
+        max_steps,
+        record_trace,
+        count_blocks,
+        check_callee_saved,
+    )
+    eng = cache.get(key)
+    if eng is None:
+        eng = ClosureEngine(
+            module,
+            max_steps=max_steps,
+            record_trace=record_trace,
+            count_blocks=count_blocks,
+            check_callee_saved=check_callee_saved,
+            pin_module=True,
+        )
+        cache[key] = eng
+        while len(cache) > _ENGINE_CACHE_CAPACITY:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return eng
+
+
+def clear_engine_cache() -> None:
+    """Drop this thread's cached engines (tests, fault injection)."""
+    cache = getattr(_tls, "engines", None)
+    if cache is not None:
+        cache.clear()

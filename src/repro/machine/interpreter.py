@@ -128,6 +128,49 @@ class ExecResult:
         return f"<ExecResult value={self.value} steps={self.steps}>"
 
 
+def initialize_state(
+    state: MachineState,
+    args: Iterable[int],
+    fn: Optional[Function],
+    layout: Dict[str, int],
+    module: Module,
+    faulting: bool,
+) -> None:
+    """Set up ``state`` for one run: linkage registers, arguments, data.
+
+    Shared by the tree-walking :class:`Interpreter` and the
+    closure-compiled :class:`~repro.machine.engine.ClosureEngine` so the
+    two executors can never drift on argument passing or data layout.
+    """
+    state.set(SP, STACK_BASE)
+    state.set(TOC, 0x8000)
+    args = list(args)
+    # Honour declared parameter registers (the paper's listings take
+    # arguments in arbitrary registers, e.g. xlygetvalue(r3, r8));
+    # fall back to the r3.. linkage convention otherwise.
+    if fn is not None and fn.params:
+        if len(args) > len(fn.params):
+            raise ExecutionError(
+                f"{fn.name} takes {len(fn.params)} args, got {len(args)}"
+            )
+        for reg, value in zip(fn.params, args):
+            state.set(reg, value)
+    else:
+        for i, value in enumerate(args):
+            if i >= 8:
+                raise ExecutionError("more than 8 arguments not supported")
+            state.set(gpr(3 + i), value)
+    if faulting:
+        map_module_data(
+            state.mem,
+            layout,
+            {name: obj.size for name, obj in module.data.items()},
+        )
+    for name, addr in layout.items():
+        for i, word in enumerate(module.data[name].init):
+            state.mem[addr + 4 * i] = wrap32(word)
+
+
 class Interpreter:
     """Executes functions of one module."""
 
@@ -162,6 +205,13 @@ class Interpreter:
         args: Iterable[int] = (),
         state: Optional[MachineState] = None,
     ) -> ExecResult:
+        # Reset per-run accounting: a cached interpreter reused across
+        # runs must not accumulate steps from earlier runs (a stale
+        # budget falsely raises ExecutionLimit) or leak trace entries
+        # and block counts into the new result.
+        self.steps = 0
+        self.trace = []
+        self.block_counts = {}
         state = state if state is not None else MachineState()
         self.faulting = bool(getattr(state.mem, "faulting", False))
         fn = self.module.functions[fn_name]
@@ -180,33 +230,7 @@ class Interpreter:
     def _init_state(
         self, state: MachineState, args: Iterable[int], fn: Optional[Function] = None
     ) -> None:
-        state.set(SP, STACK_BASE)
-        state.set(TOC, 0x8000)
-        args = list(args)
-        # Honour declared parameter registers (the paper's listings take
-        # arguments in arbitrary registers, e.g. xlygetvalue(r3, r8));
-        # fall back to the r3.. linkage convention otherwise.
-        if fn is not None and fn.params:
-            if len(args) > len(fn.params):
-                raise ExecutionError(
-                    f"{fn.name} takes {len(fn.params)} args, got {len(args)}"
-                )
-            for reg, value in zip(fn.params, args):
-                state.set(reg, value)
-        else:
-            for i, value in enumerate(args):
-                if i >= 8:
-                    raise ExecutionError("more than 8 arguments not supported")
-                state.set(gpr(3 + i), value)
-        if self.faulting:
-            map_module_data(
-                state.mem,
-                self.layout,
-                {name: obj.size for name, obj in self.module.data.items()},
-            )
-        for name, addr in self.layout.items():
-            for i, word in enumerate(self.module.data[name].init):
-                state.mem[addr + 4 * i] = wrap32(word)
+        initialize_state(state, args, fn, self.layout, self.module, self.faulting)
 
     # -- faulting-model helpers ----------------------------------------------
 
@@ -469,8 +493,30 @@ def run_function(
     count_blocks: bool = False,
     check_callee_saved: bool = False,
     mem_model: str = "flat",
+    engine: str = "tree",
 ) -> ExecResult:
-    """Run ``fn_name`` from ``module`` and return the :class:`ExecResult`."""
+    """Run ``fn_name`` from ``module`` and return the :class:`ExecResult`.
+
+    ``engine`` selects the executor: ``"tree"`` is the tree-walking
+    interpreter above (the semantic ground truth); ``"closure"`` is the
+    closure-compiled engine in :mod:`repro.machine.engine`, which caches
+    compiled executors per module fingerprint and is differentially
+    cross-checked against the tree-walker (``repro fuzz --xengine``).
+    """
+    if engine != "tree":
+        from repro.machine.engine import ENGINES, cached_engine
+
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (want one of {ENGINES})")
+        eng = cached_engine(
+            module,
+            max_steps=max_steps,
+            record_trace=record_trace,
+            count_blocks=count_blocks,
+            check_callee_saved=check_callee_saved,
+        )
+        state = MachineState(input_values, mem_model=mem_model)
+        return eng.run(fn_name, args, state)
     interp = Interpreter(
         module,
         max_steps=max_steps,

@@ -207,6 +207,7 @@ def cycles_for_run(
     model: MachineModel = RS6000,
     input_values: Optional[List[int]] = None,
     max_steps: int = 2_000_000,
+    engine: str = "tree",
 ) -> TimingReport:
     """Interpret ``fn_name`` on ``args`` and time its dynamic trace."""
     from repro.machine.interpreter import run_function
@@ -218,5 +219,6 @@ def cycles_for_run(
         input_values=input_values,
         max_steps=max_steps,
         record_trace=True,
+        engine=engine,
     )
     return time_trace(result.trace, model)

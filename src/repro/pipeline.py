@@ -171,6 +171,7 @@ def compile_module(
     sanitize: bool = False,
     diff_seed: int = 0,
     mem_model: str = "flat",
+    engine: str = "tree",
     jobs: int = 1,
     trace=None,
     cow_snapshots: bool = True,
@@ -202,7 +203,9 @@ def compile_module(
     model and an optimized-only fault is a ``containment`` failure that
     rolls the pass back. ``diff_seed`` seeds the input sampling of both
     the checker and the sanitizer (echoed in the resilience report);
-    ``mem_model`` selects the differential checker's execution substrate.
+    ``mem_model`` selects the differential checker's execution substrate;
+    ``engine`` selects the executor (``"tree"`` or ``"closure"``, see
+    :mod:`repro.machine.engine`) both guards run entries under.
 
     Compile-performance knobs (see :mod:`repro.perf` and
     ``docs/PERFORMANCE.md``): ``jobs`` partitions per-function pass work
@@ -251,8 +254,14 @@ def compile_module(
     else:
         checker = diff_checker
         if checker is None and diff_check:
-            checker = DifferentialChecker(seed=diff_seed, mem_model=mem_model)
-        sanitizer = SpeculationSanitizer(seed=diff_seed) if sanitize else None
+            checker = DifferentialChecker(
+                seed=diff_seed, mem_model=mem_model, engine=engine
+            )
+        sanitizer = (
+            SpeculationSanitizer(seed=diff_seed, engine=engine)
+            if sanitize
+            else None
+        )
         manager = GuardedPassManager(
             passes,
             policy=resilience,

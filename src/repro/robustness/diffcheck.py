@@ -102,13 +102,19 @@ def observe(
     args: Sequence[int],
     max_steps: int,
     mem_model: str = "flat",
+    engine: str = "tree",
 ) -> EntryOutcome:
     """Interpret one entry and classify the outcome."""
     if fn_name not in module.functions:
         return EntryOutcome("error", f"no function {fn_name}", error_class="KeyError")
     try:
         result = run_function(
-            module, fn_name, list(args), max_steps=max_steps, mem_model=mem_model
+            module,
+            fn_name,
+            list(args),
+            max_steps=max_steps,
+            mem_model=mem_model,
+            engine=engine,
         )
     except ExecutionLimit as exc:  # must precede ExecutionError (subclass)
         return EntryOutcome("limit", str(exc), error_class=type(exc).__name__)
@@ -165,6 +171,7 @@ class DifferentialChecker:
         max_steps: int = 200_000,
         check_memory: bool = True,
         mem_model: str = "flat",
+        engine: str = "tree",
     ):
         self.explicit_entries = list(entries) if entries is not None else None
         self.seed = seed
@@ -172,6 +179,7 @@ class DifferentialChecker:
         self.max_steps = max_steps
         self.check_memory = check_memory
         self.mem_model = mem_model
+        self.engine = engine
         self.entries: List[Tuple[str, Tuple[int, ...]]] = []
         self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
         #: Pristine pre-pipeline clone for lazily-computed baselines.
@@ -203,7 +211,7 @@ class DifferentialChecker:
             return
         self._reference = None
         self.baseline = {
-            (fn, args): observe(module, fn, args, self.max_steps, self.mem_model)
+            (fn, args): observe(module, fn, args, self.max_steps, self.mem_model, self.engine)
             for fn, args in self.entries
         }
 
@@ -215,7 +223,7 @@ class DifferentialChecker:
             # reference now and cache it for the rest of the pipeline.
             self.counters["diff.baselines_lazy"] += 1
             outcome = observe(
-                self._reference, fn, args, self.max_steps, self.mem_model
+                self._reference, fn, args, self.max_steps, self.mem_model, self.engine
             )
             self.baseline[key] = outcome
         return outcome
@@ -305,13 +313,13 @@ class DifferentialChecker:
                 # faulting behaviour was preserved: agreement. Anything
                 # else (no fault, different fault) is inconclusive — a
                 # pass may legitimately remove a fault it proved dead.
-                after = observe(module, fn, args, self.max_steps, self.mem_model)
+                after = observe(module, fn, args, self.max_steps, self.mem_model, self.engine)
                 if after.kind == "error" and after.error_class == base.error_class:
                     compared += 1
                 else:
                     inconclusive += 1
                 continue
-            after = observe(module, fn, args, self.max_steps, self.mem_model)
+            after = observe(module, fn, args, self.max_steps, self.mem_model, self.engine)
             if after.kind == "limit":
                 # Budget exhaustion is "inconclusive, keep" — see module
                 # docstring — not "mismatch, rollback".

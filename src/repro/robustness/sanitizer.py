@@ -141,11 +141,13 @@ class SpeculationSanitizer:
         seed: int = 0,
         argsets_per_function: int = 3,
         max_steps: int = 200_000,
+        engine: str = "tree",
     ):
         self.explicit_entries = list(entries) if entries is not None else None
         self.seed = seed
         self.argsets_per_function = max(1, argsets_per_function)
         self.max_steps = max_steps
+        self.engine = engine
         self.entries: List[Tuple[str, Tuple[int, ...]]] = []
         self.baseline: Dict[Tuple[str, Tuple[int, ...]], EntryOutcome] = {}
         #: Pristine pre-pipeline clone for lazily-computed baselines.
@@ -185,7 +187,9 @@ class SpeculationSanitizer:
             return
         self._reference = None
         self.baseline = {
-            (fn, args): observe(module, fn, args, self.max_steps, mem_model="paged")
+            (fn, args): observe(
+                module, fn, args, self.max_steps, "paged", self.engine
+            )
             for fn, args in self.entries
         }
 
@@ -195,7 +199,7 @@ class SpeculationSanitizer:
         if outcome is None:
             self.counters["sanitize.baselines_lazy"] += 1
             outcome = observe(
-                self._reference, fn, args, self.max_steps, mem_model="paged"
+                self._reference, fn, args, self.max_steps, "paged", self.engine
             )
             self.baseline[key] = outcome
         return outcome
@@ -256,7 +260,7 @@ class SpeculationSanitizer:
                         continue
                     self.counters["sanitize.entries_run"] += 1
                     after = observe(
-                        module, fn_name, args, self.max_steps, mem_model="paged"
+                        module, fn_name, args, self.max_steps, "paged", self.engine
                     )
                     findings.append(self._classify(fn_name, args, base, after))
                 if fp is not None:

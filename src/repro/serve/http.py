@@ -28,6 +28,7 @@ import sys
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
+from repro.machine.engine import ENGINES
 from repro.scheduling import PIPELINERS
 from repro.serve.service import CompileService, ServeRequest
 
@@ -61,6 +62,11 @@ def request_from_wire(msg: Dict) -> ServeRequest:
     if pipeliner not in PIPELINERS:
         raise ValueError(
             f"unknown pipeliner {pipeliner!r} (want one of {PIPELINERS})"
+        )
+    engine = options.get("engine", "tree")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (want one of {ENGINES})"
         )
     disable = options.get("disable")
     if disable is not None:

@@ -216,6 +216,7 @@ def handle_request(request: Dict, worker_id: int) -> Dict:
                 resilience=resilience,
                 sanitize=sanitize,
                 diff_seed=int(options.get("diff_seed", 0)),
+                engine=options.get("engine", "tree"),
                 fault_plan=fault_plan,
                 pass_budget_seconds=options.get("pass_budget"),
             )

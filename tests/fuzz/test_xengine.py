@@ -1,0 +1,105 @@
+"""Executor-vs-executor oracle mode: it must catch a planted engine bug.
+
+The xengine sweep's whole claim is "any closure-engine miscompile shows
+up as an ``engine-divergence`` finding". These tests prove the detector
+works by injecting a known-wrong opcode factory into the engine's
+compile tables and watching the oracle flag it — then confirm the same
+oracle stays silent on the honest engine.
+"""
+
+import pytest
+
+import repro.machine.engine as engine_mod
+from repro.fuzz.oracle import (
+    Oracle,
+    OracleConfig,
+    config_from_key,
+    observe_exec,
+)
+from repro.ir import parse_module
+from repro.machine import ClosureEngine, Interpreter
+from repro.machine.engine import clear_engine_cache
+
+SRC = """
+func f(r3, r4):
+entry:
+    MUL r3, r3, r4
+    AI r3, r3, 5
+    RET
+"""
+
+
+def _buggy_mul(eng, instr):
+    rd = eng._ridx(instr.rd)
+    ra = eng._ridx(instr.ra)
+    rb = eng._ridx(instr.rb)
+
+    def op(state, regs, mem):
+        # Deliberately wrong: off-by-one product.
+        v = (regs[ra] * regs[rb] + 1) & 0xFFFFFFFF
+        regs[rd] = v - 0x100000000 if v & 0x80000000 else v
+
+    return op
+
+
+@pytest.fixture
+def oracle():
+    return Oracle(OracleConfig(bisect=False))
+
+
+class TestConfigKeys:
+    def test_xengine_none_parses(self):
+        cfg = config_from_key("xengine:none")
+        assert cfg.xengine and cfg.level == "none"
+
+    def test_xengine_wraps_sweep_config(self):
+        cfg = config_from_key("xengine:vliw:u4:modulo")
+        assert cfg.xengine
+        assert cfg.key == "xengine:vliw:u4:modulo"
+        assert (cfg.level, cfg.unroll_factor, cfg.pipeliner) == (
+            "vliw", 4, "modulo",
+        )
+
+    def test_bad_xengine_key_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_key("xengine:nonsense")
+
+
+class TestDetection:
+    def test_planted_bug_is_flagged(self, oracle, monkeypatch):
+        monkeypatch.setitem(engine_mod._FLAT_FACTORIES, "MUL", _buggy_mul)
+        clear_engine_cache()
+        module = parse_module(SRC)
+        findings = oracle.check_module(
+            module, seed=0, configs=[config_from_key("xengine:none")]
+        )
+        assert findings, "oracle missed a planted engine bug"
+        finding = findings[0]
+        assert finding.kind == "engine-divergence"
+        assert finding.config == "xengine:none"
+        assert finding.guilty == "f"  # per-function blame, no guilty pass
+        assert "value" in finding.detail
+
+    def test_honest_engine_is_clean(self, oracle):
+        clear_engine_cache()
+        module = parse_module(SRC)
+        findings = oracle.check_module(
+            module,
+            seed=0,
+            configs=[
+                config_from_key("xengine:none"),
+                config_from_key("xengine:vliw:u2:swp"),
+            ],
+        )
+        assert findings == []
+
+
+class TestObserveExec:
+    def test_fault_observations_include_steps(self):
+        src = "func f(r3):\nentry:\n    AI r3, r3, 1\n    CALL f\n    RET"
+        module = parse_module(src)
+        a = observe_exec(Interpreter(module), "f", (0,), "flat")
+        b = observe_exec(ClosureEngine(module), "f", (0,), "flat")
+        assert a.kind == b.kind == "error"
+        assert a.error_class == b.error_class == "ExecutionError"
+        assert a.steps == b.steps > 0

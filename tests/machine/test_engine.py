@@ -1,0 +1,233 @@
+"""Closure-compiled engine: differential equivalence and its own contract.
+
+The engine's correctness story is differential — ``repro fuzz
+--xengine`` hammers it against the tree-walker on generated programs —
+so these tests pin the *structured* part of the contract: bit-identical
+observations on the real workloads across compilation levels and memory
+models, exact step accounting at the budget boundary, deterministic
+call-depth containment, per-run reset under executor reuse (the
+interpreter's own reuse bug, fixed in the same change), and cache
+invalidation on in-place module mutation.
+"""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.machine import (
+    ENGINES,
+    ClosureEngine,
+    ExecutionError,
+    ExecutionLimit,
+    MachineState,
+    cached_engine,
+    run_function,
+)
+from repro.machine.engine import clear_engine_cache
+from repro.machine.interpreter import Interpreter
+from repro.pipeline import compile_module
+from repro.workloads import suite
+
+WORKLOADS = {w.name: w for w in suite()}
+
+
+def both(module, fn, args=(), **kw):
+    """Run under both executors and return (tree, closure) results."""
+    tree = run_function(module, fn, list(args), **kw)
+    clos = run_function(module, fn, list(args), engine="closure", **kw)
+    return tree, clos
+
+
+def assert_identical(tree, clos):
+    assert clos.value == tree.value
+    assert clos.steps == tree.steps
+    assert clos.block_counts == tree.block_counts
+    if tree.trace is not None:
+        assert [(i.opcode, t) for i, t in clos.trace] == [
+            (i.opcode, t) for i, t in tree.trace
+        ]
+    assert clos.state.output == tree.state.output
+    assert clos.state.snapshot_mem() == tree.state.snapshot_mem()
+    assert clos.state.poison_events == tree.state.poison_events
+
+
+@pytest.mark.parametrize("name", ["li", "compress"])
+@pytest.mark.parametrize("level", ["none", "vliw"])
+@pytest.mark.parametrize("mem_model", ["flat", "paged"])
+def test_differential_equivalence_on_workloads(name, level, mem_model):
+    wl = WORKLOADS[name]
+    module = wl.fresh_module()
+    if level != "none":
+        module = compile_module(module, level=level).module
+    tree, clos = both(
+        module,
+        wl.entry,
+        wl.args,
+        mem_model=mem_model,
+        record_trace=True,
+        count_blocks=True,
+    )
+    assert_identical(tree, clos)
+
+
+SUMREC = """
+func sumto(r3):
+entry:
+    CI cr0, r3, 0
+    BT base, cr0.le
+rec:
+    A r6, r6, r3
+    AI r3, r3, -1
+    CALL sumto
+    RET
+base:
+    LR r3, r6
+    RET
+"""
+
+LOOP = """
+func f(r3):
+entry:
+    LI r4, 0
+    MTCTR r3
+loop:
+    AI r4, r4, 1
+    BCT loop
+exit:
+    LR r3, r4
+    RET
+"""
+
+RECURSE = """
+func f(r3):
+entry:
+    AI r3, r3, 1
+    CALL f
+    RET
+"""
+
+
+class TestReuse:
+    """One executor instance, many runs: nothing may leak between them."""
+
+    @pytest.mark.parametrize("make", [Interpreter, ClosureEngine])
+    def test_two_runs_one_instance(self, make):
+        module = parse_module(SUMREC)
+        ex = make(module, max_steps=10_000, record_trace=True, count_blocks=True)
+        first = ex.run("sumto", [10], MachineState())
+        second = ex.run("sumto", [10], MachineState())
+        assert second.value == first.value == 55
+        assert second.steps == first.steps
+        assert second.block_counts == first.block_counts
+        assert len(second.trace) == len(first.trace)
+
+    @pytest.mark.parametrize("make", [Interpreter, ClosureEngine])
+    def test_reuse_near_step_limit(self, make):
+        """The historical bug: accumulated steps from run #1 must not
+        push run #2 over the budget."""
+        module = parse_module(SUMREC)
+        probe = make(module, max_steps=10_000_000)
+        need = probe.run("sumto", [10], MachineState()).steps
+        ex = make(module, max_steps=need)
+        for _ in range(3):  # each run is exactly at the budget
+            assert ex.run("sumto", [10], MachineState()).value == 55
+
+
+class TestStepBudget:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exact_boundary(self, engine):
+        module = parse_module(LOOP)
+        need = run_function(module, "f", [50]).steps
+        ok = run_function(module, "f", [50], max_steps=need, engine=engine)
+        assert ok.value == 50
+        with pytest.raises(ExecutionLimit) as exc:
+            run_function(module, "f", [50], max_steps=need - 1, engine=engine)
+        assert "step budget exhausted in f" in str(exc.value)
+
+    def test_limit_step_count_and_message_match_tree(self):
+        module = parse_module(LOOP)
+        outcomes = []
+        for engine in ENGINES:
+            ex = (Interpreter if engine == "tree" else ClosureEngine)(
+                module, max_steps=57
+            )
+            with pytest.raises(ExecutionLimit) as exc:
+                ex.run("f", [50], MachineState())
+            outcomes.append((ex.steps, str(exc.value)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestCallDepth:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unbounded_recursion_is_contained(self, engine):
+        module = parse_module(RECURSE)
+        with pytest.raises(ExecutionError) as exc:
+            run_function(module, "f", [0], engine=engine)
+        assert not isinstance(exc.value, ExecutionLimit)
+        assert "call depth exceeded entering f" in str(exc.value)
+
+    def test_depth_fault_is_identical(self):
+        module = parse_module(RECURSE)
+        seen = []
+        for engine in ENGINES:
+            ex = (Interpreter if engine == "tree" else ClosureEngine)(module)
+            with pytest.raises(ExecutionError) as exc:
+                ex.run("f", [0], MachineState())
+            seen.append((ex.steps, str(exc.value)))
+        assert seen[0] == seen[1]
+
+
+class TestCacheInvalidation:
+    def test_in_place_mutation_recompiles(self):
+        clear_engine_cache()
+        module = parse_module("func f():\n    LI r3, 1\n    RET")
+        assert run_function(module, "f", engine="closure").value == 1
+        # Mutate the module in place; the fingerprint-keyed cache must
+        # miss and recompile, exactly like diffcheck baselines.
+        module.functions["f"].blocks[0].instrs[0].imm = 2
+        assert run_function(module, "f", engine="closure").value == 2
+
+    def test_direct_engine_revalidates_per_run(self):
+        module = parse_module("func f():\n    LI r3, 1\n    RET")
+        eng = ClosureEngine(module)
+        assert eng.run("f", (), MachineState()).value == 1
+        module.functions["f"].blocks[0].instrs[0].imm = 3
+        assert eng.run("f", (), MachineState()).value == 3
+
+
+class TestKnob:
+    def test_unknown_engine_rejected(self):
+        module = parse_module("func f():\n    RET")
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_function(module, "f", engine="jit")
+
+    def test_cached_engine_is_reused(self):
+        clear_engine_cache()
+        module = parse_module("func f():\n    LI r3, 7\n    RET")
+        a = cached_engine(module)
+        b = cached_engine(module)
+        assert a is b
+
+    def test_check_callee_saved_delegates_to_tree(self):
+        # ABI checking is the interpreter's job; the engine must still
+        # honour the contract by delegating, not by silently skipping.
+        wl = WORKLOADS["compress"]
+        module = compile_module(wl.fresh_module(), level="vliw").module
+        tree, clos = both(
+            module, wl.entry, wl.args, check_callee_saved=True
+        )
+        assert_identical(tree, clos)
+
+
+class TestPoisonDelegation:
+    def test_pre_poisoned_flat_state_matches_tree(self):
+        src = "func f(r3):\n    AI r3, r3, 1\n    RET"
+        module = parse_module(src)
+        results = []
+        for make in (Interpreter, ClosureEngine):
+            state = MachineState()
+            from repro.ir.operands import gpr
+
+            state.taint(gpr(4))  # poison an unrelated register up front
+            ex = make(module)
+            results.append(ex.run("f", [1], state).value)
+        assert results[0] == results[1] == 2

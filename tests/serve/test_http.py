@@ -142,6 +142,17 @@ class TestWire:
         assert request.options == {}
         assert request.deadline is None
 
+    def test_request_from_wire_rejects_unknown_engine(self):
+        # Admission-time 400, not a ladder of doomed worker attempts.
+        with pytest.raises(ValueError, match="unknown engine"):
+            request_from_wire({"ir": SRC, "options": {"engine": "jit"}})
+
+    def test_request_from_wire_accepts_closure_engine(self):
+        request = request_from_wire(
+            {"ir": SRC, "options": {"engine": "closure"}}
+        )
+        assert request.options["engine"] == "closure"
+
 
 class TestStdinLoop:
     def test_json_lines_round_trip(self):
